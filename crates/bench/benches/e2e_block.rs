@@ -1,0 +1,33 @@
+//! Criterion bench: end-to-end per-block cost (gradient + trace +
+//! simplify + compact) vs block size — the weak-scaling unit of the
+//! paper's compute stage (its Fig 6 top row shows this is the quantity
+//! that scales perfectly).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use msp_complex::{build_block_complex, simplify, SimplifyParams};
+use msp_grid::{Decomposition, Dims};
+use msp_morse::TraceLimits;
+
+fn bench_e2e(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2e_block");
+    g.sample_size(10);
+    for n in [13u32, 17, 25, 33] {
+        let dims = Dims::cube(n);
+        let field = msp_synth::jet(dims, 48, 5);
+        let d = Decomposition::bisect(dims, 1);
+        let bf = field.extract_block(d.block(0));
+        g.throughput(Throughput::Elements(dims.n_verts()));
+        g.bench_with_input(BenchmarkId::new("verts", n), &n, |b, _| {
+            b.iter(|| {
+                let (mut ms, _) = build_block_complex(&bf, &d, TraceLimits::default());
+                simplify(&mut ms, SimplifyParams::up_to(0.02));
+                ms.compact();
+                ms
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_e2e);
+criterion_main!(benches);

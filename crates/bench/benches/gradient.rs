@@ -1,0 +1,37 @@
+//! Criterion bench: discrete gradient assignment throughput, and the
+//! ablation the DESIGN calls out — stratified lower-star (production)
+//! vs the global-queue greedy baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msp_grid::{Decomposition, Dims};
+use msp_morse::greedy::assign_gradient_greedy;
+use msp_morse::lower_star::assign_gradient;
+
+fn bench_gradient(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gradient");
+    g.sample_size(10);
+    for n in [17u32, 25, 33] {
+        let dims = Dims::cube(n);
+        let field = msp_synth::white_noise(dims, 7);
+        let d = Decomposition::bisect(dims, 1);
+        let bf = field.extract_block(d.block(0));
+        g.bench_with_input(BenchmarkId::new("lower_star", n), &n, |b, _| {
+            b.iter(|| assign_gradient(&bf, &d))
+        });
+        g.bench_with_input(BenchmarkId::new("greedy_baseline", n), &n, |b, _| {
+            b.iter(|| assign_gradient_greedy(&bf, &d))
+        });
+    }
+    // boundary restriction overhead: same block size, blocked vs not
+    let dims = Dims::cube(33);
+    let field = msp_synth::white_noise(dims, 9);
+    let d8 = Decomposition::bisect(dims, 8);
+    let bf8 = field.extract_block(d8.block(0));
+    g.bench_function("lower_star_with_boundary_strata", |b| {
+        b.iter(|| assign_gradient(&bf8, &d8))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gradient);
+criterion_main!(benches);

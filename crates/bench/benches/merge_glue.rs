@@ -1,0 +1,67 @@
+//! Criterion bench: the merge computation — serialization, gluing and
+//! re-simplification of neighbouring block complexes (the per-round root
+//! work of §IV-F3) as complexity varies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msp_complex::glue::glue_all;
+use msp_complex::{build_block_complex, simplify, wire, MsComplex, SimplifyParams};
+use msp_grid::{Decomposition, Dims};
+use msp_morse::TraceLimits;
+
+fn block_complexes(cmplx: u32) -> (Decomposition, Vec<MsComplex>) {
+    let dims = Dims::cube(33);
+    let field = msp_synth::sinusoid(33, cmplx);
+    let d = Decomposition::bisect(dims, 8);
+    let cs = d
+        .blocks()
+        .iter()
+        .map(|b| {
+            let (mut ms, _) =
+                build_block_complex(&field.extract_block(b), &d, TraceLimits::default());
+            simplify(&mut ms, SimplifyParams::up_to(0.02));
+            ms.compact();
+            ms
+        })
+        .collect();
+    (d, cs)
+}
+
+fn bench_glue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("glue");
+    g.sample_size(10);
+    for cmplx in [2u32, 4, 8] {
+        let (d, cs) = block_complexes(cmplx);
+        g.bench_with_input(
+            BenchmarkId::new("radix8_root_merge", cmplx),
+            &cmplx,
+            |b, _| {
+                b.iter_batched(
+                    || cs.clone(),
+                    |mut cs| {
+                        let mut root = cs.remove(0);
+                        let rest: Vec<_> = cs.drain(..).collect();
+                        glue_all(&mut root, &rest, &d);
+                        simplify(&mut root, SimplifyParams::up_to(0.02));
+                        root.compact();
+                        root
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire");
+    g.sample_size(20);
+    let (_, cs) = block_complexes(8);
+    let payload = wire::serialize(&cs[0]);
+    g.bench_function("serialize", |b| b.iter(|| wire::serialize(&cs[0])));
+    g.bench_function("deserialize", |b| b.iter(|| wire::deserialize(&payload).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_glue, bench_wire);
+criterion_main!(benches);

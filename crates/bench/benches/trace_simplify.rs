@@ -1,0 +1,57 @@
+//! Criterion bench: V-path tracing and persistence simplification cost
+//! as the topological complexity of the field varies — the quantities
+//! behind the paper's observation that merge time is a function of
+//! complexity, not data size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msp_complex::build::complex_from_gradient;
+use msp_complex::{simplify, SimplifyParams};
+use msp_grid::{Decomposition, Dims};
+use msp_morse::{assign_gradient, trace_all_arcs, TraceLimits};
+
+fn bench_trace(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace");
+    g.sample_size(10);
+    for cmplx in [2u32, 4, 8] {
+        let dims = Dims::cube(33);
+        let field = msp_synth::sinusoid(33, cmplx);
+        let d = Decomposition::bisect(dims, 1);
+        let bf = field.extract_block(d.block(0));
+        let grad = assign_gradient(&bf, &d);
+        g.bench_with_input(BenchmarkId::new("complexity", cmplx), &cmplx, |b, _| {
+            b.iter(|| trace_all_arcs(&grad, TraceLimits::default()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_simplify(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simplify");
+    g.sample_size(10);
+    let dims = Dims::cube(25);
+    let field = msp_synth::white_noise(dims, 3);
+    let d = Decomposition::bisect(dims, 1);
+    let bf = field.extract_block(d.block(0));
+    let grad = assign_gradient(&bf, &d);
+    let (base, _) = complex_from_gradient(&bf, &d, &grad, TraceLimits::default());
+    for frac in [10u32, 50, 100] {
+        g.bench_with_input(
+            BenchmarkId::new("threshold_pct", frac),
+            &frac,
+            |b, &frac| {
+                b.iter_batched(
+                    || base.clone(),
+                    |mut ms| {
+                        simplify(&mut ms, SimplifyParams::up_to(frac as f32 / 100.0));
+                        ms
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_trace, bench_simplify);
+criterion_main!(benches);

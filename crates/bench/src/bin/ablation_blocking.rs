@@ -1,0 +1,79 @@
+//! Ablation — blocks-per-process and boundary-restriction overhead.
+//!
+//! Two design choices DESIGN.md calls out:
+//!
+//! 1. **Blocks per process** (paper §IV-A): the decomposition supports
+//!    more blocks than ranks for load balance, but the paper found one
+//!    block per process sufficient. This ablation measures the threaded
+//!    pipeline at 1, 2 and 4 blocks per rank over the same total grid.
+//! 2. **Boundary-restricted pairing** (paper §IV-C): the restriction
+//!    creates spurious critical cells — the price of mergeability. This
+//!    ablation counts them against an unrestricted serial run.
+//!
+//! ```text
+//! cargo run --release -p msp-bench --bin ablation_blocking
+//! ```
+
+use msp_bench::{Scale, Table};
+use msp_core::{run_parallel, Input, MergePlan, PipelineParams};
+use msp_grid::{Decomposition, Dims};
+use std::sync::Arc;
+
+fn main() {
+    let scale = Scale::from_env();
+    let n = scale.pick(33u32, 65, 97);
+    let field = Arc::new(msp_synth::jet(Dims::new(n, n, n / 2 + 1), 96, 11));
+    let ranks = 4u32;
+
+    println!("Ablation 1: blocks per process (jet-like {n}x{n}x{}, {ranks} ranks)\n", n / 2 + 1);
+    let t = Table::new(&["blocks/rank", "blocks", "compute max(s)", "merge max(s)", "total max(s)"]);
+    for bpr in [1u32, 2, 4] {
+        let blocks = ranks * bpr;
+        let params = PipelineParams {
+            persistence_frac: 0.01,
+            plan: MergePlan::full_merge(blocks),
+            ..Default::default()
+        };
+        let r = run_parallel(&Input::Memory(field.clone()), ranks, blocks, &params, None);
+        let max = |f: fn(&msp_core::StageTimes) -> f64| {
+            r.times.iter().map(f).fold(0.0, f64::max)
+        };
+        t.row(&[
+            format!("{bpr}"),
+            format!("{blocks}"),
+            format!("{:.4}", max(|t| t.compute)),
+            format!("{:.4}", max(|t| t.merge)),
+            format!("{:.4}", max(|t| t.total)),
+        ]);
+    }
+
+    println!("\nAblation 2: boundary-restriction overhead (spurious critical cells)\n");
+    let t = Table::new(&["blocks", "critical cells", "overhead vs serial"]);
+    let mut serial_count = 0u64;
+    for blocks in [1u32, 8, 64] {
+        let d = Decomposition::bisect(field.dims(), blocks);
+        let total: u64 = d
+            .blocks()
+            .iter()
+            .map(|b| {
+                let g = msp_morse::assign_gradient(&field.extract_block(b), &d);
+                g.critical_cells()
+                    .iter()
+                    .filter(|&&c| d.owners(c).as_slice()[0] == b.id)
+                    .count() as u64
+            })
+            .sum();
+        if blocks == 1 {
+            serial_count = total;
+        }
+        t.row(&[
+            format!("{blocks}"),
+            format!("{total}"),
+            format!("{:.2}x", total as f64 / serial_count as f64),
+        ]);
+    }
+    println!(
+        "\nThe spurious cells are zero-persistence by construction and are\n\
+         cancelled during the merge stage — Fig 4 demonstrates full recovery."
+    );
+}

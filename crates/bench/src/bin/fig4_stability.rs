@@ -1,0 +1,80 @@
+//! Fig 4 — stability of the MS complex under blocking: the same
+//! hydrogen-like field computed with 1, 8 and 64 blocks, before and after
+//! 1% persistence simplification, with the paper's feature filter
+//! (2-saddle→maximum arcs above a value threshold).
+//!
+//! ```text
+//! cargo run --release -p msp-bench --bin fig4_stability
+//! ```
+
+use msp_bench::{Scale, Table};
+use msp_complex::query;
+use msp_core::{run_parallel, Input, MergePlan, PipelineParams};
+use std::sync::Arc;
+
+fn main() {
+    let scale = Scale::from_env();
+    let n = scale.pick(33u32, 65, 129);
+    let field = Arc::new(msp_synth::hydrogen(n));
+    let input = Input::Memory(field);
+    // the paper filters nodes with value > 14.5 on its byte scale
+    let feature_value = 255.0 * 14.5 / 25.0;
+
+    println!("Fig 4 analogue: hydrogen-like {n}^3, feature filter value > {feature_value:.0}\n");
+    let t = Table::new(&[
+        "blocks",
+        "raw nodes",
+        "raw arcs",
+        "1% nodes",
+        "1% arcs",
+        "stable max",
+        "filaments",
+    ]);
+    for blocks in [1u32, 8, 64] {
+        let ranks = blocks.min(8);
+        // finest scale, unmerged: shows the boundary-artifact bloat
+        let raw = run_parallel(
+            &input,
+            ranks,
+            blocks,
+            &PipelineParams {
+                persistence_frac: 0.0,
+                plan: MergePlan::none(),
+                ..Default::default()
+            },
+            None,
+        );
+        let raw_nodes: u64 = raw.outputs.iter().map(|c| c.n_live_nodes()).sum();
+        let raw_arcs: u64 = raw.outputs.iter().map(|c| c.n_live_arcs()).sum();
+        // 1% simplified, fully merged: artifacts resolve
+        let merged = run_parallel(
+            &input,
+            ranks,
+            blocks,
+            &PipelineParams {
+                persistence_frac: 0.01,
+                plan: MergePlan::full_merge(blocks),
+                ..Default::default()
+            },
+            None,
+        );
+        let ms = &merged.outputs[0];
+        let stable = query::nodes_by_index_above(ms, 3, feature_value).len();
+        let filaments = query::filament_subgraph(ms, feature_value).len();
+        t.row(&[
+            format!("{blocks}"),
+            format!("{raw_nodes}"),
+            format!("{raw_arcs}"),
+            format!("{}", ms.n_live_nodes()),
+            format!("{}", ms.n_live_arcs()),
+            format!("{stable}"),
+            format!("{filaments}"),
+        ]);
+    }
+    println!(
+        "\nExpected (paper §V-A): raw counts inflate with blocking (spurious\n\
+         zero-persistence boundary nodes); after 1% simplification + full\n\
+         merge, the node counts converge and the filtered features (stable\n\
+         maxima, filament arcs) are identical across blockings."
+    );
+}

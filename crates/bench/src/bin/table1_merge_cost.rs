@@ -1,0 +1,62 @@
+//! Table I — the cost of each merge round: merging 2048 blocks with the
+//! cumulative plans `[4]`, `[4,8]`, `[4,8,8]`, `[4,8,8,8]`, reporting total merge
+//! time and the time of the final round. The paper's point: later rounds
+//! are more expensive, because complexes grow and gravitate to fewer
+//! processes.
+//!
+//! ```text
+//! cargo run --release -p msp-bench --bin table1_merge_cost
+//! ```
+
+use msp_bench::{Scale, Table};
+use msp_core::{MergePlan, SimParams};
+
+fn main() {
+    let scale = Scale::from_env();
+    // paper: 2048 blocks across 2048 processes; full plan [4,8,8,8]
+    let blocks = scale.pick(256u32, 2048, 2048);
+    let size = scale.pick(33u32, 49, 97);
+    let complexity = scale.pick(4u32, 8, 16);
+    let full: Vec<u32> = if blocks == 2048 {
+        vec![4, 8, 8, 8]
+    } else {
+        MergePlan::full_merge(blocks).radices
+    };
+
+    println!(
+        "Table I analogue: cost of merging {blocks} blocks (sinusoid {size}^3, complexity {complexity})\n"
+    );
+    let field = msp_synth::sinusoid(size, complexity);
+    let t = Table::new(&[
+        "rounds",
+        "radices",
+        "total merge (s)",
+        "final round (s)",
+    ]);
+    for upto in 1..=full.len() {
+        let plan = MergePlan::rounds(full[..upto].to_vec());
+        let params = SimParams {
+            persistence_frac: 0.01,
+            plan,
+            ..Default::default()
+        };
+        let r = msp_core::simulate(&field, blocks, &params);
+        let rounds_total: f64 = r.rounds.iter().map(|x| x.round_s).sum();
+        let last = r.rounds.last().unwrap();
+        t.row(&[
+            format!("{upto}"),
+            full[..upto]
+                .iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join(" "),
+            format!("{:.4}", rounds_total),
+            format!("{:.4}", last.round_s),
+        ]);
+    }
+    println!(
+        "\nReading the table top to bottom, the final-round column gives the\n\
+         per-round cost of rounds 1..n: merging gets more expensive as it\n\
+         progresses (larger complexes, fewer processes) — Table I's trend."
+    );
+}

@@ -1,0 +1,120 @@
+//! Shared harness code for the per-figure/per-table experiment binaries
+//! (see DESIGN.md §5 for the experiment index).
+//!
+//! Every binary prints the same rows/series the paper reports, scaled to
+//! workstation size. Scale knobs come from environment variables so
+//! EXPERIMENTS.md runs are reproducible:
+//!
+//! * `MSP_SCALE=small|default|large` — preset problem sizes;
+//! * individual binaries document any extra knobs they accept.
+
+use msp_core::{SimParams, SimReport};
+use msp_grid::ScalarField;
+
+/// Problem-size preset selected by `MSP_SCALE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke-test sizes (seconds end-to-end).
+    Small,
+    /// Workstation defaults used for EXPERIMENTS.md.
+    Default,
+    /// Closer to paper dimensions; minutes to hours.
+    Large,
+}
+
+impl Scale {
+    pub fn from_env() -> Self {
+        match std::env::var("MSP_SCALE").as_deref() {
+            Ok("small") => Scale::Small,
+            Ok("large") => Scale::Large,
+            _ => Scale::Default,
+        }
+    }
+
+    /// Pick one of three values by scale.
+    pub fn pick<T: Copy>(self, small: T, default: T, large: T) -> T {
+        match self {
+            Scale::Small => small,
+            Scale::Default => default,
+            Scale::Large => large,
+        }
+    }
+}
+
+/// Run one simulation and return the report (thin wrapper that keeps the
+/// binaries terse).
+pub fn run_sim(field: &ScalarField, ranks: u32, params: &SimParams) -> SimReport {
+    msp_core::simulate(field, ranks, params)
+}
+
+/// Strong-scaling efficiency relative to a base point:
+/// `(t_base / t) / (p / p_base)`.
+pub fn efficiency(p_base: u32, t_base: f64, p: u32, t: f64) -> f64 {
+    (t_base / t) / (p as f64 / p_base as f64)
+}
+
+/// Format a byte count the way the paper quotes sizes.
+pub fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2} GB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.2} MB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.2} KB", b as f64 / (1u64 << 10) as f64)
+    } else {
+        format!("{b} B")
+    }
+}
+
+/// Markdown-ish table printer: header once, then aligned rows.
+pub struct Table {
+    widths: Vec<usize>,
+}
+
+impl Table {
+    pub fn new(headers: &[&str]) -> Self {
+        let widths: Vec<usize> = headers.iter().map(|h| h.len().max(9)).collect();
+        let mut line = String::new();
+        for (h, w) in headers.iter().zip(&widths) {
+            line.push_str(&format!("{:>w$} ", h, w = w));
+        }
+        println!("{line}");
+        println!("{}", "-".repeat(line.len()));
+        Table { widths }
+    }
+
+    pub fn row(&self, cells: &[String]) {
+        let mut line = String::new();
+        for (c, w) in cells.iter().zip(&self.widths) {
+            line.push_str(&format!("{:>w$} ", c, w = w));
+        }
+        println!("{line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_baseline_is_100_percent() {
+        assert_eq!(efficiency(32, 970.0, 32, 970.0), 1.0);
+        // paper §VI-D1: 970 s at 32 procs -> 29 s at 8192 procs = 13%
+        let e = efficiency(32, 970.0, 8192, 29.0);
+        assert!((e - 0.13).abs() < 0.01, "paper's own example: {e}");
+    }
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(26 * 1024 * 1024), "26.00 MB");
+        assert_eq!(fmt_bytes(4 * 1024 * 1024 * 1024), "4.00 GB");
+    }
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Small.pick(1, 2, 3), 1);
+        assert_eq!(Scale::Default.pick(1, 2, 3), 2);
+        assert_eq!(Scale::Large.pick(1, 2, 3), 3);
+    }
+}

@@ -1,0 +1,147 @@
+//! Building a block-local MS complex from a scalar block (paper §IV-C/D):
+//! assign the discrete gradient, add critical cells as nodes, trace
+//! V-paths downwards and add one arc per terminating path.
+
+use crate::skeleton::MsComplex;
+use msp_grid::decomp::Decomposition;
+use msp_grid::field::BlockField;
+use msp_morse::gradient::GradientField;
+use msp_morse::{assign_gradient, trace_all_arcs, TraceLimits, TraceStats};
+
+/// Counters from one block build.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuildStats {
+    pub critical_cells: u64,
+    pub boundary_nodes: u64,
+    pub arcs: u64,
+    pub geometry_cells: u64,
+    pub truncated_nodes: u64,
+}
+
+/// Compute the gradient and MS complex of one block.
+pub fn build_block_complex(
+    field: &BlockField,
+    decomp: &Decomposition,
+    limits: TraceLimits,
+) -> (MsComplex, BuildStats) {
+    let grad = assign_gradient(field, decomp);
+    let (ms, stats) = complex_from_gradient(field, decomp, &grad, limits);
+    (ms, stats)
+}
+
+/// Build the complex from an already-computed gradient (shared by the
+/// production path and the greedy-ablation benches).
+pub fn complex_from_gradient(
+    field: &BlockField,
+    decomp: &Decomposition,
+    grad: &GradientField,
+    limits: TraceLimits,
+) -> (MsComplex, BuildStats) {
+    let refined = field.domain().refined();
+    let mut ms = MsComplex::new(refined, vec![field.block().id]);
+    let mut stats = BuildStats::default();
+
+    for c in grad.critical_cells() {
+        let boundary = decomp.owners(c).is_shared();
+        ms.add_node(
+            c.address(&refined),
+            c.cell_dim(),
+            field.cell_value(c),
+            boundary,
+        );
+        stats.critical_cells += 1;
+        if boundary {
+            stats.boundary_nodes += 1;
+        }
+    }
+
+    let (arcs, tstats): (Vec<_>, TraceStats) = trace_all_arcs(grad, limits);
+    stats.truncated_nodes = tstats.truncated_nodes;
+    let mut path_addrs = Vec::new();
+    for arc in &arcs {
+        path_addrs.clear();
+        path_addrs.extend(arc.geom.iter().map(|c| c.address(&refined)));
+        let g = ms.add_leaf_geom(&path_addrs);
+        let u = ms
+            .node_at(arc.upper.address(&refined))
+            .expect("upper critical cell has a node");
+        let l = ms
+            .node_at(arc.lower.address(&refined))
+            .expect("lower critical cell has a node");
+        ms.add_arc(u, l, g);
+        stats.arcs += 1;
+        stats.geometry_cells += path_addrs.len() as u64;
+    }
+    (ms, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msp_grid::{Dims, ScalarField};
+
+    fn serial_complex(f: &ScalarField) -> (MsComplex, BuildStats) {
+        let d = Decomposition::bisect(f.dims(), 1);
+        build_block_complex(&f.extract_block(d.block(0)), &d, TraceLimits::default())
+    }
+
+    #[test]
+    fn ramp_gives_single_node() {
+        let f = msp_synth::ramp(Dims::new(5, 5, 5));
+        let (ms, stats) = serial_complex(&f);
+        assert_eq!(ms.node_census(), [1, 0, 0, 0]);
+        assert_eq!(stats.arcs, 0);
+        assert_eq!(stats.boundary_nodes, 0, "single block has no shared faces");
+        ms.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn noise_complex_is_consistent() {
+        let f = msp_synth::white_noise(Dims::new(8, 8, 8), 19);
+        let (ms, stats) = serial_complex(&f);
+        assert!(stats.critical_cells > 4);
+        assert!(stats.arcs > 0);
+        ms.check_integrity().unwrap();
+        // every saddle must have arcs: a 1-saddle has exactly 2 descending
+        // paths (possibly to the same minimum) unless truncated
+        for (i, n) in ms.nodes.iter().enumerate() {
+            if n.index == 1 {
+                let down = ms.arcs_below(i as u32).count();
+                assert_eq!(down, 2, "1-saddle must have 2 descending arcs");
+            }
+        }
+    }
+
+    #[test]
+    fn geometry_endpoints_match_nodes() {
+        let f = msp_synth::white_noise(Dims::new(7, 7, 7), 3);
+        let (ms, _) = serial_complex(&f);
+        for a in &ms.arcs {
+            let path = ms.flatten_geom(a.geom);
+            assert_eq!(path[0], ms.nodes[a.upper as usize].addr);
+            assert_eq!(*path.last().unwrap(), ms.nodes[a.lower as usize].addr);
+        }
+    }
+
+    #[test]
+    fn blocked_build_flags_boundary_nodes() {
+        let dims = Dims::new(9, 9, 9);
+        let f = msp_synth::white_noise(dims, 5);
+        let d = Decomposition::bisect(dims, 2);
+        let mut boundary_total = 0;
+        for b in d.blocks() {
+            let (ms, stats) = build_block_complex(
+                &f.extract_block(b),
+                &d,
+                TraceLimits::default(),
+            );
+            ms.check_integrity().unwrap();
+            boundary_total += stats.boundary_nodes;
+            for n in &ms.nodes {
+                let c = msp_grid::RCoord::from_address(n.addr, &ms.refined);
+                assert_eq!(n.boundary, d.owners(c).is_shared());
+            }
+        }
+        assert!(boundary_total > 0, "shared face must carry spurious nodes");
+    }
+}

@@ -1,0 +1,247 @@
+//! Visualization and analysis exports of the 1-skeleton.
+//!
+//! The paper's pipeline ends in interactive visualization (Fig 1); this
+//! module writes the living complex in two portable forms:
+//!
+//! * **legacy VTK polydata** (`.vtk`, ASCII) — nodes as points, arcs as
+//!   polylines through their V-path cell centres, with point data
+//!   (Morse index, scalar value) and cell data (persistence of the arc's
+//!   endpoints) so standard viewers (ParaView, VisIt) colour features
+//!   directly;
+//! * **CSV node table** — one row per living node for notebook analysis.
+//!
+//! Refined coordinates map to physical space as `coordinate / 2` (cell
+//! centres land on half-integers).
+
+use crate::skeleton::MsComplex;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Write the living 1-skeleton as legacy ASCII VTK polydata.
+pub fn write_vtk(ms: &MsComplex, path: &Path) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    let mut w = io::BufWriter::new(f);
+    write_vtk_to(ms, &mut w)
+}
+
+/// [`write_vtk`] into any writer (unit-testable).
+pub fn write_vtk_to(ms: &MsComplex, w: &mut impl Write) -> io::Result<()> {
+    let refined = ms.refined;
+    // collect points: every distinct cell address used by nodes or arc
+    // geometry becomes a point
+    let mut addrs: Vec<u64> = ms
+        .nodes
+        .iter()
+        .filter(|n| n.alive)
+        .map(|n| n.addr)
+        .collect();
+    let live_arcs: Vec<usize> = ms
+        .arcs
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.alive)
+        .map(|(i, _)| i)
+        .collect();
+    let arc_paths: Vec<Vec<u64>> = live_arcs
+        .iter()
+        .map(|&i| ms.flatten_geom(ms.arcs[i].geom))
+        .collect();
+    for p in &arc_paths {
+        addrs.extend_from_slice(p);
+    }
+    addrs.sort_unstable();
+    addrs.dedup();
+    let point_of = |addr: u64| addrs.binary_search(&addr).unwrap();
+
+    writeln!(w, "# vtk DataFile Version 3.0")?;
+    writeln!(w, "morse-smale 1-skeleton")?;
+    writeln!(w, "ASCII")?;
+    writeln!(w, "DATASET POLYDATA")?;
+    writeln!(w, "POINTS {} float", addrs.len())?;
+    for &a in &addrs {
+        let (i, j, k) = refined.coord(a);
+        writeln!(
+            w,
+            "{} {} {}",
+            i as f32 / 2.0,
+            j as f32 / 2.0,
+            k as f32 / 2.0
+        )?;
+    }
+    // vertices for the critical points
+    let live_nodes: Vec<usize> = ms
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.alive)
+        .map(|(i, _)| i)
+        .collect();
+    writeln!(w, "VERTICES {} {}", live_nodes.len(), 2 * live_nodes.len())?;
+    for &i in &live_nodes {
+        writeln!(w, "1 {}", point_of(ms.nodes[i].addr))?;
+    }
+    // polylines for the arcs
+    let total: usize = arc_paths.iter().map(|p| p.len() + 1).sum();
+    writeln!(w, "LINES {} {}", arc_paths.len(), total)?;
+    for p in &arc_paths {
+        write!(w, "{}", p.len())?;
+        for &a in p {
+            write!(w, " {}", point_of(a))?;
+        }
+        writeln!(w)?;
+    }
+    // point data: Morse index (-1 for plain path points) and value
+    writeln!(w, "POINT_DATA {}", addrs.len())?;
+    writeln!(w, "SCALARS morse_index int 1")?;
+    writeln!(w, "LOOKUP_TABLE default")?;
+    let mut index_of = vec![-1i32; addrs.len()];
+    for &i in &live_nodes {
+        index_of[point_of(ms.nodes[i].addr)] = ms.nodes[i].index as i32;
+    }
+    for v in &index_of {
+        writeln!(w, "{v}")?;
+    }
+    // cell data: persistence of each arc (|f(upper) − f(lower)|); the
+    // node VERTICES cells come first and carry 0
+    writeln!(w, "CELL_DATA {}", live_nodes.len() + arc_paths.len())?;
+    writeln!(w, "SCALARS arc_persistence float 1")?;
+    writeln!(w, "LOOKUP_TABLE default")?;
+    for _ in &live_nodes {
+        writeln!(w, "0")?;
+    }
+    for &i in &live_arcs {
+        let a = &ms.arcs[i];
+        let p = (ms.nodes[a.upper as usize].value - ms.nodes[a.lower as usize].value).abs();
+        writeln!(w, "{p}")?;
+    }
+    w.flush()
+}
+
+/// Write the living nodes as a CSV table:
+/// `node,index,value,x,y,z,boundary`.
+pub fn write_nodes_csv(ms: &MsComplex, path: &Path) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    let mut w = io::BufWriter::new(f);
+    write_nodes_csv_to(ms, &mut w)
+}
+
+/// [`write_nodes_csv`] into any writer.
+pub fn write_nodes_csv_to(ms: &MsComplex, w: &mut impl Write) -> io::Result<()> {
+    writeln!(w, "node,index,value,x,y,z,boundary")?;
+    for (i, n) in ms.nodes.iter().enumerate().filter(|(_, n)| n.alive) {
+        let (x, y, z) = ms.refined.coord(n.addr);
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{}",
+            i,
+            n.index,
+            n.value,
+            x as f32 / 2.0,
+            y as f32 / 2.0,
+            z as f32 / 2.0,
+            n.boundary as u8
+        )?;
+    }
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_block_complex;
+    use msp_grid::decomp::Decomposition;
+    use msp_grid::Dims;
+    use msp_morse::TraceLimits;
+
+    fn sample() -> MsComplex {
+        let dims = Dims::new(7, 7, 7);
+        let f = msp_synth::white_noise(dims, 5);
+        let d = Decomposition::bisect(dims, 1);
+        build_block_complex(&f.extract_block(d.block(0)), &d, TraceLimits::default()).0
+    }
+
+    #[test]
+    fn vtk_structure_is_well_formed() {
+        let ms = sample();
+        let mut out = Vec::new();
+        write_vtk_to(&ms, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("# vtk DataFile Version 3.0"));
+        // declared counts match emitted lines
+        let points_decl: usize = text
+            .lines()
+            .find(|l| l.starts_with("POINTS"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .unwrap()
+            .parse()
+            .unwrap();
+        let points_start = text
+            .lines()
+            .position(|l| l.starts_with("POINTS"))
+            .unwrap();
+        let coords: Vec<&str> = text
+            .lines()
+            .skip(points_start + 1)
+            .take(points_decl)
+            .collect();
+        assert_eq!(coords.len(), points_decl);
+        for c in coords {
+            assert_eq!(c.split_whitespace().count(), 3);
+        }
+        let lines_decl: usize = text
+            .lines()
+            .find(|l| l.starts_with("LINES"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(lines_decl as u64, ms.n_live_arcs());
+        assert!(text.contains("SCALARS morse_index int 1"));
+        assert!(text.contains("SCALARS arc_persistence float 1"));
+    }
+
+    #[test]
+    fn vtk_line_indices_in_range() {
+        let ms = sample();
+        let mut out = Vec::new();
+        write_vtk_to(&ms, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let points_decl: usize = text
+            .lines()
+            .find(|l| l.starts_with("POINTS"))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .unwrap()
+            .parse()
+            .unwrap();
+        let lines_pos = text.lines().position(|l| l.starts_with("LINES")).unwrap();
+        let lines_decl: usize = text
+            .lines()
+            .nth(lines_pos)
+            .and_then(|l| l.split_whitespace().nth(1))
+            .unwrap()
+            .parse()
+            .unwrap();
+        for l in text.lines().skip(lines_pos + 1).take(lines_decl) {
+            let mut it = l.split_whitespace();
+            let n: usize = it.next().unwrap().parse().unwrap();
+            let ids: Vec<usize> = it.map(|v| v.parse().unwrap()).collect();
+            assert_eq!(ids.len(), n);
+            assert!(ids.iter().all(|&i| i < points_decl));
+        }
+    }
+
+    #[test]
+    fn csv_rows_match_live_nodes() {
+        let ms = sample();
+        let mut out = Vec::new();
+        write_nodes_csv_to(&ms, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let rows = text.lines().count() - 1; // header
+        assert_eq!(rows as u64, ms.n_live_nodes());
+        // header intact and rows have 7 fields
+        assert_eq!(text.lines().next().unwrap(), "node,index,value,x,y,z,boundary");
+        for row in text.lines().skip(1) {
+            assert_eq!(row.split(',').count(), 7);
+        }
+    }
+}

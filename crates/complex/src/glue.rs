@@ -1,0 +1,236 @@
+//! Gluing MS complexes of neighbouring block groups (paper §IV-F3).
+//!
+//! Both complexes computed their gradient identically on the shared
+//! boundary, so every critical cell there is a node in both — these
+//! shared nodes anchor the glue:
+//!
+//! 1. every node of the incoming complex not matched by address in the
+//!    root is added;
+//! 2. every arc of the incoming complex is added **unless both endpoints
+//!    are shared-boundary matches** (such arcs lie entirely in the shared
+//!    face and already exist in the root);
+//! 3. boundary flags are recomputed against the merged member-block set,
+//!    turning interior boundary artifacts into cancellation candidates.
+
+use crate::skeleton::{MsComplex, NodeId};
+use msp_grid::Decomposition;
+
+/// Statistics from one glue operation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GlueStats {
+    pub matched_nodes: u64,
+    pub added_nodes: u64,
+    pub added_arcs: u64,
+    pub skipped_shared_arcs: u64,
+}
+
+/// Glue `incoming` onto `root`. Both must be compacted (live-only)
+/// complexes over the same refined grid.
+pub fn glue(root: &mut MsComplex, incoming: &MsComplex, decomp: &Decomposition) -> GlueStats {
+    glue_with(root, incoming, decomp, true)
+}
+
+/// [`glue`] with explicit control over shared-arc deduplication.
+///
+/// In the standard pipeline (`dedup_shared_arcs = true`) an arc whose
+/// endpoints both match existing root nodes lies entirely in the shared
+/// face and is guaranteed to be a duplicate. Complexes produced by
+/// [partitioning](../../msp_core/redistribute/index.html) store each arc
+/// exactly once, so reassembling them must *not* drop those arcs —
+/// pass `false`.
+pub fn glue_with(
+    root: &mut MsComplex,
+    incoming: &MsComplex,
+    _decomp: &Decomposition,
+    dedup_shared_arcs: bool,
+) -> GlueStats {
+    assert_eq!(root.refined, incoming.refined, "complexes must share a domain");
+    let mut stats = GlueStats::default();
+
+    // map incoming node id -> (root node id, was it a shared match).
+    // Matching is by global address alone: in the standard pipeline only
+    // shared-boundary critical cells can collide (interior cells are
+    // unique to a block), and partitioned complexes additionally carry
+    // stub replicas that must unify with their originals.
+    let mut node_map: Vec<(NodeId, bool)> = Vec::with_capacity(incoming.nodes.len());
+    for n in &incoming.nodes {
+        debug_assert!(n.alive, "incoming complex must be compacted");
+        if let Some(existing) = root.node_at(n.addr) {
+            debug_assert_eq!(root.nodes[existing as usize].index, n.index);
+            stats.matched_nodes += 1;
+            node_map.push((existing, true));
+            continue;
+        }
+        let id = root.add_node(n.addr, n.index, n.value, n.boundary);
+        stats.added_nodes += 1;
+        node_map.push((id, false));
+    }
+
+    let mut geom_map = std::collections::HashMap::new();
+    for a in &incoming.arcs {
+        debug_assert!(a.alive);
+        let (u, u_shared) = node_map[a.upper as usize];
+        let (l, l_shared) = node_map[a.lower as usize];
+        if dedup_shared_arcs && u_shared && l_shared {
+            // the arc lies entirely in the shared face; the root holds it
+            debug_assert!(
+                root.multiplicity(u, l) >= 1,
+                "shared-face arc must already exist in the root"
+            );
+            stats.skipped_shared_arcs += 1;
+            continue;
+        }
+        let g = incoming.copy_geom_into(a.geom, root, &mut geom_map);
+        root.add_arc(u, l, g);
+        stats.added_arcs += 1;
+    }
+
+    // merged member set
+    let mut members = root.member_blocks.clone();
+    members.extend_from_slice(&incoming.member_blocks);
+    members.sort_unstable();
+    members.dedup();
+    root.member_blocks = members;
+    stats
+}
+
+/// Glue several complexes onto a root and recompute boundary flags once.
+pub fn glue_all(
+    root: &mut MsComplex,
+    incoming: &[MsComplex],
+    decomp: &Decomposition,
+) -> GlueStats {
+    glue_all_with(root, incoming, decomp, true)
+}
+
+/// [`glue_all`] with explicit shared-arc deduplication control (see
+/// [`glue_with`]).
+pub fn glue_all_with(
+    root: &mut MsComplex,
+    incoming: &[MsComplex],
+    decomp: &Decomposition,
+    dedup_shared_arcs: bool,
+) -> GlueStats {
+    let mut total = GlueStats::default();
+    for inc in incoming {
+        let s = glue_with(root, inc, decomp, dedup_shared_arcs);
+        total.matched_nodes += s.matched_nodes;
+        total.added_nodes += s.added_nodes;
+        total.added_arcs += s.added_arcs;
+        total.skipped_shared_arcs += s.skipped_shared_arcs;
+    }
+    root.reflag_boundaries(decomp);
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_block_complex;
+    use crate::simplify::{simplify, SimplifyParams};
+    use msp_grid::{Dims, ScalarField};
+    use msp_morse::TraceLimits;
+
+    fn block_complexes(f: &ScalarField, n_blocks: u32) -> (Decomposition, Vec<MsComplex>) {
+        let d = Decomposition::bisect(f.dims(), n_blocks);
+        let cs = d
+            .blocks()
+            .iter()
+            .map(|b| {
+                let (mut ms, _) =
+                    build_block_complex(&f.extract_block(b), &d, TraceLimits::default());
+                ms.compact();
+                ms
+            })
+            .collect();
+        (d, cs)
+    }
+
+    #[test]
+    fn glue_two_blocks_conserves_distinct_nodes() {
+        let dims = Dims::new(9, 9, 9);
+        let f = msp_synth::white_noise(dims, 31);
+        let (d, mut cs) = block_complexes(&f, 2);
+        let unique_addrs: std::collections::HashSet<u64> = cs
+            .iter()
+            .flat_map(|c| c.nodes.iter().map(|n| n.addr))
+            .collect();
+        let inc = cs.pop().unwrap();
+        let mut root = cs.pop().unwrap();
+        let stats = glue_all(&mut root, &[inc], &d);
+        assert!(stats.matched_nodes > 0, "shared plane must anchor the glue");
+        assert_eq!(root.n_live_nodes() as usize, unique_addrs.len());
+        root.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn reflag_clears_interior_boundary_nodes() {
+        let dims = Dims::new(9, 9, 9);
+        let f = msp_synth::white_noise(dims, 5);
+        let (d, mut cs) = block_complexes(&f, 2);
+        let inc = cs.pop().unwrap();
+        let mut root = cs.pop().unwrap();
+        glue_all(&mut root, &[inc], &d);
+        // both blocks merged: complex covers the whole domain, so no node
+        // may remain flagged boundary
+        assert!(
+            root.nodes.iter().filter(|n| n.alive).all(|n| !n.boundary),
+            "full merge leaves no boundary nodes"
+        );
+    }
+
+    #[test]
+    fn partial_merge_keeps_outer_boundary() {
+        let dims = Dims::new(9, 9, 9);
+        let f = msp_synth::white_noise(dims, 5);
+        let (d, cs) = block_complexes(&f, 4);
+        let mut root = cs[0].clone();
+        glue_all(&mut root, &[cs[1].clone()], &d);
+        assert_eq!(root.member_blocks.len(), 2);
+        // nodes shared with blocks 2/3 must stay boundary
+        let still_boundary = root.nodes.iter().filter(|n| n.alive && n.boundary).count();
+        assert!(still_boundary > 0, "faces to unmerged blocks stay boundary");
+    }
+
+    #[test]
+    fn glued_and_serial_agree_after_full_simplification() {
+        // The paper's stability property (§V-A): significant features
+        // survive blocking. Use a clean two-bump field: after a full merge
+        // and matching simplification, the parallel complex must show the
+        // same significant maxima as the serial one.
+        let dims = Dims::new(17, 9, 9);
+        let f = ScalarField::from_fn(dims, |x, y, z| {
+            let b = |cx: f32| {
+                (-((x as f32 - cx).powi(2)
+                    + (y as f32 - 4.0).powi(2)
+                    + (z as f32 - 4.0).powi(2))
+                    / 6.0)
+                    .exp()
+            };
+            b(4.0) + b(12.0)
+                + 0.001 * msp_synth::basic::hash_unit(3, dims.vertex_index(x, y, z))
+        });
+        // serial
+        let d1 = Decomposition::bisect(dims, 1);
+        let (mut serial, _) = build_block_complex(
+            &f.extract_block(d1.block(0)),
+            &d1,
+            TraceLimits::default(),
+        );
+        simplify(&mut serial, SimplifyParams::up_to(0.05));
+        // parallel: 4 blocks, glue all, then simplify at the same level
+        let (d4, mut cs) = block_complexes(&f, 4);
+        let mut root = cs.remove(0);
+        let rest: Vec<_> = cs.drain(..).collect();
+        glue_all(&mut root, &rest, &d4);
+        simplify(&mut root, SimplifyParams::up_to(0.05));
+        assert_eq!(
+            root.node_census()[3],
+            serial.node_census()[3],
+            "stable maxima must agree (serial {:?} vs parallel {:?})",
+            serial.node_census(),
+            root.node_census()
+        );
+        root.check_integrity().unwrap();
+    }
+}

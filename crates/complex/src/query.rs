@@ -1,0 +1,452 @@
+//! Analysis queries over a living MS complex: the feature-extraction and
+//! statistics layer the paper's Fig 1 pipeline motivates ("designing
+//! interactive queries on the graph structure").
+
+use crate::skeleton::{ArcId, MsComplex, NodeId};
+use std::collections::HashMap;
+
+/// Living nodes of a given Morse index with value at least `min_value`.
+pub fn nodes_by_index_above(ms: &MsComplex, index: u8, min_value: f32) -> Vec<NodeId> {
+    ms.nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.alive && n.index == index && n.value >= min_value)
+        .map(|(i, _)| i as NodeId)
+        .collect()
+}
+
+/// Living arcs whose endpoints have the given indices (`lower_index`,
+/// `lower_index + 1`), e.g. `2` selects the 2-saddle→maximum filaments.
+pub fn arcs_of_type(ms: &MsComplex, lower_index: u8) -> Vec<ArcId> {
+    ms.arcs
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.alive && ms.nodes[a.lower as usize].index == lower_index)
+        .map(|(i, _)| i as ArcId)
+        .collect()
+}
+
+/// The paper's Fig 1 / Fig 4 feature filter: the subgraph of
+/// 2-saddle→maximum arcs whose *both* endpoint values exceed `threshold`
+/// — the filament network of a ridge-like structure.
+pub fn filament_subgraph(ms: &MsComplex, threshold: f32) -> Vec<ArcId> {
+    ms.arcs
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| {
+            a.alive && {
+                let u = &ms.nodes[a.upper as usize];
+                let l = &ms.nodes[a.lower as usize];
+                u.index == 3 && u.value >= threshold && l.value >= threshold
+            }
+        })
+        .map(|(i, _)| i as ArcId)
+        .collect()
+}
+
+/// Summary statistics of an arc subset interpreted as an embedded graph:
+/// node count, edge count, connected components, total geometric length
+/// (in path cells) and independent cycle count (first Betti number of the
+/// subgraph).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphStats {
+    pub nodes: u64,
+    pub edges: u64,
+    pub components: u64,
+    pub cycles: u64,
+    pub total_length_cells: u64,
+}
+
+/// Compute [`GraphStats`] for a set of arcs (e.g. a filament subgraph).
+pub fn graph_stats(ms: &MsComplex, arcs: &[ArcId]) -> GraphStats {
+    let mut node_ids: Vec<NodeId> = arcs
+        .iter()
+        .flat_map(|&a| {
+            let arc = &ms.arcs[a as usize];
+            [arc.upper, arc.lower]
+        })
+        .collect();
+    node_ids.sort_unstable();
+    node_ids.dedup();
+    let index: HashMap<NodeId, usize> = node_ids
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (n, i))
+        .collect();
+    // union-find over the subgraph
+    let mut parent: Vec<usize> = (0..node_ids.len()).collect();
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut total_len = 0u64;
+    for &a in arcs {
+        let arc = &ms.arcs[a as usize];
+        let (u, l) = (index[&arc.upper], index[&arc.lower]);
+        let (ru, rl) = (find(&mut parent, u), find(&mut parent, l));
+        if ru != rl {
+            parent[ru] = rl;
+        }
+        total_len += ms.geom_len(arc.geom);
+    }
+    let mut roots: Vec<usize> = (0..node_ids.len())
+        .map(|i| find(&mut parent, i))
+        .collect();
+    roots.sort_unstable();
+    roots.dedup();
+    let components = roots.len() as u64;
+    let nodes = node_ids.len() as u64;
+    let edges = arcs.len() as u64;
+    // beta_1 = E - V + C for a graph
+    let cycles = edges + components - nodes;
+    GraphStats {
+        nodes,
+        edges,
+        components,
+        cycles,
+        total_length_cells: total_len,
+    }
+}
+
+/// One point of the persistence curve: after cancelling everything with
+/// persistence ≤ `p`, `live_nodes` remain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PersistencePoint {
+    pub persistence: f32,
+    pub live_nodes: u64,
+}
+
+/// The multi-resolution view the hierarchy encodes (paper §III-C): node
+/// counts as a function of the simplification threshold, derived from the
+/// cancellation log without recomputation.
+pub fn persistence_curve(ms: &MsComplex) -> Vec<PersistencePoint> {
+    let total = ms.n_live_nodes() + 2 * ms.hierarchy.len() as u64;
+    let mut out = vec![PersistencePoint {
+        persistence: 0.0,
+        live_nodes: total,
+    }];
+    let mut live = total;
+    for c in &ms.hierarchy {
+        live -= 2;
+        out.push(PersistencePoint {
+            persistence: c.persistence,
+            live_nodes: live,
+        });
+    }
+    out
+}
+
+/// Number of living nodes whose feature persisted beyond `p` — alive
+/// nodes plus nodes cancelled at persistence > `p`. This is the
+/// blocking-stability metric of Fig 4.
+pub fn nodes_surviving(ms: &MsComplex, p: f32) -> u64 {
+    ms.nodes
+        .iter()
+        .filter(|n| n.alive || n.cancel_persistence > p)
+        .count() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_block_complex;
+    use crate::simplify::{simplify, SimplifyParams};
+    use msp_grid::decomp::Decomposition;
+    use msp_grid::Dims;
+    use msp_morse::TraceLimits;
+
+    fn noise_complex(seed: u64) -> MsComplex {
+        let dims = Dims::new(8, 8, 8);
+        let f = msp_synth::white_noise(dims, seed);
+        let d = Decomposition::bisect(dims, 1);
+        build_block_complex(&f.extract_block(d.block(0)), &d, TraceLimits::default()).0
+    }
+
+    #[test]
+    fn filters_select_correct_indices() {
+        let ms = noise_complex(42);
+        for &a in &arcs_of_type(&ms, 2) {
+            assert_eq!(ms.arcs[a as usize].lower, ms.arcs[a as usize].lower);
+            assert_eq!(ms.nodes[ms.arcs[a as usize].lower as usize].index, 2);
+            assert_eq!(ms.nodes[ms.arcs[a as usize].upper as usize].index, 3);
+        }
+        for &n in &nodes_by_index_above(&ms, 3, 0.9) {
+            let node = &ms.nodes[n as usize];
+            assert_eq!(node.index, 3);
+            assert!(node.value >= 0.9);
+        }
+    }
+
+    #[test]
+    fn filament_threshold_filters_both_endpoints() {
+        let ms = noise_complex(7);
+        let t = 0.5;
+        for &a in &filament_subgraph(&ms, t) {
+            let arc = &ms.arcs[a as usize];
+            assert!(ms.nodes[arc.upper as usize].value >= t);
+            assert!(ms.nodes[arc.lower as usize].value >= t);
+        }
+    }
+
+    #[test]
+    fn graph_stats_on_known_graph() {
+        // two nodes, one edge: 1 component, 0 cycles
+        let mut ms = MsComplex::new(Dims::new(4, 4, 4).refined(), vec![0]);
+        let a = ms.add_node(0, 2, 1.0, false);
+        let b = ms.add_node(1, 3, 2.0, false);
+        let g = ms.add_leaf_geom(&[1, 5, 0]);
+        let arc = ms.add_arc(b, a, g);
+        let s = graph_stats(&ms, &[arc]);
+        assert_eq!(
+            s,
+            GraphStats {
+                nodes: 2,
+                edges: 1,
+                components: 1,
+                cycles: 0,
+                total_length_cells: 3
+            }
+        );
+        // add a parallel arc: one independent cycle appears
+        let g2 = ms.add_leaf_geom(&[1, 7, 0]);
+        let arc2 = ms.add_arc(b, a, g2);
+        let s2 = graph_stats(&ms, &[arc, arc2]);
+        assert_eq!(s2.cycles, 1);
+        assert_eq!(s2.components, 1);
+    }
+
+    #[test]
+    fn persistence_curve_monotone() {
+        let mut ms = noise_complex(13);
+        simplify(&mut ms, SimplifyParams::up_to(f32::INFINITY));
+        let curve = persistence_curve(&ms);
+        assert!(curve.len() > 1);
+        for w in curve.windows(2) {
+            assert!(w[1].live_nodes < w[0].live_nodes);
+        }
+        assert_eq!(curve.last().unwrap().live_nodes, ms.n_live_nodes());
+    }
+
+    #[test]
+    fn min_cut_known_graphs() {
+        let mut ms = MsComplex::new(Dims::new(4, 4, 4).refined(), vec![0]);
+        // a path a - b(max) - ... build: maxes m1,m2; saddles s1 between
+        let s1 = ms.add_node(0, 2, 0.5, false);
+        let m1 = ms.add_node(1, 3, 1.0, false);
+        let m2 = ms.add_node(2, 3, 2.0, false);
+        let g = ms.add_leaf_geom(&[0]);
+        let a1 = ms.add_arc(m1, s1, g);
+        let a2 = ms.add_arc(m2, s1, g);
+        // path graph: min cut 1
+        assert_eq!(min_cut(&ms, &[a1, a2]), Some(1));
+        // doubled edges: min cut 2
+        let a3 = ms.add_arc(m1, s1, g);
+        let a4 = ms.add_arc(m2, s1, g);
+        assert_eq!(min_cut(&ms, &[a1, a2, a3, a4]), Some(2));
+        // single node: undefined
+        assert_eq!(min_cut(&ms, &[]), None);
+        // disconnected graph: cut 0
+        let s2 = ms.add_node(3, 2, 0.1, false);
+        let m3 = ms.add_node(4, 3, 0.2, false);
+        let a5 = ms.add_arc(m3, s2, g);
+        assert_eq!(min_cut(&ms, &[a1, a5]), Some(0));
+    }
+
+    #[test]
+    fn min_cut_on_cycle_is_two() {
+        let mut ms = MsComplex::new(Dims::new(4, 4, 4).refined(), vec![0]);
+        // square cycle: s1-m1-s2-m2-s1
+        let s1 = ms.add_node(0, 2, 0.1, false);
+        let s2 = ms.add_node(1, 2, 0.2, false);
+        let m1 = ms.add_node(2, 3, 1.0, false);
+        let m2 = ms.add_node(3, 3, 1.1, false);
+        let g = ms.add_leaf_geom(&[0]);
+        let arcs = [
+            ms.add_arc(m1, s1, g),
+            ms.add_arc(m1, s2, g),
+            ms.add_arc(m2, s1, g),
+            ms.add_arc(m2, s2, g),
+        ];
+        assert_eq!(min_cut(&ms, &arcs), Some(2), "a cycle needs two cuts");
+    }
+
+    #[test]
+    fn top_k_ranks_alive_first() {
+        let mut ms = noise_complex(3);
+        simplify(&mut ms, SimplifyParams::up_to(0.4));
+        let top = top_k_features(&ms, 3, 5);
+        assert!(!top.is_empty());
+        // prominence is non-increasing
+        for w in top.windows(2) {
+            assert!(w[0].prominence >= w[1].prominence);
+        }
+        // alive maxima (infinite prominence) come first
+        let n_alive = ms.node_census()[3] as usize;
+        for f in top.iter().take(n_alive.min(top.len())) {
+            assert!(f.prominence.is_infinite());
+        }
+    }
+
+    #[test]
+    fn arc_length_stats_consistent() {
+        let ms = noise_complex(9);
+        let s = arc_length_stats(&ms).expect("arcs exist");
+        assert_eq!(s.count, ms.n_live_arcs());
+        assert!(s.min <= s.median && s.median <= s.max);
+        assert!(s.mean >= s.min as f64 && s.mean <= s.max as f64);
+        // arcs contain at least the two endpoints
+        assert!(s.min >= 2);
+    }
+
+    #[test]
+    fn nodes_surviving_decreases_with_threshold() {
+        let mut ms = noise_complex(99);
+        simplify(&mut ms, SimplifyParams::up_to(f32::INFINITY));
+        let s0 = nodes_surviving(&ms, 0.0);
+        let s5 = nodes_surviving(&ms, 0.5);
+        let s_inf = nodes_surviving(&ms, f32::INFINITY);
+        assert!(s0 >= s5);
+        assert!(s5 >= s_inf);
+        assert_eq!(s_inf, ms.n_live_nodes());
+    }
+}
+
+/// Minimum cut of an arc subset interpreted as an unweighted multigraph
+/// (Stoer-Wagner). Returns `None` for graphs with fewer than two nodes;
+/// a disconnected graph has cut 0. The paper's Fig 1 lists the minimum
+/// cut among the filament statistics a scientist extracts interactively.
+pub fn min_cut(ms: &MsComplex, arcs: &[ArcId]) -> Option<u64> {
+    // collect vertices
+    let mut ids: Vec<NodeId> = arcs
+        .iter()
+        .flat_map(|&a| {
+            let arc = &ms.arcs[a as usize];
+            [arc.upper, arc.lower]
+        })
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    let n = ids.len();
+    if n < 2 {
+        return None;
+    }
+    let index: HashMap<NodeId, usize> = ids.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    // dense weight matrix (filament graphs are small after filtering)
+    let mut w = vec![vec![0u64; n]; n];
+    for &a in arcs {
+        let arc = &ms.arcs[a as usize];
+        let (u, v) = (index[&arc.upper], index[&arc.lower]);
+        w[u][v] += 1;
+        w[v][u] += 1;
+    }
+    // Stoer-Wagner with vertex merging
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut best = u64::MAX;
+    while active.len() > 1 {
+        // maximum-adjacency search
+        let mut weights = vec![0u64; n];
+        let mut order = Vec::with_capacity(active.len());
+        let mut in_a = vec![false; n];
+        for _ in 0..active.len() {
+            let &next = active
+                .iter()
+                .filter(|&&v| !in_a[v])
+                .max_by_key(|&&v| weights[v])
+                .unwrap();
+            in_a[next] = true;
+            order.push(next);
+            for &v in &active {
+                if !in_a[v] {
+                    weights[v] += w[next][v];
+                }
+            }
+        }
+        let t = *order.last().unwrap();
+        let s = order[order.len() - 2];
+        best = best.min(weights[t]);
+        // merge t into s
+        for &v in &active {
+            if v != t && v != s {
+                w[s][v] += w[t][v];
+                w[v][s] = w[s][v];
+            }
+        }
+        active.retain(|&v| v != t);
+    }
+    Some(best)
+}
+
+/// A feature ranked by the persistence at which it disappears: alive
+/// nodes rank `f32::INFINITY`.
+#[derive(Debug, Clone, Copy)]
+pub struct RankedFeature {
+    pub node: NodeId,
+    pub index: u8,
+    pub value: f32,
+    pub prominence: f32,
+}
+
+/// The `k` most prominent features of a given Morse index, ranked by
+/// cancellation persistence (alive nodes first, then by the threshold at
+/// which they were simplified away). Requires the hierarchy of a
+/// simplification run; nodes never touched rank as fully persistent.
+pub fn top_k_features(ms: &MsComplex, index: u8, k: usize) -> Vec<RankedFeature> {
+    let mut out: Vec<RankedFeature> = ms
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.index == index)
+        .map(|(i, n)| RankedFeature {
+            node: i as NodeId,
+            index: n.index,
+            value: n.value,
+            prominence: n.cancel_persistence,
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.prominence
+            .total_cmp(&a.prominence)
+            .then(b.value.total_cmp(&a.value))
+    });
+    out.truncate(k);
+    out
+}
+
+/// Distribution summary of living-arc geometric lengths (in path cells):
+/// count, min, median, max, mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LengthStats {
+    pub count: u64,
+    pub min: u64,
+    pub median: u64,
+    pub max: u64,
+    pub mean: f64,
+}
+
+/// Compute [`LengthStats`] over all living arcs (the paper's observation
+/// that arc geometry cost scales with `n^(1/3)` is checked against this
+/// in the test suite).
+pub fn arc_length_stats(ms: &MsComplex) -> Option<LengthStats> {
+    let mut lens: Vec<u64> = ms
+        .arcs
+        .iter()
+        .filter(|a| a.alive)
+        .map(|a| ms.geom_len(a.geom))
+        .collect();
+    if lens.is_empty() {
+        return None;
+    }
+    lens.sort_unstable();
+    let count = lens.len() as u64;
+    let sum: u64 = lens.iter().sum();
+    Some(LengthStats {
+        count,
+        min: lens[0],
+        median: lens[lens.len() / 2],
+        max: *lens.last().unwrap(),
+        mean: sum as f64 / count as f64,
+    })
+}

@@ -1,0 +1,505 @@
+//! Flat-array storage of the MS complex 1-skeleton.
+//!
+//! Nodes and arcs are constant-sized records in `Vec`s ([11]); arc
+//! geometry is a DAG of geometry records — a `Leaf` is a range into one
+//! shared address buffer, and a `Cancel` record references the three
+//! geometries a cancellation concatenates (paper §IV-E: "the geometry of
+//! the new arcs is inherited from the deleted arcs, and a new geometry
+//! object is created that references the geometry objects that were
+//! merged"). Deletion is by tombstone (`alive` flags) so record ids stay
+//! stable; [`MsComplex::compact`] rebuilds dense arrays before
+//! communication.
+
+use msp_grid::dims::RefinedDims;
+use msp_grid::RCoord;
+use std::collections::HashMap;
+
+pub type NodeId = u32;
+pub type ArcId = u32;
+pub type GeomId = u32;
+
+/// A node of the complex: a critical cell.
+#[derive(Debug, Clone, Copy)]
+pub struct Node {
+    /// Global cell address on the refined grid of the full dataset.
+    pub addr: u64,
+    /// Morse index (0 = minimum … 3 = maximum) = dimension of the cell.
+    pub index: u8,
+    /// Function value of the critical cell.
+    pub value: f32,
+    /// True while the node lies on a boundary shared with a block outside
+    /// this complex (such nodes may never be cancelled).
+    pub boundary: bool,
+    pub alive: bool,
+    /// Persistence at which this node was cancelled (`f32::INFINITY`
+    /// while alive) — lets stability studies rank features without
+    /// replaying the hierarchy.
+    pub cancel_persistence: f32,
+}
+
+/// An arc between critical cells of adjacent index.
+#[derive(Debug, Clone, Copy)]
+pub struct Arc {
+    /// Node of index `d`.
+    pub upper: NodeId,
+    /// Node of index `d − 1`.
+    pub lower: NodeId,
+    pub geom: GeomId,
+    pub alive: bool,
+}
+
+/// Geometry record: either a verbatim V-path or a cancellation splice.
+#[derive(Debug, Clone, Copy)]
+pub enum GeomRec {
+    /// `addr_buf[offset .. offset + len]`, ordered from the upper node's
+    /// cell to the lower node's cell.
+    Leaf { offset: u64, len: u32 },
+    /// Concatenation `first ++ reverse(mid) ++ last`, produced when a
+    /// cancellation splices `x→l`, reversed `u→l`, and `u→y` into `x→y`.
+    Cancel {
+        first: GeomId,
+        mid: GeomId,
+        last: GeomId,
+    },
+}
+
+/// A recorded cancellation (one level of the simplification hierarchy).
+#[derive(Debug, Clone)]
+pub struct Cancellation {
+    pub persistence: f32,
+    pub upper: NodeId,
+    pub lower: NodeId,
+    pub n_deleted_arcs: u32,
+    pub n_created_arcs: u32,
+}
+
+/// The 1-skeleton of a Morse-Smale complex covering one or more blocks.
+#[derive(Debug, Clone, Default)]
+pub struct MsComplex {
+    pub nodes: Vec<Node>,
+    pub arcs: Vec<Arc>,
+    pub(crate) geoms: Vec<GeomRec>,
+    pub(crate) addr_buf: Vec<u64>,
+    /// Arc ids incident to each node (may contain dead arcs; filtered on
+    /// access).
+    adj: Vec<Vec<ArcId>>,
+    /// Global address → node id, for boundary matching during gluing.
+    addr_index: HashMap<u64, NodeId>,
+    /// Refined dims of the full dataset (address codec).
+    pub refined: RefinedDims,
+    /// Blocks merged into this complex, sorted.
+    pub member_blocks: Vec<u32>,
+    /// Cancellation log, in simplification order.
+    pub hierarchy: Vec<Cancellation>,
+}
+
+impl MsComplex {
+    pub fn new(refined: RefinedDims, member_blocks: Vec<u32>) -> Self {
+        let mut member_blocks = member_blocks;
+        member_blocks.sort_unstable();
+        MsComplex {
+            refined,
+            member_blocks,
+            ..Default::default()
+        }
+    }
+
+    /// Add a node; panics if a node with the same address already exists.
+    pub fn add_node(&mut self, addr: u64, index: u8, value: f32, boundary: bool) -> NodeId {
+        debug_assert!(index <= 3);
+        let id = self.nodes.len() as NodeId;
+        let prev = self.addr_index.insert(addr, id);
+        assert!(prev.is_none(), "duplicate node address {addr}");
+        self.nodes.push(Node {
+            addr,
+            index,
+            value,
+            boundary,
+            alive: true,
+            cancel_persistence: f32::INFINITY,
+        });
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Add an arc between `upper` (index d) and `lower` (index d−1).
+    pub fn add_arc(&mut self, upper: NodeId, lower: NodeId, geom: GeomId) -> ArcId {
+        debug_assert_eq!(
+            self.nodes[upper as usize].index,
+            self.nodes[lower as usize].index + 1,
+            "arc endpoints must differ by one in index"
+        );
+        let id = self.arcs.len() as ArcId;
+        self.arcs.push(Arc {
+            upper,
+            lower,
+            geom,
+            alive: true,
+        });
+        self.adj[upper as usize].push(id);
+        self.adj[lower as usize].push(id);
+        id
+    }
+
+    /// Store a verbatim V-path as a leaf geometry.
+    pub fn add_leaf_geom(&mut self, path: &[u64]) -> GeomId {
+        let id = self.geoms.len() as GeomId;
+        self.geoms.push(GeomRec::Leaf {
+            offset: self.addr_buf.len() as u64,
+            len: path.len() as u32,
+        });
+        self.addr_buf.extend_from_slice(path);
+        id
+    }
+
+    /// Store a cancellation-splice geometry.
+    pub fn add_cancel_geom(&mut self, first: GeomId, mid: GeomId, last: GeomId) -> GeomId {
+        let id = self.geoms.len() as GeomId;
+        self.geoms.push(GeomRec::Cancel { first, mid, last });
+        id
+    }
+
+    /// Resolve a geometry record to the flat list of cell addresses,
+    /// ordered from the upper end to the lower end.
+    pub fn flatten_geom(&self, g: GeomId) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.flatten_into(g, false, &mut out);
+        out
+    }
+
+    fn flatten_into(&self, g: GeomId, rev: bool, out: &mut Vec<u64>) {
+        match self.geoms[g as usize] {
+            GeomRec::Leaf { offset, len } => {
+                let s = &self.addr_buf[offset as usize..offset as usize + len as usize];
+                if rev {
+                    out.extend(s.iter().rev());
+                } else {
+                    out.extend_from_slice(s);
+                }
+            }
+            GeomRec::Cancel { first, mid, last } => {
+                if rev {
+                    self.flatten_into(last, true, out);
+                    self.flatten_into(mid, false, out);
+                    self.flatten_into(first, true, out);
+                } else {
+                    self.flatten_into(first, false, out);
+                    self.flatten_into(mid, true, out);
+                    self.flatten_into(last, false, out);
+                }
+            }
+        }
+    }
+
+    /// Total number of cells a geometry resolves to (without
+    /// materializing it).
+    pub fn geom_len(&self, g: GeomId) -> u64 {
+        match self.geoms[g as usize] {
+            GeomRec::Leaf { len, .. } => len as u64,
+            GeomRec::Cancel { first, mid, last } => {
+                self.geom_len(first) + self.geom_len(mid) + self.geom_len(last)
+            }
+        }
+    }
+
+    /// Node id at a global address, if present.
+    pub fn node_at(&self, addr: u64) -> Option<NodeId> {
+        self.addr_index.get(&addr).copied()
+    }
+
+    /// The refined coordinate of a node.
+    pub fn node_coord(&self, n: NodeId) -> RCoord {
+        RCoord::from_address(self.nodes[n as usize].addr, &self.refined)
+    }
+
+    /// Living arcs incident to a node.
+    pub fn arcs_of(&self, n: NodeId) -> impl Iterator<Item = ArcId> + '_ {
+        self.adj[n as usize]
+            .iter()
+            .copied()
+            .filter(move |&a| self.arcs[a as usize].alive)
+    }
+
+    /// Living arcs from upper node `u` (index d) down to any lower node.
+    pub fn arcs_below(&self, u: NodeId) -> impl Iterator<Item = ArcId> + '_ {
+        self.arcs_of(u)
+            .filter(move |&a| self.arcs[a as usize].upper == u)
+    }
+
+    /// Living arcs into lower node `l` from any upper node.
+    pub fn arcs_above(&self, l: NodeId) -> impl Iterator<Item = ArcId> + '_ {
+        self.arcs_of(l)
+            .filter(move |&a| self.arcs[a as usize].lower == l)
+    }
+
+    /// Number of living arcs connecting `u` and `l`.
+    pub fn multiplicity(&self, u: NodeId, l: NodeId) -> usize {
+        self.arcs_of(u)
+            .filter(|&a| {
+                let arc = &self.arcs[a as usize];
+                arc.upper == u && arc.lower == l
+            })
+            .count()
+    }
+
+    /// Tombstone an arc.
+    pub fn kill_arc(&mut self, a: ArcId) {
+        self.arcs[a as usize].alive = false;
+    }
+
+    /// Drop dead arc ids from every adjacency list. Long simplification
+    /// runs leave tombstones behind that make incidence scans linear in
+    /// *historical* degree; pruning restores them to live degree.
+    pub fn prune_dead_adjacency(&mut self) {
+        let arcs = &self.arcs;
+        for adj in &mut self.adj {
+            adj.retain(|&a| arcs[a as usize].alive);
+        }
+    }
+
+    /// Tombstone a node, recording the persistence it was cancelled at.
+    pub fn kill_node(&mut self, n: NodeId, persistence: f32) {
+        let node = &mut self.nodes[n as usize];
+        node.alive = false;
+        node.cancel_persistence = persistence;
+        self.addr_index.remove(&node.addr);
+    }
+
+    /// Census of living nodes per Morse index.
+    pub fn node_census(&self) -> [u64; 4] {
+        let mut c = [0u64; 4];
+        for n in &self.nodes {
+            if n.alive {
+                c[n.index as usize] += 1;
+            }
+        }
+        c
+    }
+
+    pub fn n_live_nodes(&self) -> u64 {
+        self.nodes.iter().filter(|n| n.alive).count() as u64
+    }
+
+    pub fn n_live_arcs(&self) -> u64 {
+        self.arcs.iter().filter(|a| a.alive).count() as u64
+    }
+
+    /// Total number of path cells across all living arcs (geometry cost).
+    pub fn live_geometry_cells(&self) -> u64 {
+        self.arcs
+            .iter()
+            .filter(|a| a.alive)
+            .map(|a| self.geom_len(a.geom))
+            .sum()
+    }
+
+    /// Rebuild dense arrays: drop dead nodes/arcs, keep only geometry
+    /// records reachable from living arcs (preserving the sharing DAG —
+    /// the paper's geometry objects are stored by reference, §IV-E),
+    /// rebuild adjacency and the address index, and clear the hierarchy
+    /// (keeping only the coarsest level, as the paper does before
+    /// communication, §IV-F1).
+    pub fn compact(&mut self) {
+        let mut out = MsComplex::new(self.refined, self.member_blocks.clone());
+        let mut node_map: HashMap<NodeId, NodeId> = HashMap::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.alive {
+                let id = out.add_node(n.addr, n.index, n.value, n.boundary);
+                node_map.insert(i as NodeId, id);
+            }
+        }
+        let mut geom_map: HashMap<GeomId, GeomId> = HashMap::new();
+        for a in self.arcs.iter().filter(|a| a.alive) {
+            let g = self.copy_geom_into(a.geom, &mut out, &mut geom_map);
+            out.add_arc(node_map[&a.upper], node_map[&a.lower], g);
+        }
+        *self = out;
+    }
+
+    /// Recursively copy the geometry DAG rooted at `g` into `out`,
+    /// deduplicating shared records through `map`.
+    pub fn copy_geom_into(
+        &self,
+        g: GeomId,
+        out: &mut MsComplex,
+        map: &mut HashMap<GeomId, GeomId>,
+    ) -> GeomId {
+        if let Some(&id) = map.get(&g) {
+            return id;
+        }
+        let id = match self.geoms[g as usize] {
+            GeomRec::Leaf { offset, len } => {
+                let s = &self.addr_buf[offset as usize..offset as usize + len as usize];
+                out.add_leaf_geom(s)
+            }
+            GeomRec::Cancel { first, mid, last } => {
+                let f = self.copy_geom_into(first, out, map);
+                let m = self.copy_geom_into(mid, out, map);
+                let l = self.copy_geom_into(last, out, map);
+                out.add_cancel_geom(f, m, l)
+            }
+        };
+        map.insert(g, id);
+        id
+    }
+
+    /// Number of geometry records reachable from living arcs, and the
+    /// total leaf cells among them — the deduplicated storage cost of the
+    /// geometric embedding.
+    pub fn reachable_geometry(&self) -> (u64, u64) {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack: Vec<GeomId> = self
+            .arcs
+            .iter()
+            .filter(|a| a.alive)
+            .map(|a| a.geom)
+            .collect();
+        let mut cells = 0u64;
+        while let Some(g) = stack.pop() {
+            if !seen.insert(g) {
+                continue;
+            }
+            match self.geoms[g as usize] {
+                GeomRec::Leaf { len, .. } => cells += len as u64,
+                GeomRec::Cancel { first, mid, last } => {
+                    stack.push(first);
+                    stack.push(mid);
+                    stack.push(last);
+                }
+            }
+        }
+        (seen.len() as u64, cells)
+    }
+
+    /// Recompute each living node's boundary flag against the current
+    /// member-block set: a node stays boundary iff its address is shared
+    /// with a block outside this complex (paper §IV-F3: "the boundary
+    /// status of each node is updated according to the bounds of the
+    /// merged blocks").
+    pub fn reflag_boundaries(&mut self, decomp: &msp_grid::Decomposition) {
+        let members: std::collections::HashSet<u32> =
+            self.member_blocks.iter().copied().collect();
+        let refined = self.refined;
+        for n in self.nodes.iter_mut().filter(|n| n.alive) {
+            let c = RCoord::from_address(n.addr, &refined);
+            n.boundary = decomp
+                .owners(c)
+                .as_slice()
+                .iter()
+                .any(|b| !members.contains(b));
+        }
+    }
+
+    /// Structural sanity check used by tests: adjacency covers arcs,
+    /// indices differ by one, address index matches living nodes.
+    pub fn check_integrity(&self) -> Result<(), String> {
+        for (i, a) in self.arcs.iter().enumerate() {
+            let (u, l) = (&self.nodes[a.upper as usize], &self.nodes[a.lower as usize]);
+            if u.index != l.index + 1 {
+                return Err(format!("arc {i} endpoint indices {} {}", u.index, l.index));
+            }
+            if a.alive && (!u.alive || !l.alive) {
+                return Err(format!("arc {i} alive with dead endpoint"));
+            }
+            if a.alive {
+                let ok = self.adj[a.upper as usize].contains(&(i as ArcId))
+                    && self.adj[a.lower as usize].contains(&(i as ArcId));
+                if !ok {
+                    return Err(format!("arc {i} missing from adjacency"));
+                }
+            }
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.alive && self.addr_index.get(&n.addr) != Some(&(i as NodeId)) {
+                return Err(format!("node {i} missing from address index"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msp_grid::Dims;
+
+    fn tiny() -> MsComplex {
+        MsComplex::new(Dims::new(4, 4, 4).refined(), vec![0])
+    }
+
+    #[test]
+    fn add_and_census() {
+        let mut ms = tiny();
+        let mn = ms.add_node(0, 0, 0.0, false);
+        let sd = ms.add_node(1, 1, 1.0, false);
+        let g = ms.add_leaf_geom(&[1, 0]);
+        ms.add_arc(sd, mn, g);
+        assert_eq!(ms.node_census(), [1, 1, 0, 0]);
+        assert_eq!(ms.n_live_arcs(), 1);
+        assert_eq!(ms.multiplicity(sd, mn), 1);
+        ms.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn flatten_cancel_geometry() {
+        let mut ms = tiny();
+        let a = ms.add_leaf_geom(&[10, 11, 12]); // x -> l
+        let t = ms.add_leaf_geom(&[20, 21, 12]); // u -> l
+        let b = ms.add_leaf_geom(&[20, 31, 32]); // u -> y
+        let spliced = ms.add_cancel_geom(a, t, b);
+        // x..l, reversed u..l, u..y
+        assert_eq!(
+            ms.flatten_geom(spliced),
+            vec![10, 11, 12, 12, 21, 20, 20, 31, 32]
+        );
+        assert_eq!(ms.geom_len(spliced), 9);
+        // reversal of a spliced geometry
+        let outer = ms.add_cancel_geom(spliced, a, t);
+        let flat = ms.flatten_geom(outer);
+        assert_eq!(flat.len(), 9 + 3 + 3);
+    }
+
+    #[test]
+    fn kill_and_compact() {
+        let mut ms = tiny();
+        let n0 = ms.add_node(0, 0, 0.0, false);
+        let n1 = ms.add_node(5, 1, 2.0, false);
+        let n2 = ms.add_node(9, 1, 3.0, true);
+        let g1 = ms.add_leaf_geom(&[5, 0]);
+        let g2 = ms.add_leaf_geom(&[9, 0]);
+        let a1 = ms.add_arc(n1, n0, g1);
+        ms.add_arc(n2, n0, g2);
+        ms.kill_arc(a1);
+        ms.kill_node(n1, 2.0);
+        assert_eq!(ms.n_live_nodes(), 2);
+        assert!(ms.node_at(5).is_none(), "dead node leaves the index");
+        ms.compact();
+        assert_eq!(ms.nodes.len(), 2);
+        assert_eq!(ms.arcs.len(), 1);
+        assert_eq!(ms.flatten_geom(ms.arcs[0].geom), vec![9, 0]);
+        ms.check_integrity().unwrap();
+        assert_eq!(ms.nodes[ms.arcs[0].upper as usize].addr, 9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_address_rejected() {
+        let mut ms = tiny();
+        ms.add_node(3, 0, 0.0, false);
+        ms.add_node(3, 1, 1.0, false);
+    }
+
+    #[test]
+    fn multiplicity_counts_parallel_arcs() {
+        let mut ms = tiny();
+        let n0 = ms.add_node(0, 0, 0.0, false);
+        let n1 = ms.add_node(5, 1, 2.0, false);
+        let g1 = ms.add_leaf_geom(&[5, 4, 0]);
+        let g2 = ms.add_leaf_geom(&[5, 6, 0]);
+        ms.add_arc(n1, n0, g1);
+        ms.add_arc(n1, n0, g2);
+        assert_eq!(ms.multiplicity(n1, n0), 2);
+        assert_eq!(ms.arcs_below(n1).count(), 2);
+        assert_eq!(ms.arcs_above(n0).count(), 2);
+    }
+}

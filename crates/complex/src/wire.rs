@@ -1,0 +1,255 @@
+//! Wire serialization of a compacted MS complex.
+//!
+//! Used both for inter-process merge messages (§IV-F2) and as the block
+//! payload of the output file (§IV-G). Geometry is shipped flattened
+//! (live arcs only; the hierarchy is dropped — "we remove from memory all
+//! but the coarsest levels", §IV-F1). All addresses are **global**, so a
+//! receiver can glue without further translation.
+
+use crate::skeleton::{GeomRec, MsComplex};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use msp_grid::dims::RefinedDims;
+
+/// Format magic + version. Version 2 ships the geometry DAG (records by
+/// reference, each written once) instead of per-arc flattened paths.
+const MAGIC: &[u8; 4] = b"MSC2";
+
+/// Serialize a compacted complex (live nodes/arcs only) to bytes.
+///
+/// Panics if the complex still contains tombstones — call
+/// [`MsComplex::compact`] first.
+pub fn serialize(ms: &MsComplex) -> Bytes {
+    assert!(
+        ms.nodes.iter().all(|n| n.alive) && ms.arcs.iter().all(|a| a.alive),
+        "serialize requires a compacted complex"
+    );
+    let mut buf = BytesMut::with_capacity(estimate_size(ms));
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(ms.refined.rx);
+    buf.put_u64_le(ms.refined.ry);
+    buf.put_u64_le(ms.refined.rz);
+    buf.put_u32_le(ms.member_blocks.len() as u32);
+    for &b in &ms.member_blocks {
+        buf.put_u32_le(b);
+    }
+    buf.put_u32_le(ms.nodes.len() as u32);
+    for n in &ms.nodes {
+        buf.put_u64_le(n.addr);
+        buf.put_f32_le(n.value);
+        buf.put_u8(n.index);
+        buf.put_u8(n.boundary as u8);
+    }
+    // geometry DAG: records in creation order, children precede parents
+    buf.put_u32_le(ms.geoms.len() as u32);
+    for g in &ms.geoms {
+        match *g {
+            GeomRec::Leaf { offset, len } => {
+                buf.put_u8(0);
+                buf.put_u32_le(len);
+                let s = &ms.addr_buf[offset as usize..offset as usize + len as usize];
+                for &addr in s {
+                    buf.put_u64_le(addr);
+                }
+            }
+            GeomRec::Cancel { first, mid, last } => {
+                buf.put_u8(1);
+                buf.put_u32_le(first);
+                buf.put_u32_le(mid);
+                buf.put_u32_le(last);
+            }
+        }
+    }
+    buf.put_u32_le(ms.arcs.len() as u32);
+    for a in &ms.arcs {
+        buf.put_u32_le(a.upper);
+        buf.put_u32_le(a.lower);
+        buf.put_u32_le(a.geom);
+    }
+    buf.freeze()
+}
+
+/// Exact serialized size (used for preallocation and as the message
+/// size in the communication-cost model).
+pub fn estimate_size(ms: &MsComplex) -> usize {
+    let mut geom_bytes = 0usize;
+    for g in &ms.geoms {
+        geom_bytes += match *g {
+            GeomRec::Leaf { len, .. } => 1 + 4 + 8 * len as usize,
+            GeomRec::Cancel { .. } => 1 + 12,
+        };
+    }
+    4 + 24
+        + 4
+        + 4 * ms.member_blocks.len()
+        + 4
+        + 14 * ms.nodes.len()
+        + 4
+        + geom_bytes
+        + 4
+        + ms.arcs.len() * 12
+}
+
+/// Errors from [`deserialize`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum WireError {
+    BadMagic,
+    Truncated,
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "bad magic (not an MSC1 payload)"),
+            WireError::Truncated => write!(f, "payload truncated"),
+            WireError::Corrupt(what) => write!(f, "corrupt payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Deserialize a complex serialized with [`serialize`].
+pub fn deserialize(data: &[u8]) -> Result<MsComplex, WireError> {
+    let mut buf = data;
+    if buf.remaining() < 4 || &buf[..4] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    buf.advance(4);
+    let need = |n: usize, buf: &&[u8]| -> Result<(), WireError> {
+        if buf.remaining() < n {
+            Err(WireError::Truncated)
+        } else {
+            Ok(())
+        }
+    };
+    need(24, &buf)?;
+    let refined = RefinedDims {
+        rx: buf.get_u64_le(),
+        ry: buf.get_u64_le(),
+        rz: buf.get_u64_le(),
+    };
+    need(4, &buf)?;
+    let n_members = buf.get_u32_le() as usize;
+    need(4 * n_members, &buf)?;
+    let members: Vec<u32> = (0..n_members).map(|_| buf.get_u32_le()).collect();
+    let mut ms = MsComplex::new(refined, members);
+    need(4, &buf)?;
+    let n_nodes = buf.get_u32_le() as usize;
+    need(14 * n_nodes, &buf)?;
+    for _ in 0..n_nodes {
+        let addr = buf.get_u64_le();
+        let value = buf.get_f32_le();
+        let index = buf.get_u8();
+        let boundary = buf.get_u8() != 0;
+        if index > 3 {
+            return Err(WireError::Corrupt("node index > 3"));
+        }
+        ms.add_node(addr, index, value, boundary);
+    }
+    need(4, &buf)?;
+    let n_geoms = buf.get_u32_le() as usize;
+    let mut path = Vec::new();
+    for i in 0..n_geoms {
+        need(1, &buf)?;
+        match buf.get_u8() {
+            0 => {
+                need(4, &buf)?;
+                let len = buf.get_u32_le() as usize;
+                need(8 * len, &buf)?;
+                path.clear();
+                path.extend((0..len).map(|_| buf.get_u64_le()));
+                ms.add_leaf_geom(&path);
+            }
+            1 => {
+                need(12, &buf)?;
+                let (f, m, l) = (buf.get_u32_le(), buf.get_u32_le(), buf.get_u32_le());
+                // children must precede parents (DAG in creation order)
+                if f as usize >= i || m as usize >= i || l as usize >= i {
+                    return Err(WireError::Corrupt("geometry record forward reference"));
+                }
+                ms.add_cancel_geom(f, m, l);
+            }
+            _ => return Err(WireError::Corrupt("unknown geometry record kind")),
+        }
+    }
+    need(4, &buf)?;
+    let n_arcs = buf.get_u32_le() as usize;
+    for _ in 0..n_arcs {
+        need(12, &buf)?;
+        let upper = buf.get_u32_le();
+        let lower = buf.get_u32_le();
+        let geom = buf.get_u32_le();
+        if upper as usize >= n_nodes || lower as usize >= n_nodes {
+            return Err(WireError::Corrupt("arc endpoint out of range"));
+        }
+        if geom as usize >= n_geoms {
+            return Err(WireError::Corrupt("arc geometry out of range"));
+        }
+        ms.add_arc(upper, lower, geom);
+    }
+    Ok(ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_block_complex;
+    use msp_grid::decomp::Decomposition;
+    use msp_grid::Dims;
+    use msp_morse::TraceLimits;
+
+    fn sample() -> MsComplex {
+        let dims = Dims::new(8, 8, 8);
+        let f = msp_synth::white_noise(dims, 8);
+        let d = Decomposition::bisect(dims, 2);
+        let (mut ms, _) =
+            build_block_complex(&f.extract_block(d.block(0)), &d, TraceLimits::default());
+        ms.compact();
+        ms
+    }
+
+    #[test]
+    fn round_trip() {
+        let ms = sample();
+        let bytes = serialize(&ms);
+        let back = deserialize(&bytes).unwrap();
+        assert_eq!(back.nodes.len(), ms.nodes.len());
+        assert_eq!(back.arcs.len(), ms.arcs.len());
+        assert_eq!(back.member_blocks, ms.member_blocks);
+        assert_eq!(back.refined, ms.refined);
+        for (a, b) in ms.nodes.iter().zip(&back.nodes) {
+            assert_eq!(a.addr, b.addr);
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.value, b.value);
+            assert_eq!(a.boundary, b.boundary);
+        }
+        for (a, b) in ms.arcs.iter().zip(&back.arcs) {
+            assert_eq!((a.upper, a.lower), (b.upper, b.lower));
+            assert_eq!(ms.flatten_geom(a.geom), back.flatten_geom(b.geom));
+        }
+        back.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn estimate_is_upper_bound_and_tight() {
+        let ms = sample();
+        let bytes = serialize(&ms);
+        let est = estimate_size(&ms);
+        assert!(bytes.len() <= est);
+        assert!(est <= bytes.len() + 64, "estimate should be tight");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(deserialize(b"nope").unwrap_err(), WireError::BadMagic);
+        let ms = sample();
+        let bytes = serialize(&ms);
+        // truncate mid-stream
+        let cut = &bytes[..bytes.len() / 2];
+        assert!(matches!(
+            deserialize(cut).unwrap_err(),
+            WireError::Truncated | WireError::Corrupt(_)
+        ));
+    }
+}

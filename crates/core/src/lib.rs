@@ -1,0 +1,31 @@
+//! # msp-core
+//!
+//! The paper's primary contribution: a two-stage, data-parallel algorithm
+//! for constructing the 1-skeleton of the Morse-Smale complex of a scalar
+//! field on a distributed-memory machine (Gyulassy, Pascucci, Peterka,
+//! Ross — *The Parallel Computation of Morse-Smale Complexes*, IPDPS
+//! 2012).
+//!
+//! Two execution paths share all the algorithmic code:
+//!
+//! * [`pipeline::run_parallel`] — real parallel execution on the
+//!   threaded message-passing backend (`msp_vmpi::comm`): use for runs at
+//!   workstation scale and to validate correctness end-to-end, including
+//!   the collective output file.
+//! * [`simdriver::simulate`] — virtual-rank execution with measured
+//!   compute and modeled communication/I-O, scaling to tens of thousands
+//!   of ranks on one machine: use to regenerate the paper's scaling
+//!   figures and merge-strategy tables.
+//!
+//! [`plan::MergePlan`] encodes the configurable radix-k merge schedule
+//! and the paper's radix-8-first planning heuristic.
+
+pub mod pipeline;
+pub mod plan;
+pub mod redistribute;
+pub mod simdriver;
+
+pub use pipeline::{run_parallel, Input, PipelineParams, RunResult, StageTimes};
+pub use plan::MergePlan;
+pub use redistribute::{global_simplify_and_partition, partition_complex};
+pub use simdriver::{simulate, RoundReport, SimParams, SimReport};

@@ -1,0 +1,388 @@
+//! The paper's Algorithm 1 on the **threaded backend**: a genuinely
+//! parallel run with one OS thread per rank and real message passing.
+//!
+//! ```text
+//! Decompose domain            (§IV-A)
+//! Read data blocks            (§IV-B)
+//! for all local blocks:
+//!     compute discrete gradient (§IV-C)
+//!     compute MS complex        (§IV-D)
+//!     simplify MS complex       (§IV-E)
+//! for each merge round:
+//!     merge MS complex blocks   (§IV-F)
+//! Write MS complex blocks     (§IV-G)
+//! ```
+//!
+//! Blocks are assigned to ranks round-robin (block-cyclic), so the number
+//! of blocks may exceed the number of ranks; the paper's usual
+//! configuration is one block per process.
+
+use crate::plan::MergePlan;
+use msp_complex::glue::glue_all;
+use msp_complex::{build_block_complex, simplify, wire, MsComplex, SimplifyParams};
+use msp_grid::rawio::{read_block, VolumeDType};
+use msp_grid::{Decomposition, Dims, ScalarField};
+use msp_morse::TraceLimits;
+use msp_vmpi::fileio::{collective_write_blocks, FooterEntry};
+use msp_vmpi::{Rank, Universe};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Pipeline configuration shared by all ranks.
+#[derive(Debug, Clone)]
+pub struct PipelineParams {
+    /// Persistence threshold as a fraction of the global value range.
+    pub persistence_frac: f32,
+    pub plan: MergePlan,
+    pub trace_limits: TraceLimits,
+    /// Valence guard forwarded to [`SimplifyParams`].
+    pub max_new_arcs: Option<u64>,
+}
+
+impl Default for PipelineParams {
+    fn default() -> Self {
+        PipelineParams {
+            persistence_frac: 0.01,
+            plan: MergePlan::none(),
+            trace_limits: TraceLimits::default(),
+            // valence guard: skip cancellations that would fan out into
+            // more than this many replacement arcs (degenerate lattices)
+            max_new_arcs: Some(4096),
+        }
+    }
+}
+
+/// Where the scalar data comes from.
+pub enum Input {
+    /// In-memory field: every rank extracts its blocks directly (stands
+    /// in for an already-staged dataset).
+    Memory(std::sync::Arc<ScalarField>),
+    /// Raw volume file read through per-block subarray views (§IV-B).
+    File {
+        path: PathBuf,
+        dims: Dims,
+        dtype: VolumeDType,
+    },
+}
+
+impl Input {
+    pub fn dims(&self) -> Dims {
+        match self {
+            Input::Memory(f) => f.dims(),
+            Input::File { dims, .. } => *dims,
+        }
+    }
+}
+
+/// Wall-clock stage times of one rank (seconds).
+#[derive(Debug, Clone, Default)]
+pub struct StageTimes {
+    pub read: f64,
+    pub compute: f64,
+    pub simplify: f64,
+    pub merge: f64,
+    pub merge_rounds: Vec<f64>,
+    pub write: f64,
+    pub total: f64,
+}
+
+/// Result of a parallel run.
+pub struct RunResult {
+    /// Per-rank stage times, indexed by rank.
+    pub times: Vec<StageTimes>,
+    /// Output-slot complexes in ascending slot order.
+    pub outputs: Vec<MsComplex>,
+    /// Footer of the output file, when one was written.
+    pub footer: Option<Vec<FooterEntry>>,
+    /// Total serialized size of all output blocks.
+    pub output_bytes: u64,
+    /// The absolute persistence threshold that was applied.
+    pub threshold: f32,
+}
+
+/// Execute the full pipeline on `n_ranks` threads over `n_blocks` blocks.
+pub fn run_parallel(
+    input: &Input,
+    n_ranks: u32,
+    n_blocks: u32,
+    params: &PipelineParams,
+    output_path: Option<&Path>,
+) -> RunResult {
+    assert!(n_ranks >= 1 && n_blocks >= n_ranks, "need >= 1 block per rank");
+    let dims = input.dims();
+    let decomp = Decomposition::bisect(dims, n_blocks);
+    let _ = params.plan.output_blocks(n_blocks); // validate divisibility early
+
+    let results = Universe::run(n_ranks as usize, |rank| {
+        run_rank(rank, input, &decomp, n_blocks, params, output_path)
+    });
+
+    let mut times = Vec::with_capacity(results.len());
+    let mut slot_outputs: Vec<(u32, MsComplex)> = Vec::new();
+    let mut footer = None;
+    let mut threshold = 0.0;
+    for (t, outs, f, th) in results {
+        times.push(t);
+        slot_outputs.extend(outs);
+        if f.is_some() {
+            footer = f;
+        }
+        threshold = th; // identical on every rank (all-reduced)
+    }
+    slot_outputs.sort_by_key(|(slot, _)| *slot);
+    let outputs: Vec<MsComplex> = slot_outputs.into_iter().map(|(_, c)| c).collect();
+    let output_bytes = outputs.iter().map(|c| wire::serialize(c).len() as u64).sum();
+    RunResult {
+        times,
+        outputs,
+        footer,
+        output_bytes,
+        threshold,
+    }
+}
+
+type RankOut = (StageTimes, Vec<(u32, MsComplex)>, Option<Vec<FooterEntry>>, f32);
+
+fn run_rank(
+    rank: &mut Rank,
+    input: &Input,
+    decomp: &Decomposition,
+    n_blocks: u32,
+    params: &PipelineParams,
+    output_path: Option<&Path>,
+) -> RankOut {
+    let p = rank.rank() as u32;
+    let n_ranks = rank.size() as u32;
+    let my_blocks: Vec<u32> = (0..n_blocks).filter(|b| b % n_ranks == p).collect();
+    let mut t = StageTimes::default();
+    let t_start = Instant::now();
+
+    // ---- read ----
+    let t0 = Instant::now();
+    let mut fields = HashMap::new();
+    let mut local_min = f64::INFINITY;
+    let mut local_max = f64::NEG_INFINITY;
+    for &b in &my_blocks {
+        let bf = match input {
+            Input::Memory(f) => f.extract_block(decomp.block(b)),
+            Input::File { path, dims, dtype } => {
+                read_block(path, *dims, decomp.block(b), *dtype).expect("block read")
+            }
+        };
+        for &v in bf.data() {
+            local_min = local_min.min(v as f64);
+            local_max = local_max.max(v as f64);
+        }
+        fields.insert(b, bf);
+    }
+    // global range for the persistence threshold
+    let (gmin, gmax) = rank.allreduce_min_max(100, local_min, local_max);
+    let threshold = params.persistence_frac * (gmax - gmin) as f32;
+    t.read = t0.elapsed().as_secs_f64();
+
+    // ---- compute (gradient + MS complex) ----
+    let t0 = Instant::now();
+    let mut complexes: HashMap<u32, MsComplex> = HashMap::new();
+    for &b in &my_blocks {
+        let (ms, _) = build_block_complex(&fields[&b], decomp, params.trace_limits);
+        complexes.insert(b, ms);
+    }
+    drop(fields);
+    t.compute = t0.elapsed().as_secs_f64();
+
+    // ---- local simplification ----
+    let t0 = Instant::now();
+    let sp = SimplifyParams {
+        threshold,
+        max_new_arcs: params.max_new_arcs,
+        max_parallel_arcs: Some(2),
+    };
+    for ms in complexes.values_mut() {
+        simplify(ms, sp);
+        ms.compact();
+    }
+    t.simplify = t0.elapsed().as_secs_f64();
+
+    // ---- merge rounds ----
+    let t_merge = Instant::now();
+    for r in 0..params.plan.radices.len() {
+        rank.barrier();
+        let t0 = Instant::now();
+        let groups = params.plan.groups(r, n_blocks);
+        let tag_base = (r as u32) << 20;
+        // send phase: every non-root slot this rank owns
+        for (root, members) in &groups {
+            for &m in &members[1..] {
+                if m % n_ranks == p {
+                    let ms = complexes.remove(&m).expect("member complex present");
+                    let payload = wire::serialize(&ms);
+                    rank.send((root % n_ranks) as usize, tag_base | m, payload);
+                }
+            }
+        }
+        // receive + glue phase: every root slot this rank owns
+        for (root, members) in &groups {
+            if root % n_ranks != p {
+                continue;
+            }
+            let mut incoming = Vec::with_capacity(members.len() - 1);
+            for &m in &members[1..] {
+                let payload = rank.recv((m % n_ranks) as usize, tag_base | m);
+                incoming.push(wire::deserialize(&payload).expect("valid complex"));
+            }
+            let ms = complexes.get_mut(root).expect("root complex present");
+            glue_all(ms, &incoming, decomp);
+            simplify(ms, sp);
+            ms.compact();
+        }
+        t.merge_rounds.push(t0.elapsed().as_secs_f64());
+    }
+    t.merge = t_merge.elapsed().as_secs_f64();
+
+    // ---- write ----
+    let t0 = Instant::now();
+    let out_slots = params.plan.output_slots(n_blocks);
+    let mut my_outputs: Vec<(u32, MsComplex)> = out_slots
+        .iter()
+        .filter(|s| *s % n_ranks == p)
+        .map(|&s| (s, complexes.remove(&s).expect("output complex")))
+        .collect();
+    my_outputs.sort_by_key(|(s, _)| *s);
+    let footer = if let Some(path) = output_path {
+        let payloads: Vec<bytes::Bytes> =
+            my_outputs.iter().map(|(_, c)| wire::serialize(c)).collect();
+        let f = collective_write_blocks(rank, path, &payloads).expect("collective write");
+        (p == 0).then_some(f)
+    } else {
+        None
+    };
+    t.write = t0.elapsed().as_secs_f64();
+    t.total = t_start.elapsed().as_secs_f64();
+    (t, my_outputs, footer, threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn noise_input(n: u32, seed: u64) -> Input {
+        Input::Memory(Arc::new(msp_synth::white_noise(Dims::cube(n), seed)))
+    }
+
+    #[test]
+    fn serial_run_single_block() {
+        let input = noise_input(8, 3);
+        let r = run_parallel(&input, 1, 1, &PipelineParams::default(), None);
+        assert_eq!(r.outputs.len(), 1);
+        assert_eq!(r.times.len(), 1);
+        r.outputs[0].check_integrity().unwrap();
+    }
+
+    #[test]
+    fn full_merge_produces_one_block_with_no_boundary() {
+        let input = noise_input(9, 5);
+        let params = PipelineParams {
+            plan: MergePlan::full_merge(8),
+            ..Default::default()
+        };
+        let r = run_parallel(&input, 8, 8, &params, None);
+        assert_eq!(r.outputs.len(), 1);
+        let out = &r.outputs[0];
+        assert_eq!(out.member_blocks, (0..8).collect::<Vec<_>>());
+        assert!(out.nodes.iter().all(|n| !n.boundary));
+        out.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn partial_merge_block_count() {
+        let input = noise_input(9, 5);
+        let params = PipelineParams {
+            plan: MergePlan::rounds(vec![4]),
+            ..Default::default()
+        };
+        let r = run_parallel(&input, 8, 8, &params, None);
+        assert_eq!(r.outputs.len(), 2);
+    }
+
+    #[test]
+    fn more_blocks_than_ranks() {
+        let input = noise_input(9, 7);
+        let params = PipelineParams {
+            plan: MergePlan::rounds(vec![8]),
+            ..Default::default()
+        };
+        let r = run_parallel(&input, 2, 8, &params, None);
+        assert_eq!(r.outputs.len(), 1);
+        r.outputs[0].check_integrity().unwrap();
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_significant_features() {
+        // full merge at matching threshold must reproduce the serial
+        // significant-feature census (stability, §V-A)
+        let field = Arc::new(msp_synth::gaussian_bumps(Dims::cube(17), 3, 0.12, 11));
+        let input = Input::Memory(field.clone());
+        let params = PipelineParams {
+            persistence_frac: 0.05,
+            plan: MergePlan::full_merge(8),
+            ..Default::default()
+        };
+        let par = run_parallel(&input, 8, 8, &params, None);
+        let ser = run_parallel(
+            &input,
+            1,
+            1,
+            &PipelineParams {
+                persistence_frac: 0.05,
+                plan: MergePlan::none(),
+                ..Default::default()
+            },
+            None,
+        );
+        assert_eq!(
+            par.outputs[0].node_census()[3],
+            ser.outputs[0].node_census()[3],
+            "maxima census must match serial"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let input = noise_input(9, 13);
+        let params = PipelineParams {
+            plan: MergePlan::full_merge(8),
+            ..Default::default()
+        };
+        let a = run_parallel(&input, 8, 8, &params, None);
+        let b = run_parallel(&input, 4, 8, &params, None);
+        // same output complexes regardless of rank count
+        assert_eq!(a.outputs.len(), b.outputs.len());
+        let sa = wire::serialize(&a.outputs[0]);
+        let sb = wire::serialize(&b.outputs[0]);
+        assert_eq!(sa, sb, "output must be bit-identical across rank counts");
+    }
+
+    #[test]
+    fn writes_valid_output_file() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("msp_core_out_{}.msc", std::process::id()));
+        let input = noise_input(9, 2);
+        let params = PipelineParams {
+            plan: MergePlan::rounds(vec![4]),
+            ..Default::default()
+        };
+        let r = run_parallel(&input, 4, 8, &params, Some(&path));
+        let footer = r.footer.expect("footer present");
+        assert_eq!(footer.len(), 2);
+        // reload both blocks and compare with in-memory outputs
+        for (entry, ms) in footer.iter().zip(&r.outputs) {
+            let payload = msp_vmpi::fileio::read_block_payload(&path, entry).unwrap();
+            let loaded = wire::deserialize(&payload).unwrap();
+            assert_eq!(loaded.nodes.len(), ms.nodes.len());
+            assert_eq!(loaded.member_blocks, ms.member_blocks);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,383 @@
+//! Recursive-bisection domain decomposition (paper §IV-A) and the
+//! *owner set* query behind boundary-restricted gradient pairing (§IV-C).
+//!
+//! The vertex grid is split by iteratively bisecting the longest remaining
+//! axis until the requested number of blocks is reached. Adjacent blocks
+//! **share one vertex layer**: if a block ends at vertex plane `x = s`,
+//! its neighbour starts at `x = s`. Because of the shared layer a refined
+//! coordinate can lie inside up to eight blocks; the set of blocks
+//! containing it is its *owner set*. The paper's consistency rule —
+//! "for a cell on the boundary of two or more blocks, we only consider
+//! for pairing other cells also on the boundary of those same blocks" —
+//! becomes: a gradient pair `(α, β)` is legal iff
+//! `owners(α) == owners(β)`.
+
+use crate::coord::RCoord;
+use crate::dims::Dims;
+use crate::topology::RBox;
+use serde::{Deserialize, Serialize};
+
+/// A block of the decomposition: an inclusive box in **vertex** space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BlockBox {
+    pub id: u32,
+    /// Inclusive lower vertex corner.
+    pub lo: [u32; 3],
+    /// Inclusive upper vertex corner.
+    pub hi: [u32; 3],
+}
+
+impl BlockBox {
+    /// Vertex-space dimensions of this block (including shared layers).
+    pub fn dims(&self) -> Dims {
+        Dims::new(
+            self.hi[0] - self.lo[0] + 1,
+            self.hi[1] - self.lo[1] + 1,
+            self.hi[2] - self.lo[2] + 1,
+        )
+    }
+
+    /// The block's extent on the refined grid, in **global** refined
+    /// coordinates: `[2·lo, 2·hi]`.
+    pub fn refined_box(&self) -> RBox {
+        RBox::new(
+            RCoord::new(2 * self.lo[0], 2 * self.lo[1], 2 * self.lo[2]),
+            RCoord::new(2 * self.hi[0], 2 * self.hi[1], 2 * self.hi[2]),
+        )
+    }
+
+    /// Number of vertices this block loads (shared layers included).
+    pub fn n_verts(&self) -> u64 {
+        self.dims().n_verts()
+    }
+}
+
+/// Owner set of a refined coordinate: the sorted ids of every block whose
+/// refined box contains it. At most 8 blocks can share a coordinate
+/// (a corner where two cuts per axis meet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OwnerSet {
+    ids: [u32; 8],
+    len: u8,
+}
+
+impl OwnerSet {
+    pub fn empty() -> Self {
+        OwnerSet { ids: [0; 8], len: 0 }
+    }
+
+    pub fn push(&mut self, id: u32) {
+        assert!((self.len as usize) < 8, "owner set overflow");
+        self.ids[self.len as usize] = id;
+        self.len += 1;
+    }
+
+    pub fn as_slice(&self) -> &[u32] {
+        &self.ids[..self.len as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when the coordinate is shared by two or more blocks.
+    pub fn is_shared(&self) -> bool {
+        self.len >= 2
+    }
+
+    pub fn contains(&self, id: u32) -> bool {
+        self.as_slice().contains(&id)
+    }
+
+    fn sort(&mut self) {
+        self.ids[..self.len as usize].sort_unstable();
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    /// Split along `axis` at vertex plane `plane`: coordinates `< plane`
+    /// go left, `> plane` right, `== plane` to **both** (shared layer).
+    Split { axis: u8, plane: u32, left: u32, right: u32 },
+    Leaf { block: u32 },
+}
+
+/// A complete recursive-bisection decomposition of a vertex grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Decomposition {
+    domain: Dims,
+    blocks: Vec<BlockBox>,
+    tree: Vec<Node>,
+    root: u32,
+}
+
+impl Decomposition {
+    /// Decompose `domain` into exactly `n_blocks` blocks.
+    ///
+    /// Splits the longest remaining axis (ties broken toward x) into two
+    /// parts whose cell counts are proportional to the number of blocks
+    /// assigned to each side, so non-power-of-two block counts are
+    /// supported. Panics when the grid has fewer cell layers than blocks
+    /// along every axis (cannot bisect further).
+    pub fn bisect(domain: Dims, n_blocks: u32) -> Self {
+        assert!(n_blocks >= 1, "need at least one block");
+        let mut d = Decomposition {
+            domain,
+            blocks: Vec::with_capacity(n_blocks as usize),
+            tree: Vec::new(),
+            root: 0,
+        };
+        let full = BlockBox {
+            id: u32::MAX,
+            lo: [0, 0, 0],
+            hi: [domain.nx - 1, domain.ny - 1, domain.nz - 1],
+        };
+        d.root = d.split(full, n_blocks);
+        debug_assert_eq!(d.blocks.len(), n_blocks as usize);
+        d
+    }
+
+    fn split(&mut self, bx: BlockBox, count: u32) -> u32 {
+        if count == 1 {
+            let id = self.blocks.len() as u32;
+            self.blocks.push(BlockBox { id, ..bx });
+            let node = self.tree.len() as u32;
+            self.tree.push(Node::Leaf { block: id });
+            return node;
+        }
+        // longest axis by cell extent
+        let extents = [
+            bx.hi[0] - bx.lo[0],
+            bx.hi[1] - bx.lo[1],
+            bx.hi[2] - bx.lo[2],
+        ];
+        let axis = (0..3).max_by_key(|&a| extents[a]).unwrap();
+        let e = extents[axis];
+        assert!(
+            e >= 2,
+            "cannot bisect block {:?} into {count} parts: axis {axis} has only {e} cell layer(s)",
+            bx
+        );
+        let left_count = count / 2;
+        let right_count = count - left_count;
+        // proportional split in cell layers, clamped so both sides keep >= 1
+        let mut s = ((e as u64 * left_count as u64 + count as u64 / 2) / count as u64) as u32;
+        s = s.clamp(1, e - 1);
+        let plane = bx.lo[axis] + s;
+        let mut lhs = bx;
+        lhs.hi[axis] = plane;
+        let mut rhs = bx;
+        rhs.lo[axis] = plane;
+        let left = self.split(lhs, left_count);
+        let right = self.split(rhs, right_count);
+        let node = self.tree.len() as u32;
+        self.tree.push(Node::Split {
+            axis: axis as u8,
+            plane,
+            left,
+            right,
+        });
+        node
+    }
+
+    pub fn domain(&self) -> Dims {
+        self.domain
+    }
+
+    pub fn n_blocks(&self) -> u32 {
+        self.blocks.len() as u32
+    }
+
+    pub fn block(&self, id: u32) -> &BlockBox {
+        &self.blocks[id as usize]
+    }
+
+    pub fn blocks(&self) -> &[BlockBox] {
+        &self.blocks
+    }
+
+    /// The owner set of a global refined coordinate: sorted ids of every
+    /// block whose refined box contains it. O(tree depth); at most 8 hits.
+    pub fn owners(&self, c: RCoord) -> OwnerSet {
+        let mut out = OwnerSet::empty();
+        let mut stack = [0u32; 64];
+        let mut top = 0usize;
+        stack[top] = self.root;
+        top += 1;
+        while top > 0 {
+            top -= 1;
+            match &self.tree[stack[top] as usize] {
+                Node::Leaf { block } => out.push(*block),
+                Node::Split { axis, plane, left, right } => {
+                    let rp = 2 * *plane; // plane in refined coords
+                    let v = c.get(*axis as usize);
+                    if v <= rp {
+                        stack[top] = *left;
+                        top += 1;
+                    }
+                    if v >= rp {
+                        stack[top] = *right;
+                        top += 1;
+                    }
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Fast path: is `c` strictly interior to block `id`'s refined box
+    /// (not on its surface)? Interior coordinates always have the
+    /// singleton owner set `{id}`.
+    pub fn interior_to(&self, id: u32, c: RCoord) -> bool {
+        let rb = self.block(id).refined_box();
+        rb.contains(c) && !rb.on_surface(c)
+    }
+
+    /// Round-robin (block-cyclic) assignment of blocks to `n_procs`
+    /// processes, as in §IV-A: process `p` owns blocks `p, p+P, p+2P, …`.
+    pub fn assign_round_robin(&self, n_procs: u32) -> Vec<Vec<u32>> {
+        let mut out = vec![Vec::new(); n_procs as usize];
+        for b in 0..self.n_blocks() {
+            out[(b % n_procs) as usize].push(b);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_cover(d: &Decomposition) {
+        // every vertex of the domain is covered by at least one block and
+        // cell layers partition: interior vertices of each block are in
+        // exactly that block.
+        let dom = d.domain();
+        let mut covered = vec![0u32; dom.n_verts() as usize];
+        for b in d.blocks() {
+            for z in b.lo[2]..=b.hi[2] {
+                for y in b.lo[1]..=b.hi[1] {
+                    for x in b.lo[0]..=b.hi[0] {
+                        covered[dom.vertex_index(x, y, z) as usize] += 1;
+                    }
+                }
+            }
+        }
+        assert!(covered.iter().all(|&c| c >= 1), "blocks must cover domain");
+        // total cell count must equal sum of block cell counts
+        let dom_cells = (dom.nx as u64 - 1) * (dom.ny as u64 - 1) * (dom.nz as u64 - 1);
+        let sum: u64 = d
+            .blocks()
+            .iter()
+            .map(|b| {
+                let bd = b.dims();
+                (bd.nx as u64 - 1) * (bd.ny as u64 - 1) * (bd.nz as u64 - 1)
+            })
+            .sum();
+        assert_eq!(dom_cells, sum, "cells must partition exactly");
+    }
+
+    #[test]
+    fn bisect_basic_counts() {
+        for n in [1u32, 2, 3, 4, 7, 8, 16, 15] {
+            let d = Decomposition::bisect(Dims::new(33, 33, 33), n);
+            assert_eq!(d.n_blocks(), n);
+            check_cover(&d);
+        }
+    }
+
+    #[test]
+    fn bisect_splits_longest_axis_first() {
+        let d = Decomposition::bisect(Dims::new(65, 17, 17), 2);
+        let b0 = d.block(0);
+        let b1 = d.block(1);
+        // split must be along x (the longest axis), sharing one layer
+        assert_eq!(b0.hi[0], b1.lo[0]);
+        assert_eq!(b0.lo[1], b1.lo[1]);
+        assert_eq!(b0.hi[2], b1.hi[2]);
+    }
+
+    #[test]
+    fn shared_layer_between_neighbours() {
+        let d = Decomposition::bisect(Dims::new(9, 9, 9), 2);
+        let (a, b) = (d.block(0), d.block(1));
+        // exactly one vertex plane shared
+        let shared_plane = a.hi[2].min(b.hi[2]).min(a.hi[0]); // whichever axis
+        let _ = shared_plane;
+        let axis = (0..3).find(|&ax| a.hi[ax] == b.lo[ax]).expect("share an axis plane");
+        assert_eq!(a.hi[axis], b.lo[axis]);
+    }
+
+    #[test]
+    fn owner_sets() {
+        let d = Decomposition::bisect(Dims::new(9, 9, 9), 8);
+        // domain corner: single owner
+        let o = d.owners(RCoord::new(0, 0, 0));
+        assert_eq!(o.len(), 1);
+        // centre vertex shared by all 8 blocks when cuts meet there
+        let c = RCoord::of_vertex(4, 4, 4);
+        let o = d.owners(c);
+        assert_eq!(o.len(), 8, "centre of 2x2x2 decomposition has 8 owners");
+        // owner sets are sorted
+        let s = o.as_slice();
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn owners_matches_brute_force() {
+        let d = Decomposition::bisect(Dims::new(17, 13, 11), 6);
+        let r = d.domain().refined();
+        for k in (0..r.rz as u32).step_by(3) {
+            for j in (0..r.ry as u32).step_by(3) {
+                for i in (0..r.rx as u32).step_by(3) {
+                    let c = RCoord::new(i, j, k);
+                    let fast = d.owners(c);
+                    let mut brute: Vec<u32> = d
+                        .blocks()
+                        .iter()
+                        .filter(|b| b.refined_box().contains(c))
+                        .map(|b| b.id)
+                        .collect();
+                    brute.sort_unstable();
+                    assert_eq!(fast.as_slice(), brute.as_slice(), "at {:?}", c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interior_fast_path_agrees() {
+        let d = Decomposition::bisect(Dims::new(17, 17, 17), 4);
+        for b in d.blocks() {
+            let rb = b.refined_box();
+            for c in rb.iter() {
+                if d.interior_to(b.id, c) {
+                    let o = d.owners(c);
+                    assert_eq!(o.as_slice(), &[b.id]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_assignment() {
+        let d = Decomposition::bisect(Dims::new(33, 33, 33), 8);
+        let a = d.assign_round_robin(3);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[0], vec![0, 3, 6]);
+        assert_eq!(a[1], vec![1, 4, 7]);
+        assert_eq!(a[2], vec![2, 5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_blocks_panics() {
+        // 2x2x2 grid has 1 cell: cannot split into 2 blocks
+        let _ = Decomposition::bisect(Dims::new(2, 2, 2), 2);
+    }
+}

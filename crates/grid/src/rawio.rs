@@ -1,0 +1,191 @@
+//! Raw volume files and subarray access patterns.
+//!
+//! Datasets are flat binary files of vertex values in x-fastest order,
+//! little-endian, in one of the three element types the paper supports
+//! (§IV-B): unsigned byte, `f32`, `f64`. A block reads its sub-box
+//! through a *subarray view*: the list of contiguous x-rows it owns,
+//! each a `(byte offset, byte length)` run — the same access pattern an
+//! MPI subarray datatype describes.
+
+use crate::decomp::BlockBox;
+use crate::dims::Dims;
+use crate::field::{BlockField, ScalarField};
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Element type of a raw volume file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VolumeDType {
+    U8,
+    F32,
+    F64,
+}
+
+impl VolumeDType {
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            VolumeDType::U8 => 1,
+            VolumeDType::F32 => 4,
+            VolumeDType::F64 => 8,
+        }
+    }
+}
+
+/// Write a full scalar field as a raw volume file.
+pub fn write_raw(path: &Path, field: &ScalarField, dtype: VolumeDType) -> io::Result<()> {
+    let mut f = File::create(path)?;
+    let mut buf = Vec::with_capacity(field.data().len() * dtype.size_bytes() as usize);
+    for &v in field.data() {
+        match dtype {
+            VolumeDType::U8 => buf.push(v.clamp(0.0, 255.0) as u8),
+            VolumeDType::F32 => buf.extend_from_slice(&v.to_le_bytes()),
+            VolumeDType::F64 => buf.extend_from_slice(&(v as f64).to_le_bytes()),
+        }
+    }
+    f.write_all(&buf)
+}
+
+/// Read a full raw volume file into a scalar field.
+pub fn read_raw(path: &Path, dims: Dims, dtype: VolumeDType) -> io::Result<ScalarField> {
+    let mut f = File::open(path)?;
+    let n = dims.n_verts() as usize;
+    let mut buf = vec![0u8; n * dtype.size_bytes() as usize];
+    f.read_exact(&mut buf)?;
+    Ok(ScalarField::new(dims, decode(&buf, dtype)))
+}
+
+fn decode(buf: &[u8], dtype: VolumeDType) -> Vec<f32> {
+    match dtype {
+        VolumeDType::U8 => buf.iter().map(|&b| b as f32).collect(),
+        VolumeDType::F32 => buf
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect(),
+        VolumeDType::F64 => buf
+            .chunks_exact(8)
+            .map(|c| {
+                f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]) as f32
+            })
+            .collect(),
+    }
+}
+
+/// The contiguous byte runs a block's subarray view covers, as
+/// `(file offset, byte length)` pairs in file order. One run per x-row of
+/// the block's vertex sub-box.
+pub fn block_runs(domain: Dims, block: &BlockBox, dtype: VolumeDType) -> Vec<(u64, u64)> {
+    let es = dtype.size_bytes();
+    let row_len = (block.hi[0] - block.lo[0] + 1) as u64 * es;
+    let mut runs = Vec::with_capacity(
+        ((block.hi[1] - block.lo[1] + 1) * (block.hi[2] - block.lo[2] + 1)) as usize,
+    );
+    for z in block.lo[2]..=block.hi[2] {
+        for y in block.lo[1]..=block.hi[1] {
+            let off = domain.vertex_index(block.lo[0], y, z) * es;
+            runs.push((off, row_len));
+        }
+    }
+    runs
+}
+
+/// Read one block's values from a raw volume file using its subarray runs.
+pub fn read_block(
+    path: &Path,
+    domain: Dims,
+    block: &BlockBox,
+    dtype: VolumeDType,
+) -> io::Result<BlockField> {
+    let mut f = File::open(path)?;
+    let runs = block_runs(domain, block, dtype);
+    let total: u64 = runs.iter().map(|r| r.1).sum();
+    let mut buf = Vec::with_capacity(total as usize);
+    let mut row = vec![0u8; runs.first().map_or(0, |r| r.1 as usize)];
+    for (off, len) in runs {
+        f.seek(SeekFrom::Start(off))?;
+        row.resize(len as usize, 0);
+        f.read_exact(&mut row)?;
+        buf.extend_from_slice(&row);
+    }
+    Ok(BlockField::new(*block, domain, decode(&buf, dtype)))
+}
+
+/// Total bytes a block reads (used by the I/O performance model).
+pub fn block_bytes(block: &BlockBox, dtype: VolumeDType) -> u64 {
+    block.n_verts() * dtype.size_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomp::Decomposition;
+
+    fn tempfile(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("msp_grid_test_{}_{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn raw_round_trip_f32() {
+        let dims = Dims::new(5, 4, 3);
+        let f = ScalarField::from_fn(dims, |x, y, z| x as f32 * 0.5 - y as f32 + z as f32 * 2.0);
+        let p = tempfile("rt_f32.raw");
+        write_raw(&p, &f, VolumeDType::F32).unwrap();
+        let g = read_raw(&p, dims, VolumeDType::F32).unwrap();
+        assert_eq!(f.data(), g.data());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn raw_round_trip_u8_quantizes() {
+        let dims = Dims::new(3, 3, 3);
+        let f = ScalarField::from_fn(dims, |x, _, _| x as f32 * 100.0 + 300.0); // clamps at 255
+        let p = tempfile("rt_u8.raw");
+        write_raw(&p, &f, VolumeDType::U8).unwrap();
+        let g = read_raw(&p, dims, VolumeDType::U8).unwrap();
+        assert!(g.data().iter().all(|&v| (0.0..=255.0).contains(&v)));
+        assert_eq!(g.value(0, 0, 0), 255.0);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn raw_round_trip_f64() {
+        let dims = Dims::new(4, 2, 2);
+        let f = ScalarField::from_fn(dims, |x, y, z| (x + y + z) as f32 * 0.125);
+        let p = tempfile("rt_f64.raw");
+        write_raw(&p, &f, VolumeDType::F64).unwrap();
+        let g = read_raw(&p, dims, VolumeDType::F64).unwrap();
+        assert_eq!(f.data(), g.data());
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn block_read_matches_extraction() {
+        let dims = Dims::new(9, 7, 5);
+        let f = ScalarField::from_fn(dims, |x, y, z| (x * 31 + y * 17 + z * 3) as f32);
+        let p = tempfile("block_read.raw");
+        write_raw(&p, &f, VolumeDType::F32).unwrap();
+        let d = Decomposition::bisect(dims, 4);
+        for b in d.blocks() {
+            let via_file = read_block(&p, dims, b, VolumeDType::F32).unwrap();
+            let via_mem = f.extract_block(b);
+            assert_eq!(via_file.data(), via_mem.data(), "block {}", b.id);
+        }
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn runs_are_disjoint_and_sized() {
+        let dims = Dims::new(8, 8, 8);
+        let d = Decomposition::bisect(dims, 8);
+        for b in d.blocks() {
+            let runs = block_runs(dims, b, VolumeDType::F32);
+            let total: u64 = runs.iter().map(|r| r.1).sum();
+            assert_eq!(total, block_bytes(b, VolumeDType::F32));
+            for w in runs.windows(2) {
+                assert!(w[0].0 + w[0].1 <= w[1].0, "runs must be ordered and disjoint");
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the grid substrate: address codecs, box
+//! arithmetic and decomposition invariants over randomized shapes.
+
+use msp_grid::topology::{cofacets, facets, RBox};
+use msp_grid::{Decomposition, Dims, RCoord};
+use proptest::prelude::*;
+
+fn arb_dims() -> impl Strategy<Value = Dims> {
+    (2u32..12, 2u32..12, 2u32..12).prop_map(|(x, y, z)| Dims::new(x, y, z))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn vertex_index_bijective(dims in arb_dims(), idx in 0u64..1000) {
+        let idx = idx % dims.n_verts();
+        let (x, y, z) = dims.vertex_coord(idx);
+        prop_assert_eq!(dims.vertex_index(x, y, z), idx);
+    }
+
+    #[test]
+    fn cell_address_bijective(dims in arb_dims(), raw in 0u64..100_000) {
+        let r = dims.refined();
+        let addr = raw % r.len();
+        let c = RCoord::from_address(addr, &r);
+        prop_assert_eq!(c.address(&r), addr);
+        prop_assert!(c.cell_dim() <= 3);
+    }
+
+    #[test]
+    fn facet_cofacet_duality(dims in arb_dims(), raw in 0u64..100_000) {
+        let r = dims.refined();
+        let bbox = RBox::new(
+            RCoord::new(0, 0, 0),
+            RCoord::new(r.rx as u32 - 1, r.ry as u32 - 1, r.rz as u32 - 1),
+        );
+        let c = RCoord::from_address(raw % r.len(), &r);
+        // every facet has this cell among its cofacets and vice versa
+        for (_, f) in facets(c, &bbox) {
+            prop_assert_eq!(f.cell_dim() + 1, c.cell_dim());
+            prop_assert!(cofacets(f, &bbox).any(|(_, cf)| cf == c));
+        }
+        for (_, cf) in cofacets(c, &bbox) {
+            prop_assert_eq!(cf.cell_dim(), c.cell_dim() + 1);
+            prop_assert!(facets(cf, &bbox).any(|(_, f)| f == c));
+        }
+        // facet/cofacet counts follow from the parity pattern
+        let d = c.cell_dim() as usize;
+        prop_assert_eq!(facets(c, &bbox).count(), 2 * d);
+        prop_assert!(cofacets(c, &bbox).count() <= 2 * (3 - d));
+    }
+
+    #[test]
+    fn decomposition_covers_and_partitions(dims in arb_dims(), blocks in 1u32..9) {
+        let cells = (dims.nx as u64 - 1).max(1)
+            * (dims.ny as u64 - 1).max(1)
+            * (dims.nz as u64 - 1).max(1);
+        prop_assume!(cells >= blocks as u64 * 2); // enough room to bisect
+        let d = match std::panic::catch_unwind(|| Decomposition::bisect(dims, blocks)) {
+            Ok(d) => d,
+            Err(_) => return Ok(()), // unbisectable shapes are allowed to panic
+        };
+        prop_assert_eq!(d.n_blocks(), blocks);
+        // block cells partition the domain exactly
+        let sum: u64 = d.blocks().iter().map(|b| {
+            let bd = b.dims();
+            (bd.nx as u64 - 1) * (bd.ny as u64 - 1) * (bd.nz as u64 - 1)
+        }).sum();
+        prop_assert_eq!(sum, cells);
+    }
+
+    #[test]
+    fn owners_consistent_with_boxes(dims in arb_dims(), blocks in 2u32..9, raw in 0u64..100_000) {
+        let cells = (dims.nx as u64 - 1) * (dims.ny as u64 - 1) * (dims.nz as u64 - 1);
+        prop_assume!(cells >= blocks as u64 * 4);
+        let d = match std::panic::catch_unwind(|| Decomposition::bisect(dims, blocks)) {
+            Ok(d) => d,
+            Err(_) => return Ok(()),
+        };
+        let r = dims.refined();
+        let c = RCoord::from_address(raw % r.len(), &r);
+        let owners = d.owners(c);
+        let mut brute: Vec<u32> = d
+            .blocks()
+            .iter()
+            .filter(|b| b.refined_box().contains(c))
+            .map(|b| b.id)
+            .collect();
+        brute.sort_unstable();
+        prop_assert_eq!(owners.as_slice(), brute.as_slice());
+        prop_assert!(!owners.is_empty(), "every cell has at least one owner");
+    }
+
+    #[test]
+    fn rbox_local_index_bijective(
+        lo in (0u32..6, 0u32..6, 0u32..6),
+        ext in (1u32..6, 1u32..6, 1u32..6),
+        raw in 0u64..10_000,
+    ) {
+        let b = RBox::new(
+            RCoord::new(lo.0, lo.1, lo.2),
+            RCoord::new(lo.0 + ext.0, lo.1 + ext.1, lo.2 + ext.2),
+        );
+        let idx = raw % b.len();
+        let c = b.from_local_index(idx);
+        prop_assert!(b.contains(c));
+        prop_assert_eq!(b.local_index(c), idx);
+    }
+}

@@ -1,0 +1,219 @@
+//! One-byte-per-cell discrete gradient storage.
+//!
+//! "We use a refined grid to store the result of the gradient
+//! computation, … and stores the discrete gradient pairing, criticality,
+//! and additional temporary values compactly in one byte per element"
+//! (paper §IV-C). The byte layout here:
+//!
+//! ```text
+//! bit 0..2   partner direction (FaceDir code 0..5), valid when PAIRED
+//! bit 3      TAIL: partner is a cofacet (flow leaves through this cell)
+//! bit 4      PAIRED
+//! bit 5      CRITICAL
+//! bit 6      ASSIGNED
+//! ```
+
+use msp_grid::topology::{FaceDir, RBox};
+use msp_grid::RCoord;
+
+const DIR_MASK: u8 = 0b0000_0111;
+const TAIL: u8 = 0b0000_1000;
+const PAIRED: u8 = 0b0001_0000;
+const CRITICAL: u8 = 0b0010_0000;
+const ASSIGNED: u8 = 0b0100_0000;
+
+/// The discrete gradient of one block, stored on the block's refined box
+/// in **global** refined coordinates.
+#[derive(Debug, Clone)]
+pub struct GradientField {
+    bbox: RBox,
+    bytes: Vec<u8>,
+}
+
+impl GradientField {
+    /// A fully unassigned gradient over `bbox`.
+    pub fn new(bbox: RBox) -> Self {
+        GradientField {
+            bbox,
+            bytes: vec![0; bbox.len() as usize],
+        }
+    }
+
+    /// The block's refined box (global coordinates).
+    pub fn bbox(&self) -> &RBox {
+        &self.bbox
+    }
+
+    #[inline]
+    fn byte(&self, c: RCoord) -> u8 {
+        self.bytes[self.bbox.local_index(c) as usize]
+    }
+
+    #[inline]
+    fn byte_mut(&mut self, c: RCoord) -> &mut u8 {
+        &mut self.bytes[self.bbox.local_index(c) as usize]
+    }
+
+    /// Raw byte of a cell (for boundary-equality tests and serialization).
+    pub fn raw(&self, c: RCoord) -> u8 {
+        self.byte(c)
+    }
+
+    pub fn is_assigned(&self, c: RCoord) -> bool {
+        self.byte(c) & ASSIGNED != 0
+    }
+
+    pub fn is_critical(&self, c: RCoord) -> bool {
+        self.byte(c) & CRITICAL != 0
+    }
+
+    pub fn is_paired(&self, c: RCoord) -> bool {
+        self.byte(c) & PAIRED != 0
+    }
+
+    /// True when `c` is the tail of its vector (paired with a cofacet,
+    /// i.e. flow passes *through* `c` into the partner).
+    pub fn is_tail(&self, c: RCoord) -> bool {
+        let b = self.byte(c);
+        b & PAIRED != 0 && b & TAIL != 0
+    }
+
+    /// True when `c` is the head of its vector (paired with a facet).
+    pub fn is_head(&self, c: RCoord) -> bool {
+        let b = self.byte(c);
+        b & PAIRED != 0 && b & TAIL == 0
+    }
+
+    /// The cell `c` is paired with, if any.
+    pub fn partner(&self, c: RCoord) -> Option<RCoord> {
+        let b = self.byte(c);
+        if b & PAIRED == 0 {
+            return None;
+        }
+        let dir = FaceDir::from_code(b & DIR_MASK);
+        let axis = dir.axis as usize;
+        let v = (c.get(axis) as i64 + dir.delta() as i64) as u32;
+        Some(c.with(axis, v))
+    }
+
+    /// Record the discrete vector `(tail < head)` where `head` must be a
+    /// cofacet of `tail` one step along some axis. Panics (debug) if
+    /// either cell is already assigned.
+    pub fn pair(&mut self, tail: RCoord, head: RCoord) {
+        debug_assert!(!self.is_assigned(tail), "tail already assigned");
+        debug_assert!(!self.is_assigned(head), "head already assigned");
+        debug_assert_eq!(tail.cell_dim() + 1, head.cell_dim());
+        let (axis, positive) = Self::step_between(tail, head);
+        let fwd = FaceDir { axis, positive };
+        *self.byte_mut(tail) = ASSIGNED | PAIRED | TAIL | fwd.code();
+        *self.byte_mut(head) = ASSIGNED | PAIRED | fwd.flip().code();
+    }
+
+    fn step_between(a: RCoord, b: RCoord) -> (u8, bool) {
+        for axis in 0..3 {
+            let (x, y) = (a.get(axis), b.get(axis));
+            if x != y {
+                debug_assert!((x as i64 - y as i64).abs() == 1, "cells must be adjacent");
+                for other in 0..3 {
+                    if other != axis {
+                        debug_assert_eq!(a.get(other), b.get(other));
+                    }
+                }
+                return (axis as u8, y > x);
+            }
+        }
+        panic!("cells are identical");
+    }
+
+    /// Mark `c` as a critical cell.
+    pub fn mark_critical(&mut self, c: RCoord) {
+        debug_assert!(!self.is_assigned(c), "cell already assigned");
+        *self.byte_mut(c) = ASSIGNED | CRITICAL;
+    }
+
+    /// All critical cells, in address order.
+    pub fn critical_cells(&self) -> Vec<RCoord> {
+        self.bbox
+            .iter()
+            .filter(|&c| self.is_critical(c))
+            .collect()
+    }
+
+    /// Count of critical cells per index (0..=3).
+    pub fn census(&self) -> [u64; 4] {
+        let mut out = [0u64; 4];
+        for c in self.bbox.iter() {
+            if self.is_critical(c) {
+                out[c.cell_dim() as usize] += 1;
+            }
+        }
+        out
+    }
+
+    /// Number of unassigned cells (0 after a complete assignment).
+    pub fn n_unassigned(&self) -> u64 {
+        self.bytes.iter().filter(|&&b| b & ASSIGNED == 0).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_box() -> RBox {
+        RBox::new(RCoord::new(0, 0, 0), RCoord::new(4, 4, 4))
+    }
+
+    #[test]
+    fn fresh_field_unassigned() {
+        let g = GradientField::new(small_box());
+        assert_eq!(g.n_unassigned(), 125);
+        assert!(!g.is_assigned(RCoord::new(1, 2, 3)));
+        assert_eq!(g.partner(RCoord::new(1, 2, 3)), None);
+    }
+
+    #[test]
+    fn pair_round_trip() {
+        let mut g = GradientField::new(small_box());
+        let v = RCoord::new(2, 2, 2);
+        let e = RCoord::new(3, 2, 2);
+        g.pair(v, e);
+        assert!(g.is_tail(v));
+        assert!(g.is_head(e));
+        assert_eq!(g.partner(v), Some(e));
+        assert_eq!(g.partner(e), Some(v));
+        assert!(!g.is_critical(v));
+        assert_eq!(g.n_unassigned(), 123);
+    }
+
+    #[test]
+    fn pair_negative_direction() {
+        let mut g = GradientField::new(small_box());
+        let e = RCoord::new(2, 1, 2); // edge along y
+        let v = RCoord::new(2, 2, 2); // its upper vertex
+        g.pair(v, e);
+        assert_eq!(g.partner(v), Some(e));
+        assert_eq!(g.partner(e), Some(v));
+    }
+
+    #[test]
+    fn critical_census() {
+        let mut g = GradientField::new(small_box());
+        g.mark_critical(RCoord::new(0, 0, 0)); // vertex
+        g.mark_critical(RCoord::new(1, 0, 0)); // edge
+        g.mark_critical(RCoord::new(1, 1, 0)); // quad
+        g.mark_critical(RCoord::new(1, 1, 1)); // voxel
+        g.mark_critical(RCoord::new(3, 3, 3)); // voxel
+        assert_eq!(g.census(), [1, 1, 1, 2]);
+        assert_eq!(g.critical_cells().len(), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_assign_panics() {
+        let mut g = GradientField::new(small_box());
+        let v = RCoord::new(2, 2, 2);
+        g.mark_critical(v);
+        g.mark_critical(v);
+    }
+}

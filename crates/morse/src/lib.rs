@@ -1,0 +1,34 @@
+//! # msp-morse
+//!
+//! Discrete-Morse-theory substrate: computing a discrete gradient vector
+//! field on a block of a structured grid and tracing its V-paths.
+//!
+//! The paper (§IV-C) computes the gradient with the approach of Gyulassy
+//! et al. [10], pairing cells in the direction of steepest descent with
+//! simulation of simplicity, and **restricts pairing on shared block
+//! faces** so that neighbouring blocks produce identical boundary
+//! gradients — the property that later lets Morse-Smale complexes be
+//! glued. This crate provides:
+//!
+//! * [`gradient::GradientField`] — the paper's one-byte-per-cell refined
+//!   grid encoding of pairing direction, criticality and assignment;
+//! * [`lower_star::assign_gradient`] — the production algorithm:
+//!   per-vertex lower-star homotopy expansion, stratified by the owner
+//!   sets of the decomposition (the boundary restriction);
+//! * [`greedy::assign_gradient_greedy`] — the dimension-sorted greedy
+//!   assignment of [10], kept as an ablation baseline;
+//! * [`trace`] — V-path tracing from critical cells, producing the arcs
+//!   and geometric embeddings that the MS complex is built from;
+//! * [`validate`] — structural validity checks (pairing legality,
+//!   acyclicity, Euler characteristic, cross-block boundary equality)
+//!   used heavily by the test suites.
+
+pub mod gradient;
+pub mod greedy;
+pub mod lower_star;
+pub mod trace;
+pub mod validate;
+
+pub use gradient::GradientField;
+pub use lower_star::assign_gradient;
+pub use trace::{trace_all_arcs, TraceLimits, TraceStats, TracedArc};

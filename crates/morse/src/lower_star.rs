@@ -1,0 +1,385 @@
+//! Stratified lower-star discrete gradient assignment.
+//!
+//! Every cell of the cubical complex belongs to the *lower star* of
+//! exactly one vertex: the maximal vertex (under the simulation-of-
+//! simplicity order) of its vertex set. Lower stars are therefore
+//! processed independently — this is the property the paper relies on
+//! when it calls the gradient computation embarrassingly parallel.
+//!
+//! Within one lower star we run homotopy expansion (two priority queues,
+//! as in Robins-Wood-Sheppard): repeatedly pair a cell that has exactly
+//! one unassigned facet in the lower star with that facet, preferring
+//! cells of smallest SoS key (steepest descent); when no pairing is
+//! possible, the smallest remaining cell becomes critical.
+//!
+//! **Boundary restriction** (paper §IV-C): a pair `(α, β)` is only legal
+//! when `owners(α) == owners(β)` — both cells lie on the boundaries of
+//! exactly the same blocks. We implement this by *stratifying* each lower
+//! star into owner-set groups and running the expansion independently per
+//! group. Facet counts never cross groups, so the gradient restricted to
+//! a shared block face is computed purely from data on that face — which
+//! both adjacent blocks hold identically — making boundary gradients
+//! bitwise equal across blocks (see `validate::boundary_consistent`).
+
+use crate::gradient::GradientField;
+use msp_grid::decomp::{Decomposition, OwnerSet};
+use msp_grid::field::{BlockField, CellKey};
+use msp_grid::topology::RBox;
+use msp_grid::RCoord;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One cell of the lower star currently being processed.
+#[derive(Clone, Copy)]
+struct Entry {
+    c: RCoord,
+    key: CellKey,
+    group: u8,
+    assigned: bool,
+}
+
+/// Scratch state reused across lower stars to avoid per-vertex allocation.
+struct Scratch {
+    entries: Vec<Entry>,
+    groups: Vec<OwnerSet>,
+    pq_one: BinaryHeap<Reverse<(CellKey, u8)>>,
+    pq_zero: BinaryHeap<Reverse<(CellKey, u8)>>,
+}
+
+impl Scratch {
+    fn new() -> Self {
+        Scratch {
+            entries: Vec::with_capacity(27),
+            groups: Vec::with_capacity(8),
+            pq_one: BinaryHeap::with_capacity(27),
+            pq_zero: BinaryHeap::with_capacity(27),
+        }
+    }
+}
+
+/// Compute the discrete gradient of one block, restricted so that shared
+/// block faces are assigned identically in all owning blocks.
+pub fn assign_gradient(field: &BlockField, decomp: &Decomposition) -> GradientField {
+    let block = *field.block();
+    let bbox = block.refined_box();
+    let mut grad = GradientField::new(bbox);
+    let mut scratch = Scratch::new();
+    for z in block.lo[2]..=block.hi[2] {
+        for y in block.lo[1]..=block.hi[1] {
+            for x in block.lo[0]..=block.hi[0] {
+                process_lower_star(
+                    field,
+                    decomp,
+                    &bbox,
+                    RCoord::of_vertex(x, y, z),
+                    &mut grad,
+                    &mut scratch,
+                );
+            }
+        }
+    }
+    debug_assert_eq!(grad.n_unassigned(), 0, "all cells must be assigned");
+    grad
+}
+
+/// True if `f` is a facet of `c` (both containing the same vertex): they
+/// differ by exactly 1 on exactly one axis, where `c` is odd.
+#[inline]
+fn is_facet_of(f: RCoord, c: RCoord) -> bool {
+    let mut diff_axis = None;
+    for a in 0..3 {
+        let (x, y) = (f.get(a), c.get(a));
+        if x != y {
+            if diff_axis.is_some() || (x as i64 - y as i64).abs() != 1 {
+                return false;
+            }
+            diff_axis = Some(a);
+        }
+    }
+    match diff_axis {
+        Some(a) => c.get(a) % 2 == 1,
+        None => false,
+    }
+}
+
+fn process_lower_star(
+    field: &BlockField,
+    decomp: &Decomposition,
+    bbox: &RBox,
+    rv: RCoord,
+    grad: &mut GradientField,
+    s: &mut Scratch,
+) {
+    let vkey = field.vertex_key(rv);
+    s.entries.clear();
+    s.groups.clear();
+    s.pq_one.clear();
+    s.pq_zero.clear();
+
+    // Fast path: a vertex at refined distance >= 2 from every block-box
+    // face has a star entirely interior to the block, hence a single
+    // owner group. (Shared cells are always on the block surface.)
+    let interior = (0..3).all(|a| {
+        rv.get(a) >= bbox.lo.get(a) + 2 && rv.get(a) + 2 <= bbox.hi.get(a)
+    });
+    let block_id = field.block().id;
+
+    // Collect the lower star: star cells (within the block box) whose
+    // maximal vertex is rv.
+    for dz in -1i32..=1 {
+        for dy in -1i32..=1 {
+            for dx in -1i32..=1 {
+                let (cx, cy, cz) = (
+                    rv.x as i64 + dx as i64,
+                    rv.y as i64 + dy as i64,
+                    rv.z as i64 + dz as i64,
+                );
+                if cx < 0 || cy < 0 || cz < 0 {
+                    continue;
+                }
+                let c = RCoord::new(cx as u32, cy as u32, cz as u32);
+                if !bbox.contains(c) {
+                    continue;
+                }
+                let key = field.cell_key(c);
+                if key.max_vertex() != vkey {
+                    continue; // not in the lower star of rv
+                }
+                let owners = if interior || decomp.interior_to(block_id, c) {
+                    // singleton owner set {block}
+                    let mut o = OwnerSet::empty();
+                    o.push(block_id);
+                    o
+                } else {
+                    decomp.owners(c)
+                };
+                let group = match s.groups.iter().position(|g| *g == owners) {
+                    Some(i) => i as u8,
+                    None => {
+                        s.groups.push(owners);
+                        (s.groups.len() - 1) as u8
+                    }
+                };
+                s.entries.push(Entry {
+                    c,
+                    key,
+                    group,
+                    assigned: false,
+                });
+            }
+        }
+    }
+
+    // Seed the queues by initial unassigned-facet count.
+    for i in 0..s.entries.len() {
+        let cnt = count_unassigned_facets(&s.entries, i);
+        let e = &s.entries[i];
+        if cnt == 1 {
+            s.pq_one.push(Reverse((e.key, i as u8)));
+        } else {
+            s.pq_zero.push(Reverse((e.key, i as u8)));
+        }
+    }
+
+    // Homotopy expansion, steepest (smallest key) first.
+    loop {
+        if let Some(Reverse((_, i))) = s.pq_one.pop() {
+            let i = i as usize;
+            if s.entries[i].assigned {
+                continue;
+            }
+            let cnt = count_unassigned_facets(&s.entries, i);
+            debug_assert!(cnt <= 1, "facet counts only decrease");
+            if cnt == 0 {
+                let e = &s.entries[i];
+                s.pq_zero.push(Reverse((e.key, i as u8)));
+                continue;
+            }
+            let j = unique_unassigned_facet(&s.entries, i);
+            grad.pair(s.entries[j].c, s.entries[i].c);
+            s.entries[i].assigned = true;
+            s.entries[j].assigned = true;
+            notify_cofacets(s, i);
+            notify_cofacets(s, j);
+            continue;
+        }
+        if let Some(Reverse((_, i))) = s.pq_zero.pop() {
+            let i = i as usize;
+            if s.entries[i].assigned {
+                continue;
+            }
+            let cnt = count_unassigned_facets(&s.entries, i);
+            if cnt == 1 {
+                let e = &s.entries[i];
+                s.pq_one.push(Reverse((e.key, i as u8)));
+                continue;
+            }
+            debug_assert_eq!(
+                cnt, 0,
+                "a popped zero-queue cell must have no unassigned facets"
+            );
+            grad.mark_critical(s.entries[i].c);
+            s.entries[i].assigned = true;
+            notify_cofacets(s, i);
+            continue;
+        }
+        break;
+    }
+    debug_assert!(s.entries.iter().all(|e| e.assigned));
+}
+
+/// Count unassigned facets of entry `i` within the lower star and the
+/// same owner group.
+fn count_unassigned_facets(entries: &[Entry], i: usize) -> usize {
+    let e = entries[i];
+    entries
+        .iter()
+        .filter(|f| !f.assigned && f.group == e.group && is_facet_of(f.c, e.c))
+        .count()
+}
+
+/// Index of the unique unassigned same-group facet of entry `i`.
+fn unique_unassigned_facet(entries: &[Entry], i: usize) -> usize {
+    let e = entries[i];
+    entries
+        .iter()
+        .position(|f| !f.assigned && f.group == e.group && is_facet_of(f.c, e.c))
+        .expect("caller checked count == 1")
+}
+
+/// After entry `i` was assigned, push its still-unassigned same-group
+/// cofacets whose unassigned-facet count just reached one.
+fn notify_cofacets(s: &mut Scratch, i: usize) {
+    let e = s.entries[i];
+    for k in 0..s.entries.len() {
+        let g = s.entries[k];
+        if g.assigned || g.group != e.group || !is_facet_of(e.c, g.c) {
+            continue;
+        }
+        if count_unassigned_facets(&s.entries, k) == 1 {
+            s.pq_one.push(Reverse((g.key, k as u8)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msp_grid::{Dims, ScalarField};
+
+    fn serial_grad(f: &ScalarField) -> GradientField {
+        let d = Decomposition::bisect(f.dims(), 1);
+        let bf = f.extract_block(d.block(0));
+        assign_gradient(&bf, &d)
+    }
+
+    #[test]
+    fn ramp_has_single_min_and_max() {
+        // strictly monotone field on a box: one minimum (index 0) and
+        // nothing else of positive persistence; discrete construction
+        // gives exactly one critical cell: the global min vertex.
+        let f = ScalarField::from_fn(Dims::new(5, 5, 5), |x, y, z| {
+            (x + 5 * y + 25 * z) as f32
+        });
+        let g = serial_grad(&f);
+        let census = g.census();
+        assert_eq!(census[0], 1, "exactly one minimum, got {:?}", census);
+        // Euler characteristic of a ball: c0 - c1 + c2 - c3 = 1
+        let chi = census[0] as i64 - census[1] as i64 + census[2] as i64 - census[3] as i64;
+        assert_eq!(chi, 1);
+    }
+
+    #[test]
+    fn constant_field_resolved_by_sos() {
+        let f = ScalarField::from_fn(Dims::new(4, 4, 4), |_, _, _| 1.0);
+        let g = serial_grad(&f);
+        let census = g.census();
+        let chi = census[0] as i64 - census[1] as i64 + census[2] as i64 - census[3] as i64;
+        assert_eq!(chi, 1, "plateau must still satisfy chi = 1: {:?}", census);
+        // SoS should produce a *minimal* number of critical cells here:
+        // one vertex (the SoS-smallest corner) and nothing else.
+        assert_eq!(census, [1, 0, 0, 0], "SoS should fully collapse a plateau");
+    }
+
+    #[test]
+    fn single_bump_critical_points() {
+        // one Gaussian bump: one max in the interior; minima forced to the
+        // boundary of the box
+        let dims = Dims::new(9, 9, 9);
+        let f = ScalarField::from_fn(dims, |x, y, z| {
+            let d2 = (x as f32 - 4.0).powi(2) + (y as f32 - 4.0).powi(2)
+                + (z as f32 - 4.0).powi(2);
+            (-d2 / 8.0).exp()
+        });
+        let g = serial_grad(&f);
+        let census = g.census();
+        assert_eq!(census[3], 1, "exactly one maximum (voxel): {:?}", census);
+        let chi = census[0] as i64 - census[1] as i64 + census[2] as i64 - census[3] as i64;
+        assert_eq!(chi, 1);
+    }
+
+    #[test]
+    fn every_cell_assigned_exactly_once() {
+        let f = msp_synth::white_noise(Dims::new(7, 6, 5), 99);
+        let g = serial_grad(&f);
+        assert_eq!(g.n_unassigned(), 0);
+        // partner symmetry
+        for c in g.bbox().iter() {
+            if let Some(p) = g.partner(c) {
+                assert_eq!(g.partner(p), Some(c), "pairing must be mutual at {:?}", c);
+                assert!(g.is_tail(c) != g.is_tail(p), "one tail, one head");
+            } else {
+                assert!(g.is_critical(c));
+            }
+        }
+    }
+
+    #[test]
+    fn pairs_respect_owner_restriction() {
+        let dims = Dims::new(9, 9, 9);
+        let f = msp_synth::white_noise(dims, 7);
+        let d = Decomposition::bisect(dims, 4);
+        for b in d.blocks() {
+            let bf = f.extract_block(b);
+            let g = assign_gradient(&bf, &d);
+            for c in g.bbox().iter() {
+                if let Some(p) = g.partner(c) {
+                    assert_eq!(
+                        d.owners(c).as_slice(),
+                        d.owners(p).as_slice(),
+                        "pair {:?} <-> {:?} must have equal owner sets",
+                        c,
+                        p
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_gradient_identical_across_blocks() {
+        let dims = Dims::new(9, 9, 9);
+        let f = msp_synth::white_noise(dims, 21);
+        let d = Decomposition::bisect(dims, 8);
+        let grads: Vec<GradientField> = d
+            .blocks()
+            .iter()
+            .map(|b| assign_gradient(&f.extract_block(b), &d))
+            .collect();
+        for a in 0..grads.len() {
+            for b in (a + 1)..grads.len() {
+                let (ga, gb) = (&grads[a], &grads[b]);
+                for c in ga.bbox().iter() {
+                    if gb.bbox().contains(c) {
+                        assert_eq!(
+                            ga.raw(c),
+                            gb.raw(c),
+                            "shared cell {:?} must carry identical gradient bytes",
+                            c
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! 2D (flat-grid) support: the refined-grid machinery is dimension
+//! generic, so an `nz = 1` grid yields the 2D Morse-Smale complex the
+//! paper's background section (Fig 2) illustrates — minima, saddles and
+//! maxima of a height field connected by arcs. These tests pin that down.
+
+use msp_grid::{Decomposition, Dims, ScalarField};
+use msp_morse::validate::{boundary_consistent, check_valid, euler_characteristic};
+use msp_morse::{assign_gradient, trace_all_arcs, TraceLimits};
+
+fn terrain(n: u32) -> ScalarField {
+    ScalarField::from_fn(Dims::new(n, n, 1), |x, y, _| {
+        let (u, v) = (x as f32 / (n - 1) as f32, y as f32 / (n - 1) as f32);
+        (3.2 * std::f32::consts::PI * u).sin() * (2.7 * std::f32::consts::PI * v).cos()
+            + 0.001 * ((x * 31 + y * 17) % 13) as f32
+    })
+}
+
+#[test]
+fn two_dimensional_fields_work() {
+    let dims = Dims::new(9, 9, 1);
+    let f = ScalarField::from_fn(dims, |x, y, _| {
+        ((x as f32 * 0.9).sin() * (y as f32 * 0.8).cos()) + 0.01 * (x + y) as f32
+    });
+    let d = Decomposition::bisect(dims, 2);
+    for b in d.blocks() {
+        let g = assign_gradient(&f.extract_block(b), &d);
+        let r = check_valid(&g);
+        assert!(r.is_ok(), "{:?}", r);
+        assert_eq!(euler_characteristic(&g), 1);
+        let c = g.census();
+        assert_eq!(c[3], 0, "no voxels in 2D");
+    }
+}
+
+#[test]
+fn terrain_has_2d_morse_structure() {
+    let f = terrain(25);
+    let d = Decomposition::bisect(f.dims(), 1);
+    let g = assign_gradient(&f.extract_block(d.block(0)), &d);
+    let c = g.census();
+    // a wavy terrain has multiple maxima (2-cells) and saddles (1-cells)
+    assert!(c[2] >= 2, "expected interior maxima: {:?}", c);
+    assert!(c[1] >= 2, "expected saddles: {:?}", c);
+    assert_eq!(c[3], 0);
+    assert_eq!(euler_characteristic(&g), 1);
+    // arcs alternate saddle-extremum correctly in 2D
+    let (arcs, _) = trace_all_arcs(&g, TraceLimits::default());
+    assert!(!arcs.is_empty());
+    for a in &arcs {
+        assert!(a.upper.cell_dim() <= 2);
+        assert_eq!(a.upper.cell_dim(), a.lower.cell_dim() + 1);
+    }
+}
+
+#[test]
+fn two_d_blocked_boundary_consistency() {
+    let f = terrain(17);
+    let d = Decomposition::bisect(f.dims(), 4);
+    let grads: Vec<_> = d
+        .blocks()
+        .iter()
+        .map(|b| assign_gradient(&f.extract_block(b), &d))
+        .collect();
+    for a in 0..grads.len() {
+        assert!(check_valid(&grads[a]).is_ok());
+        for b in (a + 1)..grads.len() {
+            assert!(boundary_consistent(&grads[a], &grads[b]));
+        }
+    }
+}
+
+#[test]
+fn two_d_pipeline_end_to_end() {
+    use msp_complex::build::build_block_complex;
+    use msp_complex::glue::glue_all;
+    use msp_complex::{simplify, SimplifyParams};
+
+    let f = terrain(17);
+    let d = Decomposition::bisect(f.dims(), 4);
+    let mut cs: Vec<_> = d
+        .blocks()
+        .iter()
+        .map(|b| {
+            let (mut ms, _) =
+                build_block_complex(&f.extract_block(b), &d, TraceLimits::default());
+            simplify(&mut ms, SimplifyParams::up_to(0.01));
+            ms.compact();
+            ms
+        })
+        .collect();
+    let mut root = cs.remove(0);
+    let rest: Vec<_> = cs.drain(..).collect();
+    glue_all(&mut root, &rest, &d);
+    simplify(&mut root, SimplifyParams::up_to(0.01));
+    root.check_integrity().unwrap();
+    let c = root.node_census();
+    assert_eq!(c[0] as i64 - c[1] as i64 + c[2] as i64 - c[3] as i64, 1);
+    assert!(root.nodes.iter().filter(|n| n.alive).all(|n| !n.boundary));
+}

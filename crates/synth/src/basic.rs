@@ -1,0 +1,106 @@
+//! Elementary test fields: ramps, constants, Gaussian-bump mixtures and
+//! reproducible white noise.
+
+use msp_grid::{Dims, ScalarField};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A ramp assigning each vertex its linear index — strictly increasing in
+/// x-fastest scan order, so it has exactly one minimum and one maximum on
+/// a box and no saddles of positive persistence.
+pub fn ramp(dims: Dims) -> ScalarField {
+    ScalarField::from_fn(dims, |x, y, z| dims.vertex_index(x, y, z) as f32)
+}
+
+/// A constant field — the degenerate flat case that simulation of
+/// simplicity must resolve to a single critical vertex per box.
+pub fn constant(dims: Dims, v: f32) -> ScalarField {
+    ScalarField::from_fn(dims, |_, _, _| v)
+}
+
+/// A sum of isotropic Gaussian bumps at reproducible random positions.
+///
+/// With well-separated bumps the field has exactly `count` significant
+/// maxima, making critical-point counts predictable in tests.
+pub fn gaussian_bumps(dims: Dims, count: usize, sigma_frac: f32, seed: u64) -> ScalarField {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let n = dims.nx.max(dims.ny).max(dims.nz) as f32;
+    let sigma = (sigma_frac * n).max(1.0);
+    let centers: Vec<[f32; 3]> = (0..count)
+        .map(|_| {
+            [
+                rng.gen_range(0.15..0.85) * (dims.nx - 1) as f32,
+                rng.gen_range(0.15..0.85) * (dims.ny - 1) as f32,
+                rng.gen_range(0.15..0.85) * (dims.nz - 1) as f32,
+            ]
+        })
+        .collect();
+    ScalarField::from_fn(dims, |x, y, z| {
+        let p = [x as f32, y as f32, z as f32];
+        centers
+            .iter()
+            .map(|c| {
+                let d2 = (p[0] - c[0]).powi(2) + (p[1] - c[1]).powi(2) + (p[2] - c[2]).powi(2);
+                (-d2 / (2.0 * sigma * sigma)).exp()
+            })
+            .sum()
+    })
+}
+
+/// Reproducible white noise in `[0, 1)`, keyed on the **global** vertex
+/// id so any sub-box regenerates identical values.
+pub fn white_noise(dims: Dims, seed: u64) -> ScalarField {
+    ScalarField::from_fn(dims, |x, y, z| {
+        hash_unit(seed, dims.vertex_index(x, y, z))
+    })
+}
+
+/// SplitMix64-style hash of `(seed, id)` mapped to `[0, 1)`.
+pub fn hash_unit(seed: u64, id: u64) -> f32 {
+    let mut v = seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    v ^= v >> 30;
+    v = v.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    v ^= v >> 27;
+    v = v.wrapping_mul(0x94D0_49BB_1331_11EB);
+    v ^= v >> 31;
+    (v >> 40) as f32 / (1u64 << 24) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_is_monotone() {
+        let f = ramp(Dims::new(4, 4, 4));
+        assert!(f.value(0, 0, 0) < f.value(1, 0, 0));
+        assert!(f.value(3, 3, 2) < f.value(0, 0, 3));
+        assert_eq!(f.min_max().0, f.value(0, 0, 0));
+        assert_eq!(f.min_max().1, f.value(3, 3, 3));
+    }
+
+    #[test]
+    fn constant_is_flat() {
+        let f = constant(Dims::new(3, 3, 3), 7.5);
+        assert_eq!(f.min_max(), (7.5, 7.5));
+    }
+
+    #[test]
+    fn noise_is_reproducible_and_spread() {
+        let a = white_noise(Dims::new(8, 8, 8), 42);
+        let b = white_noise(Dims::new(8, 8, 8), 42);
+        assert_eq!(a.data(), b.data());
+        let c = white_noise(Dims::new(8, 8, 8), 43);
+        assert_ne!(a.data(), c.data());
+        let (lo, hi) = a.min_max();
+        assert!(hi - lo > 0.5, "noise should span most of [0,1)");
+    }
+
+    #[test]
+    fn bumps_deterministic() {
+        let a = gaussian_bumps(Dims::new(16, 16, 16), 3, 0.08, 1);
+        let b = gaussian_bumps(Dims::new(16, 16, 16), 3, 0.08, 1);
+        assert_eq!(a.data(), b.data());
+        assert!(a.min_max().1 > 0.5, "bump peaks should be near 1");
+    }
+}

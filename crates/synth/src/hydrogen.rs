@@ -1,0 +1,88 @@
+//! Analytic stand-in for the Fig 4 dataset: "spatial probability density
+//! of a hydrogen atom residing in a strong magnetic field", byte-valued.
+//!
+//! The essential structure the stability study needs (paper §V-A):
+//! * several aligned maxima on the field axis ("three stable maxima
+//!   connected by stable arcs in a line"),
+//! * a toroidal ridge around the axis ("the loop representing the
+//!   toroidal region"),
+//! * a large constant-value (zero) exterior where critical points are
+//!   *unstable* and may shift with the blocking.
+//!
+//! We build it from Gaussian lobes along the z axis plus a Gaussian tube
+//! around a circle in the mid-plane, then quantize to bytes so the
+//! exterior becomes an exactly-flat plateau, as in the original data.
+
+use msp_grid::{Dims, ScalarField};
+
+/// The hydrogen-like test field on a cubic grid of `n` vertices per side.
+pub fn hydrogen(n: u32) -> ScalarField {
+    let dims = Dims::cube(n);
+    let c = (n - 1) as f32 / 2.0; // centre
+    let s = (n - 1) as f32; // scale
+    let lobe_sigma = 0.055 * s;
+    let ring_r = 0.27 * s;
+    let ring_sigma = 0.05 * s;
+    // three lobes along z, as in the "three stable maxima in a line"
+    let lobes = [-0.3f32, 0.0, 0.3];
+    ScalarField::from_fn(dims, |x, y, z| {
+        let (fx, fy, fz) = (x as f32 - c, y as f32 - c, z as f32 - c);
+        let r_cyl = (fx * fx + fy * fy).sqrt();
+        let mut v = 0.0f32;
+        for (i, dz) in lobes.iter().enumerate() {
+            let zz = fz - dz * s;
+            let d2 = fx * fx + fy * fy + zz * zz;
+            let amp = if i == 1 { 1.0 } else { 0.8 };
+            v += amp * (-d2 / (2.0 * lobe_sigma * lobe_sigma)).exp();
+        }
+        // toroidal ridge in the mid-plane
+        let dr = r_cyl - ring_r;
+        let d2 = dr * dr + fz * fz;
+        v += 0.65 * (-d2 / (2.0 * ring_sigma * ring_sigma)).exp();
+        // byte quantization: flat zero plateau outside, like the original
+        (v * 255.0).round().clamp(0.0, 255.0)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_flat_exterior_plateau() {
+        let f = hydrogen(33);
+        // corners are deep in the plateau
+        assert_eq!(f.value(0, 0, 0), 0.0);
+        assert_eq!(f.value(32, 32, 32), 0.0);
+        assert_eq!(f.value(0, 32, 0), 0.0);
+    }
+
+    #[test]
+    fn has_central_maximum() {
+        let f = hydrogen(33);
+        let c = 16;
+        assert!(f.value(c, c, c) > 200.0, "central lobe should be bright");
+        // lobes above and below
+        assert!(f.value(c, c, c + 10) > 100.0);
+        assert!(f.value(c, c, c - 10) > 100.0);
+    }
+
+    #[test]
+    fn ring_is_brighter_than_between() {
+        let f = hydrogen(65);
+        let c = 32u32;
+        let ring_x = c + (0.27 * 64.0) as u32; // on the ring
+        let gap_x = c + (0.45 * 64.0) as u32; // outside the ring
+        assert!(f.value(ring_x, c, c) > 100.0, "ring should be bright");
+        assert!(f.value(gap_x, c, c) < 20.0, "outside ring should be dark");
+    }
+
+    #[test]
+    fn byte_valued() {
+        let f = hydrogen(17);
+        for &v in f.data() {
+            assert!((0.0..=255.0).contains(&v));
+            assert_eq!(v, v.round(), "values must be integral (byte data)");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Turbulent-jet mixture-fraction analogue of the JET dataset (Fig 9).
+//!
+//! The original is a DNS of a temporally-evolving turbulent CO/H₂ jet
+//! flame on a 768×896×512 grid; "dissipation elements … are centered
+//! around minima of mixture fraction". What the strong-scaling study
+//! actually exercises is (a) the grid size and (b) a feature population
+//! that is dense inside a shear layer and sparse outside. We reproduce
+//! that with a planar-jet mean profile (two tanh shear layers in `y`)
+//! modulated by a band-limited sum of random Fourier modes whose
+//! amplitude is confined to the shear layers — yielding the minima-rich
+//! mixing region the paper analyses.
+
+use msp_grid::{Dims, ScalarField};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::f32::consts::PI;
+
+struct Mode {
+    k: [f32; 3],
+    phase: f32,
+    amp: f32,
+}
+
+/// Generate the jet-like mixture-fraction field.
+///
+/// `dims` follows the paper's 768×896×512 aspect when scaled (x is
+/// streamwise, y is cross-stream). `modes` controls turbulence richness
+/// (the default used by the benchmarks is 160).
+pub fn jet(dims: Dims, modes: usize, seed: u64) -> ScalarField {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let modes: Vec<Mode> = (0..modes)
+        .map(|_| {
+            // band-limited wavenumbers: features a few cells across
+            let kmag = rng.gen_range(4.0..24.0);
+            let theta = rng.gen_range(0.0..PI);
+            let phi = rng.gen_range(0.0..2.0 * PI);
+            Mode {
+                k: [
+                    kmag * theta.sin() * phi.cos(),
+                    kmag * theta.sin() * phi.sin(),
+                    kmag * theta.cos(),
+                ],
+                phase: rng.gen_range(0.0..2.0 * PI),
+                amp: rng.gen_range(0.3..1.0) / kmag.sqrt(),
+            }
+        })
+        .collect();
+    let norm: f32 = modes.iter().map(|m| m.amp).sum::<f32>().max(1.0);
+    let half_width = 0.18f32; // jet half-width as fraction of y extent
+
+    ScalarField::from_fn(dims, |x, y, z| {
+        let u = x as f32 / (dims.nx - 1).max(1) as f32;
+        let v = y as f32 / (dims.ny - 1).max(1) as f32;
+        let w = z as f32 / (dims.nz - 1).max(1) as f32;
+        // mean mixture fraction: 1 in the core, 0 outside, tanh edges
+        let d = (v - 0.5).abs();
+        let mean = 0.5 * (1.0 - ((d - half_width) / 0.04).tanh());
+        // shear-layer indicator peaks where the gradient of `mean` peaks
+        let layer = (-(d - half_width).powi(2) / (2.0 * 0.06f32.powi(2))).exp();
+        let mut turb = 0.0f32;
+        for m in &modes {
+            turb += m.amp
+                * (2.0 * PI * (m.k[0] * u + m.k[1] * v + m.k[2] * w) + m.phase).sin();
+        }
+        (mean + 0.35 * layer * turb / norm * modes.len() as f32 / 16.0).clamp(-0.2, 1.2)
+    })
+}
+
+/// The paper's grid dimensions for the JET dataset, scaled by `1/s`.
+pub fn jet_dims(scale_down: u32) -> Dims {
+    let s = scale_down.max(1);
+    Dims::new((768 / s).max(8), (896 / s).max(8), (512 / s).max(8))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = jet(Dims::new(24, 28, 16), 32, 7);
+        let b = jet(Dims::new(24, 28, 16), 32, 7);
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn core_rich_exterior_poor() {
+        let d = Dims::new(32, 64, 32);
+        let f = jet(d, 64, 3);
+        // core (y mid) has high mixture fraction, edges near zero
+        let core: f32 = (0..32).map(|x| f.value(x, 32, 16)).sum::<f32>() / 32.0;
+        let edge: f32 = (0..32).map(|x| f.value(x, 2, 16)).sum::<f32>() / 32.0;
+        assert!(core > 0.7, "core mean {core}");
+        assert!(edge < 0.2, "edge mean {edge}");
+    }
+
+    #[test]
+    fn shear_layer_has_local_minima() {
+        // minima of mixture fraction inside the layer = dissipation-element
+        // analogues; count strict 1D minima along a line in the layer
+        let d = Dims::new(96, 64, 32);
+        let f = jet(d, 96, 11);
+        let layer_y = (0.5 - 0.18) * 63.0; // lower shear layer
+        let y = layer_y as u32;
+        let mut minima = 0;
+        for x in 1..95 {
+            let (a, b, c) = (f.value(x - 1, y, 16), f.value(x, y, 16), f.value(x + 1, y, 16));
+            if b < a && b < c {
+                minima += 1;
+            }
+        }
+        assert!(minima >= 3, "expected several layer minima, got {minima}");
+    }
+
+    #[test]
+    fn jet_dims_aspect() {
+        let d = jet_dims(8);
+        assert_eq!((d.nx, d.ny, d.nz), (96, 112, 64));
+    }
+}

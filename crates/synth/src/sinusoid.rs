@@ -1,0 +1,89 @@
+//! The synthetic size × complexity family of the paper's §VI-B.
+//!
+//! "The complexity, or number of features per side, is how many times the
+//! sine function has a ±1 value along the length of one side of the
+//! volume." We use a separable product of sines: `complexity = c` gives
+//! `sin(c·π·t)` per axis for `t ∈ [0, 1]`, which attains ±1 exactly `c`
+//! times along a side. The product field has on the order of `c³`
+//! extrema, so doubling the complexity per side multiplies the feature
+//! count by 8 — matching the volume renderings of Fig 5.
+
+use msp_grid::{Dims, ScalarField};
+use std::f32::consts::PI;
+
+/// Generate the sinusoidal test field with `points` vertices per side and
+/// `complexity` features per side.
+pub fn sinusoid(points: u32, complexity: u32) -> ScalarField {
+    sinusoid_dims(Dims::cube(points), complexity)
+}
+
+/// Anisotropic variant used where the paper's grids are non-cubic.
+pub fn sinusoid_dims(dims: Dims, complexity: u32) -> ScalarField {
+    assert!(complexity >= 1, "complexity must be at least 1");
+    let c = complexity as f32;
+    let sx = c * PI / (dims.nx.max(2) - 1) as f32;
+    let sy = c * PI / (dims.ny.max(2) - 1) as f32;
+    let sz = c * PI / (dims.nz.max(2) - 1) as f32;
+    ScalarField::from_fn(dims, |x, y, z| {
+        (sx * x as f32).sin() * (sy * y as f32).sin() * (sz * z as f32).sin()
+    })
+}
+
+/// The number of interior local maxima the separable sinusoid is expected
+/// to have: `⌈c/2⌉³` cells of positive sign per axis combination — used
+/// as a ground-truth bound in tests.
+pub fn expected_extrema(complexity: u32) -> u64 {
+    // per axis the sine has `complexity` points of |sin|=1, split between
+    // maxima and minima of the 1D factor; the 3D product has one extremum
+    // per combination of 1D extremum triples: c^3 in total (maxima+minima
+    // of the product field combined).
+    (complexity as u64).pow(3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_is_plus_minus_one() {
+        let f = sinusoid(33, 4);
+        let (lo, hi) = f.min_max();
+        assert!(lo >= -1.0 && lo < -0.9, "lo = {lo}");
+        assert!(hi <= 1.0 && hi > 0.9, "hi = {hi}");
+    }
+
+    #[test]
+    fn complexity_counts_axis_extrema() {
+        // along one side (y=z at first interior max plane), the 1D factor
+        // sin(c·π·t) has c points of |f|=1
+        let n = 129u32;
+        let c = 4u32;
+        let f = sinusoid(n, c);
+        // scan the x-axis at a fixed y,z where sin factors are ~1
+        let yz = (n - 1) / (2 * c) * 1; // first 1D max of y and z factors
+        let mut extrema = 0;
+        for x in 1..n - 1 {
+            let a = f.value(x - 1, yz, yz);
+            let b = f.value(x, yz, yz);
+            let d = f.value(x + 1, yz, yz);
+            if (b > a && b > d) || (b < a && b < d) {
+                extrema += 1;
+            }
+        }
+        assert_eq!(extrema, c, "1D extrema along a side must equal complexity");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = sinusoid(17, 2);
+        let b = sinusoid(17, 2);
+        assert_eq!(a.data(), b.data());
+    }
+
+    #[test]
+    fn feature_count_grows_cubically() {
+        assert_eq!(expected_extrema(4), 64);
+        assert_eq!(expected_extrema(8), 512);
+        assert_eq!(expected_extrema(16) / expected_extrema(8), 8);
+    }
+}

@@ -1,0 +1,276 @@
+//! Threaded message-passing backend: one OS thread per rank.
+//!
+//! Point-to-point messages carry `(source, tag, payload)`; receives match
+//! on `(source, tag)`, buffering out-of-order arrivals per rank — the
+//! same envelope semantics MPI provides, minus wildcards (the pipeline
+//! never needs them).
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Barrier};
+
+struct Msg {
+    from: usize,
+    tag: u32,
+    payload: Bytes,
+}
+
+/// Launches a world of ranks, each on its own thread.
+pub struct Universe;
+
+impl Universe {
+    /// Run `f` on `world` ranks concurrently and collect each rank's
+    /// return value (indexed by rank).
+    ///
+    /// Panics in any rank propagate after all threads finish or abort.
+    pub fn run<R, F>(world: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut Rank) -> R + Send + Sync,
+    {
+        assert!(world >= 1, "world must have at least one rank");
+        let mut senders = Vec::with_capacity(world);
+        let mut receivers = Vec::with_capacity(world);
+        for _ in 0..world {
+            let (tx, rx) = unbounded::<Msg>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let senders = Arc::new(senders);
+        let barrier = Arc::new(Barrier::new(world));
+        let f = &f;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(world);
+            for (rank, rx) in receivers.into_iter().enumerate() {
+                let senders = Arc::clone(&senders);
+                let barrier = Arc::clone(&barrier);
+                handles.push(scope.spawn(move || {
+                    let mut r = Rank {
+                        rank,
+                        size: world,
+                        senders,
+                        receiver: rx,
+                        stash: RefCell::new(HashMap::new()),
+                        barrier,
+                    };
+                    f(&mut r)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
+        })
+    }
+}
+
+/// A rank's communication endpoint. Not `Sync`: it lives on one thread.
+pub struct Rank {
+    rank: usize,
+    size: usize,
+    senders: Arc<Vec<Sender<Msg>>>,
+    receiver: Receiver<Msg>,
+    stash: RefCell<HashMap<(usize, u32), VecDeque<Bytes>>>,
+    barrier: Arc<Barrier>,
+}
+
+impl Rank {
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Send `payload` to rank `to` with the given tag. Never blocks
+    /// (buffered channels), like an MPI eager-protocol send.
+    pub fn send(&self, to: usize, tag: u32, payload: Bytes) {
+        self.senders[to]
+            .send(Msg {
+                from: self.rank,
+                tag,
+                payload,
+            })
+            .expect("receiver hung up");
+    }
+
+    /// Blocking receive matching `(from, tag)`; other messages arriving
+    /// meanwhile are stashed for later receives.
+    pub fn recv(&self, from: usize, tag: u32) -> Bytes {
+        if let Some(q) = self.stash.borrow_mut().get_mut(&(from, tag)) {
+            if let Some(b) = q.pop_front() {
+                return b;
+            }
+        }
+        loop {
+            let msg = self.receiver.recv().expect("all senders hung up");
+            if msg.from == from && msg.tag == tag {
+                return msg.payload;
+            }
+            self.stash
+                .borrow_mut()
+                .entry((msg.from, msg.tag))
+                .or_default()
+                .push_back(msg.payload);
+        }
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Gather every rank's payload at `root`; returns `Some(vec indexed
+    /// by rank)` at the root, `None` elsewhere.
+    pub fn gather(&self, root: usize, tag: u32, payload: Bytes) -> Option<Vec<Bytes>> {
+        if self.rank == root {
+            let mut out = Vec::with_capacity(self.size);
+            for r in 0..self.size {
+                if r == root {
+                    out.push(payload.clone());
+                } else {
+                    out.push(self.recv(r, tag));
+                }
+            }
+            Some(out)
+        } else {
+            self.send(root, tag, payload);
+            None
+        }
+    }
+
+    /// Broadcast `payload` from `root` to every rank; returns the payload
+    /// everywhere.
+    pub fn broadcast(&self, root: usize, tag: u32, payload: Option<Bytes>) -> Bytes {
+        if self.rank == root {
+            let p = payload.expect("root must supply the broadcast payload");
+            for r in 0..self.size {
+                if r != root {
+                    self.send(r, tag, p.clone());
+                }
+            }
+            p
+        } else {
+            self.recv(root, tag)
+        }
+    }
+
+    /// All-reduce an `f64` with the given associative op (gather at rank
+    /// 0, reduce, broadcast).
+    pub fn allreduce_f64(&self, tag: u32, value: f64, op: impl Fn(f64, f64) -> f64) -> f64 {
+        let payload = Bytes::copy_from_slice(&value.to_le_bytes());
+        let gathered = self.gather(0, tag, payload);
+        let result = if let Some(all) = gathered {
+            let reduced = all
+                .iter()
+                .map(|b| f64::from_le_bytes(b[..8].try_into().unwrap()))
+                .reduce(&op)
+                .unwrap();
+            self.broadcast(0, tag + 1, Some(Bytes::copy_from_slice(&reduced.to_le_bytes())))
+        } else {
+            self.broadcast(0, tag + 1, None)
+        };
+        f64::from_le_bytes(result[..8].try_into().unwrap())
+    }
+
+    /// Convenience min/max all-reduce pair (used for global value range).
+    pub fn allreduce_min_max(&self, tag: u32, lo: f64, hi: f64) -> (f64, f64) {
+        let l = self.allreduce_f64(tag, lo, f64::min);
+        let h = self.allreduce_f64(tag + 2, hi, f64::max);
+        (l, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_world() {
+        let out = Universe::run(1, |r| {
+            r.barrier();
+            r.rank() + r.size()
+        });
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn ring_pass() {
+        let out = Universe::run(8, |r| {
+            let next = (r.rank() + 1) % r.size();
+            let prev = (r.rank() + r.size() - 1) % r.size();
+            r.send(next, 7, Bytes::copy_from_slice(&(r.rank() as u64).to_le_bytes()));
+            let got = r.recv(prev, 7);
+            u64::from_le_bytes(got[..8].try_into().unwrap())
+        });
+        for (rank, got) in out.iter().enumerate() {
+            assert_eq!(*got as usize, (rank + 7) % 8);
+        }
+    }
+
+    #[test]
+    fn out_of_order_tags() {
+        let out = Universe::run(2, |r| {
+            if r.rank() == 0 {
+                r.send(1, 5, Bytes::from_static(b"five"));
+                r.send(1, 3, Bytes::from_static(b"three"));
+                Vec::new()
+            } else {
+                // receive in the opposite order of sending
+                let a = r.recv(0, 3);
+                let b = r.recv(0, 5);
+                vec![a, b]
+            }
+        });
+        assert_eq!(out[1], vec![Bytes::from_static(b"three"), Bytes::from_static(b"five")]);
+    }
+
+    #[test]
+    fn gather_and_broadcast() {
+        let out = Universe::run(5, |r| {
+            let mine = Bytes::copy_from_slice(&[r.rank() as u8]);
+            let gathered = r.gather(2, 1, mine);
+            if let Some(all) = &gathered {
+                assert_eq!(all.len(), 5);
+                for (i, b) in all.iter().enumerate() {
+                    assert_eq!(b[0] as usize, i);
+                }
+            }
+            let bc = r.broadcast(
+                2,
+                9,
+                (r.rank() == 2).then(|| Bytes::from_static(b"hello")),
+            );
+            bc.len()
+        });
+        assert!(out.iter().all(|&l| l == 5));
+    }
+
+    #[test]
+    fn allreduce_min_max() {
+        let out = Universe::run(6, |r| {
+            let v = r.rank() as f64 * 2.0 - 3.0;
+            r.allreduce_min_max(100, v, v)
+        });
+        for (lo, hi) in out {
+            assert_eq!(lo, -3.0);
+            assert_eq!(hi, 7.0);
+        }
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let phase1 = AtomicUsize::new(0);
+        let out = Universe::run(4, |r| {
+            phase1.fetch_add(1, Ordering::SeqCst);
+            r.barrier();
+            // after the barrier every rank must observe all increments
+            phase1.load(Ordering::SeqCst)
+        });
+        assert!(out.iter().all(|&v| v == 4));
+    }
+}

@@ -1,0 +1,257 @@
+//! Collective file operations (paper §IV-B, §IV-G).
+//!
+//! *Reads* use subarray views: a list of `(offset, length)` byte runs per
+//! rank — the access pattern an MPI subarray datatype + file view
+//! produces. *Writes* are collective: every rank contributes zero or more
+//! payload blocks ("processes with no output blocks participate … by
+//! issuing a null write"), offsets are assigned by an exscan at rank 0,
+//! each rank writes its payloads at its offsets, and rank 0 appends a
+//! **footer** indexing every block — "a binary collection of all of the
+//! output blocks, followed by a footer that provides an index".
+
+use crate::comm::Rank;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+const FOOTER_MAGIC: &[u8; 4] = b"MSPF";
+const TAG_SIZES: u32 = 9001;
+const TAG_OFFSETS: u32 = 9002;
+
+/// One footer entry: where a block payload lives in the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FooterEntry {
+    pub offset: u64,
+    pub len: u64,
+    /// Rank that wrote the block (provenance; mirrors the paper's file
+    /// format documentation pointer [23]).
+    pub writer: u32,
+}
+
+/// Read a rank's subarray view: the concatenation of the given byte runs.
+pub fn read_runs(path: &Path, runs: &[(u64, u64)]) -> io::Result<Vec<u8>> {
+    let mut f = File::open(path)?;
+    let total: u64 = runs.iter().map(|r| r.1).sum();
+    let mut out = Vec::with_capacity(total as usize);
+    let mut buf = Vec::new();
+    for &(off, len) in runs {
+        f.seek(SeekFrom::Start(off))?;
+        buf.resize(len as usize, 0);
+        f.read_exact(&mut buf)?;
+        out.extend_from_slice(&buf);
+    }
+    Ok(out)
+}
+
+/// Collectively write this rank's payload blocks (possibly none) and the
+/// footer. Every rank must call this; returns the footer on every rank.
+pub fn collective_write_blocks(
+    rank: &Rank,
+    path: &Path,
+    payloads: &[Bytes],
+) -> io::Result<Vec<FooterEntry>> {
+    // 1. announce sizes
+    let mut size_msg = BytesMut::with_capacity(4 + payloads.len() * 8);
+    size_msg.put_u32_le(payloads.len() as u32);
+    for p in payloads {
+        size_msg.put_u64_le(p.len() as u64);
+    }
+    let gathered = rank.gather(0, TAG_SIZES, size_msg.freeze());
+
+    // 2. rank 0 assigns offsets and builds the footer
+    let footer: Vec<FooterEntry>;
+    let my_offsets: Vec<u64>;
+    if let Some(all) = gathered {
+        let mut entries = Vec::new();
+        let mut per_rank_offsets: Vec<Vec<u64>> = Vec::with_capacity(rank.size());
+        let mut cursor = 0u64;
+        for (r, msg) in all.iter().enumerate() {
+            let mut b = &msg[..];
+            let n = b.get_u32_le() as usize;
+            let mut offs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let len = b.get_u64_le();
+                offs.push(cursor);
+                entries.push(FooterEntry {
+                    offset: cursor,
+                    len,
+                    writer: r as u32,
+                });
+                cursor += len;
+            }
+            per_rank_offsets.push(offs);
+        }
+        // create/truncate the file before anyone writes
+        File::create(path)?;
+        // broadcast the full footer, then send each rank its offsets
+        rank.broadcast(0, TAG_OFFSETS + 1, Some(encode_footer_entries(&entries)));
+        for (r, offs) in per_rank_offsets.iter().enumerate().skip(1) {
+            let mut m = BytesMut::with_capacity(4 + offs.len() * 8);
+            m.put_u32_le(offs.len() as u32);
+            for &o in offs {
+                m.put_u64_le(o);
+            }
+            rank.send(r, TAG_OFFSETS, m.freeze());
+        }
+        my_offsets = per_rank_offsets.swap_remove(0);
+        footer = entries;
+    } else {
+        let fb = rank.broadcast(0, TAG_OFFSETS + 1, None);
+        footer = decode_footer_entries(&fb);
+        let m = rank.recv(0, TAG_OFFSETS);
+        let mut b = &m[..];
+        let n = b.get_u32_le() as usize;
+        my_offsets = (0..n).map(|_| b.get_u64_le()).collect();
+    }
+
+    // ensure the file exists before concurrent writers open it
+    rank.barrier();
+
+    // 3. each rank writes its payloads at its offsets
+    if !payloads.is_empty() {
+        let mut f = OpenOptions::new().write(true).open(path)?;
+        for (p, &off) in payloads.iter().zip(&my_offsets) {
+            f.seek(SeekFrom::Start(off))?;
+            f.write_all(p)?;
+        }
+        f.flush()?;
+    }
+    rank.barrier();
+
+    // 4. rank 0 appends the footer
+    if rank.rank() == 0 {
+        let mut f = OpenOptions::new().write(true).open(path)?;
+        f.seek(SeekFrom::End(0))?;
+        let body = encode_footer_entries(&footer);
+        f.write_all(&body)?;
+        f.write_all(&(body.len() as u64).to_le_bytes())?;
+        f.write_all(FOOTER_MAGIC)?;
+        f.flush()?;
+    }
+    rank.barrier();
+    Ok(footer)
+}
+
+fn encode_footer_entries(entries: &[FooterEntry]) -> Bytes {
+    let mut b = BytesMut::with_capacity(4 + entries.len() * 20);
+    b.put_u32_le(entries.len() as u32);
+    for e in entries {
+        b.put_u64_le(e.offset);
+        b.put_u64_le(e.len);
+        b.put_u32_le(e.writer);
+    }
+    b.freeze()
+}
+
+fn decode_footer_entries(mut b: &[u8]) -> Vec<FooterEntry> {
+    let n = b.get_u32_le() as usize;
+    (0..n)
+        .map(|_| FooterEntry {
+            offset: b.get_u64_le(),
+            len: b.get_u64_le(),
+            writer: b.get_u32_le(),
+        })
+        .collect()
+}
+
+/// Read the footer of a collectively-written file.
+pub fn read_footer(path: &Path) -> io::Result<Vec<FooterEntry>> {
+    let mut f = File::open(path)?;
+    let size = f.metadata()?.len();
+    if size < 12 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "file too small"));
+    }
+    f.seek(SeekFrom::Start(size - 12))?;
+    let mut tail = [0u8; 12];
+    f.read_exact(&mut tail)?;
+    if &tail[8..12] != FOOTER_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad footer magic"));
+    }
+    let body_len = u64::from_le_bytes(tail[..8].try_into().unwrap());
+    if body_len + 12 > size {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad footer length"));
+    }
+    f.seek(SeekFrom::Start(size - 12 - body_len))?;
+    let mut body = vec![0u8; body_len as usize];
+    f.read_exact(&mut body)?;
+    Ok(decode_footer_entries(&body))
+}
+
+/// Read one block payload by footer entry.
+pub fn read_block_payload(path: &Path, entry: &FooterEntry) -> io::Result<Vec<u8>> {
+    read_runs(path, &[(entry.offset, entry.len)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Universe;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("msp_vmpi_{}_{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn collective_write_and_footer() {
+        let path = tmp("cw.bin");
+        let footers = Universe::run(4, |r| {
+            // rank i writes i payloads (rank 0 issues a null write)
+            let payloads: Vec<Bytes> = (0..r.rank())
+                .map(|k| Bytes::from(vec![r.rank() as u8 * 16 + k as u8; 10 * (k + 1)]))
+                .collect();
+            collective_write_blocks(r, &path, &payloads).unwrap()
+        });
+        // all ranks see identical footers
+        for f in &footers[1..] {
+            assert_eq!(f, &footers[0]);
+        }
+        let footer = read_footer(&path).unwrap();
+        assert_eq!(footer, footers[0]);
+        assert_eq!(footer.len(), 0 + 1 + 2 + 3);
+        // payload contents round trip
+        for e in &footer {
+            let data = read_block_payload(&path, e).unwrap();
+            assert_eq!(data.len() as u64, e.len);
+            assert!(data.iter().all(|&b| b == data[0]));
+            assert_eq!(data[0] >> 4, e.writer as u8);
+        }
+        // entries are contiguous from offset 0
+        let mut cursor = 0;
+        for e in &footer {
+            assert_eq!(e.offset, cursor);
+            cursor += e.len;
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_write_produces_valid_footer() {
+        let path = tmp("empty.bin");
+        Universe::run(3, |r| {
+            collective_write_blocks(r, &path, &[]).unwrap();
+        });
+        let footer = read_footer(&path).unwrap();
+        assert!(footer.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_runs_concatenates() {
+        let path = tmp("runs.bin");
+        std::fs::write(&path, (0u8..100).collect::<Vec<u8>>()).unwrap();
+        let out = read_runs(&path, &[(10, 5), (50, 3), (0, 2)]).unwrap();
+        assert_eq!(out, vec![10, 11, 12, 13, 14, 50, 51, 52, 0, 1]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn footer_rejects_garbage() {
+        let path = tmp("garbage.bin");
+        std::fs::write(&path, b"this is not a valid msp file at all!").unwrap();
+        assert!(read_footer(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

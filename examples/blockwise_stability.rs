@@ -1,0 +1,76 @@
+//! The paper's Fig 4 study: how stable are the nodes and arcs of the MS
+//! complex when the *same* field is computed with different numbers of
+//! blocks?
+//!
+//! The hydrogen-like field has stable features (three aligned maxima and
+//! a toroidal ridge) plus a large flat exterior where critical points are
+//! *unstable* and may shift with the blocking. After 1% persistence
+//! simplification the block-boundary artifacts cancel away and the
+//! significant features agree across blockings.
+//!
+//! ```text
+//! cargo run --release --example blockwise_stability
+//! ```
+
+use morse_smale_parallel::complex::query;
+use morse_smale_parallel::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let field = synth::hydrogen(65);
+    let input = Input::Memory(Arc::new(field));
+    let feature_value = 255.0 * 14.5 / 25.0; // the paper filters at 14.5 on its scale
+
+    println!("hydrogen-like field 65^3, byte-valued; feature filter: maxima above {feature_value:.0}");
+    println!(
+        "\n{:>7} {:>12} {:>12} {:>14} {:>16}",
+        "blocks", "raw nodes", "1% nodes", "stable maxima", "filament arcs"
+    );
+
+    for n_blocks in [1u32, 8, 64] {
+        // finest-scale run (no simplification) to show the artifact bloat
+        let raw = run_parallel(
+            &input,
+            n_blocks.min(8),
+            n_blocks,
+            &PipelineParams {
+                persistence_frac: 0.0,
+                plan: MergePlan::none(),
+                ..Default::default()
+            },
+            None,
+        );
+        let raw_nodes: u64 = raw.outputs.iter().map(|c| c.n_live_nodes()).sum();
+
+        // 1%-simplified, fully merged run: boundary artifacts resolve
+        let merged = run_parallel(
+            &input,
+            n_blocks.min(8),
+            n_blocks,
+            &PipelineParams {
+                persistence_frac: 0.01,
+                plan: MergePlan::full_merge(n_blocks),
+                ..Default::default()
+            },
+            None,
+        );
+        let ms = &merged.outputs[0];
+        let stable_maxima = query::nodes_by_index_above(ms, 3, feature_value).len();
+        let filaments = query::filament_subgraph(ms, feature_value).len();
+        println!(
+            "{:>7} {:>12} {:>12} {:>14} {:>16}",
+            n_blocks,
+            raw_nodes,
+            ms.n_live_nodes(),
+            stable_maxima,
+            filaments
+        );
+    }
+
+    println!(
+        "\nReading the table: raw node counts grow with blocking (spurious\n\
+         boundary critical points), but after 1% simplification and a full\n\
+         merge the significant features are stable across blockings —\n\
+         the paper's §V-A stability property."
+    );
+}

@@ -1,0 +1,67 @@
+//! Quickstart: compute, simplify and explore the MS complex of a small
+//! synthetic field.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use morse_smale_parallel::complex::query;
+use morse_smale_parallel::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // A 65^3 sinusoidal field with 4 features per side (the paper's
+    // synthetic complexity family, Fig 5).
+    let field = synth::sinusoid(65, 4);
+    println!("field: 65^3 sinusoid, complexity 4");
+
+    // Serial computation: one block, no merge rounds.
+    let input = Input::Memory(Arc::new(field));
+    let params = PipelineParams {
+        persistence_frac: 0.0, // keep the finest-scale complex for now
+        ..Default::default()
+    };
+    let result = run_parallel(&input, 1, 1, &params, None);
+    let ms = &result.outputs[0];
+
+    let c = ms.node_census();
+    println!(
+        "finest-scale complex: {} nodes ({} min, {} 1-saddle, {} 2-saddle, {} max), {} arcs",
+        ms.n_live_nodes(),
+        c[0],
+        c[1],
+        c[2],
+        c[3],
+        ms.n_live_arcs()
+    );
+    println!(
+        "Euler characteristic chi = {} (must be 1 on a box)",
+        c[0] as i64 - c[1] as i64 + c[2] as i64 - c[3] as i64
+    );
+
+    // Multi-resolution exploration: simplify at increasing persistence.
+    let mut ms = ms.clone();
+    for frac in [0.01f32, 0.05, 0.25] {
+        simplify(&mut ms, SimplifyParams::up_to(frac * 2.0)); // range = 2
+        let c = ms.node_census();
+        println!(
+            "after {:>4.0}% persistence: {:>5} nodes  [{}, {}, {}, {}]  {} arcs",
+            frac * 100.0,
+            ms.n_live_nodes(),
+            c[0],
+            c[1],
+            c[2],
+            c[3],
+            ms.n_live_arcs()
+        );
+    }
+
+    // The persistence curve the hierarchy encodes (interactive
+    // exploration in the paper's Fig 1 pipeline).
+    let curve = query::persistence_curve(&ms);
+    println!(
+        "persistence hierarchy: {} cancellations recorded, final {} nodes",
+        curve.len() - 1,
+        curve.last().unwrap().live_nodes
+    );
+}

@@ -1,0 +1,336 @@
+//! `msc` — command-line driver for the parallel Morse-Smale pipeline.
+//!
+//! ```text
+//! msc synth    --kind sinusoid --size 65 --complexity 4 --output f.raw
+//! msc compute  --input f.raw --dims 65,65,65 --dtype f32 \
+//!              --ranks 8 --blocks 8 --persistence 0.01 --merge full \
+//!              --output f.msc
+//! msc info     f.msc
+//! msc stats    f.msc --block 0
+//! msc filaments f.msc --block 0 --threshold 0.5
+//! msc export   f.msc --block 0 --vtk skel.vtk --csv nodes.csv
+//! ```
+
+use morse_smale_parallel::complex::{export, query, wire, MsComplex};
+use morse_smale_parallel::core::{run_parallel, Input, MergePlan, PipelineParams};
+use morse_smale_parallel::grid::rawio::{write_raw, VolumeDType};
+use morse_smale_parallel::grid::Dims;
+use morse_smale_parallel::synth;
+use morse_smale_parallel::vmpi::fileio::{read_block_payload, read_footer};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage();
+        exit(2);
+    };
+    let opts = parse_opts(rest);
+    let result = match cmd.as_str() {
+        "synth" => cmd_synth(&opts),
+        "compute" => cmd_compute(&opts),
+        "info" => cmd_info(&opts),
+        "stats" => cmd_stats(&opts),
+        "filaments" => cmd_filaments(&opts),
+        "export" => cmd_export(&opts),
+        "help" | "--help" | "-h" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "msc — parallel Morse-Smale complexes\n\
+         commands:\n\
+         \u{20} synth     --kind sinusoid|jet|rt|hydrogen|porous|noise --size N\n\
+         \u{20}           [--complexity C] [--seed S] --output FILE [--dtype f32]\n\
+         \u{20} compute   --input FILE --dims X,Y,Z [--dtype u8|f32|f64]\n\
+         \u{20}           [--ranks N] [--blocks N] [--persistence F]\n\
+         \u{20}           [--merge full|none|R1,R2,...] --output FILE\n\
+         \u{20} info      FILE\n\
+         \u{20} stats     FILE [--block I] [--top K]\n\
+         \u{20} filaments FILE [--block I] --threshold T\n\
+         \u{20} export    FILE [--block I] [--vtk FILE] [--csv FILE]"
+    );
+}
+
+struct Opts {
+    flags: HashMap<String, String>,
+    positional: Vec<String>,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut flags = HashMap::new();
+    let mut positional = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = it
+                .peek()
+                .filter(|v| !v.starts_with("--"))
+                .map(|v| (*v).clone())
+                .unwrap_or_default();
+            if !value.is_empty() {
+                it.next();
+            }
+            flags.insert(name.to_string(), value);
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Opts { flags, positional }
+}
+
+impl Opts {
+    fn req(&self, name: &str) -> Result<&str, String> {
+        self.flags
+            .get(name)
+            .map(|s| s.as_str())
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    fn opt(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(|s| s.as_str()).filter(|s| !s.is_empty())
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.opt(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{name}: {v}")),
+        }
+    }
+
+    fn file(&self) -> Result<PathBuf, String> {
+        self.positional
+            .first()
+            .map(PathBuf::from)
+            .ok_or_else(|| "missing file argument".to_string())
+    }
+}
+
+fn parse_dims(s: &str) -> Result<Dims, String> {
+    let parts: Vec<u32> = s
+        .split(',')
+        .map(|p| p.trim().parse().map_err(|_| format!("bad dims '{s}'")))
+        .collect::<Result<_, _>>()?;
+    if parts.len() != 3 {
+        return Err(format!("dims must be X,Y,Z — got '{s}'"));
+    }
+    Ok(Dims::new(parts[0], parts[1], parts[2]))
+}
+
+fn parse_dtype(s: Option<&str>) -> Result<VolumeDType, String> {
+    match s.unwrap_or("f32") {
+        "u8" => Ok(VolumeDType::U8),
+        "f32" => Ok(VolumeDType::F32),
+        "f64" => Ok(VolumeDType::F64),
+        other => Err(format!("unknown dtype '{other}' (u8|f32|f64)")),
+    }
+}
+
+fn cmd_synth(o: &Opts) -> Result<(), String> {
+    let kind = o.req("kind")?;
+    let size: u32 = o.num("size", 65)?;
+    let complexity: u32 = o.num("complexity", 4)?;
+    let seed: u64 = o.num("seed", 2012)?;
+    let out = PathBuf::from(o.req("output")?);
+    let dtype = parse_dtype(o.opt("dtype"))?;
+    let field = match kind {
+        "sinusoid" => synth::sinusoid(size, complexity),
+        "jet" => synth::jet(Dims::new(size, size * 7 / 6, size * 2 / 3), 160, seed),
+        "rt" => synth::rayleigh_taylor(size, 48, seed),
+        "hydrogen" => synth::hydrogen(size),
+        "porous" => synth::porous(size, complexity.max(1), 0.05, seed),
+        "noise" => synth::white_noise(Dims::cube(size), seed),
+        other => return Err(format!("unknown kind '{other}'")),
+    };
+    write_raw(&out, &field, dtype).map_err(|e| e.to_string())?;
+    let d = field.dims();
+    println!(
+        "wrote {} ({}x{}x{} {:?})",
+        out.display(),
+        d.nx,
+        d.ny,
+        d.nz,
+        dtype
+    );
+    println!("hint: msc compute --input {} --dims {},{},{}", out.display(), d.nx, d.ny, d.nz);
+    Ok(())
+}
+
+fn cmd_compute(o: &Opts) -> Result<(), String> {
+    let input = PathBuf::from(o.req("input")?);
+    let dims = parse_dims(o.req("dims")?)?;
+    let dtype = parse_dtype(o.opt("dtype"))?;
+    let ranks: u32 = o.num("ranks", 8)?;
+    let blocks: u32 = o.num("blocks", ranks)?;
+    let persistence: f32 = o.num("persistence", 0.01)?;
+    let out = PathBuf::from(o.req("output")?);
+    let plan = match o.opt("merge").unwrap_or("full") {
+        "full" => MergePlan::full_merge(blocks),
+        "none" => MergePlan::none(),
+        spec => MergePlan::rounds(
+            spec.split(',')
+                .map(|r| r.trim().parse().map_err(|_| format!("bad radix '{r}'")))
+                .collect::<Result<Vec<u32>, _>>()?,
+        ),
+    };
+    let params = PipelineParams {
+        persistence_frac: persistence,
+        plan,
+        ..Default::default()
+    };
+    let t0 = std::time::Instant::now();
+    let r = run_parallel(
+        &Input::File {
+            path: input,
+            dims,
+            dtype,
+        },
+        ranks,
+        blocks,
+        &params,
+        Some(&out),
+    );
+    println!(
+        "computed {} output block(s) in {:.2}s (threshold {:.4})",
+        r.outputs.len(),
+        t0.elapsed().as_secs_f64(),
+        r.threshold
+    );
+    for (i, ms) in r.outputs.iter().enumerate() {
+        let c = ms.node_census();
+        println!(
+            "  block {i}: {} nodes [{} min, {} 1s, {} 2s, {} max], {} arcs",
+            ms.n_live_nodes(),
+            c[0],
+            c[1],
+            c[2],
+            c[3],
+            ms.n_live_arcs()
+        );
+    }
+    println!("wrote {} ({} bytes)", out.display(), r.output_bytes);
+    Ok(())
+}
+
+fn load_block(path: &Path, block: usize) -> Result<MsComplex, String> {
+    let footer = read_footer(path).map_err(|e| e.to_string())?;
+    let entry = footer
+        .get(block)
+        .ok_or_else(|| format!("block {block} out of range ({} blocks)", footer.len()))?;
+    let payload = read_block_payload(path, entry).map_err(|e| e.to_string())?;
+    wire::deserialize(&payload).map_err(|e| e.to_string())
+}
+
+fn cmd_info(o: &Opts) -> Result<(), String> {
+    let path = o.file()?;
+    let footer = read_footer(&path).map_err(|e| e.to_string())?;
+    println!("{}: {} output block(s)", path.display(), footer.len());
+    for (i, e) in footer.iter().enumerate() {
+        let ms = load_block(&path, i)?;
+        println!(
+            "  block {i}: {} bytes at offset {}, written by rank {}, members {:?}, {} nodes / {} arcs",
+            e.len,
+            e.offset,
+            e.writer,
+            ms.member_blocks,
+            ms.n_live_nodes(),
+            ms.n_live_arcs()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_stats(o: &Opts) -> Result<(), String> {
+    let path = o.file()?;
+    let block: usize = o.num("block", 0usize)?;
+    let top: usize = o.num("top", 5usize)?;
+    let ms = load_block(&path, block)?;
+    let c = ms.node_census();
+    println!(
+        "block {block}: {} nodes [{} min, {} 1-saddle, {} 2-saddle, {} max], {} arcs",
+        ms.n_live_nodes(),
+        c[0],
+        c[1],
+        c[2],
+        c[3],
+        ms.n_live_arcs()
+    );
+    if let Some(s) = query::arc_length_stats(&ms) {
+        println!(
+            "arc lengths (cells): min {} / median {} / max {} / mean {:.1}",
+            s.min, s.median, s.max, s.mean
+        );
+    }
+    for (name, idx) in [("maxima", 3u8), ("minima", 0)] {
+        let feats = query::top_k_features(&ms, idx, top);
+        if !feats.is_empty() {
+            println!("top {name} by prominence:");
+            for f in feats {
+                println!(
+                    "  node {} value {:.4} prominence {}",
+                    f.node,
+                    f.value,
+                    if f.prominence.is_infinite() {
+                        "inf".to_string()
+                    } else {
+                        format!("{:.4}", f.prominence)
+                    }
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_filaments(o: &Opts) -> Result<(), String> {
+    let path = o.file()?;
+    let block: usize = o.num("block", 0usize)?;
+    let threshold: f32 = o
+        .req("threshold")?
+        .parse()
+        .map_err(|_| "bad --threshold".to_string())?;
+    let ms = load_block(&path, block)?;
+    let arcs = query::filament_subgraph(&ms, threshold);
+    let s = query::graph_stats(&ms, &arcs);
+    println!(
+        "filament network at threshold {threshold}: {} arcs, {} nodes, {} components, {} cycles, total length {} cells",
+        s.edges, s.nodes, s.components, s.cycles, s.total_length_cells
+    );
+    if let Some(cut) = query::min_cut(&ms, &arcs) {
+        println!("minimum cut: {cut}");
+    }
+    Ok(())
+}
+
+fn cmd_export(o: &Opts) -> Result<(), String> {
+    let path = o.file()?;
+    let block: usize = o.num("block", 0usize)?;
+    let ms = load_block(&path, block)?;
+    let mut did = false;
+    if let Some(vtk) = o.opt("vtk") {
+        export::write_vtk(&ms, Path::new(vtk)).map_err(|e| e.to_string())?;
+        println!("wrote {vtk}");
+        did = true;
+    }
+    if let Some(csv) = o.opt("csv") {
+        export::write_nodes_csv(&ms, Path::new(csv)).map_err(|e| e.to_string())?;
+        println!("wrote {csv}");
+        did = true;
+    }
+    if !did {
+        return Err("nothing to do: pass --vtk and/or --csv".into());
+    }
+    Ok(())
+}

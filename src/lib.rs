@@ -1,0 +1,56 @@
+//! # morse-smale-parallel
+//!
+//! A Rust reproduction of **"The Parallel Computation of Morse-Smale
+//! Complexes"** (A. Gyulassy, V. Pascucci, T. Peterka, R. Ross — IPDPS
+//! 2012): a two-stage, data-parallel construction of the MS complex
+//! 1-skeleton of a 3D scalar field, with configurable radix-k merging,
+//! persistence simplification, and a collective block-structured output
+//! file.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`grid`] — structured grids, refined cubical-complex addressing,
+//!   bisection decomposition, raw volume I/O;
+//! * [`synth`] — synthetic dataset generators (sinusoid complexity
+//!   family, hydrogen-like, jet-like, Rayleigh-Taylor-like, porous);
+//! * [`morse`] — discrete gradient computation and V-path tracing;
+//! * [`complex`] — the MS-complex data structure: simplification,
+//!   gluing, queries, serialization;
+//! * [`vmpi`] — the virtual message-passing substrate (threaded backend,
+//!   collective file I/O, BG/P-like torus network model);
+//! * [`core`] — the parallel pipeline itself plus the scalable
+//!   simulation driver and merge-strategy planner.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use morse_smale_parallel::prelude::*;
+//!
+//! // a small synthetic field with 8 features per side
+//! let field = synth::sinusoid(33, 4);
+//! // serial MS complex (one block, no merging)
+//! let input = Input::Memory(std::sync::Arc::new(field));
+//! let result = run_parallel(&input, 1, 1, &PipelineParams::default(), None);
+//! let ms = &result.outputs[0];
+//! let census = ms.node_census();
+//! assert_eq!(census[0] as i64 - census[1] as i64 + census[2] as i64
+//!            - census[3] as i64, 1); // Euler characteristic of a box
+//! ```
+
+pub use msp_complex as complex;
+pub use msp_core as core;
+pub use msp_grid as grid;
+pub use msp_morse as morse;
+pub use msp_synth as synth;
+pub use msp_vmpi as vmpi;
+
+/// Convenient single-import surface for applications.
+pub mod prelude {
+    pub use crate::complex::query;
+    pub use crate::complex::{simplify, MsComplex, SimplifyParams};
+    pub use crate::core::{
+        run_parallel, simulate, Input, MergePlan, PipelineParams, SimParams,
+    };
+    pub use crate::grid::{Decomposition, Dims, ScalarField};
+    pub use crate::synth;
+}

@@ -1,0 +1,109 @@
+//! The full analysis workflow of the paper's Fig 1, as an integration
+//! test: compute in parallel, merge, query features, export for
+//! visualization, reload — everything a downstream scientist would do.
+
+use morse_smale_parallel::complex::{export, query, wire};
+use morse_smale_parallel::grid::Dims;
+use morse_smale_parallel::prelude::*;
+use std::sync::Arc;
+
+fn hydrogen_run() -> MsComplex {
+    let field = Arc::new(synth::hydrogen(33));
+    let params = PipelineParams {
+        persistence_frac: 0.01,
+        plan: MergePlan::full_merge(8),
+        ..Default::default()
+    };
+    run_parallel(&Input::Memory(field), 4, 8, &params, None)
+        .outputs
+        .into_iter()
+        .next()
+        .unwrap()
+}
+
+#[test]
+fn feature_queries_compose() {
+    let ms = hydrogen_run();
+    // the hydrogen-like field has a small set of bright maxima
+    let bright = query::nodes_by_index_above(&ms, 3, 100.0);
+    assert!(!bright.is_empty() && bright.len() <= 16, "{}", bright.len());
+    // ranked features put the brightest alive maxima first
+    let top = query::top_k_features(&ms, 3, bright.len());
+    assert!(top[0].prominence.is_infinite());
+    // filament arcs above the same threshold connect those maxima
+    let fil = query::filament_subgraph(&ms, 100.0);
+    let stats = query::graph_stats(&ms, &fil);
+    assert!(stats.nodes >= bright.len() as u64 / 2);
+    // arc-length stats exist and are coherent
+    let lens = query::arc_length_stats(&ms).unwrap();
+    assert!(lens.count == ms.n_live_arcs());
+}
+
+#[test]
+fn exports_after_parallel_merge() {
+    let ms = hydrogen_run();
+    let mut vtk = Vec::new();
+    export::write_vtk_to(&ms, &mut vtk).unwrap();
+    let text = String::from_utf8(vtk).unwrap();
+    assert!(text.contains("DATASET POLYDATA"));
+    // every live node appears as a VERTICES cell
+    let verts_decl: usize = text
+        .lines()
+        .find(|l| l.starts_with("VERTICES"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert_eq!(verts_decl as u64, ms.n_live_nodes());
+    let mut csv = Vec::new();
+    export::write_nodes_csv_to(&ms, &mut csv).unwrap();
+    assert_eq!(
+        String::from_utf8(csv).unwrap().lines().count() as u64,
+        ms.n_live_nodes() + 1
+    );
+}
+
+#[test]
+fn serialization_survives_an_analysis_cycle() {
+    let ms = hydrogen_run();
+    // serialize -> deserialize -> simplify further -> queries still work
+    let bytes = wire::serialize(&ms);
+    let mut back = wire::deserialize(&bytes).unwrap();
+    back.check_integrity().unwrap();
+    simplify(&mut back, SimplifyParams::up_to(255.0));
+    back.check_integrity().unwrap();
+    let census = back.node_census();
+    let chi = census[0] as i64 - census[1] as i64 + census[2] as i64 - census[3] as i64;
+    assert_eq!(chi, 1);
+    assert!(back.n_live_nodes() <= ms.n_live_nodes());
+}
+
+#[test]
+fn persistence_curve_reflects_multiresolution() {
+    let field = Arc::new(synth::gaussian_bumps(Dims::cube(17), 3, 0.1, 8));
+    let r = run_parallel(
+        &Input::Memory(field),
+        2,
+        2,
+        &PipelineParams {
+            persistence_frac: 0.0, // keep the finest complex
+            plan: MergePlan::full_merge(2),
+            ..Default::default()
+        },
+        None,
+    );
+    // the pipeline ships only the coarsest hierarchy level (§IV-F1);
+    // the downstream analyst builds a fresh hierarchy by simplifying
+    let mut ms = r.outputs.into_iter().next().unwrap();
+    simplify(&mut ms, SimplifyParams::up_to(f32::INFINITY));
+    let ms = &ms;
+    let curve = query::persistence_curve(ms);
+    // strictly decreasing node counts, ending at the live count
+    assert!(curve.len() > 1);
+    for w in curve.windows(2) {
+        assert!(w[1].live_nodes < w[0].live_nodes);
+    }
+    assert_eq!(curve.last().unwrap().live_nodes, ms.n_live_nodes());
+    // survivors at threshold 0 include everything recorded in the curve
+    assert!(query::nodes_surviving(ms, 0.0) >= ms.n_live_nodes());
+}

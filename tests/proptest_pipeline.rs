@@ -1,0 +1,83 @@
+//! Property-based tests of the pipeline layer: merge-plan arithmetic and
+//! end-to-end invariants over random plans, block counts and fields.
+
+use morse_smale_parallel::core::{run_parallel, Input, MergePlan, PipelineParams};
+use morse_smale_parallel::grid::Dims;
+use morse_smale_parallel::synth;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_radices() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(prop_oneof![Just(2u32), Just(4), Just(8)], 0..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn plan_arithmetic(radices in arb_radices(), extra in 0u32..4) {
+        let plan = MergePlan::rounds(radices.clone());
+        let red = plan.reduction();
+        prop_assert_eq!(red, radices.iter().product::<u32>());
+        // any multiple of the reduction is a valid block count
+        let blocks = red * (1 << extra);
+        prop_assert_eq!(plan.output_blocks(blocks), blocks / red);
+        prop_assert_eq!(plan.output_slots(blocks).len() as u32, blocks / red);
+        // group structure is a partition at every round
+        let mut alive: Vec<u32> = (0..blocks).collect();
+        for r in 0..plan.radices.len() {
+            let groups = plan.groups(r, blocks);
+            let mut members: Vec<u32> =
+                groups.iter().flat_map(|(_, m)| m.iter().copied()).collect();
+            members.sort_unstable();
+            prop_assert_eq!(&members, &alive);
+            alive = groups.iter().map(|(root, _)| *root).collect();
+        }
+    }
+
+    #[test]
+    fn heuristic_plan_properties(exp in 0u32..14) {
+        let blocks = 1u32 << exp;
+        let plan = MergePlan::full_merge(blocks);
+        prop_assert_eq!(plan.reduction(), blocks);
+        // radix-8 whenever possible: at most one non-8 round
+        let non8 = plan.radices.iter().filter(|&&r| r != 8).count();
+        prop_assert!(non8 <= 1);
+        // and the smaller radix comes first
+        if non8 == 1 {
+            prop_assert!(plan.radices[0] != 8);
+        }
+    }
+
+    #[test]
+    fn pipeline_output_block_count(
+        seed in 0u64..10_000,
+        ranks in 1u32..5,
+        rounds in arb_radices(),
+    ) {
+        let plan = MergePlan::rounds(rounds);
+        let blocks = plan.reduction().max(4) * 2;
+        prop_assume!(blocks <= 32);
+        prop_assume!(blocks % plan.reduction() == 0);
+        let expected = blocks / plan.reduction();
+        let field = Arc::new(synth::white_noise(Dims::cube(13), seed));
+        let params = PipelineParams {
+            plan,
+            ..Default::default()
+        };
+        let ranks = ranks.min(blocks);
+        let r = run_parallel(&Input::Memory(field), ranks, blocks, &params, None);
+        prop_assert_eq!(r.outputs.len() as u32, expected);
+        for ms in &r.outputs {
+            ms.check_integrity().unwrap();
+            // members of all outputs partition the block set
+        }
+        let mut members: Vec<u32> = r
+            .outputs
+            .iter()
+            .flat_map(|c| c.member_blocks.iter().copied())
+            .collect();
+        members.sort_unstable();
+        prop_assert_eq!(members, (0..blocks).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,138 @@
+//! Integration tests of the simulation driver's report structure: the
+//! quantities the figure binaries print must be internally consistent.
+
+use morse_smale_parallel::core::{simulate, MergePlan, SimParams};
+use morse_smale_parallel::grid::Dims;
+use morse_smale_parallel::synth;
+use morse_smale_parallel::vmpi::{IoParams, NetParams};
+
+fn base_params(plan: MergePlan) -> SimParams {
+    SimParams {
+        persistence_frac: 0.02,
+        plan,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn round_reports_match_plan() {
+    let f = synth::white_noise(Dims::cube(13), 3);
+    let plan = MergePlan::rounds(vec![2, 4]);
+    let r = simulate(&f, 16, &base_params(plan.clone()));
+    assert_eq!(r.rounds.len(), 2);
+    assert_eq!(r.rounds[0].radix, 2);
+    assert_eq!(r.rounds[1].radix, 4);
+    assert_eq!(r.output_blocks, 2);
+    for round in &r.rounds {
+        assert!(round.comm_s >= 0.0 && round.glue_s >= 0.0);
+        assert!(round.round_s >= 0.0);
+        assert!(round.bytes_moved > 0, "complexes are never empty");
+    }
+}
+
+#[test]
+fn totals_compose_from_stages() {
+    let f = synth::white_noise(Dims::cube(13), 5);
+    let r = simulate(&f, 8, &base_params(MergePlan::full_merge(8)));
+    // total = critical path >= read + compute components, plus write
+    assert!(r.total_s >= r.read_s + r.compute_s);
+    assert!(r.total_s >= r.write_s);
+    // merge critical path includes local simplification
+    assert!(r.merge_s >= r.local_simplify_s);
+    // threshold is 2% of the noise range (~1.0)
+    assert!(r.threshold > 0.0 && r.threshold < 0.1);
+}
+
+#[test]
+fn read_time_scales_with_dtype() {
+    use morse_smale_parallel::grid::rawio::VolumeDType;
+    let f = synth::white_noise(Dims::cube(17), 9);
+    let mut p8 = base_params(MergePlan::none());
+    p8.dtype = VolumeDType::U8;
+    let mut p64 = base_params(MergePlan::none());
+    p64.dtype = VolumeDType::F64;
+    let r8 = simulate(&f, 4, &p8);
+    let r64 = simulate(&f, 4, &p64);
+    assert!(
+        r64.read_s > r8.read_s,
+        "f64 volumes are 8x the bytes of u8 ({} vs {})",
+        r64.read_s,
+        r8.read_s
+    );
+}
+
+#[test]
+fn network_parameters_influence_merge() {
+    let f = synth::sinusoid(17, 2);
+    let fast = base_params(MergePlan::full_merge(8));
+    let mut slow = base_params(MergePlan::full_merge(8));
+    slow.net = NetParams {
+        latency_s: 1.0, // absurdly slow network
+        ..NetParams::default()
+    };
+    let rf = simulate(&f, 8, &fast);
+    let rs = simulate(&f, 8, &slow);
+    assert!(
+        rs.rounds[0].round_s > rf.rounds[0].round_s + 0.5,
+        "1s latency must dominate the round time"
+    );
+}
+
+#[test]
+fn io_parameters_influence_read_write() {
+    let f = synth::white_noise(Dims::cube(17), 2);
+    let fast = base_params(MergePlan::none());
+    let mut slow = base_params(MergePlan::none());
+    slow.io = IoParams {
+        aggregate_bw: 1.0e3, // 1 KB/s filesystem
+        per_proc_bw: 1.0e3,
+        ..IoParams::default()
+    };
+    let rf = simulate(&f, 4, &fast);
+    let rs = simulate(&f, 4, &slow);
+    assert!(rs.read_s > 10.0 * rf.read_s);
+    assert!(rs.write_s > 10.0 * rf.write_s);
+}
+
+#[test]
+fn no_merge_means_no_rounds_and_many_outputs() {
+    let f = synth::white_noise(Dims::cube(13), 4);
+    let r = simulate(&f, 8, &base_params(MergePlan::none()));
+    assert!(r.rounds.is_empty());
+    assert_eq!(r.output_blocks, 8);
+    assert_eq!(r.merge_s, r.local_simplify_s, "merge = local simplify only");
+}
+
+#[test]
+fn live_counts_match_threaded_backend_across_plans() {
+    use morse_smale_parallel::core::{run_parallel, Input, PipelineParams};
+    use std::sync::Arc;
+    let field = Arc::new(synth::gaussian_bumps(Dims::cube(13), 2, 0.15, 6));
+    for plan in [MergePlan::none(), MergePlan::rounds(vec![4]), MergePlan::full_merge(8)] {
+        let sim = simulate(
+            &field,
+            8,
+            &SimParams {
+                persistence_frac: 0.02,
+                plan: plan.clone(),
+                ..Default::default()
+            },
+        );
+        let thr = run_parallel(
+            &Input::Memory(field.clone()),
+            4,
+            8,
+            &PipelineParams {
+                persistence_frac: 0.02,
+                plan,
+                ..Default::default()
+            },
+            None,
+        );
+        let thr_nodes: u64 = thr.outputs.iter().map(|c| c.n_live_nodes()).sum();
+        let thr_arcs: u64 = thr.outputs.iter().map(|c| c.n_live_arcs()).sum();
+        assert_eq!(sim.live_nodes, thr_nodes);
+        assert_eq!(sim.live_arcs, thr_arcs);
+        assert_eq!(sim.output_bytes, thr.output_bytes);
+    }
+}
