@@ -14,7 +14,7 @@
 //! cargo run --release -p msp-bench --bin ablation_blocking
 //! ```
 
-use msp_bench::{Scale, Table};
+use msp_bench::{emit_run_series, Scale, Table};
 use msp_core::{run_parallel, Input, MergePlan, PipelineParams};
 use msp_grid::{Decomposition, Dims};
 use std::sync::Arc;
@@ -27,6 +27,7 @@ fn main() {
 
     println!("Ablation 1: blocks per process (jet-like {n}x{n}x{}, {ranks} ranks)\n", n / 2 + 1);
     let t = Table::new(&["blocks/rank", "blocks", "compute max(s)", "merge max(s)", "total max(s)"]);
+    let mut runs = Vec::new();
     for bpr in [1u32, 2, 4] {
         let blocks = ranks * bpr;
         let params = PipelineParams {
@@ -35,17 +36,24 @@ fn main() {
             ..Default::default()
         };
         let r = run_parallel(&Input::Memory(field.clone()), ranks, blocks, &params, None);
-        let max = |f: fn(&msp_core::StageTimes) -> f64| {
-            r.times.iter().map(f).fold(0.0, f64::max)
+        let max = |f: fn(&msp_telemetry::RankReport) -> f64| {
+            r.telemetry.ranks.iter().map(f).fold(0.0, f64::max)
         };
         t.row(&[
             format!("{bpr}"),
             format!("{blocks}"),
-            format!("{:.4}", max(|t| t.compute)),
-            format!("{:.4}", max(|t| t.merge)),
-            format!("{:.4}", max(|t| t.total)),
+            format!("{:.4}", max(|t| {
+                t.phase_seconds("gradient").unwrap_or(0.0)
+                    + t.phase_seconds("trace").unwrap_or(0.0)
+            })),
+            format!("{:.4}", max(|t| t.merge_seconds())),
+            format!("{:.4}", max(|t| t.phase_seconds("total").unwrap_or(0.0))),
         ]);
+        runs.push((format!("bpr{bpr}"), r));
     }
+    let series: Vec<(String, &msp_core::RunResult)> =
+        runs.iter().map(|(l, r)| (l.clone(), r)).collect();
+    emit_run_series("ablation_blocking", &series);
 
     println!("\nAblation 2: boundary-restriction overhead (spurious critical cells)\n");
     let t = Table::new(&["blocks", "critical cells", "overhead vs serial"]);

@@ -7,7 +7,7 @@
 //! cargo run --release -p msp-bench --bin fig10_rt
 //! ```
 
-use msp_bench::{efficiency, fmt_bytes, Scale, Table};
+use msp_bench::{efficiency, emit_sim_series, fmt_bytes, Scale, Table};
 use msp_core::{MergePlan, SimParams};
 
 fn main() {
@@ -33,6 +33,7 @@ fn main() {
         "out size",
     ]);
     let mut base: Option<(u32, f64, f64)> = None;
+    let mut sims = Vec::new();
     for &p in &ranks {
         let params = SimParams {
             persistence_frac: 0.01,
@@ -60,7 +61,9 @@ fn main() {
             format!("{}", r.output_blocks),
             fmt_bytes(r.output_bytes),
         ]);
+        sims.push((format!("p{p}"), r));
     }
+    emit_sim_series("fig10_rt", &sims);
     println!(
         "\nExpected shape (paper §VI-D2): with a partial merge the\n\
          compute+merge time keeps scaling much better than the end-to-end\n\

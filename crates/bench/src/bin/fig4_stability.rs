@@ -7,7 +7,7 @@
 //! cargo run --release -p msp-bench --bin fig4_stability
 //! ```
 
-use msp_bench::{Scale, Table};
+use msp_bench::{emit_run_series, Scale, Table};
 use msp_complex::query;
 use msp_core::{run_parallel, Input, MergePlan, PipelineParams};
 use std::sync::Arc;
@@ -30,6 +30,7 @@ fn main() {
         "stable max",
         "filaments",
     ]);
+    let mut runs = Vec::new();
     for blocks in [1u32, 8, 64] {
         let ranks = blocks.min(8);
         // finest scale, unmerged: shows the boundary-artifact bloat
@@ -70,7 +71,12 @@ fn main() {
             format!("{stable}"),
             format!("{filaments}"),
         ]);
+        runs.push((format!("raw_b{blocks}"), raw));
+        runs.push((format!("merged_b{blocks}"), merged));
     }
+    let series: Vec<(String, &msp_core::RunResult)> =
+        runs.iter().map(|(l, r)| (l.clone(), r)).collect();
+    emit_run_series("fig4_stability", &series);
     println!(
         "\nExpected (paper §V-A): raw counts inflate with blocking (spurious\n\
          zero-persistence boundary nodes); after 1% simplification + full\n\

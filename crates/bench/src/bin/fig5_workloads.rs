@@ -8,7 +8,7 @@
 //! MSP_SCALE=small cargo run --release -p msp-bench --bin fig5_workloads
 //! ```
 
-use msp_bench::{fmt_bytes, Scale, Table};
+use msp_bench::{emit_sim_series, fmt_bytes, Scale, Table};
 use msp_core::{MergePlan, SimParams};
 
 fn main() {
@@ -19,6 +19,7 @@ fn main() {
     let t = Table::new(&[
         "cmplx", "expected", "minima", "1-sad", "2-sad", "maxima", "arcs", "out size",
     ]);
+    let mut sims = Vec::new();
     for &c in complexities {
         let field = msp_synth::sinusoid(size, c);
         let params = SimParams {
@@ -49,7 +50,9 @@ fn main() {
             format!("{}", r.live_arcs),
             fmt_bytes(r.output_bytes),
         ]);
+        sims.push((format!("complexity{c}"), r));
     }
+    emit_sim_series("fig5_workloads", &sims);
     println!(
         "\nDoubling the complexity per side multiplies the feature count by\n\
          ~8 (c^3 growth) while the grid size stays fixed — the workload\n\

@@ -9,7 +9,7 @@
 //! cargo run --release -p msp-bench --bin fig6_sweep
 //! ```
 
-use msp_bench::Scale;
+use msp_bench::{emit_sim_series, Scale};
 use msp_core::{MergePlan, SimParams};
 
 fn main() {
@@ -32,6 +32,7 @@ fn main() {
     println!("Fig 6 analogue: two rounds of radix-8 merging");
     println!("columns: complexity,points_per_side,ranks,compute_s,merge_s,output_bytes\n");
     println!("complexity,size,ranks,compute_s,merge_s,output_bytes");
+    let mut sims = Vec::new();
     for &c in &complexities {
         for &n in &sizes {
             let field = msp_synth::sinusoid(n, c);
@@ -46,9 +47,11 @@ fn main() {
                     "{c},{n},{p},{:.6},{:.6},{}",
                     r.compute_s, r.merge_s, r.output_bytes
                 );
+                sims.push((format!("c{c}_n{n}_p{p}"), r));
             }
         }
     }
+    emit_sim_series("fig6_sweep", &sims);
     println!(
         "\nExpected shapes (paper §VI-B): compute time scales ~1/P and with\n\
          size^3, independent of complexity; merge time is independent of\n\

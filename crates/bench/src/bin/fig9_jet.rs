@@ -7,7 +7,7 @@
 //! cargo run --release -p msp-bench --bin fig9_jet
 //! ```
 
-use msp_bench::{efficiency, fmt_bytes, Scale, Table};
+use msp_bench::{efficiency, emit_sim_series, fmt_bytes, Scale, Table};
 use msp_core::{MergePlan, SimParams};
 use msp_grid::Dims;
 
@@ -33,6 +33,7 @@ fn main() {
         "ranks", "read(s)", "compute(s)", "merge(s)", "write(s)", "total(s)", "eff(%)", "out size",
     ]);
     let mut base: Option<(u32, f64)> = None;
+    let mut sims = Vec::new();
     for &p in &ranks {
         let params = SimParams {
             persistence_frac: 0.01,
@@ -57,7 +58,9 @@ fn main() {
             format!("{:.1}", eff),
             fmt_bytes(r.output_bytes),
         ]);
+        sims.push((format!("p{p}"), r));
     }
+    emit_sim_series("fig9_jet", &sims);
     println!(
         "\nExpected shape (paper §VI-D1): compute dominates at small P and\n\
          falls ~1/P; merge time grows at large P and takes over; efficiency\n\

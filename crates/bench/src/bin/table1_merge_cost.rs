@@ -8,7 +8,7 @@
 //! cargo run --release -p msp-bench --bin table1_merge_cost
 //! ```
 
-use msp_bench::{Scale, Table};
+use msp_bench::{emit_sim_series, Scale, Table};
 use msp_core::{MergePlan, SimParams};
 
 fn main() {
@@ -33,6 +33,7 @@ fn main() {
         "total merge (s)",
         "final round (s)",
     ]);
+    let mut sims = Vec::new();
     for upto in 1..=full.len() {
         let plan = MergePlan::rounds(full[..upto].to_vec());
         let params = SimParams {
@@ -53,7 +54,9 @@ fn main() {
             format!("{:.4}", rounds_total),
             format!("{:.4}", last.round_s),
         ]);
+        sims.push((format!("rounds{upto}"), r));
     }
+    emit_sim_series("table1_merge_cost", &sims);
     println!(
         "\nReading the table top to bottom, the final-round column gives the\n\
          per-round cost of rounds 1..n: merging gets more expensive as it\n\

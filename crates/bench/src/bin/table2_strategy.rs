@@ -7,7 +7,7 @@
 //! cargo run --release -p msp-bench --bin table2_strategy
 //! ```
 
-use msp_bench::{Scale, Table};
+use msp_bench::{emit_sim_series, Scale, Table};
 use msp_core::{MergePlan, SimParams};
 
 fn main() {
@@ -30,6 +30,7 @@ fn main() {
         "Table II analogue: full merge of {blocks} blocks (sinusoid {size}^3, complexity {complexity})\n"
     );
     let t = Table::new(&["rounds", "radices", "compute+merge (s)"]);
+    let mut sims = Vec::new();
     for radices in &strategies {
         let plan = MergePlan::rounds(radices.clone());
         assert_eq!(plan.output_blocks(blocks), 1);
@@ -48,7 +49,12 @@ fn main() {
                 .join(" "),
             format!("{:.4}", r.compute_s + r.merge_s),
         ]);
+        sims.push((
+            radices.iter().map(|x| x.to_string()).collect::<Vec<_>>().join("-"),
+            r,
+        ));
     }
+    emit_sim_series("table2_strategy", &sims);
     println!(
         "\nExpected ordering (paper §VI-C2): [4 8 8] <= [8 8 4] <= 4-round\n\
          plans <= eight rounds of radix-2; differences are small until the\n\

@@ -8,8 +8,10 @@
 //! * `MSP_SCALE=small|default|large` — preset problem sizes;
 //! * individual binaries document any extra knobs they accept.
 
-use msp_core::{SimParams, SimReport};
+use msp_core::{RunResult, SimParams, SimReport};
 use msp_grid::ScalarField;
+use msp_telemetry::{write_named_json, Json};
+use std::path::PathBuf;
 
 /// Problem-size preset selected by `MSP_SCALE`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +47,87 @@ impl Scale {
 /// binaries terse).
 pub fn run_sim(field: &ScalarField, ranks: u32, params: &SimParams) -> SimReport {
     msp_core::simulate(field, ranks, params)
+}
+
+/// Where experiment outputs land: `MSP_RESULTS_DIR` or `results/`.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("MSP_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+fn emit(name: &str, doc: &Json) -> Option<PathBuf> {
+    match write_named_json(&results_dir(), name, doc) {
+        Ok(p) => {
+            println!("\ntelemetry written to {}", p.display());
+            Some(p)
+        }
+        Err(e) => {
+            eprintln!("\ntelemetry write failed ({name}): {e}");
+            None
+        }
+    }
+}
+
+/// Persist a threaded-pipeline run's aggregated telemetry as
+/// `results/<name>.telemetry.json`. Shared by every experiment binary so
+/// report emission lives in exactly one place.
+pub fn emit_run_report(name: &str, result: &RunResult) -> Option<PathBuf> {
+    let mut report = result.telemetry.clone();
+    report.name = name.to_string();
+    emit(name, &report.to_json())
+}
+
+/// Persist a labelled series of threaded-pipeline runs (ablations,
+/// stability sweeps) as a single `results/<name>.telemetry.json`.
+pub fn emit_run_series(name: &str, series: &[(String, &RunResult)]) -> Option<PathBuf> {
+    let doc = Json::obj(vec![
+        ("version", Json::U64(msp_telemetry::REPORT_VERSION as u64)),
+        ("kind", Json::str("run_series")),
+        ("name", Json::str(name)),
+        (
+            "runs",
+            Json::Arr(
+                series
+                    .iter()
+                    .map(|(label, r)| {
+                        Json::obj(vec![
+                            ("label", Json::str(label.clone())),
+                            ("report", r.telemetry.to_json()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    emit(name, &doc)
+}
+
+/// Persist one simulated run under `results/<name>.telemetry.json`.
+pub fn emit_sim_report(name: &str, report: &SimReport) -> Option<PathBuf> {
+    emit(name, &report.to_json())
+}
+
+/// Persist a labelled series of simulated runs (scaling sweeps, strategy
+/// tables) as a single `results/<name>.telemetry.json` document.
+pub fn emit_sim_series(name: &str, series: &[(String, SimReport)]) -> Option<PathBuf> {
+    let doc = Json::obj(vec![
+        ("version", Json::U64(msp_telemetry::REPORT_VERSION as u64)),
+        ("kind", Json::str("sim_series")),
+        ("name", Json::str(name)),
+        (
+            "runs",
+            Json::Arr(
+                series
+                    .iter()
+                    .map(|(label, r)| {
+                        Json::obj(vec![("label", Json::str(label.clone())), ("report", r.to_json())])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    emit(name, &doc)
 }
 
 /// Strong-scaling efficiency relative to a base point:

@@ -11,6 +11,7 @@ use msp_morse::{assign_gradient, trace_all_arcs, TraceLimits, TraceStats};
 /// Counters from one block build.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BuildStats {
+    pub cells_paired: u64,
     pub critical_cells: u64,
     pub boundary_nodes: u64,
     pub arcs: u64,
@@ -39,7 +40,10 @@ pub fn complex_from_gradient(
 ) -> (MsComplex, BuildStats) {
     let refined = field.domain().refined();
     let mut ms = MsComplex::new(refined, vec![field.block().id]);
-    let mut stats = BuildStats::default();
+    let mut stats = BuildStats {
+        cells_paired: grad.n_paired_cells(),
+        ..BuildStats::default()
+    };
 
     for c in grad.critical_cells() {
         let boundary = decomp.owners(c).is_shared();
@@ -101,6 +105,8 @@ mod tests {
         let (ms, stats) = serial_complex(&f);
         assert!(stats.critical_cells > 4);
         assert!(stats.arcs > 0);
+        assert!(stats.cells_paired > 0);
+        assert_eq!(stats.cells_paired % 2, 0, "pairs cover cells two at a time");
         ms.check_integrity().unwrap();
         // every saddle must have arcs: a 1-saddle has exactly 2 descending
         // paths (possibly to the same minimum) unless truncated

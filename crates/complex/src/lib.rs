@@ -31,6 +31,6 @@ pub mod simplify;
 pub mod skeleton;
 pub mod wire;
 
-pub use build::{build_block_complex, BuildStats};
+pub use build::{build_block_complex, complex_from_gradient, BuildStats};
 pub use simplify::{simplify, SimplifyParams, SimplifyStats};
 pub use skeleton::{ArcId, GeomId, MsComplex, NodeId};

@@ -18,16 +18,23 @@
 //! configuration is one block per process.
 
 use crate::plan::MergePlan;
+use bytes::Bytes;
 use msp_complex::glue::glue_all;
-use msp_complex::{build_block_complex, simplify, wire, MsComplex, SimplifyParams};
+use msp_complex::{complex_from_gradient, simplify, wire, MsComplex, SimplifyParams};
 use msp_grid::rawio::{read_block, VolumeDType};
 use msp_grid::{Decomposition, Dims, ScalarField};
-use msp_morse::TraceLimits;
+use msp_morse::{assign_gradient, TraceLimits};
+use msp_telemetry::{Counter, Json, Phase, RankReport, Recorder, RunReport};
 use msp_vmpi::fileio::{collective_write_blocks, FooterEntry};
 use msp_vmpi::{Rank, Universe};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::time::Instant;
+
+/// Tags of the end-of-run telemetry exchange. They live above the file-IO
+/// range (9001..) and below no one: nothing else speaks after the write
+/// stage.
+const TAG_TELEMETRY_GATHER: u32 = 9100;
+const TAG_TELEMETRY_SHIP: u32 = 9110;
 
 /// Pipeline configuration shared by all ranks.
 #[derive(Debug, Clone)]
@@ -75,22 +82,11 @@ impl Input {
     }
 }
 
-/// Wall-clock stage times of one rank (seconds).
-#[derive(Debug, Clone, Default)]
-pub struct StageTimes {
-    pub read: f64,
-    pub compute: f64,
-    pub simplify: f64,
-    pub merge: f64,
-    pub merge_rounds: Vec<f64>,
-    pub write: f64,
-    pub total: f64,
-}
-
 /// Result of a parallel run.
 pub struct RunResult {
-    /// Per-rank stage times, indexed by rank.
-    pub times: Vec<StageTimes>,
+    /// Aggregated telemetry: per-rank phase timings and counters plus
+    /// cross-rank min/mean/max/imbalance statistics (gathered at rank 0).
+    pub telemetry: RunReport,
     /// Output-slot complexes in ascending slot order.
     pub outputs: Vec<MsComplex>,
     /// Footer of the output file, when one was written.
@@ -118,12 +114,14 @@ pub fn run_parallel(
         run_rank(rank, input, &decomp, n_blocks, params, output_path)
     });
 
-    let mut times = Vec::with_capacity(results.len());
+    let mut telemetry = None;
     let mut slot_outputs: Vec<(u32, MsComplex)> = Vec::new();
     let mut footer = None;
     let mut threshold = 0.0;
-    for (t, outs, f, th) in results {
-        times.push(t);
+    for (tel, outs, f, th) in results {
+        if tel.is_some() {
+            telemetry = tel; // only rank 0 holds the gathered report
+        }
         slot_outputs.extend(outs);
         if f.is_some() {
             footer = f;
@@ -133,8 +131,18 @@ pub fn run_parallel(
     slot_outputs.sort_by_key(|(slot, _)| *slot);
     let outputs: Vec<MsComplex> = slot_outputs.into_iter().map(|(_, c)| c).collect();
     let output_bytes = outputs.iter().map(|c| wire::serialize(c).len() as u64).sum();
+    let telemetry = telemetry
+        .expect("rank 0 gathers the telemetry report")
+        .with_meta("dims", Json::str(format!("{}x{}x{}", dims.nx, dims.ny, dims.nz)))
+        .with_meta("n_blocks", Json::U64(n_blocks as u64))
+        .with_meta("merge_radices", Json::Arr(
+            params.plan.radices.iter().map(|&r| Json::U64(r as u64)).collect(),
+        ))
+        .with_meta("persistence_frac", Json::F64(params.persistence_frac as f64))
+        .with_meta("threshold", Json::F64(threshold as f64))
+        .with_meta("output_bytes", Json::U64(output_bytes));
     RunResult {
-        times,
+        telemetry,
         outputs,
         footer,
         output_bytes,
@@ -142,7 +150,7 @@ pub fn run_parallel(
     }
 }
 
-type RankOut = (StageTimes, Vec<(u32, MsComplex)>, Option<Vec<FooterEntry>>, f32);
+type RankOut = (Option<RunReport>, Vec<(u32, MsComplex)>, Option<Vec<FooterEntry>>, f32);
 
 fn run_rank(
     rank: &mut Rank,
@@ -155,11 +163,11 @@ fn run_rank(
     let p = rank.rank() as u32;
     let n_ranks = rank.size() as u32;
     let my_blocks: Vec<u32> = (0..n_blocks).filter(|b| b % n_ranks == p).collect();
-    let mut t = StageTimes::default();
-    let t_start = Instant::now();
+    let mut rec = Recorder::new(p);
+    rec.begin(Phase::Total);
 
     // ---- read ----
-    let t0 = Instant::now();
+    rec.begin(Phase::Read);
     let mut fields = HashMap::new();
     let mut local_min = f64::INFINITY;
     let mut local_max = f64::NEG_INFINITY;
@@ -179,36 +187,40 @@ fn run_rank(
     // global range for the persistence threshold
     let (gmin, gmax) = rank.allreduce_min_max(100, local_min, local_max);
     let threshold = params.persistence_frac * (gmax - gmin) as f32;
-    t.read = t0.elapsed().as_secs_f64();
+    rec.end(Phase::Read);
 
-    // ---- compute (gradient + MS complex) ----
-    let t0 = Instant::now();
+    // ---- compute: gradient assignment, then V-path tracing ----
     let mut complexes: HashMap<u32, MsComplex> = HashMap::new();
     for &b in &my_blocks {
-        let (ms, _) = build_block_complex(&fields[&b], decomp, params.trace_limits);
+        let grad = rec.time(Phase::Gradient, |_| assign_gradient(&fields[&b], decomp));
+        let (ms, bstats) = rec.time(Phase::Trace, |_| {
+            complex_from_gradient(&fields[&b], decomp, &grad, params.trace_limits)
+        });
+        rec.add(Counter::CellsPaired, bstats.cells_paired);
+        rec.add(Counter::CriticalCells, bstats.critical_cells);
+        rec.add(Counter::ArcsTraced, bstats.arcs);
         complexes.insert(b, ms);
     }
     drop(fields);
-    t.compute = t0.elapsed().as_secs_f64();
 
     // ---- local simplification ----
-    let t0 = Instant::now();
+    rec.begin(Phase::Simplify);
     let sp = SimplifyParams {
         threshold,
         max_new_arcs: params.max_new_arcs,
         max_parallel_arcs: Some(2),
     };
     for ms in complexes.values_mut() {
-        simplify(ms, sp);
+        let st = simplify(ms, sp);
+        rec.add(Counter::Cancellations, st.cancellations);
         ms.compact();
     }
-    t.simplify = t0.elapsed().as_secs_f64();
+    rec.end(Phase::Simplify);
 
     // ---- merge rounds ----
-    let t_merge = Instant::now();
     for r in 0..params.plan.radices.len() {
         rank.barrier();
-        let t0 = Instant::now();
+        rec.begin(Phase::MergeRound(r as u16));
         let groups = params.plan.groups(r, n_blocks);
         let tag_base = (r as u32) << 20;
         // send phase: every non-root slot this rank owns
@@ -216,7 +228,10 @@ fn run_rank(
             for &m in &members[1..] {
                 if m % n_ranks == p {
                     let ms = complexes.remove(&m).expect("member complex present");
+                    rec.add(Counter::NodesShipped, ms.n_live_nodes());
+                    rec.add(Counter::ArcsShipped, ms.n_live_arcs());
                     let payload = wire::serialize(&ms);
+                    rec.add(Counter::ShipBytes, payload.len() as u64);
                     rank.send((root % n_ranks) as usize, tag_base | m, payload);
                 }
             }
@@ -232,16 +247,18 @@ fn run_rank(
                 incoming.push(wire::deserialize(&payload).expect("valid complex"));
             }
             let ms = complexes.get_mut(root).expect("root complex present");
-            glue_all(ms, &incoming, decomp);
-            simplify(ms, sp);
+            rec.time(Phase::Glue, |_| glue_all(ms, &incoming, decomp));
+            rec.begin(Phase::Resimplify);
+            let st = simplify(ms, sp);
+            rec.add(Counter::Cancellations, st.cancellations);
             ms.compact();
+            rec.end(Phase::Resimplify);
         }
-        t.merge_rounds.push(t0.elapsed().as_secs_f64());
+        rec.end(Phase::MergeRound(r as u16));
     }
-    t.merge = t_merge.elapsed().as_secs_f64();
 
     // ---- write ----
-    let t0 = Instant::now();
+    rec.begin(Phase::Write);
     let out_slots = params.plan.output_slots(n_blocks);
     let mut my_outputs: Vec<(u32, MsComplex)> = out_slots
         .iter()
@@ -257,9 +274,32 @@ fn run_rank(
     } else {
         None
     };
-    t.write = t0.elapsed().as_secs_f64();
-    t.total = t_start.elapsed().as_secs_f64();
-    (t, my_outputs, footer, threshold)
+    rec.end(Phase::Write);
+    rec.end(Phase::Total);
+
+    // Counter snapshot happens BEFORE the telemetry exchange below, so
+    // the reported traffic is exactly the pipeline's own.
+    let cs = rank.comm_stats();
+    rec.add(Counter::BytesSent, cs.bytes_sent);
+    rec.add(Counter::BytesRecv, cs.bytes_recv);
+    rec.add(Counter::MsgsSent, cs.msgs_sent);
+    rec.add(Counter::MsgsRecv, cs.msgs_recv);
+    let report = rec.finish();
+
+    // Exact global merge traffic via the integer all-reduce; lands in the
+    // report meta on rank 0.
+    let global_ship_bytes =
+        rank.allreduce_u64(TAG_TELEMETRY_SHIP, report.counter("ship_bytes"), |a, b| a + b);
+    let encoded = Bytes::from(report.encode());
+    let telemetry = rank.gather(0, TAG_TELEMETRY_GATHER, encoded).map(|all| {
+        let ranks: Vec<RankReport> = all
+            .iter()
+            .map(|b| RankReport::decode(b).expect("valid rank report"))
+            .collect();
+        RunReport::from_ranks("run", ranks)
+            .with_meta("global_ship_bytes", Json::U64(global_ship_bytes))
+    });
+    (telemetry, my_outputs, footer, threshold)
 }
 
 #[cfg(test)]
@@ -276,8 +316,45 @@ mod tests {
         let input = noise_input(8, 3);
         let r = run_parallel(&input, 1, 1, &PipelineParams::default(), None);
         assert_eq!(r.outputs.len(), 1);
-        assert_eq!(r.times.len(), 1);
+        assert_eq!(r.telemetry.n_ranks, 1);
+        assert_eq!(r.telemetry.ranks.len(), 1);
         r.outputs[0].check_integrity().unwrap();
+    }
+
+    #[test]
+    fn telemetry_covers_phases_and_counters() {
+        let input = noise_input(9, 5);
+        let params = PipelineParams {
+            plan: MergePlan::full_merge(8),
+            ..Default::default()
+        };
+        let r = run_parallel(&input, 4, 8, &params, None);
+        let tel = &r.telemetry;
+        assert_eq!(tel.n_ranks, 4);
+        for key in ["read", "gradient", "trace", "simplify", "merge_round[0]", "write", "total"] {
+            let s = tel.phase_stat(key).unwrap_or_else(|| panic!("phase {key} present"));
+            assert!(s.seconds.max >= s.seconds.min);
+        }
+        assert!(tel.counter_total("critical_cells") > 0);
+        assert!(tel.counter_total("cells_paired") > 0);
+        assert!(tel.counter_total("arcs_traced") > 0);
+        assert!(tel.counter_total("nodes_shipped") > 0);
+        assert!(tel.counter_total("bytes_sent") > 0);
+        // every byte sent is received by someone
+        assert_eq!(tel.counter_total("bytes_sent"), tel.counter_total("bytes_recv"));
+        assert_eq!(tel.counter_total("msgs_sent"), tel.counter_total("msgs_recv"));
+        // the all-reduced global ship total matches the gathered counters
+        let meta_ship = tel
+            .meta
+            .iter()
+            .find(|(k, _)| k == "global_ship_bytes")
+            .map(|(_, v)| match v {
+                msp_telemetry::Json::U64(n) => *n,
+                _ => panic!("global_ship_bytes must be u64"),
+            })
+            .expect("global_ship_bytes in meta");
+        assert_eq!(meta_ship, tel.counter_total("ship_bytes"));
+        assert!(meta_ship > 0);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use msp_complex::{build_block_complex, simplify, wire, MsComplex, SimplifyParams
 use msp_grid::rawio::{block_bytes, VolumeDType};
 use msp_grid::{Decomposition, ScalarField};
 use msp_morse::TraceLimits;
+use msp_telemetry::Json;
 use msp_vmpi::{IoParams, NetParams, Torus};
 use rayon::prelude::*;
 use std::time::Instant;
@@ -88,6 +89,52 @@ pub struct SimReport {
     pub live_nodes: u64,
     pub live_arcs: u64,
     pub threshold: f32,
+}
+
+impl SimReport {
+    /// Render the report as the same versioned JSON document shape the
+    /// threaded pipeline emits (`kind: "sim"`), so sim and run reports
+    /// land side by side in `results/` and share tooling.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("version", Json::U64(msp_telemetry::REPORT_VERSION as u64)),
+            ("kind", Json::str("sim")),
+            ("n_ranks", Json::U64(self.n_ranks as u64)),
+            (
+                "phases",
+                Json::obj(vec![
+                    ("read", Json::F64(self.read_s)),
+                    ("compute", Json::F64(self.compute_s)),
+                    ("local_simplify", Json::F64(self.local_simplify_s)),
+                    ("merge", Json::F64(self.merge_s)),
+                    ("write", Json::F64(self.write_s)),
+                    ("total", Json::F64(self.total_s)),
+                ]),
+            ),
+            (
+                "rounds",
+                Json::Arr(
+                    self.rounds
+                        .iter()
+                        .map(|r| {
+                            Json::obj(vec![
+                                ("radix", Json::U64(r.radix as u64)),
+                                ("comm_s", Json::F64(r.comm_s)),
+                                ("glue_s", Json::F64(r.glue_s)),
+                                ("round_s", Json::F64(r.round_s)),
+                                ("bytes_moved", Json::U64(r.bytes_moved)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("output_blocks", Json::U64(self.output_blocks as u64)),
+            ("output_bytes", Json::U64(self.output_bytes)),
+            ("live_nodes", Json::U64(self.live_nodes)),
+            ("live_arcs", Json::U64(self.live_arcs)),
+            ("threshold", Json::F64(self.threshold as f64)),
+        ])
+    }
 }
 
 /// Simulate the pipeline at `n_ranks` virtual ranks (one block each).

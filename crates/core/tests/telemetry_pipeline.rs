@@ -1,0 +1,84 @@
+//! Cross-layer accounting check: the comm-layer byte counters
+//! (incremented inside `msp_vmpi::comm` on every send/recv) must agree
+//! exactly with the pipeline-layer `ship_bytes` counter (summed
+//! serialized wire-payload sizes at the merge sends) plus the one known
+//! collective — the global min/max all-reduce.
+//!
+//! With no output file, a run's complete pre-telemetry traffic is:
+//!
+//! * `allreduce_min_max` = 2 x `allreduce_f64`, each a gather of
+//!   `W - 1` 8-byte legs into rank 0 plus a broadcast of `W - 1` 8-byte
+//!   legs out of it: `32 * (W - 1)` bytes, `4 * (W - 1)` messages;
+//! * one serialized-complex send per non-root merge slot per round.
+//!
+//! The telemetry exchange itself (integer all-reduce + report gather)
+//! runs after the counters are snapshotted and must not appear.
+
+use msp_core::{run_parallel, Input, MergePlan, PipelineParams};
+use msp_grid::Dims;
+use std::sync::Arc;
+
+#[test]
+fn comm_counters_match_wire_payload_sizes() {
+    const W: u64 = 4; // ranks == blocks
+    let input = Input::Memory(Arc::new(msp_synth::white_noise(Dims::cube(9), 23)));
+    let params = PipelineParams {
+        plan: MergePlan::rounds(vec![2, 2]), // 4 -> 2 -> 1
+        ..Default::default()
+    };
+    let r = run_parallel(&input, W as u32, W as u32, &params, None);
+    let tel = &r.telemetry;
+    assert_eq!(tel.n_ranks as u64, W);
+    assert_eq!(tel.ranks.len() as u64, W);
+
+    // two merge rounds: blocks 1,3 ship in round 0; block 2 in round 1
+    let ship_msgs = 3u64;
+    let allreduce_bytes = 32 * (W - 1);
+    let allreduce_msgs = 4 * (W - 1);
+
+    let ship_bytes = tel.counter_total("ship_bytes");
+    assert!(ship_bytes > 0, "merge payloads are never empty");
+    assert_eq!(
+        tel.counter_total("bytes_sent"),
+        ship_bytes + allreduce_bytes,
+        "comm bytes must equal wire payloads + the min/max all-reduce"
+    );
+    assert_eq!(tel.counter_total("msgs_sent"), ship_msgs + allreduce_msgs);
+
+    // conservation: everything sent is received
+    assert_eq!(tel.counter_total("bytes_sent"), tel.counter_total("bytes_recv"));
+    assert_eq!(tel.counter_total("msgs_sent"), tel.counter_total("msgs_recv"));
+
+    // shipped complexes are non-trivial
+    assert!(tel.counter_total("nodes_shipped") > 0);
+    assert!(tel.counter_total("arcs_shipped") > 0);
+
+    // per-merge-round spans made it through the gather + aggregation
+    for key in ["merge_round[0]", "merge_round[1]"] {
+        let s = tel.phase_stat(key).unwrap_or_else(|| panic!("{key} present"));
+        assert!(s.seconds.min >= 0.0 && s.seconds.max >= s.seconds.min);
+        assert!(s.seconds.imbalance >= 1.0 || s.seconds.mean == 0.0);
+    }
+
+    // cross-rank aggregates are consistent with the raw per-rank data
+    for cs in &tel.counter_stats {
+        let per_rank: Vec<u64> = tel.ranks.iter().map(|rk| rk.counter(&cs.key)).collect();
+        assert_eq!(cs.total, per_rank.iter().sum::<u64>(), "total of {}", cs.key);
+        assert_eq!(cs.min, *per_rank.iter().min().unwrap());
+        assert_eq!(cs.max, *per_rank.iter().max().unwrap());
+    }
+}
+
+#[test]
+fn single_rank_run_has_no_point_to_point_traffic() {
+    let input = Input::Memory(Arc::new(msp_synth::white_noise(Dims::cube(8), 7)));
+    let r = run_parallel(&input, 1, 1, &PipelineParams::default(), None);
+    let tel = &r.telemetry;
+    // a world of one: the all-reduce and the gather are local no-ops
+    assert_eq!(tel.counter_total("bytes_sent"), 0);
+    assert_eq!(tel.counter_total("msgs_sent"), 0);
+    assert_eq!(tel.counter_total("ship_bytes"), 0);
+    // but compute counters still flow
+    assert!(tel.counter_total("critical_cells") > 0);
+    assert!(tel.counter_total("cells_paired") > 0);
+}

@@ -154,6 +154,12 @@ impl GradientField {
     pub fn n_unassigned(&self) -> u64 {
         self.bytes.iter().filter(|&&b| b & ASSIGNED == 0).count() as u64
     }
+
+    /// Number of cells in gradient pairs (tails + heads; an even number
+    /// for a complete assignment: cells are either paired or critical).
+    pub fn n_paired_cells(&self) -> u64 {
+        self.bytes.iter().filter(|&&b| b & PAIRED != 0).count() as u64
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +190,9 @@ mod tests {
         assert_eq!(g.partner(e), Some(v));
         assert!(!g.is_critical(v));
         assert_eq!(g.n_unassigned(), 123);
+        assert_eq!(g.n_paired_cells(), 2);
+        g.mark_critical(RCoord::new(0, 0, 0));
+        assert_eq!(g.n_paired_cells(), 2); // critical cells are not paired
     }
 
     #[test]

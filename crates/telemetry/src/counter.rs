@@ -1,0 +1,94 @@
+//! Monotonically-accumulating counters.
+//!
+//! The fixed set mirrors what the paper's evaluation reasons about:
+//! local-stage work (cells paired, critical cells, arcs traced),
+//! simplification work (cancellations), and merge-stage communication
+//! (nodes/arcs shipped, serialized payload bytes, and raw transport
+//! bytes/messages as counted by the comm layer).
+
+/// One counter of the fixed taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Cells paired by the discrete gradient (both ends of each vector).
+    CellsPaired,
+    /// Critical cells found (= nodes of the block complexes).
+    CriticalCells,
+    /// Arcs produced by V-path tracing.
+    ArcsTraced,
+    /// Cancellations performed by all simplification passes.
+    Cancellations,
+    /// Live nodes serialized into merge messages.
+    NodesShipped,
+    /// Live arcs serialized into merge messages.
+    ArcsShipped,
+    /// Serialized wire-payload bytes shipped during merge rounds
+    /// (application-level; excludes collective/control traffic).
+    ShipBytes,
+    /// Bytes handed to the transport by this rank (all messages).
+    BytesSent,
+    /// Bytes delivered by the transport to this rank.
+    BytesRecv,
+    /// Messages sent by this rank.
+    MsgsSent,
+    /// Messages received by this rank.
+    MsgsRecv,
+}
+
+/// All counters, in report order.
+pub const ALL_COUNTERS: [Counter; 11] = [
+    Counter::CellsPaired,
+    Counter::CriticalCells,
+    Counter::ArcsTraced,
+    Counter::Cancellations,
+    Counter::NodesShipped,
+    Counter::ArcsShipped,
+    Counter::ShipBytes,
+    Counter::BytesSent,
+    Counter::BytesRecv,
+    Counter::MsgsSent,
+    Counter::MsgsRecv,
+];
+
+impl Counter {
+    pub const COUNT: usize = ALL_COUNTERS.len();
+
+    /// Stable string key used in encoded reports and JSON output.
+    pub fn key(self) -> &'static str {
+        match self {
+            Counter::CellsPaired => "cells_paired",
+            Counter::CriticalCells => "critical_cells",
+            Counter::ArcsTraced => "arcs_traced",
+            Counter::Cancellations => "cancellations",
+            Counter::NodesShipped => "nodes_shipped",
+            Counter::ArcsShipped => "arcs_shipped",
+            Counter::ShipBytes => "ship_bytes",
+            Counter::BytesSent => "bytes_sent",
+            Counter::BytesRecv => "bytes_recv",
+            Counter::MsgsSent => "msgs_sent",
+            Counter::MsgsRecv => "msgs_recv",
+        }
+    }
+
+    /// Dense index into a `[u64; Counter::COUNT]` accumulator array.
+    pub fn index(self) -> usize {
+        ALL_COUNTERS
+            .iter()
+            .position(|c| *c == self)
+            .expect("counter present in ALL_COUNTERS")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn keys_unique_and_indices_dense() {
+        let keys: HashSet<&str> = ALL_COUNTERS.iter().map(|c| c.key()).collect();
+        assert_eq!(keys.len(), Counter::COUNT);
+        for (i, c) in ALL_COUNTERS.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # msp-telemetry
+//!
+//! Per-rank phase/comm observability for the parallel Morse-Smale
+//! pipeline: the substrate every performance claim in this repo is
+//! measured against (the paper's Table I and Figs 9/10 are exactly
+//! per-phase, per-rank breakdowns of this kind).
+//!
+//! * [`Phase`] — the fixed span taxonomy matching Algorithm 1 (`read`,
+//!   `gradient`, `trace`, `simplify`, `merge_round[k]`, `glue`,
+//!   `resimplify`, `write`, `total`);
+//! * [`Counter`] — monotonically-accumulating work/communication
+//!   counters (cells paired … bytes/messages sent/received);
+//! * [`Recorder`] — one per rank: nestable phase spans + counters;
+//! * [`RankReport`] / [`RunReport`] — frozen per-rank data with a
+//!   compact wire encoding, cross-rank min/mean/max/imbalance
+//!   aggregation, and a versioned `.telemetry.json` writer;
+//! * [`Json`] — the dependency-free JSON document builder the writers
+//!   use (the build is offline; no serde_json).
+//!
+//! The crate is intentionally std-only so it can never constrain where
+//! instrumentation is threaded.
+
+pub mod counter;
+pub mod json;
+pub mod phase;
+pub mod recorder;
+pub mod report;
+
+pub use counter::{Counter, ALL_COUNTERS};
+pub use json::Json;
+pub use phase::Phase;
+pub use recorder::Recorder;
+pub use report::{
+    aggregate, write_named_json, Agg, CounterStat, PhaseStat, RankReport, RunReport,
+    REPORT_VERSION,
+};

@@ -1,0 +1,135 @@
+//! The fixed phase taxonomy, matching Algorithm 1 of the paper.
+//!
+//! Every span a [`Recorder`](crate::Recorder) opens is keyed by one of
+//! these phases; stable string keys make reports comparable across runs
+//! and across code versions. `MergeRound(k)` is parameterized by the
+//! zero-based merge round so Table-I-style per-round breakdowns fall out
+//! of the same machinery.
+
+/// One phase of the pipeline. The derived `Ord` follows pipeline order
+/// (read → gradient → trace → simplify → merge rounds → glue →
+/// resimplify → write → total), which is the order phases appear in
+/// reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Phase {
+    /// Collective read of the scalar blocks (§IV-B).
+    Read,
+    /// Discrete gradient assignment (§IV-C).
+    Gradient,
+    /// V-path tracing and complex construction (§IV-D).
+    Trace,
+    /// Initial local persistence simplification (§IV-E).
+    Simplify,
+    /// One radix-k merge round (§IV-F); zero-based round index.
+    MergeRound(u16),
+    /// Gluing incoming complexes onto a root (§IV-F3); nested inside a
+    /// merge round.
+    Glue,
+    /// Re-simplification of newly interior nodes after a glue; nested
+    /// inside a merge round.
+    Resimplify,
+    /// Collective write of output blocks (§IV-G).
+    Write,
+    /// Whole-pipeline wall time of the rank.
+    Total,
+}
+
+impl Phase {
+    /// Stable string key used in encoded reports and JSON output.
+    pub fn key(self) -> String {
+        match self {
+            Phase::Read => "read".to_string(),
+            Phase::Gradient => "gradient".to_string(),
+            Phase::Trace => "trace".to_string(),
+            Phase::Simplify => "simplify".to_string(),
+            Phase::MergeRound(k) => format!("merge_round[{k}]"),
+            Phase::Glue => "glue".to_string(),
+            Phase::Resimplify => "resimplify".to_string(),
+            Phase::Write => "write".to_string(),
+            Phase::Total => "total".to_string(),
+        }
+    }
+
+    /// Inverse of [`Phase::key`]. Unknown keys return `None` (reports
+    /// from newer writers stay readable: unknown phases sort last).
+    pub fn parse(key: &str) -> Option<Phase> {
+        match key {
+            "read" => Some(Phase::Read),
+            "gradient" => Some(Phase::Gradient),
+            "trace" => Some(Phase::Trace),
+            "simplify" => Some(Phase::Simplify),
+            "glue" => Some(Phase::Glue),
+            "resimplify" => Some(Phase::Resimplify),
+            "write" => Some(Phase::Write),
+            "total" => Some(Phase::Total),
+            _ => {
+                let inner = key.strip_prefix("merge_round[")?.strip_suffix(']')?;
+                inner.parse::<u16>().ok().map(Phase::MergeRound)
+            }
+        }
+    }
+}
+
+/// Sort phase keys into taxonomy order; keys that do not parse sort
+/// last, alphabetically.
+pub fn sort_phase_keys(keys: &mut [String]) {
+    keys.sort_by(|a, b| match (Phase::parse(a), Phase::parse(b)) {
+        (Some(pa), Some(pb)) => pa.cmp(&pb),
+        (Some(_), None) => std::cmp::Ordering::Less,
+        (None, Some(_)) => std::cmp::Ordering::Greater,
+        (None, None) => a.cmp(b),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_round_trips() {
+        let all = [
+            Phase::Read,
+            Phase::Gradient,
+            Phase::Trace,
+            Phase::Simplify,
+            Phase::MergeRound(0),
+            Phase::MergeRound(13),
+            Phase::Glue,
+            Phase::Resimplify,
+            Phase::Write,
+            Phase::Total,
+        ];
+        for p in all {
+            assert_eq!(Phase::parse(&p.key()), Some(p), "{}", p.key());
+        }
+        assert_eq!(Phase::parse("merge_round[]"), None);
+        assert_eq!(Phase::parse("merge_round[x]"), None);
+        assert_eq!(Phase::parse("bogus"), None);
+    }
+
+    #[test]
+    fn taxonomy_order() {
+        let mut keys: Vec<String> = vec![
+            "write".into(),
+            "merge_round[2]".into(),
+            "zeta_custom".into(),
+            "read".into(),
+            "merge_round[0]".into(),
+            "total".into(),
+            "gradient".into(),
+        ];
+        sort_phase_keys(&mut keys);
+        assert_eq!(
+            keys,
+            vec![
+                "read".to_string(),
+                "gradient".into(),
+                "merge_round[0]".into(),
+                "merge_round[2]".into(),
+                "write".into(),
+                "total".into(),
+                "zeta_custom".into(),
+            ]
+        );
+    }
+}

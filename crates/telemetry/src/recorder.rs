@@ -1,0 +1,202 @@
+//! Per-rank recorder: nestable phase spans and counters.
+//!
+//! One `Recorder` lives on each rank for the duration of a run. Spans
+//! are opened/closed in LIFO order ([`begin`](Recorder::begin) /
+//! [`end`](Recorder::end)); the elapsed seconds of every span accumulate
+//! into its phase's bucket, so a phase entered repeatedly (e.g.
+//! `gradient` once per local block, `glue` once per merge group) reports
+//! its summed time. Nested spans accumulate into **both** buckets: a
+//! `glue` span inside `merge_round[1]` counts toward `glue` and toward
+//! `merge_round[1]` — phase times are therefore *not* disjoint and do
+//! not sum to `total`.
+
+use crate::counter::{Counter, ALL_COUNTERS};
+use crate::phase::Phase;
+use crate::report::RankReport;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Phase spans + counters of one rank.
+#[derive(Debug)]
+pub struct Recorder {
+    rank: u32,
+    phases: BTreeMap<Phase, f64>,
+    counters: [u64; Counter::COUNT],
+    stack: Vec<(Phase, Instant)>,
+}
+
+impl Recorder {
+    pub fn new(rank: u32) -> Recorder {
+        Recorder {
+            rank,
+            phases: BTreeMap::new(),
+            counters: [0; Counter::COUNT],
+            stack: Vec::new(),
+        }
+    }
+
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// Open a span for `phase`. Spans nest; close them in LIFO order.
+    pub fn begin(&mut self, phase: Phase) {
+        self.stack.push((phase, Instant::now()));
+    }
+
+    /// Close the innermost span, which must be `phase` (panics
+    /// otherwise — a mismatch is an instrumentation bug, not a data
+    /// error). Returns the seconds of this span occurrence.
+    pub fn end(&mut self, phase: Phase) -> f64 {
+        let (open, started) = self
+            .stack
+            .pop()
+            .expect("Recorder::end with no open span");
+        assert_eq!(
+            open, phase,
+            "span nesting mismatch: ending {:?} but innermost open span is {:?}",
+            phase, open
+        );
+        let secs = started.elapsed().as_secs_f64();
+        *self.phases.entry(phase).or_insert(0.0) += secs;
+        secs
+    }
+
+    /// Run `f` inside a `phase` span (exception-unsafe convenience: a
+    /// panic in `f` leaves the span open, which is fine because the
+    /// recorder dies with the rank).
+    pub fn time<R>(&mut self, phase: Phase, f: impl FnOnce(&mut Recorder) -> R) -> R {
+        self.begin(phase);
+        let out = f(self);
+        self.end(phase);
+        out
+    }
+
+    /// Credit `secs` to `phase` without a live span — for modeled times
+    /// (the BSP sim driver) and for merging externally measured values.
+    pub fn add_seconds(&mut self, phase: Phase, secs: f64) {
+        *self.phases.entry(phase).or_insert(0.0) += secs;
+    }
+
+    /// Accumulated seconds of `phase` so far.
+    pub fn phase_seconds(&self, phase: Phase) -> f64 {
+        self.phases.get(&phase).copied().unwrap_or(0.0)
+    }
+
+    /// Number of currently open spans.
+    pub fn open_spans(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Add `n` to counter `c`.
+    pub fn add(&mut self, c: Counter, n: u64) {
+        self.counters[c.index()] += n;
+    }
+
+    /// Current value of counter `c`.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c.index()]
+    }
+
+    /// Freeze into a wire-encodable per-rank report. Panics if spans are
+    /// still open.
+    pub fn finish(&self) -> RankReport {
+        assert!(
+            self.stack.is_empty(),
+            "Recorder::finish with {} open span(s)",
+            self.stack.len()
+        );
+        RankReport {
+            rank: self.rank,
+            phases: self
+                .phases
+                .iter()
+                .map(|(p, s)| (p.key(), *s))
+                .collect(),
+            counters: ALL_COUNTERS
+                .iter()
+                .map(|c| (c.key().to_string(), self.counters[c.index()]))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_accumulate_into_both_buckets() {
+        let mut r = Recorder::new(3);
+        r.begin(Phase::MergeRound(0));
+        r.begin(Phase::Glue);
+        assert_eq!(r.open_spans(), 2);
+        let glue = r.end(Phase::Glue);
+        r.begin(Phase::Resimplify);
+        r.end(Phase::Resimplify);
+        let round = r.end(Phase::MergeRound(0));
+        assert_eq!(r.open_spans(), 0);
+        assert!(glue >= 0.0 && round >= glue, "outer span encloses inner");
+        assert!(r.phase_seconds(Phase::MergeRound(0)) >= r.phase_seconds(Phase::Glue));
+        assert!(r.phase_seconds(Phase::Resimplify) >= 0.0);
+    }
+
+    #[test]
+    fn repeated_spans_sum() {
+        let mut r = Recorder::new(0);
+        r.begin(Phase::Gradient);
+        let a = r.end(Phase::Gradient);
+        r.begin(Phase::Gradient);
+        let b = r.end(Phase::Gradient);
+        let total = r.phase_seconds(Phase::Gradient);
+        assert!((total - (a + b)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "span nesting mismatch")]
+    fn mismatched_end_panics() {
+        let mut r = Recorder::new(0);
+        r.begin(Phase::Read);
+        r.begin(Phase::Gradient);
+        r.end(Phase::Read);
+    }
+
+    #[test]
+    #[should_panic(expected = "open span")]
+    fn finish_with_open_span_panics() {
+        let mut r = Recorder::new(0);
+        r.begin(Phase::Read);
+        let _ = r.finish();
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = Recorder::new(1);
+        r.add(Counter::BytesSent, 10);
+        r.add(Counter::BytesSent, 32);
+        r.add(Counter::MsgsSent, 2);
+        assert_eq!(r.counter(Counter::BytesSent), 42);
+        assert_eq!(r.counter(Counter::MsgsSent), 2);
+        assert_eq!(r.counter(Counter::BytesRecv), 0);
+    }
+
+    #[test]
+    fn time_closure_and_finish_report() {
+        let mut r = Recorder::new(7);
+        let v = r.time(Phase::Write, |r| {
+            r.add(Counter::MsgsSent, 1);
+            99
+        });
+        assert_eq!(v, 99);
+        r.add_seconds(Phase::Read, 1.25);
+        let rep = r.finish();
+        assert_eq!(rep.rank, 7);
+        // phases are in taxonomy order (BTreeMap over Phase)
+        assert_eq!(rep.phases[0].0, "read");
+        assert_eq!(rep.phases[1].0, "write");
+        assert!((rep.phases[0].1 - 1.25).abs() < 1e-12);
+        // all counters are always present
+        assert_eq!(rep.counters.len(), Counter::COUNT);
+        assert_eq!(rep.counter("msgs_sent"), 1);
+    }
+}

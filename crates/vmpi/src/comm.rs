@@ -7,7 +7,7 @@
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Barrier};
 
@@ -15,6 +15,18 @@ struct Msg {
     from: usize,
     tag: u32,
     payload: Bytes,
+}
+
+/// Cumulative per-rank traffic totals, counted at the point-to-point
+/// layer so collectives (gather/broadcast/allreduce) are included
+/// automatically. Payload bytes only — the `(from, tag)` envelope is
+/// backend bookkeeping, not wire data.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    pub bytes_sent: u64,
+    pub bytes_recv: u64,
+    pub msgs_sent: u64,
+    pub msgs_recv: u64,
 }
 
 /// Launches a world of ranks, each on its own thread.
@@ -54,6 +66,7 @@ impl Universe {
                         receiver: rx,
                         stash: RefCell::new(HashMap::new()),
                         barrier,
+                        stats: Cell::new(CommStats::default()),
                     };
                     f(&mut r)
                 }));
@@ -74,6 +87,7 @@ pub struct Rank {
     receiver: Receiver<Msg>,
     stash: RefCell<HashMap<(usize, u32), VecDeque<Bytes>>>,
     barrier: Arc<Barrier>,
+    stats: Cell<CommStats>,
 }
 
 impl Rank {
@@ -85,9 +99,34 @@ impl Rank {
         self.size
     }
 
+    /// Snapshot of this rank's cumulative traffic counters.
+    pub fn comm_stats(&self) -> CommStats {
+        self.stats.get()
+    }
+
+    /// Reset the traffic counters (e.g. between benchmark repetitions).
+    pub fn reset_comm_stats(&self) {
+        self.stats.set(CommStats::default());
+    }
+
+    fn count_sent(&self, bytes: usize) {
+        let mut s = self.stats.get();
+        s.bytes_sent += bytes as u64;
+        s.msgs_sent += 1;
+        self.stats.set(s);
+    }
+
+    fn count_recv(&self, bytes: usize) {
+        let mut s = self.stats.get();
+        s.bytes_recv += bytes as u64;
+        s.msgs_recv += 1;
+        self.stats.set(s);
+    }
+
     /// Send `payload` to rank `to` with the given tag. Never blocks
     /// (buffered channels), like an MPI eager-protocol send.
     pub fn send(&self, to: usize, tag: u32, payload: Bytes) {
+        self.count_sent(payload.len());
         self.senders[to]
             .send(Msg {
                 from: self.rank,
@@ -99,15 +138,21 @@ impl Rank {
 
     /// Blocking receive matching `(from, tag)`; other messages arriving
     /// meanwhile are stashed for later receives.
+    ///
+    /// Counters attribute a message to the receive that consumed it, so a
+    /// stashed out-of-order arrival is counted when it is matched, not
+    /// when it lands.
     pub fn recv(&self, from: usize, tag: u32) -> Bytes {
         if let Some(q) = self.stash.borrow_mut().get_mut(&(from, tag)) {
             if let Some(b) = q.pop_front() {
+                self.count_recv(b.len());
                 return b;
             }
         }
         loop {
             let msg = self.receiver.recv().expect("all senders hung up");
             if msg.from == from && msg.tag == tag {
+                self.count_recv(msg.payload.len());
                 return msg.payload;
             }
             self.stash
@@ -181,6 +226,26 @@ impl Rank {
         let l = self.allreduce_f64(tag, lo, f64::min);
         let h = self.allreduce_f64(tag + 2, hi, f64::max);
         (l, h)
+    }
+
+    /// All-reduce a `u64` with the given associative op — same
+    /// gather-reduce-broadcast scheme as [`Rank::allreduce_f64`], for
+    /// exact integer totals (counters, sizes) where floating-point
+    /// rounding is unacceptable.
+    pub fn allreduce_u64(&self, tag: u32, value: u64, op: impl Fn(u64, u64) -> u64) -> u64 {
+        let payload = Bytes::copy_from_slice(&value.to_le_bytes());
+        let gathered = self.gather(0, tag, payload);
+        let result = if let Some(all) = gathered {
+            let reduced = all
+                .iter()
+                .map(|b| u64::from_le_bytes(b[..8].try_into().unwrap()))
+                .reduce(&op)
+                .unwrap();
+            self.broadcast(0, tag + 1, Some(Bytes::copy_from_slice(&reduced.to_le_bytes())))
+        } else {
+            self.broadcast(0, tag + 1, None)
+        };
+        u64::from_le_bytes(result[..8].try_into().unwrap())
     }
 }
 
@@ -259,6 +324,79 @@ mod tests {
             assert_eq!(lo, -3.0);
             assert_eq!(hi, 7.0);
         }
+    }
+
+    #[test]
+    fn allreduce_u64_sum_and_max() {
+        let out = Universe::run(5, |r| {
+            let v = r.rank() as u64 + 1;
+            let sum = r.allreduce_u64(200, v, |a, b| a + b);
+            let max = r.allreduce_u64(210, v, u64::max);
+            (sum, max)
+        });
+        for (sum, max) in out {
+            assert_eq!(sum, 15);
+            assert_eq!(max, 5);
+        }
+    }
+
+    #[test]
+    fn comm_stats_count_point_to_point() {
+        let out = Universe::run(2, |r| {
+            if r.rank() == 0 {
+                r.send(1, 1, Bytes::from_static(b"abcde"));
+                r.send(1, 2, Bytes::from_static(b"xy"));
+            } else {
+                // out-of-order match exercises the stash path
+                let b = r.recv(0, 2);
+                assert_eq!(&b[..], b"xy");
+                let a = r.recv(0, 1);
+                assert_eq!(&a[..], b"abcde");
+            }
+            r.comm_stats()
+        });
+        assert_eq!(
+            out[0],
+            CommStats { bytes_sent: 7, bytes_recv: 0, msgs_sent: 2, msgs_recv: 0 }
+        );
+        assert_eq!(
+            out[1],
+            CommStats { bytes_sent: 0, bytes_recv: 7, msgs_sent: 0, msgs_recv: 2 }
+        );
+    }
+
+    #[test]
+    fn comm_stats_cover_collectives() {
+        // One allreduce_f64 over W ranks: gather = (W-1) 8-byte sends into
+        // root, broadcast = (W-1) 8-byte sends out of root.
+        const W: usize = 4;
+        let out = Universe::run(W, |r| {
+            let _ = r.allreduce_f64(300, r.rank() as f64, f64::max);
+            r.comm_stats()
+        });
+        let total_sent: u64 = out.iter().map(|s| s.bytes_sent).sum();
+        let total_recv: u64 = out.iter().map(|s| s.bytes_recv).sum();
+        assert_eq!(total_sent, 16 * (W as u64 - 1));
+        assert_eq!(total_recv, total_sent);
+        let msgs: u64 = out.iter().map(|s| s.msgs_sent).sum();
+        assert_eq!(msgs, 2 * (W as u64 - 1));
+        // Root sends the broadcast fan-out, leaves send one gather leg.
+        assert_eq!(out[0].msgs_sent, W as u64 - 1);
+        for s in &out[1..] {
+            assert_eq!(s.msgs_sent, 1);
+        }
+    }
+
+    #[test]
+    fn comm_stats_reset() {
+        let out = Universe::run(2, |r| {
+            let peer = 1 - r.rank();
+            r.send(peer, 4, Bytes::from_static(b"warmup"));
+            let _ = r.recv(peer, 4);
+            r.reset_comm_stats();
+            r.comm_stats()
+        });
+        assert!(out.iter().all(|s| *s == CommStats::default()));
     }
 
     #[test]

@@ -26,5 +26,5 @@ pub mod comm;
 pub mod fileio;
 pub mod netmodel;
 
-pub use comm::{Rank, Universe};
+pub use comm::{CommStats, Rank, Universe};
 pub use netmodel::{IoParams, NetParams, Torus};

@@ -68,14 +68,26 @@ fn main() {
     }
 
     // per-rank timing summary (the paper's Fig 9 stages, at toy scale)
-    let max = |f: fn(&morse_smale_parallel::core::StageTimes) -> f64| {
-        result.times.iter().map(f).fold(0.0, f64::max)
+    let stat = |key: &str| {
+        result
+            .telemetry
+            .phase_stat(key)
+            .map(|s| s.seconds.max)
+            .unwrap_or(0.0)
     };
     println!(
-        "\nstage times (max over 16 ranks): read {:.3}s  compute {:.3}s  simplify {:.3}s  merge {:.3}s",
-        max(|t| t.read),
-        max(|t| t.compute),
-        max(|t| t.simplify),
-        max(|t| t.merge),
+        "\nstage times (max over 16 ranks): read {:.3}s  gradient {:.3}s  trace {:.3}s  simplify {:.3}s",
+        stat("read"),
+        stat("gradient"),
+        stat("trace"),
+        stat("simplify"),
     );
+
+    // persist the full telemetry (per-rank + cross-rank aggregates)
+    let mut report = result.telemetry.clone();
+    report.name = "combustion_minima".to_string();
+    match report.write(std::path::Path::new("results")) {
+        Ok(p) => println!("telemetry written to {}", p.display()),
+        Err(e) => eprintln!("telemetry write failed: {e}"),
+    }
 }

@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Offline verification harness: type-check the whole workspace and run
+# its (non-proptest) test suites WITHOUT a cargo registry, using the
+# API-subset stubs in scripts/offline_stubs/ (see the README there).
+#
+#   scripts/check-offline.sh          # build everything + run tests
+#   scripts/check-offline.sh build    # build/type-check only
+#
+# This is NOT tier-1 verification (that is scripts/verify.sh, which needs
+# the real registry); it is the strongest check available inside the
+# offline growth container.
+set -euo pipefail
+
+mode="${1:-test}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+stubs="$root/scripts/offline_stubs"
+out="${MSP_OFFLINE_OUT:-/tmp/msp-offline-check}"
+mkdir -p "$out"
+
+RUSTC=(rustc --edition 2021 -C opt-level=2 -C debug-assertions=on -L "$out" --out-dir "$out")
+
+say() { printf '== %s\n' "$*"; }
+
+# ---- stub dependency crates ----
+say "stubs"
+"${RUSTC[@]}" --crate-type proc-macro --crate-name serde_derive "$stubs/serde_derive.rs"
+"${RUSTC[@]}" --crate-type lib --crate-name serde "$stubs/serde.rs" \
+  --extern serde_derive="$out/libserde_derive.so"
+"${RUSTC[@]}" --crate-type lib --crate-name bytes "$stubs/bytes.rs"
+"${RUSTC[@]}" --crate-type lib --crate-name crossbeam "$stubs/crossbeam.rs"
+"${RUSTC[@]}" --crate-type lib --crate-name rayon "$stubs/rayon.rs"
+"${RUSTC[@]}" --crate-type lib --crate-name rand "$stubs/rand.rs"
+"${RUSTC[@]}" --crate-type lib --crate-name rand_chacha "$stubs/rand_chacha.rs" \
+  --extern rand="$out/librand.rlib"
+"${RUSTC[@]}" --crate-type lib --crate-name proptest "$stubs/proptest.rs"
+
+# Every workspace crate gets the full extern set; rustc only resolves the
+# ones a crate actually names.
+EXTERNS=(
+  --extern serde="$out/libserde.rlib"
+  --extern bytes="$out/libbytes.rlib"
+  --extern crossbeam="$out/libcrossbeam.rlib"
+  --extern rayon="$out/librayon.rlib"
+  --extern rand="$out/librand.rlib"
+  --extern rand_chacha="$out/librand_chacha.rlib"
+  --extern proptest="$out/libproptest.rlib"
+)
+lib() { # lib <crate_name> <path>
+  say "lib $1"
+  "${RUSTC[@]}" --crate-type lib --crate-name "$1" "$2" "${EXTERNS[@]}"
+  EXTERNS+=(--extern "$1=$out/lib$1.rlib")
+}
+
+# ---- workspace crates, dependency order ----
+lib msp_telemetry "$root/crates/telemetry/src/lib.rs"
+lib msp_grid      "$root/crates/grid/src/lib.rs"
+lib msp_synth     "$root/crates/synth/src/lib.rs"
+lib msp_morse     "$root/crates/morse/src/lib.rs"
+lib msp_complex   "$root/crates/complex/src/lib.rs"
+lib msp_vmpi      "$root/crates/vmpi/src/lib.rs"
+lib msp_core      "$root/crates/core/src/lib.rs"
+lib msp_bench     "$root/crates/bench/src/lib.rs"
+lib morse_smale_parallel "$root/src/lib.rs"
+
+# ---- binaries and examples (type-check + link) ----
+bin() { # bin <name> <path>
+  say "bin $1"
+  "${RUSTC[@]}" --crate-type bin --crate-name "$1" "$2" "${EXTERNS[@]}"
+}
+bin msc "$root/src/bin/msc.rs"
+for b in "$root"/crates/bench/src/bin/*.rs; do
+  bin "bench_$(basename "$b" .rs)" "$b"
+done
+for e in "$root"/examples/*.rs; do
+  bin "example_$(basename "$e" .rs)" "$e"
+done
+
+[ "$mode" = build ] && { say "build OK (tests skipped)"; exit 0; }
+
+# ---- unit tests (in-crate #[cfg(test)] modules) ----
+unit() { # unit <crate_name> <path>
+  say "unit tests: $1"
+  "${RUSTC[@]}" --test --crate-name "$1" "$2" "${EXTERNS[@]}" -o "$out/test_$1"
+  "$out/test_$1" --test-threads "$(nproc)" -q
+}
+unit msp_telemetry "$root/crates/telemetry/src/lib.rs"
+unit msp_grid      "$root/crates/grid/src/lib.rs"
+unit msp_synth     "$root/crates/synth/src/lib.rs"
+unit msp_morse     "$root/crates/morse/src/lib.rs"
+unit msp_complex   "$root/crates/complex/src/lib.rs"
+unit msp_vmpi      "$root/crates/vmpi/src/lib.rs"
+unit msp_core      "$root/crates/core/src/lib.rs"
+unit msp_bench     "$root/crates/bench/src/lib.rs"
+
+# ---- integration tests (tests/*.rs; proptest-based ones run against the
+# ---- proptest stub: same cases, fixed seeds, no shrinking) ----
+itest() { # itest <path>
+  local name
+  name="itest_$(basename "$1" .rs)"
+  say "integration test: $1"
+  "${RUSTC[@]}" --test --crate-name "$name" "$1" "${EXTERNS[@]}" -o "$out/$name"
+  "$out/$name" --test-threads "$(nproc)" -q
+}
+for t in "$root"/crates/*/tests/*.rs "$root"/tests/*.rs; do
+  [ -e "$t" ] || continue
+  itest "$t"
+done
+
+say "offline check OK"

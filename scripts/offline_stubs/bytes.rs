@@ -1,0 +1,228 @@
+//! `bytes` stand-in: the subset used by msp-complex::wire, msp-vmpi and
+//! msp-core (cheaply-cloneable `Bytes`, growable `BytesMut`, little-
+//! endian `Buf`/`BufMut` cursors).
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Cheaply-cloneable immutable byte buffer (Arc-backed, with an offset
+/// so `advance` works like the real crate's view semantics).
+#[derive(Clone, Debug, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+}
+
+impl Bytes {
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    pub fn copy_from_slice(s: &[u8]) -> Bytes {
+        Bytes {
+            data: Arc::new(s.to_vec()),
+            start: 0,
+        }
+    }
+
+    pub fn from_static(s: &'static [u8]) -> Bytes {
+        Bytes::copy_from_slice(s)
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::copy_from_slice(s)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+/// Growable byte buffer.
+#[derive(Debug, Default, Clone)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(n: usize) -> BytesMut {
+        BytesMut(Vec::with_capacity(n))
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.0)
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Little-endian write cursor.
+pub trait BufMut {
+    fn put_slice(&mut self, s: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.0.extend_from_slice(s);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+/// Little-endian read cursor.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, n: usize);
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+    fn get_u16_le(&mut self) -> u16 {
+        let v = u16::from_le_bytes(self.chunk()[..2].try_into().unwrap());
+        self.advance(2);
+        v
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.chunk()[..4].try_into().unwrap());
+        self.advance(4);
+        v
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.chunk()[..8].try_into().unwrap());
+        self.advance(8);
+        v
+    }
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len());
+        self.start += n;
+    }
+}

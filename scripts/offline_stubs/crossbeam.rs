@@ -1,0 +1,109 @@
+//! `crossbeam` stand-in: only `crossbeam::channel::{unbounded, Sender,
+//! Receiver}` with real MPMC-unbounded semantics (Mutex + Condvar), with
+//! hang-up behaviour matching the real crate: `send` fails once the
+//! receiver is gone, `recv` fails once all senders are gone and the
+//! queue is drained.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        cv: Condvar,
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receiver_alive: bool,
+    }
+
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    pub struct SendError<T>(pub T);
+
+    // Like the real crate: Debug regardless of `T: Debug`.
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct RecvError;
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receiver_alive: true,
+            }),
+            cv: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.0.state.lock().unwrap().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut s = self.0.state.lock().unwrap();
+            s.senders -= 1;
+            if s.senders == 0 {
+                self.0.cv.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.state.lock().unwrap().receiver_alive = false;
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut s = self.0.state.lock().unwrap();
+            if !s.receiver_alive {
+                return Err(SendError(value));
+            }
+            s.queue.push_back(value);
+            self.0.cv.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut s = self.0.state.lock().unwrap();
+            loop {
+                if let Some(v) = s.queue.pop_front() {
+                    return Ok(v);
+                }
+                if s.senders == 0 {
+                    return Err(RecvError);
+                }
+                s = self.0.cv.wait(s).unwrap();
+            }
+        }
+
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            self.0
+                .state
+                .lock()
+                .unwrap()
+                .queue
+                .pop_front()
+                .ok_or(RecvError)
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! `rand` stand-in: the `Rng::gen_range(Range<T>)` +
+//! `SeedableRng::seed_from_u64` subset msp-synth uses. The
+//! `SampleUniform`/blanket-`SampleRange` shape mirrors the real crate so
+//! type inference behaves identically (`T` unifies with the range's
+//! element type).
+
+/// Backend entropy source (the one method concrete generators provide).
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+fn unit_f64(next: &mut dyn FnMut() -> u64) -> f64 {
+    // top 53 bits -> [0, 1)
+    (next() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Types uniform ranges can be sampled over.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_in(lo: Self, hi: Self, next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+impl SampleUniform for f32 {
+    fn sample_in(lo: f32, hi: f32, next: &mut dyn FnMut() -> u64) -> f32 {
+        lo + (unit_f64(next) as f32) * (hi - lo)
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample_in(lo: f64, hi: f64, next: &mut dyn FnMut() -> u64) -> f64 {
+        lo + unit_f64(next) * (hi - lo)
+    }
+}
+
+impl SampleUniform for u32 {
+    fn sample_in(lo: u32, hi: u32, next: &mut dyn FnMut() -> u64) -> u32 {
+        lo + (next() % (hi - lo).max(1) as u64) as u32
+    }
+}
+
+impl SampleUniform for u64 {
+    fn sample_in(lo: u64, hi: u64, next: &mut dyn FnMut() -> u64) -> u64 {
+        lo + next() % (hi - lo).max(1)
+    }
+}
+
+impl SampleUniform for usize {
+    fn sample_in(lo: usize, hi: usize, next: &mut dyn FnMut() -> u64) -> usize {
+        lo + (next() % (hi - lo).max(1) as u64) as usize
+    }
+}
+
+/// Range sampling; the blanket impl ties `R = Range<T>` exactly like the
+/// real crate does.
+pub trait SampleRange<T> {
+    fn sample_with(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_with(self, next: &mut dyn FnMut() -> u64) -> T {
+        T::sample_in(self.start, self.end, next)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_with(self, next: &mut dyn FnMut() -> u64) -> T {
+        T::sample_in(*self.start(), *self.end(), next)
+    }
+}
+
+/// The user-facing trait (subset).
+pub trait Rng: RngCore {
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        let mut f = || self.next_u64();
+        range.sample_with(&mut f)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let mut f = || self.next_u64();
+        unit_f64(&mut f) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Seeding (subset).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}

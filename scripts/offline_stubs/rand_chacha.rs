@@ -1,0 +1,27 @@
+//! `rand_chacha` stand-in. NOT ChaCha8 — a SplitMix64 generator with the
+//! same trait surface. Deterministic per seed, but numerically different
+//! from real-registry builds; structure-dependent tests are unaffected,
+//! bit-exact golden values would not be.
+
+pub struct ChaCha8Rng {
+    state: u64,
+}
+
+impl rand::SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+}
+
+impl rand::RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64 (Steele, Lea, Flood 2014)
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}

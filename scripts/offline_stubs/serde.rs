@@ -1,0 +1,3 @@
+//! serde facade: re-export the no-op derives. The workspace imports
+//! `serde::{Serialize, Deserialize}` only for `#[derive(...)]` position.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,15 @@
+//! No-op `Serialize`/`Deserialize` derives. The workspace only uses the
+//! derive attributes (there is no serde_json and no erased serialization
+//! call site), so expanding to nothing type-checks identically.
+extern crate proc_macro;
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -221,6 +221,19 @@ fn cmd_compute(o: &Opts) -> Result<(), String> {
         );
     }
     println!("wrote {} ({} bytes)", out.display(), r.output_bytes);
+
+    // per-phase / per-rank observability next to the complex itself:
+    // results/<output stem>.telemetry.json
+    let stem = out
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "msc_compute".to_string());
+    let mut report = r.telemetry;
+    report.name = stem;
+    match report.write(Path::new("results")) {
+        Ok(p) => println!("telemetry: {}", p.display()),
+        Err(e) => eprintln!("warning: telemetry write failed: {e}"),
+    }
     Ok(())
 }
 

@@ -19,7 +19,9 @@
 //! * [`vmpi`] — the virtual message-passing substrate (threaded backend,
 //!   collective file I/O, BG/P-like torus network model);
 //! * [`core`] — the parallel pipeline itself plus the scalable
-//!   simulation driver and merge-strategy planner.
+//!   simulation driver and merge-strategy planner;
+//! * [`telemetry`] — per-rank phase/counter recording, cross-rank
+//!   aggregation, and the versioned `.telemetry.json` run reports.
 //!
 //! ## Quickstart
 //!
@@ -42,6 +44,7 @@ pub use msp_core as core;
 pub use msp_grid as grid;
 pub use msp_morse as morse;
 pub use msp_synth as synth;
+pub use msp_telemetry as telemetry;
 pub use msp_vmpi as vmpi;
 
 /// Convenient single-import surface for applications.
@@ -53,4 +56,5 @@ pub mod prelude {
     };
     pub use crate::grid::{Decomposition, Dims, ScalarField};
     pub use crate::synth;
+    pub use crate::telemetry::{RankReport, RunReport};
 }
