@@ -59,7 +59,9 @@ fn bench_wire(c: &mut Criterion) {
     let (_, cs) = block_complexes(8);
     let payload = wire::serialize(&cs[0]);
     g.bench_function("serialize", |b| b.iter(|| wire::serialize(&cs[0])));
-    g.bench_function("deserialize", |b| b.iter(|| wire::deserialize(&payload).unwrap()));
+    g.bench_function("deserialize", |b| {
+        b.iter(|| wire::deserialize(&payload).unwrap())
+    });
     g.finish();
 }
 

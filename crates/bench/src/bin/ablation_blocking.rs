@@ -25,8 +25,17 @@ fn main() {
     let field = Arc::new(msp_synth::jet(Dims::new(n, n, n / 2 + 1), 96, 11));
     let ranks = 4u32;
 
-    println!("Ablation 1: blocks per process (jet-like {n}x{n}x{}, {ranks} ranks)\n", n / 2 + 1);
-    let t = Table::new(&["blocks/rank", "blocks", "compute max(s)", "merge max(s)", "total max(s)"]);
+    println!(
+        "Ablation 1: blocks per process (jet-like {n}x{n}x{}, {ranks} ranks)\n",
+        n / 2 + 1
+    );
+    let t = Table::new(&[
+        "blocks/rank",
+        "blocks",
+        "compute max(s)",
+        "merge max(s)",
+        "total max(s)",
+    ]);
     let mut runs = Vec::new();
     for bpr in [1u32, 2, 4] {
         let blocks = ranks * bpr;
@@ -35,17 +44,20 @@ fn main() {
             plan: MergePlan::full_merge(blocks),
             ..Default::default()
         };
-        let r = run_parallel(&Input::Memory(field.clone()), ranks, blocks, &params, None);
+        let r = run_parallel(&Input::Memory(field.clone()), ranks, blocks, &params, None).unwrap();
         let max = |f: fn(&msp_telemetry::RankReport) -> f64| {
             r.telemetry.ranks.iter().map(f).fold(0.0, f64::max)
         };
         t.row(&[
             format!("{bpr}"),
             format!("{blocks}"),
-            format!("{:.4}", max(|t| {
-                t.phase_seconds("gradient").unwrap_or(0.0)
-                    + t.phase_seconds("trace").unwrap_or(0.0)
-            })),
+            format!(
+                "{:.4}",
+                max(|t| {
+                    t.phase_seconds("gradient").unwrap_or(0.0)
+                        + t.phase_seconds("trace").unwrap_or(0.0)
+                })
+            ),
             format!("{:.4}", max(|t| t.merge_seconds())),
             format!("{:.4}", max(|t| t.phase_seconds("total").unwrap_or(0.0))),
         ]);

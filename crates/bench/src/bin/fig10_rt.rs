@@ -40,7 +40,7 @@ fn main() {
             plan: MergePlan::rounds(vec![8, 8]),
             ..Default::default()
         };
-        let r = msp_core::simulate(&field, p, &params);
+        let r = msp_core::simulate(&field, p, &params).unwrap();
         let cm = r.compute_s + r.merge_s;
         let (ecm, etot) = match base {
             None => {

@@ -44,7 +44,8 @@ fn main() {
                 ..Default::default()
             },
             None,
-        );
+        )
+        .unwrap();
         let raw_nodes: u64 = raw.outputs.iter().map(|c| c.n_live_nodes()).sum();
         let raw_arcs: u64 = raw.outputs.iter().map(|c| c.n_live_arcs()).sum();
         // 1% simplified, fully merged: artifacts resolve
@@ -58,7 +59,8 @@ fn main() {
                 ..Default::default()
             },
             None,
-        );
+        )
+        .unwrap();
         let ms = &merged.outputs[0];
         let stable = query::nodes_by_index_above(ms, 3, feature_value).len();
         let filaments = query::filament_subgraph(ms, feature_value).len();

@@ -27,7 +27,7 @@ fn main() {
             plan: MergePlan::none(),
             ..Default::default()
         };
-        let r = msp_core::simulate(&field, 1, &params);
+        let r = msp_core::simulate(&field, 1, &params).unwrap();
         // census from a serial run (one block)
         let pipeline = msp_core::run_parallel(
             &msp_core::Input::Memory(std::sync::Arc::new(field)),
@@ -38,7 +38,8 @@ fn main() {
                 ..Default::default()
             },
             None,
-        );
+        )
+        .unwrap();
         let census = pipeline.outputs[0].node_census();
         t.row(&[
             format!("{c}"),

@@ -42,7 +42,7 @@ fn main() {
                     plan: MergePlan::rounds(vec![8, 8]),
                     ..Default::default()
                 };
-                let r = msp_core::simulate(&field, p, &params);
+                let r = msp_core::simulate(&field, p, &params).unwrap();
                 println!(
                     "{c},{n},{p},{:.6},{:.6},{}",
                     r.compute_s, r.merge_s, r.output_bytes

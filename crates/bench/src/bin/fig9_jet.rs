@@ -30,7 +30,14 @@ fn main() {
         fmt_bytes(dims.n_verts() * 4)
     );
     let t = Table::new(&[
-        "ranks", "read(s)", "compute(s)", "merge(s)", "write(s)", "total(s)", "eff(%)", "out size",
+        "ranks",
+        "read(s)",
+        "compute(s)",
+        "merge(s)",
+        "write(s)",
+        "total(s)",
+        "eff(%)",
+        "out size",
     ]);
     let mut base: Option<(u32, f64)> = None;
     let mut sims = Vec::new();
@@ -40,7 +47,7 @@ fn main() {
             plan: MergePlan::full_merge(p),
             ..Default::default()
         };
-        let r = msp_core::simulate(&field, p, &params);
+        let r = msp_core::simulate(&field, p, &params).unwrap();
         let eff = match base {
             None => {
                 base = Some((p, r.total_s));

@@ -27,12 +27,7 @@ fn main() {
         "Table I analogue: cost of merging {blocks} blocks (sinusoid {size}^3, complexity {complexity})\n"
     );
     let field = msp_synth::sinusoid(size, complexity);
-    let t = Table::new(&[
-        "rounds",
-        "radices",
-        "total merge (s)",
-        "final round (s)",
-    ]);
+    let t = Table::new(&["rounds", "radices", "total merge (s)", "final round (s)"]);
     let mut sims = Vec::new();
     for upto in 1..=full.len() {
         let plan = MergePlan::rounds(full[..upto].to_vec());
@@ -41,7 +36,7 @@ fn main() {
             plan,
             ..Default::default()
         };
-        let r = msp_core::simulate(&field, blocks, &params);
+        let r = msp_core::simulate(&field, blocks, &params).unwrap();
         let rounds_total: f64 = r.rounds.iter().map(|x| x.round_s).sum();
         let last = r.rounds.last().unwrap();
         t.row(&[

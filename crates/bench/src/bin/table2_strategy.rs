@@ -39,7 +39,7 @@ fn main() {
             plan,
             ..Default::default()
         };
-        let r = msp_core::simulate(&field, blocks, &params);
+        let r = msp_core::simulate(&field, blocks, &params).unwrap();
         t.row(&[
             format!("{}", radices.len()),
             radices
@@ -50,7 +50,11 @@ fn main() {
             format!("{:.4}", r.compute_s + r.merge_s),
         ]);
         sims.push((
-            radices.iter().map(|x| x.to_string()).collect::<Vec<_>>().join("-"),
+            radices
+                .iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join("-"),
             r,
         ));
     }

@@ -46,7 +46,7 @@ impl Scale {
 /// Run one simulation and return the report (thin wrapper that keeps the
 /// binaries terse).
 pub fn run_sim(field: &ScalarField, ranks: u32, params: &SimParams) -> SimReport {
-    msp_core::simulate(field, ranks, params)
+    msp_core::simulate(field, ranks, params).unwrap_or_else(|e| panic!("simulation failed: {e}"))
 }
 
 /// Where experiment outputs land: `MSP_RESULTS_DIR` or `results/`.
@@ -121,7 +121,10 @@ pub fn emit_sim_series(name: &str, series: &[(String, SimReport)]) -> Option<Pat
                 series
                     .iter()
                     .map(|(label, r)| {
-                        Json::obj(vec![("label", Json::str(label.clone())), ("report", r.to_json())])
+                        Json::obj(vec![
+                            ("label", Json::str(label.clone())),
+                            ("report", r.to_json()),
+                        ])
                     })
                     .collect(),
             ),

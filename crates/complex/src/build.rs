@@ -136,11 +136,7 @@ mod tests {
         let d = Decomposition::bisect(dims, 2);
         let mut boundary_total = 0;
         for b in d.blocks() {
-            let (ms, stats) = build_block_complex(
-                &f.extract_block(b),
-                &d,
-                TraceLimits::default(),
-            );
+            let (ms, stats) = build_block_complex(&f.extract_block(b), &d, TraceLimits::default());
             ms.check_integrity().unwrap();
             boundary_total += stats.boundary_nodes;
             for n in &ms.nodes {

@@ -17,6 +17,186 @@ use crate::skeleton::MsComplex;
 use std::io::{self, Write};
 use std::path::Path;
 
+/// Error reading one of this module's text formats back in: what went
+/// wrong and the 1-based line it went wrong on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number in the input text.
+    pub line: usize,
+    /// What was expected / what was found.
+    pub context: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.context)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn parse_field<T: std::str::FromStr>(
+    tok: Option<&str>,
+    line: usize,
+    what: &str,
+) -> Result<T, ParseError> {
+    let tok = tok.ok_or_else(|| ParseError {
+        line,
+        context: format!("missing {what}"),
+    })?;
+    tok.parse().map_err(|_| ParseError {
+        line,
+        context: format!("malformed {what}: {tok:?}"),
+    })
+}
+
+/// One row of the [`write_nodes_csv`] table, read back in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsvNode {
+    pub node: u64,
+    pub index: u8,
+    pub value: f32,
+    pub x: f32,
+    pub y: f32,
+    pub z: f32,
+    pub boundary: bool,
+}
+
+/// Parse a node table produced by [`write_nodes_csv`]. Malformed rows
+/// are reported as a typed [`ParseError`] carrying the line number, not
+/// a panic.
+pub fn parse_nodes_csv(text: &str) -> Result<Vec<CsvNode>, ParseError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, "node,index,value,x,y,z,boundary")) => {}
+        Some((_, h)) => {
+            return Err(ParseError {
+                line: 1,
+                context: format!("unexpected CSV header: {h:?}"),
+            })
+        }
+        None => {
+            return Err(ParseError {
+                line: 1,
+                context: "empty input (missing CSV header)".into(),
+            })
+        }
+    }
+    let mut rows = Vec::new();
+    for (i, row) in lines {
+        let line = i + 1;
+        if row.trim().is_empty() {
+            continue;
+        }
+        let mut f = row.split(',');
+        let node = parse_field(f.next(), line, "node id")?;
+        let index = parse_field(f.next(), line, "morse index")?;
+        let value = parse_field(f.next(), line, "scalar value")?;
+        let x = parse_field(f.next(), line, "x coordinate")?;
+        let y = parse_field(f.next(), line, "y coordinate")?;
+        let z = parse_field(f.next(), line, "z coordinate")?;
+        let boundary: u8 = parse_field(f.next(), line, "boundary flag")?;
+        if let Some(extra) = f.next() {
+            return Err(ParseError {
+                line,
+                context: format!("trailing field {extra:?} (expected 7 columns)"),
+            });
+        }
+        rows.push(CsvNode {
+            node,
+            index,
+            value,
+            x,
+            y,
+            z,
+            boundary: boundary != 0,
+        });
+    }
+    Ok(rows)
+}
+
+/// Structural summary of a legacy-VTK polydata file written by
+/// [`write_vtk`]: point count and the LINES connectivity, validated
+/// against the declared counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VtkSkeleton {
+    pub n_points: usize,
+    /// Per-polyline point indices, each `< n_points`.
+    pub lines: Vec<Vec<usize>>,
+}
+
+/// Parse the POINTS/LINES structure of a [`write_vtk`] file. Returns a
+/// typed [`ParseError`] with the offending line number on malformed or
+/// truncated input instead of panicking.
+pub fn parse_vtk_skeleton(text: &str) -> Result<VtkSkeleton, ParseError> {
+    let lines: Vec<&str> = text.lines().collect();
+    let find = |kw: &str| -> Result<usize, ParseError> {
+        lines
+            .iter()
+            .position(|l| l.starts_with(kw))
+            .ok_or_else(|| ParseError {
+                line: lines.len().max(1),
+                context: format!("missing {kw} section"),
+            })
+    };
+    let header_count = |pos: usize, kw: &str| -> Result<usize, ParseError> {
+        parse_field(
+            lines[pos].split_whitespace().nth(1),
+            pos + 1,
+            &format!("{kw} count"),
+        )
+    };
+
+    let p = find("POINTS")?;
+    let n_points = header_count(p, "POINTS")?;
+    for (off, l) in lines.iter().skip(p + 1).take(n_points).enumerate() {
+        let line = p + 2 + off;
+        let mut it = l.split_whitespace();
+        for axis in ["x", "y", "z"] {
+            let _: f32 = parse_field(it.next(), line, &format!("point {axis}"))?;
+        }
+    }
+    if lines.len() < p + 1 + n_points {
+        return Err(ParseError {
+            line: lines.len(),
+            context: format!("truncated POINTS section (expected {n_points} rows)"),
+        });
+    }
+
+    let lp = find("LINES")?;
+    let n_lines = header_count(lp, "LINES")?;
+    let mut polylines = Vec::with_capacity(n_lines);
+    for off in 0..n_lines {
+        let line = lp + 2 + off;
+        let l = lines.get(lp + 1 + off).ok_or_else(|| ParseError {
+            line: lines.len(),
+            context: format!("truncated LINES section (expected {n_lines} rows)"),
+        })?;
+        let mut it = l.split_whitespace();
+        let n: usize = parse_field(it.next(), line, "polyline length")?;
+        let ids = it
+            .map(|v| parse_field(Some(v), line, "point index"))
+            .collect::<Result<Vec<usize>, _>>()?;
+        if ids.len() != n {
+            return Err(ParseError {
+                line,
+                context: format!("polyline declares {n} points but has {}", ids.len()),
+            });
+        }
+        if let Some(&bad) = ids.iter().find(|&&i| i >= n_points) {
+            return Err(ParseError {
+                line,
+                context: format!("point index {bad} out of range (POINTS {n_points})"),
+            });
+        }
+        polylines.push(ids);
+    }
+    Ok(VtkSkeleton {
+        n_points,
+        lines: polylines,
+    })
+}
+
 /// Write the living 1-skeleton as legacy ASCII VTK polydata.
 pub fn write_vtk(ms: &MsComplex, path: &Path) -> io::Result<()> {
     let f = std::fs::File::create(path)?;
@@ -167,67 +347,24 @@ mod tests {
         write_vtk_to(&ms, &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("# vtk DataFile Version 3.0"));
-        // declared counts match emitted lines
-        let points_decl: usize = text
-            .lines()
-            .find(|l| l.starts_with("POINTS"))
-            .and_then(|l| l.split_whitespace().nth(1))
-            .unwrap()
-            .parse()
-            .unwrap();
-        let points_start = text
-            .lines()
-            .position(|l| l.starts_with("POINTS"))
-            .unwrap();
-        let coords: Vec<&str> = text
-            .lines()
-            .skip(points_start + 1)
-            .take(points_decl)
-            .collect();
-        assert_eq!(coords.len(), points_decl);
-        for c in coords {
-            assert_eq!(c.split_whitespace().count(), 3);
-        }
-        let lines_decl: usize = text
-            .lines()
-            .find(|l| l.starts_with("LINES"))
-            .and_then(|l| l.split_whitespace().nth(1))
-            .unwrap()
-            .parse()
-            .unwrap();
-        assert_eq!(lines_decl as u64, ms.n_live_arcs());
+        // declared counts match emitted rows (the parser validates both)
+        let sk = parse_vtk_skeleton(&text).unwrap();
+        assert!(sk.n_points > 0);
+        assert_eq!(sk.lines.len() as u64, ms.n_live_arcs());
         assert!(text.contains("SCALARS morse_index int 1"));
         assert!(text.contains("SCALARS arc_persistence float 1"));
     }
 
     #[test]
-    fn vtk_line_indices_in_range() {
+    fn vtk_round_trips_through_the_typed_parser() {
         let ms = sample();
         let mut out = Vec::new();
         write_vtk_to(&ms, &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
-        let points_decl: usize = text
-            .lines()
-            .find(|l| l.starts_with("POINTS"))
-            .and_then(|l| l.split_whitespace().nth(1))
-            .unwrap()
-            .parse()
-            .unwrap();
-        let lines_pos = text.lines().position(|l| l.starts_with("LINES")).unwrap();
-        let lines_decl: usize = text
-            .lines()
-            .nth(lines_pos)
-            .and_then(|l| l.split_whitespace().nth(1))
-            .unwrap()
-            .parse()
-            .unwrap();
-        for l in text.lines().skip(lines_pos + 1).take(lines_decl) {
-            let mut it = l.split_whitespace();
-            let n: usize = it.next().unwrap().parse().unwrap();
-            let ids: Vec<usize> = it.map(|v| v.parse().unwrap()).collect();
-            assert_eq!(ids.len(), n);
-            assert!(ids.iter().all(|&i| i < points_decl));
-        }
+        let sk = parse_vtk_skeleton(&text).unwrap();
+        assert_eq!(sk.lines.len() as u64, ms.n_live_arcs());
+        // every polyline index validated < n_points by the parser
+        assert!(sk.n_points > 0);
     }
 
     #[test]
@@ -236,12 +373,65 @@ mod tests {
         let mut out = Vec::new();
         write_nodes_csv_to(&ms, &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
-        let rows = text.lines().count() - 1; // header
-        assert_eq!(rows as u64, ms.n_live_nodes());
-        // header intact and rows have 7 fields
-        assert_eq!(text.lines().next().unwrap(), "node,index,value,x,y,z,boundary");
-        for row in text.lines().skip(1) {
-            assert_eq!(row.split(',').count(), 7);
+        let rows = parse_nodes_csv(&text).unwrap();
+        assert_eq!(rows.len() as u64, ms.n_live_nodes());
+        for r in &rows {
+            assert!(r.index <= 3);
+            assert!(r.value.is_finite());
         }
+    }
+
+    #[test]
+    fn malformed_csv_reports_line_numbers_not_panics() {
+        // bad header
+        let e = parse_nodes_csv("id,value\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.context.contains("header"), "{e}");
+        // empty input
+        let e = parse_nodes_csv("").unwrap_err();
+        assert_eq!(e.line, 1);
+        // non-numeric field on row 3 (line 3 of the file)
+        let text = "node,index,value,x,y,z,boundary\n\
+                    0,0,1.5,0.5,0.5,0.5,0\n\
+                    1,oops,2.5,1.0,1.0,1.0,1\n";
+        let e = parse_nodes_csv(text).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.context.contains("morse index"), "{e}");
+        assert!(e.to_string().starts_with("line 3:"), "{e}");
+        // short row
+        let e = parse_nodes_csv("node,index,value,x,y,z,boundary\n5,1,2.0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.context.contains("missing"), "{e}");
+        // too many fields
+        let e =
+            parse_nodes_csv("node,index,value,x,y,z,boundary\n5,1,2.0,0,0,0,1,9\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.context.contains("trailing"), "{e}");
+    }
+
+    #[test]
+    fn malformed_vtk_reports_line_numbers_not_panics() {
+        // missing sections
+        let e = parse_vtk_skeleton("# vtk DataFile Version 3.0\n").unwrap_err();
+        assert!(e.context.contains("POINTS"), "{e}");
+        // non-numeric coordinate on the first point row
+        let text = "DATASET POLYDATA\nPOINTS 1 float\nfoo 0 0\nLINES 0 0\n";
+        let e = parse_vtk_skeleton(text).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.context.contains("point x"), "{e}");
+        // polyline referencing an out-of-range point
+        let text = "POINTS 2 float\n0 0 0\n1 0 0\nLINES 1 3\n2 0 7\n";
+        let e = parse_vtk_skeleton(text).unwrap_err();
+        assert_eq!(e.line, 5);
+        assert!(e.context.contains("out of range"), "{e}");
+        // declared length disagrees with the row
+        let text = "POINTS 2 float\n0 0 0\n1 0 0\nLINES 1 3\n3 0 1\n";
+        let e = parse_vtk_skeleton(text).unwrap_err();
+        assert_eq!(e.line, 5);
+        assert!(e.context.contains("declares"), "{e}");
+        // truncated LINES section
+        let text = "POINTS 1 float\n0 0 0\nLINES 2 6\n1 0\n";
+        let e = parse_vtk_skeleton(text).unwrap_err();
+        assert!(e.context.contains("truncated"), "{e}");
     }
 }

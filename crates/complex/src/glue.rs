@@ -44,7 +44,10 @@ pub fn glue_with(
     _decomp: &Decomposition,
     dedup_shared_arcs: bool,
 ) -> GlueStats {
-    assert_eq!(root.refined, incoming.refined, "complexes must share a domain");
+    assert_eq!(
+        root.refined, incoming.refined,
+        "complexes must share a domain"
+    );
     let mut stats = GlueStats::default();
 
     // map incoming node id -> (root node id, was it a shared match).
@@ -95,11 +98,7 @@ pub fn glue_with(
 }
 
 /// Glue several complexes onto a root and recompute boundary flags once.
-pub fn glue_all(
-    root: &mut MsComplex,
-    incoming: &[MsComplex],
-    decomp: &Decomposition,
-) -> GlueStats {
+pub fn glue_all(root: &mut MsComplex, incoming: &[MsComplex], decomp: &Decomposition) -> GlueStats {
     glue_all_with(root, incoming, decomp, true)
 }
 
@@ -201,27 +200,21 @@ mod tests {
         let dims = Dims::new(17, 9, 9);
         let f = ScalarField::from_fn(dims, |x, y, z| {
             let b = |cx: f32| {
-                (-((x as f32 - cx).powi(2)
-                    + (y as f32 - 4.0).powi(2)
-                    + (z as f32 - 4.0).powi(2))
+                (-((x as f32 - cx).powi(2) + (y as f32 - 4.0).powi(2) + (z as f32 - 4.0).powi(2))
                     / 6.0)
                     .exp()
             };
-            b(4.0) + b(12.0)
-                + 0.001 * msp_synth::basic::hash_unit(3, dims.vertex_index(x, y, z))
+            b(4.0) + b(12.0) + 0.001 * msp_synth::basic::hash_unit(3, dims.vertex_index(x, y, z))
         });
         // serial
         let d1 = Decomposition::bisect(dims, 1);
-        let (mut serial, _) = build_block_complex(
-            &f.extract_block(d1.block(0)),
-            &d1,
-            TraceLimits::default(),
-        );
+        let (mut serial, _) =
+            build_block_complex(&f.extract_block(d1.block(0)), &d1, TraceLimits::default());
         simplify(&mut serial, SimplifyParams::up_to(0.05));
         // parallel: 4 blocks, glue all, then simplify at the same level
         let (d4, mut cs) = block_complexes(&f, 4);
         let mut root = cs.remove(0);
-        let rest: Vec<_> = cs.drain(..).collect();
+        let rest = std::mem::take(&mut cs);
         glue_all(&mut root, &rest, &d4);
         simplify(&mut root, SimplifyParams::up_to(0.05));
         assert_eq!(

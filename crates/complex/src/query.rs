@@ -68,14 +68,10 @@ pub fn graph_stats(ms: &MsComplex, arcs: &[ArcId]) -> GraphStats {
         .collect();
     node_ids.sort_unstable();
     node_ids.dedup();
-    let index: HashMap<NodeId, usize> = node_ids
-        .iter()
-        .enumerate()
-        .map(|(i, &n)| (n, i))
-        .collect();
+    let index: HashMap<NodeId, usize> = node_ids.iter().enumerate().map(|(i, &n)| (n, i)).collect();
     // union-find over the subgraph
     let mut parent: Vec<usize> = (0..node_ids.len()).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
@@ -92,9 +88,7 @@ pub fn graph_stats(ms: &MsComplex, arcs: &[ArcId]) -> GraphStats {
         }
         total_len += ms.geom_len(arc.geom);
     }
-    let mut roots: Vec<usize> = (0..node_ids.len())
-        .map(|i| find(&mut parent, i))
-        .collect();
+    let mut roots: Vec<usize> = (0..node_ids.len()).map(|i| find(&mut parent, i)).collect();
     roots.sort_unstable();
     roots.dedup();
     let components = roots.len() as u64;

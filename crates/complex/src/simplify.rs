@@ -26,14 +26,15 @@ pub struct SimplifyParams {
     /// Skip a cancellation if it would create more than this many arcs
     /// (valence explosion guard); `None` = unlimited.
     pub max_new_arcs: Option<u64>,
-    /// Cap on *stored* parallel arcs between one node pair. Any value
-    /// >= 2 is provably neutral to the cancellation sequence: legality
-    /// only distinguishes multiplicity 1 from >= 2, true multiplicity
-    /// never decreases while both endpoints live, and pair existence is
-    /// preserved — so capping only bounds memory and output size on
-    /// degenerate (perfectly symmetric) fields, where composite-arc
-    /// counts would otherwise grow combinatorially. `None` stores every
-    /// composite arc, as the paper's data structure [14] does.
+    /// Cap on *stored* parallel arcs between one node pair. Any value of
+    /// at least 2 is provably neutral to the cancellation sequence:
+    /// legality only distinguishes multiplicity 1 from 2-or-more, true
+    /// multiplicity never decreases while both endpoints live, and pair
+    /// existence is preserved — so capping only bounds memory and output
+    /// size on degenerate (perfectly symmetric) fields, where
+    /// composite-arc counts would otherwise grow combinatorially. `None`
+    /// stores every composite arc, as the paper's data structure [14]
+    /// does.
     pub max_parallel_arcs: Option<u32>,
 }
 
@@ -156,11 +157,7 @@ fn persistence(ms: &MsComplex, u: NodeId, l: NodeId) -> f32 {
     (ms.nodes[u as usize].value - ms.nodes[l as usize].value).abs()
 }
 
-fn push_candidate(
-    ms: &MsComplex,
-    a: ArcId,
-    heap: &mut BinaryHeap<Reverse<(OrderedF32, ArcId)>>,
-) {
+fn push_candidate(ms: &MsComplex, a: ArcId, heap: &mut BinaryHeap<Reverse<(OrderedF32, ArcId)>>) {
     let arc = &ms.arcs[a as usize];
     let p = persistence(ms, arc.upper, arc.lower);
     heap.push(Reverse((OrderedF32::new(p), a)));
@@ -223,9 +220,7 @@ mod tests {
         let dims = Dims::new(17, 9, 9);
         let f = ScalarField::from_fn(dims, |x, y, z| {
             let b = |cx: f32| {
-                (-((x as f32 - cx).powi(2)
-                    + (y as f32 - 4.0).powi(2)
-                    + (z as f32 - 4.0).powi(2))
+                (-((x as f32 - cx).powi(2) + (y as f32 - 4.0).powi(2) + (z as f32 - 4.0).powi(2))
                     / 6.0)
                     .exp()
             };
@@ -237,7 +232,11 @@ mod tests {
         assert_eq!(census[3], 2, "both maxima must survive 5%: {:?}", census);
         // simplifying all the way merges them
         simplify(&mut ms, SimplifyParams::up_to(f32::INFINITY));
-        assert_eq!(ms.node_census()[3], 0, "maxima die on a box when fully simplified");
+        assert_eq!(
+            ms.node_census()[3],
+            0,
+            "maxima die on a box when fully simplified"
+        );
     }
 
     #[test]
@@ -263,11 +262,7 @@ mod tests {
         let f = msp_synth::white_noise(dims, 12);
         let d = Decomposition::bisect(dims, 4);
         for b in d.blocks() {
-            let (mut ms, _) = build_block_complex(
-                &f.extract_block(b),
-                &d,
-                TraceLimits::default(),
-            );
+            let (mut ms, _) = build_block_complex(&f.extract_block(b), &d, TraceLimits::default());
             let boundary_before: Vec<u64> = ms
                 .nodes
                 .iter()

@@ -377,8 +377,7 @@ impl MsComplex {
     /// status of each node is updated according to the bounds of the
     /// merged blocks").
     pub fn reflag_boundaries(&mut self, decomp: &msp_grid::Decomposition) {
-        let members: std::collections::HashSet<u32> =
-            self.member_blocks.iter().copied().collect();
+        let members: std::collections::HashSet<u32> = self.member_blocks.iter().copied().collect();
         let refined = self.refined;
         for n in self.nodes.iter_mut().filter(|n| n.alive) {
             let c = RCoord::from_address(n.addr, &refined);

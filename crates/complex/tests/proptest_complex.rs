@@ -9,9 +9,8 @@ use msp_morse::TraceLimits;
 use proptest::prelude::*;
 
 fn arb_field() -> impl Strategy<Value = ScalarField> {
-    ((4u32..8, 4u32..8, 4u32..8), 0u64..1_000_000).prop_map(|((x, y, z), seed)| {
-        msp_synth::white_noise(Dims::new(x, y, z), seed)
-    })
+    ((4u32..8, 4u32..8, 4u32..8), 0u64..1_000_000)
+        .prop_map(|((x, y, z), seed)| msp_synth::white_noise(Dims::new(x, y, z), seed))
 }
 
 fn chi(ms: &MsComplex) -> i64 {

@@ -16,25 +16,159 @@
 //! Blocks are assigned to ranks round-robin (block-cyclic), so the number
 //! of blocks may exceed the number of ranks; the paper's usual
 //! configuration is one block per process.
+//!
+//! ## Fault tolerance (DESIGN.md §9)
+//!
+//! The bulk-synchronous shape makes every merge-round boundary a
+//! consistent cut: all messages of round *k* are matched before anyone
+//! enters round *k + 1*. With a [`FaultConfig`] active, each rank saves
+//! a [`Checkpoint`] of its living complexes at every cut (and once more
+//! before the collective write). An injected crash destroys a rank's
+//! in-memory state at the cut; the rank restarts from its own
+//! checkpoint, while the roots expecting its merge messages detect the
+//! failure by receive deadline and replay the lost round from the dead
+//! rank's checkpoint — producing a final complex bit-identical to the
+//! fault-free run. When no checkpoint exists, the run degrades instead
+//! of dying: the root absorbs the orphaned block and the loss is
+//! recorded in telemetry (`blocks_absorbed`).
 
 use crate::plan::MergePlan;
 use bytes::Bytes;
 use msp_complex::glue::glue_all;
 use msp_complex::{complex_from_gradient, simplify, wire, MsComplex, SimplifyParams};
+use msp_fault::checkpoint::CheckpointError;
+use msp_fault::{Checkpoint, CheckpointStore, FaultPlan};
 use msp_grid::rawio::{read_block, VolumeDType};
 use msp_grid::{Decomposition, Dims, ScalarField};
 use msp_morse::{assign_gradient, TraceLimits};
 use msp_telemetry::{Counter, Json, Phase, RankReport, Recorder, RunReport};
+use msp_vmpi::comm::{CommError, Inject};
 use msp_vmpi::fileio::{collective_write_blocks, FooterEntry};
 use msp_vmpi::{Rank, Universe};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Tags of the end-of-run telemetry exchange. They live above the file-IO
 /// range (9001..) and below no one: nothing else speaks after the write
 /// stage.
 const TAG_TELEMETRY_GATHER: u32 = 9100;
 const TAG_TELEMETRY_SHIP: u32 = 9110;
+
+/// Fault-tolerance configuration of a run.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Faults to inject (crashes at the pipeline layer; message
+    /// drops/delays at the comm layer). `None` injects nothing.
+    pub plan: Option<FaultPlan>,
+    /// Checkpoint every rank's state at each merge-round boundary and
+    /// before the write, enabling exact recovery.
+    pub checkpoint: bool,
+    /// How long a root waits for a group member's merge message before
+    /// declaring it dead and recovering. Only applied while a fault
+    /// config is active.
+    pub deadline: Duration,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            plan: None,
+            checkpoint: false,
+            deadline: Duration::from_secs(5),
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Inject `plan` with checkpointing on — the standard resilient
+    /// configuration.
+    pub fn with_plan(plan: FaultPlan) -> Self {
+        FaultConfig {
+            plan: Some(plan),
+            checkpoint: true,
+            ..Default::default()
+        }
+    }
+
+    /// Is any fault machinery (injection, checkpointing, deadlines)
+    /// engaged?
+    pub fn active(&self) -> bool {
+        self.checkpoint || self.plan.is_some()
+    }
+
+    fn should_crash(&self, rank: u32, round: u32) -> bool {
+        self.plan
+            .as_ref()
+            .is_some_and(|p| p.should_crash(rank as usize, round))
+    }
+}
+
+/// A pipeline failure with enough context to know which stage and peer
+/// was involved. Irregularities that used to abort the whole process now
+/// surface here.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Invalid run configuration (rank/block counts, merge plan).
+    Config(String),
+    /// A file operation failed (block read, collective write).
+    Io {
+        context: String,
+        source: std::io::Error,
+    },
+    /// A communication primitive failed outside the recoverable merge
+    /// path (collectives, barriers, telemetry exchange).
+    Comm { context: String, source: CommError },
+    /// A merge payload failed wire decoding.
+    Wire {
+        context: String,
+        source: wire::WireError,
+    },
+    /// A checkpoint failed to decode during recovery.
+    Checkpoint {
+        context: String,
+        source: CheckpointError,
+    },
+    /// A complex that must exist at this stage is gone and no fault
+    /// config explains the loss.
+    MissingComplex { slot: u32, context: &'static str },
+    /// The end-of-run telemetry exchange produced garbage.
+    Telemetry(String),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Config(msg) => write!(f, "invalid pipeline config: {msg}"),
+            PipelineError::Io { context, source } => write!(f, "{context}: {source}"),
+            PipelineError::Comm { context, source } => write!(f, "{context}: {source}"),
+            PipelineError::Wire { context, source } => write!(f, "{context}: {source}"),
+            PipelineError::Checkpoint { context, source } => write!(f, "{context}: {source}"),
+            PipelineError::MissingComplex { slot, context } => {
+                write!(f, "complex for slot {slot} missing at {context}")
+            }
+            PipelineError::Telemetry(msg) => write!(f, "telemetry exchange: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Io { source, .. } => Some(source),
+            PipelineError::Comm { source, .. } => Some(source),
+            PipelineError::Wire { source, .. } => Some(source),
+            PipelineError::Checkpoint { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+fn comm_err(context: impl Into<String>) -> impl FnOnce(CommError) -> PipelineError {
+    let context = context.into();
+    move |source| PipelineError::Comm { context, source }
+}
 
 /// Pipeline configuration shared by all ranks.
 #[derive(Debug, Clone)]
@@ -45,6 +179,8 @@ pub struct PipelineParams {
     pub trace_limits: TraceLimits,
     /// Valence guard forwarded to [`SimplifyParams`].
     pub max_new_arcs: Option<u64>,
+    /// Fault injection + recovery configuration (inactive by default).
+    pub fault: FaultConfig,
 }
 
 impl Default for PipelineParams {
@@ -56,6 +192,7 @@ impl Default for PipelineParams {
             // valence guard: skip cancellations that would fan out into
             // more than this many replacement arcs (degenerate lattices)
             max_new_arcs: Some(4096),
+            fault: FaultConfig::default(),
         }
     }
 }
@@ -104,21 +241,40 @@ pub fn run_parallel(
     n_blocks: u32,
     params: &PipelineParams,
     output_path: Option<&Path>,
-) -> RunResult {
-    assert!(n_ranks >= 1 && n_blocks >= n_ranks, "need >= 1 block per rank");
+) -> Result<RunResult, PipelineError> {
+    if n_ranks < 1 || n_blocks < n_ranks {
+        return Err(PipelineError::Config(format!(
+            "need >= 1 block per rank (got {n_blocks} blocks on {n_ranks} ranks)"
+        )));
+    }
+    let red = params.plan.reduction();
+    if !n_blocks.is_multiple_of(red) {
+        return Err(PipelineError::Config(format!(
+            "plan reduction {red} must divide the block count {n_blocks}"
+        )));
+    }
     let dims = input.dims();
     let decomp = Decomposition::bisect(dims, n_blocks);
-    let _ = params.plan.output_blocks(n_blocks); // validate divisibility early
 
-    let results = Universe::run(n_ranks as usize, |rank| {
-        run_rank(rank, input, &decomp, n_blocks, params, output_path)
+    // Stable storage stand-in shared by all ranks; populated only when
+    // checkpointing is on.
+    let store = CheckpointStore::new();
+    let inject: Option<Arc<dyn Inject>> = params
+        .fault
+        .plan
+        .clone()
+        .map(|p| Arc::new(p) as Arc<dyn Inject>);
+
+    let results = Universe::run_with_inject(n_ranks as usize, inject, |rank| {
+        run_rank(rank, input, &decomp, n_blocks, params, output_path, &store)
     });
 
     let mut telemetry = None;
     let mut slot_outputs: Vec<(u32, MsComplex)> = Vec::new();
     let mut footer = None;
     let mut threshold = 0.0;
-    for (tel, outs, f, th) in results {
+    for res in results {
+        let (tel, outs, f, th) = res?;
         if tel.is_some() {
             telemetry = tel; // only rank 0 holds the gathered report
         }
@@ -130,27 +286,106 @@ pub fn run_parallel(
     }
     slot_outputs.sort_by_key(|(slot, _)| *slot);
     let outputs: Vec<MsComplex> = slot_outputs.into_iter().map(|(_, c)| c).collect();
-    let output_bytes = outputs.iter().map(|c| wire::serialize(c).len() as u64).sum();
+    let output_bytes = outputs
+        .iter()
+        .map(|c| wire::serialize(c).len() as u64)
+        .sum();
     let telemetry = telemetry
-        .expect("rank 0 gathers the telemetry report")
-        .with_meta("dims", Json::str(format!("{}x{}x{}", dims.nx, dims.ny, dims.nz)))
+        .ok_or_else(|| PipelineError::Telemetry("rank 0 produced no gathered report".into()))?
+        .with_meta(
+            "dims",
+            Json::str(format!("{}x{}x{}", dims.nx, dims.ny, dims.nz)),
+        )
         .with_meta("n_blocks", Json::U64(n_blocks as u64))
-        .with_meta("merge_radices", Json::Arr(
-            params.plan.radices.iter().map(|&r| Json::U64(r as u64)).collect(),
-        ))
-        .with_meta("persistence_frac", Json::F64(params.persistence_frac as f64))
+        .with_meta(
+            "merge_radices",
+            Json::Arr(
+                params
+                    .plan
+                    .radices
+                    .iter()
+                    .map(|&r| Json::U64(r as u64))
+                    .collect(),
+            ),
+        )
+        .with_meta(
+            "persistence_frac",
+            Json::F64(params.persistence_frac as f64),
+        )
         .with_meta("threshold", Json::F64(threshold as f64))
         .with_meta("output_bytes", Json::U64(output_bytes));
-    RunResult {
+    Ok(RunResult {
         telemetry,
         outputs,
         footer,
         output_bytes,
         threshold,
-    }
+    })
 }
 
-type RankOut = (Option<RunReport>, Vec<(u32, MsComplex)>, Option<Vec<FooterEntry>>, f32);
+type RankOut = (
+    Option<RunReport>,
+    Vec<(u32, MsComplex)>,
+    Option<Vec<FooterEntry>>,
+    f32,
+);
+
+/// Snapshot every living complex into the checkpoint store at merge
+/// cursor `round` and account the serialized volume.
+fn save_checkpoint(
+    rec: &mut Recorder,
+    store: &CheckpointStore,
+    rank: u32,
+    round: u32,
+    threshold: f32,
+    complexes: &HashMap<u32, MsComplex>,
+) {
+    let mut slots: Vec<(u32, MsComplex)> = complexes.iter().map(|(b, c)| (*b, c.clone())).collect();
+    slots.sort_by_key(|(b, _)| *b);
+    let ck = Checkpoint {
+        rank,
+        round,
+        threshold,
+        slots,
+    };
+    let encoded = ck.encode();
+    rec.add(Counter::CheckpointBytes, encoded.len() as u64);
+    store.save(rank, round, encoded);
+}
+
+/// Restore a rank's own state after an injected crash: reload its
+/// checkpoint at `round`, except the slots in `skip` (their recovery now
+/// belongs to the roots that were expecting them). Returns false when no
+/// checkpoint exists — the degraded path, where the rank's blocks stay
+/// lost and its peers absorb them.
+fn restore_own_state(
+    rec: &mut Recorder,
+    store: &CheckpointStore,
+    rank: u32,
+    round: u32,
+    skip: &[u32],
+    complexes: &mut HashMap<u32, MsComplex>,
+) -> Result<bool, PipelineError> {
+    let t0 = Instant::now();
+    let recovered = match store.load(rank, round) {
+        Some(encoded) => {
+            let ck = Checkpoint::decode(&encoded).map_err(|source| PipelineError::Checkpoint {
+                context: format!("restoring rank {rank} at round cursor {round}"),
+                source,
+            })?;
+            for (slot, ms) in ck.slots {
+                if !skip.contains(&slot) {
+                    complexes.insert(slot, ms);
+                }
+            }
+            rec.add(Counter::RoundsReplayed, 1);
+            true
+        }
+        None => false,
+    };
+    rec.add(Counter::RecoveryMs, t0.elapsed().as_millis() as u64);
+    Ok(recovered)
+}
 
 fn run_rank(
     rank: &mut Rank,
@@ -159,9 +394,11 @@ fn run_rank(
     n_blocks: u32,
     params: &PipelineParams,
     output_path: Option<&Path>,
-) -> RankOut {
+    store: &CheckpointStore,
+) -> Result<RankOut, PipelineError> {
     let p = rank.rank() as u32;
     let n_ranks = rank.size() as u32;
+    let fault = &params.fault;
     let my_blocks: Vec<u32> = (0..n_blocks).filter(|b| b % n_ranks == p).collect();
     let mut rec = Recorder::new(p);
     rec.begin(Phase::Total);
@@ -174,9 +411,11 @@ fn run_rank(
     for &b in &my_blocks {
         let bf = match input {
             Input::Memory(f) => f.extract_block(decomp.block(b)),
-            Input::File { path, dims, dtype } => {
-                read_block(path, *dims, decomp.block(b), *dtype).expect("block read")
-            }
+            Input::File { path, dims, dtype } => read_block(path, *dims, decomp.block(b), *dtype)
+                .map_err(|source| PipelineError::Io {
+                context: format!("reading block {b} from {}", path.display()),
+                source,
+            })?,
         };
         for &v in bf.data() {
             local_min = local_min.min(v as f64);
@@ -185,7 +424,9 @@ fn run_rank(
         fields.insert(b, bf);
     }
     // global range for the persistence threshold
-    let (gmin, gmax) = rank.allreduce_min_max(100, local_min, local_max);
+    let (gmin, gmax) = rank
+        .allreduce_min_max(100, local_min, local_max)
+        .map_err(comm_err("all-reducing the global value range"))?;
     let threshold = params.persistence_frac * (gmax - gmin) as f32;
     rec.end(Phase::Read);
 
@@ -219,34 +460,124 @@ fn run_rank(
 
     // ---- merge rounds ----
     for r in 0..params.plan.radices.len() {
-        rank.barrier();
+        rank.barrier()
+            .map_err(comm_err(format!("barrier entering merge round {r}")))?;
         rec.begin(Phase::MergeRound(r as u16));
         let groups = params.plan.groups(r, n_blocks);
         let tag_base = (r as u32) << 20;
+
+        // The barrier above closed round r-1: a consistent cut. Persist
+        // it before anything of round r happens.
+        if fault.checkpoint {
+            save_checkpoint(&mut rec, store, p, r as u32, threshold, &complexes);
+        }
+        // An injected crash destroys this rank's state at the cut: it
+        // will ship nothing this round, and the roots expecting its
+        // slots must recover them from the checkpoint just taken.
+        let crashed = fault.should_crash(p, r as u32 + 1);
+        if crashed {
+            rec.add(Counter::Crashes, 1);
+            complexes.clear();
+        }
+
         // send phase: every non-root slot this rank owns
+        let mut shipped: Vec<u32> = Vec::new();
         for (root, members) in &groups {
             for &m in &members[1..] {
-                if m % n_ranks == p {
-                    let ms = complexes.remove(&m).expect("member complex present");
-                    rec.add(Counter::NodesShipped, ms.n_live_nodes());
-                    rec.add(Counter::ArcsShipped, ms.n_live_arcs());
-                    let payload = wire::serialize(&ms);
-                    rec.add(Counter::ShipBytes, payload.len() as u64);
-                    rank.send((root % n_ranks) as usize, tag_base | m, payload);
+                if m % n_ranks != p {
+                    continue;
                 }
+                shipped.push(m);
+                if crashed {
+                    continue; // "down" for this round: nothing goes out
+                }
+                let ms = complexes.remove(&m).ok_or(PipelineError::MissingComplex {
+                    slot: m,
+                    context: "merge send",
+                })?;
+                rec.add(Counter::NodesShipped, ms.n_live_nodes());
+                rec.add(Counter::ArcsShipped, ms.n_live_arcs());
+                let payload = wire::serialize(&ms);
+                rec.add(Counter::ShipBytes, payload.len() as u64);
+                rank.send((root % n_ranks) as usize, tag_base | m, payload)
+                    .map_err(comm_err(format!("shipping slot {m} in round {r}")))?;
             }
         }
+
+        // The crashed rank "reboots" from its own checkpoint — except
+        // the slots it would have shipped, whose custody passed to the
+        // receiving roots. Without a checkpoint its blocks stay lost.
+        if crashed {
+            restore_own_state(&mut rec, store, p, r as u32, &shipped, &mut complexes)?;
+        }
+
         // receive + glue phase: every root slot this rank owns
         for (root, members) in &groups {
             if root % n_ranks != p {
                 continue;
             }
+            if !complexes.contains_key(root) {
+                // Degraded: the root slot itself was lost to an
+                // unrecoverable crash. The whole group is orphaned; its
+                // members' messages stay unconsumed.
+                rec.add(Counter::BlocksAbsorbed, members.len() as u64);
+                continue;
+            }
             let mut incoming = Vec::with_capacity(members.len() - 1);
             for &m in &members[1..] {
-                let payload = rank.recv((m % n_ranks) as usize, tag_base | m);
-                incoming.push(wire::deserialize(&payload).expect("valid complex"));
+                let owner = m % n_ranks;
+                let deadline = fault.active().then_some(fault.deadline);
+                match rank.recv_deadline(owner as usize, tag_base | m, deadline) {
+                    Ok(payload) => {
+                        incoming.push(wire::deserialize(&payload).map_err(|source| {
+                            PipelineError::Wire {
+                                context: format!("merge payload for slot {m} in round {r}"),
+                                source,
+                            }
+                        })?);
+                    }
+                    Err(CommError::Timeout { waited, .. }) => {
+                        // Dead group member. Promote ourselves to its
+                        // recovery agent: replay the lost send from its
+                        // round-boundary checkpoint, or absorb the
+                        // orphaned block if there is none.
+                        let t0 = Instant::now();
+                        rec.add(Counter::Retries, 1);
+                        let recovered = match store.load(owner, r as u32) {
+                            Some(encoded) => {
+                                let ck = Checkpoint::decode(&encoded).map_err(|source| {
+                                    PipelineError::Checkpoint {
+                                        context: format!(
+                                            "recovering slot {m} from rank {owner} at round {r}"
+                                        ),
+                                        source,
+                                    }
+                                })?;
+                                ck.slot(m).cloned()
+                            }
+                            None => None,
+                        };
+                        match recovered {
+                            Some(ms) => {
+                                rec.add(Counter::RoundsReplayed, 1);
+                                incoming.push(ms);
+                            }
+                            None => rec.add(Counter::BlocksAbsorbed, 1),
+                        }
+                        rec.add(
+                            Counter::RecoveryMs,
+                            (waited + t0.elapsed()).as_millis() as u64,
+                        );
+                    }
+                    Err(e) => {
+                        return Err(PipelineError::Comm {
+                            context: format!("receiving slot {m} in round {r}"),
+                            source: e,
+                        })
+                    }
+                }
             }
-            let ms = complexes.get_mut(root).expect("root complex present");
+            let ms = complexes.get_mut(root).expect("checked above");
             rec.time(Phase::Glue, |_| glue_all(ms, &incoming, decomp));
             rec.begin(Phase::Resimplify);
             let st = simplify(ms, sp);
@@ -257,19 +588,51 @@ fn run_rank(
         rec.end(Phase::MergeRound(r as u16));
     }
 
+    // ---- pre-write cut ----
+    // One more consistent cut after the last merge round protects the
+    // fully-merged state against a crash before the collective write.
+    if fault.active() {
+        let cursor = params.plan.radices.len() as u32;
+        rank.barrier()
+            .map_err(comm_err("barrier at the pre-write cut"))?;
+        if fault.checkpoint {
+            save_checkpoint(&mut rec, store, p, cursor, threshold, &complexes);
+        }
+        if fault.should_crash(p, cursor + 1) {
+            rec.add(Counter::Crashes, 1);
+            complexes.clear();
+            // nothing ships between here and the write: a full restore
+            restore_own_state(&mut rec, store, p, cursor, &[], &mut complexes)?;
+        }
+    }
+
     // ---- write ----
     rec.begin(Phase::Write);
     let out_slots = params.plan.output_slots(n_blocks);
-    let mut my_outputs: Vec<(u32, MsComplex)> = out_slots
-        .iter()
-        .filter(|s| *s % n_ranks == p)
-        .map(|&s| (s, complexes.remove(&s).expect("output complex")))
-        .collect();
+    let mut my_outputs: Vec<(u32, MsComplex)> = Vec::new();
+    for &s in out_slots.iter().filter(|s| *s % n_ranks == p) {
+        match complexes.remove(&s) {
+            Some(c) => my_outputs.push((s, c)),
+            // Degraded: the slot died with a rank that had no
+            // checkpoint; the run completes without it.
+            None if fault.active() => rec.add(Counter::BlocksAbsorbed, 1),
+            None => {
+                return Err(PipelineError::MissingComplex {
+                    slot: s,
+                    context: "output collection",
+                })
+            }
+        }
+    }
     my_outputs.sort_by_key(|(s, _)| *s);
     let footer = if let Some(path) = output_path {
         let payloads: Vec<bytes::Bytes> =
             my_outputs.iter().map(|(_, c)| wire::serialize(c)).collect();
-        let f = collective_write_blocks(rank, path, &payloads).expect("collective write");
+        let f =
+            collective_write_blocks(rank, path, &payloads).map_err(|source| PipelineError::Io {
+                context: format!("collective write to {}", path.display()),
+                source,
+            })?;
         (p == 0).then_some(f)
     } else {
         None
@@ -288,18 +651,29 @@ fn run_rank(
 
     // Exact global merge traffic via the integer all-reduce; lands in the
     // report meta on rank 0.
-    let global_ship_bytes =
-        rank.allreduce_u64(TAG_TELEMETRY_SHIP, report.counter("ship_bytes"), |a, b| a + b);
+    let global_ship_bytes = rank
+        .allreduce_u64(TAG_TELEMETRY_SHIP, report.counter("ship_bytes"), |a, b| {
+            a + b
+        })
+        .map_err(comm_err("all-reducing global ship bytes"))?;
     let encoded = Bytes::from(report.encode());
-    let telemetry = rank.gather(0, TAG_TELEMETRY_GATHER, encoded).map(|all| {
-        let ranks: Vec<RankReport> = all
-            .iter()
-            .map(|b| RankReport::decode(b).expect("valid rank report"))
-            .collect();
-        RunReport::from_ranks("run", ranks)
-            .with_meta("global_ship_bytes", Json::U64(global_ship_bytes))
-    });
-    (telemetry, my_outputs, footer, threshold)
+    let gathered = rank
+        .gather(0, TAG_TELEMETRY_GATHER, encoded)
+        .map_err(comm_err("gathering telemetry reports"))?;
+    let telemetry = match gathered {
+        Some(all) => {
+            let mut ranks = Vec::with_capacity(all.len());
+            for b in &all {
+                ranks.push(RankReport::decode(b).map_err(PipelineError::Telemetry)?);
+            }
+            Some(
+                RunReport::from_ranks("run", ranks)
+                    .with_meta("global_ship_bytes", Json::U64(global_ship_bytes)),
+            )
+        }
+        None => None,
+    };
+    Ok((telemetry, my_outputs, footer, threshold))
 }
 
 #[cfg(test)]
@@ -314,11 +688,28 @@ mod tests {
     #[test]
     fn serial_run_single_block() {
         let input = noise_input(8, 3);
-        let r = run_parallel(&input, 1, 1, &PipelineParams::default(), None);
+        let r = run_parallel(&input, 1, 1, &PipelineParams::default(), None).unwrap();
         assert_eq!(r.outputs.len(), 1);
         assert_eq!(r.telemetry.n_ranks, 1);
         assert_eq!(r.telemetry.ranks.len(), 1);
         r.outputs[0].check_integrity().unwrap();
+    }
+
+    #[test]
+    fn bad_configs_are_reported_not_panicked() {
+        let input = noise_input(8, 3);
+        let few_blocks = run_parallel(&input, 4, 2, &PipelineParams::default(), None);
+        assert!(matches!(few_blocks, Err(PipelineError::Config(_))));
+        let params = PipelineParams {
+            plan: MergePlan::rounds(vec![8]),
+            ..Default::default()
+        };
+        let bad_plan = run_parallel(&input, 2, 12, &params, None);
+        let msg = match bad_plan {
+            Err(PipelineError::Config(m)) => m,
+            other => panic!("expected config error, got {:?}", other.map(|_| ())),
+        };
+        assert!(msg.contains("reduction"), "contextful message: {msg}");
     }
 
     #[test]
@@ -328,11 +719,21 @@ mod tests {
             plan: MergePlan::full_merge(8),
             ..Default::default()
         };
-        let r = run_parallel(&input, 4, 8, &params, None);
+        let r = run_parallel(&input, 4, 8, &params, None).unwrap();
         let tel = &r.telemetry;
         assert_eq!(tel.n_ranks, 4);
-        for key in ["read", "gradient", "trace", "simplify", "merge_round[0]", "write", "total"] {
-            let s = tel.phase_stat(key).unwrap_or_else(|| panic!("phase {key} present"));
+        for key in [
+            "read",
+            "gradient",
+            "trace",
+            "simplify",
+            "merge_round[0]",
+            "write",
+            "total",
+        ] {
+            let s = tel
+                .phase_stat(key)
+                .unwrap_or_else(|| panic!("phase {key} present"));
             assert!(s.seconds.max >= s.seconds.min);
         }
         assert!(tel.counter_total("critical_cells") > 0);
@@ -341,8 +742,18 @@ mod tests {
         assert!(tel.counter_total("nodes_shipped") > 0);
         assert!(tel.counter_total("bytes_sent") > 0);
         // every byte sent is received by someone
-        assert_eq!(tel.counter_total("bytes_sent"), tel.counter_total("bytes_recv"));
-        assert_eq!(tel.counter_total("msgs_sent"), tel.counter_total("msgs_recv"));
+        assert_eq!(
+            tel.counter_total("bytes_sent"),
+            tel.counter_total("bytes_recv")
+        );
+        assert_eq!(
+            tel.counter_total("msgs_sent"),
+            tel.counter_total("msgs_recv")
+        );
+        // a fault-free run reports no recovery activity
+        for key in ["checkpoint_bytes", "retries", "rounds_replayed", "crashes"] {
+            assert_eq!(tel.counter_total(key), 0, "{key} must be 0 without faults");
+        }
         // the all-reduced global ship total matches the gathered counters
         let meta_ship = tel
             .meta
@@ -364,7 +775,7 @@ mod tests {
             plan: MergePlan::full_merge(8),
             ..Default::default()
         };
-        let r = run_parallel(&input, 8, 8, &params, None);
+        let r = run_parallel(&input, 8, 8, &params, None).unwrap();
         assert_eq!(r.outputs.len(), 1);
         let out = &r.outputs[0];
         assert_eq!(out.member_blocks, (0..8).collect::<Vec<_>>());
@@ -379,7 +790,7 @@ mod tests {
             plan: MergePlan::rounds(vec![4]),
             ..Default::default()
         };
-        let r = run_parallel(&input, 8, 8, &params, None);
+        let r = run_parallel(&input, 8, 8, &params, None).unwrap();
         assert_eq!(r.outputs.len(), 2);
     }
 
@@ -390,7 +801,7 @@ mod tests {
             plan: MergePlan::rounds(vec![8]),
             ..Default::default()
         };
-        let r = run_parallel(&input, 2, 8, &params, None);
+        let r = run_parallel(&input, 2, 8, &params, None).unwrap();
         assert_eq!(r.outputs.len(), 1);
         r.outputs[0].check_integrity().unwrap();
     }
@@ -406,7 +817,7 @@ mod tests {
             plan: MergePlan::full_merge(8),
             ..Default::default()
         };
-        let par = run_parallel(&input, 8, 8, &params, None);
+        let par = run_parallel(&input, 8, 8, &params, None).unwrap();
         let ser = run_parallel(
             &input,
             1,
@@ -417,7 +828,8 @@ mod tests {
                 ..Default::default()
             },
             None,
-        );
+        )
+        .unwrap();
         assert_eq!(
             par.outputs[0].node_census()[3],
             ser.outputs[0].node_census()[3],
@@ -432,13 +844,38 @@ mod tests {
             plan: MergePlan::full_merge(8),
             ..Default::default()
         };
-        let a = run_parallel(&input, 8, 8, &params, None);
-        let b = run_parallel(&input, 4, 8, &params, None);
+        let a = run_parallel(&input, 8, 8, &params, None).unwrap();
+        let b = run_parallel(&input, 4, 8, &params, None).unwrap();
         // same output complexes regardless of rank count
         assert_eq!(a.outputs.len(), b.outputs.len());
         let sa = wire::serialize(&a.outputs[0]);
         let sb = wire::serialize(&b.outputs[0]);
         assert_eq!(sa, sb, "output must be bit-identical across rank counts");
+    }
+
+    #[test]
+    fn checkpointing_alone_changes_nothing() {
+        let input = noise_input(9, 13);
+        let plain = PipelineParams {
+            plan: MergePlan::full_merge(8),
+            ..Default::default()
+        };
+        let ckpt = PipelineParams {
+            fault: FaultConfig {
+                checkpoint: true,
+                ..Default::default()
+            },
+            ..plain.clone()
+        };
+        let a = run_parallel(&input, 4, 8, &plain, None).unwrap();
+        let b = run_parallel(&input, 4, 8, &ckpt, None).unwrap();
+        assert_eq!(
+            wire::serialize(&a.outputs[0]),
+            wire::serialize(&b.outputs[0]),
+            "checkpointing must not perturb the result"
+        );
+        assert!(b.telemetry.counter_total("checkpoint_bytes") > 0);
+        assert_eq!(b.telemetry.counter_total("crashes"), 0);
     }
 
     #[test]
@@ -450,7 +887,7 @@ mod tests {
             plan: MergePlan::rounds(vec![4]),
             ..Default::default()
         };
-        let r = run_parallel(&input, 4, 8, &params, Some(&path));
+        let r = run_parallel(&input, 4, 8, &params, Some(&path)).unwrap();
         let footer = r.footer.expect("footer present");
         assert_eq!(footer.len(), 2);
         // reload both blocks and compare with in-memory outputs

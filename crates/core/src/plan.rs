@@ -41,14 +41,14 @@ impl MergePlan {
     /// (4 or 2) placed in the **first** round.
     pub fn heuristic(n_blocks: u32, n_out: u32) -> Self {
         assert!(n_blocks.is_power_of_two(), "blocks must be a power of two");
-        assert!(n_out.is_power_of_two() && n_out <= n_blocks && n_blocks % n_out == 0);
+        assert!(n_out.is_power_of_two() && n_out <= n_blocks && n_blocks.is_multiple_of(n_out));
         let e = (n_blocks / n_out).trailing_zeros();
         let rem = e % 3;
         let mut radices = Vec::new();
         if rem > 0 {
             radices.push(1 << rem); // 2 or 4, earliest round
         }
-        radices.extend(std::iter::repeat(8).take((e / 3) as usize));
+        radices.extend(std::iter::repeat_n(8, (e / 3) as usize));
         MergePlan { radices }
     }
 
@@ -136,10 +136,8 @@ mod tests {
         for r in 0..p.radices.len() {
             let groups = p.groups(r, n);
             // members of all groups = alive slots exactly
-            let mut members: Vec<u32> = groups
-                .iter()
-                .flat_map(|(_, m)| m.iter().copied())
-                .collect();
+            let mut members: Vec<u32> =
+                groups.iter().flat_map(|(_, m)| m.iter().copied()).collect();
             members.sort_unstable();
             assert_eq!(members, alive, "round {r}");
             // each group's root is its minimum

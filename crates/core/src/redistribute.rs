@@ -131,7 +131,7 @@ pub fn global_simplify_and_partition(
     max_new_arcs: Option<u64>,
 ) -> (Vec<MsComplex>, RedistributeStats) {
     assert!(
-        ms.member_blocks.len() as u32 % n_parts == 0,
+        (ms.member_blocks.len() as u32).is_multiple_of(n_parts),
         "parts must evenly divide the member blocks"
     );
     ms.reflag_boundaries(decomp); // full merge ⇒ clears every flag
@@ -145,11 +145,7 @@ pub fn global_simplify_and_partition(
     );
     ms.compact();
     let chunk = ms.member_blocks.len() / n_parts as usize;
-    let parts: Vec<Vec<u32>> = ms
-        .member_blocks
-        .chunks(chunk)
-        .map(|c| c.to_vec())
-        .collect();
+    let parts: Vec<Vec<u32>> = ms.member_blocks.chunks(chunk).map(|c| c.to_vec()).collect();
     let out = partition_complex(ms, decomp, &parts);
     let replicated: u64 = out.iter().map(|c| c.n_live_nodes()).sum::<u64>() - ms.n_live_nodes();
     let total_bytes: u64 = out.iter().map(|c| wire::serialize(c).len() as u64).sum();
@@ -179,7 +175,7 @@ mod tests {
             plan: MergePlan::full_merge(8),
             ..Default::default()
         };
-        let r = run_parallel(&Input::Memory(field), 4, 8, &params, None);
+        let r = run_parallel(&Input::Memory(field), 4, 8, &params, None).unwrap();
         (
             r.outputs.into_iter().next().unwrap(),
             Decomposition::bisect(Dims::cube(13), 8),
@@ -206,8 +202,7 @@ mod tests {
         // (an arc-endpoint stub) must be flagged boundary so later passes
         // never cancel it
         for (pi, c) in out.iter().enumerate() {
-            let members: std::collections::HashSet<u32> =
-                parts[pi].iter().copied().collect();
+            let members: std::collections::HashSet<u32> = parts[pi].iter().copied().collect();
             for n in c.nodes.iter().filter(|n| n.alive) {
                 let coord = msp_grid::RCoord::from_address(n.addr, &c.refined);
                 let geometric = decomp
@@ -236,7 +231,8 @@ mod tests {
                 ..Default::default()
             },
             None,
-        );
+        )
+        .unwrap();
         let partial_nodes: u64 = partial.outputs.iter().map(|c| c.n_live_nodes()).sum();
 
         // global path: full merge, global simplify, split back into 2
@@ -250,17 +246,13 @@ mod tests {
                 ..Default::default()
             },
             None,
-        );
+        )
+        .unwrap();
         let mut ms = full.outputs.into_iter().next().unwrap();
         let decomp = Decomposition::bisect(Dims::cube(13), 8);
         let (lo, hi) = field.min_max();
-        let (parts, stats) = global_simplify_and_partition(
-            &mut ms,
-            &decomp,
-            0.05 * (hi - lo),
-            2,
-            Some(4096),
-        );
+        let (parts, stats) =
+            global_simplify_and_partition(&mut ms, &decomp, 0.05 * (hi - lo), 2, Some(4096));
         assert_eq!(parts.len(), 2);
         let global_nodes: u64 = parts.iter().map(|c| c.n_live_nodes()).sum();
         assert!(

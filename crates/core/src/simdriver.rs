@@ -10,17 +10,56 @@
 //! message arrival plus the measured glue time. The result reproduces
 //! the *shape* of the paper's Figs 6, 9, 10 and Tables I, II on a
 //! workstation.
+//!
+//! ## Fault timing model
+//!
+//! With a [`FaultPlan`] in [`SimFault`], the same faults the threaded
+//! backend injects for real are charged to the virtual clocks here:
+//! a slowed rank's measured compute is multiplied by its factor; a
+//! dropped message is re-shipped at [`NetParams::retry_time`] cost; a
+//! crashed rank costs its merge root the detection deadline plus a
+//! checkpoint re-ship over the torus. Checkpointing itself is charged
+//! as a collective write of all live state at every round boundary.
+//! The sim always models the *recovered* path (data is never actually
+//! destroyed — outputs stay identical); degraded-mode data loss exists
+//! only on the threaded backend.
 
 use crate::plan::MergePlan;
 use msp_complex::glue::glue_all;
 use msp_complex::{build_block_complex, simplify, wire, MsComplex, SimplifyParams};
+use msp_fault::FaultPlan;
 use msp_grid::rawio::{block_bytes, VolumeDType};
 use msp_grid::{Decomposition, ScalarField};
 use msp_morse::TraceLimits;
 use msp_telemetry::Json;
+use msp_vmpi::comm::{Inject, SendFate};
 use msp_vmpi::{IoParams, NetParams, Torus};
 use rayon::prelude::*;
+use std::collections::HashMap;
 use std::time::Instant;
+
+/// Fault configuration of a simulated run (timing model only).
+#[derive(Debug, Clone)]
+pub struct SimFault {
+    /// Faults whose costs are charged to the virtual clocks.
+    pub plan: Option<FaultPlan>,
+    /// Charge a collective checkpoint write at every round boundary
+    /// (and once before the output write).
+    pub checkpoint: bool,
+    /// Modeled failure-detection deadline a root waits before
+    /// recovering a dead member from its checkpoint.
+    pub deadline_s: f64,
+}
+
+impl Default for SimFault {
+    fn default() -> Self {
+        SimFault {
+            plan: None,
+            checkpoint: false,
+            deadline_s: 0.25,
+        }
+    }
+}
 
 /// Simulation configuration.
 #[derive(Debug, Clone)]
@@ -34,6 +73,8 @@ pub struct SimParams {
     pub io: IoParams,
     /// Element type of the (virtual) input file, for the read model.
     pub dtype: VolumeDType,
+    /// Fault injection for the timing model (inactive by default).
+    pub fault: SimFault,
 }
 
 impl Default for SimParams {
@@ -48,9 +89,34 @@ impl Default for SimParams {
             net: NetParams::default(),
             io: IoParams::default(),
             dtype: VolumeDType::F32,
+            fault: SimFault::default(),
         }
     }
 }
+
+/// A simulation failure with context, replacing the panics the driver
+/// used to raise on bad configurations and internal slot bookkeeping.
+#[derive(Debug)]
+pub enum SimError {
+    /// Invalid run configuration (rank count, merge plan).
+    Config(String),
+    /// A slot the plan says must be alive holds no complex — internal
+    /// bookkeeping violation, reported instead of panicking.
+    DeadSlot { slot: u32, stage: &'static str },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Config(msg) => write!(f, "invalid sim config: {msg}"),
+            SimError::DeadSlot { slot, stage } => {
+                write!(f, "slot {slot} holds no complex at {stage}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// Modeled + measured times of one merge round.
 #[derive(Debug, Clone, Copy)]
@@ -89,6 +155,16 @@ pub struct SimReport {
     pub live_nodes: u64,
     pub live_arcs: u64,
     pub threshold: f32,
+    /// Injected crashes charged to the clocks.
+    pub crashes: u64,
+    /// Recovery re-ships (dead members + dropped messages).
+    pub retries: u64,
+    /// Bytes re-shipped during recovery.
+    pub retry_bytes: u64,
+    /// Modeled time spent detecting failures and re-shipping state.
+    pub recovery_s: f64,
+    /// Modeled time spent writing round-boundary checkpoints.
+    pub checkpoint_s: f64,
 }
 
 impl SimReport {
@@ -133,15 +209,56 @@ impl SimReport {
             ("live_nodes", Json::U64(self.live_nodes)),
             ("live_arcs", Json::U64(self.live_arcs)),
             ("threshold", Json::F64(self.threshold as f64)),
+            (
+                "fault",
+                Json::obj(vec![
+                    ("crashes", Json::U64(self.crashes)),
+                    ("retries", Json::U64(self.retries)),
+                    ("retry_bytes", Json::U64(self.retry_bytes)),
+                    ("recovery_s", Json::F64(self.recovery_s)),
+                    ("checkpoint_s", Json::F64(self.checkpoint_s)),
+                ]),
+            ),
         ])
     }
 }
 
+/// Per-member modeled delivery, resolved serially so link sequence
+/// numbers and fault charges are deterministic.
+struct MemberIn {
+    ms: MsComplex,
+    /// Modeled clock at which the root can consume this complex.
+    arrive_s: f64,
+    bytes: u64,
+}
+
+/// Fault charges accumulated while resolving deliveries.
+#[derive(Default)]
+struct FaultLedger {
+    crashes: u64,
+    retries: u64,
+    retry_bytes: u64,
+    recovery_s: f64,
+    checkpoint_s: f64,
+}
+
 /// Simulate the pipeline at `n_ranks` virtual ranks (one block each).
-pub fn simulate(field: &ScalarField, n_ranks: u32, params: &SimParams) -> SimReport {
-    let decomp = Decomposition::bisect(field.dims(), n_ranks);
+pub fn simulate(
+    field: &ScalarField,
+    n_ranks: u32,
+    params: &SimParams,
+) -> Result<SimReport, SimError> {
+    if n_ranks < 1 {
+        return Err(SimError::Config("need at least one rank".into()));
+    }
     let n_blocks = n_ranks;
-    params.plan.output_blocks(n_blocks); // validate early
+    let red = params.plan.reduction();
+    if !n_blocks.is_multiple_of(red) {
+        return Err(SimError::Config(format!(
+            "plan reduction {red} must divide the rank count {n_ranks}"
+        )));
+    }
+    let decomp = Decomposition::bisect(field.dims(), n_ranks);
     let (gmin, gmax) = field.min_max();
     let threshold = params.persistence_frac * (gmax - gmin);
     let sp = SimplifyParams {
@@ -149,6 +266,8 @@ pub fn simulate(field: &ScalarField, n_ranks: u32, params: &SimParams) -> SimRep
         max_new_arcs: params.max_new_arcs,
         max_parallel_arcs: Some(2),
     };
+    let fplan = params.fault.plan.as_ref();
+    let mut ledger = FaultLedger::default();
 
     // ---- read (modeled) ----
     let total_in: u64 = decomp
@@ -161,7 +280,7 @@ pub fn simulate(field: &ScalarField, n_ranks: u32, params: &SimParams) -> SimRep
         .iter()
         .map(|b| block_bytes(b, params.dtype))
         .max()
-        .unwrap();
+        .unwrap_or(0);
     let read_s = params.io.collective_time(total_in, max_in, n_ranks);
 
     // ---- compute + local simplify (measured, per virtual rank) ----
@@ -170,7 +289,7 @@ pub fn simulate(field: &ScalarField, n_ranks: u32, params: &SimParams) -> SimRep
         t_build: f64,
         t_simplify: f64,
     }
-    let mut blocks: Vec<Option<BlockOut>> = decomp
+    let blocks: Vec<BlockOut> = decomp
         .blocks()
         .par_iter()
         .map(|b| {
@@ -182,78 +301,144 @@ pub fn simulate(field: &ScalarField, n_ranks: u32, params: &SimParams) -> SimRep
             simplify(&mut ms, sp);
             ms.compact();
             let t_simplify = t1.elapsed().as_secs_f64();
-            Some(BlockOut {
+            BlockOut {
                 ms,
                 t_build,
                 t_simplify,
-            })
+            }
         })
         .collect();
 
-    let compute_s = blocks
-        .iter()
-        .map(|b| b.as_ref().unwrap().t_build)
-        .fold(0.0, f64::max);
-    let local_simplify_s = blocks
-        .iter()
-        .map(|b| b.as_ref().unwrap().t_simplify)
-        .fold(0.0, f64::max);
+    let compute_s = blocks.iter().map(|b| b.t_build).fold(0.0, f64::max);
+    let local_simplify_s = blocks.iter().map(|b| b.t_simplify).fold(0.0, f64::max);
 
     // virtual clocks: collective read ends together, then local work
+    // (multiplied by the rank's injected slowdown factor, if any)
     let mut clocks: Vec<f64> = blocks
         .iter()
-        .map(|b| {
-            let b = b.as_ref().unwrap();
-            read_s + b.t_build + b.t_simplify
+        .enumerate()
+        .map(|(i, b)| {
+            let slow = fplan.map_or(1.0, |p| p.slow_factor(i));
+            read_s + (b.t_build + b.t_simplify) * slow
         })
         .collect();
-    let mut complexes: Vec<Option<MsComplex>> =
-        blocks.iter_mut().map(|b| Some(b.take().unwrap().ms)).collect();
-    drop(blocks);
+    let mut complexes: Vec<Option<MsComplex>> = blocks.into_iter().map(|b| Some(b.ms)).collect();
 
     // ---- merge rounds ----
     let torus = Torus::for_ranks(n_ranks);
     let clock_after_local = clocks.iter().copied().fold(0.0, f64::max);
     let mut rounds = Vec::with_capacity(params.plan.radices.len());
+    // per-directed-link message counter, 1-based like the comm layer's
+    let mut link_seq: HashMap<(usize, usize), u64> = HashMap::new();
     for r in 0..params.plan.radices.len() {
         let groups = params.plan.groups(r, n_blocks);
+        let round_no = r as u32 + 1;
         let before = clocks.iter().copied().fold(0.0, f64::max);
-        // pull out the group inputs serially, process groups in parallel
-        let work: Vec<(u32, Vec<(u32, MsComplex, f64)>)> = groups
-            .iter()
-            .map(|(root, members)| {
-                let inputs: Vec<(u32, MsComplex, f64)> = members
-                    .iter()
-                    .map(|&m| {
-                        let ms = complexes[m as usize].take().expect("alive slot");
-                        (m, ms, clocks[m as usize])
-                    })
-                    .collect();
-                (*root, inputs)
-            })
-            .collect();
+
+        // Round boundary = consistent cut: charge the checkpoint write
+        // of all live state as a collective over the alive slots.
+        if params.fault.checkpoint {
+            let alive: Vec<u32> = groups.iter().flat_map(|(_, m)| m.iter().copied()).collect();
+            let sizes: Vec<u64> = alive
+                .iter()
+                .map(|&s| match &complexes[s as usize] {
+                    Some(ms) => wire::estimate_size(ms) as u64,
+                    None => 0,
+                })
+                .collect();
+            let total: u64 = sizes.iter().sum();
+            let ck = params.io.collective_time(
+                total,
+                sizes.iter().copied().max().unwrap_or(0),
+                alive.len() as u32,
+            );
+            for &s in &alive {
+                clocks[s as usize] += ck;
+            }
+            ledger.checkpoint_s += ck;
+        }
+
+        // pull out the group inputs serially (deterministic link
+        // sequencing + fault charges), process groups in parallel
+        let mut work: Vec<(u32, MsComplex, f64, Vec<MemberIn>)> = Vec::with_capacity(groups.len());
+        for (root, members) in &groups {
+            let root_ms = complexes[*root as usize].take().ok_or(SimError::DeadSlot {
+                slot: *root,
+                stage: "merge root",
+            })?;
+            let mut root_clock = clocks[*root as usize];
+            if fplan.is_some_and(|p| p.should_crash(*root as usize, round_no)) {
+                // A crashed root reboots from its own checkpoint: the
+                // round replays after a reload of its full state.
+                let bytes = wire::estimate_size(&root_ms) as u64;
+                let reload = params.net.retry_time(bytes, 0);
+                ledger.crashes += 1;
+                ledger.retries += 1;
+                ledger.retry_bytes += bytes;
+                ledger.recovery_s += reload;
+                root_clock += reload;
+                // keep root_ms: the sim models the recovered (bit-exact)
+                // data path, only the clock pays
+            }
+            let mut inputs = Vec::with_capacity(members.len() - 1);
+            for &m in &members[1..] {
+                let ms = complexes[m as usize].take().ok_or(SimError::DeadSlot {
+                    slot: m,
+                    stage: "merge member",
+                })?;
+                let bytes = wire::estimate_size(&ms) as u64;
+                let hops = torus.hops(m, *root);
+                let seq = link_seq.entry((m as usize, *root as usize)).or_insert(0);
+                *seq += 1;
+                let mut arrive =
+                    clocks[m as usize] + params.net.latency_s + params.net.hop_time_s * hops as f64;
+                if fplan.is_some_and(|p| p.should_crash(m as usize, round_no)) {
+                    // Dead member: the root burns its detection deadline,
+                    // then re-ships the member's checkpoint over the
+                    // torus instead of receiving its message.
+                    let retry = params.net.retry_time(bytes, hops);
+                    ledger.crashes += 1;
+                    ledger.retries += 1;
+                    ledger.retry_bytes += bytes;
+                    ledger.recovery_s += params.fault.deadline_s + retry;
+                    arrive = root_clock + params.fault.deadline_s + retry;
+                } else if let Some(p) = fplan {
+                    match p.fate(m as usize, *root as usize, *seq) {
+                        SendFate::Deliver => {}
+                        SendFate::Drop => {
+                            // lost in flight: one retry round-trip
+                            let retry = params.net.retry_time(bytes, hops);
+                            ledger.retries += 1;
+                            ledger.retry_bytes += bytes;
+                            ledger.recovery_s += retry;
+                            arrive += retry;
+                        }
+                        SendFate::Delay(d) => arrive += d.as_secs_f64(),
+                    }
+                }
+                inputs.push(MemberIn {
+                    ms,
+                    arrive_s: arrive,
+                    bytes,
+                });
+            }
+            work.push((*root, root_ms, root_clock, inputs));
+        }
         let results: Vec<(u32, MsComplex, f64, f64, f64, u64)> = work
             .into_par_iter()
-            .map(|(root, mut inputs)| {
-                let (_, mut root_ms, root_clock) = inputs.remove(0);
+            .map(|(root, mut root_ms, root_clock, inputs)| {
                 // modeled arrival: the root can start gluing once every
                 // member's message has landed; the root link serializes
                 // the payloads
                 let mut start = root_clock;
                 let mut sum_bytes = 0u64;
-                for (m, ms, clk) in &inputs {
-                    let bytes = wire::estimate_size(ms) as u64;
-                    sum_bytes += bytes;
-                    let hops = torus.hops(*m, root);
-                    let arrive = clk
-                        + params.net.latency_s
-                        + params.net.hop_time_s * hops as f64;
-                    start = start.max(arrive);
+                for m in &inputs {
+                    sum_bytes += m.bytes;
+                    start = start.max(m.arrive_s);
                 }
                 let comm = sum_bytes as f64 * params.net.byte_time_s;
                 let t0 = Instant::now();
-                let incoming: Vec<MsComplex> =
-                    inputs.into_iter().map(|(_, ms, _)| ms).collect();
+                let incoming: Vec<MsComplex> = inputs.into_iter().map(|m| m.ms).collect();
                 glue_all(&mut root_ms, &incoming, &decomp);
                 simplify(&mut root_ms, sp);
                 root_ms.compact();
@@ -271,9 +456,7 @@ pub fn simulate(field: &ScalarField, n_ranks: u32, params: &SimParams) -> SimRep
             clocks[root as usize] = clock;
             complexes[root as usize] = Some(ms);
         }
-        let after = params
-            .plan
-            .groups(r, n_blocks)
+        let after = groups
             .iter()
             .map(|(root, _)| clocks[*root as usize])
             .fold(0.0, f64::max);
@@ -288,12 +471,34 @@ pub fn simulate(field: &ScalarField, n_ranks: u32, params: &SimParams) -> SimRep
 
     // ---- write (modeled) ----
     let out_slots = params.plan.output_slots(n_blocks);
-    let payload_sizes: Vec<u64> = out_slots
-        .iter()
-        .map(|&s| {
-            wire::serialize(complexes[s as usize].as_ref().expect("output slot")).len() as u64
-        })
-        .collect();
+    // one final checkpoint protects the fully-merged state
+    if params.fault.checkpoint {
+        let sizes: Vec<u64> = out_slots
+            .iter()
+            .map(|&s| match &complexes[s as usize] {
+                Some(ms) => wire::estimate_size(ms) as u64,
+                None => 0,
+            })
+            .collect();
+        let total: u64 = sizes.iter().sum();
+        let ck = params.io.collective_time(
+            total,
+            sizes.iter().copied().max().unwrap_or(0),
+            out_slots.len() as u32,
+        );
+        for &s in &out_slots {
+            clocks[s as usize] += ck;
+        }
+        ledger.checkpoint_s += ck;
+    }
+    let mut payload_sizes = Vec::with_capacity(out_slots.len());
+    for &s in &out_slots {
+        let ms = complexes[s as usize].as_ref().ok_or(SimError::DeadSlot {
+            slot: s,
+            stage: "output write",
+        })?;
+        payload_sizes.push(wire::serialize(ms).len() as u64);
+    }
     let output_bytes: u64 = payload_sizes.iter().sum();
     let max_out = payload_sizes.iter().copied().max().unwrap_or(0);
     let write_s = if output_bytes > 0 {
@@ -306,16 +511,18 @@ pub fn simulate(field: &ScalarField, n_ranks: u32, params: &SimParams) -> SimRep
         .iter()
         .map(|&s| clocks[s as usize])
         .fold(0.0, f64::max);
-    let live_nodes: u64 = out_slots
-        .iter()
-        .map(|&s| complexes[s as usize].as_ref().unwrap().n_live_nodes())
-        .sum();
-    let live_arcs: u64 = out_slots
-        .iter()
-        .map(|&s| complexes[s as usize].as_ref().unwrap().n_live_arcs())
-        .sum();
+    let mut live_nodes = 0u64;
+    let mut live_arcs = 0u64;
+    for &s in &out_slots {
+        let ms = complexes[s as usize].as_ref().ok_or(SimError::DeadSlot {
+            slot: s,
+            stage: "output census",
+        })?;
+        live_nodes += ms.n_live_nodes();
+        live_arcs += ms.n_live_arcs();
+    }
 
-    SimReport {
+    Ok(SimReport {
         n_ranks,
         read_s,
         compute_s,
@@ -329,7 +536,12 @@ pub fn simulate(field: &ScalarField, n_ranks: u32, params: &SimParams) -> SimRep
         live_nodes,
         live_arcs,
         threshold,
-    }
+        crashes: ledger.crashes,
+        retries: ledger.retries,
+        retry_bytes: ledger.retry_bytes,
+        recovery_s: ledger.recovery_s,
+        checkpoint_s: ledger.checkpoint_s,
+    })
 }
 
 #[cfg(test)]
@@ -340,11 +552,26 @@ mod tests {
     #[test]
     fn simulate_serial_baseline() {
         let f = msp_synth::white_noise(Dims::cube(9), 4);
-        let r = simulate(&f, 1, &SimParams::default());
+        let r = simulate(&f, 1, &SimParams::default()).unwrap();
         assert_eq!(r.output_blocks, 1);
         assert!(r.compute_s > 0.0);
         assert!(r.total_s >= r.read_s + r.compute_s);
         assert!(r.rounds.is_empty());
+        assert_eq!(r.crashes, 0);
+        assert_eq!(r.checkpoint_s, 0.0);
+    }
+
+    #[test]
+    fn bad_config_is_reported_not_panicked() {
+        let f = msp_synth::white_noise(Dims::cube(9), 4);
+        let params = SimParams {
+            plan: MergePlan::rounds(vec![8]),
+            ..Default::default()
+        };
+        assert!(matches!(
+            simulate(&f, 12, &params).err(),
+            Some(SimError::Config(_))
+        ));
     }
 
     #[test]
@@ -354,7 +581,7 @@ mod tests {
             plan: MergePlan::full_merge(8),
             ..Default::default()
         };
-        let r = simulate(&f, 8, &params);
+        let r = simulate(&f, 8, &params).unwrap();
         assert_eq!(r.output_blocks, 1);
         assert_eq!(r.rounds.len(), 1);
         assert_eq!(r.rounds[0].radix, 8);
@@ -375,7 +602,8 @@ mod tests {
                 plan: plan.clone(),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let thr = run_parallel(
             &Input::Memory(field.clone()),
             8,
@@ -385,7 +613,8 @@ mod tests {
                 ..Default::default()
             },
             None,
-        );
+        )
+        .unwrap();
         // identical algorithm, identical outputs
         assert_eq!(sim.live_nodes, thr.outputs[0].n_live_nodes());
         assert_eq!(sim.live_arcs, thr.outputs[0].n_live_arcs());
@@ -393,12 +622,75 @@ mod tests {
     }
 
     #[test]
+    fn faults_charge_the_clock_but_not_the_data() {
+        let f = msp_synth::white_noise(Dims::cube(9), 4);
+        let plan = MergePlan::full_merge(8);
+        let clean = simulate(
+            &f,
+            8,
+            &SimParams {
+                plan: plan.clone(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let faulty = simulate(
+            &f,
+            8,
+            &SimParams {
+                plan,
+                fault: SimFault {
+                    plan: Some(FaultPlan::new().crash(3, 1)),
+                    checkpoint: true,
+                    deadline_s: 0.5,
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(faulty.crashes, 1);
+        assert_eq!(faulty.retries, 1);
+        assert!(faulty.retry_bytes > 0);
+        assert!(faulty.recovery_s >= 0.5, "deadline must be charged");
+        assert!(faulty.checkpoint_s > 0.0);
+        // data path is the recovered (bit-exact) one
+        assert_eq!(faulty.live_nodes, clean.live_nodes);
+        assert_eq!(faulty.live_arcs, clean.live_arcs);
+        assert_eq!(faulty.output_bytes, clean.output_bytes);
+    }
+
+    #[test]
+    fn drops_and_delays_add_recovery_time() {
+        let f = msp_synth::white_noise(Dims::cube(9), 4);
+        let plan = MergePlan::full_merge(8);
+        let r = simulate(
+            &f,
+            8,
+            &SimParams {
+                plan,
+                fault: SimFault {
+                    // first message rank 1 -> rank 0 is lost once
+                    plan: Some(FaultPlan::new().drop_msg(1, 0, 1)),
+                    checkpoint: false,
+                    deadline_s: 0.25,
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.crashes, 0);
+        assert_eq!(r.retries, 1);
+        assert!(r.retry_bytes > 0);
+        assert!(r.recovery_s > 0.0);
+    }
+
+    #[test]
     fn more_ranks_less_compute_time() {
         // weak statement robust to timing noise: per-block compute at 16
         // ranks must be well below serial compute on the same field
         let f = msp_synth::sinusoid(33, 4);
-        let t1 = simulate(&f, 1, &SimParams::default()).compute_s;
-        let t16 = simulate(&f, 16, &SimParams::default()).compute_s;
+        let t1 = simulate(&f, 1, &SimParams::default()).unwrap().compute_s;
+        let t16 = simulate(&f, 16, &SimParams::default()).unwrap().compute_s;
         assert!(
             t16 < t1,
             "per-block compute must shrink with more ranks ({t16} vs {t1})"

@@ -26,7 +26,7 @@ fn comm_counters_match_wire_payload_sizes() {
         plan: MergePlan::rounds(vec![2, 2]), // 4 -> 2 -> 1
         ..Default::default()
     };
-    let r = run_parallel(&input, W as u32, W as u32, &params, None);
+    let r = run_parallel(&input, W as u32, W as u32, &params, None).unwrap();
     let tel = &r.telemetry;
     assert_eq!(tel.n_ranks as u64, W);
     assert_eq!(tel.ranks.len() as u64, W);
@@ -46,8 +46,14 @@ fn comm_counters_match_wire_payload_sizes() {
     assert_eq!(tel.counter_total("msgs_sent"), ship_msgs + allreduce_msgs);
 
     // conservation: everything sent is received
-    assert_eq!(tel.counter_total("bytes_sent"), tel.counter_total("bytes_recv"));
-    assert_eq!(tel.counter_total("msgs_sent"), tel.counter_total("msgs_recv"));
+    assert_eq!(
+        tel.counter_total("bytes_sent"),
+        tel.counter_total("bytes_recv")
+    );
+    assert_eq!(
+        tel.counter_total("msgs_sent"),
+        tel.counter_total("msgs_recv")
+    );
 
     // shipped complexes are non-trivial
     assert!(tel.counter_total("nodes_shipped") > 0);
@@ -55,7 +61,9 @@ fn comm_counters_match_wire_payload_sizes() {
 
     // per-merge-round spans made it through the gather + aggregation
     for key in ["merge_round[0]", "merge_round[1]"] {
-        let s = tel.phase_stat(key).unwrap_or_else(|| panic!("{key} present"));
+        let s = tel
+            .phase_stat(key)
+            .unwrap_or_else(|| panic!("{key} present"));
         assert!(s.seconds.min >= 0.0 && s.seconds.max >= s.seconds.min);
         assert!(s.seconds.imbalance >= 1.0 || s.seconds.mean == 0.0);
     }
@@ -63,7 +71,12 @@ fn comm_counters_match_wire_payload_sizes() {
     // cross-rank aggregates are consistent with the raw per-rank data
     for cs in &tel.counter_stats {
         let per_rank: Vec<u64> = tel.ranks.iter().map(|rk| rk.counter(&cs.key)).collect();
-        assert_eq!(cs.total, per_rank.iter().sum::<u64>(), "total of {}", cs.key);
+        assert_eq!(
+            cs.total,
+            per_rank.iter().sum::<u64>(),
+            "total of {}",
+            cs.key
+        );
         assert_eq!(cs.min, *per_rank.iter().min().unwrap());
         assert_eq!(cs.max, *per_rank.iter().max().unwrap());
     }
@@ -72,7 +85,7 @@ fn comm_counters_match_wire_payload_sizes() {
 #[test]
 fn single_rank_run_has_no_point_to_point_traffic() {
     let input = Input::Memory(Arc::new(msp_synth::white_noise(Dims::cube(8), 7)));
-    let r = run_parallel(&input, 1, 1, &PipelineParams::default(), None);
+    let r = run_parallel(&input, 1, 1, &PipelineParams::default(), None).unwrap();
     let tel = &r.telemetry;
     // a world of one: the all-reduce and the gather are local no-ops
     assert_eq!(tel.counter_total("bytes_sent"), 0);

@@ -1,0 +1,350 @@
+//! Deterministic, seedable fault plans.
+//!
+//! A [`FaultPlan`] is a finite list of [`FaultEvent`]s fixed before the
+//! run starts — faults are *data*, not side effects of a random number
+//! generator consulted mid-run, so every experiment is exactly
+//! reproducible: the same plan against the same input produces the same
+//! crashes, the same dropped messages, and (with recovery working) the
+//! same final complex.
+//!
+//! Plans come from three places: built programmatically (tests), parsed
+//! from the CLI `--faults` spec (see [`FaultPlan::from_str`]), or
+//! generated from a seed + target rate ([`FaultPlan::seeded_crashes`])
+//! for sweep benchmarks.
+
+use msp_vmpi::comm::{Inject, SendFate};
+use std::str::FromStr;
+use std::time::Duration;
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultEvent {
+    /// Rank `rank` loses its in-memory state at the boundary of merge
+    /// round `round` (1-based; `round = n_rounds + 1` models a crash
+    /// after the last merge but before the collective write).
+    Crash { rank: usize, round: u32 },
+    /// Silently lose the `nth` (1-based) message on the directed link
+    /// `from -> to`.
+    DropMsg { from: usize, to: usize, nth: u64 },
+    /// Hold the `nth` (1-based) message on `from -> to` back by
+    /// `delay_ms` milliseconds before delivering it.
+    DelayMsg {
+        from: usize,
+        to: usize,
+        nth: u64,
+        delay_ms: u64,
+    },
+    /// Multiply rank `rank`'s compute time by `factor` (≥ 1.0) — a
+    /// straggler. Only the BSP sim driver charges this; the threaded
+    /// backend runs real compute and cannot slow it honestly.
+    SlowRank { rank: usize, factor: f64 },
+}
+
+/// A complete, ordered fault schedule for one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub fn crash(mut self, rank: usize, round: u32) -> Self {
+        self.events.push(FaultEvent::Crash { rank, round });
+        self
+    }
+
+    pub fn drop_msg(mut self, from: usize, to: usize, nth: u64) -> Self {
+        self.events.push(FaultEvent::DropMsg { from, to, nth });
+        self
+    }
+
+    pub fn delay_msg(mut self, from: usize, to: usize, nth: u64, delay_ms: u64) -> Self {
+        self.events.push(FaultEvent::DelayMsg {
+            from,
+            to,
+            nth,
+            delay_ms,
+        });
+        self
+    }
+
+    pub fn slow_rank(mut self, rank: usize, factor: f64) -> Self {
+        self.events.push(FaultEvent::SlowRank { rank, factor });
+        self
+    }
+
+    /// Generate a crash plan where each (rank, round) cell fails
+    /// independently with probability `rate`, driven by a SplitMix64
+    /// stream from `seed` — same seed, same plan, on every platform.
+    /// Rounds are 1-based up to `n_rounds` inclusive.
+    pub fn seeded_crashes(seed: u64, n_ranks: usize, n_rounds: u32, rate: f64) -> Self {
+        let mut plan = FaultPlan::new();
+        let mut rng = SplitMix64::new(seed);
+        for round in 1..=n_rounds {
+            for rank in 0..n_ranks {
+                if rng.next_f64() < rate {
+                    plan.events.push(FaultEvent::Crash { rank, round });
+                }
+            }
+        }
+        plan
+    }
+
+    /// Does the plan crash `rank` at merge round `round`?
+    pub fn should_crash(&self, rank: usize, round: u32) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::Crash { rank: r, round: k } if *r == rank && *k == round))
+    }
+
+    /// Compute-slowdown factor for `rank` (product of all matching
+    /// `SlowRank` events; 1.0 when unaffected).
+    pub fn slow_factor(&self, rank: usize) -> f64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FaultEvent::SlowRank { rank: r, factor } if *r == rank => Some(*factor),
+                _ => None,
+            })
+        .product()
+    }
+
+    /// Total number of crash events (any rank, any round).
+    pub fn n_crashes(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, FaultEvent::Crash { .. }))
+            .count()
+    }
+}
+
+/// The threaded backend consults the plan on every point-to-point send:
+/// drop/delay events translate directly to [`SendFate`]s keyed on the
+/// per-link message ordinal. Crash and slow events are handled at the
+/// pipeline / sim-driver layer, not here.
+impl Inject for FaultPlan {
+    fn fate(&self, from: usize, to: usize, nth: u64) -> SendFate {
+        for e in &self.events {
+            match *e {
+                FaultEvent::DropMsg {
+                    from: f,
+                    to: t,
+                    nth: n,
+                } if f == from && t == to && n == nth => return SendFate::Drop,
+                FaultEvent::DelayMsg {
+                    from: f,
+                    to: t,
+                    nth: n,
+                    delay_ms,
+                } if f == from && t == to && n == nth => {
+                    return SendFate::Delay(Duration::from_millis(delay_ms))
+                }
+                _ => {}
+            }
+        }
+        SendFate::Deliver
+    }
+}
+
+/// Error from parsing a `--faults` spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanParseError {
+    /// The offending `;`-separated clause.
+    pub clause: String,
+    pub what: &'static str,
+}
+
+impl std::fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad fault clause {:?}: {}", self.clause, self.what)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+fn parse_num<T: FromStr>(s: &str, clause: &str, what: &'static str) -> Result<T, PlanParseError> {
+    s.trim().parse().map_err(|_| PlanParseError {
+        clause: clause.to_string(),
+        what,
+    })
+}
+
+/// Parse the CLI fault spec: `;`-separated clauses, each one of
+///
+/// * `crash:R@K` — crash rank R at merge round K
+/// * `drop:F->T#N` — drop the Nth message from rank F to rank T
+/// * `delay:F->T#N+MS` — delay that message by MS milliseconds
+/// * `slow:R*F` — multiply rank R's compute time by F
+///
+/// e.g. `--faults 'crash:2@1;drop:0->3#7'`.
+impl FromStr for FaultPlan {
+    type Err = PlanParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut plan = FaultPlan::new();
+        for clause in s.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let bad = |what| PlanParseError {
+                clause: clause.to_string(),
+                what,
+            };
+            let (kind, rest) = clause.split_once(':').ok_or(bad("missing `kind:` prefix"))?;
+            match kind.trim() {
+                "crash" => {
+                    let (r, k) = rest.split_once('@').ok_or(bad("expected `crash:R@K`"))?;
+                    plan = plan.crash(
+                        parse_num(r, clause, "bad rank")?,
+                        parse_num(k, clause, "bad round")?,
+                    );
+                }
+                "drop" => {
+                    let (link, n) = rest.split_once('#').ok_or(bad("expected `drop:F->T#N`"))?;
+                    let (f, t) = link.split_once("->").ok_or(bad("expected `F->T` link"))?;
+                    plan = plan.drop_msg(
+                        parse_num(f, clause, "bad source rank")?,
+                        parse_num(t, clause, "bad destination rank")?,
+                        parse_num(n, clause, "bad message ordinal")?,
+                    );
+                }
+                "delay" => {
+                    let (link, tail) =
+                        rest.split_once('#').ok_or(bad("expected `delay:F->T#N+MS`"))?;
+                    let (f, t) = link.split_once("->").ok_or(bad("expected `F->T` link"))?;
+                    let (n, ms) = tail.split_once('+').ok_or(bad("expected `N+MS` tail"))?;
+                    plan = plan.delay_msg(
+                        parse_num(f, clause, "bad source rank")?,
+                        parse_num(t, clause, "bad destination rank")?,
+                        parse_num(n, clause, "bad message ordinal")?,
+                        parse_num(ms, clause, "bad delay (ms)")?,
+                    );
+                }
+                "slow" => {
+                    let (r, f) = rest.split_once('*').ok_or(bad("expected `slow:R*F`"))?;
+                    let factor: f64 = parse_num(f, clause, "bad slowdown factor")?;
+                    if factor < 1.0 || factor.is_nan() {
+                        return Err(bad("slowdown factor must be >= 1"));
+                    }
+                    plan = plan.slow_rank(parse_num(r, clause, "bad rank")?, factor);
+                }
+                _ => return Err(bad("unknown kind (crash|drop|delay|slow)")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// SplitMix64: tiny, seedable, platform-independent PRNG (Steele et al.,
+/// "Fast splittable pseudorandom number generators"). Used instead of the
+/// `rand` crate so fault plans stay bit-identical everywhere.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` from the top 53 bits.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_queries() {
+        let p = FaultPlan::new()
+            .crash(2, 1)
+            .drop_msg(0, 3, 7)
+            .slow_rank(1, 2.5)
+            .slow_rank(1, 2.0);
+        assert!(p.should_crash(2, 1));
+        assert!(!p.should_crash(2, 2));
+        assert!(!p.should_crash(1, 1));
+        assert_eq!(p.slow_factor(1), 5.0);
+        assert_eq!(p.slow_factor(0), 1.0);
+        assert_eq!(p.n_crashes(), 1);
+    }
+
+    #[test]
+    fn inject_maps_drop_and_delay() {
+        let p = FaultPlan::new().drop_msg(0, 1, 3).delay_msg(1, 0, 2, 40);
+        assert_eq!(p.fate(0, 1, 3), SendFate::Drop);
+        assert_eq!(p.fate(0, 1, 2), SendFate::Deliver);
+        assert_eq!(p.fate(1, 0, 2), SendFate::Delay(Duration::from_millis(40)));
+        // crash events never affect message fates
+        let c = FaultPlan::new().crash(0, 1);
+        assert_eq!(c.fate(0, 1, 1), SendFate::Deliver);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let a = FaultPlan::seeded_crashes(2012, 8, 3, 0.3);
+        let b = FaultPlan::seeded_crashes(2012, 8, 3, 0.3);
+        assert_eq!(a, b);
+        let c = FaultPlan::seeded_crashes(2013, 8, 3, 0.3);
+        assert_ne!(a, c, "different seed, different plan");
+        // rate 0 => no crashes; rate 1 => every cell crashes
+        assert!(FaultPlan::seeded_crashes(1, 8, 3, 0.0).is_empty());
+        assert_eq!(FaultPlan::seeded_crashes(1, 8, 3, 1.0).n_crashes(), 24);
+    }
+
+    #[test]
+    fn seeded_rate_is_roughly_honoured() {
+        let p = FaultPlan::seeded_crashes(7, 100, 100, 0.1);
+        let n = p.n_crashes() as f64 / 10_000.0;
+        assert!((n - 0.1).abs() < 0.02, "empirical rate {n} far from 0.1");
+    }
+
+    #[test]
+    fn spec_round_trips() {
+        let p: FaultPlan = "crash:2@1; drop:0->3#7 ;delay:1->0#2+40;slow:5*3.5"
+            .parse()
+            .unwrap();
+        assert_eq!(
+            p.events,
+            vec![
+                FaultEvent::Crash { rank: 2, round: 1 },
+                FaultEvent::DropMsg { from: 0, to: 3, nth: 7 },
+                FaultEvent::DelayMsg { from: 1, to: 0, nth: 2, delay_ms: 40 },
+                FaultEvent::SlowRank { rank: 5, factor: 3.5 },
+            ]
+        );
+        assert_eq!("".parse::<FaultPlan>().unwrap(), FaultPlan::new());
+    }
+
+    #[test]
+    fn spec_errors_name_the_clause() {
+        let e = "crash:2@1;bogus:3".parse::<FaultPlan>().unwrap_err();
+        assert_eq!(e.clause, "bogus:3");
+        let e = "crash:x@1".parse::<FaultPlan>().unwrap_err();
+        assert_eq!(e.what, "bad rank");
+        let e = "drop:0-3#1".parse::<FaultPlan>().unwrap_err();
+        assert_eq!(e.what, "expected `F->T` link");
+        let e = "slow:1*0.5".parse::<FaultPlan>().unwrap_err();
+        assert_eq!(e.what, "slowdown factor must be >= 1");
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! In-memory checkpoint store shared by all ranks of a threaded run.
+//!
+//! Stands in for the stable storage (parallel filesystem or buddy-rank
+//! memory) a production deployment would use: ranks save encoded
+//! checkpoints keyed by `(rank, round)`, and any survivor can later load
+//! a *peer's* checkpoint to replay a lost round. Encoded bytes are
+//! stored, not live objects — recovery pays the same decode + CRC cost a
+//! disk-based store would.
+
+use bytes::Bytes;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Cloneable handle; all clones share one underlying map.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointStore {
+    inner: Arc<Mutex<HashMap<(u32, u32), Bytes>>>,
+}
+
+impl CheckpointStore {
+    pub fn new() -> Self {
+        CheckpointStore::default()
+    }
+
+    /// Save `rank`'s checkpoint for merge-round cursor `round`,
+    /// replacing any previous one. Returns the encoded size in bytes
+    /// (what the caller should account as `checkpoint_bytes`).
+    pub fn save(&self, rank: u32, round: u32, encoded: Bytes) -> usize {
+        let n = encoded.len();
+        self.inner.lock().unwrap().insert((rank, round), encoded);
+        n
+    }
+
+    /// Load the checkpoint `rank` saved at `round`, if any.
+    pub fn load(&self, rank: u32, round: u32) -> Option<Bytes> {
+        self.inner.lock().unwrap().get(&(rank, round)).cloned()
+    }
+
+    /// Latest round ≤ `round` for which `rank` has a checkpoint.
+    pub fn latest(&self, rank: u32, round: u32) -> Option<(u32, Bytes)> {
+        let map = self.inner.lock().unwrap();
+        (0..=round)
+            .rev()
+            .find_map(|k| map.get(&(rank, k)).map(|b| (k, b.clone())))
+    }
+
+    /// Number of checkpoints currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total encoded bytes currently held.
+    pub fn total_bytes(&self) -> usize {
+        self.inner.lock().unwrap().values().map(Bytes::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_load_latest() {
+        let store = CheckpointStore::new();
+        assert!(store.is_empty());
+        store.save(1, 0, Bytes::from_static(b"r1k0"));
+        store.save(1, 2, Bytes::from_static(b"r1k2"));
+        store.save(0, 1, Bytes::from_static(b"r0k1"));
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.total_bytes(), 12);
+        assert_eq!(store.load(1, 2).unwrap(), Bytes::from_static(b"r1k2"));
+        assert!(store.load(1, 1).is_none());
+        // latest walks backwards from the requested round
+        let (k, b) = store.latest(1, 3).unwrap();
+        assert_eq!((k, b), (2, Bytes::from_static(b"r1k2")));
+        let (k, _) = store.latest(1, 1).unwrap();
+        assert_eq!(k, 0);
+        assert!(store.latest(7, 5).is_none());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = CheckpointStore::new();
+        let b = a.clone();
+        a.save(0, 0, Bytes::from_static(b"x"));
+        assert_eq!(b.load(0, 0).unwrap(), Bytes::from_static(b"x"));
+    }
+}

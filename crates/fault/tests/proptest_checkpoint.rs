@@ -1,0 +1,135 @@
+//! Property-based round-trip tests of the checkpoint format: random
+//! complexes (nodes, arcs, leaf + cancel geometry, boundary flags) and
+//! random merge cursors must survive encode → decode bit-exactly, and
+//! random corruption must never decode successfully.
+
+use bytes::Bytes;
+use msp_complex::wire;
+use msp_complex::MsComplex;
+use msp_fault::{Checkpoint, CheckpointStore};
+use msp_grid::dims::RefinedDims;
+use proptest::prelude::*;
+
+/// Deterministically grow a complex from a compact recipe so proptest
+/// shrinking stays meaningful: `spec[i] = (index, boundary, path_len)`.
+fn complex_from_spec(blocks: Vec<u32>, spec: &[(u8, bool, u8)]) -> MsComplex {
+    let refined = RefinedDims {
+        rx: 33,
+        ry: 17,
+        rz: 9,
+    };
+    let mut ms = MsComplex::new(refined, blocks);
+    for (i, &(index, boundary, _)) in spec.iter().enumerate() {
+        ms.add_node(i as u64 * 5 + 1, index % 4, i as f32 * 0.25 - 3.0, boundary);
+    }
+    // connect every adjacent-index pair among consecutive nodes
+    for (i, &(_, _, path_len)) in spec.iter().enumerate().skip(1) {
+        let (a, b) = (i as u32, i as u32 - 1);
+        let (ia, ib) = (
+            ms.nodes[a as usize].index,
+            ms.nodes[b as usize].index,
+        );
+        let path: Vec<u64> = (0..u64::from(path_len) + 2).map(|k| k * 7 + i as u64).collect();
+        if ia == ib + 1 {
+            let g = ms.add_leaf_geom(&path);
+            ms.add_arc(a, b, g);
+        } else if ib == ia + 1 {
+            let g = ms.add_leaf_geom(&path);
+            ms.add_arc(b, a, g);
+        }
+    }
+    ms
+}
+
+fn arb_spec() -> impl Strategy<Value = Vec<(u8, bool, u8)>> {
+    proptest::collection::vec((0u8..4, any::<bool>(), 0u8..6), 0..40)
+}
+
+fn arb_blocks() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u32..64, 1..5).prop_map(|mut v| {
+        v.sort_unstable();
+        v.dedup();
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn round_trip_is_exact(
+        rank in 0u32..64,
+        round in 0u32..8,
+        threshold in 0.0f32..1.0,
+        blocks in arb_blocks(),
+        spec in arb_spec(),
+        spec2 in arb_spec(),
+    ) {
+        let ck = Checkpoint {
+            rank,
+            round,
+            threshold,
+            slots: vec![
+                (blocks[0], complex_from_spec(blocks.clone(), &spec)),
+                (blocks[0] + 100, complex_from_spec(vec![blocks[0] + 100], &spec2)),
+            ],
+        };
+        let encoded = ck.encode();
+        let back = Checkpoint::decode(&encoded).unwrap();
+        prop_assert_eq!(back.rank, rank);
+        prop_assert_eq!(back.round, round);
+        prop_assert_eq!(back.threshold, threshold);
+        prop_assert_eq!(back.slots.len(), 2);
+        for ((b0, c0), (b1, c1)) in ck.slots.iter().zip(&back.slots) {
+            prop_assert_eq!(b0, b1);
+            // canonical wire form: byte equality == structural equality
+            prop_assert_eq!(wire::serialize(c0), wire::serialize(c1));
+        }
+        // a second encode of the decoded checkpoint is bit-identical
+        prop_assert_eq!(encoded, back.encode());
+    }
+
+    #[test]
+    fn corruption_never_decodes(
+        round in 0u32..8,
+        spec in arb_spec(),
+        flip_at in any::<prop::sample::Index>(),
+        flip_bit in 0u8..8,
+    ) {
+        let ck = Checkpoint {
+            rank: 1,
+            round,
+            threshold: 0.5,
+            slots: vec![(0, complex_from_spec(vec![0], &spec))],
+        };
+        let mut bad = ck.encode().to_vec();
+        let pos = flip_at.index(bad.len());
+        bad[pos] ^= 1 << flip_bit;
+        prop_assert!(Checkpoint::decode(&bad).is_err(), "flipped byte {} undetected", pos);
+    }
+
+    #[test]
+    fn store_round_trips_through_encoded_bytes(
+        rank in 0u32..16,
+        round in 0u32..4,
+        spec in arb_spec(),
+    ) {
+        let store = CheckpointStore::new();
+        let ck = Checkpoint {
+            rank,
+            round,
+            threshold: 0.1,
+            slots: vec![(3, complex_from_spec(vec![3], &spec))],
+        };
+        let encoded = ck.encode();
+        let n = store.save(rank, round, Bytes::from(encoded.to_vec()));
+        prop_assert_eq!(n, encoded.len());
+        let loaded = store.load(rank, round).unwrap();
+        let back = Checkpoint::decode(&loaded).unwrap();
+        prop_assert_eq!(back.round, round);
+        prop_assert_eq!(
+            wire::serialize(&back.slots[0].1),
+            wire::serialize(&ck.slots[0].1)
+        );
+    }
+}

@@ -63,7 +63,10 @@ pub struct OwnerSet {
 
 impl OwnerSet {
     pub fn empty() -> Self {
-        OwnerSet { ids: [0; 8], len: 0 }
+        OwnerSet {
+            ids: [0; 8],
+            len: 0,
+        }
     }
 
     pub fn push(&mut self, id: u32) {
@@ -102,8 +105,15 @@ impl OwnerSet {
 enum Node {
     /// Split along `axis` at vertex plane `plane`: coordinates `< plane`
     /// go left, `> plane` right, `== plane` to **both** (shared layer).
-    Split { axis: u8, plane: u32, left: u32, right: u32 },
-    Leaf { block: u32 },
+    Split {
+        axis: u8,
+        plane: u32,
+        left: u32,
+        right: u32,
+    },
+    Leaf {
+        block: u32,
+    },
 }
 
 /// A complete recursive-bisection decomposition of a vertex grid.
@@ -212,7 +222,12 @@ impl Decomposition {
             top -= 1;
             match &self.tree[stack[top] as usize] {
                 Node::Leaf { block } => out.push(*block),
-                Node::Split { axis, plane, left, right } => {
+                Node::Split {
+                    axis,
+                    plane,
+                    left,
+                    right,
+                } => {
                     let rp = 2 * *plane; // plane in refined coords
                     let v = c.get(*axis as usize);
                     if v <= rp {
@@ -309,7 +324,9 @@ mod tests {
         // exactly one vertex plane shared
         let shared_plane = a.hi[2].min(b.hi[2]).min(a.hi[0]); // whichever axis
         let _ = shared_plane;
-        let axis = (0..3).find(|&ax| a.hi[ax] == b.lo[ax]).expect("share an axis plane");
+        let axis = (0..3)
+            .find(|&ax| a.hi[ax] == b.lo[ax])
+            .expect("share an axis plane");
         assert_eq!(a.hi[axis], b.lo[axis]);
     }
 

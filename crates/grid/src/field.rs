@@ -163,7 +163,11 @@ pub struct BlockField {
 impl BlockField {
     pub fn new(block: BlockBox, domain: Dims, data: Vec<f32>) -> Self {
         assert_eq!(data.len() as u64, block.dims().n_verts());
-        BlockField { block, domain, data }
+        BlockField {
+            block,
+            domain,
+            data,
+        }
     }
 
     pub fn block(&self) -> &BlockBox {
@@ -185,7 +189,11 @@ impl BlockField {
             x >= self.block.lo[0] && x <= self.block.hi[0],
             "vertex outside block"
         );
-        let i = bd.vertex_index(x - self.block.lo[0], y - self.block.lo[1], z - self.block.lo[2]);
+        let i = bd.vertex_index(
+            x - self.block.lo[0],
+            y - self.block.lo[1],
+            z - self.block.lo[2],
+        );
         self.data[i as usize]
     }
 
@@ -235,7 +243,7 @@ impl BlockField {
         let mut best: Option<(VKey, RCoord)> = None;
         for v in c.vertices() {
             let k = self.vertex_key(v);
-            if best.map_or(true, |(bk, _)| k > bk) {
+            if best.is_none_or(|(bk, _)| k > bk) {
                 best = Some((k, v));
             }
         }

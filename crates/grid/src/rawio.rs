@@ -64,9 +64,7 @@ fn decode(buf: &[u8], dtype: VolumeDType) -> Vec<f32> {
             .collect(),
         VolumeDType::F64 => buf
             .chunks_exact(8)
-            .map(|c| {
-                f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]) as f32
-            })
+            .map(|c| f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]) as f32)
             .collect(),
     }
 }
@@ -184,7 +182,10 @@ mod tests {
             let total: u64 = runs.iter().map(|r| r.1).sum();
             assert_eq!(total, block_bytes(b, VolumeDType::F32));
             for w in runs.windows(2) {
-                assert!(w[0].0 + w[0].1 <= w[1].0, "runs must be ordered and disjoint");
+                assert!(
+                    w[0].0 + w[0].1 <= w[1].0,
+                    "runs must be ordered and disjoint"
+                );
             }
         }
     }

@@ -128,12 +128,30 @@ pub struct FaceDir {
 
 impl FaceDir {
     pub const ALL: [FaceDir; 6] = [
-        FaceDir { axis: 0, positive: false },
-        FaceDir { axis: 0, positive: true },
-        FaceDir { axis: 1, positive: false },
-        FaceDir { axis: 1, positive: true },
-        FaceDir { axis: 2, positive: false },
-        FaceDir { axis: 2, positive: true },
+        FaceDir {
+            axis: 0,
+            positive: false,
+        },
+        FaceDir {
+            axis: 0,
+            positive: true,
+        },
+        FaceDir {
+            axis: 1,
+            positive: false,
+        },
+        FaceDir {
+            axis: 1,
+            positive: true,
+        },
+        FaceDir {
+            axis: 2,
+            positive: false,
+        },
+        FaceDir {
+            axis: 2,
+            positive: true,
+        },
     ];
 
     /// Signed unit step of this direction.
@@ -176,7 +194,7 @@ impl FaceDir {
 pub fn facets(c: RCoord, bbox: &RBox) -> impl Iterator<Item = (FaceDir, RCoord)> + '_ {
     FaceDir::ALL.into_iter().filter_map(move |dir| {
         let axis = dir.axis as usize;
-        if c.get(axis) % 2 == 0 {
+        if c.get(axis).is_multiple_of(2) {
             return None; // flat along this axis: no facet here
         }
         let v = c.get(axis) as i64 + dir.delta() as i64;
@@ -209,7 +227,10 @@ mod tests {
     use super::*;
 
     fn full_box(n: u32) -> RBox {
-        RBox::new(RCoord::new(0, 0, 0), RCoord::new(2 * n - 2, 2 * n - 2, 2 * n - 2))
+        RBox::new(
+            RCoord::new(0, 0, 0),
+            RCoord::new(2 * n - 2, 2 * n - 2, 2 * n - 2),
+        )
     }
 
     #[test]

@@ -133,10 +133,7 @@ impl GradientField {
 
     /// All critical cells, in address order.
     pub fn critical_cells(&self) -> Vec<RCoord> {
-        self.bbox
-            .iter()
-            .filter(|&c| self.is_critical(c))
-            .collect()
+        self.bbox.iter().filter(|&c| self.is_critical(c)).collect()
     }
 
     /// Count of critical cells per index (0..=3).

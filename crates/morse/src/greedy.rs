@@ -60,19 +60,18 @@ pub fn assign_gradient_greedy(field: &BlockField, decomp: &Decomposition) -> Gra
         }
     }
 
-    let notify = |grad: &GradientField,
-                      pq_one: &mut BinaryHeap<Reverse<(CellKey, RCoord)>>,
-                      c: RCoord| {
-        for (_, cf) in cofacets(c, &bbox) {
-            if !grad.is_assigned(cf)
-                && same_group(c, cf)
-                && same_star(c, cf)
-                && count_unassigned(grad, cf) == 1
-            {
-                pq_one.push(Reverse((field.cell_key(cf), cf)));
+    let notify =
+        |grad: &GradientField, pq_one: &mut BinaryHeap<Reverse<(CellKey, RCoord)>>, c: RCoord| {
+            for (_, cf) in cofacets(c, &bbox) {
+                if !grad.is_assigned(cf)
+                    && same_group(c, cf)
+                    && same_star(c, cf)
+                    && count_unassigned(grad, cf) == 1
+                {
+                    pq_one.push(Reverse((field.cell_key(cf), cf)));
+                }
             }
-        }
-    };
+        };
 
     loop {
         if let Some(Reverse((key, c))) = pq_one.pop() {

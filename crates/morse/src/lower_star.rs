@@ -119,9 +119,8 @@ fn process_lower_star(
     // Fast path: a vertex at refined distance >= 2 from every block-box
     // face has a star entirely interior to the block, hence a single
     // owner group. (Shared cells are always on the block surface.)
-    let interior = (0..3).all(|a| {
-        rv.get(a) >= bbox.lo.get(a) + 2 && rv.get(a) + 2 <= bbox.hi.get(a)
-    });
+    let interior =
+        (0..3).all(|a| rv.get(a) >= bbox.lo.get(a) + 2 && rv.get(a) + 2 <= bbox.hi.get(a));
     let block_id = field.block().id;
 
     // Collect the lower star: star cells (within the block box) whose
@@ -278,9 +277,7 @@ mod tests {
         // strictly monotone field on a box: one minimum (index 0) and
         // nothing else of positive persistence; discrete construction
         // gives exactly one critical cell: the global min vertex.
-        let f = ScalarField::from_fn(Dims::new(5, 5, 5), |x, y, z| {
-            (x + 5 * y + 25 * z) as f32
-        });
+        let f = ScalarField::from_fn(Dims::new(5, 5, 5), |x, y, z| (x + 5 * y + 25 * z) as f32);
         let g = serial_grad(&f);
         let census = g.census();
         assert_eq!(census[0], 1, "exactly one minimum, got {:?}", census);
@@ -307,8 +304,7 @@ mod tests {
         // boundary of the box
         let dims = Dims::new(9, 9, 9);
         let f = ScalarField::from_fn(dims, |x, y, z| {
-            let d2 = (x as f32 - 4.0).powi(2) + (y as f32 - 4.0).powi(2)
-                + (z as f32 - 4.0).powi(2);
+            let d2 = (x as f32 - 4.0).powi(2) + (y as f32 - 4.0).powi(2) + (z as f32 - 4.0).powi(2);
             (-d2 / 8.0).exp()
         });
         let g = serial_grad(&f);

@@ -182,11 +182,12 @@ mod tests {
         // must have arcs to both maxima
         let dims = Dims::new(17, 9, 9);
         let f = ScalarField::from_fn(dims, |x, y, z| {
-            let b1 = (-((x as f32 - 4.0).powi(2) + (y as f32 - 4.0).powi(2)
-                + (z as f32 - 4.0).powi(2))
-                / 6.0)
-                .exp();
-            let b2 = (-((x as f32 - 12.0).powi(2) + (y as f32 - 4.0).powi(2)
+            let b1 =
+                (-((x as f32 - 4.0).powi(2) + (y as f32 - 4.0).powi(2) + (z as f32 - 4.0).powi(2))
+                    / 6.0)
+                    .exp();
+            let b2 = (-((x as f32 - 12.0).powi(2)
+                + (y as f32 - 4.0).powi(2)
                 + (z as f32 - 4.0).powi(2))
                 / 6.0)
                 .exp();

@@ -163,9 +163,8 @@ pub fn boundary_critical_count(grad: &GradientField, decomp: &Decomposition) -> 
 /// (used by proptests; cheap smoke version of the duality test).
 pub fn facet_duality_holds(grad: &GradientField) -> bool {
     let bbox = *grad.bbox();
-    bbox.iter().all(|c| {
-        facets(c, &bbox).all(|(_, f)| cofacets(f, &bbox).any(|(_, cf)| cf == c))
-    })
+    bbox.iter()
+        .all(|c| facets(c, &bbox).all(|(_, f)| cofacets(f, &bbox).any(|(_, cf)| cf == c)))
 }
 
 #[cfg(test)]

@@ -11,25 +11,22 @@ use msp_morse::validate::{
 use proptest::prelude::*;
 
 fn arb_field() -> impl Strategy<Value = ScalarField> {
-    ((3u32..8, 3u32..8, 3u32..8), 0u64..1_000_000).prop_map(|((x, y, z), seed)| {
-        msp_synth::white_noise(Dims::new(x, y, z), seed)
-    })
+    ((3u32..8, 3u32..8, 3u32..8), 0u64..1_000_000)
+        .prop_map(|((x, y, z), seed)| msp_synth::white_noise(Dims::new(x, y, z), seed))
 }
 
 /// Quantized fields create plateaus, stressing simulation of simplicity.
 fn arb_plateau_field() -> impl Strategy<Value = ScalarField> {
-    ((3u32..8, 3u32..8, 3u32..8), 0u64..1_000_000, 2u32..5).prop_map(
-        |((x, y, z), seed, levels)| {
-            let dims = Dims::new(x, y, z);
-            let noise = msp_synth::white_noise(dims, seed);
-            let data: Vec<f32> = noise
-                .data()
-                .iter()
-                .map(|v| (v * levels as f32).floor())
-                .collect();
-            ScalarField::new(dims, data)
-        },
-    )
+    ((3u32..8, 3u32..8, 3u32..8), 0u64..1_000_000, 2u32..5).prop_map(|((x, y, z), seed, levels)| {
+        let dims = Dims::new(x, y, z);
+        let noise = msp_synth::white_noise(dims, seed);
+        let data: Vec<f32> = noise
+            .data()
+            .iter()
+            .map(|v| (v * levels as f32).floor())
+            .collect();
+        ScalarField::new(dims, data)
+    })
 }
 
 proptest! {

@@ -81,15 +81,14 @@ fn two_d_pipeline_end_to_end() {
         .blocks()
         .iter()
         .map(|b| {
-            let (mut ms, _) =
-                build_block_complex(&f.extract_block(b), &d, TraceLimits::default());
+            let (mut ms, _) = build_block_complex(&f.extract_block(b), &d, TraceLimits::default());
             simplify(&mut ms, SimplifyParams::up_to(0.01));
             ms.compact();
             ms
         })
         .collect();
     let mut root = cs.remove(0);
-    let rest: Vec<_> = cs.drain(..).collect();
+    let rest = std::mem::take(&mut cs);
     glue_all(&mut root, &rest, &d);
     simplify(&mut root, SimplifyParams::up_to(0.01));
     root.check_integrity().unwrap();

@@ -50,9 +50,7 @@ pub fn gaussian_bumps(dims: Dims, count: usize, sigma_frac: f32, seed: u64) -> S
 /// Reproducible white noise in `[0, 1)`, keyed on the **global** vertex
 /// id so any sub-box regenerates identical values.
 pub fn white_noise(dims: Dims, seed: u64) -> ScalarField {
-    ScalarField::from_fn(dims, |x, y, z| {
-        hash_unit(seed, dims.vertex_index(x, y, z))
-    })
+    ScalarField::from_fn(dims, |x, y, z| hash_unit(seed, dims.vertex_index(x, y, z)))
 }
 
 /// SplitMix64-style hash of `(seed, id)` mapped to `[0, 1)`.

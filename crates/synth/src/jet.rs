@@ -59,8 +59,7 @@ pub fn jet(dims: Dims, modes: usize, seed: u64) -> ScalarField {
         let layer = (-(d - half_width).powi(2) / (2.0 * 0.06f32.powi(2))).exp();
         let mut turb = 0.0f32;
         for m in &modes {
-            turb += m.amp
-                * (2.0 * PI * (m.k[0] * u + m.k[1] * v + m.k[2] * w) + m.phase).sin();
+            turb += m.amp * (2.0 * PI * (m.k[0] * u + m.k[1] * v + m.k[2] * w) + m.phase).sin();
         }
         (mean + 0.35 * layer * turb / norm * modes.len() as f32 / 16.0).clamp(-0.2, 1.2)
     })
@@ -104,7 +103,11 @@ mod tests {
         let y = layer_y as u32;
         let mut minima = 0;
         for x in 1..95 {
-            let (a, b, c) = (f.value(x - 1, y, 16), f.value(x, y, 16), f.value(x + 1, y, 16));
+            let (a, b, c) = (
+                f.value(x - 1, y, 16),
+                f.value(x, y, 16),
+                f.value(x + 1, y, 16),
+            );
             if b < a && b < c {
                 minima += 1;
             }

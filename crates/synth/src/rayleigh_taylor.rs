@@ -57,9 +57,7 @@ pub fn rayleigh_taylor_dims(dims: Dims, waves: usize, seed: u64) -> ScalarField 
             }
         })
         .collect();
-    let blob_kz: Vec<f32> = (0..blobs.len())
-        .map(|_| rng.gen_range(4.0..20.0))
-        .collect();
+    let blob_kz: Vec<f32> = (0..blobs.len()).map(|_| rng.gen_range(4.0..20.0)).collect();
     let layer_halfwidth = 0.16f32;
 
     ScalarField::from_fn(dims, |x, y, z| {
@@ -72,14 +70,13 @@ pub fn rayleigh_taylor_dims(dims: Dims, waves: usize, seed: u64) -> ScalarField 
             h += wv.amp * (2.0 * PI * (wv.kx * u + wv.ky * v) + wv.phase).sin();
         }
         let zi = 0.5 + 0.05 * h; // perturbed interface height
-        // heavy fluid (density 2) above, light (1) below, tanh transition
+                                 // heavy fluid (density 2) above, light (1) below, tanh transition
         let mut rho = 1.5 + 0.5 * ((w - zi) / 0.03).tanh();
         // mixing-layer fluctuations: entrained pockets of the other fluid
         let layer = (-(w - 0.5).powi(2) / (2.0 * layer_halfwidth.powi(2))).exp();
         let mut fluct = 0.0f32;
         for (b, kz) in blobs.iter().zip(&blob_kz) {
-            fluct += b.amp
-                * (2.0 * PI * (b.kx * u + b.ky * v + kz * w) + b.phase).sin();
+            fluct += b.amp * (2.0 * PI * (b.kx * u + b.ky * v + kz * w) + b.phase).sin();
         }
         rho += 0.25 * layer * fluct;
         rho

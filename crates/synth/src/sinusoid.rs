@@ -48,8 +48,8 @@ mod tests {
     fn range_is_plus_minus_one() {
         let f = sinusoid(33, 4);
         let (lo, hi) = f.min_max();
-        assert!(lo >= -1.0 && lo < -0.9, "lo = {lo}");
-        assert!(hi <= 1.0 && hi > 0.9, "hi = {hi}");
+        assert!((-1.0..-0.9).contains(&lo), "lo = {lo}");
+        assert!((0.9..=1.0).contains(&hi), "hi = {hi}");
     }
 
     #[test]
@@ -60,7 +60,7 @@ mod tests {
         let c = 4u32;
         let f = sinusoid(n, c);
         // scan the x-axis at a fixed y,z where sin factors are ~1
-        let yz = (n - 1) / (2 * c) * 1; // first 1D max of y and z factors
+        let yz = (n - 1) / (2 * c); // first 1D max of y and z factors
         let mut extrema = 0;
         for x in 1..n - 1 {
             let a = f.value(x - 1, yz, yz);

@@ -4,7 +4,11 @@
 //! local-stage work (cells paired, critical cells, arcs traced),
 //! simplification work (cancellations), and merge-stage communication
 //! (nodes/arcs shipped, serialized payload bytes, and raw transport
-//! bytes/messages as counted by the comm layer).
+//! bytes/messages as counted by the comm layer) — plus the
+//! fault-tolerance taxonomy (checkpoint volume, detection retries,
+//! replayed rounds, recovery wall time, injected crashes, and blocks
+//! absorbed in degraded mode) so recovery cost is first-class in every
+//! run report.
 
 /// One counter of the fixed taxonomy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -32,10 +36,22 @@ pub enum Counter {
     MsgsSent,
     /// Messages received by this rank.
     MsgsRecv,
+    /// Serialized checkpoint bytes written to stable storage.
+    CheckpointBytes,
+    /// Receive deadlines that expired and fell back to recovery.
+    Retries,
+    /// Merge rounds (re-)executed from checkpointed state.
+    RoundsReplayed,
+    /// Milliseconds spent detecting dead peers and recovering state.
+    RecoveryMs,
+    /// Injected rank crashes this rank suffered.
+    Crashes,
+    /// Blocks absorbed (dropped) by a surviving root in degraded mode.
+    BlocksAbsorbed,
 }
 
 /// All counters, in report order.
-pub const ALL_COUNTERS: [Counter; 11] = [
+pub const ALL_COUNTERS: [Counter; 17] = [
     Counter::CellsPaired,
     Counter::CriticalCells,
     Counter::ArcsTraced,
@@ -47,6 +63,12 @@ pub const ALL_COUNTERS: [Counter; 11] = [
     Counter::BytesRecv,
     Counter::MsgsSent,
     Counter::MsgsRecv,
+    Counter::CheckpointBytes,
+    Counter::Retries,
+    Counter::RoundsReplayed,
+    Counter::RecoveryMs,
+    Counter::Crashes,
+    Counter::BlocksAbsorbed,
 ];
 
 impl Counter {
@@ -66,6 +88,12 @@ impl Counter {
             Counter::BytesRecv => "bytes_recv",
             Counter::MsgsSent => "msgs_sent",
             Counter::MsgsRecv => "msgs_recv",
+            Counter::CheckpointBytes => "checkpoint_bytes",
+            Counter::Retries => "retries",
+            Counter::RoundsReplayed => "rounds_replayed",
+            Counter::RecoveryMs => "recovery_ms",
+            Counter::Crashes => "crashes",
+            Counter::BlocksAbsorbed => "blocks_absorbed",
         }
     }
 

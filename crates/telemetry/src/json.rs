@@ -166,10 +166,7 @@ mod tests {
         assert!(s.contains("\"empty_obj\": {}"));
         assert!(s.contains("\"empty_arr\": []"));
         // braces balance
-        assert_eq!(
-            s.matches('{').count(),
-            s.matches('}').count(),
-        );
+        assert_eq!(s.matches('{').count(), s.matches('}').count(),);
         assert_eq!(s.matches('[').count(), s.matches(']').count());
         assert!(s.ends_with('\n'));
     }

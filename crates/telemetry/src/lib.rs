@@ -31,6 +31,5 @@ pub use json::Json;
 pub use phase::Phase;
 pub use recorder::Recorder;
 pub use report::{
-    aggregate, write_named_json, Agg, CounterStat, PhaseStat, RankReport, RunReport,
-    REPORT_VERSION,
+    aggregate, write_named_json, Agg, CounterStat, PhaseStat, RankReport, RunReport, REPORT_VERSION,
 };

@@ -48,10 +48,7 @@ impl Recorder {
     /// otherwise — a mismatch is an instrumentation bug, not a data
     /// error). Returns the seconds of this span occurrence.
     pub fn end(&mut self, phase: Phase) -> f64 {
-        let (open, started) = self
-            .stack
-            .pop()
-            .expect("Recorder::end with no open span");
+        let (open, started) = self.stack.pop().expect("Recorder::end with no open span");
         assert_eq!(
             open, phase,
             "span nesting mismatch: ending {:?} but innermost open span is {:?}",
@@ -108,11 +105,7 @@ impl Recorder {
         );
         RankReport {
             rank: self.rank,
-            phases: self
-                .phases
-                .iter()
-                .map(|(p, s)| (p.key(), *s))
-                .collect(),
+            phases: self.phases.iter().map(|(p, s)| (p.key(), *s)).collect(),
             counters: ALL_COUNTERS
                 .iter()
                 .map(|c| (c.key().to_string(), self.counters[c.index()]))

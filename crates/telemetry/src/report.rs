@@ -408,7 +408,10 @@ mod tests {
     fn rank_report(rank: u32, read: f64, bytes: u64) -> RankReport {
         RankReport {
             rank,
-            phases: vec![("read".to_string(), read), ("total".to_string(), read * 2.0)],
+            phases: vec![
+                ("read".to_string(), read),
+                ("total".to_string(), read * 2.0),
+            ],
             counters: vec![
                 ("bytes_sent".to_string(), bytes),
                 ("msgs_sent".to_string(), rank as u64),
@@ -449,7 +452,10 @@ mod tests {
         assert_eq!((e.min, e.mean, e.max, e.imbalance), (0.0, 0.0, 0.0, 1.0));
 
         let one = aggregate(&[4.0]);
-        assert_eq!((one.min, one.mean, one.max, one.imbalance), (4.0, 4.0, 4.0, 1.0));
+        assert_eq!(
+            (one.min, one.mean, one.max, one.imbalance),
+            (4.0, 4.0, 4.0, 1.0)
+        );
     }
 
     #[test]

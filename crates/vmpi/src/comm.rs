@@ -4,12 +4,28 @@
 //! on `(source, tag)`, buffering out-of-order arrivals per rank — the
 //! same envelope semantics MPI provides, minus wildcards (the pipeline
 //! never needs them).
+//!
+//! Every operation is **fallible**: sends and receives return
+//! [`CommError`] instead of panicking, and receives accept an optional
+//! deadline ([`Rank::recv_deadline`]). A rank that bails out early tears
+//! its inbox down, so *sends to* it fail fast with `Disconnected`;
+//! detecting a peer that silently stopped *sending* requires a deadline
+//! (the channel fabric cannot distinguish "slow" from "gone", exactly
+//! like a real interconnect). Together these are the substrate the
+//! fault-tolerant pipeline needs: a lost message or dead group member
+//! surfaces as a typed, recoverable error at the caller.
+//!
+//! Fault injection plugs in through the [`Inject`] hook
+//! ([`Universe::run_with_inject`]): a deterministic plan can drop or
+//! delay the n-th message on any directed link without the pipeline
+//! code knowing injection exists.
 
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Barrier};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 struct Msg {
     from: usize,
@@ -17,10 +33,66 @@ struct Msg {
     payload: Bytes,
 }
 
+/// Tag namespace reserved by the barrier (`0x7FF0_0000..`); user tags
+/// must stay below it. The pipeline's highest tags are in the 9xxx
+/// range plus `round << 20`, far underneath.
+const TAG_BARRIER: u32 = 0x7FF0_0000;
+
+/// Error from a communication operation. Carries enough context to log
+/// or to drive recovery (who was involved, on which tag, for how long
+/// the receiver waited).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A receive deadline expired with no matching message.
+    Timeout {
+        from: usize,
+        tag: u32,
+        waited: Duration,
+    },
+    /// The peer's endpoint is gone (its thread returned or panicked).
+    Disconnected { peer: usize, tag: u32 },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout { from, tag, waited } => write!(
+                f,
+                "receive from rank {from} (tag {tag:#x}) timed out after {:.3}s",
+                waited.as_secs_f64()
+            ),
+            CommError::Disconnected { peer, tag } => {
+                write!(f, "rank {peer} disconnected (tag {tag:#x})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// What the injection hook decides about one outgoing message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendFate {
+    /// Deliver normally.
+    Deliver,
+    /// Silently lose the message (the receiver must detect and recover).
+    Drop,
+    /// Hold the message back for this long before delivering.
+    Delay(Duration),
+}
+
+/// Deterministic fault-injection hook consulted on every point-to-point
+/// send. `nth` is the 1-based ordinal of this message on the directed
+/// link `from -> to`, so plans are reproducible independent of timing.
+pub trait Inject: Send + Sync {
+    fn fate(&self, from: usize, to: usize, nth: u64) -> SendFate;
+}
+
 /// Cumulative per-rank traffic totals, counted at the point-to-point
 /// layer so collectives (gather/broadcast/allreduce) are included
 /// automatically. Payload bytes only — the `(from, tag)` envelope is
-/// backend bookkeeping, not wire data.
+/// backend bookkeeping, not wire data. Zero-payload barrier tokens are
+/// control-plane traffic and are not counted either.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CommStats {
     pub bytes_sent: u64,
@@ -42,6 +114,16 @@ impl Universe {
         R: Send,
         F: Fn(&mut Rank) -> R + Send + Sync,
     {
+        Self::run_with_inject(world, None, f)
+    }
+
+    /// [`Universe::run`] with a fault-injection hook consulted on every
+    /// point-to-point send (including the legs of collectives).
+    pub fn run_with_inject<R, F>(world: usize, inject: Option<Arc<dyn Inject>>, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut Rank) -> R + Send + Sync,
+    {
         assert!(world >= 1, "world must have at least one rank");
         let mut senders = Vec::with_capacity(world);
         let mut receivers = Vec::with_capacity(world);
@@ -51,13 +133,12 @@ impl Universe {
             receivers.push(rx);
         }
         let senders = Arc::new(senders);
-        let barrier = Arc::new(Barrier::new(world));
         let f = &f;
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(world);
             for (rank, rx) in receivers.into_iter().enumerate() {
                 let senders = Arc::clone(&senders);
-                let barrier = Arc::clone(&barrier);
+                let inject = inject.clone();
                 handles.push(scope.spawn(move || {
                     let mut r = Rank {
                         rank,
@@ -65,8 +146,10 @@ impl Universe {
                         senders,
                         receiver: rx,
                         stash: RefCell::new(HashMap::new()),
-                        barrier,
                         stats: Cell::new(CommStats::default()),
+                        barrier_gen: Cell::new(0),
+                        link_seq: RefCell::new(vec![0; world]),
+                        inject,
                     };
                     f(&mut r)
                 }));
@@ -86,8 +169,13 @@ pub struct Rank {
     senders: Arc<Vec<Sender<Msg>>>,
     receiver: Receiver<Msg>,
     stash: RefCell<HashMap<(usize, u32), VecDeque<Bytes>>>,
-    barrier: Arc<Barrier>,
     stats: Cell<CommStats>,
+    /// Wrapping barrier generation; dissemination tags embed it so a
+    /// fast rank entering the next barrier cannot confuse a slow one.
+    barrier_gen: Cell<u8>,
+    /// Per-destination message ordinals feeding the injection hook.
+    link_seq: RefCell<Vec<u64>>,
+    inject: Option<Arc<dyn Inject>>,
 }
 
 impl Rank {
@@ -123,17 +211,49 @@ impl Rank {
         self.stats.set(s);
     }
 
+    /// Hand a message to the transport without touching CommStats
+    /// (barrier tokens). Injection is not consulted: control-plane
+    /// traffic is outside the fault plans' message ordinals.
+    fn send_control(&self, to: usize, tag: u32) -> Result<(), CommError> {
+        self.senders[to]
+            .send(Msg {
+                from: self.rank,
+                tag,
+                payload: Bytes::new(),
+            })
+            .map_err(|_| CommError::Disconnected { peer: to, tag })
+    }
+
     /// Send `payload` to rank `to` with the given tag. Never blocks
     /// (buffered channels), like an MPI eager-protocol send.
-    pub fn send(&self, to: usize, tag: u32, payload: Bytes) {
+    ///
+    /// Errors with [`CommError::Disconnected`] if the destination rank
+    /// already tore down its endpoint. An injected `Drop` still counts
+    /// as sent (the payload was handed to the transport) and succeeds —
+    /// losing a message is the receiver's problem, exactly as on a real
+    /// interconnect.
+    pub fn send(&self, to: usize, tag: u32, payload: Bytes) -> Result<(), CommError> {
+        let fate = match &self.inject {
+            Some(h) => {
+                let mut seq = self.link_seq.borrow_mut();
+                seq[to] += 1;
+                h.fate(self.rank, to, seq[to])
+            }
+            None => SendFate::Deliver,
+        };
         self.count_sent(payload.len());
+        match fate {
+            SendFate::Drop => return Ok(()),
+            SendFate::Delay(d) => std::thread::sleep(d),
+            SendFate::Deliver => {}
+        }
         self.senders[to]
             .send(Msg {
                 from: self.rank,
                 tag,
                 payload,
             })
-            .expect("receiver hung up");
+            .map_err(|_| CommError::Disconnected { peer: to, tag })
     }
 
     /// Blocking receive matching `(from, tag)`; other messages arriving
@@ -142,18 +262,56 @@ impl Rank {
     /// Counters attribute a message to the receive that consumed it, so a
     /// stashed out-of-order arrival is counted when it is matched, not
     /// when it lands.
-    pub fn recv(&self, from: usize, tag: u32) -> Bytes {
+    pub fn recv(&self, from: usize, tag: u32) -> Result<Bytes, CommError> {
+        self.recv_deadline(from, tag, None)
+    }
+
+    /// [`Rank::recv`] with an optional deadline. `None` waits forever;
+    /// `Some(d)` returns [`CommError::Timeout`] if no matching message
+    /// arrives within `d` — the detection primitive the fault-tolerant
+    /// pipeline uses to declare a group member dead.
+    pub fn recv_deadline(
+        &self,
+        from: usize,
+        tag: u32,
+        deadline: Option<Duration>,
+    ) -> Result<Bytes, CommError> {
         if let Some(q) = self.stash.borrow_mut().get_mut(&(from, tag)) {
             if let Some(b) = q.pop_front() {
                 self.count_recv(b.len());
-                return b;
+                return Ok(b);
             }
         }
+        let started = Instant::now();
         loop {
-            let msg = self.receiver.recv().expect("all senders hung up");
+            let msg = match deadline {
+                None => self
+                    .receiver
+                    .recv()
+                    .map_err(|_| CommError::Disconnected { peer: from, tag })?,
+                Some(d) => {
+                    let waited = started.elapsed();
+                    let left =
+                        d.checked_sub(waited)
+                            .ok_or(CommError::Timeout { from, tag, waited })?;
+                    match self.receiver.recv_timeout(left) {
+                        Ok(m) => m,
+                        Err(RecvTimeoutError::Timeout) => {
+                            return Err(CommError::Timeout {
+                                from,
+                                tag,
+                                waited: started.elapsed(),
+                            })
+                        }
+                        Err(RecvTimeoutError::Disconnected) => {
+                            return Err(CommError::Disconnected { peer: from, tag })
+                        }
+                    }
+                }
+            };
             if msg.from == from && msg.tag == tag {
                 self.count_recv(msg.payload.len());
-                return msg.payload;
+                return Ok(msg.payload);
             }
             self.stash
                 .borrow_mut()
@@ -163,41 +321,92 @@ impl Rank {
         }
     }
 
-    /// Synchronize all ranks.
-    pub fn barrier(&self) {
-        self.barrier.wait();
+    /// Synchronize all ranks: a dissemination barrier over the message
+    /// channels (⌈log₂ P⌉ token exchanges per rank). Unlike a shared
+    /// `std::sync::Barrier`, a rank that already exited on an error
+    /// surfaces as `Disconnected` on the token send to it, rather than
+    /// poisoning a process-wide sync primitive.
+    pub fn barrier(&self) -> Result<(), CommError> {
+        let gen = self.barrier_gen.get();
+        self.barrier_gen.set(gen.wrapping_add(1));
+        let mut step = 0u32;
+        let mut dist = 1usize;
+        while dist < self.size {
+            let tag = TAG_BARRIER | (u32::from(gen) << 8) | step;
+            let to = (self.rank + dist) % self.size;
+            let from = (self.rank + self.size - dist) % self.size;
+            self.send_control(to, tag)?;
+            self.recv_control(from, tag)?;
+            step += 1;
+            dist *= 2;
+        }
+        Ok(())
+    }
+
+    /// Receive a control token without counting it (pair of
+    /// [`Rank::send_control`]).
+    fn recv_control(&self, from: usize, tag: u32) -> Result<(), CommError> {
+        if let Some(q) = self.stash.borrow_mut().get_mut(&(from, tag)) {
+            if q.pop_front().is_some() {
+                return Ok(());
+            }
+        }
+        loop {
+            let msg = self
+                .receiver
+                .recv()
+                .map_err(|_| CommError::Disconnected { peer: from, tag })?;
+            if msg.from == from && msg.tag == tag {
+                return Ok(());
+            }
+            self.stash
+                .borrow_mut()
+                .entry((msg.from, msg.tag))
+                .or_default()
+                .push_back(msg.payload);
+        }
     }
 
     /// Gather every rank's payload at `root`; returns `Some(vec indexed
     /// by rank)` at the root, `None` elsewhere.
-    pub fn gather(&self, root: usize, tag: u32, payload: Bytes) -> Option<Vec<Bytes>> {
+    pub fn gather(
+        &self,
+        root: usize,
+        tag: u32,
+        payload: Bytes,
+    ) -> Result<Option<Vec<Bytes>>, CommError> {
         if self.rank == root {
             let mut out = Vec::with_capacity(self.size);
             for r in 0..self.size {
                 if r == root {
                     out.push(payload.clone());
                 } else {
-                    out.push(self.recv(r, tag));
+                    out.push(self.recv(r, tag)?);
                 }
             }
-            Some(out)
+            Ok(Some(out))
         } else {
-            self.send(root, tag, payload);
-            None
+            self.send(root, tag, payload)?;
+            Ok(None)
         }
     }
 
     /// Broadcast `payload` from `root` to every rank; returns the payload
     /// everywhere.
-    pub fn broadcast(&self, root: usize, tag: u32, payload: Option<Bytes>) -> Bytes {
+    pub fn broadcast(
+        &self,
+        root: usize,
+        tag: u32,
+        payload: Option<Bytes>,
+    ) -> Result<Bytes, CommError> {
         if self.rank == root {
             let p = payload.expect("root must supply the broadcast payload");
             for r in 0..self.size {
                 if r != root {
-                    self.send(r, tag, p.clone());
+                    self.send(r, tag, p.clone())?;
                 }
             }
-            p
+            Ok(p)
         } else {
             self.recv(root, tag)
         }
@@ -205,47 +414,65 @@ impl Rank {
 
     /// All-reduce an `f64` with the given associative op (gather at rank
     /// 0, reduce, broadcast).
-    pub fn allreduce_f64(&self, tag: u32, value: f64, op: impl Fn(f64, f64) -> f64) -> f64 {
+    pub fn allreduce_f64(
+        &self,
+        tag: u32,
+        value: f64,
+        op: impl Fn(f64, f64) -> f64,
+    ) -> Result<f64, CommError> {
         let payload = Bytes::copy_from_slice(&value.to_le_bytes());
-        let gathered = self.gather(0, tag, payload);
+        let gathered = self.gather(0, tag, payload)?;
         let result = if let Some(all) = gathered {
             let reduced = all
                 .iter()
                 .map(|b| f64::from_le_bytes(b[..8].try_into().unwrap()))
                 .reduce(&op)
                 .unwrap();
-            self.broadcast(0, tag + 1, Some(Bytes::copy_from_slice(&reduced.to_le_bytes())))
+            self.broadcast(
+                0,
+                tag + 1,
+                Some(Bytes::copy_from_slice(&reduced.to_le_bytes())),
+            )?
         } else {
-            self.broadcast(0, tag + 1, None)
+            self.broadcast(0, tag + 1, None)?
         };
-        f64::from_le_bytes(result[..8].try_into().unwrap())
+        Ok(f64::from_le_bytes(result[..8].try_into().unwrap()))
     }
 
     /// Convenience min/max all-reduce pair (used for global value range).
-    pub fn allreduce_min_max(&self, tag: u32, lo: f64, hi: f64) -> (f64, f64) {
-        let l = self.allreduce_f64(tag, lo, f64::min);
-        let h = self.allreduce_f64(tag + 2, hi, f64::max);
-        (l, h)
+    pub fn allreduce_min_max(&self, tag: u32, lo: f64, hi: f64) -> Result<(f64, f64), CommError> {
+        let l = self.allreduce_f64(tag, lo, f64::min)?;
+        let h = self.allreduce_f64(tag + 2, hi, f64::max)?;
+        Ok((l, h))
     }
 
     /// All-reduce a `u64` with the given associative op — same
     /// gather-reduce-broadcast scheme as [`Rank::allreduce_f64`], for
     /// exact integer totals (counters, sizes) where floating-point
     /// rounding is unacceptable.
-    pub fn allreduce_u64(&self, tag: u32, value: u64, op: impl Fn(u64, u64) -> u64) -> u64 {
+    pub fn allreduce_u64(
+        &self,
+        tag: u32,
+        value: u64,
+        op: impl Fn(u64, u64) -> u64,
+    ) -> Result<u64, CommError> {
         let payload = Bytes::copy_from_slice(&value.to_le_bytes());
-        let gathered = self.gather(0, tag, payload);
+        let gathered = self.gather(0, tag, payload)?;
         let result = if let Some(all) = gathered {
             let reduced = all
                 .iter()
                 .map(|b| u64::from_le_bytes(b[..8].try_into().unwrap()))
                 .reduce(&op)
                 .unwrap();
-            self.broadcast(0, tag + 1, Some(Bytes::copy_from_slice(&reduced.to_le_bytes())))
+            self.broadcast(
+                0,
+                tag + 1,
+                Some(Bytes::copy_from_slice(&reduced.to_le_bytes())),
+            )?
         } else {
-            self.broadcast(0, tag + 1, None)
+            self.broadcast(0, tag + 1, None)?
         };
-        u64::from_le_bytes(result[..8].try_into().unwrap())
+        Ok(u64::from_le_bytes(result[..8].try_into().unwrap()))
     }
 }
 
@@ -256,7 +483,7 @@ mod tests {
     #[test]
     fn single_rank_world() {
         let out = Universe::run(1, |r| {
-            r.barrier();
+            r.barrier().unwrap();
             r.rank() + r.size()
         });
         assert_eq!(out, vec![1]);
@@ -267,8 +494,13 @@ mod tests {
         let out = Universe::run(8, |r| {
             let next = (r.rank() + 1) % r.size();
             let prev = (r.rank() + r.size() - 1) % r.size();
-            r.send(next, 7, Bytes::copy_from_slice(&(r.rank() as u64).to_le_bytes()));
-            let got = r.recv(prev, 7);
+            r.send(
+                next,
+                7,
+                Bytes::copy_from_slice(&(r.rank() as u64).to_le_bytes()),
+            )
+            .unwrap();
+            let got = r.recv(prev, 7).unwrap();
             u64::from_le_bytes(got[..8].try_into().unwrap())
         });
         for (rank, got) in out.iter().enumerate() {
@@ -280,35 +512,36 @@ mod tests {
     fn out_of_order_tags() {
         let out = Universe::run(2, |r| {
             if r.rank() == 0 {
-                r.send(1, 5, Bytes::from_static(b"five"));
-                r.send(1, 3, Bytes::from_static(b"three"));
+                r.send(1, 5, Bytes::from_static(b"five")).unwrap();
+                r.send(1, 3, Bytes::from_static(b"three")).unwrap();
                 Vec::new()
             } else {
                 // receive in the opposite order of sending
-                let a = r.recv(0, 3);
-                let b = r.recv(0, 5);
+                let a = r.recv(0, 3).unwrap();
+                let b = r.recv(0, 5).unwrap();
                 vec![a, b]
             }
         });
-        assert_eq!(out[1], vec![Bytes::from_static(b"three"), Bytes::from_static(b"five")]);
+        assert_eq!(
+            out[1],
+            vec![Bytes::from_static(b"three"), Bytes::from_static(b"five")]
+        );
     }
 
     #[test]
     fn gather_and_broadcast() {
         let out = Universe::run(5, |r| {
             let mine = Bytes::copy_from_slice(&[r.rank() as u8]);
-            let gathered = r.gather(2, 1, mine);
+            let gathered = r.gather(2, 1, mine).unwrap();
             if let Some(all) = &gathered {
                 assert_eq!(all.len(), 5);
                 for (i, b) in all.iter().enumerate() {
                     assert_eq!(b[0] as usize, i);
                 }
             }
-            let bc = r.broadcast(
-                2,
-                9,
-                (r.rank() == 2).then(|| Bytes::from_static(b"hello")),
-            );
+            let bc = r
+                .broadcast(2, 9, (r.rank() == 2).then(|| Bytes::from_static(b"hello")))
+                .unwrap();
             bc.len()
         });
         assert!(out.iter().all(|&l| l == 5));
@@ -318,7 +551,7 @@ mod tests {
     fn allreduce_min_max() {
         let out = Universe::run(6, |r| {
             let v = r.rank() as f64 * 2.0 - 3.0;
-            r.allreduce_min_max(100, v, v)
+            r.allreduce_min_max(100, v, v).unwrap()
         });
         for (lo, hi) in out {
             assert_eq!(lo, -3.0);
@@ -330,8 +563,8 @@ mod tests {
     fn allreduce_u64_sum_and_max() {
         let out = Universe::run(5, |r| {
             let v = r.rank() as u64 + 1;
-            let sum = r.allreduce_u64(200, v, |a, b| a + b);
-            let max = r.allreduce_u64(210, v, u64::max);
+            let sum = r.allreduce_u64(200, v, |a, b| a + b).unwrap();
+            let max = r.allreduce_u64(210, v, u64::max).unwrap();
             (sum, max)
         });
         for (sum, max) in out {
@@ -344,24 +577,34 @@ mod tests {
     fn comm_stats_count_point_to_point() {
         let out = Universe::run(2, |r| {
             if r.rank() == 0 {
-                r.send(1, 1, Bytes::from_static(b"abcde"));
-                r.send(1, 2, Bytes::from_static(b"xy"));
+                r.send(1, 1, Bytes::from_static(b"abcde")).unwrap();
+                r.send(1, 2, Bytes::from_static(b"xy")).unwrap();
             } else {
                 // out-of-order match exercises the stash path
-                let b = r.recv(0, 2);
+                let b = r.recv(0, 2).unwrap();
                 assert_eq!(&b[..], b"xy");
-                let a = r.recv(0, 1);
+                let a = r.recv(0, 1).unwrap();
                 assert_eq!(&a[..], b"abcde");
             }
             r.comm_stats()
         });
         assert_eq!(
             out[0],
-            CommStats { bytes_sent: 7, bytes_recv: 0, msgs_sent: 2, msgs_recv: 0 }
+            CommStats {
+                bytes_sent: 7,
+                bytes_recv: 0,
+                msgs_sent: 2,
+                msgs_recv: 0
+            }
         );
         assert_eq!(
             out[1],
-            CommStats { bytes_sent: 0, bytes_recv: 7, msgs_sent: 0, msgs_recv: 2 }
+            CommStats {
+                bytes_sent: 0,
+                bytes_recv: 7,
+                msgs_sent: 0,
+                msgs_recv: 2
+            }
         );
     }
 
@@ -371,7 +614,7 @@ mod tests {
         // root, broadcast = (W-1) 8-byte sends out of root.
         const W: usize = 4;
         let out = Universe::run(W, |r| {
-            let _ = r.allreduce_f64(300, r.rank() as f64, f64::max);
+            let _ = r.allreduce_f64(300, r.rank() as f64, f64::max).unwrap();
             r.comm_stats()
         });
         let total_sent: u64 = out.iter().map(|s| s.bytes_sent).sum();
@@ -391,8 +634,8 @@ mod tests {
     fn comm_stats_reset() {
         let out = Universe::run(2, |r| {
             let peer = 1 - r.rank();
-            r.send(peer, 4, Bytes::from_static(b"warmup"));
-            let _ = r.recv(peer, 4);
+            r.send(peer, 4, Bytes::from_static(b"warmup")).unwrap();
+            let _ = r.recv(peer, 4).unwrap();
             r.reset_comm_stats();
             r.comm_stats()
         });
@@ -405,10 +648,156 @@ mod tests {
         let phase1 = AtomicUsize::new(0);
         let out = Universe::run(4, |r| {
             phase1.fetch_add(1, Ordering::SeqCst);
-            r.barrier();
+            r.barrier().unwrap();
             // after the barrier every rank must observe all increments
             phase1.load(Ordering::SeqCst)
         });
         assert!(out.iter().all(|&v| v == 4));
+    }
+
+    #[test]
+    fn barrier_is_control_plane_traffic() {
+        // Repeated barriers exchange tokens but never touch CommStats.
+        let out = Universe::run(3, |r| {
+            for _ in 0..5 {
+                r.barrier().unwrap();
+            }
+            r.comm_stats()
+        });
+        assert!(out.iter().all(|s| *s == CommStats::default()));
+    }
+
+    #[test]
+    fn recv_deadline_times_out() {
+        let out = Universe::run(2, |r| {
+            if r.rank() == 0 {
+                // never send; rank 1 must time out
+                r.barrier().unwrap();
+                None
+            } else {
+                let e = r
+                    .recv_deadline(0, 42, Some(Duration::from_millis(30)))
+                    .unwrap_err();
+                r.barrier().unwrap();
+                Some(e)
+            }
+        });
+        match out[1].clone().unwrap() {
+            CommError::Timeout { from, tag, waited } => {
+                assert_eq!(from, 0);
+                assert_eq!(tag, 42);
+                assert!(waited >= Duration::from_millis(30));
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recv_deadline_delivers_in_time() {
+        let out = Universe::run(2, |r| {
+            if r.rank() == 0 {
+                r.send(1, 9, Bytes::from_static(b"ok")).unwrap();
+                Bytes::new()
+            } else {
+                r.recv_deadline(0, 9, Some(Duration::from_secs(5))).unwrap()
+            }
+        });
+        assert_eq!(&out[1][..], b"ok");
+    }
+
+    struct DropSecond;
+    impl Inject for DropSecond {
+        fn fate(&self, _from: usize, _to: usize, nth: u64) -> SendFate {
+            if nth == 2 {
+                SendFate::Drop
+            } else {
+                SendFate::Deliver
+            }
+        }
+    }
+
+    #[test]
+    fn inject_drops_exactly_the_nth_link_message() {
+        let out = Universe::run_with_inject(2, Some(Arc::new(DropSecond)), |r| {
+            if r.rank() == 0 {
+                r.send(1, 1, Bytes::from_static(b"first")).unwrap();
+                r.send(1, 2, Bytes::from_static(b"second")).unwrap(); // dropped
+                r.send(1, 3, Bytes::from_static(b"third")).unwrap();
+                (Bytes::new(), None, r.comm_stats())
+            } else {
+                let first = r.recv(0, 1).unwrap();
+                let third = r.recv(0, 3).unwrap();
+                assert_eq!(&third[..], b"third");
+                let lost = r
+                    .recv_deadline(0, 2, Some(Duration::from_millis(25)))
+                    .unwrap_err();
+                (first, Some(lost), r.comm_stats())
+            }
+        });
+        assert!(matches!(out[1].1, Some(CommError::Timeout { .. })));
+        // the dropped message still counts as sent, but is never received
+        assert_eq!(out[0].2.msgs_sent, 3);
+        assert_eq!(out[1].2.msgs_recv, 2);
+        assert_eq!(
+            out[0].2.bytes_sent - out[1].2.bytes_recv,
+            "second".len() as u64
+        );
+    }
+
+    struct DelayFirst;
+    impl Inject for DelayFirst {
+        fn fate(&self, _from: usize, _to: usize, nth: u64) -> SendFate {
+            if nth == 1 {
+                SendFate::Delay(Duration::from_millis(20))
+            } else {
+                SendFate::Deliver
+            }
+        }
+    }
+
+    #[test]
+    fn inject_delay_still_delivers() {
+        let out = Universe::run_with_inject(2, Some(Arc::new(DelayFirst)), |r| {
+            if r.rank() == 0 {
+                let t0 = Instant::now();
+                r.send(1, 5, Bytes::from_static(b"late")).unwrap();
+                t0.elapsed() >= Duration::from_millis(20)
+            } else {
+                let b = r.recv_deadline(0, 5, Some(Duration::from_secs(5))).unwrap();
+                assert_eq!(&b[..], b"late");
+                true
+            }
+        });
+        assert!(out[0], "delay charged on the sending side");
+        assert!(out[1]);
+    }
+
+    #[test]
+    fn send_to_departed_rank_disconnects() {
+        // rank 1 announces it is "dying" and returns, dropping its inbox;
+        // rank 0's sends to it start failing with Disconnected.
+        let out = Universe::run(2, |r| {
+            if r.rank() == 1 {
+                r.send(0, 1, Bytes::from_static(b"bye")).unwrap();
+                return Ok(());
+            }
+            let _ = r.recv(1, 1)?;
+            let deadline = Instant::now() + Duration::from_secs(10);
+            loop {
+                match r.send(1, 2, Bytes::from_static(b"ping")) {
+                    Err(e) => return Err(e),
+                    Ok(()) if Instant::now() > deadline => {
+                        panic!("send to departed rank never failed")
+                    }
+                    Ok(()) => std::thread::sleep(Duration::from_millis(2)),
+                }
+            }
+        });
+        assert!(
+            matches!(out[0], Err(CommError::Disconnected { peer: 1, .. })),
+            "got {:?}",
+            out[0]
+        );
+        assert!(out[1].is_ok());
     }
 }

@@ -9,13 +9,19 @@
 //! **footer** indexing every block — "a binary collection of all of the
 //! output blocks, followed by a footer that provides an index".
 
-use crate::comm::Rank;
+use crate::comm::{CommError, Rank};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 const FOOTER_MAGIC: &[u8; 4] = b"MSPF";
+
+/// A collective write is only as reliable as its participants: a comm
+/// failure mid-collective is an I/O failure from the caller's view.
+fn comm_err(e: CommError) -> io::Error {
+    io::Error::new(io::ErrorKind::BrokenPipe, format!("collective write: {e}"))
+}
 const TAG_SIZES: u32 = 9001;
 const TAG_OFFSETS: u32 = 9002;
 
@@ -57,7 +63,9 @@ pub fn collective_write_blocks(
     for p in payloads {
         size_msg.put_u64_le(p.len() as u64);
     }
-    let gathered = rank.gather(0, TAG_SIZES, size_msg.freeze());
+    let gathered = rank
+        .gather(0, TAG_SIZES, size_msg.freeze())
+        .map_err(comm_err)?;
 
     // 2. rank 0 assigns offsets and builds the footer
     let footer: Vec<FooterEntry>;
@@ -85,28 +93,29 @@ pub fn collective_write_blocks(
         // create/truncate the file before anyone writes
         File::create(path)?;
         // broadcast the full footer, then send each rank its offsets
-        rank.broadcast(0, TAG_OFFSETS + 1, Some(encode_footer_entries(&entries)));
+        rank.broadcast(0, TAG_OFFSETS + 1, Some(encode_footer_entries(&entries)))
+            .map_err(comm_err)?;
         for (r, offs) in per_rank_offsets.iter().enumerate().skip(1) {
             let mut m = BytesMut::with_capacity(4 + offs.len() * 8);
             m.put_u32_le(offs.len() as u32);
             for &o in offs {
                 m.put_u64_le(o);
             }
-            rank.send(r, TAG_OFFSETS, m.freeze());
+            rank.send(r, TAG_OFFSETS, m.freeze()).map_err(comm_err)?;
         }
         my_offsets = per_rank_offsets.swap_remove(0);
         footer = entries;
     } else {
-        let fb = rank.broadcast(0, TAG_OFFSETS + 1, None);
+        let fb = rank.broadcast(0, TAG_OFFSETS + 1, None).map_err(comm_err)?;
         footer = decode_footer_entries(&fb);
-        let m = rank.recv(0, TAG_OFFSETS);
+        let m = rank.recv(0, TAG_OFFSETS).map_err(comm_err)?;
         let mut b = &m[..];
         let n = b.get_u32_le() as usize;
         my_offsets = (0..n).map(|_| b.get_u64_le()).collect();
     }
 
     // ensure the file exists before concurrent writers open it
-    rank.barrier();
+    rank.barrier().map_err(comm_err)?;
 
     // 3. each rank writes its payloads at its offsets
     if !payloads.is_empty() {
@@ -117,7 +126,7 @@ pub fn collective_write_blocks(
         }
         f.flush()?;
     }
-    rank.barrier();
+    rank.barrier().map_err(comm_err)?;
 
     // 4. rank 0 appends the footer
     if rank.rank() == 0 {
@@ -129,7 +138,7 @@ pub fn collective_write_blocks(
         f.write_all(FOOTER_MAGIC)?;
         f.flush()?;
     }
-    rank.barrier();
+    rank.barrier().map_err(comm_err)?;
     Ok(footer)
 }
 
@@ -166,11 +175,17 @@ pub fn read_footer(path: &Path) -> io::Result<Vec<FooterEntry>> {
     let mut tail = [0u8; 12];
     f.read_exact(&mut tail)?;
     if &tail[8..12] != FOOTER_MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad footer magic"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad footer magic",
+        ));
     }
     let body_len = u64::from_le_bytes(tail[..8].try_into().unwrap());
     if body_len + 12 > size {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad footer length"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad footer length",
+        ));
     }
     f.seek(SeekFrom::Start(size - 12 - body_len))?;
     let mut body = vec![0u8; body_len as usize];
@@ -210,7 +225,8 @@ mod tests {
         }
         let footer = read_footer(&path).unwrap();
         assert_eq!(footer, footers[0]);
-        assert_eq!(footer.len(), 0 + 1 + 2 + 3);
+        assert_eq!(footer.len(), 6); // block counts 0+1+2+3
+
         // payload contents round trip
         for e in &footer {
             let data = read_block_payload(&path, e).unwrap();

@@ -9,8 +9,11 @@
 //!   point-to-point messages with `(source, tag)` matching, and the
 //!   collectives the pipeline needs (barrier, gather, broadcast,
 //!   all-reduce). Data movement is real: payloads are serialized bytes
-//!   travelling through channels. Suitable for rank counts that fit a
-//!   workstation (tests use ≤ 64, examples ≤ 256).
+//!   travelling through channels. Every operation is fallible
+//!   (`Result<_, CommError>`, optional receive deadlines) and a
+//!   deterministic fault-injection hook can drop/delay link messages —
+//!   the substrate the fault-tolerant pipeline builds on. Suitable for
+//!   rank counts that fit a workstation (tests use ≤ 64, examples ≤ 256).
 //! * [`fileio`] — collective file operations mirroring MPI-IO usage in
 //!   the paper (§IV-B, §IV-G): subarray-view reads and a collective
 //!   block write that appends a footer index, including "null" writes by
@@ -26,5 +29,5 @@ pub mod comm;
 pub mod fileio;
 pub mod netmodel;
 
-pub use comm::{CommStats, Rank, Universe};
+pub use comm::{CommError, CommStats, Inject, Rank, SendFate, Universe};
 pub use netmodel::{IoParams, NetParams, Torus};

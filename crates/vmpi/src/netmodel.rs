@@ -31,14 +31,13 @@ impl Torus {
         while m <= cap && best_score > 0 {
             let mut a = 1;
             while a * a * a <= m {
-                if m % a == 0 {
+                if m.is_multiple_of(a) {
                     let rest = m / a;
                     let mut b = a;
                     while b * b <= rest {
-                        if rest % b == 0 {
+                        if rest.is_multiple_of(b) {
                             let c = rest / b;
-                            let score =
-                                (c - a) as u64 * 1000 + (m - n) as u64;
+                            let score = (c - a) as u64 * 1000 + (m - n) as u64;
                             if score < best_score {
                                 best_score = score;
                                 best = Some([a, b, c]);
@@ -51,7 +50,9 @@ impl Torus {
             }
             m += 1;
         }
-        Torus { dims: best.unwrap() }
+        Torus {
+            dims: best.unwrap(),
+        }
     }
 
     pub fn n_nodes(&self) -> u32 {
@@ -108,6 +109,14 @@ impl NetParams {
     /// Modeled time to move one `bytes`-sized message across `hops`.
     pub fn msg_time(&self, bytes: u64, hops: u32) -> f64 {
         self.latency_s + self.hop_time_s * hops as f64 + self.byte_time_s * bytes as f64
+    }
+
+    /// Modeled time to re-ship a lost message: detection already charged
+    /// separately by the caller, so this is a fresh transfer plus one
+    /// extra software round-trip for the retry handshake (NACK + resend
+    /// setup). Used by the sim driver to price fault-recovery traffic.
+    pub fn retry_time(&self, bytes: u64, hops: u32) -> f64 {
+        2.0 * (self.latency_s + self.hop_time_s * hops as f64) + self.msg_time(bytes, hops)
     }
 }
 
@@ -195,7 +204,10 @@ mod tests {
         // few ranks: per-process bandwidth limited — more ranks help
         assert!(t(16) > t(512), "scaling out helps while per-proc limited");
         // beyond the aggregate cap, extra ranks only add coordination cost
-        assert!(t(32768) > t(512), "past the cap wider collectives cost more");
+        assert!(
+            t(32768) > t(512),
+            "past the cap wider collectives cost more"
+        );
         // and never beat the aggregate-bandwidth floor
         assert!(t(32768) > total as f64 / io.aggregate_bw);
     }

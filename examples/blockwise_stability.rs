@@ -21,7 +21,9 @@ fn main() {
     let input = Input::Memory(Arc::new(field));
     let feature_value = 255.0 * 14.5 / 25.0; // the paper filters at 14.5 on its scale
 
-    println!("hydrogen-like field 65^3, byte-valued; feature filter: maxima above {feature_value:.0}");
+    println!(
+        "hydrogen-like field 65^3, byte-valued; feature filter: maxima above {feature_value:.0}"
+    );
     println!(
         "\n{:>7} {:>12} {:>12} {:>14} {:>16}",
         "blocks", "raw nodes", "1% nodes", "stable maxima", "filament arcs"
@@ -39,7 +41,8 @@ fn main() {
                 ..Default::default()
             },
             None,
-        );
+        )
+        .unwrap();
         let raw_nodes: u64 = raw.outputs.iter().map(|c| c.n_live_nodes()).sum();
 
         // 1%-simplified, fully merged run: boundary artifacts resolve
@@ -53,7 +56,8 @@ fn main() {
                 ..Default::default()
             },
             None,
-        );
+        )
+        .unwrap();
         let ms = &merged.outputs[0];
         let stable_maxima = query::nodes_by_index_above(ms, 3, feature_value).len();
         let filaments = query::filament_subgraph(ms, feature_value).len();

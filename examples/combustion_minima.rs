@@ -32,7 +32,7 @@ fn main() {
         plan: MergePlan::heuristic(16, 1),
         ..Default::default()
     };
-    let result = run_parallel(&input, 16, 16, &params, None);
+    let result = run_parallel(&input, 16, 16, &params, None).unwrap();
     let ms = &result.outputs[0];
 
     let census = ms.node_census();
@@ -53,10 +53,7 @@ fn main() {
         "{} significant minima above the coflow level (dissipation-element cores)",
         minima.len()
     );
-    let mut values: Vec<f32> = minima
-        .iter()
-        .map(|&n| ms.nodes[n as usize].value)
-        .collect();
+    let mut values: Vec<f32> = minima.iter().map(|&n| ms.nodes[n as usize].value).collect();
     values.sort_by(f32::total_cmp);
     if !values.is_empty() {
         println!(

@@ -30,7 +30,7 @@ fn main() {
         plan: MergePlan::full_merge(8),
         ..Default::default()
     };
-    let result = run_parallel(&input, 8, 8, &params, None);
+    let result = run_parallel(&input, 8, 8, &params, None).unwrap();
     let ms = &result.outputs[0];
     println!(
         "merged complex: {} nodes, {} arcs (threshold = {:.3})",
@@ -41,7 +41,10 @@ fn main() {
 
     // parameter study: filament graphs for several iso-thresholds —
     // "viewing the filament structures for multiple threshold values"
-    println!("\n{:>10} {:>8} {:>8} {:>11} {:>8} {:>13}", "threshold", "arcs", "nodes", "components", "cycles", "length(cells)");
+    println!(
+        "\n{:>10} {:>8} {:>8} {:>11} {:>8} {:>13}",
+        "threshold", "arcs", "nodes", "components", "cycles", "length(cells)"
+    );
     for t in [0.0f32, 0.5, 1.0, 1.5, 2.0] {
         let arcs = query::filament_subgraph(ms, t);
         let stats = query::graph_stats(ms, &arcs);
@@ -55,6 +58,12 @@ fn main() {
     // thresholds — sanity-check the expected qualitative behaviour.
     let arcs = query::filament_subgraph(ms, 0.5);
     let stats = query::graph_stats(ms, &arcs);
-    assert!(stats.cycles > 0, "periodic ridge network must contain loops");
-    println!("\nfilament network at t=0.5 has {} independent loops", stats.cycles);
+    assert!(
+        stats.cycles > 0,
+        "periodic ridge network must contain loops"
+    );
+    println!(
+        "\nfilament network at t=0.5 has {} independent loops",
+        stats.cycles
+    );
 }

@@ -21,7 +21,7 @@ fn main() {
         persistence_frac: 0.0, // keep the finest-scale complex for now
         ..Default::default()
     };
-    let result = run_parallel(&input, 1, 1, &params, None);
+    let result = run_parallel(&input, 1, 1, &params, None).unwrap();
     let ms = &result.outputs[0];
 
     let c = ms.node_census();

@@ -43,7 +43,7 @@ fn main() {
             plan: MergePlan::full_merge(p),
             ..Default::default()
         };
-        let r = simulate(&field, p, &params);
+        let r = simulate(&field, p, &params).unwrap();
         let eff = match base {
             None => {
                 base = Some((p, r.total_s));

@@ -31,12 +31,15 @@ fn main() {
         plan: MergePlan::full_merge(4),
         ..Default::default()
     };
-    let result = run_parallel(&input, 4, 4, &params, None);
+    let result = run_parallel(&input, 4, 4, &params, None).unwrap();
     let ms = &result.outputs[0];
     let c = ms.node_census();
     println!(
         "2D MS complex: {} minima (blue), {} saddles (green), {} maxima (red); {} arcs",
-        c[0], c[1], c[2], ms.n_live_arcs()
+        c[0],
+        c[1],
+        c[2],
+        ms.n_live_arcs()
     );
     assert_eq!(c[3], 0, "no index-3 critical points in 2D");
     println!(

@@ -21,6 +21,14 @@ RUSTC=(rustc --edition 2021 -C opt-level=2 -C debug-assertions=on -L "$out" --ou
 
 say() { printf '== %s\n' "$*"; }
 
+# ---- formatting (mirrors `cargo fmt --all -- --check` in verify.sh) ----
+if command -v rustfmt >/dev/null 2>&1; then
+  say "rustfmt --check"
+  git -C "$root" ls-files '*.rs' | (cd "$root" && xargs rustfmt --edition 2021 --check)
+else
+  say "rustfmt not installed; skipping format check"
+fi
+
 # ---- stub dependency crates ----
 say "stubs"
 "${RUSTC[@]}" --crate-type proc-macro --crate-name serde_derive "$stubs/serde_derive.rs"
@@ -58,6 +66,7 @@ lib msp_synth     "$root/crates/synth/src/lib.rs"
 lib msp_morse     "$root/crates/morse/src/lib.rs"
 lib msp_complex   "$root/crates/complex/src/lib.rs"
 lib msp_vmpi      "$root/crates/vmpi/src/lib.rs"
+lib msp_fault     "$root/crates/fault/src/lib.rs"
 lib msp_core      "$root/crates/core/src/lib.rs"
 lib msp_bench     "$root/crates/bench/src/lib.rs"
 lib morse_smale_parallel "$root/src/lib.rs"
@@ -75,6 +84,46 @@ for e in "$root"/examples/*.rs; do
   bin "example_$(basename "$e" .rs)" "$e"
 done
 
+# ---- clippy (mirrors `cargo clippy --workspace --all-targets -D warnings`;
+# ---- metadata-only so each target lints in seconds, no codegen) ----
+if command -v clippy-driver >/dev/null 2>&1; then
+  CLIPPY=(clippy-driver --edition 2021 -L "$out" --emit=metadata
+          --out-dir "$out/clippy" -W clippy::all -D warnings)
+  mkdir -p "$out/clippy"
+  lint_lib() { # lint_lib <crate_name> <path> — --test also covers #[cfg(test)]
+    say "clippy: $1"
+    "${CLIPPY[@]}" --test --crate-name "$1" "$2" "${EXTERNS[@]}"
+  }
+  lint_bin() { # lint_bin <name> <path>
+    say "clippy: $1"
+    "${CLIPPY[@]}" --crate-type bin --crate-name "$1" "$2" "${EXTERNS[@]}"
+  }
+  lint_lib msp_telemetry "$root/crates/telemetry/src/lib.rs"
+  lint_lib msp_grid      "$root/crates/grid/src/lib.rs"
+  lint_lib msp_synth     "$root/crates/synth/src/lib.rs"
+  lint_lib msp_morse     "$root/crates/morse/src/lib.rs"
+  lint_lib msp_complex   "$root/crates/complex/src/lib.rs"
+  lint_lib msp_vmpi      "$root/crates/vmpi/src/lib.rs"
+  lint_lib msp_fault     "$root/crates/fault/src/lib.rs"
+  lint_lib msp_core      "$root/crates/core/src/lib.rs"
+  lint_lib msp_bench     "$root/crates/bench/src/lib.rs"
+  lint_lib morse_smale_parallel "$root/src/lib.rs"
+  lint_bin msc "$root/src/bin/msc.rs"
+  for b in "$root"/crates/bench/src/bin/*.rs; do
+    lint_bin "bench_$(basename "$b" .rs)" "$b"
+  done
+  for e in "$root"/examples/*.rs; do
+    lint_bin "example_$(basename "$e" .rs)" "$e"
+  done
+  for t in "$root"/crates/*/tests/*.rs "$root"/tests/*.rs; do
+    [ -e "$t" ] || continue
+    say "clippy: itest $(basename "$t" .rs)"
+    "${CLIPPY[@]}" --test --crate-name "itest_$(basename "$t" .rs)" "$t" "${EXTERNS[@]}"
+  done
+else
+  say "clippy-driver not installed; skipping lint check"
+fi
+
 [ "$mode" = build ] && { say "build OK (tests skipped)"; exit 0; }
 
 # ---- unit tests (in-crate #[cfg(test)] modules) ----
@@ -89,6 +138,7 @@ unit msp_synth     "$root/crates/synth/src/lib.rs"
 unit msp_morse     "$root/crates/morse/src/lib.rs"
 unit msp_complex   "$root/crates/complex/src/lib.rs"
 unit msp_vmpi      "$root/crates/vmpi/src/lib.rs"
+unit msp_fault     "$root/crates/fault/src/lib.rs"
 unit msp_core      "$root/crates/core/src/lib.rs"
 unit msp_bench     "$root/crates/bench/src/lib.rs"
 

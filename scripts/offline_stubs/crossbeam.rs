@@ -2,11 +2,13 @@
 //! Receiver}` with real MPMC-unbounded semantics (Mutex + Condvar), with
 //! hang-up behaviour matching the real crate: `send` fails once the
 //! receiver is gone, `recv` fails once all senders are gone and the
-//! queue is drained.
+//! queue is drained, and `recv_timeout` distinguishes timeout from
+//! disconnection.
 
 pub mod channel {
     use std::collections::VecDeque;
     use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
     struct Shared<T> {
         state: Mutex<State<T>>,
@@ -34,6 +36,12 @@ pub mod channel {
 
     #[derive(Debug)]
     pub struct RecvError;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
 
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
@@ -104,6 +112,25 @@ pub mod channel {
                 .queue
                 .pop_front()
                 .ok_or(RecvError)
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut s = self.0.state.lock().unwrap();
+            loop {
+                if let Some(v) = s.queue.pop_front() {
+                    return Ok(v);
+                }
+                if s.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self.0.cv.wait_timeout(s, deadline - now).unwrap();
+                s = guard;
+            }
         }
     }
 }

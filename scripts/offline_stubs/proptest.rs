@@ -11,7 +11,9 @@ pub struct TestRng {
 
 impl TestRng {
     pub fn new(seed: u64) -> TestRng {
-        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
     }
 
     pub fn next_u64(&mut self) -> u64 {
@@ -180,10 +182,73 @@ pub mod collection {
     }
 }
 
+/// `any::<T>()` for the types this workspace uses.
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+pub struct BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = BoolStrategy;
+    fn arbitrary() -> BoolStrategy {
+        BoolStrategy
+    }
+}
+
+pub mod sample {
+    use super::{Arbitrary, Strategy, TestRng};
+
+    /// A position into any collection, scaled by `index(len)`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    pub struct IndexStrategy;
+
+    impl Strategy for IndexStrategy {
+        type Value = Index;
+        fn generate(&self, rng: &mut TestRng) -> Index {
+            Index(rng.next_u64())
+        }
+    }
+
+    impl Arbitrary for Index {
+        type Strategy = IndexStrategy;
+        fn arbitrary() -> IndexStrategy {
+            IndexStrategy
+        }
+    }
+}
+
+/// Mirror of the real crate's `prelude::prop` module alias (the subset
+/// this workspace names).
+pub mod prop {
+    pub use crate::{collection, sample};
+}
+
 pub mod prelude {
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Just, ProptestConfig,
-        Strategy, TestCaseError,
+        any, prop, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError,
     };
 }
 

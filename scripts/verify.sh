@@ -13,6 +13,8 @@ if ! cargo metadata --offline --format-version 1 >/dev/null 2>&1 \
   exec scripts/check-offline.sh
 fi
 
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release --workspace
 cargo test -q --workspace
 echo "verify OK"

@@ -12,7 +12,8 @@
 //! ```
 
 use morse_smale_parallel::complex::{export, query, wire, MsComplex};
-use morse_smale_parallel::core::{run_parallel, Input, MergePlan, PipelineParams};
+use morse_smale_parallel::core::{run_parallel, FaultConfig, Input, MergePlan, PipelineParams};
+use morse_smale_parallel::fault::FaultPlan;
 use morse_smale_parallel::grid::rawio::{write_raw, VolumeDType};
 use morse_smale_parallel::grid::Dims;
 use morse_smale_parallel::synth;
@@ -56,6 +57,8 @@ fn usage() {
          \u{20} compute   --input FILE --dims X,Y,Z [--dtype u8|f32|f64]\n\
          \u{20}           [--ranks N] [--blocks N] [--persistence F]\n\
          \u{20}           [--merge full|none|R1,R2,...] --output FILE\n\
+         \u{20}           [--faults SPEC] [--checkpoint] [--deadline-ms MS]\n\
+         \u{20}           SPEC: crash:R@K;drop:F->T#N;delay:F->T#N+MS;slow:R*F\n\
          \u{20} info      FILE\n\
          \u{20} stats     FILE [--block I] [--top K]\n\
          \u{20} filaments FILE [--block I] --threshold T\n\
@@ -100,13 +103,23 @@ impl Opts {
     }
 
     fn opt(&self, name: &str) -> Option<&str> {
-        self.flags.get(name).map(|s| s.as_str()).filter(|s| !s.is_empty())
+        self.flags
+            .get(name)
+            .map(|s| s.as_str())
+            .filter(|s| !s.is_empty())
+    }
+
+    /// Valueless boolean flag, e.g. `--checkpoint`.
+    fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
     }
 
     fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.opt(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("bad value for --{name}: {v}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("bad value for --{name}: {v}")),
         }
     }
 
@@ -164,7 +177,13 @@ fn cmd_synth(o: &Opts) -> Result<(), String> {
         d.nz,
         dtype
     );
-    println!("hint: msc compute --input {} --dims {},{},{}", out.display(), d.nx, d.ny, d.nz);
+    println!(
+        "hint: msc compute --input {} --dims {},{},{}",
+        out.display(),
+        d.nx,
+        d.ny,
+        d.nz
+    );
     Ok(())
 }
 
@@ -185,9 +204,21 @@ fn cmd_compute(o: &Opts) -> Result<(), String> {
                 .collect::<Result<Vec<u32>, _>>()?,
         ),
     };
+    let fault_plan: Option<FaultPlan> = match o.opt("faults") {
+        Some(spec) => Some(spec.parse().map_err(|e| format!("bad --faults: {e}"))?),
+        None => None,
+    };
+    let deadline_ms: u64 = o.num("deadline-ms", 5000u64)?;
+    let fault = FaultConfig {
+        checkpoint: o.has("checkpoint") || fault_plan.is_some(),
+        plan: fault_plan,
+        deadline: std::time::Duration::from_millis(deadline_ms),
+    };
+    let fault_active = fault.active();
     let params = PipelineParams {
         persistence_frac: persistence,
         plan,
+        fault,
         ..Default::default()
     };
     let t0 = std::time::Instant::now();
@@ -201,7 +232,8 @@ fn cmd_compute(o: &Opts) -> Result<(), String> {
         blocks,
         &params,
         Some(&out),
-    );
+    )
+    .map_err(|e| e.to_string())?;
     println!(
         "computed {} output block(s) in {:.2}s (threshold {:.4})",
         r.outputs.len(),
@@ -221,6 +253,19 @@ fn cmd_compute(o: &Opts) -> Result<(), String> {
         );
     }
     println!("wrote {} ({} bytes)", out.display(), r.output_bytes);
+    if fault_active {
+        let tel = &r.telemetry;
+        println!(
+            "fault summary: {} crash(es), {} retry(ies), {} round(s) replayed, \
+             {} block(s) absorbed, {} checkpoint bytes, {} ms recovering",
+            tel.counter_total("crashes"),
+            tel.counter_total("retries"),
+            tel.counter_total("rounds_replayed"),
+            tel.counter_total("blocks_absorbed"),
+            tel.counter_total("checkpoint_bytes"),
+            tel.counter_total("recovery_ms"),
+        );
+    }
 
     // per-phase / per-rank observability next to the complex itself:
     // results/<output stem>.telemetry.json

@@ -20,6 +20,8 @@
 //!   collective file I/O, BG/P-like torus network model);
 //! * [`core`] — the parallel pipeline itself plus the scalable
 //!   simulation driver and merge-strategy planner;
+//! * [`fault`] — deterministic fault injection (crash/drop/delay/slow
+//!   plans) and the CRC-protected round-boundary checkpoint format;
 //! * [`telemetry`] — per-rank phase/counter recording, cross-rank
 //!   aggregation, and the versioned `.telemetry.json` run reports.
 //!
@@ -32,7 +34,7 @@
 //! let field = synth::sinusoid(33, 4);
 //! // serial MS complex (one block, no merging)
 //! let input = Input::Memory(std::sync::Arc::new(field));
-//! let result = run_parallel(&input, 1, 1, &PipelineParams::default(), None);
+//! let result = run_parallel(&input, 1, 1, &PipelineParams::default(), None).unwrap();
 //! let ms = &result.outputs[0];
 //! let census = ms.node_census();
 //! assert_eq!(census[0] as i64 - census[1] as i64 + census[2] as i64
@@ -41,6 +43,7 @@
 
 pub use msp_complex as complex;
 pub use msp_core as core;
+pub use msp_fault as fault;
 pub use msp_grid as grid;
 pub use msp_morse as morse;
 pub use msp_synth as synth;
@@ -52,8 +55,10 @@ pub mod prelude {
     pub use crate::complex::query;
     pub use crate::complex::{simplify, MsComplex, SimplifyParams};
     pub use crate::core::{
-        run_parallel, simulate, Input, MergePlan, PipelineParams, SimParams,
+        run_parallel, simulate, FaultConfig, Input, MergePlan, PipelineError, PipelineParams,
+        SimParams,
     };
+    pub use crate::fault::{Checkpoint, FaultPlan};
     pub use crate::grid::{Decomposition, Dims, ScalarField};
     pub use crate::synth;
     pub use crate::telemetry::{RankReport, RunReport};

@@ -15,6 +15,7 @@ fn hydrogen_run() -> MsComplex {
         ..Default::default()
     };
     run_parallel(&Input::Memory(field), 4, 8, &params, None)
+        .unwrap()
         .outputs
         .into_iter()
         .next()
@@ -91,7 +92,8 @@ fn persistence_curve_reflects_multiresolution() {
             ..Default::default()
         },
         None,
-    );
+    )
+    .unwrap();
     // the pipeline ships only the coarsest hierarchy level (§IV-F1);
     // the downstream analyst builds a fresh hierarchy by simplifying
     let mut ms = r.outputs.into_iter().next().unwrap();

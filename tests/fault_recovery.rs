@@ -1,0 +1,196 @@
+//! End-to-end fault-tolerance tests on the threaded backend: injected
+//! crashes, dropped and delayed messages, checkpoint-based recovery, and
+//! the degraded (absorb) path. The central claim is the acceptance
+//! criterion of DESIGN.md §9 — a run that loses a rank mid-merge and
+//! recovers from round-boundary checkpoints produces a final complex
+//! **bitwise identical** to the fault-free run.
+
+use morse_smale_parallel::complex::wire;
+use morse_smale_parallel::core::{run_parallel, FaultConfig, Input, MergePlan, PipelineParams};
+use morse_smale_parallel::fault::FaultPlan;
+use morse_smale_parallel::grid::Dims;
+use morse_smale_parallel::synth;
+use std::sync::Arc;
+use std::time::Duration;
+
+const RANKS: u32 = 4;
+const BLOCKS: u32 = 8;
+
+fn test_input() -> Input {
+    Input::Memory(Arc::new(synth::gaussian_bumps(Dims::cube(17), 3, 0.12, 41)))
+}
+
+fn base_params() -> PipelineParams {
+    PipelineParams {
+        persistence_frac: 0.02,
+        // two rounds: 8 -> 4 -> 2 output blocks, so recovery must carry
+        // partially-merged state across a later round correctly
+        plan: MergePlan::rounds(vec![2, 2]),
+        ..Default::default()
+    }
+}
+
+fn fault_params(plan: FaultPlan, checkpoint: bool) -> PipelineParams {
+    PipelineParams {
+        fault: FaultConfig {
+            plan: Some(plan),
+            checkpoint,
+            deadline: Duration::from_millis(400),
+        },
+        ..base_params()
+    }
+}
+
+/// Serialized output blocks of a fault-free reference run.
+fn reference(input: &Input) -> Vec<bytes::Bytes> {
+    run_parallel(input, RANKS, BLOCKS, &base_params(), None)
+        .unwrap()
+        .outputs
+        .iter()
+        .map(wire::serialize)
+        .collect()
+}
+
+fn assert_bitwise_identical(
+    input: &Input,
+    params: &PipelineParams,
+) -> morse_smale_parallel::core::RunResult {
+    let want = reference(input);
+    let got = run_parallel(input, RANKS, BLOCKS, params, None).unwrap();
+    assert_eq!(got.outputs.len(), want.len(), "output block count");
+    for (i, (c, w)) in got.outputs.iter().zip(&want).enumerate() {
+        assert_eq!(
+            wire::serialize(c),
+            *w,
+            "output block {i} must be bitwise identical to the fault-free run"
+        );
+    }
+    got
+}
+
+#[test]
+fn crash_during_merge_round_1_recovers_bitwise_identical() {
+    // Rank 3 owns blocks 3 and 7, both members shipping to rank 2's
+    // roots (2 and 6) in round 1. The crash destroys rank 3's state at
+    // the round boundary; rank 2 must detect the dead peer by deadline
+    // and replay both slots from rank 3's checkpoint.
+    let input = test_input();
+    let r = assert_bitwise_identical(&input, &fault_params(FaultPlan::new().crash(3, 1), true));
+    let tel = &r.telemetry;
+    assert_eq!(tel.counter_total("crashes"), 1);
+    assert_eq!(tel.counter_total("retries"), 2, "blocks 3 and 7 recovered");
+    assert!(tel.counter_total("rounds_replayed") >= 2);
+    assert_eq!(tel.counter_total("blocks_absorbed"), 0);
+    assert!(tel.counter_total("checkpoint_bytes") > 0);
+    assert!(
+        tel.counter_total("recovery_ms") > 0,
+        "deadline waits are charged"
+    );
+}
+
+#[test]
+fn crash_of_a_root_rank_recovers_bitwise_identical() {
+    // Rank 0 owns the round-1 roots 0 and 4: it loses its state, ships
+    // nothing (it has no member slots in round 1), reloads its own
+    // checkpoint and carries on gluing as if nothing happened.
+    let input = test_input();
+    let r = assert_bitwise_identical(&input, &fault_params(FaultPlan::new().crash(0, 1), true));
+    let tel = &r.telemetry;
+    assert_eq!(tel.counter_total("crashes"), 1);
+    assert_eq!(tel.counter_total("retries"), 0, "no message was lost");
+    assert!(
+        tel.counter_total("rounds_replayed") >= 1,
+        "self-recovery replay"
+    );
+}
+
+#[test]
+fn crash_at_the_pre_write_cut_recovers_bitwise_identical() {
+    // Round 3 on a 2-round plan = after the last merge, before the
+    // write: the fully-merged state must come back from the final cut.
+    let input = test_input();
+    let r = assert_bitwise_identical(&input, &fault_params(FaultPlan::new().crash(0, 3), true));
+    let tel = &r.telemetry;
+    assert_eq!(tel.counter_total("crashes"), 1);
+    assert_eq!(tel.counter_total("blocks_absorbed"), 0);
+}
+
+#[test]
+fn spec_parsed_plan_drives_the_same_recovery() {
+    // the CLI path: `--faults crash:3@1` goes through FromStr
+    let input = test_input();
+    let plan: FaultPlan = "crash:3@1".parse().unwrap();
+    let r = assert_bitwise_identical(&input, &fault_params(plan, true));
+    assert_eq!(r.telemetry.counter_total("crashes"), 1);
+}
+
+#[test]
+fn dropped_message_is_recovered_from_checkpoint() {
+    // the first message rank 3 -> rank 2 (block 3's round-1 ship) is
+    // lost in flight; the root times out and replays it from the
+    // sender's checkpoint — same bytes, same result
+    let input = test_input();
+    let r = assert_bitwise_identical(
+        &input,
+        &fault_params(FaultPlan::new().drop_msg(3, 2, 1), true),
+    );
+    let tel = &r.telemetry;
+    assert_eq!(tel.counter_total("crashes"), 0);
+    assert_eq!(tel.counter_total("retries"), 1);
+}
+
+#[test]
+fn delayed_message_within_deadline_needs_no_recovery() {
+    let input = test_input();
+    let r = assert_bitwise_identical(
+        &input,
+        &fault_params(FaultPlan::new().delay_msg(3, 2, 1, 100), true),
+    );
+    let tel = &r.telemetry;
+    assert_eq!(tel.counter_total("retries"), 0);
+    assert_eq!(tel.counter_total("rounds_replayed"), 0);
+}
+
+#[test]
+fn degraded_mode_absorbs_orphaned_blocks_without_checkpoints() {
+    // No checkpoints: the crashed rank's blocks are unrecoverable. The
+    // run must still complete, reporting the loss instead of hanging or
+    // panicking; the roots absorb the orphaned blocks.
+    let input = test_input();
+    let params = fault_params(FaultPlan::new().crash(3, 1), false);
+    let r = run_parallel(&input, RANKS, BLOCKS, &params, None).unwrap();
+    let tel = &r.telemetry;
+    assert_eq!(tel.counter_total("crashes"), 1);
+    assert!(
+        tel.counter_total("blocks_absorbed") >= 2,
+        "blocks 3 and 7 are lost for good"
+    );
+    assert_eq!(tel.counter_total("rounds_replayed"), 0);
+    assert_eq!(tel.counter_total("checkpoint_bytes"), 0);
+    // the run still produces its output blocks (with reduced content)
+    assert_eq!(r.outputs.len(), 2);
+    for ms in &r.outputs {
+        ms.check_integrity().unwrap();
+    }
+}
+
+#[test]
+fn checkpoint_only_run_is_bitwise_clean_and_accounts_bytes() {
+    // fault rate 0 with checkpointing on: pure overhead, zero recovery
+    let input = test_input();
+    let params = PipelineParams {
+        fault: FaultConfig {
+            plan: None,
+            checkpoint: true,
+            deadline: Duration::from_millis(400),
+        },
+        ..base_params()
+    };
+    let r = assert_bitwise_identical(&input, &params);
+    let tel = &r.telemetry;
+    // every rank checkpoints at 2 round cuts + the pre-write cut
+    assert!(tel.counter_total("checkpoint_bytes") > 0);
+    assert_eq!(tel.counter_total("crashes"), 0);
+    assert_eq!(tel.counter_total("retries"), 0);
+    assert_eq!(tel.counter_total("recovery_ms"), 0);
+}

@@ -35,15 +35,15 @@ fn file_input_pipeline_round_trip() {
         plan: MergePlan::rounds(vec![2, 2]),
         ..Default::default()
     };
-    let result = run_parallel(&input, 4, 8, &params, Some(&out_path));
+    let result = run_parallel(&input, 4, 8, &params, Some(&out_path)).unwrap();
     assert_eq!(result.outputs.len(), 2);
 
     // reload every block from the file and compare to in-memory outputs
     let footer = result.footer.clone().expect("footer written");
     assert_eq!(footer.len(), 2);
     for (entry, expected) in footer.iter().zip(&result.outputs) {
-        let payload = morse_smale_parallel::vmpi::fileio::read_block_payload(&out_path, entry)
-            .unwrap();
+        let payload =
+            morse_smale_parallel::vmpi::fileio::read_block_payload(&out_path, entry).unwrap();
         let loaded = wire::deserialize(&payload).unwrap();
         assert_eq!(wire::serialize(&loaded), wire::serialize(expected));
     }
@@ -63,7 +63,7 @@ fn memory_and_file_inputs_agree() {
         plan: MergePlan::full_merge(4),
         ..Default::default()
     };
-    let via_mem = run_parallel(&Input::Memory(Arc::new(field)), 4, 4, &params, None);
+    let via_mem = run_parallel(&Input::Memory(Arc::new(field)), 4, 4, &params, None).unwrap();
     let via_file = run_parallel(
         &Input::File {
             path: in_path.clone(),
@@ -74,7 +74,8 @@ fn memory_and_file_inputs_agree() {
         4,
         &params,
         None,
-    );
+    )
+    .unwrap();
     assert_eq!(
         wire::serialize(&via_mem.outputs[0]),
         wire::serialize(&via_file.outputs[0]),
@@ -104,7 +105,8 @@ fn serial_vs_parallel_stable_features_across_datasets() {
                 ..Default::default()
             },
             None,
-        );
+        )
+        .unwrap();
         let parallel = run_parallel(
             &input,
             8,
@@ -115,7 +117,8 @@ fn serial_vs_parallel_stable_features_across_datasets() {
                 ..Default::default()
             },
             None,
-        );
+        )
+        .unwrap();
         let (s, p) = (&serial.outputs[0], &parallel.outputs[0]);
         assert_eq!(chi(s), 1, "{name}: serial chi");
         assert_eq!(chi(p), 1, "{name}: parallel chi");
@@ -135,12 +138,17 @@ fn serial_vs_parallel_stable_features_across_datasets() {
 #[test]
 fn partial_merge_preserves_block_count_arithmetic() {
     let field = Arc::new(synth::white_noise(Dims::cube(17), 8));
-    for (radices, expect) in [(vec![2u32], 8), (vec![4], 4), (vec![2, 4], 2), (vec![8, 2], 1)] {
+    for (radices, expect) in [
+        (vec![2u32], 8),
+        (vec![4], 4),
+        (vec![2, 4], 2),
+        (vec![8, 2], 1),
+    ] {
         let params = PipelineParams {
             plan: MergePlan::rounds(radices.clone()),
             ..Default::default()
         };
-        let r = run_parallel(&Input::Memory(field.clone()), 8, 16, &params, None);
+        let r = run_parallel(&Input::Memory(field.clone()), 8, 16, &params, None).unwrap();
         assert_eq!(
             r.outputs.len(),
             expect,
@@ -166,6 +174,7 @@ fn merged_outputs_unaffected_by_rank_count() {
         .iter()
         .map(|&p| {
             run_parallel(&Input::Memory(field.clone()), p, 8, &params, None)
+                .unwrap()
                 .outputs
                 .iter()
                 .map(wire::serialize)
@@ -187,7 +196,7 @@ fn filament_analysis_on_merged_complex() {
         plan: MergePlan::full_merge(8),
         ..Default::default()
     };
-    let par = run_parallel(&Input::Memory(field.clone()), 8, 8, &params, None);
+    let par = run_parallel(&Input::Memory(field.clone()), 8, 8, &params, None).unwrap();
     let ser = run_parallel(
         &Input::Memory(field),
         1,
@@ -197,7 +206,8 @@ fn filament_analysis_on_merged_complex() {
             ..Default::default()
         },
         None,
-    );
+    )
+    .unwrap();
     let fa = query::filament_subgraph(&par.outputs[0], 0.5);
     let fs = query::filament_subgraph(&ser.outputs[0], 0.5);
     let (sa, ss) = (

@@ -58,7 +58,7 @@ proptest! {
         let plan = MergePlan::rounds(rounds);
         let blocks = plan.reduction().max(4) * 2;
         prop_assume!(blocks <= 32);
-        prop_assume!(blocks % plan.reduction() == 0);
+        prop_assume!(blocks.is_multiple_of(plan.reduction()));
         let expected = blocks / plan.reduction();
         let field = Arc::new(synth::white_noise(Dims::cube(13), seed));
         let params = PipelineParams {
@@ -66,7 +66,7 @@ proptest! {
             ..Default::default()
         };
         let ranks = ranks.min(blocks);
-        let r = run_parallel(&Input::Memory(field), ranks, blocks, &params, None);
+        let r = run_parallel(&Input::Memory(field), ranks, blocks, &params, None).unwrap();
         prop_assert_eq!(r.outputs.len() as u32, expected);
         for ms in &r.outputs {
             ms.check_integrity().unwrap();

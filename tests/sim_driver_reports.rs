@@ -18,7 +18,7 @@ fn base_params(plan: MergePlan) -> SimParams {
 fn round_reports_match_plan() {
     let f = synth::white_noise(Dims::cube(13), 3);
     let plan = MergePlan::rounds(vec![2, 4]);
-    let r = simulate(&f, 16, &base_params(plan.clone()));
+    let r = simulate(&f, 16, &base_params(plan.clone())).unwrap();
     assert_eq!(r.rounds.len(), 2);
     assert_eq!(r.rounds[0].radix, 2);
     assert_eq!(r.rounds[1].radix, 4);
@@ -33,7 +33,7 @@ fn round_reports_match_plan() {
 #[test]
 fn totals_compose_from_stages() {
     let f = synth::white_noise(Dims::cube(13), 5);
-    let r = simulate(&f, 8, &base_params(MergePlan::full_merge(8)));
+    let r = simulate(&f, 8, &base_params(MergePlan::full_merge(8))).unwrap();
     // total = critical path >= read + compute components, plus write
     assert!(r.total_s >= r.read_s + r.compute_s);
     assert!(r.total_s >= r.write_s);
@@ -51,8 +51,8 @@ fn read_time_scales_with_dtype() {
     p8.dtype = VolumeDType::U8;
     let mut p64 = base_params(MergePlan::none());
     p64.dtype = VolumeDType::F64;
-    let r8 = simulate(&f, 4, &p8);
-    let r64 = simulate(&f, 4, &p64);
+    let r8 = simulate(&f, 4, &p8).unwrap();
+    let r64 = simulate(&f, 4, &p64).unwrap();
     assert!(
         r64.read_s > r8.read_s,
         "f64 volumes are 8x the bytes of u8 ({} vs {})",
@@ -70,8 +70,8 @@ fn network_parameters_influence_merge() {
         latency_s: 1.0, // absurdly slow network
         ..NetParams::default()
     };
-    let rf = simulate(&f, 8, &fast);
-    let rs = simulate(&f, 8, &slow);
+    let rf = simulate(&f, 8, &fast).unwrap();
+    let rs = simulate(&f, 8, &slow).unwrap();
     assert!(
         rs.rounds[0].round_s > rf.rounds[0].round_s + 0.5,
         "1s latency must dominate the round time"
@@ -88,8 +88,8 @@ fn io_parameters_influence_read_write() {
         per_proc_bw: 1.0e3,
         ..IoParams::default()
     };
-    let rf = simulate(&f, 4, &fast);
-    let rs = simulate(&f, 4, &slow);
+    let rf = simulate(&f, 4, &fast).unwrap();
+    let rs = simulate(&f, 4, &slow).unwrap();
     assert!(rs.read_s > 10.0 * rf.read_s);
     assert!(rs.write_s > 10.0 * rf.write_s);
 }
@@ -97,7 +97,7 @@ fn io_parameters_influence_read_write() {
 #[test]
 fn no_merge_means_no_rounds_and_many_outputs() {
     let f = synth::white_noise(Dims::cube(13), 4);
-    let r = simulate(&f, 8, &base_params(MergePlan::none()));
+    let r = simulate(&f, 8, &base_params(MergePlan::none())).unwrap();
     assert!(r.rounds.is_empty());
     assert_eq!(r.output_blocks, 8);
     assert_eq!(r.merge_s, r.local_simplify_s, "merge = local simplify only");
@@ -108,7 +108,11 @@ fn live_counts_match_threaded_backend_across_plans() {
     use morse_smale_parallel::core::{run_parallel, Input, PipelineParams};
     use std::sync::Arc;
     let field = Arc::new(synth::gaussian_bumps(Dims::cube(13), 2, 0.15, 6));
-    for plan in [MergePlan::none(), MergePlan::rounds(vec![4]), MergePlan::full_merge(8)] {
+    for plan in [
+        MergePlan::none(),
+        MergePlan::rounds(vec![4]),
+        MergePlan::full_merge(8),
+    ] {
         let sim = simulate(
             &field,
             8,
@@ -117,7 +121,8 @@ fn live_counts_match_threaded_backend_across_plans() {
                 plan: plan.clone(),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let thr = run_parallel(
             &Input::Memory(field.clone()),
             4,
@@ -128,7 +133,8 @@ fn live_counts_match_threaded_backend_across_plans() {
                 ..Default::default()
             },
             None,
-        );
+        )
+        .unwrap();
         let thr_nodes: u64 = thr.outputs.iter().map(|c| c.n_live_nodes()).sum();
         let thr_arcs: u64 = thr.outputs.iter().map(|c| c.n_live_arcs()).sum();
         assert_eq!(sim.live_nodes, thr_nodes);
