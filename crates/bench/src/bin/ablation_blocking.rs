@@ -14,7 +14,7 @@
 //! cargo run --release -p msp-bench --bin ablation_blocking
 //! ```
 
-use msp_bench::{emit_run_series, Scale, Table};
+use msp_bench::{emit_run_series, emit_trace, trace_enabled, Scale, Table};
 use msp_core::{run_parallel, Input, MergePlan, PipelineParams};
 use msp_grid::{Decomposition, Dims};
 use std::sync::Arc;
@@ -42,9 +42,13 @@ fn main() {
         let params = PipelineParams {
             persistence_frac: 0.01,
             plan: MergePlan::full_merge(blocks),
+            trace: trace_enabled(),
             ..Default::default()
         };
         let r = run_parallel(&Input::Memory(field.clone()), ranks, blocks, &params, None).unwrap();
+        if let Some(tr) = &r.trace {
+            emit_trace(&format!("ablation_blocking_bpr{bpr}"), tr);
+        }
         let max = |f: fn(&msp_telemetry::RankReport) -> f64| {
             r.telemetry.ranks.iter().map(f).fold(0.0, f64::max)
         };

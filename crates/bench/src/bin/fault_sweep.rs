@@ -11,11 +11,11 @@
 //! stay *bit-identical* to the fault-free result while paying only the
 //! detection deadline + replay cost per crash.
 
-use msp_bench::{results_dir, Scale, Table};
+use msp_bench::{emit_doc, emit_trace, trace_enabled, Scale, Table};
 use msp_core::{run_parallel, FaultConfig, Input, MergePlan, PipelineParams};
 use msp_fault::FaultPlan;
 use msp_grid::Dims;
-use msp_telemetry::{write_named_json, Json};
+use msp_telemetry::Json;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -37,6 +37,7 @@ fn main() {
     let base_params = PipelineParams {
         persistence_frac: 0.01,
         plan: MergePlan::rounds(ROUNDS.to_vec()),
+        trace: trace_enabled(),
         ..Default::default()
     };
 
@@ -106,6 +107,9 @@ fn main() {
             format!("{}", tel.counter_total("checkpoint_bytes")),
             if identical { "yes" } else { "NO" }.into(),
         ]);
+        if let Some(tr) = &r.trace {
+            emit_trace(&format!("fault_sweep_{:.0}pct", rate * 100.0), tr);
+        }
         runs.push(Json::obj(vec![
             ("rate", Json::F64(rate)),
             ("wall_s", Json::F64(wall_s)),
@@ -146,10 +150,7 @@ fn main() {
         ("baseline_wall_s", Json::F64(base_s)),
         ("runs", Json::Arr(runs)),
     ]);
-    match write_named_json(&results_dir(), "fault_sweep", &doc) {
-        Ok(p) => println!("\nseries written to {}", p.display()),
-        Err(e) => eprintln!("\nseries write failed: {e}"),
-    }
+    emit_doc("fault_sweep", &doc);
     println!(
         "\nExpected shape: the rate-0 row is pure checkpoint overhead\n\
          (<15% is the acceptance bar); each crash then adds roughly the\n\

@@ -7,7 +7,7 @@
 //! cargo run --release -p msp-bench --bin fig9_jet
 //! ```
 
-use msp_bench::{efficiency, emit_sim_series, fmt_bytes, Scale, Table};
+use msp_bench::{efficiency, emit_sim_series, emit_trace, fmt_bytes, trace_enabled, Scale, Table};
 use msp_core::{MergePlan, SimParams};
 use msp_grid::Dims;
 
@@ -45,9 +45,13 @@ fn main() {
         let params = SimParams {
             persistence_frac: 0.01,
             plan: MergePlan::full_merge(p),
+            trace: trace_enabled(),
             ..Default::default()
         };
         let r = msp_core::simulate(&field, p, &params).unwrap();
+        if let Some(tr) = &r.trace {
+            emit_trace(&format!("fig9_jet_p{p}"), tr);
+        }
         let eff = match base {
             None => {
                 base = Some((p, r.total_s));

@@ -10,7 +10,7 @@
 
 use msp_core::{RunResult, SimParams, SimReport};
 use msp_grid::ScalarField;
-use msp_telemetry::{write_named_json, Json};
+use msp_telemetry::{write_named_json, Json, RunTrace};
 use std::path::PathBuf;
 
 /// Problem-size preset selected by `MSP_SCALE`.
@@ -56,7 +56,11 @@ pub fn results_dir() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("results"))
 }
 
-fn emit(name: &str, doc: &Json) -> Option<PathBuf> {
+/// Persist an already-built telemetry document as
+/// `results/<name>.telemetry.json`. The emit_* wrappers below cover the
+/// common report shapes; binaries with a bespoke document (e.g. the fault
+/// sweep) call this directly so every artifact still lands in one place.
+pub fn emit_doc(name: &str, doc: &Json) -> Option<PathBuf> {
     match write_named_json(&results_dir(), name, doc) {
         Ok(p) => {
             println!("\ntelemetry written to {}", p.display());
@@ -69,13 +73,37 @@ fn emit(name: &str, doc: &Json) -> Option<PathBuf> {
     }
 }
 
+/// Whether `MSP_TRACE` asks the experiment binaries to record and emit
+/// causal event traces (any value but `0`/`off`/empty enables).
+pub fn trace_enabled() -> bool {
+    match std::env::var("MSP_TRACE").as_deref() {
+        Ok("") | Ok("0") | Ok("off") | Err(_) => false,
+        Ok(_) => true,
+    }
+}
+
+/// Persist a run's causal trace as `results/<name>.trace.json`
+/// (Chrome trace-event format; load in ui.perfetto.dev).
+pub fn emit_trace(name: &str, trace: &RunTrace) -> Option<PathBuf> {
+    match trace.write(&results_dir(), name) {
+        Ok(p) => {
+            println!("trace written to {}", p.display());
+            Some(p)
+        }
+        Err(e) => {
+            eprintln!("trace write failed ({name}): {e}");
+            None
+        }
+    }
+}
+
 /// Persist a threaded-pipeline run's aggregated telemetry as
 /// `results/<name>.telemetry.json`. Shared by every experiment binary so
 /// report emission lives in exactly one place.
 pub fn emit_run_report(name: &str, result: &RunResult) -> Option<PathBuf> {
     let mut report = result.telemetry.clone();
     report.name = name.to_string();
-    emit(name, &report.to_json())
+    emit_doc(name, &report.to_json())
 }
 
 /// Persist a labelled series of threaded-pipeline runs (ablations,
@@ -100,12 +128,12 @@ pub fn emit_run_series(name: &str, series: &[(String, &RunResult)]) -> Option<Pa
             ),
         ),
     ]);
-    emit(name, &doc)
+    emit_doc(name, &doc)
 }
 
 /// Persist one simulated run under `results/<name>.telemetry.json`.
 pub fn emit_sim_report(name: &str, report: &SimReport) -> Option<PathBuf> {
-    emit(name, &report.to_json())
+    emit_doc(name, &report.to_json())
 }
 
 /// Persist a labelled series of simulated runs (scaling sweeps, strategy
@@ -130,7 +158,7 @@ pub fn emit_sim_series(name: &str, series: &[(String, SimReport)]) -> Option<Pat
             ),
         ),
     ]);
-    emit(name, &doc)
+    emit_doc(name, &doc)
 }
 
 /// Strong-scaling efficiency relative to a base point:

@@ -41,7 +41,9 @@ use msp_fault::{Checkpoint, CheckpointStore, FaultPlan};
 use msp_grid::rawio::{read_block, VolumeDType};
 use msp_grid::{Decomposition, Dims, ScalarField};
 use msp_morse::{assign_gradient, TraceLimits};
-use msp_telemetry::{Counter, Json, Phase, RankReport, Recorder, RunReport};
+use msp_telemetry::{
+    Counter, Json, Phase, RankReport, RankTrace, Recorder, RunReport, RunTrace, TraceSink,
+};
 use msp_vmpi::comm::{CommError, Inject};
 use msp_vmpi::fileio::{collective_write_blocks, FooterEntry};
 use msp_vmpi::{Rank, Universe};
@@ -55,6 +57,7 @@ use std::time::{Duration, Instant};
 /// stage.
 const TAG_TELEMETRY_GATHER: u32 = 9100;
 const TAG_TELEMETRY_SHIP: u32 = 9110;
+const TAG_TRACE_GATHER: u32 = 9120;
 
 /// Fault-tolerance configuration of a run.
 #[derive(Debug, Clone)]
@@ -181,6 +184,10 @@ pub struct PipelineParams {
     pub max_new_arcs: Option<u64>,
     /// Fault injection + recovery configuration (inactive by default).
     pub fault: FaultConfig,
+    /// Record a causal event trace (per-rank spans + message stamps,
+    /// gathered at rank 0 into [`RunResult::trace`]). Off by default:
+    /// the tracer costs a few stamps per message.
+    pub trace: bool,
 }
 
 impl Default for PipelineParams {
@@ -193,6 +200,7 @@ impl Default for PipelineParams {
             // more than this many replacement arcs (degenerate lattices)
             max_new_arcs: Some(4096),
             fault: FaultConfig::default(),
+            trace: false,
         }
     }
 }
@@ -232,6 +240,10 @@ pub struct RunResult {
     pub output_bytes: u64,
     /// The absolute persistence threshold that was applied.
     pub threshold: f32,
+    /// The gathered causal event trace when [`PipelineParams::trace`]
+    /// was on (write it with [`RunTrace::write`], analyze it with
+    /// [`RunTrace::critical_path`]).
+    pub trace: Option<RunTrace>,
 }
 
 /// Execute the full pipeline on `n_ranks` threads over `n_blocks` blocks.
@@ -265,18 +277,34 @@ pub fn run_parallel(
         .clone()
         .map(|p| Arc::new(p) as Arc<dyn Inject>);
 
+    // One time base for every rank's trace sink, taken before any rank
+    // starts, so cross-rank timestamps are causally comparable.
+    let epoch = Instant::now();
     let results = Universe::run_with_inject(n_ranks as usize, inject, |rank| {
-        run_rank(rank, input, &decomp, n_blocks, params, output_path, &store)
+        run_rank(
+            rank,
+            input,
+            &decomp,
+            n_blocks,
+            params,
+            output_path,
+            &store,
+            epoch,
+        )
     });
 
     let mut telemetry = None;
     let mut slot_outputs: Vec<(u32, MsComplex)> = Vec::new();
     let mut footer = None;
     let mut threshold = 0.0;
+    let mut trace = None;
     for res in results {
-        let (tel, outs, f, th) = res?;
+        let (tel, outs, f, th, tr) = res?;
         if tel.is_some() {
             telemetry = tel; // only rank 0 holds the gathered report
+        }
+        if tr.is_some() {
+            trace = tr; // likewise gathered at rank 0
         }
         slot_outputs.extend(outs);
         if f.is_some() {
@@ -314,12 +342,19 @@ pub fn run_parallel(
         )
         .with_meta("threshold", Json::F64(threshold as f64))
         .with_meta("output_bytes", Json::U64(output_bytes));
+    // The critical path — the longest causally-ordered chain of span
+    // time — rides along in the telemetry report meta.
+    let telemetry = match trace.as_ref().and_then(|t| t.critical_path()) {
+        Some(cp) => telemetry.with_meta("critical_path", cp.to_json()),
+        None => telemetry,
+    };
     Ok(RunResult {
         telemetry,
         outputs,
         footer,
         output_bytes,
         threshold,
+        trace,
     })
 }
 
@@ -328,6 +363,7 @@ type RankOut = (
     Vec<(u32, MsComplex)>,
     Option<Vec<FooterEntry>>,
     f32,
+    Option<RunTrace>,
 );
 
 /// Snapshot every living complex into the checkpoint store at merge
@@ -387,6 +423,7 @@ fn restore_own_state(
     Ok(recovered)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_rank(
     rank: &mut Rank,
     input: &Input,
@@ -395,12 +432,20 @@ fn run_rank(
     params: &PipelineParams,
     output_path: Option<&Path>,
     store: &CheckpointStore,
+    epoch: Instant,
 ) -> Result<RankOut, PipelineError> {
     let p = rank.rank() as u32;
     let n_ranks = rank.size() as u32;
     let fault = &params.fault;
     let my_blocks: Vec<u32> = (0..n_blocks).filter(|b| b % n_ranks == p).collect();
     let mut rec = Recorder::new(p);
+    // Causal tracing: one sink shared by the recorder (span events) and
+    // the comm endpoint (message stamps), all against the shared epoch.
+    let sink = params.trace.then(|| TraceSink::new(p, epoch));
+    if let Some(s) = &sink {
+        rec.attach_trace(s.clone());
+        rank.attach_tracer(s.clone());
+    }
     rec.begin(Phase::Total);
 
     // ---- read ----
@@ -508,7 +553,11 @@ fn run_rank(
         // the slots it would have shipped, whose custody passed to the
         // receiving roots. Without a checkpoint its blocks stay lost.
         if crashed {
+            let recover_t0 = sink.as_ref().map(|s| s.now_ns());
             restore_own_state(&mut rec, store, p, r as u32, &shipped, &mut complexes)?;
+            if let (Some(s), Some(r0)) = (&sink, recover_t0) {
+                s.span_at("recover", r0, s.now_ns());
+            }
         }
 
         // receive + glue phase: every root slot this rank owns
@@ -542,6 +591,7 @@ fn run_rank(
                         // round-boundary checkpoint, or absorb the
                         // orphaned block if there is none.
                         let t0 = Instant::now();
+                        let recover_t0 = sink.as_ref().map(|s| s.now_ns());
                         rec.add(Counter::Retries, 1);
                         let recovered = match store.load(owner, r as u32) {
                             Some(encoded) => {
@@ -568,6 +618,12 @@ fn run_rank(
                             Counter::RecoveryMs,
                             (waited + t0.elapsed()).as_millis() as u64,
                         );
+                        // Replay work happens HERE, so the trace charges
+                        // the recovering rank (this root), not the dead
+                        // member whose slot was replayed.
+                        if let (Some(s), Some(r0)) = (&sink, recover_t0) {
+                            s.span_at("recover", r0, s.now_ns());
+                        }
                     }
                     Err(e) => {
                         return Err(PipelineError::Comm {
@@ -602,7 +658,11 @@ fn run_rank(
             rec.add(Counter::Crashes, 1);
             complexes.clear();
             // nothing ships between here and the write: a full restore
+            let recover_t0 = sink.as_ref().map(|s| s.now_ns());
             restore_own_state(&mut rec, store, p, cursor, &[], &mut complexes)?;
+            if let (Some(s), Some(r0)) = (&sink, recover_t0) {
+                s.span_at("recover", r0, s.now_ns());
+            }
         }
     }
 
@@ -640,6 +700,12 @@ fn run_rank(
     rec.end(Phase::Write);
     rec.end(Phase::Total);
 
+    // Stop tracing before the telemetry/trace exchange below: the
+    // gathers are bookkeeping, not pipeline work, and must not observe
+    // themselves (same rule as the counter snapshot).
+    rank.detach_tracer();
+    rec.detach_trace();
+
     // Counter snapshot happens BEFORE the telemetry exchange below, so
     // the reported traffic is exactly the pipeline's own.
     let cs = rank.comm_stats();
@@ -673,7 +739,29 @@ fn run_rank(
         }
         None => None,
     };
-    Ok((telemetry, my_outputs, footer, threshold))
+
+    // Ship the frozen per-rank traces to root over the same collective
+    // (a second gather on its own tag; runs only when tracing is on).
+    let run_trace = match &sink {
+        Some(s) => {
+            let encoded = Bytes::from(s.finish().encode());
+            let gathered = rank
+                .gather(0, TAG_TRACE_GATHER, encoded)
+                .map_err(comm_err("gathering rank traces"))?;
+            match gathered {
+                Some(all) => {
+                    let mut traces = Vec::with_capacity(all.len());
+                    for b in &all {
+                        traces.push(RankTrace::decode(b).map_err(PipelineError::Telemetry)?);
+                    }
+                    Some(RunTrace::from_ranks(traces))
+                }
+                None => None,
+            }
+        }
+        None => None,
+    };
+    Ok((telemetry, my_outputs, footer, threshold, run_trace))
 }
 
 #[cfg(test)]

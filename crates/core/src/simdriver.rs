@@ -31,7 +31,7 @@ use msp_fault::FaultPlan;
 use msp_grid::rawio::{block_bytes, VolumeDType};
 use msp_grid::{Decomposition, ScalarField};
 use msp_morse::TraceLimits;
-use msp_telemetry::Json;
+use msp_telemetry::{Json, RankTrace, RunTrace, TimeoutStamp};
 use msp_vmpi::comm::{Inject, SendFate};
 use msp_vmpi::{IoParams, NetParams, Torus};
 use rayon::prelude::*;
@@ -75,6 +75,11 @@ pub struct SimParams {
     pub dtype: VolumeDType,
     /// Fault injection for the timing model (inactive by default).
     pub fault: SimFault,
+    /// Build a causal event trace on the virtual clocks — the same
+    /// [`RunTrace`] format the threaded backend records, so Chrome
+    /// export and critical-path analysis work identically on simulated
+    /// runs.
+    pub trace: bool,
 }
 
 impl Default for SimParams {
@@ -90,6 +95,7 @@ impl Default for SimParams {
             io: IoParams::default(),
             dtype: VolumeDType::F32,
             fault: SimFault::default(),
+            trace: false,
         }
     }
 }
@@ -165,6 +171,8 @@ pub struct SimReport {
     pub recovery_s: f64,
     /// Modeled time spent writing round-boundary checkpoints.
     pub checkpoint_s: f64,
+    /// Virtual-clock causal trace when [`SimParams::trace`] was on.
+    pub trace: Option<RunTrace>,
 }
 
 impl SimReport {
@@ -172,7 +180,7 @@ impl SimReport {
     /// threaded pipeline emits (`kind: "sim"`), so sim and run reports
     /// land side by side in `results/` and share tooling.
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut doc = Json::obj(vec![
             ("version", Json::U64(msp_telemetry::REPORT_VERSION as u64)),
             ("kind", Json::str("sim")),
             ("n_ranks", Json::U64(self.n_ranks as u64)),
@@ -219,7 +227,13 @@ impl SimReport {
                     ("checkpoint_s", Json::F64(self.checkpoint_s)),
                 ]),
             ),
-        ])
+        ]);
+        if let Some(cp) = self.trace.as_ref().and_then(|t| t.critical_path()) {
+            if let Json::Obj(pairs) = &mut doc {
+                pairs.push(("critical_path".to_string(), cp.to_json()));
+            }
+        }
+        doc
     }
 }
 
@@ -268,6 +282,12 @@ pub fn simulate(
     };
     let fplan = params.fault.plan.as_ref();
     let mut ledger = FaultLedger::default();
+    // Virtual-clock trace: spans/messages stamped in modeled seconds,
+    // converted to the trace's nanosecond timestamps.
+    let ns = |s: f64| (s.max(0.0) * 1e9).round() as u64;
+    let mut traces: Option<Vec<RankTrace>> = params
+        .trace
+        .then(|| (0..n_ranks).map(RankTrace::new).collect());
 
     // ---- read (modeled) ----
     let total_in: u64 = decomp
@@ -322,6 +342,16 @@ pub fn simulate(
             read_s + (b.t_build + b.t_simplify) * slow
         })
         .collect();
+    if let Some(tr) = &mut traces {
+        for (i, b) in blocks.iter().enumerate() {
+            let slow = fplan.map_or(1.0, |p| p.slow_factor(i));
+            let t_read_end = read_s;
+            let t_compute_end = t_read_end + b.t_build * slow;
+            tr[i].span("read", 0, ns(t_read_end));
+            tr[i].span("compute", ns(t_read_end), ns(t_compute_end));
+            tr[i].span("local_simplify", ns(t_compute_end), ns(clocks[i]));
+        }
+    }
     let mut complexes: Vec<Option<MsComplex>> = blocks.into_iter().map(|b| Some(b.ms)).collect();
 
     // ---- merge rounds ----
@@ -353,6 +383,10 @@ pub fn simulate(
                 alive.len() as u32,
             );
             for &s in &alive {
+                if let Some(tr) = &mut traces {
+                    let t0 = clocks[s as usize];
+                    tr[s as usize].span("checkpoint", ns(t0), ns(t0 + ck));
+                }
                 clocks[s as usize] += ck;
             }
             ledger.checkpoint_s += ck;
@@ -361,12 +395,14 @@ pub fn simulate(
         // pull out the group inputs serially (deterministic link
         // sequencing + fault charges), process groups in parallel
         let mut work: Vec<(u32, MsComplex, f64, Vec<MemberIn>)> = Vec::with_capacity(groups.len());
+        let mut round_entry: HashMap<u32, f64> = HashMap::new();
         for (root, members) in &groups {
             let root_ms = complexes[*root as usize].take().ok_or(SimError::DeadSlot {
                 slot: *root,
                 stage: "merge root",
             })?;
             let mut root_clock = clocks[*root as usize];
+            round_entry.insert(*root, root_clock);
             if fplan.is_some_and(|p| p.should_crash(*root as usize, round_no)) {
                 // A crashed root reboots from its own checkpoint: the
                 // round replays after a reload of its full state.
@@ -376,6 +412,9 @@ pub fn simulate(
                 ledger.retries += 1;
                 ledger.retry_bytes += bytes;
                 ledger.recovery_s += reload;
+                if let Some(tr) = &mut traces {
+                    tr[*root as usize].span("recover", ns(root_clock), ns(root_clock + reload));
+                }
                 root_clock += reload;
                 // keep root_ms: the sim models the recovered (bit-exact)
                 // data path, only the clock pays
@@ -390,6 +429,7 @@ pub fn simulate(
                 let hops = torus.hops(m, *root);
                 let seq = link_seq.entry((m as usize, *root as usize)).or_insert(0);
                 *seq += 1;
+                let tag = (round_no << 20) | m;
                 let mut arrive =
                     clocks[m as usize] + params.net.latency_s + params.net.hop_time_s * hops as f64;
                 if fplan.is_some_and(|p| p.should_crash(m as usize, round_no)) {
@@ -402,6 +442,19 @@ pub fn simulate(
                     ledger.retry_bytes += bytes;
                     ledger.recovery_s += params.fault.deadline_s + retry;
                     arrive = root_clock + params.fault.deadline_s + retry;
+                    if let Some(tr) = &mut traces {
+                        // No message left the dead member: the root's
+                        // trace shows the expired deadline and the
+                        // checkpoint re-ship as a recover span.
+                        let expire = root_clock + params.fault.deadline_s;
+                        tr[*root as usize].timeouts.push(TimeoutStamp {
+                            src: m,
+                            tag,
+                            t_ns: ns(expire),
+                            waited_ns: ns(params.fault.deadline_s),
+                        });
+                        tr[*root as usize].span("recover", ns(expire), ns(arrive));
+                    }
                 } else if let Some(p) = fplan {
                     match p.fate(m as usize, *root as usize, *seq) {
                         SendFate::Deliver => {}
@@ -414,6 +467,14 @@ pub fn simulate(
                             arrive += retry;
                         }
                         SendFate::Delay(d) => arrive += d.as_secs_f64(),
+                    }
+                }
+                if let Some(tr) = &mut traces {
+                    if !fplan.is_some_and(|p| p.should_crash(m as usize, round_no)) {
+                        // One causal pair per surviving transfer: drops and
+                        // delays move the arrival, they don't fork the edge.
+                        tr[m as usize].send(*root, tag, *seq, bytes, ns(clocks[m as usize]));
+                        tr[*root as usize].recv(m, tag, *seq, bytes, ns(arrive));
                     }
                 }
                 inputs.push(MemberIn {
@@ -453,6 +514,11 @@ pub fn simulate(
             comm_max = comm_max.max(comm);
             glue_max = glue_max.max(glue);
             bytes_moved += bytes;
+            if let Some(tr) = &mut traces {
+                let entry = round_entry.get(&root).copied().unwrap_or(clock);
+                tr[root as usize].span(&format!("merge_round[{r}]"), ns(entry), ns(clock));
+                tr[root as usize].span("glue", ns(clock - glue), ns(clock));
+            }
             clocks[root as usize] = clock;
             complexes[root as usize] = Some(ms);
         }
@@ -487,6 +553,10 @@ pub fn simulate(
             out_slots.len() as u32,
         );
         for &s in &out_slots {
+            if let Some(tr) = &mut traces {
+                let t0 = clocks[s as usize];
+                tr[s as usize].span("checkpoint", ns(t0), ns(t0 + ck));
+            }
             clocks[s as usize] += ck;
         }
         ledger.checkpoint_s += ck;
@@ -522,6 +592,23 @@ pub fn simulate(
         live_arcs += ms.n_live_arcs();
     }
 
+    if let Some(tr) = &mut traces {
+        // The collective write ends the run for the output slots; every
+        // other rank's story ends at its last local clock.
+        for &s in &out_slots {
+            let t0 = clocks[s as usize];
+            tr[s as usize].span("write", ns(t0), ns(t0 + write_s));
+        }
+        for (i, t) in tr.iter_mut().enumerate() {
+            let end = if out_slots.contains(&(i as u32)) {
+                clocks[i] + write_s
+            } else {
+                clocks[i]
+            };
+            t.span("total", 0, ns(end));
+        }
+    }
+
     Ok(SimReport {
         n_ranks,
         read_s,
@@ -541,6 +628,7 @@ pub fn simulate(
         retry_bytes: ledger.retry_bytes,
         recovery_s: ledger.recovery_s,
         checkpoint_s: ledger.checkpoint_s,
+        trace: traces.map(RunTrace::from_ranks),
     })
 }
 

@@ -51,7 +51,10 @@ pub enum CheckpointError {
     /// Version in the header we do not understand.
     BadVersion(u16),
     /// CRC mismatch: the payload was corrupted at rest or in flight.
-    BadCrc { expected: u32, found: u32 },
+    BadCrc {
+        expected: u32,
+        found: u32,
+    },
     Truncated,
     /// A slot's embedded complex failed wire decoding.
     Wire(WireError),
@@ -63,7 +66,10 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::BadMagic => write!(f, "bad magic (not an MSK1 checkpoint)"),
             CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
             CheckpointError::BadCrc { expected, found } => {
-                write!(f, "checkpoint CRC mismatch (expected {expected:#010x}, found {found:#010x})")
+                write!(
+                    f,
+                    "checkpoint CRC mismatch (expected {expected:#010x}, found {found:#010x})"
+                )
             }
             CheckpointError::Truncated => write!(f, "checkpoint truncated"),
             CheckpointError::Wire(e) => write!(f, "checkpoint slot payload: {e}"),
@@ -159,10 +165,7 @@ impl Checkpoint {
 
     /// The complex checkpointed for `block`, if present.
     pub fn slot(&self, block: u32) -> Option<&MsComplex> {
-        self.slots
-            .iter()
-            .find(|(b, _)| *b == block)
-            .map(|(_, c)| c)
+        self.slots.iter().find(|(b, _)| *b == block).map(|(_, c)| c)
     }
 }
 
@@ -247,7 +250,10 @@ mod tests {
         );
         let mut bad = bytes.to_vec();
         bad[0] = b'X';
-        assert_eq!(Checkpoint::decode(&bad).err(), Some(CheckpointError::BadMagic));
+        assert_eq!(
+            Checkpoint::decode(&bad).err(),
+            Some(CheckpointError::BadMagic)
+        );
     }
 
     #[test]

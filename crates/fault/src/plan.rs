@@ -99,9 +99,9 @@ impl FaultPlan {
 
     /// Does the plan crash `rank` at merge round `round`?
     pub fn should_crash(&self, rank: usize, round: u32) -> bool {
-        self.events
-            .iter()
-            .any(|e| matches!(e, FaultEvent::Crash { rank: r, round: k } if *r == rank && *k == round))
+        self.events.iter().any(
+            |e| matches!(e, FaultEvent::Crash { rank: r, round: k } if *r == rank && *k == round),
+        )
     }
 
     /// Compute-slowdown factor for `rank` (product of all matching
@@ -113,7 +113,7 @@ impl FaultPlan {
                 FaultEvent::SlowRank { rank: r, factor } if *r == rank => Some(*factor),
                 _ => None,
             })
-        .product()
+            .product()
     }
 
     /// Total number of crash events (any rank, any round).
@@ -198,7 +198,9 @@ impl FromStr for FaultPlan {
                 clause: clause.to_string(),
                 what,
             };
-            let (kind, rest) = clause.split_once(':').ok_or(bad("missing `kind:` prefix"))?;
+            let (kind, rest) = clause
+                .split_once(':')
+                .ok_or(bad("missing `kind:` prefix"))?;
             match kind.trim() {
                 "crash" => {
                     let (r, k) = rest.split_once('@').ok_or(bad("expected `crash:R@K`"))?;
@@ -217,8 +219,9 @@ impl FromStr for FaultPlan {
                     );
                 }
                 "delay" => {
-                    let (link, tail) =
-                        rest.split_once('#').ok_or(bad("expected `delay:F->T#N+MS`"))?;
+                    let (link, tail) = rest
+                        .split_once('#')
+                        .ok_or(bad("expected `delay:F->T#N+MS`"))?;
                     let (f, t) = link.split_once("->").ok_or(bad("expected `F->T` link"))?;
                     let (n, ms) = tail.split_once('+').ok_or(bad("expected `N+MS` tail"))?;
                     plan = plan.delay_msg(
@@ -327,9 +330,21 @@ mod tests {
             p.events,
             vec![
                 FaultEvent::Crash { rank: 2, round: 1 },
-                FaultEvent::DropMsg { from: 0, to: 3, nth: 7 },
-                FaultEvent::DelayMsg { from: 1, to: 0, nth: 2, delay_ms: 40 },
-                FaultEvent::SlowRank { rank: 5, factor: 3.5 },
+                FaultEvent::DropMsg {
+                    from: 0,
+                    to: 3,
+                    nth: 7
+                },
+                FaultEvent::DelayMsg {
+                    from: 1,
+                    to: 0,
+                    nth: 2,
+                    delay_ms: 40
+                },
+                FaultEvent::SlowRank {
+                    rank: 5,
+                    factor: 3.5
+                },
             ]
         );
         assert_eq!("".parse::<FaultPlan>().unwrap(), FaultPlan::new());

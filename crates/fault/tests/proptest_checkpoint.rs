@@ -25,11 +25,10 @@ fn complex_from_spec(blocks: Vec<u32>, spec: &[(u8, bool, u8)]) -> MsComplex {
     // connect every adjacent-index pair among consecutive nodes
     for (i, &(_, _, path_len)) in spec.iter().enumerate().skip(1) {
         let (a, b) = (i as u32, i as u32 - 1);
-        let (ia, ib) = (
-            ms.nodes[a as usize].index,
-            ms.nodes[b as usize].index,
-        );
-        let path: Vec<u64> = (0..u64::from(path_len) + 2).map(|k| k * 7 + i as u64).collect();
+        let (ia, ib) = (ms.nodes[a as usize].index, ms.nodes[b as usize].index);
+        let path: Vec<u64> = (0..u64::from(path_len) + 2)
+            .map(|k| k * 7 + i as u64)
+            .collect();
         if ia == ib + 1 {
             let g = ms.add_leaf_geom(&path);
             ms.add_arc(a, b, g);

@@ -2,9 +2,9 @@
 //!
 //! The workspace registry is offline-only, so the report writer cannot
 //! pull in `serde_json`; this module is the (tiny) subset we need:
-//! building a tree of values and rendering it as pretty-printed,
-//! deterministic JSON text. There is intentionally no parser — readers of
-//! `.telemetry.json` files are external tools.
+//! building a tree of values, rendering it as pretty-printed
+//! deterministic JSON text, and parsing it back ([`Json::parse`]) so
+//! the trace self-checks can round-trip the documents we emit.
 
 use std::fmt;
 
@@ -33,6 +33,23 @@ impl Json {
     /// Convenience constructor for objects from `(key, value)` pairs.
     pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
         Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Parse a JSON document. Integers without fraction/exponent become
+    /// [`Json::U64`]/[`Json::I64`]; all other numbers become
+    /// [`Json::F64`]. Errors carry the byte offset of the problem.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            b: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.b.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
     }
 
     /// Render with 2-space indentation and a trailing newline.
@@ -116,6 +133,201 @@ fn indent(out: &mut String, depth: usize) {
     }
 }
 
+/// Recursive-descent parser over the document bytes.
+struct Parser<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .b
+            .get(self.pos)
+            .is_some_and(|c| matches!(c, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(format!("unexpected '{}' at byte {}", c as char, self.pos)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            pairs.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.b[start..self.pos])
+                    .map_err(|_| format!("invalid UTF-8 near byte {start}"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let e = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .b
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| "bad \\u escape".to_string())?,
+                                16,
+                            )
+                            .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our
+                            // writer; map lone surrogates to U+FFFD.
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        c => {
+                            return Err(format!(
+                                "unknown escape '\\{}' at byte {}",
+                                c as char, self.pos
+                            ))
+                        }
+                    }
+                }
+                _ => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    integral = false;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.b[start..self.pos]).unwrap();
+        if integral {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::U64(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::I64(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::F64)
+            .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+    }
+}
+
 fn escape_into(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
@@ -169,5 +381,58 @@ mod tests {
         assert_eq!(s.matches('{').count(), s.matches('}').count(),);
         assert_eq!(s.matches('[').count(), s.matches(']').count());
         assert!(s.ends_with('\n'));
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let v = Json::obj(vec![
+            ("name", Json::str("run \"x\"\n")),
+            ("pi", Json::F64(3.25)),
+            ("n", Json::U64(42)),
+            ("neg", Json::I64(-7)),
+            ("flag", Json::Bool(false)),
+            ("nothing", Json::Null),
+            (
+                "items",
+                Json::Arr(vec![Json::U64(1), Json::str("two"), Json::Arr(vec![])]),
+            ),
+            ("empty", Json::Obj(vec![])),
+        ]);
+        assert_eq!(Json::parse(&v.pretty()).unwrap(), v);
+        assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_number_classes() {
+        assert_eq!(Json::parse("42").unwrap(), Json::U64(42));
+        assert_eq!(Json::parse("-7").unwrap(), Json::I64(-7));
+        assert_eq!(Json::parse("1.5").unwrap(), Json::F64(1.5));
+        assert_eq!(Json::parse("2e3").unwrap(), Json::F64(2000.0));
+        assert_eq!(Json::parse("-0.25").unwrap(), Json::F64(-0.25));
+        assert_eq!(
+            Json::parse("18446744073709551615").unwrap(),
+            Json::U64(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn parse_escapes_and_whitespace() {
+        assert_eq!(
+            Json::parse("  \"a\\u0041\\n\\\"\"  ").unwrap(),
+            Json::str("aA\n\"")
+        );
+        assert_eq!(
+            Json::parse("[ 1 , 2 ]").unwrap(),
+            Json::Arr(vec![Json::U64(1), Json::U64(2)])
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "", "{", "[1,", "{\"a\"}", "tru", "\"open", "1 2", "{\"a\":}", "[,]", "nul", "\"\\q\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should not parse");
+        }
     }
 }

@@ -14,8 +14,12 @@
 //! * [`RankReport`] / [`RunReport`] — frozen per-rank data with a
 //!   compact wire encoding, cross-rank min/mean/max/imbalance
 //!   aggregation, and a versioned `.telemetry.json` writer;
-//! * [`Json`] — the dependency-free JSON document builder the writers
-//!   use (the build is offline; no serde_json).
+//! * [`TraceSink`] / [`RankTrace`] / [`RunTrace`] — causal event
+//!   tracing: timestamped spans + message stamps per rank, Chrome
+//!   trace-event export for Perfetto, and critical-path analysis
+//!   ([`CriticalPath`]);
+//! * [`Json`] — the dependency-free JSON document builder/parser the
+//!   writers use (the build is offline; no serde_json).
 //!
 //! The crate is intentionally std-only so it can never constrain where
 //! instrumentation is threaded.
@@ -25,11 +29,17 @@ pub mod json;
 pub mod phase;
 pub mod recorder;
 pub mod report;
+pub mod trace;
+pub(crate) mod wirefmt;
 
 pub use counter::{Counter, ALL_COUNTERS};
 pub use json::Json;
 pub use phase::Phase;
-pub use recorder::Recorder;
+pub use recorder::{Recorder, SpanError};
 pub use report::{
     aggregate, write_named_json, Agg, CounterStat, PhaseStat, RankReport, RunReport, REPORT_VERSION,
+};
+pub use trace::{
+    CriticalPath, FlowEdge, MatchReport, MsgStamp, PathStep, RankTrace, RunTrace, TimeoutStamp,
+    TraceSink, TraceSpan, TRACE_VERSION,
 };

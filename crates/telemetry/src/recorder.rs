@@ -9,12 +9,47 @@
 //! `glue` span inside `merge_round[1]` counts toward `glue` and toward
 //! `merge_round[1]` — phase times are therefore *not* disjoint and do
 //! not sum to `total`.
+//!
+//! Unbalanced instrumentation (an `end` for a phase that isn't the
+//! innermost open span, or a `finish` with spans still open) is a bug in
+//! the caller, but it must not take down a production run: it surfaces
+//! as a [`SpanError`] from [`try_end`](Recorder::try_end) and as the
+//! `unbalanced` incident count on the frozen report, never as a panic.
 
 use crate::counter::{Counter, ALL_COUNTERS};
 use crate::phase::Phase;
 use crate::report::RankReport;
+use crate::trace::TraceSink;
 use std::collections::BTreeMap;
 use std::time::Instant;
+
+/// Misuse of the span API, reported instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpanError {
+    /// `end(phase)` with no span open at all.
+    NoOpenSpan { ending: Phase },
+    /// `end(phase)` while a *different* phase is the innermost open
+    /// span. The stack is left untouched so the innermost span can
+    /// still be closed correctly.
+    Mismatch { ending: Phase, innermost: Phase },
+}
+
+impl std::fmt::Display for SpanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpanError::NoOpenSpan { ending } => {
+                write!(f, "ended span {:?} but no span is open", ending)
+            }
+            SpanError::Mismatch { ending, innermost } => write!(
+                f,
+                "span nesting mismatch: ending {:?} but innermost open span is {:?}",
+                ending, innermost
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpanError {}
 
 /// Phase spans + counters of one rank.
 #[derive(Debug)]
@@ -23,6 +58,10 @@ pub struct Recorder {
     phases: BTreeMap<Phase, f64>,
     counters: [u64; Counter::COUNT],
     stack: Vec<(Phase, Instant)>,
+    /// Span-API misuse incidents (mismatched/unclosed spans).
+    unbalanced: u32,
+    /// Optional event tracer mirroring begin/end as timestamped spans.
+    sink: Option<TraceSink>,
 }
 
 impl Recorder {
@@ -32,6 +71,8 @@ impl Recorder {
             phases: BTreeMap::new(),
             counters: [0; Counter::COUNT],
             stack: Vec::new(),
+            unbalanced: 0,
+            sink: None,
         }
     }
 
@@ -39,24 +80,59 @@ impl Recorder {
         self.rank
     }
 
+    /// Mirror every span into `sink` as a timestamped trace event (the
+    /// aggregate phase buckets keep accumulating as before).
+    pub fn attach_trace(&mut self, sink: TraceSink) {
+        self.sink = Some(sink);
+    }
+
+    /// Stop mirroring spans into the trace sink (used before the
+    /// trace itself is gathered, so the gather is not self-observed).
+    pub fn detach_trace(&mut self) -> Option<TraceSink> {
+        self.sink.take()
+    }
+
     /// Open a span for `phase`. Spans nest; close them in LIFO order.
     pub fn begin(&mut self, phase: Phase) {
+        if let Some(sink) = &self.sink {
+            sink.begin(&phase.key());
+        }
         self.stack.push((phase, Instant::now()));
     }
 
-    /// Close the innermost span, which must be `phase` (panics
-    /// otherwise — a mismatch is an instrumentation bug, not a data
-    /// error). Returns the seconds of this span occurrence.
+    /// Close the innermost span, which must be `phase`. Returns the
+    /// seconds of this span occurrence, or a [`SpanError`] describing
+    /// the misuse (the mismatch case leaves the stack untouched).
+    pub fn try_end(&mut self, phase: Phase) -> Result<f64, SpanError> {
+        match self.stack.last() {
+            None => Err(SpanError::NoOpenSpan { ending: phase }),
+            Some((open, _)) if *open != phase => Err(SpanError::Mismatch {
+                ending: phase,
+                innermost: *open,
+            }),
+            Some(_) => {
+                let (_, started) = self.stack.pop().unwrap();
+                let secs = started.elapsed().as_secs_f64();
+                *self.phases.entry(phase).or_insert(0.0) += secs;
+                if let Some(sink) = &self.sink {
+                    sink.end();
+                }
+                Ok(secs)
+            }
+        }
+    }
+
+    /// Close the innermost span, which must be `phase`. Returns the
+    /// seconds of this span occurrence; on misuse records an unbalanced
+    /// incident (surfaced on the report) and returns 0.
     pub fn end(&mut self, phase: Phase) -> f64 {
-        let (open, started) = self.stack.pop().expect("Recorder::end with no open span");
-        assert_eq!(
-            open, phase,
-            "span nesting mismatch: ending {:?} but innermost open span is {:?}",
-            phase, open
-        );
-        let secs = started.elapsed().as_secs_f64();
-        *self.phases.entry(phase).or_insert(0.0) += secs;
-        secs
+        match self.try_end(phase) {
+            Ok(secs) => secs,
+            Err(_) => {
+                self.unbalanced += 1;
+                0.0
+            }
+        }
     }
 
     /// Run `f` inside a `phase` span (exception-unsafe convenience: a
@@ -85,6 +161,11 @@ impl Recorder {
         self.stack.len()
     }
 
+    /// Span-API misuse incidents recorded so far.
+    pub fn unbalanced(&self) -> u32 {
+        self.unbalanced
+    }
+
     /// Add `n` to counter `c`.
     pub fn add(&mut self, c: Counter, n: u64) {
         self.counters[c.index()] += n;
@@ -95,16 +176,20 @@ impl Recorder {
         self.counters[c.index()]
     }
 
-    /// Freeze into a wire-encodable per-rank report. Panics if spans are
-    /// still open.
-    pub fn finish(&self) -> RankReport {
-        assert!(
-            self.stack.is_empty(),
-            "Recorder::finish with {} open span(s)",
-            self.stack.len()
-        );
+    /// Freeze into a wire-encodable per-rank report. Spans still open
+    /// are closed now (their elapsed time accumulates) and each counts
+    /// as an unbalanced incident on the report.
+    pub fn finish(&mut self) -> RankReport {
+        while let Some((phase, started)) = self.stack.pop() {
+            self.unbalanced += 1;
+            *self.phases.entry(phase).or_insert(0.0) += started.elapsed().as_secs_f64();
+            if let Some(sink) = &self.sink {
+                sink.end();
+            }
+        }
         RankReport {
             rank: self.rank,
+            unbalanced: self.unbalanced,
             phases: self.phases.iter().map(|(p, s)| (p.key(), *s)).collect(),
             counters: ALL_COUNTERS
                 .iter()
@@ -146,20 +231,62 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "span nesting mismatch")]
-    fn mismatched_end_panics() {
+    fn mismatched_end_is_typed_error_not_panic() {
         let mut r = Recorder::new(0);
         r.begin(Phase::Read);
         r.begin(Phase::Gradient);
-        r.end(Phase::Read);
+        let err = r.try_end(Phase::Read).unwrap_err();
+        assert_eq!(
+            err,
+            SpanError::Mismatch {
+                ending: Phase::Read,
+                innermost: Phase::Gradient
+            }
+        );
+        assert!(err.to_string().contains("nesting mismatch"));
+        // the stack was left intact: the correct close still works
+        assert_eq!(r.open_spans(), 2);
+        assert!(r.try_end(Phase::Gradient).is_ok());
+        assert!(r.try_end(Phase::Read).is_ok());
+        assert_eq!(r.unbalanced(), 0, "try_end does not count incidents");
     }
 
     #[test]
-    #[should_panic(expected = "open span")]
-    fn finish_with_open_span_panics() {
+    fn end_with_no_open_span_is_flagged() {
+        let mut r = Recorder::new(0);
+        assert_eq!(
+            r.try_end(Phase::Write).unwrap_err(),
+            SpanError::NoOpenSpan {
+                ending: Phase::Write
+            }
+        );
+        assert_eq!(r.end(Phase::Write), 0.0);
+        assert_eq!(r.unbalanced(), 1);
+        let rep = r.finish();
+        assert_eq!(rep.unbalanced, 1);
+    }
+
+    #[test]
+    fn finish_with_open_span_flags_and_accumulates() {
         let mut r = Recorder::new(0);
         r.begin(Phase::Read);
-        let _ = r.finish();
+        r.begin(Phase::Gradient);
+        let rep = r.finish();
+        assert_eq!(rep.unbalanced, 2);
+        assert_eq!(r.open_spans(), 0, "finish closed the open spans");
+        assert!(r.phase_seconds(Phase::Read) >= r.phase_seconds(Phase::Gradient));
+        assert!(rep.phases.iter().any(|(k, _)| k == "read"));
+    }
+
+    #[test]
+    fn mismatched_end_via_end_flags_but_keeps_stack() {
+        let mut r = Recorder::new(0);
+        r.begin(Phase::Read);
+        assert_eq!(r.end(Phase::Write), 0.0, "mismatch yields zero seconds");
+        assert_eq!(r.unbalanced(), 1);
+        assert_eq!(r.open_spans(), 1, "mismatch leaves innermost span open");
+        assert!(r.end(Phase::Read) >= 0.0);
+        assert_eq!(r.finish().unbalanced, 1);
     }
 
     #[test]
@@ -184,6 +311,7 @@ mod tests {
         r.add_seconds(Phase::Read, 1.25);
         let rep = r.finish();
         assert_eq!(rep.rank, 7);
+        assert_eq!(rep.unbalanced, 0);
         // phases are in taxonomy order (BTreeMap over Phase)
         assert_eq!(rep.phases[0].0, "read");
         assert_eq!(rep.phases[1].0, "write");
@@ -191,5 +319,41 @@ mod tests {
         // all counters are always present
         assert_eq!(rep.counters.len(), Counter::COUNT);
         assert_eq!(rep.counter("msgs_sent"), 1);
+    }
+
+    #[test]
+    fn attached_sink_mirrors_spans() {
+        let mut r = Recorder::new(2);
+        let sink = TraceSink::new(2, Instant::now());
+        r.attach_trace(sink.clone());
+        r.begin(Phase::Read);
+        r.begin(Phase::Gradient);
+        r.end(Phase::Gradient);
+        r.end(Phase::Read);
+        assert!(r.detach_trace().is_some());
+        r.begin(Phase::Write); // after detach: not traced
+        r.end(Phase::Write);
+        let t = sink.finish();
+        assert_eq!(t.spans.len(), 2);
+        assert_eq!(t.spans[0].key, "gradient");
+        assert_eq!(t.spans[1].key, "read");
+        assert_eq!(t.unbalanced, 0);
+        // trace durations agree with recorder phase totals
+        let read_trace = t.span_seconds("read");
+        assert!(read_trace >= r.phase_seconds(Phase::Gradient));
+        assert!((read_trace - r.phase_seconds(Phase::Read)).abs() < 0.05);
+    }
+
+    #[test]
+    fn finish_closes_sink_spans_too() {
+        let mut r = Recorder::new(0);
+        let sink = TraceSink::new(0, Instant::now());
+        r.attach_trace(sink.clone());
+        r.begin(Phase::Read);
+        let rep = r.finish();
+        assert_eq!(rep.unbalanced, 1);
+        let t = sink.finish();
+        assert_eq!(t.spans.len(), 1, "sink span closed by recorder finish");
+        assert_eq!(t.unbalanced, 0, "sink itself saw balanced begin/end");
     }
 }

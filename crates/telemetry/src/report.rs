@@ -10,17 +10,23 @@
 
 use crate::json::Json;
 use crate::phase::sort_phase_keys;
+use crate::wirefmt::{encode_str, Cursor};
 use std::io;
 use std::path::{Path, PathBuf};
 
 /// Schema version written into every report (bump on breaking changes
 /// to the JSON layout or the rank-report wire encoding).
-pub const REPORT_VERSION: u32 = 1;
+///
+/// v2: per-rank `unbalanced` span-misuse incident count (wire + JSON).
+pub const REPORT_VERSION: u32 = 2;
 
 /// Frozen phase times (seconds) and counters of one rank.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RankReport {
     pub rank: u32,
+    /// Span-API misuse incidents (mismatched/unclosed spans) — nonzero
+    /// means this rank's phase times are best-effort, not exact.
+    pub unbalanced: u32,
     /// `(phase key, accumulated seconds)`, taxonomy-ordered.
     pub phases: Vec<(String, f64)>,
     /// `(counter key, value)`, one entry per taxonomy counter.
@@ -58,6 +64,7 @@ impl RankReport {
         let mut out = Vec::with_capacity(64 + 24 * (self.phases.len() + self.counters.len()));
         out.extend_from_slice(&REPORT_VERSION.to_le_bytes());
         out.extend_from_slice(&self.rank.to_le_bytes());
+        out.extend_from_slice(&self.unbalanced.to_le_bytes());
         out.extend_from_slice(&(self.phases.len() as u32).to_le_bytes());
         for (k, secs) in &self.phases {
             encode_str(&mut out, k);
@@ -73,7 +80,7 @@ impl RankReport {
 
     /// Inverse of [`encode`](RankReport::encode).
     pub fn decode(buf: &[u8]) -> Result<RankReport, String> {
-        let mut c = Cursor { buf, pos: 0 };
+        let mut c = Cursor::new(buf, "rank report");
         let version = c.u32()?;
         if version != REPORT_VERSION {
             return Err(format!(
@@ -81,67 +88,28 @@ impl RankReport {
             ));
         }
         let rank = c.u32()?;
+        let unbalanced = c.u32()?;
         let n_phases = c.u32()? as usize;
         let mut phases = Vec::with_capacity(n_phases.min(4096));
         for _ in 0..n_phases {
             let k = c.string()?;
-            let s = f64::from_le_bytes(c.take(8)?.try_into().unwrap());
+            let s = c.f64()?;
             phases.push((k, s));
         }
         let n_counters = c.u32()? as usize;
         let mut counters = Vec::with_capacity(n_counters.min(4096));
         for _ in 0..n_counters {
             let k = c.string()?;
-            let v = u64::from_le_bytes(c.take(8)?.try_into().unwrap());
+            let v = c.u64()?;
             counters.push((k, v));
         }
-        if c.pos != buf.len() {
-            return Err(format!(
-                "rank report has {} trailing byte(s)",
-                buf.len() - c.pos
-            ));
-        }
+        c.expect_end()?;
         Ok(RankReport {
             rank,
+            unbalanced,
             phases,
             counters,
         })
-    }
-}
-
-fn encode_str(out: &mut Vec<u8>, s: &str) {
-    let b = s.as_bytes();
-    assert!(b.len() <= u16::MAX as usize, "report key too long");
-    out.extend_from_slice(&(b.len() as u16).to_le_bytes());
-    out.extend_from_slice(b);
-}
-
-struct Cursor<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
-        if self.pos + n > self.buf.len() {
-            return Err(format!(
-                "rank report truncated at byte {} (wanted {n} more)",
-                self.pos
-            ));
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
-    }
-
-    fn u32(&mut self) -> Result<u32, String> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        let len = u16::from_le_bytes(self.take(2)?.try_into().unwrap()) as usize;
-        let b = self.take(len)?;
-        String::from_utf8(b.to_vec()).map_err(|_| "report key is not UTF-8".to_string())
     }
 }
 
@@ -319,6 +287,12 @@ impl RunReport {
             .unwrap_or(0)
     }
 
+    /// Summed span-misuse incidents across ranks — nonzero means some
+    /// rank's phase times are best-effort.
+    pub fn unbalanced_total(&self) -> u32 {
+        self.ranks.iter().map(|r| r.unbalanced).sum()
+    }
+
     /// The JSON document (see DESIGN.md §Telemetry for the schema).
     pub fn to_json(&self) -> Json {
         let phases = Json::Obj(
@@ -350,6 +324,7 @@ impl RunReport {
                 .map(|r| {
                     Json::obj(vec![
                         ("rank", Json::U64(r.rank as u64)),
+                        ("unbalanced", Json::U64(r.unbalanced as u64)),
                         (
                             "phases",
                             Json::Obj(
@@ -377,6 +352,7 @@ impl RunReport {
             ("kind", Json::str("run")),
             ("name", Json::str(&self.name)),
             ("n_ranks", Json::U64(self.n_ranks as u64)),
+            ("unbalanced", Json::U64(self.unbalanced_total() as u64)),
             ("meta", Json::Obj(self.meta.clone())),
             ("phases", phases),
             ("counters", counters),
@@ -408,6 +384,7 @@ mod tests {
     fn rank_report(rank: u32, read: f64, bytes: u64) -> RankReport {
         RankReport {
             rank,
+            unbalanced: 0,
             phases: vec![
                 ("read".to_string(), read),
                 ("total".to_string(), read * 2.0),
@@ -421,7 +398,8 @@ mod tests {
 
     #[test]
     fn encode_decode_round_trip() {
-        let r = rank_report(5, 0.125, 4096);
+        let mut r = rank_report(5, 0.125, 4096);
+        r.unbalanced = 3;
         let back = RankReport::decode(&r.encode()).unwrap();
         assert_eq!(back, r);
     }
@@ -500,9 +478,21 @@ mod tests {
         let path = rep.write(&dir).unwrap();
         assert!(path.ends_with("t.telemetry.json"));
         let text = std::fs::read_to_string(&path).unwrap();
-        assert!(text.contains("\"version\": 1"));
+        assert!(text.contains("\"version\": 2"));
         assert!(text.contains("\"blocks\": 8"));
         assert!(text.contains("\"bytes_sent\""));
+        assert!(text.contains("\"unbalanced\": 0"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unbalanced_surfaces_in_totals_and_json() {
+        let mut a = rank_report(0, 1.0, 1);
+        a.unbalanced = 2;
+        let b = rank_report(1, 1.0, 1);
+        let rep = RunReport::from_ranks("u", vec![a, b]);
+        assert_eq!(rep.unbalanced_total(), 2);
+        let text = rep.to_json().pretty();
+        assert!(text.contains("\"unbalanced\": 2"));
     }
 }

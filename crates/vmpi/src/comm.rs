@@ -19,9 +19,18 @@
 //! ([`Universe::run_with_inject`]): a deterministic plan can drop or
 //! delay the n-th message on any directed link without the pipeline
 //! code knowing injection exists.
+//!
+//! Causal tracing plugs in the same way: [`Rank::attach_tracer`] hands
+//! the endpoint a [`TraceSink`], and every data-plane send/recv is
+//! stamped with `(src, dst, tag, seq, bytes)` — `seq` being the 1-based
+//! per-directed-link ordinal carried in the message envelope, so the
+//! two sides of a transfer can be paired exactly after the run even
+//! when injection dropped or delayed messages in between. Control-plane
+//! barrier tokens are neither counted nor traced.
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use msp_telemetry::TraceSink;
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -30,6 +39,8 @@ use std::time::{Duration, Instant};
 struct Msg {
     from: usize,
     tag: u32,
+    /// Per-directed-link ordinal (0 for control-plane tokens).
+    seq: u64,
     payload: Bytes,
 }
 
@@ -150,6 +161,7 @@ impl Universe {
                         barrier_gen: Cell::new(0),
                         link_seq: RefCell::new(vec![0; world]),
                         inject,
+                        tracer: RefCell::new(None),
                     };
                     f(&mut r)
                 }));
@@ -162,20 +174,27 @@ impl Universe {
     }
 }
 
+/// Out-of-order messages parked until their `(source, tag)` is asked
+/// for, each alongside its envelope sequence number.
+type Stash = HashMap<(usize, u32), VecDeque<(Bytes, u64)>>;
+
 /// A rank's communication endpoint. Not `Sync`: it lives on one thread.
 pub struct Rank {
     rank: usize,
     size: usize,
     senders: Arc<Vec<Sender<Msg>>>,
     receiver: Receiver<Msg>,
-    stash: RefCell<HashMap<(usize, u32), VecDeque<Bytes>>>,
+    stash: RefCell<Stash>,
     stats: Cell<CommStats>,
     /// Wrapping barrier generation; dissemination tags embed it so a
     /// fast rank entering the next barrier cannot confuse a slow one.
     barrier_gen: Cell<u8>,
-    /// Per-destination message ordinals feeding the injection hook.
+    /// Per-destination message ordinals: feed the injection hook and
+    /// travel in the envelope as the causal-matching sequence number.
     link_seq: RefCell<Vec<u64>>,
     inject: Option<Arc<dyn Inject>>,
+    /// Optional causal tracer stamping data-plane sends/recvs.
+    tracer: RefCell<Option<TraceSink>>,
 }
 
 impl Rank {
@@ -185,6 +204,19 @@ impl Rank {
 
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// Stamp every subsequent data-plane send/recv (and receive
+    /// timeout) into `sink`. The sink must share its epoch with the
+    /// other ranks' sinks for cross-rank timestamps to be comparable.
+    pub fn attach_tracer(&self, sink: TraceSink) {
+        *self.tracer.borrow_mut() = Some(sink);
+    }
+
+    /// Stop stamping comm events (e.g. before the trace itself is
+    /// gathered, so the gather does not observe itself).
+    pub fn detach_tracer(&self) -> Option<TraceSink> {
+        self.tracer.borrow_mut().take()
     }
 
     /// Snapshot of this rank's cumulative traffic counters.
@@ -219,6 +251,7 @@ impl Rank {
             .send(Msg {
                 from: self.rank,
                 tag,
+                seq: 0,
                 payload: Bytes::new(),
             })
             .map_err(|_| CommError::Disconnected { peer: to, tag })
@@ -233,15 +266,22 @@ impl Rank {
     /// losing a message is the receiver's problem, exactly as on a real
     /// interconnect.
     pub fn send(&self, to: usize, tag: u32, payload: Bytes) -> Result<(), CommError> {
+        let seq = {
+            let mut ls = self.link_seq.borrow_mut();
+            ls[to] += 1;
+            ls[to]
+        };
         let fate = match &self.inject {
-            Some(h) => {
-                let mut seq = self.link_seq.borrow_mut();
-                seq[to] += 1;
-                h.fate(self.rank, to, seq[to])
-            }
+            Some(h) => h.fate(self.rank, to, seq),
             None => SendFate::Deliver,
         };
         self.count_sent(payload.len());
+        // Stamp at hand-off, before any injected delay: the trace
+        // records when the sender let go. A dropped message is stamped
+        // too — it surfaces later as an unmatched orphan send.
+        if let Some(t) = self.tracer.borrow().as_ref() {
+            t.send(to as u32, tag, seq, payload.len() as u64);
+        }
         match fate {
             SendFate::Drop => return Ok(()),
             SendFate::Delay(d) => std::thread::sleep(d),
@@ -251,6 +291,7 @@ impl Rank {
             .send(Msg {
                 from: self.rank,
                 tag,
+                seq,
                 payload,
             })
             .map_err(|_| CommError::Disconnected { peer: to, tag })
@@ -277,8 +318,9 @@ impl Rank {
         deadline: Option<Duration>,
     ) -> Result<Bytes, CommError> {
         if let Some(q) = self.stash.borrow_mut().get_mut(&(from, tag)) {
-            if let Some(b) = q.pop_front() {
+            if let Some((b, seq)) = q.pop_front() {
                 self.count_recv(b.len());
+                self.trace_recv(from, tag, seq, b.len());
                 return Ok(b);
             }
         }
@@ -291,17 +333,16 @@ impl Rank {
                     .map_err(|_| CommError::Disconnected { peer: from, tag })?,
                 Some(d) => {
                     let waited = started.elapsed();
-                    let left =
-                        d.checked_sub(waited)
-                            .ok_or(CommError::Timeout { from, tag, waited })?;
+                    let left = d.checked_sub(waited).ok_or_else(|| {
+                        self.trace_timeout(from, tag, waited);
+                        CommError::Timeout { from, tag, waited }
+                    })?;
                     match self.receiver.recv_timeout(left) {
                         Ok(m) => m,
                         Err(RecvTimeoutError::Timeout) => {
-                            return Err(CommError::Timeout {
-                                from,
-                                tag,
-                                waited: started.elapsed(),
-                            })
+                            let waited = started.elapsed();
+                            self.trace_timeout(from, tag, waited);
+                            return Err(CommError::Timeout { from, tag, waited });
                         }
                         Err(RecvTimeoutError::Disconnected) => {
                             return Err(CommError::Disconnected { peer: from, tag })
@@ -311,13 +352,30 @@ impl Rank {
             };
             if msg.from == from && msg.tag == tag {
                 self.count_recv(msg.payload.len());
+                self.trace_recv(from, tag, msg.seq, msg.payload.len());
                 return Ok(msg.payload);
             }
             self.stash
                 .borrow_mut()
                 .entry((msg.from, msg.tag))
                 .or_default()
-                .push_back(msg.payload);
+                .push_back((msg.payload, msg.seq));
+        }
+    }
+
+    /// Stamp a matched data-plane receive (attributed to the receive
+    /// that consumed it, like CommStats, so the envelope seq pairs it
+    /// with its send).
+    fn trace_recv(&self, from: usize, tag: u32, seq: u64, bytes: usize) {
+        if let Some(t) = self.tracer.borrow().as_ref() {
+            t.recv(from as u32, tag, seq, bytes as u64);
+        }
+    }
+
+    /// Stamp an expired receive deadline — the fault-detection event.
+    fn trace_timeout(&self, from: usize, tag: u32, waited: Duration) {
+        if let Some(t) = self.tracer.borrow().as_ref() {
+            t.timeout(from as u32, tag, waited.as_nanos() as u64);
         }
     }
 
@@ -363,7 +421,7 @@ impl Rank {
                 .borrow_mut()
                 .entry((msg.from, msg.tag))
                 .or_default()
-                .push_back(msg.payload);
+                .push_back((msg.payload, msg.seq));
         }
     }
 
@@ -770,6 +828,82 @@ mod tests {
         });
         assert!(out[0], "delay charged on the sending side");
         assert!(out[1]);
+    }
+
+    #[test]
+    fn tracer_stamps_sends_recvs_and_pairs_by_seq() {
+        use msp_telemetry::RunTrace;
+        let epoch = Instant::now();
+        let traces = Universe::run(3, |r| {
+            let sink = TraceSink::new(r.rank() as u32, epoch);
+            r.attach_tracer(sink.clone());
+            let next = (r.rank() + 1) % r.size();
+            let prev = (r.rank() + r.size() - 1) % r.size();
+            // two messages per link, received out of order to cross
+            // the stash path
+            r.send(next, 11, Bytes::from_static(b"first")).unwrap();
+            r.send(next, 12, Bytes::from_static(b"second!")).unwrap();
+            let b = r.recv(prev, 12).unwrap();
+            assert_eq!(&b[..], b"second!");
+            let a = r.recv(prev, 11).unwrap();
+            assert_eq!(&a[..], b"first");
+            r.barrier().unwrap(); // control plane: must not be traced
+            r.detach_tracer();
+            r.send(next, 13, Bytes::from_static(b"untraced")).unwrap();
+            let _ = r.recv(prev, 13).unwrap();
+            sink.finish()
+        });
+        for t in &traces {
+            assert_eq!(t.sends.len(), 2, "detached sends not stamped");
+            assert_eq!(t.recvs.len(), 2);
+            assert_eq!(t.sends[0].seq, 1);
+            assert_eq!(t.sends[1].seq, 2);
+            assert_eq!(t.sends[0].bytes, 5);
+            assert_eq!(t.sends[1].bytes, 7);
+            // stash-matched recv kept the envelope seq of its send
+            assert_eq!(t.recvs[0].tag, 12);
+            assert_eq!(t.recvs[0].seq, 2);
+            assert_eq!(t.recvs[1].tag, 11);
+            assert_eq!(t.recvs[1].seq, 1);
+        }
+        let run = RunTrace::from_ranks(traces);
+        let m = run.match_messages();
+        assert_eq!(m.edges.len(), 6, "every traced recv pairs with a send");
+        assert!(m.unmatched_sends.is_empty());
+        assert!(m.unmatched_recvs.is_empty());
+        for e in &m.edges {
+            assert!(e.t_recv_ns >= e.t_send_ns, "recv after send per edge");
+        }
+    }
+
+    #[test]
+    fn tracer_records_timeout_and_orphan_send() {
+        use msp_telemetry::RunTrace;
+        let epoch = Instant::now();
+        let traces = Universe::run_with_inject(2, Some(Arc::new(DropSecond)), |r| {
+            let sink = TraceSink::new(r.rank() as u32, epoch);
+            r.attach_tracer(sink.clone());
+            if r.rank() == 0 {
+                r.send(1, 1, Bytes::from_static(b"ok")).unwrap();
+                r.send(1, 2, Bytes::from_static(b"lost")).unwrap(); // dropped
+            } else {
+                let _ = r.recv(0, 1).unwrap();
+                let e = r
+                    .recv_deadline(0, 2, Some(Duration::from_millis(20)))
+                    .unwrap_err();
+                assert!(matches!(e, CommError::Timeout { .. }));
+            }
+            sink.finish()
+        });
+        assert_eq!(traces[0].sends.len(), 2, "dropped send still stamped");
+        assert_eq!(traces[1].timeouts.len(), 1);
+        assert_eq!(traces[1].timeouts[0].src, 0);
+        assert_eq!(traces[1].timeouts[0].tag, 2);
+        assert!(traces[1].timeouts[0].waited_ns >= 20_000_000);
+        let m = RunTrace::from_ranks(traces).match_messages();
+        assert_eq!(m.edges.len(), 1);
+        assert_eq!(m.unmatched_sends.len(), 1, "the drop is an orphan");
+        assert_eq!(m.unmatched_sends[0].seq, 2);
     }
 
     #[test]

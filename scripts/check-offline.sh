@@ -156,4 +156,10 @@ for t in "$root"/crates/*/tests/*.rs "$root"/tests/*.rs; do
   itest "$t"
 done
 
+# ---- trace-schema self-check (round-trip parse, flow-edge pairing,
+# ---- span totals vs recorder) on a real traced run ----
+say "trace self-check"
+mkdir -p "$out/results"
+MSP_RESULTS_DIR="$out/results" "$out/bench_trace_check"
+
 say "offline check OK"

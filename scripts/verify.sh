@@ -17,4 +17,11 @@ cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo build --release --workspace
 cargo test -q --workspace
+
+# trace-schema self-check: round-trip parse + flow-edge pairing +
+# span-vs-recorder totals on a real traced run (exits non-zero on drift)
+tracedir="$(mktemp -d)"
+trap 'rm -rf "$tracedir"' EXIT
+MSP_RESULTS_DIR="$tracedir" cargo run -q --release -p msp-bench --bin trace_check
+
 echo "verify OK"

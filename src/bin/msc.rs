@@ -58,6 +58,8 @@ fn usage() {
          \u{20}           [--ranks N] [--blocks N] [--persistence F]\n\
          \u{20}           [--merge full|none|R1,R2,...] --output FILE\n\
          \u{20}           [--faults SPEC] [--checkpoint] [--deadline-ms MS]\n\
+         \u{20}           [--trace [FILE]]  (Chrome trace + critical path;\n\
+         \u{20}           default FILE: results/<output stem>.trace.json)\n\
          \u{20}           SPEC: crash:R@K;drop:F->T#N;delay:F->T#N+MS;slow:R*F\n\
          \u{20} info      FILE\n\
          \u{20} stats     FILE [--block I] [--top K]\n\
@@ -219,6 +221,7 @@ fn cmd_compute(o: &Opts) -> Result<(), String> {
         persistence_frac: persistence,
         plan,
         fault,
+        trace: o.has("trace"),
         ..Default::default()
     };
     let t0 = std::time::Instant::now();
@@ -278,6 +281,44 @@ fn cmd_compute(o: &Opts) -> Result<(), String> {
     match report.write(Path::new("results")) {
         Ok(p) => println!("telemetry: {}", p.display()),
         Err(e) => eprintln!("warning: telemetry write failed: {e}"),
+    }
+
+    if let Some(tr) = &r.trace {
+        let path = match o.opt("trace") {
+            Some(p) => {
+                let p = PathBuf::from(p);
+                if let Some(dir) = p.parent().filter(|d| !d.as_os_str().is_empty()) {
+                    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+                }
+                std::fs::write(&p, tr.to_chrome_json(&report.name).pretty())
+                    .map_err(|e| e.to_string())?;
+                p
+            }
+            None => tr
+                .write(Path::new("results"), &report.name)
+                .map_err(|e| e.to_string())?,
+        };
+        println!("trace: {} (load in ui.perfetto.dev)", path.display());
+        if let Some(cp) = tr.critical_path() {
+            println!(
+                "critical path: {:.3}s on the causal chain, {:.3}s wall clock",
+                cp.total_ns as f64 * 1e-9,
+                cp.wall_ns as f64 * 1e-9
+            );
+            let ranked = cp.ranked();
+            for s in ranked.iter().take(12) {
+                println!(
+                    "  rank {:>2}  {:<20} {:>9.3}s  {:>5.1}% of wall",
+                    s.rank,
+                    s.key,
+                    s.dur_ns as f64 * 1e-9,
+                    cp.pct_of_wall(s)
+                );
+            }
+            if ranked.len() > 12 {
+                println!("  ... {} shorter step(s) elided", ranked.len() - 12);
+            }
+        }
     }
     Ok(())
 }
