@@ -6,8 +6,10 @@
 //!   `traceEvents` array;
 //! * every flow-finish (`ph:"f"`) id has exactly one matching flow-start
 //!   (`ph:"s"`) id — message edges pair up;
-//! * per-rank span totals agree with the telemetry recorder's phase
-//!   totals within 1%;
+//! * per-rank **merged** (interval-union) span totals agree with the
+//!   telemetry recorder's phase totals within 1% — the raw per-span sum
+//!   can legitimately exceed the wall clock when the local stage runs
+//!   thread-local gradient/trace spans concurrently;
 //! * absent faults, every recv has a matching send and vice versa.
 //!
 //! Prints the computed critical path and exits non-zero on any violation,
@@ -88,13 +90,15 @@ fn main() {
     );
 
     // ---- span totals vs the recorder's phase totals ----
+    // merged (interval-union) seconds: concurrent thread-local spans of
+    // one phase must not double-count, matching the recorder's buckets
     for rank in &r.telemetry.ranks {
         let Some(t) = tr.ranks.iter().find(|t| t.rank == rank.rank) else {
             check(false, &format!("rank {} present in trace", rank.rank));
             continue;
         };
         for (key, rec_s) in &rank.phases {
-            let trace_s = t.span_seconds(key);
+            let trace_s = t.merged_span_seconds(key);
             let tol = (rec_s * 0.01).max(0.5e-3);
             check(
                 (trace_s - rec_s).abs() <= tol,

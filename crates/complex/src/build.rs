@@ -59,10 +59,10 @@ pub fn complex_from_gradient(
         }
     }
 
-    let (arcs, tstats): (Vec<_>, TraceStats) = trace_all_arcs(grad, limits);
+    let (arcs, tstats): (_, TraceStats) = trace_all_arcs(grad, limits);
     stats.truncated_nodes = tstats.truncated_nodes;
     let mut path_addrs = Vec::new();
-    for arc in &arcs {
+    for arc in arcs.iter() {
         path_addrs.clear();
         path_addrs.extend(arc.geom.iter().map(|c| c.address(&refined)));
         let g = ms.add_leaf_geom(&path_addrs);

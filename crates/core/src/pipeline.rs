@@ -38,11 +38,13 @@ use msp_complex::glue::glue_all;
 use msp_complex::{complex_from_gradient, simplify, wire, MsComplex, SimplifyParams};
 use msp_fault::checkpoint::CheckpointError;
 use msp_fault::{Checkpoint, CheckpointStore, FaultPlan};
+use msp_grid::par::{available_threads, par_map, par_map_mut};
 use msp_grid::rawio::{read_block, VolumeDType};
 use msp_grid::{Decomposition, Dims, ScalarField};
-use msp_morse::{assign_gradient, TraceLimits};
+use msp_morse::{assign_gradient, assign_gradient_par, TraceLimits};
 use msp_telemetry::{
-    Counter, Json, Phase, RankReport, RankTrace, Recorder, RunReport, RunTrace, TraceSink,
+    Counter, Json, Phase, RankReport, RankTrace, Recorder, RunReport, RunTrace, SubRecorder,
+    TraceSink,
 };
 use msp_vmpi::comm::{CommError, Inject};
 use msp_vmpi::fileio::{collective_write_blocks, FooterEntry};
@@ -188,6 +190,11 @@ pub struct PipelineParams {
     /// gathered at rank 0 into [`RunResult::trace`]). Off by default:
     /// the tracer costs a few stamps per message.
     pub trace: bool,
+    /// Intra-rank threads for the local stage (read scan, gradient +
+    /// trace, simplify). `None` uses the machine's available
+    /// parallelism; `Some(1)` is the exact serial code path. Output is
+    /// bit-identical for every value.
+    pub threads: Option<usize>,
 }
 
 impl Default for PipelineParams {
@@ -201,6 +208,7 @@ impl Default for PipelineParams {
             max_new_arcs: Some(4096),
             fault: FaultConfig::default(),
             trace: false,
+            threads: None,
         }
     }
 }
@@ -448,25 +456,38 @@ fn run_rank(
     }
     rec.begin(Phase::Total);
 
+    // Intra-rank thread budget for the local stage. `threads == 1` is
+    // the exact serial code path; larger counts produce bit-identical
+    // output (deterministic block/slab merge order, see msp-morse).
+    let threads = params.threads.unwrap_or_else(available_threads).max(1);
+
     // ---- read ----
+    // The min/max scan is folded into block extraction (one pass over
+    // the data instead of a second full sweep); per-block f32 extrema
+    // are reduced in block order, which equals the old per-value f64
+    // fold exactly because f32→f64 is exact and monotone.
     rec.begin(Phase::Read);
+    let loaded = par_map(threads, &my_blocks, |_, &b| match input {
+        Input::Memory(f) => Ok(f.extract_block_minmax(decomp.block(b))),
+        Input::File { path, dims, dtype } => {
+            let bf = read_block(path, *dims, decomp.block(b), *dtype).map_err(|source| {
+                PipelineError::Io {
+                    context: format!("reading block {b} from {}", path.display()),
+                    source,
+                }
+            })?;
+            let (lo, hi) = bf.min_max();
+            Ok((bf, lo, hi))
+        }
+    });
     let mut fields = HashMap::new();
     let mut local_min = f64::INFINITY;
     let mut local_max = f64::NEG_INFINITY;
-    for &b in &my_blocks {
-        let bf = match input {
-            Input::Memory(f) => f.extract_block(decomp.block(b)),
-            Input::File { path, dims, dtype } => read_block(path, *dims, decomp.block(b), *dtype)
-                .map_err(|source| PipelineError::Io {
-                context: format!("reading block {b} from {}", path.display()),
-                source,
-            })?,
-        };
-        for &v in bf.data() {
-            local_min = local_min.min(v as f64);
-            local_max = local_max.max(v as f64);
-        }
-        fields.insert(b, bf);
+    for (i, res) in loaded.into_iter().enumerate() {
+        let (bf, lo, hi) = res?;
+        local_min = local_min.min(lo as f64);
+        local_max = local_max.max(hi as f64);
+        fields.insert(my_blocks[i], bf);
     }
     // global range for the persistence threshold
     let (gmin, gmax) = rank
@@ -476,16 +497,43 @@ fn run_rank(
     rec.end(Phase::Read);
 
     // ---- compute: gradient assignment, then V-path tracing ----
+    // Blocks get the outer threads; leftover budget goes to z-slab
+    // parallelism inside each block's gradient (one block per rank is
+    // the paper's usual configuration, so the inner level matters).
     let mut complexes: HashMap<u32, MsComplex> = HashMap::new();
-    for &b in &my_blocks {
-        let grad = rec.time(Phase::Gradient, |_| assign_gradient(&fields[&b], decomp));
-        let (ms, bstats) = rec.time(Phase::Trace, |_| {
-            complex_from_gradient(&fields[&b], decomp, &grad, params.trace_limits)
+    if threads == 1 {
+        for &b in &my_blocks {
+            let grad = rec.time(Phase::Gradient, |_| assign_gradient(&fields[&b], decomp));
+            let (ms, bstats) = rec.time(Phase::Trace, |_| {
+                complex_from_gradient(&fields[&b], decomp, &grad, params.trace_limits)
+            });
+            rec.add(Counter::CellsPaired, bstats.cells_paired);
+            rec.add(Counter::CriticalCells, bstats.critical_cells);
+            rec.add(Counter::ArcsTraced, bstats.arcs);
+            complexes.insert(b, ms);
+        }
+    } else {
+        let block_workers = threads.min(my_blocks.len().max(1));
+        let slab_threads = (threads / block_workers).max(1);
+        let built = par_map(block_workers, &my_blocks, |_, &b| {
+            let mut sub = SubRecorder::new();
+            let grad = sub.time(Phase::Gradient, epoch, |_| {
+                assign_gradient_par(&fields[&b], decomp, slab_threads)
+            });
+            let (ms, bstats) = sub.time(Phase::Trace, epoch, |_| {
+                complex_from_gradient(&fields[&b], decomp, &grad, params.trace_limits)
+            });
+            sub.add(Counter::CellsPaired, bstats.cells_paired);
+            sub.add(Counter::CriticalCells, bstats.critical_cells);
+            sub.add(Counter::ArcsTraced, bstats.arcs);
+            (ms, sub)
         });
-        rec.add(Counter::CellsPaired, bstats.cells_paired);
-        rec.add(Counter::CriticalCells, bstats.critical_cells);
-        rec.add(Counter::ArcsTraced, bstats.arcs);
-        complexes.insert(b, ms);
+        let mut subs = Vec::with_capacity(built.len());
+        for (i, (ms, sub)) in built.into_iter().enumerate() {
+            complexes.insert(my_blocks[i], ms);
+            subs.push(sub);
+        }
+        rec.absorb_subs(&subs);
     }
     drop(fields);
 
@@ -496,10 +544,26 @@ fn run_rank(
         max_new_arcs: params.max_new_arcs,
         max_parallel_arcs: Some(2),
     };
-    for ms in complexes.values_mut() {
-        let st = simplify(ms, sp);
-        rec.add(Counter::Cancellations, st.cancellations);
-        ms.compact();
+    if threads == 1 {
+        for ms in complexes.values_mut() {
+            let st = simplify(ms, sp);
+            rec.add(Counter::Cancellations, st.cancellations);
+            ms.compact();
+        }
+    } else {
+        // blocks simplify independently; collect in block order so the
+        // cancellation counter accumulates deterministically
+        let mut work: Vec<(u32, MsComplex)> = complexes.drain().collect();
+        work.sort_by_key(|(b, _)| *b);
+        let cancels = par_map_mut(threads, &mut work, |_, (_, ms)| {
+            let st = simplify(ms, sp);
+            ms.compact();
+            st.cancellations
+        });
+        for n in cancels {
+            rec.add(Counter::Cancellations, n);
+        }
+        complexes.extend(work);
     }
     rec.end(Phase::Simplify);
 

@@ -133,20 +133,37 @@ impl ScalarField {
     /// Copy out the sub-box of values a block needs (shared layers
     /// included), producing a self-contained [`BlockField`].
     pub fn extract_block(&self, block: &BlockBox) -> BlockField {
+        self.extract_block_minmax(block).0
+    }
+
+    /// [`extract_block`](ScalarField::extract_block) that also folds the
+    /// block's value range into the same pass over the data — the read
+    /// stage needs the range for the persistence threshold and used to
+    /// make a second full sweep for it.
+    pub fn extract_block_minmax(&self, block: &BlockBox) -> (BlockField, f32, f32) {
         let bd = block.dims();
         let mut data = Vec::with_capacity(bd.n_verts() as usize);
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
         for z in block.lo[2]..=block.hi[2] {
             for y in block.lo[1]..=block.hi[1] {
                 for x in block.lo[0]..=block.hi[0] {
-                    data.push(self.value(x, y, z));
+                    let v = self.value(x, y, z);
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                    data.push(v);
                 }
             }
         }
-        BlockField {
-            block: *block,
-            domain: self.dims,
-            data,
-        }
+        (
+            BlockField {
+                block: *block,
+                domain: self.dims,
+                data,
+            },
+            lo,
+            hi,
+        )
     }
 }
 
@@ -180,6 +197,18 @@ impl BlockField {
 
     pub fn data(&self) -> &[f32] {
         &self.data
+    }
+
+    /// Minimum and maximum values over the block (for inputs read from
+    /// file, where the range cannot fold into the decode loop).
+    pub fn min_max(&self) -> (f32, f32) {
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &v in &self.data {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo, hi)
     }
 
     /// Value at a **global** vertex coordinate (must lie in the block).
@@ -334,5 +363,25 @@ mod tests {
     fn min_max() {
         let f = ScalarField::new(Dims::new(2, 2, 1), vec![3.0, -1.0, 0.5, 2.0]);
         assert_eq!(f.min_max(), (-1.0, 3.0));
+    }
+
+    #[test]
+    fn block_minmax_folds_with_extraction() {
+        let dims = Dims::new(9, 9, 9);
+        let f = ScalarField::from_fn(dims, |x, y, z| {
+            (x as f32) - (y as f32) * 0.5 + (z as f32) * 0.25
+        });
+        let d = Decomposition::bisect(dims, 4);
+        for b in d.blocks() {
+            let (bf, lo, hi) = f.extract_block_minmax(b);
+            assert_eq!((lo, hi), bf.min_max());
+            let mut elo = f32::INFINITY;
+            let mut ehi = f32::NEG_INFINITY;
+            for &v in bf.data() {
+                elo = elo.min(v);
+                ehi = ehi.max(v);
+            }
+            assert_eq!((lo, hi), (elo, ehi));
+        }
     }
 }

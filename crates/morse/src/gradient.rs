@@ -23,18 +23,28 @@ const CRITICAL: u8 = 0b0010_0000;
 const ASSIGNED: u8 = 0b0100_0000;
 
 /// The discrete gradient of one block, stored on the block's refined box
-/// in **global** refined coordinates.
+/// in **global** refined coordinates. The byte array is addressed through
+/// precomputed row/plane strides (flat layout) so the per-cell index is
+/// three subtractions, one multiply-add pair and no recomputed extents —
+/// this is the innermost memory access of the whole local stage.
 #[derive(Debug, Clone)]
 pub struct GradientField {
     bbox: RBox,
+    /// Refined entries per row (x extent).
+    sx: u64,
+    /// Refined entries per plane (x extent · y extent).
+    sxy: u64,
     bytes: Vec<u8>,
 }
 
 impl GradientField {
     /// A fully unassigned gradient over `bbox`.
     pub fn new(bbox: RBox) -> Self {
+        let sx = bbox.extent(0);
         GradientField {
             bbox,
+            sx,
+            sxy: sx * bbox.extent(1),
             bytes: vec![0; bbox.len() as usize],
         }
     }
@@ -44,14 +54,56 @@ impl GradientField {
         &self.bbox
     }
 
+    /// The raw byte array, x-fastest over [`bbox`](GradientField::bbox).
+    /// Unassigned cells are 0; every assigned cell is nonzero (the
+    /// `ASSIGNED` bit). Used for slab merging and bit-exactness checks.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    #[inline]
+    fn index(&self, c: RCoord) -> usize {
+        debug_assert!(self.bbox.contains(c));
+        ((c.x - self.bbox.lo.x) as u64
+            + self.sx * (c.y - self.bbox.lo.y) as u64
+            + self.sxy * (c.z - self.bbox.lo.z) as u64) as usize
+    }
+
     #[inline]
     fn byte(&self, c: RCoord) -> u8 {
-        self.bytes[self.bbox.local_index(c) as usize]
+        self.bytes[self.index(c)]
     }
 
     #[inline]
     fn byte_mut(&mut self, c: RCoord) -> &mut u8 {
-        &mut self.bytes[self.bbox.local_index(c) as usize]
+        let i = self.index(c);
+        &mut self.bytes[i]
+    }
+
+    /// Copy every *assigned* cell of `sub` (a gradient over a sub-box of
+    /// this field's box) into this field. Row-wise: the two boxes agree
+    /// on x/y extent when slabs cut only along z, but the loop handles
+    /// any contained sub-box. Cells unassigned in `sub` are left alone,
+    /// so adjacent z-slabs — which overlap in exactly one refined plane,
+    /// each owning a disjoint subset of its cells — merge losslessly in
+    /// any order (the parallel path applies them in slab order anyway).
+    pub fn absorb_assigned(&mut self, sub: &GradientField) {
+        let sb = sub.bbox;
+        debug_assert!(self.bbox.contains(sb.lo) && self.bbox.contains(sb.hi));
+        let n = sb.extent(0) as usize;
+        for z in sb.lo.z..=sb.hi.z {
+            for y in sb.lo.y..=sb.hi.y {
+                let row = RCoord::new(sb.lo.x, y, z);
+                let s0 = sub.index(row);
+                let d0 = self.index(row);
+                let (src, dst) = (&sub.bytes[s0..s0 + n], &mut self.bytes[d0..d0 + n]);
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    if s != 0 {
+                        *d = s;
+                    }
+                }
+            }
+        }
     }
 
     /// Raw byte of a cell (for boundary-equality tests and serialization).
@@ -212,6 +264,26 @@ mod tests {
         g.mark_critical(RCoord::new(3, 3, 3)); // voxel
         assert_eq!(g.census(), [1, 1, 1, 2]);
         assert_eq!(g.critical_cells().len(), 5);
+    }
+
+    #[test]
+    fn absorb_assigned_merges_overlapping_slabs() {
+        // two z-slabs sharing the refined plane z=3, each assigning a
+        // disjoint subset of it, must merge into one complete field
+        let mut a = GradientField::new(RBox::new(RCoord::new(0, 0, 0), RCoord::new(4, 4, 3)));
+        let mut b = GradientField::new(RBox::new(RCoord::new(0, 0, 3), RCoord::new(4, 4, 4)));
+        a.pair(RCoord::new(2, 2, 2), RCoord::new(2, 2, 3)); // reaches into the shared plane
+        b.mark_critical(RCoord::new(0, 0, 4));
+        b.mark_critical(RCoord::new(1, 0, 3)); // on the shared plane, owned by b
+        let mut g = GradientField::new(small_box());
+        g.absorb_assigned(&a);
+        g.absorb_assigned(&b);
+        assert_eq!(g.partner(RCoord::new(2, 2, 2)), Some(RCoord::new(2, 2, 3)));
+        assert!(g.is_tail(RCoord::new(2, 2, 2)));
+        assert!(g.is_critical(RCoord::new(0, 0, 4)));
+        assert!(g.is_critical(RCoord::new(1, 0, 3)));
+        assert_eq!(g.n_unassigned(), 125 - 4);
+        assert_eq!(g.bytes().len(), 125);
     }
 
     #[test]

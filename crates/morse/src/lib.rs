@@ -30,5 +30,5 @@ pub mod trace;
 pub mod validate;
 
 pub use gradient::GradientField;
-pub use lower_star::assign_gradient;
-pub use trace::{trace_all_arcs, TraceLimits, TraceStats, TracedArc};
+pub use lower_star::{assign_gradient, assign_gradient_par};
+pub use trace::{trace_all_arcs, ArcStore, TraceLimits, TraceStats, TracedArc};

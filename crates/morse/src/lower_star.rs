@@ -38,7 +38,10 @@ struct Entry {
     assigned: bool,
 }
 
-/// Scratch state reused across lower stars to avoid per-vertex allocation.
+/// Scratch state reused across lower stars to avoid per-vertex
+/// allocation. One `Scratch` lives per sweeping thread; the heaps are
+/// `clear()`ed (capacity kept) between lower stars and owner-set groups
+/// only ever append, so after warm-up no sweep allocates at all.
 struct Scratch {
     entries: Vec<Entry>,
     groups: Vec<OwnerSet>,
@@ -47,12 +50,19 @@ struct Scratch {
 }
 
 impl Scratch {
-    fn new() -> Self {
+    /// Pre-size from the block's refined box: a lower star has at most
+    /// 3 cells per non-degenerate axis (27 in 3D, 9 in a 2D slab), and
+    /// the expansion re-pushes cells whose facet count changes, so the
+    /// heaps get twice that — large enough that they never reallocate.
+    fn for_box(bbox: &RBox) -> Self {
+        let star: usize = (0..3)
+            .map(|a| if bbox.extent(a) > 1 { 3 } else { 1 })
+            .product();
         Scratch {
-            entries: Vec::with_capacity(27),
+            entries: Vec::with_capacity(star),
             groups: Vec::with_capacity(8),
-            pq_one: BinaryHeap::with_capacity(27),
-            pq_zero: BinaryHeap::with_capacity(27),
+            pq_one: BinaryHeap::with_capacity(2 * star),
+            pq_zero: BinaryHeap::with_capacity(2 * star),
         }
     }
 }
@@ -63,20 +73,101 @@ pub fn assign_gradient(field: &BlockField, decomp: &Decomposition) -> GradientFi
     let block = *field.block();
     let bbox = block.refined_box();
     let mut grad = GradientField::new(bbox);
-    let mut scratch = Scratch::new();
-    for z in block.lo[2]..=block.hi[2] {
+    let mut scratch = Scratch::for_box(&bbox);
+    sweep_z_range(
+        field,
+        decomp,
+        &bbox,
+        block.lo[2],
+        block.hi[2],
+        &mut grad,
+        &mut scratch,
+    );
+    debug_assert_eq!(grad.n_unassigned(), 0, "all cells must be assigned");
+    grad
+}
+
+/// Run the lower-star sweep for every vertex with z ∈ `[z0, z1]` (global
+/// vertex coordinates), writing into `grad` — which may cover just the
+/// slab's refined sub-box. Shared by the serial path (full range, full
+/// box) and the per-thread slabs of [`assign_gradient_par`].
+fn sweep_z_range(
+    field: &BlockField,
+    decomp: &Decomposition,
+    bbox: &RBox,
+    z0: u32,
+    z1: u32,
+    grad: &mut GradientField,
+    scratch: &mut Scratch,
+) {
+    let block = field.block();
+    for z in z0..=z1 {
         for y in block.lo[1]..=block.hi[1] {
             for x in block.lo[0]..=block.hi[0] {
                 process_lower_star(
                     field,
                     decomp,
-                    &bbox,
+                    bbox,
                     RCoord::of_vertex(x, y, z),
-                    &mut grad,
-                    &mut scratch,
+                    grad,
+                    scratch,
                 );
             }
         }
+    }
+}
+
+/// [`assign_gradient`] parallelized over contiguous z-slabs of the
+/// vertex sweep, bit-identical to the serial path for every thread count.
+///
+/// Every cell belongs to the lower star of exactly one vertex (its
+/// SoS-maximal one), and processing a lower star reads only the field —
+/// never other cells' gradient bytes — so distinct vertices' writes are
+/// disjoint and scheduling-independent. Each slab thread writes into its
+/// own [`GradientField`] over the slab's clamped refined box (a vertex at
+/// z touches refined z ∈ [2z−1, 2z+1], so adjacent slab boxes overlap in
+/// exactly one refined plane whose cells are split between the two
+/// slabs' lower stars); the slab fields are then merged in slab order.
+/// Determinism therefore needs no locks, no atomics and no unsafe.
+pub fn assign_gradient_par(
+    field: &BlockField,
+    decomp: &Decomposition,
+    threads: usize,
+) -> GradientField {
+    let block = *field.block();
+    let bbox = block.refined_box();
+    let n_rows = (block.hi[2] - block.lo[2] + 1) as usize;
+    let slabs = threads.min(n_rows);
+    if slabs <= 1 {
+        return assign_gradient(field, decomp);
+    }
+    // contiguous, near-equal z ranges (global vertex coordinates)
+    let base = n_rows / slabs;
+    let rem = n_rows % slabs;
+    let mut ranges: Vec<(u32, u32)> = Vec::with_capacity(slabs);
+    let mut z = block.lo[2];
+    for s in 0..slabs {
+        let rows = (base + usize::from(s < rem)) as u32;
+        ranges.push((z, z + rows - 1));
+        z += rows;
+    }
+    let subgrads = msp_grid::par::par_map(slabs, &ranges, |_, &(z0, z1)| {
+        let sub_box = RBox::new(
+            RCoord::new(
+                bbox.lo.x,
+                bbox.lo.y,
+                (2 * z0).saturating_sub(1).max(bbox.lo.z),
+            ),
+            RCoord::new(bbox.hi.x, bbox.hi.y, (2 * z1 + 1).min(bbox.hi.z)),
+        );
+        let mut g = GradientField::new(sub_box);
+        let mut scratch = Scratch::for_box(&bbox);
+        sweep_z_range(field, decomp, &bbox, z0, z1, &mut g, &mut scratch);
+        g
+    });
+    let mut grad = GradientField::new(bbox);
+    for sg in &subgrads {
+        grad.absorb_assigned(sg);
     }
     debug_assert_eq!(grad.n_unassigned(), 0, "all cells must be assigned");
     grad
@@ -350,6 +441,42 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn parallel_gradient_bitwise_equals_serial() {
+        // every thread count, every block of a multi-block decomposition:
+        // the slab-parallel sweep must produce byte-identical gradients
+        let dims = Dims::new(9, 8, 7);
+        let f = msp_synth::white_noise(dims, 4242);
+        let d = Decomposition::bisect(dims, 4);
+        for b in d.blocks() {
+            let bf = f.extract_block(b);
+            let serial = assign_gradient(&bf, &d);
+            for threads in [1, 2, 3, 4, 16] {
+                let par = assign_gradient_par(&bf, &d, threads);
+                assert_eq!(
+                    par.bytes(),
+                    serial.bytes(),
+                    "block {} threads {} diverged from serial",
+                    b.id,
+                    threads
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_gradient_handles_thin_blocks() {
+        // z extent of 1 vertex row: the slab split must degenerate to the
+        // serial path instead of producing empty ranges
+        let dims = Dims::new(6, 5, 1);
+        let f = msp_synth::white_noise(dims, 11);
+        let d = Decomposition::bisect(dims, 1);
+        let bf = f.extract_block(d.block(0));
+        let serial = assign_gradient(&bf, &d);
+        let par = assign_gradient_par(&bf, &d, 8);
+        assert_eq!(par.bytes(), serial.bytes());
     }
 
     #[test]

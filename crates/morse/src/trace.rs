@@ -20,11 +20,71 @@ use msp_grid::RCoord;
 /// One traced arc: from a critical `upper` cell of index `d` down to a
 /// critical `lower` cell of index `d − 1`, with the full V-path as its
 /// geometric embedding (`geom[0] == upper`, `geom.last() == lower`).
-#[derive(Debug, Clone)]
-pub struct TracedArc {
+/// A borrowed view into an [`ArcStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TracedArc<'a> {
     pub upper: RCoord,
     pub lower: RCoord,
-    pub geom: Vec<RCoord>,
+    pub geom: &'a [RCoord],
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ArcRec {
+    upper: RCoord,
+    lower: RCoord,
+    start: u32,
+    len: u32,
+}
+
+/// Arena-backed storage for traced arcs: all path geometry lives in one
+/// shared `Vec<RCoord>`, each arc holding only a `(start, len)` window.
+/// A noise block traces tens of thousands of short paths; storing each as
+/// its own `Vec` made allocation the dominant cost of the trace phase.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ArcStore {
+    recs: Vec<ArcRec>,
+    geom: Vec<RCoord>,
+}
+
+impl ArcStore {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.recs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.recs.is_empty()
+    }
+
+    /// The arc at index `i` as a borrowed view.
+    pub fn get(&self, i: usize) -> TracedArc<'_> {
+        let r = self.recs[i];
+        TracedArc {
+            upper: r.upper,
+            lower: r.lower,
+            geom: &self.geom[r.start as usize..(r.start + r.len) as usize],
+        }
+    }
+
+    /// Iterate arcs in emission order.
+    pub fn iter(&self) -> impl Iterator<Item = TracedArc<'_>> {
+        (0..self.recs.len()).map(move |i| self.get(i))
+    }
+
+    /// Append one arc, copying `path` into the arena.
+    pub fn push(&mut self, upper: RCoord, lower: RCoord, path: &[RCoord]) {
+        let start = u32::try_from(self.geom.len()).expect("arc arena exceeds u32 addressing");
+        self.geom.extend_from_slice(path);
+        self.recs.push(ArcRec {
+            upper,
+            lower,
+            start,
+            len: path.len() as u32,
+        });
+    }
 }
 
 /// Safety limits for tracing (pathological fields can have very many
@@ -53,8 +113,8 @@ pub struct TraceStats {
 
 /// Trace every descending V-path from every critical cell of positive
 /// index, returning all arcs of the block's MS complex 1-skeleton.
-pub fn trace_all_arcs(grad: &GradientField, limits: TraceLimits) -> (Vec<TracedArc>, TraceStats) {
-    let mut arcs = Vec::new();
+pub fn trace_all_arcs(grad: &GradientField, limits: TraceLimits) -> (ArcStore, TraceStats) {
+    let mut arcs = ArcStore::new();
     let mut stats = TraceStats::default();
     for c in grad.critical_cells() {
         if c.cell_dim() == 0 {
@@ -70,7 +130,7 @@ pub fn trace_from(
     grad: &GradientField,
     from: RCoord,
     limits: TraceLimits,
-    arcs: &mut Vec<TracedArc>,
+    arcs: &mut ArcStore,
     stats: &mut TraceStats,
 ) {
     debug_assert!(grad.is_critical(from));
@@ -97,11 +157,7 @@ pub fn trace_from(
             emitted += 1;
             stats.arcs += 1;
             stats.path_cells_total += path.len() as u64;
-            arcs.push(TracedArc {
-                upper: from,
-                lower: alpha,
-                geom: path.clone(),
-            });
+            arcs.push(from, alpha, &path);
             continue;
         }
         if !grad.is_tail(alpha) {
@@ -148,7 +204,7 @@ mod tests {
         let g = grad_of(&f);
         let (arcs, _) = trace_all_arcs(&g, TraceLimits::default());
         assert!(!arcs.is_empty());
-        for a in &arcs {
+        for a in arcs.iter() {
             assert_eq!(a.upper.cell_dim(), a.lower.cell_dim() + 1);
             assert!(g.is_critical(a.upper));
             assert!(g.is_critical(a.lower));
@@ -162,7 +218,7 @@ mod tests {
         let f = msp_synth::white_noise(Dims::new(8, 8, 8), 11);
         let g = grad_of(&f);
         let (arcs, _) = trace_all_arcs(&g, TraceLimits::default());
-        for a in &arcs {
+        for a in arcs.iter() {
             // geometry alternates d, d-1, d, d-1, ..., d-1
             let d = a.upper.cell_dim();
             for (i, c) in a.geom.iter().enumerate() {
@@ -200,7 +256,7 @@ mod tests {
         // find 2-saddle -> max arcs; some saddle must reach two distinct maxima
         use std::collections::HashMap;
         let mut reach: HashMap<RCoord, std::collections::HashSet<RCoord>> = HashMap::new();
-        for a in &arcs {
+        for a in arcs.iter() {
             if a.upper.cell_dim() == 3 {
                 // descending from maxima to 2-saddles: group by lower
                 reach.entry(a.lower).or_default().insert(a.upper);

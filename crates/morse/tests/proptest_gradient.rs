@@ -4,10 +4,11 @@
 //! bitwise-identical shared-face bytes across blocks.
 
 use msp_grid::{Decomposition, Dims, ScalarField};
-use msp_morse::lower_star::assign_gradient;
+use msp_morse::lower_star::{assign_gradient, assign_gradient_par};
 use msp_morse::validate::{
     boundary_consistent, check_valid, euler_characteristic, pairs_respect_owners,
 };
+use msp_morse::{trace_all_arcs, TraceLimits};
 use proptest::prelude::*;
 
 fn arb_field() -> impl Strategy<Value = ScalarField> {
@@ -92,5 +93,51 @@ proptest! {
         for c in g1.bbox().iter() {
             prop_assert_eq!(g1.raw(c), g2.raw(c));
         }
+    }
+
+    #[test]
+    fn parallel_gradient_bit_identical_to_serial(
+        field in arb_field(),
+        blocks in 1u32..5,
+        threads in 2usize..9,
+    ) {
+        let dims = field.dims();
+        let cells = (dims.nx as u64 - 1) * (dims.ny as u64 - 1) * (dims.nz as u64 - 1);
+        prop_assume!(cells >= blocks as u64 * 4);
+        let d = match std::panic::catch_unwind(|| Decomposition::bisect(dims, blocks)) {
+            Ok(d) => d,
+            Err(_) => return Ok(()),
+        };
+        for b in d.blocks() {
+            let bf = field.extract_block(b);
+            let serial = assign_gradient(&bf, &d);
+            let par = assign_gradient_par(&bf, &d, threads);
+            // raw gradient bytes, critical cells and traced arcs (with
+            // geometry) must all be byte-identical to the serial path
+            prop_assert_eq!(
+                par.bytes(), serial.bytes(),
+                "block {} with {} threads diverged from serial", b.id, threads
+            );
+            prop_assert_eq!(par.critical_cells(), serial.critical_cells());
+            let (arcs_s, st_s) = trace_all_arcs(&serial, TraceLimits::default());
+            let (arcs_p, st_p) = trace_all_arcs(&par, TraceLimits::default());
+            prop_assert_eq!(arcs_s, arcs_p, "arc stores diverged");
+            prop_assert_eq!(st_s.arcs, st_p.arcs);
+            prop_assert_eq!(st_s.path_cells_total, st_p.path_cells_total);
+        }
+    }
+
+    #[test]
+    fn parallel_gradient_bit_identical_on_plateaus(
+        field in arb_plateau_field(),
+        threads in 2usize..9,
+    ) {
+        // plateaus exercise the SoS tie-breaking; slab splits must not
+        // perturb it
+        let d = Decomposition::bisect(field.dims(), 1);
+        let bf = field.extract_block(d.block(0));
+        let serial = assign_gradient(&bf, &d);
+        let par = assign_gradient_par(&bf, &d, threads);
+        prop_assert_eq!(par.bytes(), serial.bytes());
     }
 }

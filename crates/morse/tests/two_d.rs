@@ -46,7 +46,7 @@ fn terrain_has_2d_morse_structure() {
     // arcs alternate saddle-extremum correctly in 2D
     let (arcs, _) = trace_all_arcs(&g, TraceLimits::default());
     assert!(!arcs.is_empty());
-    for a in &arcs {
+    for a in arcs.iter() {
         assert!(a.upper.cell_dim() <= 2);
         assert_eq!(a.upper.cell_dim(), a.lower.cell_dim() + 1);
     }

@@ -35,7 +35,7 @@ pub(crate) mod wirefmt;
 pub use counter::{Counter, ALL_COUNTERS};
 pub use json::Json;
 pub use phase::Phase;
-pub use recorder::{Recorder, SpanError};
+pub use recorder::{Recorder, SpanError, SubRecorder};
 pub use report::{
     aggregate, write_named_json, Agg, CounterStat, PhaseStat, RankReport, RunReport, REPORT_VERSION,
 };

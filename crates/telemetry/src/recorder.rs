@@ -19,7 +19,7 @@
 use crate::counter::{Counter, ALL_COUNTERS};
 use crate::phase::Phase;
 use crate::report::RankReport;
-use crate::trace::TraceSink;
+use crate::trace::{union_ns, TraceSink};
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -50,6 +50,56 @@ impl std::fmt::Display for SpanError {
 }
 
 impl std::error::Error for SpanError {}
+
+/// Thread-local recorder for one unit of parallel work (one block of
+/// the intra-rank parallel local stage). Collects counters and
+/// completed phase spans stamped against the run epoch; the owning
+/// rank's [`Recorder`] merges sub-recorders deterministically at stage
+/// end with [`Recorder::absorb_subs`]. A `SubRecorder` never touches a
+/// clock except inside [`time`](SubRecorder::time), never locks, and is
+/// plain data — safe to move across the worker threads of a stage.
+#[derive(Debug)]
+pub struct SubRecorder {
+    counters: [u64; Counter::COUNT],
+    /// Completed spans `(phase, t0_ns, t1_ns)` against the run epoch.
+    spans: Vec<(Phase, u64, u64)>,
+}
+
+impl SubRecorder {
+    pub fn new() -> SubRecorder {
+        SubRecorder {
+            counters: [0; Counter::COUNT],
+            spans: Vec::new(),
+        }
+    }
+
+    /// Add `n` to counter `c`.
+    pub fn add(&mut self, c: Counter, n: u64) {
+        self.counters[c.index()] += n;
+    }
+
+    /// Record a completed span with explicit epoch-relative timestamps.
+    pub fn span(&mut self, phase: Phase, t0_ns: u64, t1_ns: u64) {
+        self.spans.push((phase, t0_ns, t1_ns));
+    }
+
+    /// Run `f` inside a `phase` span stamped against `epoch` — the same
+    /// epoch the rank's trace sink uses, so replayed spans land on the
+    /// shared timeline with true concurrent timestamps.
+    pub fn time<R>(&mut self, phase: Phase, epoch: Instant, f: impl FnOnce(&mut Self) -> R) -> R {
+        let t0 = epoch.elapsed().as_nanos() as u64;
+        let out = f(self);
+        let t1 = epoch.elapsed().as_nanos() as u64;
+        self.spans.push((phase, t0, t1));
+        out
+    }
+}
+
+impl Default for SubRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// Phase spans + counters of one rank.
 #[derive(Debug)]
@@ -149,6 +199,33 @@ impl Recorder {
     /// (the BSP sim driver) and for merging externally measured values.
     pub fn add_seconds(&mut self, phase: Phase, secs: f64) {
         *self.phases.entry(phase).or_insert(0.0) += secs;
+    }
+
+    /// Merge the thread-local sub-recorders of a parallel stage, in the
+    /// deterministic order given (block order). Counters sum. Each phase
+    /// bucket is credited the **interval union** of its sub-spans — the
+    /// phase's wall-clock footprint, so speedup from intra-rank threads
+    /// is visible in the phase stats, and a serial stage (disjoint
+    /// spans) credits exactly the sum the per-block `time` calls used to
+    /// produce. Every sub-span is also replayed into the attached trace
+    /// sink with its original timestamps, preserving per-thread
+    /// attribution on the causal timeline.
+    pub fn absorb_subs(&mut self, subs: &[SubRecorder]) {
+        let mut by_phase: BTreeMap<Phase, Vec<(u64, u64)>> = BTreeMap::new();
+        for s in subs {
+            for (i, &n) in s.counters.iter().enumerate() {
+                self.counters[i] += n;
+            }
+            for &(p, a, b) in &s.spans {
+                by_phase.entry(p).or_default().push((a, b));
+                if let Some(sink) = &self.sink {
+                    sink.span_at(&p.key(), a, b);
+                }
+            }
+        }
+        for (p, iv) in by_phase {
+            self.add_seconds(p, union_ns(iv) as f64 * 1e-9);
+        }
     }
 
     /// Accumulated seconds of `phase` so far.
@@ -319,6 +396,59 @@ mod tests {
         // all counters are always present
         assert_eq!(rep.counters.len(), Counter::COUNT);
         assert_eq!(rep.counter("msgs_sent"), 1);
+    }
+
+    #[test]
+    fn absorb_subs_sums_counters_and_unions_spans() {
+        let mut r = Recorder::new(0);
+        let mut a = SubRecorder::new();
+        a.add(Counter::ArcsTraced, 10);
+        a.span(Phase::Gradient, 0, 100_000_000); // 0.1 s
+        a.span(Phase::Trace, 100_000_000, 150_000_000); // 0.05 s
+        let mut b = SubRecorder::new();
+        b.add(Counter::ArcsTraced, 5);
+        b.add(Counter::CriticalCells, 3);
+        // concurrent with a's gradient span: overlap must not double-count
+        b.span(Phase::Gradient, 50_000_000, 120_000_000);
+        r.absorb_subs(&[a, b]);
+        assert_eq!(r.counter(Counter::ArcsTraced), 15);
+        assert_eq!(r.counter(Counter::CriticalCells), 3);
+        // gradient union = [0, 0.12] s; trace disjoint = 0.05 s
+        assert!((r.phase_seconds(Phase::Gradient) - 0.12).abs() < 1e-12);
+        assert!((r.phase_seconds(Phase::Trace) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_subs_serial_equals_plain_sum() {
+        // disjoint spans (the threads=1 shape): union == sum, so the
+        // parallel bookkeeping reduces exactly to the old per-block path
+        let mut r = Recorder::new(0);
+        let mut subs = Vec::new();
+        for i in 0..4u64 {
+            let mut s = SubRecorder::new();
+            s.span(Phase::Gradient, i * 100, i * 100 + 60);
+            subs.push(s);
+        }
+        r.absorb_subs(&subs);
+        assert!((r.phase_seconds(Phase::Gradient) - 240e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn absorb_subs_replays_spans_into_sink() {
+        let mut r = Recorder::new(1);
+        let sink = TraceSink::new(1, Instant::now());
+        r.attach_trace(sink.clone());
+        let mut s = SubRecorder::new();
+        s.time(Phase::Gradient, Instant::now(), |s| {
+            s.add(Counter::CellsPaired, 7);
+        });
+        s.span(Phase::Trace, 10, 20);
+        r.absorb_subs(&[s]);
+        let t = sink.finish();
+        assert_eq!(t.spans.len(), 2);
+        assert_eq!(t.spans[0].key, "gradient");
+        assert_eq!(t.spans[1].key, "trace");
+        assert_eq!(r.counter(Counter::CellsPaired), 7);
     }
 
     #[test]

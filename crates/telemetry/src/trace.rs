@@ -133,14 +133,32 @@ impl RankTrace {
         });
     }
 
-    /// Summed duration of all spans with this key, in seconds — the
-    /// quantity that must agree with the recorder's phase totals.
+    /// Summed duration of all spans with this key, in seconds. Under
+    /// intra-rank parallelism thread-local spans overlap, so this can
+    /// exceed the wall clock; consumers comparing against recorder
+    /// phase totals must use [`merged_span_seconds`](Self::merged_span_seconds).
     pub fn span_seconds(&self, key: &str) -> f64 {
         self.spans
             .iter()
             .filter(|s| s.key == key)
             .map(|s| s.dur_ns() as f64 * 1e-9)
             .sum()
+    }
+
+    /// Interval-union duration of all spans with this key, in seconds —
+    /// the wall-clock footprint of the phase on this rank's timeline.
+    /// Equals [`span_seconds`](Self::span_seconds) when occurrences are
+    /// disjoint (serial runs); smaller when thread-local spans ran
+    /// concurrently. This is the quantity that agrees with the
+    /// recorder's phase totals by construction.
+    pub fn merged_span_seconds(&self, key: &str) -> f64 {
+        let iv: Vec<(u64, u64)> = self
+            .spans
+            .iter()
+            .filter(|s| s.key == key)
+            .map(|s| (s.t0_ns, s.t1_ns))
+            .collect();
+        union_ns(iv) as f64 * 1e-9
     }
 
     /// Compact little-endian encoding for shipping to root.
@@ -234,6 +252,29 @@ impl RankTrace {
             unbalanced,
         })
     }
+}
+
+/// Total length of the union of half-open intervals `(a, b)` — the
+/// merged wall clock of possibly-overlapping span occurrences.
+pub(crate) fn union_ns(mut iv: Vec<(u64, u64)>) -> u64 {
+    iv.sort_unstable();
+    let mut total = 0u64;
+    let mut cur: Option<(u64, u64)> = None;
+    for (a, b) in iv {
+        match &mut cur {
+            Some((_, e)) if a <= *e => *e = (*e).max(b),
+            _ => {
+                if let Some((s, e)) = cur {
+                    total += e - s;
+                }
+                cur = Some((a, b));
+            }
+        }
+    }
+    if let Some((s, e)) = cur {
+        total += e - s;
+    }
+    total
 }
 
 #[derive(Debug, Default)]
@@ -845,6 +886,23 @@ mod tests {
         let t = b.finish();
         assert_eq!(t.spans.len(), 1);
         assert_eq!(t.sends.len(), 1);
+    }
+
+    #[test]
+    fn merged_span_seconds_unions_concurrent_spans() {
+        let mut t = RankTrace::new(0);
+        // two concurrent thread-local gradient spans + one disjoint one
+        t.span("gradient", 0, 100);
+        t.span("gradient", 50, 150);
+        t.span("gradient", 200, 250);
+        t.span("trace", 300, 400);
+        // raw sum counts the [50,100] overlap twice; the union is
+        // [0,150] ∪ [200,250] = 200 ns
+        assert!((t.span_seconds("gradient") - 250e-9).abs() < 1e-15);
+        assert!((t.merged_span_seconds("gradient") - 200e-9).abs() < 1e-15);
+        // disjoint phases are unaffected
+        assert!((t.merged_span_seconds("trace") - t.span_seconds("trace")).abs() < 1e-15);
+        assert_eq!(t.merged_span_seconds("missing"), 0.0);
     }
 
     #[test]

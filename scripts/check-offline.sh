@@ -162,4 +162,11 @@ say "trace self-check"
 mkdir -p "$out/results"
 MSP_RESULTS_DIR="$out/results" "$out/bench_trace_check"
 
+# ---- local-stage scaling smoke: thread sweep on a tiny volume, gating
+# ---- on bit-exact output across thread counts + bench-schema round-trip
+# ---- (no speedup assertion: smoke volumes are too small to time)
+say "local-stage scaling smoke"
+MSP_SCALE=small MSP_THREADS=1,2,4 MSP_RESULTS_DIR="$out/results" \
+  "$out/bench_local_scaling"
+
 say "offline check OK"

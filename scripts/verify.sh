@@ -24,4 +24,9 @@ tracedir="$(mktemp -d)"
 trap 'rm -rf "$tracedir"' EXIT
 MSP_RESULTS_DIR="$tracedir" cargo run -q --release -p msp-bench --bin trace_check
 
+# local-stage scaling smoke: thread sweep on a tiny volume, gating on
+# bit-exact output across thread counts + bench-schema round-trip
+MSP_SCALE=small MSP_THREADS=1,2,4 MSP_RESULTS_DIR="$tracedir" \
+  cargo run -q --release -p msp-bench --bin local_scaling
+
 echo "verify OK"

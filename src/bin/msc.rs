@@ -56,6 +56,9 @@ fn usage() {
          \u{20}           [--complexity C] [--seed S] --output FILE [--dtype f32]\n\
          \u{20} compute   --input FILE --dims X,Y,Z [--dtype u8|f32|f64]\n\
          \u{20}           [--ranks N] [--blocks N] [--persistence F]\n\
+         \u{20}           [--threads N]  (intra-rank threads for the local\n\
+         \u{20}           stage; default: all cores, 1 = serial; output is\n\
+         \u{20}           bit-identical for every N)\n\
          \u{20}           [--merge full|none|R1,R2,...] --output FILE\n\
          \u{20}           [--faults SPEC] [--checkpoint] [--deadline-ms MS]\n\
          \u{20}           [--trace [FILE]]  (Chrome trace + critical path;\n\
@@ -217,11 +220,21 @@ fn cmd_compute(o: &Opts) -> Result<(), String> {
         deadline: std::time::Duration::from_millis(deadline_ms),
     };
     let fault_active = fault.active();
+    let threads: Option<usize> = match o.opt("threads") {
+        Some(v) => Some(
+            v.parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("bad value for --threads: {v}"))?,
+        ),
+        None => None,
+    };
     let params = PipelineParams {
         persistence_frac: persistence,
         plan,
         fault,
         trace: o.has("trace"),
+        threads,
         ..Default::default()
     };
     let t0 = std::time::Instant::now();

@@ -175,6 +175,31 @@ fn degraded_mode_absorbs_orphaned_blocks_without_checkpoints() {
 }
 
 #[test]
+fn multithreaded_recovery_matches_serial_recovery_bitwise() {
+    // The intra-rank parallel local stage must not perturb the recovery
+    // path: a crash + checkpoint-recovery run with --threads 4 produces
+    // the same bytes as the identical run with --threads 1, and both
+    // match the fault-free reference.
+    let input = test_input();
+    let with_threads = |threads: usize| PipelineParams {
+        threads: Some(threads),
+        ..fault_params(FaultPlan::new().crash(3, 1), true)
+    };
+    let serial = run_parallel(&input, RANKS, BLOCKS, &with_threads(1), None).unwrap();
+    let threaded = assert_bitwise_identical(&input, &with_threads(4));
+    assert_eq!(serial.outputs.len(), threaded.outputs.len());
+    for (i, (s, t)) in serial.outputs.iter().zip(&threaded.outputs).enumerate() {
+        assert_eq!(
+            wire::serialize(s),
+            wire::serialize(t),
+            "recovered block {i}: threads=4 diverged from threads=1"
+        );
+    }
+    assert_eq!(threaded.telemetry.counter_total("crashes"), 1);
+    assert_eq!(threaded.telemetry.counter_total("retries"), 2);
+}
+
+#[test]
 fn checkpoint_only_run_is_bitwise_clean_and_accounts_bytes() {
     // fault rate 0 with checkpointing on: pure overhead, zero recovery
     let input = test_input();

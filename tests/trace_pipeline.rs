@@ -38,7 +38,10 @@ fn trace_span_totals_match_recorder_phase_totals_within_1pct() {
             .unwrap_or_else(|| panic!("rank {} missing from trace", rank.rank));
         assert_eq!(t.unbalanced, 0, "rank {} trace is balanced", rank.rank);
         for (key, rec_s) in &rank.phases {
-            let trace_s = t.span_seconds(key);
+            // merged (interval-union) seconds: the local stage replays
+            // concurrent thread-local spans, whose raw sum can exceed
+            // the wall clock; the recorder's buckets hold the union
+            let trace_s = t.merged_span_seconds(key);
             let tol = (rec_s * 0.01).max(0.5e-3);
             assert!(
                 (trace_s - rec_s).abs() <= tol,
