@@ -20,7 +20,7 @@ fn bench_e2e(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("verts", n), &n, |b, _| {
             b.iter(|| {
                 let (mut ms, _) = build_block_complex(&bf, &d, TraceLimits::default());
-                simplify(&mut ms, SimplifyParams::up_to(0.02));
+                simplify(&mut ms, SimplifyParams::up_to(0.02)).unwrap();
                 ms.compact();
                 ms
             })

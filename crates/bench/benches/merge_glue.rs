@@ -18,7 +18,7 @@ fn block_complexes(cmplx: u32) -> (Decomposition, Vec<MsComplex>) {
         .map(|b| {
             let (mut ms, _) =
                 build_block_complex(&field.extract_block(b), &d, TraceLimits::default());
-            simplify(&mut ms, SimplifyParams::up_to(0.02));
+            simplify(&mut ms, SimplifyParams::up_to(0.02)).unwrap();
             ms.compact();
             ms
         })
@@ -40,8 +40,8 @@ fn bench_glue(c: &mut Criterion) {
                     |mut cs| {
                         let mut root = cs.remove(0);
                         let rest: Vec<_> = cs.drain(..).collect();
-                        glue_all(&mut root, &rest, &d);
-                        simplify(&mut root, SimplifyParams::up_to(0.02));
+                        glue_all(&mut root, &rest, &d).unwrap();
+                        simplify(&mut root, SimplifyParams::up_to(0.02)).unwrap();
                         root.compact();
                         root
                     },

@@ -42,7 +42,7 @@ fn bench_simplify(c: &mut Criterion) {
                 b.iter_batched(
                     || base.clone(),
                     |mut ms| {
-                        simplify(&mut ms, SimplifyParams::up_to(frac as f32 / 100.0));
+                        simplify(&mut ms, SimplifyParams::up_to(frac as f32 / 100.0)).unwrap();
                         ms
                     },
                     criterion::BatchSize::SmallInput,

@@ -82,8 +82,23 @@ fn main() {
             threads: Some(t),
             ..Default::default()
         };
-        run_parallel(&input, 1, BLOCKS, &params, None)
-            .unwrap_or_else(|e| panic!("run with {t} thread(s) failed: {e}"))
+        let r = run_parallel(&input, 1, BLOCKS, &params, None)
+            .unwrap_or_else(|e| panic!("run with {t} thread(s) failed: {e}"));
+        // With MSP_CHECK=1 the pipeline runs the oracle invariant
+        // checker; a bench sweep must come back violation-free.
+        for key in [
+            "check_structural",
+            "check_euler",
+            "check_boundary",
+            "check_vpath",
+        ] {
+            assert_eq!(
+                r.telemetry.counter_total(key),
+                0,
+                "oracle counter {key} nonzero with {t} thread(s)"
+            );
+        }
+        r
     };
 
     let table = Table::new(&[

@@ -11,12 +11,18 @@
 //!    face and already exist in the root);
 //! 3. boundary flags are recomputed against the merged member-block set,
 //!    turning interior boundary artifacts into cancellation candidates.
+//!
+//! Malformed inputs (uncompacted complexes, mismatched domains, address
+//! collisions at different Morse indices) are reported as [`GlueError`]s
+//! instead of panicking, so a corrupted peer complex arriving over the
+//! wire cannot take the rank down.
 
 use crate::skeleton::{MsComplex, NodeId};
 use msp_grid::Decomposition;
+use std::fmt;
 
 /// Statistics from one glue operation.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GlueStats {
     pub matched_nodes: u64,
     pub added_nodes: u64,
@@ -24,9 +30,66 @@ pub struct GlueStats {
     pub skipped_shared_arcs: u64,
 }
 
+/// A structural defect detected while gluing. Each variant corresponds
+/// to a former assert/debug_assert; all are now checked in release
+/// builds too, since gluing consumes wire-decoded peer data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GlueError {
+    /// The two complexes disagree on the refined dims of the full
+    /// dataset — their global addresses are not comparable.
+    DomainMismatch,
+    /// The incoming complex carries a dead (tombstoned) node: it was not
+    /// compacted before shipping.
+    DeadIncomingNode { addr: u64 },
+    /// The incoming complex carries a dead (tombstoned) arc.
+    DeadIncomingArc { upper: u64, lower: u64 },
+    /// Both complexes hold a node at the same global address but with
+    /// different Morse indices — the gradients disagreed on a shared
+    /// face.
+    IndexMismatch { addr: u64, root: u8, incoming: u8 },
+    /// An arc lying entirely in the shared face is missing from the
+    /// root, contradicting the boundary-identical-gradient contract.
+    MissingSharedArc { upper: u64, lower: u64 },
+}
+
+impl fmt::Display for GlueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GlueError::DomainMismatch => write!(f, "complexes do not share a refined domain"),
+            GlueError::DeadIncomingNode { addr } => {
+                write!(f, "incoming complex not compacted: dead node at {addr}")
+            }
+            GlueError::DeadIncomingArc { upper, lower } => {
+                write!(
+                    f,
+                    "incoming complex not compacted: dead arc {upper} -> {lower}"
+                )
+            }
+            GlueError::IndexMismatch {
+                addr,
+                root,
+                incoming,
+            } => write!(
+                f,
+                "node at address {addr} has index {root} in the root but {incoming} incoming"
+            ),
+            GlueError::MissingSharedArc { upper, lower } => write!(
+                f,
+                "shared-face arc {upper} -> {lower} missing from the root"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GlueError {}
+
 /// Glue `incoming` onto `root`. Both must be compacted (live-only)
 /// complexes over the same refined grid.
-pub fn glue(root: &mut MsComplex, incoming: &MsComplex, decomp: &Decomposition) -> GlueStats {
+pub fn glue(
+    root: &mut MsComplex,
+    incoming: &MsComplex,
+    decomp: &Decomposition,
+) -> Result<GlueStats, GlueError> {
     glue_with(root, incoming, decomp, true)
 }
 
@@ -38,16 +101,18 @@ pub fn glue(root: &mut MsComplex, incoming: &MsComplex, decomp: &Decomposition) 
 /// [partitioning](../../msp_core/redistribute/index.html) store each arc
 /// exactly once, so reassembling them must *not* drop those arcs —
 /// pass `false`.
+///
+/// On error the root may hold a partially-applied glue; callers treat
+/// the error as fatal for the merge and do not reuse the root.
 pub fn glue_with(
     root: &mut MsComplex,
     incoming: &MsComplex,
     _decomp: &Decomposition,
     dedup_shared_arcs: bool,
-) -> GlueStats {
-    assert_eq!(
-        root.refined, incoming.refined,
-        "complexes must share a domain"
-    );
+) -> Result<GlueStats, GlueError> {
+    if root.refined != incoming.refined {
+        return Err(GlueError::DomainMismatch);
+    }
     let mut stats = GlueStats::default();
 
     // map incoming node id -> (root node id, was it a shared match).
@@ -57,9 +122,18 @@ pub fn glue_with(
     // stub replicas that must unify with their originals.
     let mut node_map: Vec<(NodeId, bool)> = Vec::with_capacity(incoming.nodes.len());
     for n in &incoming.nodes {
-        debug_assert!(n.alive, "incoming complex must be compacted");
+        if !n.alive {
+            return Err(GlueError::DeadIncomingNode { addr: n.addr });
+        }
         if let Some(existing) = root.node_at(n.addr) {
-            debug_assert_eq!(root.nodes[existing as usize].index, n.index);
+            let root_index = root.nodes[existing as usize].index;
+            if root_index != n.index {
+                return Err(GlueError::IndexMismatch {
+                    addr: n.addr,
+                    root: root_index,
+                    incoming: n.index,
+                });
+            }
             stats.matched_nodes += 1;
             node_map.push((existing, true));
             continue;
@@ -71,15 +145,22 @@ pub fn glue_with(
 
     let mut geom_map = std::collections::HashMap::new();
     for a in &incoming.arcs {
-        debug_assert!(a.alive);
+        if !a.alive {
+            return Err(GlueError::DeadIncomingArc {
+                upper: incoming.nodes[a.upper as usize].addr,
+                lower: incoming.nodes[a.lower as usize].addr,
+            });
+        }
         let (u, u_shared) = node_map[a.upper as usize];
         let (l, l_shared) = node_map[a.lower as usize];
         if dedup_shared_arcs && u_shared && l_shared {
             // the arc lies entirely in the shared face; the root holds it
-            debug_assert!(
-                root.multiplicity(u, l) >= 1,
-                "shared-face arc must already exist in the root"
-            );
+            if root.multiplicity(u, l) == 0 {
+                return Err(GlueError::MissingSharedArc {
+                    upper: root.nodes[u as usize].addr,
+                    lower: root.nodes[l as usize].addr,
+                });
+            }
             stats.skipped_shared_arcs += 1;
             continue;
         }
@@ -94,11 +175,15 @@ pub fn glue_with(
     members.sort_unstable();
     members.dedup();
     root.member_blocks = members;
-    stats
+    Ok(stats)
 }
 
 /// Glue several complexes onto a root and recompute boundary flags once.
-pub fn glue_all(root: &mut MsComplex, incoming: &[MsComplex], decomp: &Decomposition) -> GlueStats {
+pub fn glue_all(
+    root: &mut MsComplex,
+    incoming: &[MsComplex],
+    decomp: &Decomposition,
+) -> Result<GlueStats, GlueError> {
     glue_all_with(root, incoming, decomp, true)
 }
 
@@ -109,17 +194,17 @@ pub fn glue_all_with(
     incoming: &[MsComplex],
     decomp: &Decomposition,
     dedup_shared_arcs: bool,
-) -> GlueStats {
+) -> Result<GlueStats, GlueError> {
     let mut total = GlueStats::default();
     for inc in incoming {
-        let s = glue_with(root, inc, decomp, dedup_shared_arcs);
+        let s = glue_with(root, inc, decomp, dedup_shared_arcs)?;
         total.matched_nodes += s.matched_nodes;
         total.added_nodes += s.added_nodes;
         total.added_arcs += s.added_arcs;
         total.skipped_shared_arcs += s.skipped_shared_arcs;
     }
     root.reflag_boundaries(decomp);
-    total
+    Ok(total)
 }
 
 #[cfg(test)]
@@ -156,7 +241,7 @@ mod tests {
             .collect();
         let inc = cs.pop().unwrap();
         let mut root = cs.pop().unwrap();
-        let stats = glue_all(&mut root, &[inc], &d);
+        let stats = glue_all(&mut root, &[inc], &d).unwrap();
         assert!(stats.matched_nodes > 0, "shared plane must anchor the glue");
         assert_eq!(root.n_live_nodes() as usize, unique_addrs.len());
         root.check_integrity().unwrap();
@@ -169,7 +254,7 @@ mod tests {
         let (d, mut cs) = block_complexes(&f, 2);
         let inc = cs.pop().unwrap();
         let mut root = cs.pop().unwrap();
-        glue_all(&mut root, &[inc], &d);
+        glue_all(&mut root, &[inc], &d).unwrap();
         // both blocks merged: complex covers the whole domain, so no node
         // may remain flagged boundary
         assert!(
@@ -184,11 +269,49 @@ mod tests {
         let f = msp_synth::white_noise(dims, 5);
         let (d, cs) = block_complexes(&f, 4);
         let mut root = cs[0].clone();
-        glue_all(&mut root, &[cs[1].clone()], &d);
+        glue_all(&mut root, &[cs[1].clone()], &d).unwrap();
         assert_eq!(root.member_blocks.len(), 2);
         // nodes shared with blocks 2/3 must stay boundary
         let still_boundary = root.nodes.iter().filter(|n| n.alive && n.boundary).count();
         assert!(still_boundary > 0, "faces to unmerged blocks stay boundary");
+    }
+
+    #[test]
+    fn uncompacted_incoming_is_a_typed_error() {
+        let dims = Dims::new(9, 9, 9);
+        let f = msp_synth::white_noise(dims, 8);
+        let (d, mut cs) = block_complexes(&f, 2);
+        let mut inc = cs.pop().unwrap();
+        let mut root = cs.pop().unwrap();
+        // tombstone one node without compacting: the glue must refuse
+        let victim = inc
+            .nodes
+            .iter()
+            .position(|n| n.alive && !n.boundary)
+            .expect("interior node exists") as u32;
+        for a in inc.arcs_of(victim).collect::<Vec<_>>() {
+            inc.kill_arc(a);
+        }
+        let addr = inc.nodes[victim as usize].addr;
+        inc.kill_node(victim, 0.0);
+        assert_eq!(
+            glue_with(&mut root, &inc, &d, true),
+            Err(GlueError::DeadIncomingNode { addr })
+        );
+    }
+
+    #[test]
+    fn domain_mismatch_is_a_typed_error() {
+        let a = msp_synth::white_noise(Dims::new(9, 9, 9), 1);
+        let b = msp_synth::white_noise(Dims::new(9, 9, 5), 1);
+        let (da, mut ca) = block_complexes(&a, 1);
+        let (_db, mut cb) = block_complexes(&b, 1);
+        let mut root = ca.pop().unwrap();
+        let inc = cb.pop().unwrap();
+        assert_eq!(
+            glue_with(&mut root, &inc, &da, true),
+            Err(GlueError::DomainMismatch)
+        );
     }
 
     #[test]
@@ -210,13 +333,13 @@ mod tests {
         let d1 = Decomposition::bisect(dims, 1);
         let (mut serial, _) =
             build_block_complex(&f.extract_block(d1.block(0)), &d1, TraceLimits::default());
-        simplify(&mut serial, SimplifyParams::up_to(0.05));
+        simplify(&mut serial, SimplifyParams::up_to(0.05)).unwrap();
         // parallel: 4 blocks, glue all, then simplify at the same level
         let (d4, mut cs) = block_complexes(&f, 4);
         let mut root = cs.remove(0);
         let rest = std::mem::take(&mut cs);
-        glue_all(&mut root, &rest, &d4);
-        simplify(&mut root, SimplifyParams::up_to(0.05));
+        glue_all(&mut root, &rest, &d4).unwrap();
+        simplify(&mut root, SimplifyParams::up_to(0.05)).unwrap();
         assert_eq!(
             root.node_census()[3],
             serial.node_census()[3],

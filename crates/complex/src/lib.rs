@@ -32,5 +32,6 @@ pub mod skeleton;
 pub mod wire;
 
 pub use build::{build_block_complex, complex_from_gradient, BuildStats};
-pub use simplify::{simplify, SimplifyParams, SimplifyStats};
+pub use glue::{GlueError, GlueStats};
+pub use simplify::{simplify, SimplifyError, SimplifyParams, SimplifyStats};
 pub use skeleton::{ArcId, GeomId, MsComplex, NodeId};

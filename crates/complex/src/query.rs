@@ -215,7 +215,7 @@ mod tests {
     #[test]
     fn persistence_curve_monotone() {
         let mut ms = noise_complex(13);
-        simplify(&mut ms, SimplifyParams::up_to(f32::INFINITY));
+        simplify(&mut ms, SimplifyParams::up_to(f32::INFINITY)).unwrap();
         let curve = persistence_curve(&ms);
         assert!(curve.len() > 1);
         for w in curve.windows(2) {
@@ -270,7 +270,7 @@ mod tests {
     #[test]
     fn top_k_ranks_alive_first() {
         let mut ms = noise_complex(3);
-        simplify(&mut ms, SimplifyParams::up_to(0.4));
+        simplify(&mut ms, SimplifyParams::up_to(0.4)).unwrap();
         let top = top_k_features(&ms, 3, 5);
         assert!(!top.is_empty());
         // prominence is non-increasing
@@ -298,7 +298,7 @@ mod tests {
     #[test]
     fn nodes_surviving_decreases_with_threshold() {
         let mut ms = noise_complex(99);
-        simplify(&mut ms, SimplifyParams::up_to(f32::INFINITY));
+        simplify(&mut ms, SimplifyParams::up_to(f32::INFINITY)).unwrap();
         let s0 = nodes_surviving(&ms, 0.0);
         let s5 = nodes_surviving(&ms, 0.5);
         let s_inf = nodes_surviving(&ms, f32::INFINITY);

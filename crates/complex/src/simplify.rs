@@ -17,6 +17,7 @@ use crate::skeleton::{ArcId, Cancellation, MsComplex, NodeId};
 use msp_grid::field::OrderedF32;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::fmt;
 
 /// Simplification configuration.
 #[derive(Debug, Clone, Copy)]
@@ -49,7 +50,7 @@ impl SimplifyParams {
 }
 
 /// Counters from one simplification pass.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimplifyStats {
     pub cancellations: u64,
     pub arcs_removed: u64,
@@ -60,8 +61,47 @@ pub struct SimplifyStats {
     pub capped_parallel: u64,
 }
 
+/// A configuration or data defect that makes persistence ordering
+/// meaningless. Detected up front, before any cancellation, so a
+/// returned error leaves the complex untouched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimplifyError {
+    /// `threshold` is NaN: every `persistence > threshold` comparison is
+    /// false, so the loop would cancel *everything* regardless of
+    /// persistence. (`+inf` remains a legal "simplify fully" request.)
+    NanThreshold,
+    /// A live node carries a non-finite function value; persistences
+    /// involving it are NaN/inf and would corrupt the heap order.
+    NonFiniteValue { addr: u64, value: f32 },
+}
+
+impl fmt::Display for SimplifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimplifyError::NanThreshold => write!(f, "simplification threshold is NaN"),
+            SimplifyError::NonFiniteValue { addr, value } => {
+                write!(f, "node at address {addr} has non-finite value {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimplifyError {}
+
 /// Run persistence simplification up to `params.threshold`.
-pub fn simplify(ms: &mut MsComplex, params: SimplifyParams) -> SimplifyStats {
+pub fn simplify(
+    ms: &mut MsComplex,
+    params: SimplifyParams,
+) -> Result<SimplifyStats, SimplifyError> {
+    if params.threshold.is_nan() {
+        return Err(SimplifyError::NanThreshold);
+    }
+    if let Some(bad) = ms.nodes.iter().find(|n| n.alive && !n.value.is_finite()) {
+        return Err(SimplifyError::NonFiniteValue {
+            addr: bad.addr,
+            value: bad.value,
+        });
+    }
     let mut stats = SimplifyStats::default();
     let mut since_prune = 0u32;
     let mut heap: BinaryHeap<Reverse<(OrderedF32, ArcId)>> = BinaryHeap::new();
@@ -150,7 +190,7 @@ pub fn simplify(ms: &mut MsComplex, params: SimplifyParams) -> SimplifyStats {
             n_created_arcs: n_created,
         });
     }
-    stats
+    Ok(stats)
 }
 
 fn persistence(ms: &MsComplex, u: NodeId, l: NodeId) -> f32 {
@@ -187,7 +227,7 @@ mod tests {
         let f = msp_synth::white_noise(Dims::new(8, 8, 8), 2);
         let mut ms = serial(&f);
         let chi_before = chi(&ms);
-        let stats = simplify(&mut ms, SimplifyParams::up_to(f32::INFINITY));
+        let stats = simplify(&mut ms, SimplifyParams::up_to(f32::INFINITY)).unwrap();
         assert!(stats.cancellations > 0);
         assert_eq!(chi(&ms), chi_before);
         ms.check_integrity().unwrap();
@@ -209,7 +249,7 @@ mod tests {
         let f = msp_synth::white_noise(Dims::new(8, 8, 8), 2);
         let mut ms = serial(&f);
         let live_before = ms.n_live_nodes();
-        simplify(&mut ms, SimplifyParams::up_to(0.0));
+        simplify(&mut ms, SimplifyParams::up_to(0.0)).unwrap();
         // distinct noise values: nothing at persistence exactly 0 unless
         // SoS plateaus — allow few, forbid mass cancellation
         assert!(ms.n_live_nodes() >= live_before / 2);
@@ -227,11 +267,11 @@ mod tests {
             b(4.0) + b(12.0) + 0.001 * msp_synth::basic::hash_unit(9, dims.vertex_index(x, y, z))
         });
         let mut ms = serial(&f);
-        simplify(&mut ms, SimplifyParams::up_to(0.05));
+        simplify(&mut ms, SimplifyParams::up_to(0.05)).unwrap();
         let census = ms.node_census();
         assert_eq!(census[3], 2, "both maxima must survive 5%: {:?}", census);
         // simplifying all the way merges them
-        simplify(&mut ms, SimplifyParams::up_to(f32::INFINITY));
+        simplify(&mut ms, SimplifyParams::up_to(f32::INFINITY)).unwrap();
         assert_eq!(
             ms.node_census()[3],
             0,
@@ -243,7 +283,7 @@ mod tests {
     fn cancelled_pairs_ordered_by_persistence() {
         let f = msp_synth::white_noise(Dims::new(8, 8, 8), 44);
         let mut ms = serial(&f);
-        simplify(&mut ms, SimplifyParams::up_to(f32::INFINITY));
+        simplify(&mut ms, SimplifyParams::up_to(f32::INFINITY)).unwrap();
         // each cancellation's persistence is within threshold and the
         // hierarchy is (weakly) monotone up to re-ordering slack created
         // by newly-created arcs; verify every recorded persistence is
@@ -269,7 +309,7 @@ mod tests {
                 .filter(|n| n.boundary)
                 .map(|n| n.addr)
                 .collect();
-            simplify(&mut ms, SimplifyParams::up_to(f32::INFINITY));
+            simplify(&mut ms, SimplifyParams::up_to(f32::INFINITY)).unwrap();
             for addr in boundary_before {
                 let id = ms.node_at(addr).expect("boundary node survived");
                 assert!(ms.nodes[id as usize].alive);
@@ -288,16 +328,38 @@ mod tests {
                 max_new_arcs: Some(0),
                 max_parallel_arcs: Some(2),
             },
-        );
+        )
+        .unwrap();
         // with a zero cap, only cancellations creating no arcs happen
         assert_eq!(stats.arcs_created, 0);
+    }
+
+    #[test]
+    fn nan_threshold_and_nan_values_are_typed_errors() {
+        let f = msp_synth::white_noise(Dims::new(6, 6, 6), 3);
+        let mut ms = serial(&f);
+        assert_eq!(
+            simplify(&mut ms, SimplifyParams::up_to(f32::NAN)),
+            Err(SimplifyError::NanThreshold)
+        );
+        let victim = ms.nodes.iter().position(|n| n.alive).unwrap();
+        let addr = ms.nodes[victim].addr;
+        ms.nodes[victim].value = f32::NAN;
+        let err = simplify(&mut ms, SimplifyParams::up_to(0.1)).unwrap_err();
+        match err {
+            SimplifyError::NonFiniteValue { addr: a, value } => {
+                assert_eq!(a, addr);
+                assert!(value.is_nan());
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]
     fn hierarchy_records_match_stats() {
         let f = msp_synth::white_noise(Dims::new(8, 8, 8), 77);
         let mut ms = serial(&f);
-        let stats = simplify(&mut ms, SimplifyParams::up_to(f32::INFINITY));
+        let stats = simplify(&mut ms, SimplifyParams::up_to(f32::INFINITY)).unwrap();
         assert_eq!(stats.cancellations as usize, ms.hierarchy.len());
         let created: u64 = ms.hierarchy.iter().map(|c| c.n_created_arcs as u64).sum();
         assert_eq!(created, stats.arcs_created);

@@ -202,6 +202,14 @@ impl MsComplex {
         }
     }
 
+    /// True when `g` is a verbatim traced V-path (a [`GeomRec::Leaf`]),
+    /// false for a cancellation splice. Spliced geometries contain a
+    /// reversed middle segment and are *not* gradient V-paths, so
+    /// path-validity checkers (the oracle crate) only apply to leaves.
+    pub fn geom_is_leaf(&self, g: GeomId) -> bool {
+        matches!(self.geoms[g as usize], GeomRec::Leaf { .. })
+    }
+
     /// Node id at a global address, if present.
     pub fn node_at(&self, addr: u64) -> Option<NodeId> {
         self.addr_index.get(&addr).copied()

@@ -30,7 +30,7 @@ proptest! {
         prop_assert_eq!(chi0, 1);
         let (lo, hi) = field.min_max();
         let threshold = (hi - lo) * pct as f32 / 100.0;
-        simplify(&mut ms, SimplifyParams::up_to(threshold));
+        simplify(&mut ms, SimplifyParams::up_to(threshold)).unwrap();
         // chi invariant under cancellation
         prop_assert_eq!(chi(&ms), chi0);
         ms.check_integrity().unwrap();
@@ -49,7 +49,7 @@ proptest! {
         let d = Decomposition::bisect(field.dims(), 1);
         let (mut ms, _) =
             build_block_complex(&field.extract_block(d.block(0)), &d, TraceLimits::default());
-        simplify(&mut ms, SimplifyParams::up_to(0.3));
+        simplify(&mut ms, SimplifyParams::up_to(0.3)).unwrap();
         let nodes = ms.n_live_nodes();
         let arcs = ms.n_live_arcs();
         let census = ms.node_census();
@@ -65,7 +65,7 @@ proptest! {
         let d = Decomposition::bisect(field.dims(), 1);
         let (mut ms, _) =
             build_block_complex(&field.extract_block(d.block(0)), &d, TraceLimits::default());
-        simplify(&mut ms, SimplifyParams::up_to(pct as f32 / 100.0));
+        simplify(&mut ms, SimplifyParams::up_to(pct as f32 / 100.0)).unwrap();
         ms.compact();
         let bytes = wire::serialize(&ms);
         let back = wire::deserialize(&bytes).unwrap();
@@ -98,7 +98,7 @@ proptest! {
             .collect();
         let inc = cs.pop().unwrap();
         let mut root = cs.pop().unwrap();
-        glue_all(&mut root, &[inc], &d);
+        glue_all(&mut root, &[inc], &d).unwrap();
         prop_assert_eq!(root.n_live_nodes() as usize, unique.len());
         root.check_integrity().unwrap();
         // fully merged complex over the whole domain: chi = 1 again
@@ -144,7 +144,7 @@ proptest! {
             &d1,
             TraceLimits::default(),
         );
-        simplify(&mut serial, SimplifyParams::up_to(threshold));
+        simplify(&mut serial, SimplifyParams::up_to(threshold)).unwrap();
 
         let d2 = Decomposition::bisect(dims, 2);
         let mut cs: Vec<MsComplex> = d2
@@ -156,15 +156,15 @@ proptest! {
                     &d2,
                     TraceLimits::default(),
                 );
-                simplify(&mut ms, SimplifyParams::up_to(threshold));
+                simplify(&mut ms, SimplifyParams::up_to(threshold)).unwrap();
                 ms.compact();
                 ms
             })
             .collect();
         let inc = cs.pop().unwrap();
         let mut root = cs.pop().unwrap();
-        glue_all(&mut root, &[inc], &d2);
-        simplify(&mut root, SimplifyParams::up_to(threshold));
+        glue_all(&mut root, &[inc], &d2).unwrap();
+        simplify(&mut root, SimplifyParams::up_to(threshold)).unwrap();
         prop_assert_eq!(chi(&root), chi(&serial));
         // Exact equality of the census is NOT guaranteed for features
         // whose persistence approaches the threshold (cancellation order

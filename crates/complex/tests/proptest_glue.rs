@@ -1,0 +1,114 @@
+//! Property-based tests of the glue/simplify layer against the
+//! independent oracle (`msp-oracle`): glue is idempotent and
+//! order-independent, and simplification preserves the full invariant
+//! set (see DESIGN.md §10).
+
+use msp_complex::build::build_block_complex;
+use msp_complex::glue::glue_all;
+use msp_complex::{simplify, MsComplex, SimplifyParams};
+use msp_grid::{Decomposition, Dims, ScalarField};
+use msp_morse::TraceLimits;
+use msp_oracle::{check_complex, check_glue_idempotent, fingerprint, CheckOptions};
+use proptest::prelude::*;
+
+fn arb_field() -> impl Strategy<Value = ScalarField> {
+    ((4u32..8, 4u32..8, 4u32..8), 0u64..1_000_000)
+        .prop_map(|((x, y, z), seed)| msp_synth::white_noise(Dims::new(x, y, z), seed))
+}
+
+/// Per-block complexes over an n-block bisection, each compacted.
+fn block_complexes(field: &ScalarField, n_blocks: u32) -> (Decomposition, Vec<MsComplex>) {
+    let d = Decomposition::bisect(field.dims(), n_blocks);
+    let cs = d
+        .blocks()
+        .iter()
+        .map(|b| {
+            let (mut ms, _) =
+                build_block_complex(&field.extract_block(b), &d, TraceLimits::default());
+            ms.compact();
+            ms
+        })
+        .collect();
+    (d, cs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn glue_is_idempotent(field in arb_field()) {
+        let (d, mut cs) = block_complexes(&field, 2);
+        let inc = cs.pop().unwrap();
+        let mut root = cs.pop().unwrap();
+        glue_all(&mut root, &[inc], &d).unwrap();
+        // re-gluing the merged complex into itself must add nothing
+        check_glue_idempotent(&root, &d).unwrap();
+    }
+
+    #[test]
+    fn glue_is_order_independent(field in arb_field()) {
+        let dims = field.dims();
+        let cells = (dims.nx as u64 - 1) * (dims.ny as u64 - 1) * (dims.nz as u64 - 1);
+        prop_assume!(cells >= 16);
+        let (d, cs) = block_complexes(&field, 4);
+        prop_assert_eq!(cs.len(), 4);
+        // glue the remaining three blocks into block 0 in every
+        // permutation; the living content must be identical
+        let orders: [[usize; 3]; 6] = [
+            [1, 2, 3], [1, 3, 2], [2, 1, 3], [2, 3, 1], [3, 1, 2], [3, 2, 1],
+        ];
+        let mut reference = None;
+        for order in orders {
+            let mut root = cs[0].clone();
+            let incoming: Vec<MsComplex> = order.iter().map(|&i| cs[i].clone()).collect();
+            glue_all(&mut root, &incoming, &d).unwrap();
+            let fp = fingerprint(&root);
+            match &reference {
+                None => reference = Some(fp),
+                Some(r) => prop_assert_eq!(r, &fp, "glue order {:?} diverged", order),
+            }
+        }
+    }
+
+    #[test]
+    fn simplify_preserves_invariants(field in arb_field(), pct in 0u32..100) {
+        let (d, mut cs) = block_complexes(&field, 2);
+        let inc = cs.pop().unwrap();
+        let mut root = cs.pop().unwrap();
+        glue_all(&mut root, &[inc], &d).unwrap();
+        let (lo, hi) = field.min_max();
+        let threshold = (hi - lo) * pct as f32 / 100.0;
+        simplify(&mut root, SimplifyParams::up_to(threshold)).unwrap();
+        // the merged, simplified complex must pass every oracle check,
+        // structural and semantic, against the original field
+        let report = check_complex(&root, &d, Some(&field), &CheckOptions::default());
+        prop_assert!(report.is_clean(), "oracle violations: {:?}", report.notes);
+        prop_assert!(report.semantic, "semantic checks did not run");
+    }
+
+    #[test]
+    fn simplified_blocks_glue_idempotently(field in arb_field(), pct in 0u32..60) {
+        // the pipeline glues *simplified* block complexes; idempotency
+        // and cleanliness must survive the round trip
+        let d = Decomposition::bisect(field.dims(), 2);
+        let (lo, hi) = field.min_max();
+        let threshold = (hi - lo) * pct as f32 / 100.0;
+        let mut cs: Vec<MsComplex> = d
+            .blocks()
+            .iter()
+            .map(|b| {
+                let (mut ms, _) =
+                    build_block_complex(&field.extract_block(b), &d, TraceLimits::default());
+                simplify(&mut ms, SimplifyParams::up_to(threshold)).unwrap();
+                ms.compact();
+                ms
+            })
+            .collect();
+        let inc = cs.pop().unwrap();
+        let mut root = cs.pop().unwrap();
+        glue_all(&mut root, &[inc], &d).unwrap();
+        check_glue_idempotent(&root, &d).unwrap();
+        let report = check_complex(&root, &d, Some(&field), &CheckOptions::default());
+        prop_assert!(report.is_clean(), "oracle violations: {:?}", report.notes);
+    }
+}

@@ -138,6 +138,18 @@ pub enum PipelineError {
     /// A complex that must exist at this stage is gone and no fault
     /// config explains the loss.
     MissingComplex { slot: u32, context: &'static str },
+    /// A glue stage rejected its inputs (dead or mismatched incoming
+    /// complexes).
+    Glue {
+        context: String,
+        source: msp_complex::GlueError,
+    },
+    /// A simplification pass rejected its input (NaN threshold or
+    /// non-finite node values).
+    Simplify {
+        context: String,
+        source: msp_complex::SimplifyError,
+    },
     /// The end-of-run telemetry exchange produced garbage.
     Telemetry(String),
 }
@@ -153,6 +165,8 @@ impl std::fmt::Display for PipelineError {
             PipelineError::MissingComplex { slot, context } => {
                 write!(f, "complex for slot {slot} missing at {context}")
             }
+            PipelineError::Glue { context, source } => write!(f, "{context}: {source}"),
+            PipelineError::Simplify { context, source } => write!(f, "{context}: {source}"),
             PipelineError::Telemetry(msg) => write!(f, "telemetry exchange: {msg}"),
         }
     }
@@ -165,6 +179,8 @@ impl std::error::Error for PipelineError {
             PipelineError::Comm { source, .. } => Some(source),
             PipelineError::Wire { source, .. } => Some(source),
             PipelineError::Checkpoint { source, .. } => Some(source),
+            PipelineError::Glue { source, .. } => Some(source),
+            PipelineError::Simplify { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -195,6 +211,14 @@ pub struct PipelineParams {
     /// parallelism; `Some(1)` is the exact serial code path. Output is
     /// bit-identical for every value.
     pub threads: Option<usize>,
+    /// Run the oracle invariant checker (crate `msp-oracle`) over every
+    /// output complex after the write stage. Violations are counted in
+    /// telemetry (`checks_run`, `check_structural`, `check_euler`,
+    /// `check_boundary`, `check_vpath`) and described on stderr; they
+    /// never abort the run (a rank returning early from inside the
+    /// collective section would deadlock its peers). `MSP_CHECK=1` in
+    /// the environment forces this on.
+    pub check: bool,
 }
 
 impl Default for PipelineParams {
@@ -209,6 +233,7 @@ impl Default for PipelineParams {
             fault: FaultConfig::default(),
             trace: false,
             threads: None,
+            check: false,
         }
     }
 }
@@ -545,8 +570,11 @@ fn run_rank(
         max_parallel_arcs: Some(2),
     };
     if threads == 1 {
-        for ms in complexes.values_mut() {
-            let st = simplify(ms, sp);
+        for (&b, ms) in complexes.iter_mut() {
+            let st = simplify(ms, sp).map_err(|source| PipelineError::Simplify {
+                context: format!("simplifying block {b}"),
+                source,
+            })?;
             rec.add(Counter::Cancellations, st.cancellations);
             ms.compact();
         }
@@ -555,13 +583,16 @@ fn run_rank(
         // cancellation counter accumulates deterministically
         let mut work: Vec<(u32, MsComplex)> = complexes.drain().collect();
         work.sort_by_key(|(b, _)| *b);
-        let cancels = par_map_mut(threads, &mut work, |_, (_, ms)| {
-            let st = simplify(ms, sp);
+        let cancels = par_map_mut(threads, &mut work, |_, (b, ms)| {
+            let st = simplify(ms, sp).map_err(|source| PipelineError::Simplify {
+                context: format!("simplifying block {b}"),
+                source,
+            })?;
             ms.compact();
-            st.cancellations
+            Ok(st.cancellations)
         });
         for n in cancels {
-            rec.add(Counter::Cancellations, n);
+            rec.add(Counter::Cancellations, n?);
         }
         complexes.extend(work);
     }
@@ -698,9 +729,19 @@ fn run_rank(
                 }
             }
             let ms = complexes.get_mut(root).expect("checked above");
-            rec.time(Phase::Glue, |_| glue_all(ms, &incoming, decomp));
+            rec.time(Phase::Glue, |_| glue_all(ms, &incoming, decomp))
+                .map_err(|source| PipelineError::Glue {
+                    context: format!(
+                        "gluing {} member(s) into slot {root} in round {r}",
+                        incoming.len()
+                    ),
+                    source,
+                })?;
             rec.begin(Phase::Resimplify);
-            let st = simplify(ms, sp);
+            let st = simplify(ms, sp).map_err(|source| PipelineError::Simplify {
+                context: format!("re-simplifying slot {root} after round {r}"),
+                source,
+            })?;
             rec.add(Counter::Cancellations, st.cancellations);
             ms.compact();
             rec.end(Phase::Resimplify);
@@ -762,6 +803,60 @@ fn run_rank(
         None
     };
     rec.end(Phase::Write);
+
+    // ---- oracle check (opt-in) ----
+    // Violations are recorded as telemetry counters and stderr notes,
+    // never as an early return: a rank bailing out here while its peers
+    // sit in the final collectives would deadlock the run. Callers gate
+    // on the counters instead (see `msc --check` and `oracle_fuzz`).
+    let check =
+        params.check || std::env::var("MSP_CHECK").map(|v| v == "1" || v == "true") == Ok(true);
+    if check {
+        rec.begin(Phase::Check);
+        let opts = msp_oracle::CheckOptions::default();
+        for (slot, ms) in &my_outputs {
+            let mut report = msp_oracle::InvariantReport::default();
+            msp_oracle::check_structural(ms, decomp, &opts, &mut report);
+            // The semantic tier needs the member scalar blocks back
+            // (they were dropped after the local stage to bound memory).
+            let mut member_fields = Vec::new();
+            let mut have_fields = true;
+            for &b in &ms.member_blocks {
+                match input {
+                    Input::Memory(f) => member_fields.push(f.extract_block(decomp.block(b))),
+                    Input::File { path, dims, dtype } => {
+                        match read_block(path, *dims, decomp.block(b), *dtype) {
+                            Ok(bf) => member_fields.push(bf),
+                            Err(e) => {
+                                eprintln!(
+                                    "[msp-check] rank {p} slot {slot}: cannot re-read \
+                                     block {b} for the semantic tier: {e}"
+                                );
+                                have_fields = false;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            if have_fields {
+                msp_oracle::check_semantic(ms, decomp, &member_fields, &opts, &mut report);
+            }
+            if let Err(e) = msp_oracle::check_glue_idempotent(ms, decomp) {
+                report.structural += 1;
+                report.notes.push(format!("glue idempotency: {e}"));
+            }
+            rec.add(Counter::ChecksRun, 1);
+            rec.add(Counter::CheckStructural, report.structural);
+            rec.add(Counter::CheckEuler, report.euler);
+            rec.add(Counter::CheckBoundary, report.boundary);
+            rec.add(Counter::CheckVpath, report.vpath);
+            for note in &report.notes {
+                eprintln!("[msp-check] rank {p} slot {slot}: {note}");
+            }
+        }
+        rec.end(Phase::Check);
+    }
     rec.end(Phase::Total);
 
     // Stop tracing before the telemetry/trace exchange below: the

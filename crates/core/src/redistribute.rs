@@ -142,7 +142,8 @@ pub fn global_simplify_and_partition(
             max_new_arcs,
             max_parallel_arcs: Some(2),
         },
-    );
+    )
+    .expect("redistribution input complexes are finite");
     ms.compact();
     let chunk = ms.member_blocks.len() / n_parts as usize;
     let parts: Vec<Vec<u32>> = ms.member_blocks.chunks(chunk).map(|c| c.to_vec()).collect();
@@ -274,7 +275,7 @@ mod tests {
         let split = partition_complex(&ms, &decomp, &parts);
         let mut root = split[0].clone();
         // partitioned complexes store each arc once: no dedup on reglue
-        glue_all_with(&mut root, &split[1..], &decomp, false);
+        glue_all_with(&mut root, &split[1..], &decomp, false).unwrap();
         assert_eq!(root.n_live_nodes(), ms.n_live_nodes());
         assert_eq!(root.n_live_arcs(), ms.n_live_arcs());
         root.check_integrity().unwrap();

@@ -318,7 +318,7 @@ pub fn simulate(
             let (mut ms, _) = build_block_complex(&bf, &decomp, params.trace_limits);
             let t_build = t0.elapsed().as_secs_f64();
             let t1 = Instant::now();
-            simplify(&mut ms, sp);
+            simplify(&mut ms, sp).expect("sim-driver fields are finite");
             ms.compact();
             let t_simplify = t1.elapsed().as_secs_f64();
             BlockOut {
@@ -500,8 +500,9 @@ pub fn simulate(
                 let comm = sum_bytes as f64 * params.net.byte_time_s;
                 let t0 = Instant::now();
                 let incoming: Vec<MsComplex> = inputs.into_iter().map(|m| m.ms).collect();
-                glue_all(&mut root_ms, &incoming, &decomp);
-                simplify(&mut root_ms, sp);
+                glue_all(&mut root_ms, &incoming, &decomp)
+                    .expect("sim-driver complexes glue cleanly");
+                simplify(&mut root_ms, sp).expect("sim-driver fields are finite");
                 root_ms.compact();
                 let glue = t0.elapsed().as_secs_f64();
                 (root, root_ms, start + comm + glue, comm, glue, sum_bytes)

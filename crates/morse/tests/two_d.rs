@@ -82,15 +82,15 @@ fn two_d_pipeline_end_to_end() {
         .iter()
         .map(|b| {
             let (mut ms, _) = build_block_complex(&f.extract_block(b), &d, TraceLimits::default());
-            simplify(&mut ms, SimplifyParams::up_to(0.01));
+            simplify(&mut ms, SimplifyParams::up_to(0.01)).unwrap();
             ms.compact();
             ms
         })
         .collect();
     let mut root = cs.remove(0);
     let rest = std::mem::take(&mut cs);
-    glue_all(&mut root, &rest, &d);
-    simplify(&mut root, SimplifyParams::up_to(0.01));
+    glue_all(&mut root, &rest, &d).unwrap();
+    simplify(&mut root, SimplifyParams::up_to(0.01)).unwrap();
     root.check_integrity().unwrap();
     let c = root.node_census();
     assert_eq!(c[0] as i64 - c[1] as i64 + c[2] as i64 - c[3] as i64, 1);

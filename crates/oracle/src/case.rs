@@ -1,0 +1,612 @@
+//! Deterministic fuzz-case model: generation, a replayable text format,
+//! and greedy shrinking.
+//!
+//! A [`Case`] fully determines one differential-fuzz run: the synthetic
+//! field (kind + dims + seed), the decomposition (blocks), the execution
+//! shape (ranks, threads, merge schedule, injected fault) and the
+//! simplification persistence. The driver in the workspace root turns a
+//! case into an actual pipeline run; this module only knows how to
+//! *describe* runs, so it can live below `msp-core` in the dependency
+//! graph.
+//!
+//! The text format is line-oriented `key = value`, round-trips exactly,
+//! and is what `oracle_fuzz` dumps as `.case` reproducers.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Minimal deterministic PRNG (splitmix64). Self-contained so case
+/// generation never depends on an external `rand` or on other crates'
+/// private helpers.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (n > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform pick from a slice.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+}
+
+/// What synthetic field the case runs on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldKind {
+    /// Hash-based white noise: generic data, all values distinct.
+    Noise,
+    /// Noise quantized to `n` levels: adversarial plateaus (ties broken
+    /// only by simulation of simplicity). `Plateau(1)` is all-constant.
+    Plateau(u32),
+    /// Saddle-heavy product-of-sines field with `c` periods per axis.
+    Sinusoid(u32),
+    /// `n` Gaussian bumps: smooth data with few critical cells.
+    Bumps(u32),
+    /// All-constant field: the fully degenerate plateau.
+    Constant,
+}
+
+impl fmt::Display for FieldKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldKind::Noise => write!(f, "noise"),
+            FieldKind::Plateau(n) => write!(f, "plateau:{n}"),
+            FieldKind::Sinusoid(c) => write!(f, "sinusoid:{c}"),
+            FieldKind::Bumps(n) => write!(f, "bumps:{n}"),
+            FieldKind::Constant => write!(f, "constant"),
+        }
+    }
+}
+
+impl FromStr for FieldKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let (head, arg) = match s.split_once(':') {
+            Some((h, a)) => (h, Some(a)),
+            None => (s, None),
+        };
+        let num = |a: Option<&str>| -> Result<u32, String> {
+            a.ok_or_else(|| format!("field kind '{head}' needs an argument"))?
+                .parse::<u32>()
+                .map_err(|e| format!("bad field-kind argument in '{s}': {e}"))
+        };
+        match head {
+            "noise" => Ok(FieldKind::Noise),
+            "plateau" => Ok(FieldKind::Plateau(num(arg)?)),
+            "sinusoid" => Ok(FieldKind::Sinusoid(num(arg)?)),
+            "bumps" => Ok(FieldKind::Bumps(num(arg)?)),
+            "constant" => Ok(FieldKind::Constant),
+            _ => Err(format!("unknown field kind '{s}'")),
+        }
+    }
+}
+
+/// Merge schedule, as radices only. `msp-core` (which this crate must
+/// not depend on) converts it to a `MergePlan`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Schedule {
+    /// No merging: every block complex is an output.
+    None,
+    /// Merge everything into one output in one plan (`full_merge`).
+    Full,
+    /// Explicit per-round radices (each 2, 4 or 8; the product must
+    /// divide the block count).
+    Rounds(Vec<u32>),
+}
+
+impl Schedule {
+    /// Number of merge rounds the schedule implies for `n_blocks`.
+    pub fn n_rounds(&self, n_blocks: u32) -> u32 {
+        match self {
+            Schedule::None => 0,
+            Schedule::Full => {
+                // full_merge uses radix-8 rounds with a leftover radix
+                // first; rounds = ceil(log2(n)/3) for powers of two.
+                let log2 = n_blocks.trailing_zeros();
+                log2.div_ceil(3)
+            }
+            Schedule::Rounds(v) => v.len() as u32,
+        }
+    }
+
+    /// Product of the radices (the total reduction factor).
+    pub fn reduction(&self, n_blocks: u32) -> u32 {
+        match self {
+            Schedule::None => 1,
+            Schedule::Full => n_blocks,
+            Schedule::Rounds(v) => v.iter().product(),
+        }
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Schedule::None => write!(f, "none"),
+            Schedule::Full => write!(f, "full"),
+            Schedule::Rounds(v) => {
+                write!(f, "rounds:")?;
+                for (i, r) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{r}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl FromStr for Schedule {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "none" => return Ok(Schedule::None),
+            "full" => return Ok(Schedule::Full),
+            _ => {}
+        }
+        let body = s
+            .strip_prefix("rounds:")
+            .ok_or_else(|| format!("unknown schedule '{s}'"))?;
+        let v: Result<Vec<u32>, _> = body.split(',').map(|x| x.trim().parse::<u32>()).collect();
+        let v = v.map_err(|e| format!("bad schedule '{s}': {e}"))?;
+        if v.is_empty() || v.iter().any(|&r| r != 2 && r != 4 && r != 8) {
+            return Err(format!("schedule radices must be 2, 4 or 8 in '{s}'"));
+        }
+        Ok(Schedule::Rounds(v))
+    }
+}
+
+/// One fully-specified differential-fuzz run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Case {
+    pub kind: FieldKind,
+    pub dims: [u32; 3],
+    pub seed: u64,
+    pub ranks: u32,
+    pub blocks: u32,
+    pub threads: u32,
+    pub schedule: Schedule,
+    pub persistence: f32,
+    /// Injected fault, e.g. `crash:1@1` = rank 1 crashes before merge
+    /// round 1 (checkpointing is always enabled when a fault is set).
+    pub fault: Option<String>,
+}
+
+impl Case {
+    /// Internal-consistency check: a case the driver can actually run.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dims.iter().any(|&a| a < 2) {
+            return Err(format!("dims {:?} too small", self.dims));
+        }
+        if !self.blocks.is_power_of_two() {
+            return Err(format!("blocks {} not a power of two", self.blocks));
+        }
+        if self.ranks == 0 || self.ranks > self.blocks {
+            return Err(format!(
+                "ranks {} must be in 1..={}",
+                self.ranks, self.blocks
+            ));
+        }
+        if self.threads == 0 {
+            return Err("threads must be >= 1".into());
+        }
+        let red = self.schedule.reduction(self.blocks);
+        if red == 0 || !self.blocks.is_multiple_of(red) {
+            return Err(format!(
+                "schedule reduction {red} does not divide {} blocks",
+                self.blocks
+            ));
+        }
+        if !self.persistence.is_finite() || self.persistence < 0.0 {
+            return Err(format!("persistence {} invalid", self.persistence));
+        }
+        if let Some(f) = &self.fault {
+            let (r, k) = parse_fault(f)?;
+            if self.ranks < 2 {
+                return Err("fault injection needs >= 2 ranks".into());
+            }
+            if r == 0 || r >= self.ranks {
+                return Err(format!("fault rank {r} must be in 1..{}", self.ranks));
+            }
+            let rounds = self.schedule.n_rounds(self.blocks);
+            if k == 0 || k > rounds {
+                return Err(format!("fault round {k} must be in 1..={rounds}"));
+            }
+        }
+        match self.kind {
+            FieldKind::Plateau(0) => Err("plateau needs >= 1 level".into()),
+            FieldKind::Sinusoid(0) => Err("sinusoid needs >= 1 period".into()),
+            FieldKind::Bumps(0) => Err("bumps needs >= 1 bump".into()),
+            _ => Ok(()),
+        }
+    }
+
+    /// Generate a random valid case from a PRNG.
+    pub fn generate(rng: &mut SplitMix64) -> Case {
+        let kind = match rng.below(5) {
+            0 => FieldKind::Noise,
+            1 => FieldKind::Plateau(1 + rng.below(4) as u32),
+            2 => FieldKind::Sinusoid(1 + rng.below(3) as u32),
+            3 => FieldKind::Bumps(1 + rng.below(5) as u32),
+            _ => FieldKind::Constant,
+        };
+        let axis = |rng: &mut SplitMix64| 5 + rng.below(4) as u32;
+        let dims = if matches!(kind, FieldKind::Sinusoid(_)) {
+            let a = axis(rng);
+            [a, a, a]
+        } else {
+            [axis(rng), axis(rng), axis(rng)]
+        };
+        let blocks = *rng.pick(&[1u32, 2, 4, 8]);
+        let ranks = {
+            let opts: Vec<u32> = [1u32, 2, 4].into_iter().filter(|&r| r <= blocks).collect();
+            *rng.pick(&opts)
+        };
+        let threads = 1 + rng.below(4) as u32;
+        let schedule = match rng.below(3) {
+            0 => Schedule::None,
+            1 if blocks > 1 => Schedule::Full,
+            _ => {
+                // random radix factorization of a divisor of `blocks`
+                let mut left = blocks;
+                let mut v = Vec::new();
+                while left > 1 && rng.below(3) > 0 {
+                    let r = *rng.pick(
+                        &[2u32, 4, 8]
+                            .into_iter()
+                            .filter(|&r| left.is_multiple_of(r))
+                            .collect::<Vec<_>>(),
+                    );
+                    v.push(r);
+                    left /= r;
+                }
+                if v.is_empty() {
+                    Schedule::None
+                } else {
+                    Schedule::Rounds(v)
+                }
+            }
+        };
+        let persistence = *rng.pick(&[0.0f32, 0.01, 0.05, 0.2]);
+        let rounds = schedule.n_rounds(blocks);
+        let fault = if ranks >= 2 && rounds >= 1 && rng.below(4) == 0 {
+            let r = 1 + rng.below((ranks - 1) as u64) as u32;
+            let k = 1 + rng.below(rounds as u64) as u32;
+            Some(format!("crash:{r}@{k}"))
+        } else {
+            None
+        };
+        let case = Case {
+            kind,
+            dims,
+            seed: rng.next_u64(),
+            ranks,
+            blocks,
+            threads,
+            schedule,
+            persistence,
+            fault,
+        };
+        debug_assert!(case.validate().is_ok(), "{:?}", case.validate());
+        case
+    }
+
+    /// Candidate one-step simplifications of this case, most aggressive
+    /// first. Each candidate is valid; the shrinker keeps a candidate if
+    /// it still reproduces the failure.
+    pub fn shrink_candidates(&self) -> Vec<Case> {
+        let mut out = Vec::new();
+        let mut push = |c: Case| {
+            if c != *self && c.validate().is_ok() {
+                out.push(c);
+            }
+        };
+        if self.fault.is_some() {
+            let mut c = self.clone();
+            c.fault = None;
+            push(c);
+        }
+        if self.threads > 1 {
+            let mut c = self.clone();
+            c.threads = 1;
+            push(c);
+        }
+        if self.ranks > 1 {
+            let mut c = self.clone();
+            c.ranks /= 2;
+            c.fault = clamp_fault(&c);
+            push(c);
+        }
+        match &self.schedule {
+            Schedule::Full => {
+                let mut c = self.clone();
+                c.schedule = Schedule::None;
+                c.fault = None;
+                push(c);
+            }
+            Schedule::Rounds(v) => {
+                let mut c = self.clone();
+                let mut v = v.clone();
+                v.pop();
+                c.schedule = if v.is_empty() {
+                    Schedule::None
+                } else {
+                    Schedule::Rounds(v)
+                };
+                c.fault = clamp_fault(&c);
+                push(c);
+            }
+            Schedule::None => {}
+        }
+        if self.blocks > 1 {
+            let mut c = self.clone();
+            c.blocks /= 2;
+            c.ranks = c.ranks.min(c.blocks);
+            if c.schedule.reduction(c.blocks) > c.blocks
+                || !c
+                    .blocks
+                    .is_multiple_of(c.schedule.reduction(c.blocks).max(1))
+            {
+                c.schedule = if c.blocks > 1 {
+                    Schedule::Full
+                } else {
+                    Schedule::None
+                };
+            }
+            c.fault = clamp_fault(&c);
+            push(c);
+        }
+        for a in 0..3 {
+            if self.dims[a] > 5 {
+                let mut c = self.clone();
+                if matches!(c.kind, FieldKind::Sinusoid(_)) {
+                    let s = c.dims[a] - 1;
+                    c.dims = [s, s, s];
+                } else {
+                    c.dims[a] -= 1;
+                }
+                push(c);
+                if matches!(self.kind, FieldKind::Sinusoid(_)) {
+                    break; // cube shrink covers all axes at once
+                }
+            }
+        }
+        if self.persistence != 0.0 {
+            let mut c = self.clone();
+            c.persistence = 0.0;
+            push(c);
+        }
+        if self.kind != FieldKind::Noise {
+            let mut c = self.clone();
+            c.kind = FieldKind::Noise;
+            push(c);
+        }
+        out
+    }
+}
+
+/// Parse `crash:R@K` into `(R, K)`.
+pub fn parse_fault(s: &str) -> Result<(u32, u32), String> {
+    let body = s
+        .strip_prefix("crash:")
+        .ok_or_else(|| format!("unknown fault '{s}'"))?;
+    let (r, k) = body
+        .split_once('@')
+        .ok_or_else(|| format!("fault '{s}' must be crash:R@K"))?;
+    let r = r
+        .parse::<u32>()
+        .map_err(|e| format!("bad fault rank: {e}"))?;
+    let k = k
+        .parse::<u32>()
+        .map_err(|e| format!("bad fault round: {e}"))?;
+    Ok((r, k))
+}
+
+/// Re-fit a fault spec to a (possibly shrunk) case; drop it if the case
+/// can no longer host one.
+fn clamp_fault(c: &Case) -> Option<String> {
+    let (r, k) = parse_fault(c.fault.as_deref()?).ok()?;
+    let rounds = c.schedule.n_rounds(c.blocks);
+    if c.ranks < 2 || rounds == 0 {
+        return None;
+    }
+    Some(format!(
+        "crash:{}@{}",
+        r.clamp(1, c.ranks - 1),
+        k.clamp(1, rounds)
+    ))
+}
+
+impl fmt::Display for Case {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "kind = {}", self.kind)?;
+        writeln!(
+            f,
+            "dims = {}x{}x{}",
+            self.dims[0], self.dims[1], self.dims[2]
+        )?;
+        writeln!(f, "seed = {}", self.seed)?;
+        writeln!(f, "ranks = {}", self.ranks)?;
+        writeln!(f, "blocks = {}", self.blocks)?;
+        writeln!(f, "threads = {}", self.threads)?;
+        writeln!(f, "schedule = {}", self.schedule)?;
+        writeln!(f, "persistence = {}", self.persistence)?;
+        if let Some(fault) = &self.fault {
+            writeln!(f, "fault = {fault}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Case {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let mut kind = None;
+        let mut dims = None;
+        let mut seed = None;
+        let mut ranks = None;
+        let mut blocks = None;
+        let mut threads = None;
+        let mut schedule = None;
+        let mut persistence = None;
+        let mut fault = None;
+        for (ln, line) in s.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (k, v) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected 'key = value'", ln + 1))?;
+            let (k, v) = (k.trim(), v.trim());
+            let bad = |e: String| format!("line {}: {e}", ln + 1);
+            match k {
+                "kind" => kind = Some(v.parse::<FieldKind>().map_err(bad)?),
+                "dims" => {
+                    let parts: Vec<u32> = v
+                        .split('x')
+                        .map(|x| x.trim().parse::<u32>())
+                        .collect::<Result<_, _>>()
+                        .map_err(|e| bad(format!("bad dims: {e}")))?;
+                    if parts.len() != 3 {
+                        return Err(bad("dims must be AxBxC".into()));
+                    }
+                    dims = Some([parts[0], parts[1], parts[2]]);
+                }
+                "seed" => seed = Some(v.parse::<u64>().map_err(|e| bad(e.to_string()))?),
+                "ranks" => ranks = Some(v.parse::<u32>().map_err(|e| bad(e.to_string()))?),
+                "blocks" => blocks = Some(v.parse::<u32>().map_err(|e| bad(e.to_string()))?),
+                "threads" => threads = Some(v.parse::<u32>().map_err(|e| bad(e.to_string()))?),
+                "schedule" => schedule = Some(v.parse::<Schedule>().map_err(bad)?),
+                "persistence" => {
+                    persistence = Some(v.parse::<f32>().map_err(|e| bad(e.to_string()))?)
+                }
+                "fault" => {
+                    parse_fault(v).map_err(bad)?;
+                    fault = Some(v.to_string());
+                }
+                _ => return Err(bad(format!("unknown key '{k}'"))),
+            }
+        }
+        let need = |name: &str| format!("missing key '{name}'");
+        let case = Case {
+            kind: kind.ok_or_else(|| need("kind"))?,
+            dims: dims.ok_or_else(|| need("dims"))?,
+            seed: seed.ok_or_else(|| need("seed"))?,
+            ranks: ranks.ok_or_else(|| need("ranks"))?,
+            blocks: blocks.ok_or_else(|| need("blocks"))?,
+            threads: threads.ok_or_else(|| need("threads"))?,
+            schedule: schedule.ok_or_else(|| need("schedule"))?,
+            persistence: persistence.ok_or_else(|| need("persistence"))?,
+            fault,
+        };
+        case.validate()?;
+        Ok(case)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_format_round_trips() {
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..200 {
+            let c = Case::generate(&mut rng);
+            let text = c.to_string();
+            let back: Case = text.parse().unwrap_or_else(|e| panic!("{e}\n{text}"));
+            assert_eq!(c, back, "{text}");
+        }
+    }
+
+    #[test]
+    fn generated_cases_are_valid_and_deterministic() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..500 {
+            let ca = Case::generate(&mut a);
+            let cb = Case::generate(&mut b);
+            assert_eq!(ca, cb, "same seed, same cases");
+            ca.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn shrink_candidates_are_valid_and_smaller() {
+        let mut rng = SplitMix64::new(12345);
+        for _ in 0..200 {
+            let c = Case::generate(&mut rng);
+            for s in c.shrink_candidates() {
+                s.validate()
+                    .unwrap_or_else(|e| panic!("shrink of {c:?} invalid: {e}"));
+                assert_ne!(s, c);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!("".parse::<Case>().is_err());
+        assert!("kind = sponge\n".parse::<Case>().is_err());
+        let valid = Case {
+            kind: FieldKind::Constant,
+            dims: [5, 5, 5],
+            seed: 1,
+            ranks: 1,
+            blocks: 2,
+            threads: 1,
+            schedule: Schedule::Full,
+            persistence: 0.0,
+            fault: None,
+        };
+        valid.validate().unwrap();
+        let mut bad = valid.clone();
+        bad.ranks = 4; // > blocks
+        assert!(bad.validate().is_err());
+        let mut bad = valid.clone();
+        bad.schedule = Schedule::Rounds(vec![8]); // 8 does not divide 2
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn fault_cases_shrink_away_their_fault_first() {
+        let c = Case {
+            kind: FieldKind::Plateau(2),
+            dims: [6, 6, 6],
+            seed: 9,
+            ranks: 2,
+            blocks: 4,
+            threads: 2,
+            schedule: Schedule::Rounds(vec![2]),
+            persistence: 0.05,
+            fault: Some("crash:1@1".into()),
+        };
+        c.validate().unwrap();
+        let shr = c.shrink_candidates();
+        assert!(shr[0].fault.is_none(), "fault dropped first");
+        assert!(shr.iter().all(|s| s.validate().is_ok()));
+    }
+}

@@ -1,0 +1,85 @@
+//! Gradient mutation for checker self-tests.
+//!
+//! The acceptance bar for the oracle is that a *deliberately injected*
+//! gradient-pairing bug is caught both by the differential diff and by
+//! the invariant checker. [`drop_pairing`] is that injection: it breaks
+//! the k-th gradient pair into two spurious critical cells — a bug that
+//! is Euler-neutral (it adds one critical cell in two adjacent
+//! dimensions), so it specifically exercises the checks that go beyond
+//! counting.
+
+use msp_grid::RCoord;
+use msp_morse::gradient::GradientField;
+
+/// Rebuild `grad` with its `k`-th pair (in address order of the tail
+/// cell) dropped: both cells of the pair are marked critical instead.
+/// Returns the rebuilt field and the `(tail, head)` pair that was
+/// dropped, or `None` in the pair slot when the field has fewer than
+/// `k + 1` pairs (the field is returned unchanged in that case).
+pub fn drop_pairing(grad: &GradientField, k: usize) -> (GradientField, Option<(RCoord, RCoord)>) {
+    let bbox = *grad.bbox();
+    let victim = bbox
+        .iter()
+        .filter(|&c| grad.is_tail(c))
+        .nth(k)
+        .map(|t| (t, grad.partner(t).expect("tail has a partner")));
+    let mut out = GradientField::new(bbox);
+    for c in bbox.iter() {
+        if grad.is_tail(c) {
+            if victim.map(|(t, _)| t) == Some(c) {
+                continue;
+            }
+            out.pair(c, grad.partner(c).expect("tail has a partner"));
+        } else if grad.is_critical(c) {
+            out.mark_critical(c);
+        }
+    }
+    if let Some((t, h)) = victim {
+        out.mark_critical(t);
+        out.mark_critical(h);
+    }
+    (out, victim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msp_grid::{Decomposition, Dims};
+    use msp_morse::assign_gradient;
+
+    #[test]
+    fn dropping_a_pair_is_euler_neutral() {
+        let dims = Dims::new(6, 6, 6);
+        let f = msp_synth::white_noise(dims, 17);
+        let d = Decomposition::bisect(dims, 1);
+        let g = assign_gradient(&f.extract_block(d.block(0)), &d);
+        let before = g.census();
+        let (m, dropped) = drop_pairing(&g, 3);
+        let (t, h) = dropped.expect("field has pairs");
+        assert_eq!(h.cell_dim(), t.cell_dim() + 1);
+        let after = m.census();
+        let chi = |c: [u64; 4]| c[0] as i64 - c[1] as i64 + c[2] as i64 - c[3] as i64;
+        assert_eq!(chi(before), chi(after), "mutation must be Euler-neutral");
+        assert_eq!(
+            after[t.cell_dim() as usize],
+            before[t.cell_dim() as usize] + 1
+        );
+        assert_eq!(
+            after[h.cell_dim() as usize],
+            before[h.cell_dim() as usize] + 1
+        );
+        // untouched pairs survive verbatim
+        assert_eq!(m.n_unassigned(), 0);
+    }
+
+    #[test]
+    fn out_of_range_k_is_identity() {
+        let dims = Dims::new(5, 5, 5);
+        let f = msp_synth::white_noise(dims, 2);
+        let d = Decomposition::bisect(dims, 1);
+        let g = assign_gradient(&f.extract_block(d.block(0)), &d);
+        let (m, dropped) = drop_pairing(&g, usize::MAX);
+        assert!(dropped.is_none());
+        assert_eq!(m.bytes(), g.bytes());
+    }
+}

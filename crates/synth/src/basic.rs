@@ -53,6 +53,17 @@ pub fn white_noise(dims: Dims, seed: u64) -> ScalarField {
     ScalarField::from_fn(dims, |x, y, z| hash_unit(seed, dims.vertex_index(x, y, z)))
 }
 
+/// White noise quantized to `levels` flat steps — an adversarial plateau
+/// field where every value ties with many neighbours, stressing the
+/// simulation-of-simplicity tie-breaking end to end. `levels = 1`
+/// degenerates to a constant field.
+pub fn plateau(dims: Dims, seed: u64, levels: u32) -> ScalarField {
+    let levels = levels.max(1);
+    ScalarField::from_fn(dims, |x, y, z| {
+        (hash_unit(seed, dims.vertex_index(x, y, z)) * levels as f32).floor()
+    })
+}
+
 /// SplitMix64-style hash of `(seed, id)` mapped to `[0, 1)`.
 pub fn hash_unit(seed: u64, id: u64) -> f32 {
     let mut v = seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15);

@@ -32,9 +32,9 @@ pub mod porous;
 pub mod rayleigh_taylor;
 pub mod sinusoid;
 
-pub use basic::{constant, gaussian_bumps, ramp, white_noise};
+pub use basic::{constant, gaussian_bumps, plateau, ramp, white_noise};
 pub use hydrogen::hydrogen;
 pub use jet::jet;
 pub use porous::porous;
 pub use rayleigh_taylor::rayleigh_taylor;
-pub use sinusoid::sinusoid;
+pub use sinusoid::{sinusoid, sinusoid_dims};

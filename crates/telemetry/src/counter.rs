@@ -48,10 +48,23 @@ pub enum Counter {
     Crashes,
     /// Blocks absorbed (dropped) by a surviving root in degraded mode.
     BlocksAbsorbed,
+    /// Output complexes run through the invariant checker (`--check`).
+    ChecksRun,
+    /// Structural invariant violations (integrity, index steps, geometry
+    /// endpoints) found by the checker.
+    CheckStructural,
+    /// Euler-characteristic violations found by the checker.
+    CheckEuler,
+    /// Boundary-flag / boundary-preservation violations found by the
+    /// checker.
+    CheckBoundary,
+    /// Invalid-V-path violations (arc geometry not a gradient path)
+    /// found by the checker.
+    CheckVpath,
 }
 
 /// All counters, in report order.
-pub const ALL_COUNTERS: [Counter; 17] = [
+pub const ALL_COUNTERS: [Counter; 22] = [
     Counter::CellsPaired,
     Counter::CriticalCells,
     Counter::ArcsTraced,
@@ -69,6 +82,11 @@ pub const ALL_COUNTERS: [Counter; 17] = [
     Counter::RecoveryMs,
     Counter::Crashes,
     Counter::BlocksAbsorbed,
+    Counter::ChecksRun,
+    Counter::CheckStructural,
+    Counter::CheckEuler,
+    Counter::CheckBoundary,
+    Counter::CheckVpath,
 ];
 
 impl Counter {
@@ -94,6 +112,11 @@ impl Counter {
             Counter::RecoveryMs => "recovery_ms",
             Counter::Crashes => "crashes",
             Counter::BlocksAbsorbed => "blocks_absorbed",
+            Counter::ChecksRun => "checks_run",
+            Counter::CheckStructural => "check_structural",
+            Counter::CheckEuler => "check_euler",
+            Counter::CheckBoundary => "check_boundary",
+            Counter::CheckVpath => "check_vpath",
         }
     }
 

@@ -30,6 +30,9 @@ pub enum Phase {
     Resimplify,
     /// Collective write of output blocks (§IV-G).
     Write,
+    /// Invariant checking of the output complexes (`--check` /
+    /// `MSP_CHECK=1`); off by default.
+    Check,
     /// Whole-pipeline wall time of the rank.
     Total,
 }
@@ -46,6 +49,7 @@ impl Phase {
             Phase::Glue => "glue".to_string(),
             Phase::Resimplify => "resimplify".to_string(),
             Phase::Write => "write".to_string(),
+            Phase::Check => "check".to_string(),
             Phase::Total => "total".to_string(),
         }
     }
@@ -61,6 +65,7 @@ impl Phase {
             "glue" => Some(Phase::Glue),
             "resimplify" => Some(Phase::Resimplify),
             "write" => Some(Phase::Write),
+            "check" => Some(Phase::Check),
             "total" => Some(Phase::Total),
             _ => {
                 let inner = key.strip_prefix("merge_round[")?.strip_suffix(']')?;
@@ -97,6 +102,7 @@ mod tests {
             Phase::Glue,
             Phase::Resimplify,
             Phase::Write,
+            Phase::Check,
             Phase::Total,
         ];
         for p in all {

@@ -42,7 +42,7 @@ fn main() {
     // Multi-resolution exploration: simplify at increasing persistence.
     let mut ms = ms.clone();
     for frac in [0.01f32, 0.05, 0.25] {
-        simplify(&mut ms, SimplifyParams::up_to(frac * 2.0)); // range = 2
+        simplify(&mut ms, SimplifyParams::up_to(frac * 2.0)).unwrap(); // range = 2
         let c = ms.node_census();
         println!(
             "after {:>4.0}% persistence: {:>5} nodes  [{}, {}, {}, {}]  {} arcs",

@@ -65,6 +65,7 @@ lib msp_grid      "$root/crates/grid/src/lib.rs"
 lib msp_synth     "$root/crates/synth/src/lib.rs"
 lib msp_morse     "$root/crates/morse/src/lib.rs"
 lib msp_complex   "$root/crates/complex/src/lib.rs"
+lib msp_oracle    "$root/crates/oracle/src/lib.rs"
 lib msp_vmpi      "$root/crates/vmpi/src/lib.rs"
 lib msp_fault     "$root/crates/fault/src/lib.rs"
 lib msp_core      "$root/crates/core/src/lib.rs"
@@ -77,6 +78,7 @@ bin() { # bin <name> <path>
   "${RUSTC[@]}" --crate-type bin --crate-name "$1" "$2" "${EXTERNS[@]}"
 }
 bin msc "$root/src/bin/msc.rs"
+bin oracle_fuzz "$root/src/bin/oracle_fuzz.rs"
 for b in "$root"/crates/bench/src/bin/*.rs; do
   bin "bench_$(basename "$b" .rs)" "$b"
 done
@@ -103,12 +105,14 @@ if command -v clippy-driver >/dev/null 2>&1; then
   lint_lib msp_synth     "$root/crates/synth/src/lib.rs"
   lint_lib msp_morse     "$root/crates/morse/src/lib.rs"
   lint_lib msp_complex   "$root/crates/complex/src/lib.rs"
+  lint_lib msp_oracle    "$root/crates/oracle/src/lib.rs"
   lint_lib msp_vmpi      "$root/crates/vmpi/src/lib.rs"
   lint_lib msp_fault     "$root/crates/fault/src/lib.rs"
   lint_lib msp_core      "$root/crates/core/src/lib.rs"
   lint_lib msp_bench     "$root/crates/bench/src/lib.rs"
   lint_lib morse_smale_parallel "$root/src/lib.rs"
   lint_bin msc "$root/src/bin/msc.rs"
+  lint_bin oracle_fuzz "$root/src/bin/oracle_fuzz.rs"
   for b in "$root"/crates/bench/src/bin/*.rs; do
     lint_bin "bench_$(basename "$b" .rs)" "$b"
   done
@@ -137,6 +141,7 @@ unit msp_grid      "$root/crates/grid/src/lib.rs"
 unit msp_synth     "$root/crates/synth/src/lib.rs"
 unit msp_morse     "$root/crates/morse/src/lib.rs"
 unit msp_complex   "$root/crates/complex/src/lib.rs"
+unit msp_oracle    "$root/crates/oracle/src/lib.rs"
 unit msp_vmpi      "$root/crates/vmpi/src/lib.rs"
 unit msp_fault     "$root/crates/fault/src/lib.rs"
 unit msp_core      "$root/crates/core/src/lib.rs"
@@ -164,9 +169,19 @@ MSP_RESULTS_DIR="$out/results" "$out/bench_trace_check"
 
 # ---- local-stage scaling smoke: thread sweep on a tiny volume, gating
 # ---- on bit-exact output across thread counts + bench-schema round-trip
-# ---- (no speedup assertion: smoke volumes are too small to time)
+# ---- (no speedup assertion: smoke volumes are too small to time);
+# ---- MSP_CHECK=1 runs the oracle invariant checker inside every run
+# ---- and the bench fails on any nonzero violation counter
 say "local-stage scaling smoke"
-MSP_SCALE=small MSP_THREADS=1,2,4 MSP_RESULTS_DIR="$out/results" \
+MSP_CHECK=1 MSP_SCALE=small MSP_THREADS=1,2,4 MSP_RESULTS_DIR="$out/results" \
   "$out/bench_local_scaling"
+
+# ---- differential-fuzz smoke: seeded oracle fuzz iterations plus a
+# ---- replay of the shrunk reproducer corpus; any diff against the
+# ---- reference oracle or any invariant violation exits non-zero
+say "oracle fuzz smoke"
+"$out/oracle_fuzz" --iters 25 --seed 5
+say "oracle corpus replay"
+"$out/oracle_fuzz" --replay "$root/tests/cases"
 
 say "offline check OK"

@@ -25,8 +25,16 @@ trap 'rm -rf "$tracedir"' EXIT
 MSP_RESULTS_DIR="$tracedir" cargo run -q --release -p msp-bench --bin trace_check
 
 # local-stage scaling smoke: thread sweep on a tiny volume, gating on
-# bit-exact output across thread counts + bench-schema round-trip
-MSP_SCALE=small MSP_THREADS=1,2,4 MSP_RESULTS_DIR="$tracedir" \
+# bit-exact output across thread counts + bench-schema round-trip;
+# MSP_CHECK=1 runs the oracle invariant checker inside every run and
+# the bench fails on any nonzero violation counter
+MSP_CHECK=1 MSP_SCALE=small MSP_THREADS=1,2,4 MSP_RESULTS_DIR="$tracedir" \
   cargo run -q --release -p msp-bench --bin local_scaling
+
+# differential-fuzz smoke: seeded oracle fuzz iterations plus a replay
+# of the shrunk reproducer corpus; any diff against the reference
+# oracle or any invariant violation exits non-zero
+cargo run -q --release --bin oracle_fuzz -- --iters 25 --seed 5
+cargo run -q --release --bin oracle_fuzz -- --replay tests/cases
 
 echo "verify OK"

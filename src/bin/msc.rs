@@ -63,6 +63,8 @@ fn usage() {
          \u{20}           [--faults SPEC] [--checkpoint] [--deadline-ms MS]\n\
          \u{20}           [--trace [FILE]]  (Chrome trace + critical path;\n\
          \u{20}           default FILE: results/<output stem>.trace.json)\n\
+         \u{20}           [--check]  (oracle invariant checker over every\n\
+         \u{20}           output; violations fail the run; MSP_CHECK=1 too)\n\
          \u{20}           SPEC: crash:R@K;drop:F->T#N;delay:F->T#N+MS;slow:R*F\n\
          \u{20} info      FILE\n\
          \u{20} stats     FILE [--block I] [--top K]\n\
@@ -235,6 +237,7 @@ fn cmd_compute(o: &Opts) -> Result<(), String> {
         fault,
         trace: o.has("trace"),
         threads,
+        check: o.has("check"),
         ..Default::default()
     };
     let t0 = std::time::Instant::now();
@@ -269,6 +272,33 @@ fn cmd_compute(o: &Opts) -> Result<(), String> {
         );
     }
     println!("wrote {} ({} bytes)", out.display(), r.output_bytes);
+    if r.telemetry.counter_total("checks_run") > 0 {
+        let tel = &r.telemetry;
+        let violations: u64 = [
+            "check_structural",
+            "check_euler",
+            "check_boundary",
+            "check_vpath",
+        ]
+        .iter()
+        .map(|k| tel.counter_total(k))
+        .sum();
+        println!(
+            "oracle check: {} complex(es) checked, {} violation(s) \
+             [structural {}, euler {}, boundary {}, vpath {}]",
+            tel.counter_total("checks_run"),
+            violations,
+            tel.counter_total("check_structural"),
+            tel.counter_total("check_euler"),
+            tel.counter_total("check_boundary"),
+            tel.counter_total("check_vpath"),
+        );
+        if violations > 0 {
+            return Err(format!(
+                "oracle check found {violations} invariant violation(s) — see stderr notes"
+            ));
+        }
+    }
     if fault_active {
         let tel = &r.telemetry;
         println!(

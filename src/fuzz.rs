@@ -1,0 +1,354 @@
+//! Differential-fuzz driver: turn an [`oracle::Case`] into actual
+//! pipeline runs and diff them against the naive reference oracle.
+//!
+//! This lives in the facade crate (not in `msp-oracle`) because it needs
+//! the full pipeline — `msp-core` depends on `msp-oracle` for `--check`,
+//! so the oracle crate cannot depend back on the pipeline. The
+//! `oracle_fuzz` binary is a thin CLI over this module.
+//!
+//! One case runs four comparisons:
+//!
+//! 1. **Per-block differential** — the production gradient
+//!    (`assign_gradient`, serial and 2-thread slab-parallel) and traced
+//!    arcs against the reference implementations, byte for byte.
+//! 2. **Pipeline run at the case's configuration** (ranks, threads,
+//!    merge schedule, injected fault) with the invariant checker on:
+//!    every `check_*` telemetry counter must come back zero.
+//! 3. **Canonical replay** — the same field and schedule at 1 rank /
+//!    1 thread, no faults: outputs must be bit-identical to run 2's.
+//! 4. **Post-hoc invariants** — `check_complex` + glue idempotency over
+//!    the outputs on the driver side (belt and braces: this also covers
+//!    the checker's own wiring into the pipeline).
+//!
+//! Failures shrink greedily through [`Case::shrink_candidates`] until no
+//! smaller case still fails, then dump as a replayable `.case` file.
+
+use msp_core::{run_parallel, FaultConfig, Input, MergePlan, PipelineParams, RunResult};
+use msp_fault::FaultPlan;
+use msp_grid::{Decomposition, Dims, ScalarField};
+use msp_morse::{assign_gradient, assign_gradient_par, trace_all_arcs};
+use msp_oracle::reference::{
+    arcs_of_store, diff_arcs, diff_gradient, reference_arcs, reference_gradient,
+};
+use msp_oracle::{
+    case::parse_fault, check_complex, check_glue_idempotent, Case, CheckOptions, FieldKind,
+    Schedule,
+};
+use std::path::Path;
+use std::sync::Arc;
+
+/// The synthetic field a case describes.
+pub fn build_field(case: &Case) -> ScalarField {
+    let dims = Dims::new(case.dims[0], case.dims[1], case.dims[2]);
+    match case.kind {
+        FieldKind::Noise => msp_synth::white_noise(dims, case.seed),
+        FieldKind::Plateau(levels) => msp_synth::plateau(dims, case.seed, levels),
+        FieldKind::Sinusoid(c) => msp_synth::sinusoid_dims(dims, c),
+        FieldKind::Bumps(n) => msp_synth::gaussian_bumps(dims, n as usize, 0.25, case.seed),
+        FieldKind::Constant => msp_synth::constant(dims, 0.5),
+    }
+}
+
+/// The case's merge schedule as a concrete [`MergePlan`].
+pub fn merge_plan(schedule: &Schedule, blocks: u32) -> MergePlan {
+    match schedule {
+        Schedule::None => MergePlan::none(),
+        Schedule::Full if blocks > 1 => MergePlan::full_merge(blocks),
+        Schedule::Full => MergePlan::none(),
+        Schedule::Rounds(v) => MergePlan::rounds(v.clone()),
+    }
+}
+
+fn pipeline_params(case: &Case, canonical: bool) -> PipelineParams {
+    let fault = match (&case.fault, canonical) {
+        (Some(f), false) => {
+            let (r, k) = parse_fault(f).expect("validated fault spec");
+            FaultConfig::with_plan(FaultPlan::new().crash(r as usize, k))
+        }
+        _ => FaultConfig::default(),
+    };
+    PipelineParams {
+        persistence_frac: case.persistence,
+        plan: merge_plan(&case.schedule, case.blocks),
+        fault,
+        threads: Some(if canonical { 1 } else { case.threads as usize }),
+        check: !canonical,
+        ..Default::default()
+    }
+}
+
+fn run_pipeline(field: &ScalarField, case: &Case, canonical: bool) -> Result<RunResult, String> {
+    let input = Input::Memory(Arc::new(field.clone()));
+    let ranks = if canonical { 1 } else { case.ranks };
+    run_parallel(
+        &input,
+        ranks,
+        case.blocks,
+        &pipeline_params(case, canonical),
+        None,
+    )
+    .map_err(|e| {
+        format!(
+            "pipeline ({}): {e}",
+            if canonical { "canonical" } else { "case" }
+        )
+    })
+}
+
+/// Run one case through every comparison. `Ok(())` means clean.
+pub fn run_case(case: &Case) -> Result<(), String> {
+    case.validate()?;
+    let result = std::panic::catch_unwind(|| run_case_inner(case));
+    match result {
+        Ok(r) => r,
+        Err(p) => {
+            let msg = p
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Err(format!("panicked: {msg}"))
+        }
+    }
+}
+
+fn run_case_inner(case: &Case) -> Result<(), String> {
+    let field = build_field(case);
+    let decomp = Decomposition::bisect(field.dims(), case.blocks);
+
+    // 1. per-block differential against the reference oracle
+    for b in decomp.blocks() {
+        let bf = field.extract_block(b);
+        let want = reference_gradient(&bf, &decomp);
+        let got = assign_gradient(&bf, &decomp);
+        if let Some(d) = diff_gradient(&got, &want) {
+            return Err(format!(
+                "block {}: gradient differs from reference: {d}",
+                b.id
+            ));
+        }
+        let par = assign_gradient_par(&bf, &decomp, 2);
+        if par.bytes() != got.bytes() {
+            return Err(format!(
+                "block {}: 2-thread gradient differs from serial",
+                b.id
+            ));
+        }
+        let (store, _) = trace_all_arcs(&got, Default::default());
+        let refined = field.dims().refined();
+        let got_arcs = arcs_of_store(&store, &refined);
+        let want_arcs = reference_arcs(&want, &refined);
+        if let Some(d) = diff_arcs(&got_arcs, &want_arcs) {
+            return Err(format!("block {}: arcs differ from reference: {d}", b.id));
+        }
+    }
+
+    // 2. the case's configuration, invariant checker on
+    let run = run_pipeline(&field, case, false)?;
+    for key in [
+        "check_structural",
+        "check_euler",
+        "check_boundary",
+        "check_vpath",
+    ] {
+        let n = run.telemetry.counter_total(key);
+        if n != 0 {
+            return Err(format!("invariant counter {key} = {n} (want 0)"));
+        }
+    }
+    let checks = run.telemetry.counter_total("checks_run");
+    if checks != run.outputs.len() as u64 {
+        return Err(format!(
+            "checks_run = {checks} but the run has {} output(s)",
+            run.outputs.len()
+        ));
+    }
+
+    // 3. canonical replay: 1 rank, 1 thread, no fault — bit-identical
+    let canon = run_pipeline(&field, case, true)?;
+    if run.outputs.len() != canon.outputs.len() {
+        return Err(format!(
+            "output count {} != canonical {}",
+            run.outputs.len(),
+            canon.outputs.len()
+        ));
+    }
+    for (i, (a, b)) in run.outputs.iter().zip(&canon.outputs).enumerate() {
+        let (wa, wb) = (
+            msp_complex::wire::serialize(a),
+            msp_complex::wire::serialize(b),
+        );
+        if wa != wb {
+            return Err(format!(
+                "output {i} differs from the canonical 1-rank/1-thread run \
+                 ({} vs {} bytes)",
+                wa.len(),
+                wb.len()
+            ));
+        }
+    }
+
+    // 4. post-hoc invariants on the driver side
+    let opts = CheckOptions::default();
+    for (i, ms) in run.outputs.iter().enumerate() {
+        let report = check_complex(ms, &decomp, Some(&field), &opts);
+        if !report.is_clean() {
+            return Err(format!(
+                "output {i}: {} invariant violation(s): {:?}",
+                report.total(),
+                report.notes
+            ));
+        }
+        check_glue_idempotent(ms, &decomp)
+            .map_err(|e| format!("output {i}: glue idempotency: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Greedily shrink a failing case: keep taking the first
+/// shrink-candidate that still fails until none does.
+pub fn shrink(case: &Case, max_steps: usize) -> Case {
+    let mut cur = case.clone();
+    for _ in 0..max_steps {
+        let Some(next) = cur
+            .shrink_candidates()
+            .into_iter()
+            .find(|c| run_case(c).is_err())
+        else {
+            break;
+        };
+        cur = next;
+    }
+    cur
+}
+
+/// A failure found by [`fuzz`], already shrunk.
+#[derive(Debug)]
+pub struct FuzzFailure {
+    /// The iteration that first failed.
+    pub iteration: u64,
+    /// The original failing case's error.
+    pub reason: String,
+    /// The shrunk reproducer and its error.
+    pub shrunk: Case,
+    pub shrunk_reason: String,
+}
+
+/// Run `iters` generated cases from `seed`. Returns the first failure
+/// (shrunk), or `Ok(iters)` when every case is clean. `progress` gets a
+/// line per case.
+pub fn fuzz(
+    iters: u64,
+    seed: u64,
+    mut progress: impl FnMut(u64, &Case),
+) -> Result<u64, Box<FuzzFailure>> {
+    let mut rng = msp_oracle::case::SplitMix64::new(seed);
+    for i in 0..iters {
+        let case = Case::generate(&mut rng);
+        progress(i, &case);
+        if let Err(reason) = run_case(&case) {
+            let shrunk = shrink(&case, 64);
+            let shrunk_reason = run_case(&shrunk).err().unwrap_or_else(|| reason.clone());
+            return Err(Box::new(FuzzFailure {
+                iteration: i,
+                reason,
+                shrunk,
+                shrunk_reason,
+            }));
+        }
+    }
+    Ok(iters)
+}
+
+/// A replayed case's file name and its outcome.
+pub type ReplayOutcome = (String, Result<(), String>);
+
+/// Replay every `.case` file under `path` (or `path` itself when it is a
+/// file). Returns the replayed cases' names with their outcomes.
+pub fn replay_path(path: &Path) -> Result<Vec<ReplayOutcome>, String> {
+    let mut files: Vec<std::path::PathBuf> = if path.is_dir() {
+        std::fs::read_dir(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?
+            .filter_map(|r| r.ok().map(|d| d.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "case"))
+            .collect()
+    } else {
+        vec![path.to_path_buf()]
+    };
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no .case files under {}", path.display()));
+    }
+    let mut out = Vec::with_capacity(files.len());
+    for f in files {
+        let text =
+            std::fs::read_to_string(&f).map_err(|e| format!("reading {}: {e}", f.display()))?;
+        let case: Case = text
+            .parse()
+            .map_err(|e| format!("parsing {}: {e}", f.display()))?;
+        let name = f
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| f.display().to_string());
+        out.push((name, run_case(&case)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_case(kind: FieldKind, blocks: u32, ranks: u32, schedule: Schedule) -> Case {
+        Case {
+            kind,
+            dims: [6, 6, 6],
+            seed: 5,
+            ranks,
+            blocks,
+            threads: 2,
+            schedule,
+            persistence: 0.05,
+            fault: None,
+        }
+    }
+
+    #[test]
+    fn noise_case_is_clean() {
+        run_case(&quick_case(FieldKind::Noise, 4, 2, Schedule::Full)).unwrap();
+    }
+
+    #[test]
+    fn plateau_case_is_clean() {
+        run_case(&quick_case(FieldKind::Plateau(2), 2, 2, Schedule::None)).unwrap();
+    }
+
+    #[test]
+    fn constant_case_is_clean() {
+        run_case(&quick_case(
+            FieldKind::Constant,
+            4,
+            4,
+            Schedule::Rounds(vec![2]),
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn faulted_case_is_clean() {
+        let mut c = quick_case(FieldKind::Noise, 4, 2, Schedule::Full);
+        c.fault = Some("crash:1@1".into());
+        run_case(&c).unwrap();
+    }
+
+    #[test]
+    fn short_fuzz_run_is_clean() {
+        let n = fuzz(5, 1234, |_, _| {}).unwrap_or_else(|f| {
+            panic!(
+                "iteration {} failed: {}\nshrunk to:\n{}{}",
+                f.iteration, f.reason, f.shrunk, f.shrunk_reason
+            )
+        });
+        assert_eq!(n, 5);
+    }
+}

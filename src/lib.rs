@@ -23,7 +23,9 @@
 //! * [`fault`] — deterministic fault injection (crash/drop/delay/slow
 //!   plans) and the CRC-protected round-boundary checkpoint format;
 //! * [`telemetry`] — per-rank phase/counter recording, cross-rank
-//!   aggregation, and the versioned `.telemetry.json` run reports.
+//!   aggregation, and the versioned `.telemetry.json` run reports;
+//! * [`oracle`] — the independent reference implementation + invariant
+//!   checker behind `--check` and the [`fuzz`] differential harness.
 //!
 //! ## Quickstart
 //!
@@ -46,9 +48,12 @@ pub use msp_core as core;
 pub use msp_fault as fault;
 pub use msp_grid as grid;
 pub use msp_morse as morse;
+pub use msp_oracle as oracle;
 pub use msp_synth as synth;
 pub use msp_telemetry as telemetry;
 pub use msp_vmpi as vmpi;
+
+pub mod fuzz;
 
 /// Convenient single-import surface for applications.
 pub mod prelude {

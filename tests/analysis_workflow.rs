@@ -71,7 +71,7 @@ fn serialization_survives_an_analysis_cycle() {
     let bytes = wire::serialize(&ms);
     let mut back = wire::deserialize(&bytes).unwrap();
     back.check_integrity().unwrap();
-    simplify(&mut back, SimplifyParams::up_to(255.0));
+    simplify(&mut back, SimplifyParams::up_to(255.0)).unwrap();
     back.check_integrity().unwrap();
     let census = back.node_census();
     let chi = census[0] as i64 - census[1] as i64 + census[2] as i64 - census[3] as i64;
@@ -97,7 +97,7 @@ fn persistence_curve_reflects_multiresolution() {
     // the pipeline ships only the coarsest hierarchy level (§IV-F1);
     // the downstream analyst builds a fresh hierarchy by simplifying
     let mut ms = r.outputs.into_iter().next().unwrap();
-    simplify(&mut ms, SimplifyParams::up_to(f32::INFINITY));
+    simplify(&mut ms, SimplifyParams::up_to(f32::INFINITY)).unwrap();
     let ms = &ms;
     let curve = query::persistence_curve(ms);
     // strictly decreasing node counts, ending at the live count
