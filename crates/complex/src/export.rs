@@ -297,6 +297,305 @@ pub fn write_vtk_to(ms: &MsComplex, w: &mut impl Write) -> io::Result<()> {
     w.flush()
 }
 
+/// Which slice of the Morse-Smale segmentation a [`LabeledVolume`]
+/// materializes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegKind {
+    /// Descending manifolds: one region per minimum, labels on vertices.
+    Descending,
+    /// Ascending manifolds: one region per maximum, labels on voxels.
+    Ascending,
+    /// Full MS cells (basin ∩ mountain intersections), labels on voxels.
+    Combined,
+}
+
+impl SegKind {
+    pub fn key(self) -> &'static str {
+        match self {
+            SegKind::Descending => "descending",
+            SegKind::Ascending => "ascending",
+            SegKind::Combined => "combined",
+        }
+    }
+}
+
+/// A block's segmentation flattened to one label per grid point, ready
+/// for export: vertex-grid labels for [`SegKind::Descending`],
+/// voxel-grid labels for [`SegKind::Ascending`] and
+/// [`SegKind::Combined`]. Labels are `i64` with `-1` for the drain
+/// (ascending paths that exit the domain).
+///
+/// Built from the plain label slices of `msp-segment`'s block
+/// segmentation — this crate stays independent of that one, so the
+/// constructors take slices, not the struct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabeledVolume {
+    pub kind: SegKind,
+    /// Grid dims the labels live on (x-fastest order).
+    pub dims: [u32; 3],
+    /// Block origin in vertex coordinates of the full dataset.
+    pub origin: [u32; 3],
+    pub labels: Vec<i64>,
+}
+
+/// Sentinel label in exported volumes for the drain region.
+pub const DRAIN_REGION: i64 = -1;
+const DRAIN_LABEL_U32: u32 = u32::MAX;
+
+impl LabeledVolume {
+    /// Descending (minimum-basin) regions: `min_label` has one entry per
+    /// vertex of a `vdims` grid.
+    pub fn descending(vdims: [u32; 3], origin: [u32; 3], min_label: &[u32]) -> LabeledVolume {
+        assert_eq!(min_label.len(), grid_len(vdims));
+        LabeledVolume {
+            kind: SegKind::Descending,
+            dims: vdims,
+            origin,
+            labels: min_label.iter().map(|&l| widen(l)).collect(),
+        }
+    }
+
+    /// Ascending (maximum-mountain) regions: `max_label` has one entry
+    /// per voxel of a `vdims` vertex grid.
+    pub fn ascending(vdims: [u32; 3], origin: [u32; 3], max_label: &[u32]) -> LabeledVolume {
+        let cdims = voxel_dims(vdims);
+        assert_eq!(max_label.len(), grid_len(cdims));
+        LabeledVolume {
+            kind: SegKind::Ascending,
+            dims: cdims,
+            origin,
+            labels: max_label.iter().map(|&l| widen(l)).collect(),
+        }
+    }
+
+    /// Combined MS cells at voxel resolution: each voxel is keyed by the
+    /// pair (its ascending region, the descending region of its base
+    /// corner vertex), enumerated as `ascending * n_mins + descending`.
+    /// A drained voxel keys to [`DRAIN_REGION`].
+    pub fn combined(
+        vdims: [u32; 3],
+        origin: [u32; 3],
+        min_label: &[u32],
+        max_label: &[u32],
+        n_mins: u32,
+    ) -> LabeledVolume {
+        assert_eq!(min_label.len(), grid_len(vdims));
+        let cdims = voxel_dims(vdims);
+        assert_eq!(max_label.len(), grid_len(cdims));
+        let (nx, ny) = (vdims[0] as usize, vdims[1] as usize);
+        let (cx, cy, cz) = (cdims[0] as usize, cdims[1] as usize, cdims[2] as usize);
+        let mut labels = Vec::with_capacity(max_label.len());
+        for z in 0..cz {
+            for y in 0..cy {
+                for x in 0..cx {
+                    let m = max_label[x + cx * (y + cy * z)];
+                    let d = min_label[x + nx * (y + ny * z)];
+                    labels.push(if m == DRAIN_LABEL_U32 || d == DRAIN_LABEL_U32 {
+                        DRAIN_REGION
+                    } else {
+                        m as i64 * n_mins as i64 + d as i64
+                    });
+                }
+            }
+        }
+        LabeledVolume {
+            kind: SegKind::Combined,
+            dims: cdims,
+            origin,
+            labels,
+        }
+    }
+}
+
+fn grid_len(d: [u32; 3]) -> usize {
+    d.iter().map(|&v| v as usize).product()
+}
+
+fn voxel_dims(vdims: [u32; 3]) -> [u32; 3] {
+    [
+        vdims[0].saturating_sub(1),
+        vdims[1].saturating_sub(1),
+        vdims[2].saturating_sub(1),
+    ]
+}
+
+fn widen(l: u32) -> i64 {
+    if l == DRAIN_LABEL_U32 {
+        DRAIN_REGION
+    } else {
+        l as i64
+    }
+}
+
+/// Write a labeled volume as legacy ASCII VTK structured points (the
+/// natural dataset type for a dense label grid; viewers threshold or
+/// colour by the `region` array directly).
+pub fn write_labels_vtk(v: &LabeledVolume, path: &Path) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    let mut w = io::BufWriter::new(f);
+    write_labels_vtk_to(v, &mut w)
+}
+
+/// [`write_labels_vtk`] into any writer (unit-testable).
+pub fn write_labels_vtk_to(v: &LabeledVolume, w: &mut impl Write) -> io::Result<()> {
+    writeln!(w, "# vtk DataFile Version 3.0")?;
+    writeln!(w, "morse-smale segmentation ({})", v.kind.key())?;
+    writeln!(w, "ASCII")?;
+    writeln!(w, "DATASET STRUCTURED_POINTS")?;
+    writeln!(w, "DIMENSIONS {} {} {}", v.dims[0], v.dims[1], v.dims[2])?;
+    writeln!(w, "ORIGIN {} {} {}", v.origin[0], v.origin[1], v.origin[2])?;
+    writeln!(w, "SPACING 1 1 1")?;
+    writeln!(w, "POINT_DATA {}", v.labels.len())?;
+    writeln!(w, "SCALARS region int 1")?;
+    writeln!(w, "LOOKUP_TABLE default")?;
+    for l in &v.labels {
+        writeln!(w, "{l}")?;
+    }
+    w.flush()
+}
+
+/// Parse a [`write_labels_vtk`] file back into a [`LabeledVolume`].
+/// Validates that the declared DIMENSIONS match the POINT_DATA count and
+/// the number of emitted values; malformed input is a typed
+/// [`ParseError`], not a panic.
+pub fn parse_labels_vtk(text: &str) -> Result<LabeledVolume, ParseError> {
+    let lines: Vec<&str> = text.lines().collect();
+    let find = |kw: &str| -> Result<usize, ParseError> {
+        lines
+            .iter()
+            .position(|l| l.starts_with(kw))
+            .ok_or_else(|| ParseError {
+                line: lines.len().max(1),
+                context: format!("missing {kw} section"),
+            })
+    };
+    let kind = lines
+        .get(1)
+        .and_then(|t| {
+            [SegKind::Descending, SegKind::Ascending, SegKind::Combined]
+                .into_iter()
+                .find(|k| t.contains(k.key()))
+        })
+        .ok_or_else(|| ParseError {
+            line: 2,
+            context: "title names no segmentation kind".into(),
+        })?;
+    let triple = |pos: usize, kw: &str| -> Result<[u32; 3], ParseError> {
+        let mut it = lines[pos].split_whitespace().skip(1);
+        let mut out = [0u32; 3];
+        for (i, axis) in ["x", "y", "z"].iter().enumerate() {
+            out[i] = parse_field(it.next(), pos + 1, &format!("{kw} {axis}"))?;
+        }
+        Ok(out)
+    };
+    let dp = find("DIMENSIONS")?;
+    let dims = triple(dp, "DIMENSIONS")?;
+    let op = find("ORIGIN")?;
+    let origin = triple(op, "ORIGIN")?;
+    let pp = find("POINT_DATA")?;
+    let n: usize = parse_field(
+        lines[pp].split_whitespace().nth(1),
+        pp + 1,
+        "POINT_DATA count",
+    )?;
+    if n != grid_len(dims) {
+        return Err(ParseError {
+            line: pp + 1,
+            context: format!(
+                "POINT_DATA {n} disagrees with DIMENSIONS {}x{}x{}",
+                dims[0], dims[1], dims[2]
+            ),
+        });
+    }
+    let lp = find("LOOKUP_TABLE")?;
+    let mut labels = Vec::with_capacity(n);
+    for off in 0..n {
+        let line = lp + 2 + off;
+        let l = lines.get(lp + 1 + off).ok_or_else(|| ParseError {
+            line: lines.len(),
+            context: format!("truncated data section (expected {n} values)"),
+        })?;
+        labels.push(parse_field(Some(l.trim()), line, "region label")?);
+    }
+    Ok(LabeledVolume {
+        kind,
+        dims,
+        origin,
+        labels,
+    })
+}
+
+/// Write a labeled volume as a CSV table: `x,y,z,region` with
+/// coordinates in the full dataset's vertex grid.
+pub fn write_labels_csv(v: &LabeledVolume, path: &Path) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    let mut w = io::BufWriter::new(f);
+    write_labels_csv_to(v, &mut w)
+}
+
+/// [`write_labels_csv`] into any writer.
+pub fn write_labels_csv_to(v: &LabeledVolume, w: &mut impl Write) -> io::Result<()> {
+    writeln!(w, "x,y,z,region")?;
+    let (nx, ny, nz) = (v.dims[0], v.dims[1], v.dims[2]);
+    let mut i = 0;
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                writeln!(
+                    w,
+                    "{},{},{},{}",
+                    v.origin[0] + x,
+                    v.origin[1] + y,
+                    v.origin[2] + z,
+                    v.labels[i]
+                )?;
+                i += 1;
+            }
+        }
+    }
+    w.flush()
+}
+
+/// Parse a [`write_labels_csv`] table into `(x, y, z, region)` rows.
+pub fn parse_labels_csv(text: &str) -> Result<Vec<(u32, u32, u32, i64)>, ParseError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, "x,y,z,region")) => {}
+        Some((_, h)) => {
+            return Err(ParseError {
+                line: 1,
+                context: format!("unexpected CSV header: {h:?}"),
+            })
+        }
+        None => {
+            return Err(ParseError {
+                line: 1,
+                context: "empty input (missing CSV header)".into(),
+            })
+        }
+    }
+    let mut rows = Vec::new();
+    for (i, row) in lines {
+        let line = i + 1;
+        if row.trim().is_empty() {
+            continue;
+        }
+        let mut f = row.split(',');
+        let x = parse_field(f.next(), line, "x coordinate")?;
+        let y = parse_field(f.next(), line, "y coordinate")?;
+        let z = parse_field(f.next(), line, "z coordinate")?;
+        let region = parse_field(f.next(), line, "region label")?;
+        if let Some(extra) = f.next() {
+            return Err(ParseError {
+                line,
+                context: format!("trailing field {extra:?} (expected 4 columns)"),
+            });
+        }
+        rows.push((x, y, z, region));
+    }
+    Ok(rows)
+}
+
 /// Write the living nodes as a CSV table:
 /// `node,index,value,x,y,z,boundary`.
 pub fn write_nodes_csv(ms: &MsComplex, path: &Path) -> io::Result<()> {
@@ -406,6 +705,81 @@ mod tests {
         let e =
             parse_nodes_csv("node,index,value,x,y,z,boundary\n5,1,2.0,0,0,0,1,9\n").unwrap_err();
         assert_eq!(e.line, 2);
+        assert!(e.context.contains("trailing"), "{e}");
+    }
+
+    fn sample_volume() -> LabeledVolume {
+        // 3x2x2 vertex grid -> 2x1x1 voxels
+        let min_label = vec![0, 0, 1, 0, 1, 1, 0, 0, 1, 1, 1, 1];
+        let max_label = vec![0, u32::MAX];
+        LabeledVolume::combined([3, 2, 2], [4, 0, 0], &min_label, &max_label, 2)
+    }
+
+    #[test]
+    fn labeled_volume_kinds_have_expected_shapes() {
+        let min_label = vec![0u32; 12];
+        let max_label = vec![0u32; 2];
+        let d = LabeledVolume::descending([3, 2, 2], [0, 0, 0], &min_label);
+        assert_eq!(d.dims, [3, 2, 2]);
+        assert_eq!(d.labels.len(), 12);
+        let a = LabeledVolume::ascending([3, 2, 2], [0, 0, 0], &max_label);
+        assert_eq!(a.dims, [2, 1, 1]);
+        assert_eq!(a.labels.len(), 2);
+        let c = sample_volume();
+        assert_eq!(c.dims, [2, 1, 1]);
+        // voxel 0: max region 0, base-corner min region 0 -> 0*2+0
+        // voxel 1: drained -> -1
+        assert_eq!(c.labels, vec![0, DRAIN_REGION]);
+    }
+
+    #[test]
+    fn labels_vtk_round_trips() {
+        let v = sample_volume();
+        let mut out = Vec::new();
+        write_labels_vtk_to(&v, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("DATASET STRUCTURED_POINTS"));
+        assert!(text.contains("(combined)"));
+        assert_eq!(parse_labels_vtk(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn labels_csv_round_trips() {
+        let v = sample_volume();
+        let mut out = Vec::new();
+        write_labels_csv_to(&v, &mut out).unwrap();
+        let rows = parse_labels_csv(&String::from_utf8(out).unwrap()).unwrap();
+        assert_eq!(rows.len(), v.labels.len());
+        // origin offsets applied, x-fastest order preserved
+        assert_eq!(rows[0], (4, 0, 0, 0));
+        assert_eq!(rows[1], (5, 0, 0, DRAIN_REGION));
+    }
+
+    #[test]
+    fn malformed_labels_exports_report_lines_not_panics() {
+        let e = parse_labels_vtk("# vtk\nno kind here\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let v = sample_volume();
+        let mut out = Vec::new();
+        write_labels_vtk_to(&v, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        // count mismatch
+        let bad = text.replace("DIMENSIONS 2 1 1", "DIMENSIONS 3 1 1");
+        assert!(parse_labels_vtk(&bad)
+            .unwrap_err()
+            .context
+            .contains("disagrees"));
+        // truncated values
+        let mut cut = text.trim_end().lines().collect::<Vec<_>>();
+        cut.pop();
+        let e = parse_labels_vtk(&cut.join("\n")).unwrap_err();
+        assert!(e.context.contains("truncated"), "{e}");
+        // csv errors
+        let e = parse_labels_csv("a,b\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = parse_labels_csv("x,y,z,region\n1,2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse_labels_csv("x,y,z,region\n1,2,3,4,5\n").unwrap_err();
         assert!(e.context.contains("trailing"), "{e}");
     }
 

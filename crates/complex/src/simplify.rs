@@ -88,10 +88,31 @@ impl fmt::Display for SimplifyError {
 
 impl std::error::Error for SimplifyError {}
 
+/// Forward target of a cancelled extremum whose saddle had no surviving
+/// sibling extremum (matches `msp_segment::DRAIN_ADDR`).
+pub const FORWARD_DRAIN: u64 = u64::MAX;
+
 /// Run persistence simplification up to `params.threshold`.
 pub fn simplify(
     ms: &mut MsComplex,
     params: SimplifyParams,
+) -> Result<SimplifyStats, SimplifyError> {
+    simplify_forwarding(ms, params, None)
+}
+
+/// Like [`simplify`], additionally recording a *forward entry*
+/// `(dead_addr, target_addr)` for every extremum the pass cancels:
+/// a `(1-saddle, min)` cancellation forwards the dead minimum to the
+/// lowest other minimum adjacent to the saddle (ties broken by address),
+/// a `(max, 2-saddle)` cancellation forwards the dead maximum to the
+/// highest other maximum adjacent to the saddle. A saddle with no other
+/// extremum neighbour forwards to [`FORWARD_DRAIN`]. Targets may
+/// themselves be cancelled later — consumers resolve chains by path
+/// compression. Saddle-saddle cancellations record nothing.
+pub fn simplify_forwarding(
+    ms: &mut MsComplex,
+    params: SimplifyParams,
+    mut forwards: Option<&mut Vec<(u64, u64)>>,
 ) -> Result<SimplifyStats, SimplifyError> {
     if params.threshold.is_nan() {
         return Err(SimplifyError::NanThreshold);
@@ -138,6 +159,9 @@ pub fn simplify(
                 stats.skipped_valence += 1;
                 continue;
             }
+        }
+        if let Some(fw) = forwards.as_deref_mut() {
+            record_forward(ms, u, l, &above, &below, fw);
         }
         // create replacement arcs x -> y
         let mut n_created = 0u32;
@@ -191,6 +215,46 @@ pub fn simplify(
         });
     }
     Ok(stats)
+}
+
+/// Record the segmentation forward entry for one cancellation, if it
+/// kills an extremum. `above`/`below` are the saddle's surviving
+/// neighbour arcs (the cancelled arc already excluded).
+fn record_forward(
+    ms: &MsComplex,
+    u: NodeId,
+    l: NodeId,
+    above: &[ArcId],
+    below: &[ArcId],
+    fw: &mut Vec<(u64, u64)>,
+) {
+    let key = |n: NodeId| {
+        (
+            OrderedF32::new(ms.nodes[n as usize].value),
+            ms.nodes[n as usize].addr,
+        )
+    };
+    if ms.nodes[l as usize].index == 0 {
+        // (1-saddle u, min l): the dead minimum's basin drains to the
+        // lowest other minimum adjacent to u.
+        let target = below
+            .iter()
+            .map(|&a2| key(ms.arcs[a2 as usize].lower))
+            .min()
+            .map(|(_, addr)| addr)
+            .unwrap_or(FORWARD_DRAIN);
+        fw.push((ms.nodes[l as usize].addr, target));
+    } else if ms.nodes[u as usize].index == 3 {
+        // (max u, 2-saddle l): the dead maximum's mountain is absorbed
+        // by the highest other maximum adjacent to l.
+        let target = above
+            .iter()
+            .map(|&a1| key(ms.arcs[a1 as usize].upper))
+            .max()
+            .map(|(_, addr)| addr)
+            .unwrap_or(FORWARD_DRAIN);
+        fw.push((ms.nodes[u as usize].addr, target));
+    }
 }
 
 fn persistence(ms: &MsComplex, u: NodeId, l: NodeId) -> f32 {
@@ -353,6 +417,59 @@ mod tests {
             }
             other => panic!("unexpected error {other:?}"),
         }
+    }
+
+    #[test]
+    fn forward_entries_cover_every_cancelled_extremum() {
+        use std::collections::HashMap;
+        let f = msp_synth::white_noise(Dims::new(9, 9, 9), 31);
+        let mut ms = serial(&f);
+        let mut fw: Vec<(u64, u64)> = Vec::new();
+        simplify_forwarding(&mut ms, SimplifyParams::up_to(f32::INFINITY), Some(&mut fw)).unwrap();
+        assert!(!fw.is_empty());
+        // one entry per cancelled extremum, no extremum forwarded twice
+        let dead_extrema = ms
+            .hierarchy
+            .iter()
+            .filter(|c| {
+                ms.nodes[c.lower as usize].index == 0 || ms.nodes[c.upper as usize].index == 3
+            })
+            .count();
+        assert_eq!(fw.len(), dead_extrema);
+        let map: HashMap<u64, u64> = fw.iter().copied().collect();
+        assert_eq!(map.len(), fw.len(), "an extremum was forwarded twice");
+        // every chain terminates at a live extremum (or the drain)
+        for &(dead, _) in &fw {
+            let mut cur = dead;
+            let mut hops = 0;
+            while let Some(&next) = map.get(&cur) {
+                cur = next;
+                hops += 1;
+                assert!(hops <= fw.len(), "forward cycle at {dead:#x}");
+                if cur == FORWARD_DRAIN {
+                    break;
+                }
+            }
+            if cur != FORWARD_DRAIN {
+                let id = ms.node_at(cur).expect("chain ends at a known node");
+                let n = &ms.nodes[id as usize];
+                assert!(n.alive, "chain from {dead:#x} ends at dead node");
+                assert!(n.index == 0 || n.index == 3);
+            }
+        }
+    }
+
+    #[test]
+    fn plain_simplify_unaffected_by_forwarding_path() {
+        let f = msp_synth::white_noise(Dims::new(8, 8, 8), 5);
+        let mut a = serial(&f);
+        let mut b = serial(&f);
+        let mut fw = Vec::new();
+        let sa = simplify(&mut a, SimplifyParams::up_to(f32::INFINITY)).unwrap();
+        let sb = simplify_forwarding(&mut b, SimplifyParams::up_to(f32::INFINITY), Some(&mut fw))
+            .unwrap();
+        assert_eq!(sa, sb);
+        assert_eq!(a.hierarchy.len(), b.hierarchy.len());
     }
 
     #[test]

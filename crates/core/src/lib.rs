@@ -25,7 +25,9 @@ pub mod plan;
 pub mod redistribute;
 pub mod simdriver;
 
-pub use pipeline::{run_parallel, FaultConfig, Input, PipelineError, PipelineParams, RunResult};
+pub use pipeline::{
+    run_parallel, seg_output_path, FaultConfig, Input, PipelineError, PipelineParams, RunResult,
+};
 pub use plan::MergePlan;
 pub use redistribute::{global_simplify_and_partition, partition_complex};
 pub use simdriver::{simulate, RoundReport, SimParams, SimReport};

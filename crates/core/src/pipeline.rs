@@ -35,19 +35,21 @@
 use crate::plan::MergePlan;
 use bytes::Bytes;
 use msp_complex::glue::glue_all;
-use msp_complex::{complex_from_gradient, simplify, wire, MsComplex, SimplifyParams};
+use msp_complex::{complex_from_gradient, simplify_forwarding, wire, MsComplex, SimplifyParams};
 use msp_fault::checkpoint::CheckpointError;
 use msp_fault::{Checkpoint, CheckpointStore, FaultPlan};
 use msp_grid::par::{available_threads, par_map, par_map_mut};
 use msp_grid::rawio::{read_block, VolumeDType};
 use msp_grid::{Decomposition, Dims, ScalarField};
 use msp_morse::{assign_gradient, assign_gradient_par, TraceLimits};
+use msp_segment::{label_block, wire as segwire, BlockSegmentation, ForwardMap, DRAIN_ADDR};
 use msp_telemetry::{
     Counter, Json, Phase, RankReport, RankTrace, Recorder, RunReport, RunTrace, SubRecorder,
     TraceSink,
 };
 use msp_vmpi::comm::{CommError, Inject};
-use msp_vmpi::fileio::{collective_write_blocks, FooterEntry};
+use msp_vmpi::fileio::{collective_write_blocks, collective_write_blocks_keyed, FooterEntry};
+use msp_vmpi::pairmsg::{exchange_pairs, exchange_u64s};
 use msp_vmpi::{Rank, Universe};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -60,6 +62,18 @@ use std::time::{Duration, Instant};
 const TAG_TELEMETRY_GATHER: u32 = 9100;
 const TAG_TELEMETRY_SHIP: u32 = 9110;
 const TAG_TRACE_GATHER: u32 = 9120;
+
+/// Tags of the segmentation resolution protocol (`--segment`). They live
+/// in their own high namespace, far above the merge tags (`round << 20 |
+/// slot`) and below the barrier tag (`0x7FF0_0000`). Per-round tags are
+/// `base | round`, so no two rounds ever share a tag.
+const TAG_SEG_ROUTE: u32 = 0x4000_0000; // | merge round (forward flush)
+const TAG_SEG_ROUTE_FINAL: u32 = 0x40F0_0000; // pre-resolve flush
+const TAG_SEG_QUERY: u32 = 0x4100_0000; // | jump round
+const TAG_SEG_REPLY: u32 = 0x4200_0000; // | jump round
+const TAG_SEG_FIXED: u32 = 0x4300_0000; // | jump round << 1 (allreduce pair)
+const TAG_SEG_TABLE_Q: u32 = 0x4400_0000;
+const TAG_SEG_TABLE_R: u32 = 0x4500_0000;
 
 /// Fault-tolerance configuration of a run.
 #[derive(Debug, Clone)]
@@ -219,6 +233,12 @@ pub struct PipelineParams {
     /// collective section would deadlock its peers). `MSP_CHECK=1` in
     /// the environment forces this on.
     pub check: bool,
+    /// Compute the full Morse-Smale segmentation: per-vertex descending
+    /// (minimum-basin) and per-voxel ascending (maximum-mountain) labels,
+    /// resolved across ranks by distributed path compression (DESIGN.md
+    /// §11). Adds `<out>.seg` next to the output file when one is
+    /// written.
+    pub segment: bool,
 }
 
 impl Default for PipelineParams {
@@ -234,6 +254,7 @@ impl Default for PipelineParams {
             trace: false,
             threads: None,
             check: false,
+            segment: false,
         }
     }
 }
@@ -277,6 +298,18 @@ pub struct RunResult {
     /// was on (write it with [`RunTrace::write`], analyze it with
     /// [`RunTrace::critical_path`]).
     pub trace: Option<RunTrace>,
+    /// Resolved block segmentations in ascending block order (empty
+    /// unless [`PipelineParams::segment`] was on).
+    pub segmentation: Vec<BlockSegmentation>,
+    /// Footer of the `<out>.seg` file, when one was written.
+    pub seg_footer: Option<Vec<FooterEntry>>,
+}
+
+/// Path of the labeled-volume file written next to the complex output.
+pub fn seg_output_path(output: &Path) -> PathBuf {
+    let mut s = output.as_os_str().to_os_string();
+    s.push(".seg");
+    PathBuf::from(s)
 }
 
 /// Execute the full pipeline on `n_ranks` threads over `n_blocks` blocks.
@@ -331,8 +364,10 @@ pub fn run_parallel(
     let mut footer = None;
     let mut threshold = 0.0;
     let mut trace = None;
+    let mut segmentation: Vec<BlockSegmentation> = Vec::new();
+    let mut seg_footer = None;
     for res in results {
-        let (tel, outs, f, th, tr) = res?;
+        let (tel, outs, f, th, tr, segs, sf) = res?;
         if tel.is_some() {
             telemetry = tel; // only rank 0 holds the gathered report
         }
@@ -343,8 +378,13 @@ pub fn run_parallel(
         if f.is_some() {
             footer = f;
         }
+        segmentation.extend(segs);
+        if sf.is_some() {
+            seg_footer = sf;
+        }
         threshold = th; // identical on every rank (all-reduced)
     }
+    segmentation.sort_by_key(|s| s.block_id);
     slot_outputs.sort_by_key(|(slot, _)| *slot);
     let outputs: Vec<MsComplex> = slot_outputs.into_iter().map(|(_, c)| c).collect();
     let output_bytes = outputs
@@ -388,6 +428,8 @@ pub fn run_parallel(
         output_bytes,
         threshold,
         trace,
+        segmentation,
+        seg_footer,
     })
 }
 
@@ -397,7 +439,42 @@ type RankOut = (
     Option<Vec<FooterEntry>>,
     f32,
     Option<RunTrace>,
+    Vec<BlockSegmentation>,
+    Option<Vec<FooterEntry>>,
 );
+
+/// Route pending forward pairs to their owner ranks (`owner(addr) =
+/// addr % n_ranks`) and absorb the pairs this rank owns. Bucket contents
+/// are sorted before they touch the wire, so message bytes are a pure
+/// function of the pairs' content. Collective: every rank must call this
+/// at the same point, pending entries or not.
+fn flush_forwards(
+    rank: &Rank,
+    rec: &mut Recorder,
+    tag: u32,
+    pending: &mut Vec<(u64, u64)>,
+    owned: &mut ForwardMap,
+) -> Result<(), PipelineError> {
+    let size = rank.size() as u64;
+    let mut buckets: Vec<Vec<(u64, u64)>> = vec![Vec::new(); rank.size()];
+    for &(dead, target) in pending.iter() {
+        buckets[(dead % size) as usize].push((dead, target));
+    }
+    for b in &mut buckets {
+        b.sort_unstable();
+    }
+    rec.add(Counter::SegForwards, pending.len() as u64);
+    pending.clear();
+    let (incoming, sent) =
+        exchange_pairs(rank, tag, &buckets).map_err(comm_err("routing segmentation forwards"))?;
+    rec.add(Counter::SegBoundaryBytes, sent);
+    for bucket in incoming {
+        for (dead, target) in bucket {
+            owned.insert(dead, target);
+        }
+    }
+    Ok(())
+}
 
 /// Snapshot every living complex into the checkpoint store at merge
 /// cursor `round` and account the serialized volume.
@@ -526,6 +603,10 @@ fn run_rank(
     // parallelism inside each block's gradient (one block per rank is
     // the paper's usual configuration, so the inner level matters).
     let mut complexes: HashMap<u32, MsComplex> = HashMap::new();
+    // Block segmentations stay put on the rank that computed them (only
+    // complexes travel during merges); resolved at SegResolve below.
+    let mut segs: HashMap<u32, BlockSegmentation> = HashMap::new();
+    let rdims = input.dims().refined();
     if threads == 1 {
         for &b in &my_blocks {
             let grad = rec.time(Phase::Gradient, |_| assign_gradient(&fields[&b], decomp));
@@ -535,6 +616,12 @@ fn run_rank(
             rec.add(Counter::CellsPaired, bstats.cells_paired);
             rec.add(Counter::CriticalCells, bstats.critical_cells);
             rec.add(Counter::ArcsTraced, bstats.arcs);
+            if params.segment {
+                let seg = rec.time(Phase::Segment, |_| {
+                    label_block(decomp.block(b), &rdims, &grad, 1)
+                });
+                segs.insert(b, seg);
+            }
             complexes.insert(b, ms);
         }
     } else {
@@ -551,11 +638,19 @@ fn run_rank(
             sub.add(Counter::CellsPaired, bstats.cells_paired);
             sub.add(Counter::CriticalCells, bstats.critical_cells);
             sub.add(Counter::ArcsTraced, bstats.arcs);
-            (ms, sub)
+            let seg = params.segment.then(|| {
+                sub.time(Phase::Segment, epoch, |_| {
+                    label_block(decomp.block(b), &rdims, &grad, slab_threads)
+                })
+            });
+            (ms, seg, sub)
         });
         let mut subs = Vec::with_capacity(built.len());
-        for (i, (ms, sub)) in built.into_iter().enumerate() {
+        for (i, (ms, seg, sub)) in built.into_iter().enumerate() {
             complexes.insert(my_blocks[i], ms);
+            if let Some(s) = seg {
+                segs.insert(my_blocks[i], s);
+            }
             subs.push(sub);
         }
         rec.absorb_subs(&subs);
@@ -569,30 +664,47 @@ fn run_rank(
         max_new_arcs: params.max_new_arcs,
         max_parallel_arcs: Some(2),
     };
+    // Forward entries of extrema cancelled on this rank, awaiting their
+    // routed flush to owner ranks (piggybacked on merge-round ends).
+    let mut pending: Vec<(u64, u64)> = Vec::new();
+    // The slice of the global forward map this rank owns.
+    let mut owned = ForwardMap::new();
     if threads == 1 {
         for (&b, ms) in complexes.iter_mut() {
-            let st = simplify(ms, sp).map_err(|source| PipelineError::Simplify {
-                context: format!("simplifying block {b}"),
-                source,
+            let mut fw = params.segment.then(Vec::new);
+            let st = simplify_forwarding(ms, sp, fw.as_mut()).map_err(|source| {
+                PipelineError::Simplify {
+                    context: format!("simplifying block {b}"),
+                    source,
+                }
             })?;
             rec.add(Counter::Cancellations, st.cancellations);
             ms.compact();
+            if let Some(f) = fw {
+                pending.extend(f);
+            }
         }
     } else {
         // blocks simplify independently; collect in block order so the
         // cancellation counter accumulates deterministically
         let mut work: Vec<(u32, MsComplex)> = complexes.drain().collect();
         work.sort_by_key(|(b, _)| *b);
-        let cancels = par_map_mut(threads, &mut work, |_, (b, ms)| {
-            let st = simplify(ms, sp).map_err(|source| PipelineError::Simplify {
-                context: format!("simplifying block {b}"),
-                source,
+        let segment = params.segment;
+        let results = par_map_mut(threads, &mut work, |_, (b, ms)| {
+            let mut fw = segment.then(Vec::new);
+            let st = simplify_forwarding(ms, sp, fw.as_mut()).map_err(|source| {
+                PipelineError::Simplify {
+                    context: format!("simplifying block {b}"),
+                    source,
+                }
             })?;
             ms.compact();
-            Ok(st.cancellations)
+            Ok((st.cancellations, fw.unwrap_or_default()))
         });
-        for n in cancels {
-            rec.add(Counter::Cancellations, n?);
+        for r in results {
+            let (n, fw) = r?;
+            rec.add(Counter::Cancellations, n);
+            pending.extend(fw);
         }
         complexes.extend(work);
     }
@@ -738,15 +850,137 @@ fn run_rank(
                     source,
                 })?;
             rec.begin(Phase::Resimplify);
-            let st = simplify(ms, sp).map_err(|source| PipelineError::Simplify {
-                context: format!("re-simplifying slot {root} after round {r}"),
-                source,
+            let mut fw = params.segment.then(Vec::new);
+            let st = simplify_forwarding(ms, sp, fw.as_mut()).map_err(|source| {
+                PipelineError::Simplify {
+                    context: format!("re-simplifying slot {root} after round {r}"),
+                    source,
+                }
             })?;
             rec.add(Counter::Cancellations, st.cancellations);
             ms.compact();
+            if let Some(f) = fw {
+                pending.extend(f);
+            }
             rec.end(Phase::Resimplify);
         }
+        // Piggybacked forward flush: the round's cancellations routed to
+        // their owner ranks while everyone is synchronized anyway. Runs
+        // on every rank — including one that crashed this round (the
+        // thread keeps executing; segmentation state rides outside the
+        // checkpoint model, so nothing of it is lost or replayed).
+        if params.segment {
+            flush_forwards(
+                rank,
+                &mut rec,
+                TAG_SEG_ROUTE | r as u32,
+                &mut pending,
+                &mut owned,
+            )?;
+        }
         rec.end(Phase::MergeRound(r as u16));
+    }
+
+    // ---- segmentation resolution (DESIGN.md §11) ----
+    // Compress every chain of cancelled-extremum forwards to its live
+    // root by synchronized pointer jumping, then rewrite each block's
+    // extremum tables through the resolved representatives. Global state
+    // at every round boundary is a pure function of the forward-pair
+    // content (messages sorted, jumps synchronized), so the resolved
+    // labels are bit-identical for any rank count, thread count or merge
+    // schedule.
+    if params.segment {
+        rec.begin(Phase::SegResolve);
+        // Flush whatever was not piggybacked on a merge round (all local
+        // forwards when the plan has no rounds).
+        flush_forwards(
+            rank,
+            &mut rec,
+            TAG_SEG_ROUTE_FINAL,
+            &mut pending,
+            &mut owned,
+        )?;
+        let n_ranks_u64 = n_ranks as u64;
+        let mut jump_round: u32 = 0;
+        loop {
+            let t0 = sink.as_ref().map(|s| s.now_ns());
+            // Ask each target's owner what it currently forwards to.
+            // Queries are sorted + deduplicated per owner.
+            let mut qbuckets: Vec<Vec<u64>> = vec![Vec::new(); n_ranks as usize];
+            for (_, target) in owned.sorted_entries() {
+                if target != DRAIN_ADDR {
+                    qbuckets[(target % n_ranks_u64) as usize].push(target);
+                }
+            }
+            for qb in &mut qbuckets {
+                qb.sort_unstable();
+                qb.dedup();
+            }
+            let (queries, qsent) = exchange_u64s(rank, TAG_SEG_QUERY | jump_round, &qbuckets)
+                .map_err(comm_err("exchanging jump queries"))?;
+            // Answer from the PRE-round state (replies are built before
+            // this rank applies its own updates): only dead addresses
+            // get an entry, live ones are absent = already resolved.
+            let rbuckets: Vec<Vec<(u64, u64)>> = queries
+                .iter()
+                .map(|bucket| {
+                    bucket
+                        .iter()
+                        .filter_map(|&a| owned.get(a).map(|t| (a, t)))
+                        .collect()
+                })
+                .collect();
+            let (replies, rsent) = exchange_pairs(rank, TAG_SEG_REPLY | jump_round, &rbuckets)
+                .map_err(comm_err("exchanging jump replies"))?;
+            rec.add(Counter::SegBoundaryBytes, qsent + rsent);
+            let lookup: HashMap<u64, u64> = replies.into_iter().flatten().collect();
+            let changed = owned.jump_pass(&lookup);
+            rec.add(Counter::SegRelabels, changed);
+            rec.add(Counter::SegRounds, 1);
+            let global_changed = rank
+                .allreduce_u64(TAG_SEG_FIXED | (jump_round << 1), changed, |a, b| a + b)
+                .map_err(comm_err("all-reducing jump fixed point"))?;
+            if let (Some(s), Some(t0)) = (&sink, t0) {
+                s.span_at("seg_round", t0, s.now_ns());
+            }
+            jump_round += 1;
+            if global_changed == 0 {
+                break;
+            }
+        }
+        // Table resolution: every extremum address in this rank's tables
+        // is resolved by its owner against the now-compressed map.
+        let mut addrs: Vec<u64> = segs
+            .values()
+            .flat_map(|s| s.mins.iter().chain(s.maxs.iter()).copied())
+            .collect();
+        addrs.sort_unstable();
+        addrs.dedup();
+        let mut tbuckets: Vec<Vec<u64>> = vec![Vec::new(); n_ranks as usize];
+        for a in addrs {
+            tbuckets[(a % n_ranks_u64) as usize].push(a);
+        }
+        let (tqueries, tqsent) = exchange_u64s(rank, TAG_SEG_TABLE_Q, &tbuckets)
+            .map_err(comm_err("exchanging table-resolution queries"))?;
+        let trbuckets: Vec<Vec<(u64, u64)>> = tqueries
+            .iter()
+            .map(|bucket| bucket.iter().map(|&a| (a, owned.resolve(a))).collect())
+            .collect();
+        let (treplies, trsent) = exchange_pairs(rank, TAG_SEG_TABLE_R, &trbuckets)
+            .map_err(comm_err("exchanging table-resolution replies"))?;
+        rec.add(Counter::SegBoundaryBytes, tqsent + trsent);
+        let resolved: HashMap<u64, u64> = treplies.into_iter().flatten().collect();
+        let mut block_ids: Vec<u32> = segs.keys().copied().collect();
+        block_ids.sort_unstable();
+        let mut relabels = 0;
+        for b in block_ids {
+            let seg = segs.get_mut(&b).expect("own block");
+            let rm: Vec<u64> = seg.mins.iter().map(|a| resolved[a]).collect();
+            let rx: Vec<u64> = seg.maxs.iter().map(|a| resolved[a]).collect();
+            relabels += seg.apply_resolution(&rm, &rx);
+        }
+        rec.add(Counter::SegRelabels, relabels);
+        rec.end(Phase::SegResolve);
     }
 
     // ---- pre-write cut ----
@@ -797,6 +1031,28 @@ fn run_rank(
             collective_write_blocks(rank, path, &payloads).map_err(|source| PipelineError::Io {
                 context: format!("collective write to {}", path.display()),
                 source,
+            })?;
+        (p == 0).then_some(f)
+    } else {
+        None
+    };
+    // Labeled-volume blocks go to `<out>.seg` through a second collective
+    // write (per-link FIFO keeps its file-IO messages behind the first
+    // write's). The write is keyed by block id: payloads land in global
+    // ascending block-id order and the footer records keys, not writer
+    // ranks, so the file is byte-identical for every rank count.
+    let mut my_segs: Vec<BlockSegmentation> = segs.into_values().collect();
+    my_segs.sort_by_key(|s| s.block_id);
+    let seg_footer = if let (true, Some(path)) = (params.segment, output_path) {
+        let seg_path = seg_output_path(path);
+        let payloads: Vec<bytes::Bytes> = my_segs.iter().map(segwire::serialize).collect();
+        let keys: Vec<u64> = my_segs.iter().map(|s| s.block_id as u64).collect();
+        let f =
+            collective_write_blocks_keyed(rank, &seg_path, &payloads, &keys).map_err(|source| {
+                PipelineError::Io {
+                    context: format!("collective segmentation write to {}", seg_path.display()),
+                    source,
+                }
             })?;
         (p == 0).then_some(f)
     } else {
@@ -853,6 +1109,46 @@ fn run_rank(
             rec.add(Counter::CheckVpath, report.vpath);
             for note in &report.notes {
                 eprintln!("[msp-check] rank {p} slot {slot}: {note}");
+            }
+        }
+        // Segmentation invariants are per original block and fully
+        // local: rebuild the independent reference gradient of each
+        // owned block and check the resolved labels never change along
+        // a V-path. (Representative liveness needs the gathered outputs
+        // and runs on the driver side — see `check_segmentation_tables`.)
+        if params.segment {
+            for seg in &my_segs {
+                let b = decomp.block(seg.block_id);
+                let bf = match input {
+                    Input::Memory(f) => Some(f.extract_block(b)),
+                    Input::File { path, dims, dtype } => match read_block(path, *dims, b, *dtype) {
+                        Ok(bf) => Some(bf),
+                        Err(e) => {
+                            eprintln!(
+                                "[msp-check] rank {p} seg block {}: cannot re-read \
+                                     the block: {e}",
+                                seg.block_id
+                            );
+                            None
+                        }
+                    },
+                };
+                let Some(bf) = bf else { continue };
+                let grad = msp_oracle::reference_gradient(&bf, decomp);
+                let view = msp_oracle::SegView {
+                    block_id: seg.block_id,
+                    vdims: seg.vdims,
+                    mins: &seg.mins,
+                    maxs: &seg.maxs,
+                    min_label: &seg.min_label,
+                    max_label: &seg.max_label,
+                };
+                let mut report = msp_oracle::InvariantReport::default();
+                msp_oracle::check_segmentation_block(&view, b, &rdims, &grad, &opts, &mut report);
+                rec.add(Counter::CheckSegment, report.segment);
+                for note in &report.notes {
+                    eprintln!("[msp-check] rank {p}: {note}");
+                }
             }
         }
         rec.end(Phase::Check);
@@ -920,7 +1216,9 @@ fn run_rank(
         }
         None => None,
     };
-    Ok((telemetry, my_outputs, footer, threshold, run_trace))
+    Ok((
+        telemetry, my_outputs, footer, threshold, run_trace, my_segs, seg_footer,
+    ))
 }
 
 #[cfg(test)]
@@ -1126,12 +1424,84 @@ mod tests {
     }
 
     #[test]
+    fn segmentation_identical_across_ranks_and_bounded_rounds() {
+        let input = noise_input(9, 13);
+        let params = PipelineParams {
+            plan: MergePlan::full_merge(8),
+            segment: true,
+            ..Default::default()
+        };
+        let a = run_parallel(&input, 4, 8, &params, None).unwrap();
+        let b = run_parallel(&input, 1, 8, &params, None).unwrap();
+        assert_eq!(a.segmentation.len(), 8);
+        assert_eq!(b.segmentation.len(), 8);
+        for (sa, sb) in a.segmentation.iter().zip(&b.segmentation) {
+            assert_eq!(
+                segwire::serialize(sa),
+                segwire::serialize(sb),
+                "block {} labels must be bit-identical across rank counts",
+                sa.block_id
+            );
+        }
+        // fixed point within the synchronized pointer-jumping bound
+        let forwards = a.telemetry.counter_total("seg_forwards");
+        let rounds = a.telemetry.ranks[0].counter("seg_rounds");
+        assert!(
+            rounds <= msp_segment::jump_round_bound(forwards),
+            "{rounds} jump rounds for {forwards} forwards"
+        );
+        assert!(a.telemetry.counter_total("seg_boundary_bytes") > 0);
+        // every resolved label refers to a table entry (or the drain)
+        for seg in &a.segmentation {
+            for &l in &seg.min_label {
+                assert!((l as usize) < seg.mins.len());
+            }
+            for &l in &seg.max_label {
+                assert!(l == msp_segment::DRAIN_LABEL || (l as usize) < seg.maxs.len());
+            }
+        }
+    }
+
+    #[test]
+    fn segmentation_without_merge_rounds() {
+        let input = noise_input(8, 3);
+        let params = PipelineParams {
+            segment: true,
+            ..Default::default()
+        };
+        let r = run_parallel(&input, 1, 1, &params, None).unwrap();
+        assert_eq!(r.segmentation.len(), 1);
+        let seg = &r.segmentation[0];
+        assert_eq!(seg.vdims, [8, 8, 8]);
+        assert_eq!(seg.min_label.len(), 512);
+        assert_eq!(seg.max_label.len(), 343);
+        assert!(!seg.mins.is_empty());
+    }
+
+    #[test]
+    fn segmentation_off_costs_nothing() {
+        let input = noise_input(8, 3);
+        let r = run_parallel(&input, 2, 2, &PipelineParams::default(), None).unwrap();
+        assert!(r.segmentation.is_empty());
+        assert!(r.seg_footer.is_none());
+        for key in [
+            "seg_forwards",
+            "seg_rounds",
+            "seg_boundary_bytes",
+            "seg_relabels",
+        ] {
+            assert_eq!(r.telemetry.counter_total(key), 0, "{key}");
+        }
+    }
+
+    #[test]
     fn writes_valid_output_file() {
         let mut path = std::env::temp_dir();
         path.push(format!("msp_core_out_{}.msc", std::process::id()));
         let input = noise_input(9, 2);
         let params = PipelineParams {
             plan: MergePlan::rounds(vec![4]),
+            segment: true,
             ..Default::default()
         };
         let r = run_parallel(&input, 4, 8, &params, Some(&path)).unwrap();
@@ -1144,6 +1514,22 @@ mod tests {
             assert_eq!(loaded.nodes.len(), ms.nodes.len());
             assert_eq!(loaded.member_blocks, ms.member_blocks);
         }
+        // the labeled volume rides along in `<out>.seg`: one block per
+        // original block, each payload round-tripping to the in-memory
+        // segmentation
+        let seg_path = seg_output_path(&path);
+        let seg_footer = r.seg_footer.expect("seg footer present");
+        assert_eq!(seg_footer.len(), 8);
+        let mut loaded: Vec<BlockSegmentation> = seg_footer
+            .iter()
+            .map(|e| {
+                let payload = msp_vmpi::fileio::read_block_payload(&seg_path, e).unwrap();
+                segwire::deserialize(&payload).unwrap()
+            })
+            .collect();
+        loaded.sort_by_key(|s| s.block_id);
+        assert_eq!(loaded, r.segmentation);
         std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&seg_path).ok();
     }
 }

@@ -26,11 +26,14 @@
 
 use crate::plan::MergePlan;
 use msp_complex::glue::glue_all;
-use msp_complex::{build_block_complex, simplify, wire, MsComplex, SimplifyParams};
+use msp_complex::{
+    complex_from_gradient, simplify, simplify_forwarding, wire, MsComplex, SimplifyParams,
+};
 use msp_fault::FaultPlan;
 use msp_grid::rawio::{block_bytes, VolumeDType};
 use msp_grid::{Decomposition, ScalarField};
-use msp_morse::TraceLimits;
+use msp_morse::{assign_gradient, TraceLimits};
+use msp_segment::{label_block, wire as segwire, BlockSegmentation, ForwardMap, DRAIN_ADDR};
 use msp_telemetry::{Json, RankTrace, RunTrace, TimeoutStamp};
 use msp_vmpi::comm::{Inject, SendFate};
 use msp_vmpi::{IoParams, NetParams, Torus};
@@ -80,6 +83,13 @@ pub struct SimParams {
     /// export and critical-path analysis work identically on simulated
     /// runs.
     pub trace: bool,
+    /// Compute the Morse-Smale segmentation: per-block labeling is
+    /// *measured*, the distributed pointer-jump resolution is replayed
+    /// exactly (same owner maps, same synchronized evolution, same wire
+    /// encoding — DESIGN.md §11) with *modeled* communication costs, so
+    /// `seg_rounds` / `seg_forwards` / `seg_bytes` match the threaded
+    /// pipeline's counters bit for bit.
+    pub segment: bool,
 }
 
 impl Default for SimParams {
@@ -96,6 +106,7 @@ impl Default for SimParams {
             dtype: VolumeDType::F32,
             fault: SimFault::default(),
             trace: false,
+            segment: false,
         }
     }
 }
@@ -171,6 +182,22 @@ pub struct SimReport {
     pub recovery_s: f64,
     /// Modeled time spent writing round-boundary checkpoints.
     pub checkpoint_s: f64,
+    /// Measured per-block segmentation labeling (max over ranks).
+    pub seg_label_s: f64,
+    /// Modeled communication time of the distributed resolution
+    /// (forward routing + jump rounds + table rewrite).
+    pub seg_resolve_s: f64,
+    /// Modeled collective write of the labeled-volume file.
+    pub seg_write_s: f64,
+    /// Pointer-jump rounds to the fixed point, including the final
+    /// observing round — exactly the pipeline's `seg_rounds` counter.
+    pub seg_rounds: u64,
+    /// Forward entries routed to their owners (pipeline `seg_forwards`).
+    pub seg_forwards: u64,
+    /// Resolution wire traffic in bytes (pipeline `seg_boundary_bytes`).
+    pub seg_bytes: u64,
+    /// Serialized segmentation payload bytes (`SEG1` blocks).
+    pub seg_output_bytes: u64,
     /// Virtual-clock causal trace when [`SimParams::trace`] was on.
     pub trace: Option<RunTrace>,
 }
@@ -191,6 +218,8 @@ impl SimReport {
                     ("compute", Json::F64(self.compute_s)),
                     ("local_simplify", Json::F64(self.local_simplify_s)),
                     ("merge", Json::F64(self.merge_s)),
+                    ("segment", Json::F64(self.seg_label_s)),
+                    ("seg_resolve", Json::F64(self.seg_resolve_s)),
                     ("write", Json::F64(self.write_s)),
                     ("total", Json::F64(self.total_s)),
                 ]),
@@ -217,6 +246,18 @@ impl SimReport {
             ("live_nodes", Json::U64(self.live_nodes)),
             ("live_arcs", Json::U64(self.live_arcs)),
             ("threshold", Json::F64(self.threshold as f64)),
+            (
+                "segment",
+                Json::obj(vec![
+                    ("label_s", Json::F64(self.seg_label_s)),
+                    ("resolve_s", Json::F64(self.seg_resolve_s)),
+                    ("write_s", Json::F64(self.seg_write_s)),
+                    ("rounds", Json::U64(self.seg_rounds)),
+                    ("forwards", Json::U64(self.seg_forwards)),
+                    ("resolution_bytes", Json::U64(self.seg_bytes)),
+                    ("output_bytes", Json::U64(self.seg_output_bytes)),
+                ]),
+            ),
             (
                 "fault",
                 Json::obj(vec![
@@ -254,6 +295,41 @@ struct FaultLedger {
     retry_bytes: u64,
     recovery_s: f64,
     checkpoint_s: f64,
+}
+
+/// Route every rank's pending forwards to their owner maps, mirroring
+/// the pipeline's `flush_forwards` all-to-all: each rank sends a
+/// length-prefixed pair payload to every *other* rank (empty buckets
+/// still cost their 4-byte count header; the self bucket is delivered
+/// locally, unserialized). Returns `(total_bytes, max_rank_bytes)` of
+/// the modeled exchange and bumps the forward counter.
+fn flush_pending(
+    pending: &mut [Vec<(u64, u64)>],
+    owned: &mut [ForwardMap],
+    forwards: &mut u64,
+) -> (u64, u64) {
+    let n = pending.len();
+    let nl = n as u64;
+    let (mut total, mut maxb) = (0u64, 0u64);
+    for (src, bucket) in pending.iter_mut().enumerate() {
+        *forwards += bucket.len() as u64;
+        let mut lens = vec![0u64; n];
+        for &(dead, target) in bucket.iter() {
+            let owner = (dead % nl) as usize;
+            lens[owner] += 1;
+            owned[owner].insert(dead, target);
+        }
+        bucket.clear();
+        let rank_bytes: u64 = lens
+            .iter()
+            .enumerate()
+            .filter(|(dst, _)| *dst != src)
+            .map(|(_, &l)| 4 + 16 * l)
+            .sum();
+        total += rank_bytes;
+        maxb = maxb.max(rank_bytes);
+    }
+    (total, maxb)
 }
 
 /// Simulate the pipeline at `n_ranks` virtual ranks (one block each).
@@ -306,30 +382,52 @@ pub fn simulate(
     // ---- compute + local simplify (measured, per virtual rank) ----
     struct BlockOut {
         ms: MsComplex,
+        seg: Option<BlockSegmentation>,
+        fw: Vec<(u64, u64)>,
         t_build: f64,
+        t_label: f64,
         t_simplify: f64,
     }
+    let rdims = field.dims().refined();
     let blocks: Vec<BlockOut> = decomp
         .blocks()
         .par_iter()
         .map(|b| {
             let bf = field.extract_block(b);
             let t0 = Instant::now();
-            let (mut ms, _) = build_block_complex(&bf, &decomp, params.trace_limits);
+            let grad = assign_gradient(&bf, &decomp);
+            let (mut ms, _) = complex_from_gradient(&bf, &decomp, &grad, params.trace_limits);
             let t_build = t0.elapsed().as_secs_f64();
+            let (seg, t_label) = if params.segment {
+                let tl = Instant::now();
+                let seg = label_block(b, &rdims, &grad, 1);
+                (Some(seg), tl.elapsed().as_secs_f64())
+            } else {
+                (None, 0.0)
+            };
             let t1 = Instant::now();
-            simplify(&mut ms, sp).expect("sim-driver fields are finite");
+            let mut fw = Vec::new();
+            if params.segment {
+                simplify_forwarding(&mut ms, sp, Some(&mut fw))
+                    .expect("sim-driver fields are finite");
+            } else {
+                simplify(&mut ms, sp).expect("sim-driver fields are finite");
+            }
             ms.compact();
             let t_simplify = t1.elapsed().as_secs_f64();
             BlockOut {
                 ms,
+                seg,
+                fw,
                 t_build,
+                t_label,
                 t_simplify,
             }
         })
         .collect();
 
     let compute_s = blocks.iter().map(|b| b.t_build).fold(0.0, f64::max);
+    let seg_label_s = blocks.iter().map(|b| b.t_label).fold(0.0, f64::max);
     let local_simplify_s = blocks.iter().map(|b| b.t_simplify).fold(0.0, f64::max);
 
     // virtual clocks: collective read ends together, then local work
@@ -339,7 +437,7 @@ pub fn simulate(
         .enumerate()
         .map(|(i, b)| {
             let slow = fplan.map_or(1.0, |p| p.slow_factor(i));
-            read_s + (b.t_build + b.t_simplify) * slow
+            read_s + (b.t_build + b.t_label + b.t_simplify) * slow
         })
         .collect();
     if let Some(tr) = &mut traces {
@@ -347,12 +445,30 @@ pub fn simulate(
             let slow = fplan.map_or(1.0, |p| p.slow_factor(i));
             let t_read_end = read_s;
             let t_compute_end = t_read_end + b.t_build * slow;
+            let t_label_end = t_compute_end + b.t_label * slow;
             tr[i].span("read", 0, ns(t_read_end));
             tr[i].span("compute", ns(t_read_end), ns(t_compute_end));
-            tr[i].span("local_simplify", ns(t_compute_end), ns(clocks[i]));
+            if params.segment {
+                tr[i].span("segment", ns(t_compute_end), ns(t_label_end));
+            }
+            tr[i].span("local_simplify", ns(t_label_end), ns(clocks[i]));
         }
     }
-    let mut complexes: Vec<Option<MsComplex>> = blocks.into_iter().map(|b| Some(b.ms)).collect();
+    // Segmentation resolution state: per-virtual-rank pending forwards
+    // and owner maps (`owner(addr) = addr % n_ranks`, like the
+    // pipeline), plus the counters the modeled exchanges accumulate.
+    let mut pending_fw: Vec<Vec<(u64, u64)>> = Vec::with_capacity(blocks.len());
+    let mut segs: Vec<Option<BlockSegmentation>> = Vec::with_capacity(blocks.len());
+    let mut complexes: Vec<Option<MsComplex>> = Vec::with_capacity(blocks.len());
+    for b in blocks {
+        pending_fw.push(b.fw);
+        segs.push(b.seg);
+        complexes.push(Some(b.ms));
+    }
+    let mut owned_fw: Vec<ForwardMap> = vec![ForwardMap::new(); n_ranks as usize];
+    let mut seg_forwards = 0u64;
+    let mut seg_bytes = 0u64;
+    let mut seg_resolve_s = 0.0f64;
 
     // ---- merge rounds ----
     let torus = Torus::for_ranks(n_ranks);
@@ -485,7 +601,8 @@ pub fn simulate(
             }
             work.push((*root, root_ms, root_clock, inputs));
         }
-        let results: Vec<(u32, MsComplex, f64, f64, f64, u64)> = work
+        type GlueOut = (u32, MsComplex, f64, f64, f64, u64, Vec<(u64, u64)>);
+        let results: Vec<GlueOut> = work
             .into_par_iter()
             .map(|(root, mut root_ms, root_clock, inputs)| {
                 // modeled arrival: the root can start gluing once every
@@ -502,16 +619,30 @@ pub fn simulate(
                 let incoming: Vec<MsComplex> = inputs.into_iter().map(|m| m.ms).collect();
                 glue_all(&mut root_ms, &incoming, &decomp)
                     .expect("sim-driver complexes glue cleanly");
-                simplify(&mut root_ms, sp).expect("sim-driver fields are finite");
+                let mut fw = Vec::new();
+                if params.segment {
+                    simplify_forwarding(&mut root_ms, sp, Some(&mut fw))
+                        .expect("sim-driver fields are finite");
+                } else {
+                    simplify(&mut root_ms, sp).expect("sim-driver fields are finite");
+                }
                 root_ms.compact();
                 let glue = t0.elapsed().as_secs_f64();
-                (root, root_ms, start + comm + glue, comm, glue, sum_bytes)
+                (
+                    root,
+                    root_ms,
+                    start + comm + glue,
+                    comm,
+                    glue,
+                    sum_bytes,
+                    fw,
+                )
             })
             .collect();
         let mut comm_max = 0.0f64;
         let mut glue_max = 0.0f64;
         let mut bytes_moved = 0u64;
-        for (root, ms, clock, comm, glue, bytes) in results {
+        for (root, ms, clock, comm, glue, bytes, fw) in results {
             comm_max = comm_max.max(comm);
             glue_max = glue_max.max(glue);
             bytes_moved += bytes;
@@ -522,6 +653,17 @@ pub fn simulate(
             }
             clocks[root as usize] = clock;
             complexes[root as usize] = Some(ms);
+            pending_fw[root as usize].extend(fw);
+        }
+        // Piggybacked forward flush at the round boundary, mirroring the
+        // pipeline: the round's cancellations route to their owner maps,
+        // the exchange's wire bytes and one latency are charged.
+        if params.segment {
+            let (fb, fb_max) = flush_pending(&mut pending_fw, &mut owned_fw, &mut seg_forwards);
+            seg_bytes += fb;
+            if n_ranks > 1 {
+                seg_resolve_s += params.net.latency_s + fb_max as f64 * params.net.byte_time_s;
+            }
         }
         let after = groups
             .iter()
@@ -534,6 +676,161 @@ pub fn simulate(
             round_s: after - before,
             bytes_moved,
         });
+    }
+
+    // ---- segmentation resolution (exact evolution, modeled comm) ----
+    // The global jump evolution `new[d] = old[old[d]]` is a pure
+    // function of the forward-pair content, independent of how entries
+    // partition across owners — so replaying it sequentially over the
+    // same owner maps yields the *true* distributed round count and
+    // wire traffic, while the clocks are only charged modeled costs.
+    let mut seg_rounds = 0u64;
+    let mut seg_output_bytes = 0u64;
+    let mut seg_write_s = 0.0f64;
+    if params.segment {
+        let n = n_ranks as usize;
+        let nl = n_ranks as u64;
+        // log-tree all-reduce closes every jump round
+        let allreduce_s = if n_ranks > 1 {
+            params.net.latency_s * (32 - (n_ranks - 1).leading_zeros()) as f64
+        } else {
+            0.0
+        };
+        // flush whatever was not piggybacked on a merge round (all
+        // local forwards when the plan has no rounds)
+        let (fb, fb_max) = flush_pending(&mut pending_fw, &mut owned_fw, &mut seg_forwards);
+        seg_bytes += fb;
+        if n_ranks > 1 {
+            seg_resolve_s += params.net.latency_s + fb_max as f64 * params.net.byte_time_s;
+        }
+        loop {
+            // queries: each rank asks every target's owner, sorted and
+            // deduplicated per destination
+            let mut qbuckets: Vec<Vec<Vec<u64>>> = vec![vec![Vec::new(); n]; n];
+            for (src, map) in owned_fw.iter().enumerate() {
+                for (_, target) in map.sorted_entries() {
+                    if target != DRAIN_ADDR {
+                        qbuckets[src][(target % nl) as usize].push(target);
+                    }
+                }
+                for qb in &mut qbuckets[src] {
+                    qb.sort_unstable();
+                    qb.dedup();
+                }
+            }
+            // replies answer from the PRE-round state: all lookups are
+            // built before any rank applies its jump pass
+            let mut lookups: Vec<HashMap<u64, u64>> = vec![HashMap::new(); n];
+            let mut rlens = vec![vec![0u64; n]; n];
+            let (mut qtot, mut qmax) = (0u64, 0u64);
+            for src in 0..n {
+                let mut qb_bytes = 0u64;
+                for owner in 0..n {
+                    let qb = &qbuckets[src][owner];
+                    if owner != src {
+                        qb_bytes += 4 + 8 * qb.len() as u64;
+                    }
+                    for &a in qb {
+                        if let Some(t) = owned_fw[owner].get(a) {
+                            rlens[owner][src] += 1;
+                            lookups[src].insert(a, t);
+                        }
+                    }
+                }
+                qtot += qb_bytes;
+                qmax = qmax.max(qb_bytes);
+            }
+            let (mut rtot, mut rmax) = (0u64, 0u64);
+            for (owner, lens) in rlens.iter().enumerate() {
+                let b: u64 = lens
+                    .iter()
+                    .enumerate()
+                    .filter(|(dst, _)| *dst != owner)
+                    .map(|(_, &l)| 4 + 16 * l)
+                    .sum();
+                rtot += b;
+                rmax = rmax.max(b);
+            }
+            seg_bytes += qtot + rtot;
+            if n_ranks > 1 {
+                seg_resolve_s += 2.0 * params.net.latency_s
+                    + (qmax + rmax) as f64 * params.net.byte_time_s
+                    + allreduce_s;
+            }
+            let mut changed = 0u64;
+            for (src, map) in owned_fw.iter_mut().enumerate() {
+                changed += map.jump_pass(&lookups[src]);
+            }
+            // counted exactly like the pipeline: every iteration,
+            // including the final one that observes the fixed point
+            seg_rounds += 1;
+            if changed == 0 {
+                break;
+            }
+        }
+        // table rewrite: every extremum address in each rank's tables
+        // is resolved by its owner against the compressed map
+        let mut tlens = vec![vec![0u64; n]; n];
+        for (src, seg) in segs.iter_mut().enumerate() {
+            let Some(seg) = seg.as_mut() else { continue };
+            let mut addrs: Vec<u64> = seg.mins.iter().chain(seg.maxs.iter()).copied().collect();
+            addrs.sort_unstable();
+            addrs.dedup();
+            for &a in &addrs {
+                tlens[src][(a % nl) as usize] += 1;
+            }
+            let rm: Vec<u64> = seg
+                .mins
+                .iter()
+                .map(|&a| owned_fw[(a % nl) as usize].resolve(a))
+                .collect();
+            let rx: Vec<u64> = seg
+                .maxs
+                .iter()
+                .map(|&a| owned_fw[(a % nl) as usize].resolve(a))
+                .collect();
+            seg.apply_resolution(&rm, &rx);
+        }
+        let (mut qtot, mut qmax) = (0u64, 0u64);
+        let (mut rtot, mut rmax) = (0u64, 0u64);
+        for (src, row) in tlens.iter().enumerate() {
+            let qb: u64 = (0..n).filter(|&d| d != src).map(|d| 4 + 8 * row[d]).sum();
+            let rb: u64 = (0..n)
+                .filter(|&d| d != src)
+                .map(|d| 4 + 16 * tlens[d][src])
+                .sum();
+            qtot += qb;
+            qmax = qmax.max(qb);
+            rtot += rb;
+            rmax = rmax.max(rb);
+        }
+        seg_bytes += qtot + rtot;
+        if n_ranks > 1 {
+            seg_resolve_s +=
+                2.0 * params.net.latency_s + (qmax + rmax) as f64 * params.net.byte_time_s;
+        }
+        // labeled-volume output: one SEG1 payload per block, written
+        // collectively by all ranks
+        let seg_sizes: Vec<u64> = segs
+            .iter()
+            .flatten()
+            .map(|s| segwire::serialize(s).len() as u64)
+            .collect();
+        seg_output_bytes = seg_sizes.iter().sum();
+        let max_seg = seg_sizes.iter().copied().max().unwrap_or(0);
+        if seg_output_bytes > 0 {
+            seg_write_s = params
+                .io
+                .collective_time(seg_output_bytes, max_seg, n_ranks);
+        }
+        // the resolution's all-to-alls synchronize every rank
+        let t_sync = clocks.iter().copied().fold(0.0, f64::max);
+        for (i, c) in clocks.iter_mut().enumerate() {
+            if let Some(tr) = &mut traces {
+                tr[i].span("seg_resolve", ns(*c), ns(t_sync + seg_resolve_s));
+            }
+            *c = t_sync + seg_resolve_s;
+        }
     }
 
     // ---- write (modeled) ----
@@ -601,11 +898,17 @@ pub fn simulate(
             tr[s as usize].span("write", ns(t0), ns(t0 + write_s));
         }
         for (i, t) in tr.iter_mut().enumerate() {
-            let end = if out_slots.contains(&(i as u32)) {
+            let mut end = if out_slots.contains(&(i as u32)) {
                 clocks[i] + write_s
             } else {
                 clocks[i]
             };
+            if seg_write_s > 0.0 {
+                // every rank owns a block, so every rank joins the
+                // collective labeled-volume write
+                t.span("seg_write", ns(end), ns(end + seg_write_s));
+                end += seg_write_s;
+            }
             t.span("total", 0, ns(end));
         }
     }
@@ -617,7 +920,7 @@ pub fn simulate(
         local_simplify_s,
         merge_s: (clock_final - clock_after_local) + local_simplify_s,
         write_s,
-        total_s: clock_final + write_s,
+        total_s: clock_final + write_s + seg_write_s,
         rounds,
         output_blocks: out_slots.len() as u32,
         output_bytes,
@@ -629,6 +932,13 @@ pub fn simulate(
         retry_bytes: ledger.retry_bytes,
         recovery_s: ledger.recovery_s,
         checkpoint_s: ledger.checkpoint_s,
+        seg_label_s,
+        seg_resolve_s,
+        seg_write_s,
+        seg_rounds,
+        seg_forwards,
+        seg_bytes,
+        seg_output_bytes,
         trace: traces.map(RunTrace::from_ranks),
     })
 }
@@ -708,6 +1018,69 @@ mod tests {
         assert_eq!(sim.live_nodes, thr.outputs[0].n_live_nodes());
         assert_eq!(sim.live_arcs, thr.outputs[0].n_live_arcs());
         assert_eq!(sim.output_bytes, thr.output_bytes);
+    }
+
+    #[test]
+    fn sim_segment_replays_the_pipeline_resolution_exactly() {
+        use crate::pipeline::{run_parallel, Input, PipelineParams};
+        use std::sync::Arc;
+        let field = Arc::new(msp_synth::white_noise(Dims::cube(9), 10));
+        let plan = MergePlan::full_merge(8);
+        let sim = simulate(
+            &field,
+            8,
+            &SimParams {
+                plan: plan.clone(),
+                segment: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let thr = run_parallel(
+            &Input::Memory(field.clone()),
+            8,
+            8,
+            &PipelineParams {
+                plan,
+                segment: true,
+                ..Default::default()
+            },
+            None,
+        )
+        .unwrap();
+        // the sequential replay must reproduce the distributed
+        // protocol's counters bit for bit, not just approximately
+        let rk0 = &thr.telemetry.ranks[0];
+        assert_eq!(sim.seg_rounds, rk0.counter("seg_rounds"));
+        assert_eq!(
+            sim.seg_forwards,
+            thr.telemetry.counter_total("seg_forwards")
+        );
+        assert_eq!(
+            sim.seg_bytes,
+            thr.telemetry.counter_total("seg_boundary_bytes")
+        );
+        assert!(sim.seg_rounds <= msp_segment::jump_round_bound(sim.seg_forwards));
+        assert!(sim.seg_label_s > 0.0);
+        assert!(sim.seg_output_bytes > 0);
+        assert!(sim.total_s >= sim.seg_write_s);
+    }
+
+    #[test]
+    fn sim_segment_off_reports_zeros() {
+        let f = msp_synth::white_noise(Dims::cube(9), 4);
+        let params = SimParams {
+            plan: MergePlan::full_merge(8),
+            ..Default::default()
+        };
+        let r = simulate(&f, 8, &params).unwrap();
+        assert_eq!(r.seg_rounds, 0);
+        assert_eq!(r.seg_forwards, 0);
+        assert_eq!(r.seg_bytes, 0);
+        assert_eq!(r.seg_output_bytes, 0);
+        assert_eq!(r.seg_label_s, 0.0);
+        assert_eq!(r.seg_resolve_s, 0.0);
+        assert_eq!(r.seg_write_s, 0.0);
     }
 
     #[test]

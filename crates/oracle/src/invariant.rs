@@ -66,6 +66,11 @@ pub struct InvariantReport {
     pub boundary: u64,
     /// Arc geometries that are not valid V-paths of the gradient.
     pub vpath: u64,
+    /// Segmentation violations (malformed label tables, labels that
+    /// change along a V-path, representatives that are not live critical
+    /// cells of the covering complex); see
+    /// [`segcheck`](crate::segcheck).
+    pub segment: u64,
     /// True when the semantic tier actually ran (fields available and
     /// within the cell limit).
     pub semantic: bool,
@@ -76,14 +81,14 @@ pub struct InvariantReport {
 impl InvariantReport {
     /// Total violations across all classes.
     pub fn total(&self) -> u64 {
-        self.structural + self.euler + self.boundary + self.vpath
+        self.structural + self.euler + self.boundary + self.vpath + self.segment
     }
 
     pub fn is_clean(&self) -> bool {
         self.total() == 0
     }
 
-    fn note(&mut self, opts: &CheckOptions, msg: String) {
+    pub(crate) fn note(&mut self, opts: &CheckOptions, msg: String) {
         if self.notes.len() < opts.max_notes {
             self.notes.push(msg);
         }

@@ -19,6 +19,10 @@
 //!   structural integrity, Euler characteristic, boundary-flag
 //!   correctness, boundary-node preservation under simplification,
 //!   V-path validity of every traced arc geometry, and glue idempotency.
+//! * [`segcheck`] — a naive step-at-a-time reference segmentation (no
+//!   code shared with `msp-segment`) plus invariants over the resolved
+//!   labeled volumes: V-path label constancy and representative
+//!   liveness in the covering complex.
 //! * [`case`] + [`mutate`] — deterministic fuzz-case generation /
 //!   shrinking / replay (driven by the workspace `oracle_fuzz` binary)
 //!   and gradient mutation for checker self-tests.
@@ -31,6 +35,7 @@ pub mod case;
 pub mod invariant;
 pub mod mutate;
 pub mod reference;
+pub mod segcheck;
 
 pub use case::{Case, FieldKind, Schedule};
 pub use invariant::{
@@ -40,4 +45,8 @@ pub use invariant::{
 pub use mutate::drop_pairing;
 pub use reference::{
     arcs_of_store, diff_arcs, diff_gradient, reference_arcs, reference_gradient, RefArc,
+};
+pub use segcheck::{
+    check_segmentation_block, check_segmentation_tables, diff_segmentation, reference_segmentation,
+    RefSegmentation, SegView, SEG_DRAIN_ADDR, SEG_DRAIN_LABEL,
 };

@@ -1,0 +1,498 @@
+//! Segmentation oracle: a naive reference labeling plus invariant
+//! checks over the pipeline's Morse-Smale segmentation.
+//!
+//! Shares **no code** with `msp-segment`: where the production path
+//! batches pointer doubling over flat successor arrays, the reference
+//! walks every V-path one gradient step at a time, re-deriving the step
+//! from the pairing at each cell, until it reaches a critical cell or
+//! falls off the domain. Deliberately quadratic in path length —
+//! obviousness over speed, like the rest of this crate.
+//!
+//! Two layers:
+//!
+//! * [`reference_segmentation`] + [`diff_segmentation`] — the raw
+//!   (pre-resolution) per-block labels the local stage must produce,
+//!   diffed address-by-address in the fuzz harness;
+//! * [`check_segmentation_block`] + [`check_segmentation_tables`] —
+//!   invariants over the *resolved* segmentation: label tables sorted
+//!   and labels in range, labels constant along every V-path (one
+//!   gradient step never changes the basin/mountain), and every
+//!   representative a live critical cell of matching Morse index in the
+//!   covering output complex (or the drain).
+
+use crate::invariant::{CheckOptions, InvariantReport};
+use msp_complex::MsComplex;
+use msp_grid::{BlockBox, RCoord, RefinedDims};
+use msp_morse::gradient::GradientField;
+use std::collections::HashMap;
+
+/// Sentinel address for ascending paths that exit the domain through a
+/// boundary face (mirrors `msp_segment::DRAIN_ADDR` by value only).
+pub const SEG_DRAIN_ADDR: u64 = u64::MAX;
+
+/// Sentinel label-array entry for the drain (mirrors
+/// `msp_segment::DRAIN_LABEL` by value only).
+pub const SEG_DRAIN_LABEL: u32 = u32::MAX;
+
+/// The naive reference segmentation of one block: the critical-cell
+/// address every vertex descends to and every voxel ascends to, in
+/// block-local x-fastest order ([`SEG_DRAIN_ADDR`] = off the domain).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefSegmentation {
+    pub vdims: [u32; 3],
+    pub min_addr: Vec<u64>,
+    pub max_addr: Vec<u64>,
+}
+
+/// One descending step from a non-critical vertex: across its partner
+/// edge to the edge's other endpoint.
+fn vertex_step(grad: &GradientField, v: RCoord) -> RCoord {
+    let e = grad
+        .partner(v)
+        .expect("non-critical vertex is paired with an edge");
+    let axis = (0..3).find(|&ax| e.get(ax) % 2 == 1).expect("edge axis");
+    e.with(axis, 2 * e.get(axis) - v.get(axis))
+}
+
+/// One ascending step from a non-critical voxel: across its partner
+/// quad to the quad's other voxel cofacet, or `None` when the quad lies
+/// on the domain boundary (the path drains).
+fn voxel_step(grad: &GradientField, refined: &RefinedDims, c: RCoord) -> Option<RCoord> {
+    let q = grad
+        .partner(c)
+        .expect("non-critical voxel is paired with a quad");
+    let axis = (0..3)
+        .find(|&ax| q.get(ax).is_multiple_of(2))
+        .expect("quad axis");
+    let other = 2 * q.get(axis) as i64 - c.get(axis) as i64;
+    let extent = [refined.rx, refined.ry, refined.rz][axis];
+    if other < 0 || other as u64 >= extent {
+        None
+    } else {
+        Some(q.with(axis, other as u32))
+    }
+}
+
+/// Walk every V-path of the block one step at a time and record where
+/// it ends. `refined` is the refined grid of the whole dataset (so the
+/// recorded addresses are global).
+pub fn reference_segmentation(
+    block: &BlockBox,
+    refined: &RefinedDims,
+    grad: &GradientField,
+) -> RefSegmentation {
+    let d = block.dims();
+    let lo = block.lo;
+    let mut min_addr = Vec::with_capacity((d.nx * d.ny * d.nz) as usize);
+    for z in 0..d.nz {
+        for y in 0..d.ny {
+            for x in 0..d.nx {
+                let mut v = RCoord::of_vertex(lo[0] + x, lo[1] + y, lo[2] + z);
+                while !grad.is_critical(v) {
+                    v = vertex_step(grad, v);
+                }
+                min_addr.push(v.address(refined));
+            }
+        }
+    }
+    let (cx, cy, cz) = (
+        d.nx.saturating_sub(1),
+        d.ny.saturating_sub(1),
+        d.nz.saturating_sub(1),
+    );
+    let mut max_addr = Vec::with_capacity((cx * cy * cz) as usize);
+    for z in 0..cz {
+        for y in 0..cy {
+            for x in 0..cx {
+                let mut c = RCoord::new(
+                    2 * (lo[0] + x) + 1,
+                    2 * (lo[1] + y) + 1,
+                    2 * (lo[2] + z) + 1,
+                );
+                let addr = loop {
+                    if grad.is_critical(c) {
+                        break c.address(refined);
+                    }
+                    match voxel_step(grad, refined, c) {
+                        Some(next) => c = next,
+                        None => break SEG_DRAIN_ADDR,
+                    }
+                };
+                max_addr.push(addr);
+            }
+        }
+    }
+    RefSegmentation {
+        vdims: [d.nx, d.ny, d.nz],
+        min_addr,
+        max_addr,
+    }
+}
+
+/// Diff a production block labeling (already mapped to global extremum
+/// addresses) against the reference walk. Returns a description of the
+/// first few mismatches, or `None` when identical.
+pub fn diff_segmentation(
+    got_min: &[u64],
+    got_max: &[u64],
+    want: &RefSegmentation,
+) -> Option<String> {
+    for (what, got, want) in [
+        ("vertex", got_min, &want.min_addr),
+        ("voxel", got_max, &want.max_addr),
+    ] {
+        if got.len() != want.len() {
+            return Some(format!(
+                "{what} label count differs: {} vs reference {}",
+                got.len(),
+                want.len()
+            ));
+        }
+        let mut mismatches = 0u64;
+        let mut first = String::new();
+        for (i, (g, w)) in got.iter().zip(want).enumerate() {
+            if g != w {
+                if mismatches < 4 {
+                    first.push_str(&format!(" [{what} {i}] got {g:#x} want {w:#x}"));
+                }
+                mismatches += 1;
+            }
+        }
+        if mismatches > 0 {
+            return Some(format!("{mismatches} {what} label(s) differ:{first}"));
+        }
+    }
+    None
+}
+
+/// A borrowed view of one block's (resolved) segmentation, kept as
+/// plain slices so this crate stays independent of `msp-segment`.
+#[derive(Debug, Clone, Copy)]
+pub struct SegView<'a> {
+    pub block_id: u32,
+    pub vdims: [u32; 3],
+    /// Descending representatives (global addresses, expected sorted).
+    pub mins: &'a [u64],
+    /// Ascending representatives (global addresses, expected sorted).
+    pub maxs: &'a [u64],
+    /// Per-vertex index into `mins` ([`SEG_DRAIN_LABEL`] = drain).
+    pub min_label: &'a [u32],
+    /// Per-voxel index into `maxs` ([`SEG_DRAIN_LABEL`] = drain).
+    pub max_label: &'a [u32],
+}
+
+/// Invariants checkable from the block alone: well-formed tables and
+/// labels, and label constancy along every V-path — walking one
+/// gradient step from any cell must land on a cell with the same label
+/// (resolution maps roots, so constancy survives it). Violations are
+/// counted into `report.segment`.
+pub fn check_segmentation_block(
+    seg: &SegView,
+    block: &BlockBox,
+    refined: &RefinedDims,
+    grad: &GradientField,
+    opts: &CheckOptions,
+    report: &mut InvariantReport,
+) {
+    let d = block.dims();
+    let id = seg.block_id;
+    if seg.vdims != [d.nx, d.ny, d.nz] {
+        report.segment += 1;
+        report.note(
+            opts,
+            format!(
+                "seg block {id}: vdims {:?} but the block is {:?}",
+                seg.vdims,
+                [d.nx, d.ny, d.nz]
+            ),
+        );
+        return;
+    }
+    for (what, table) in [("mins", seg.mins), ("maxs", seg.maxs)] {
+        if !table.windows(2).all(|w| w[0] < w[1]) {
+            report.segment += 1;
+            report.note(opts, format!("seg block {id}: {what} not sorted/unique"));
+        }
+    }
+    let n_verts = (d.nx * d.ny * d.nz) as usize;
+    let n_voxels =
+        (d.nx.saturating_sub(1) * d.ny.saturating_sub(1) * d.nz.saturating_sub(1)) as usize;
+    for (what, labels, n, table_len) in [
+        ("vertex", seg.min_label, n_verts, seg.mins.len()),
+        ("voxel", seg.max_label, n_voxels, seg.maxs.len()),
+    ] {
+        if labels.len() != n {
+            report.segment += 1;
+            report.note(
+                opts,
+                format!(
+                    "seg block {id}: {} {what} labels for {n} cells",
+                    labels.len()
+                ),
+            );
+            return;
+        }
+        for (i, &l) in labels.iter().enumerate() {
+            if l != SEG_DRAIN_LABEL && l as usize >= table_len {
+                report.segment += 1;
+                report.note(
+                    opts,
+                    format!("seg block {id}: {what} {i} label {l} out of range {table_len}"),
+                );
+                return;
+            }
+        }
+    }
+
+    // label constancy along one gradient step, for every cell
+    let lo = block.lo;
+    let (nx, ny) = (d.nx as usize, d.ny as usize);
+    let vindex = |c: RCoord| {
+        (c.x / 2 - lo[0]) as usize
+            + nx * ((c.y / 2 - lo[1]) as usize + ny * ((c.z / 2 - lo[2]) as usize))
+    };
+    for (i, &l) in seg.min_label.iter().enumerate() {
+        let (x, r) = (i % nx, i / nx);
+        let (y, z) = (r % ny, r / ny);
+        let v = RCoord::of_vertex(lo[0] + x as u32, lo[1] + y as u32, lo[2] + z as u32);
+        if grad.is_critical(v) {
+            continue;
+        }
+        let next = seg.min_label[vindex(vertex_step(grad, v))];
+        if next != l {
+            report.segment += 1;
+            report.note(
+                opts,
+                format!("seg block {id}: vertex {i} label {l} changes to {next} one step down"),
+            );
+            return;
+        }
+    }
+    let (mx, my) = (
+        d.nx.saturating_sub(1) as usize,
+        d.ny.saturating_sub(1) as usize,
+    );
+    let cindex = |c: RCoord| {
+        ((c.x - 1) / 2 - lo[0]) as usize
+            + mx * (((c.y - 1) / 2 - lo[1]) as usize + my * (((c.z - 1) / 2 - lo[2]) as usize))
+    };
+    for (i, &l) in seg.max_label.iter().enumerate() {
+        let (x, r) = (i % mx.max(1), i / mx.max(1));
+        let (y, z) = (r % my.max(1), r / my.max(1));
+        let c = RCoord::new(
+            2 * (lo[0] + x as u32) + 1,
+            2 * (lo[1] + y as u32) + 1,
+            2 * (lo[2] + z as u32) + 1,
+        );
+        if grad.is_critical(c) {
+            continue;
+        }
+        let next = match voxel_step(grad, refined, c) {
+            Some(w) => seg.max_label[cindex(w)],
+            None => SEG_DRAIN_LABEL,
+        };
+        if next != l {
+            report.segment += 1;
+            report.note(
+                opts,
+                format!("seg block {id}: voxel {i} label {l} changes to {next} one step up"),
+            );
+            return;
+        }
+    }
+}
+
+/// Cross-structure invariant: every representative in a block's
+/// extremum tables must be a **live critical node of matching Morse
+/// index** (0 for mins, 3 for maxs) in the output complex covering that
+/// block, or the drain. Needs the gathered run result, so it runs on
+/// the driver side (`msc --check`, fuzz), not inside the pipeline.
+pub fn check_segmentation_tables(
+    outputs: &[MsComplex],
+    tables: &[(u32, Vec<u64>, Vec<u64>)],
+    opts: &CheckOptions,
+    report: &mut InvariantReport,
+) {
+    // block id -> (live addr -> Morse index) of its covering complex
+    let mut covering: HashMap<u32, usize> = HashMap::new();
+    let live: Vec<HashMap<u64, u8>> = outputs
+        .iter()
+        .enumerate()
+        .map(|(i, ms)| {
+            for &b in &ms.member_blocks {
+                covering.insert(b, i);
+            }
+            ms.nodes
+                .iter()
+                .filter(|n| n.alive)
+                .map(|n| (n.addr, n.index))
+                .collect()
+        })
+        .collect();
+    for (block_id, mins, maxs) in tables {
+        let Some(&ci) = covering.get(block_id) else {
+            report.segment += 1;
+            report.note(
+                opts,
+                format!("seg block {block_id}: no output complex covers it"),
+            );
+            continue;
+        };
+        for (what, table, want_index) in [("min", mins, 0u8), ("max", maxs, 3u8)] {
+            for &addr in table {
+                if addr == SEG_DRAIN_ADDR {
+                    continue;
+                }
+                match live[ci].get(&addr) {
+                    Some(&idx) if idx == want_index => {}
+                    Some(&idx) => {
+                        report.segment += 1;
+                        report.note(
+                            opts,
+                            format!(
+                                "seg block {block_id}: {what} rep {addr:#x} has Morse \
+                                 index {idx} in the covering complex"
+                            ),
+                        );
+                    }
+                    None => {
+                        report.segment += 1;
+                        report.note(
+                            opts,
+                            format!(
+                                "seg block {block_id}: {what} rep {addr:#x} is not a \
+                                 live node of the covering complex"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msp_grid::{Decomposition, Dims};
+    use msp_morse::assign_gradient;
+
+    fn block_setup(dims: Dims, seed: u64) -> (Decomposition, RefinedDims, GradientField) {
+        let f = msp_synth::white_noise(dims, seed);
+        let d = Decomposition::bisect(dims, 1);
+        let bf = f.extract_block(d.block(0));
+        let grad = assign_gradient(&bf, &d);
+        (d, dims.refined(), grad)
+    }
+
+    #[test]
+    fn reference_walk_labels_every_cell() {
+        let dims = Dims::cube(6);
+        let (d, refined, grad) = block_setup(dims, 42);
+        let r = reference_segmentation(d.block(0), &refined, &grad);
+        assert_eq!(r.min_addr.len(), 6 * 6 * 6);
+        assert_eq!(r.max_addr.len(), 5 * 5 * 5);
+        // every recorded min is a critical vertex address
+        let crits: Vec<u64> = grad
+            .critical_cells()
+            .into_iter()
+            .filter(|c| c.cell_dim() == 0)
+            .map(|c| c.address(&refined))
+            .collect();
+        for a in &r.min_addr {
+            assert!(crits.contains(a), "{a:#x} not a critical vertex");
+        }
+    }
+
+    #[test]
+    fn reference_walk_is_step_invariant() {
+        // the defining property, checked against itself: one step from
+        // any non-critical vertex keeps the recorded address
+        let dims = Dims::new(7, 5, 6);
+        let (d, refined, grad) = block_setup(dims, 7);
+        let r = reference_segmentation(d.block(0), &refined, &grad);
+        for (i, &a) in r.min_addr.iter().enumerate() {
+            let (x, rr) = (i % 7, i / 7);
+            let (y, z) = (rr % 5, rr / 5);
+            let v = RCoord::of_vertex(x as u32, y as u32, z as u32);
+            if grad.is_critical(v) {
+                assert_eq!(v.address(&refined), a);
+            } else {
+                let w = vertex_step(&grad, v);
+                let wi = (w.x / 2) as usize + 7 * ((w.y / 2) as usize + 5 * (w.z / 2) as usize);
+                assert_eq!(r.min_addr[wi], a, "vertex {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_check_accepts_the_reference_labeling() {
+        let dims = Dims::cube(6);
+        let (d, refined, grad) = block_setup(dims, 3);
+        let r = reference_segmentation(d.block(0), &refined, &grad);
+        // build tables + labels from the reference addresses
+        let mut mins: Vec<u64> = r.min_addr.clone();
+        mins.sort_unstable();
+        mins.dedup();
+        let mut maxs: Vec<u64> = r
+            .max_addr
+            .iter()
+            .copied()
+            .filter(|&a| a != SEG_DRAIN_ADDR)
+            .collect();
+        maxs.sort_unstable();
+        maxs.dedup();
+        let min_label: Vec<u32> = r
+            .min_addr
+            .iter()
+            .map(|a| mins.binary_search(a).unwrap() as u32)
+            .collect();
+        let max_label: Vec<u32> = r
+            .max_addr
+            .iter()
+            .map(|&a| {
+                if a == SEG_DRAIN_ADDR {
+                    SEG_DRAIN_LABEL
+                } else {
+                    maxs.binary_search(&a).unwrap() as u32
+                }
+            })
+            .collect();
+        let seg = SegView {
+            block_id: 0,
+            vdims: r.vdims,
+            mins: &mins,
+            maxs: &maxs,
+            min_label: &min_label,
+            max_label: &max_label,
+        };
+        let opts = CheckOptions::default();
+        let mut report = InvariantReport::default();
+        check_segmentation_block(&seg, d.block(0), &refined, &grad, &opts, &mut report);
+        assert_eq!(report.segment, 0, "{:?}", report.notes);
+
+        // and rejects a corrupted labeling
+        let mut bad = min_label.clone();
+        let flip = bad.iter().position(|&l| l != bad[0]).unwrap();
+        bad[flip] = bad[0];
+        let seg_bad = SegView {
+            min_label: &bad,
+            ..seg
+        };
+        let mut report = InvariantReport::default();
+        check_segmentation_block(&seg_bad, d.block(0), &refined, &grad, &opts, &mut report);
+        assert!(report.segment > 0, "corruption must be detected");
+    }
+
+    #[test]
+    fn diff_reports_an_injected_difference() {
+        let dims = Dims::cube(5);
+        let (d, refined, grad) = block_setup(dims, 9);
+        let r = reference_segmentation(d.block(0), &refined, &grad);
+        assert_eq!(diff_segmentation(&r.min_addr, &r.max_addr, &r), None);
+        let mut bad = r.min_addr.clone();
+        bad[0] ^= 1;
+        let msg = diff_segmentation(&bad, &r.max_addr, &r).expect("must differ");
+        assert!(msg.contains("vertex"), "{msg}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Canonical serialization of a block segmentation (`SEG1`).
+//!
+//! The encoding is a pure function of the segmentation content — tables
+//! sorted, labels in block-local x-fastest order — so two runs that
+//! computed the same labeled volume produce byte-identical payloads
+//! regardless of rank count, thread count or merge schedule. This is
+//! the byte-identity contract the proptests and the verify smoke gate
+//! on.
+//!
+//! ```text
+//! "SEG1"                       magic
+//! u32  block_id
+//! u32 ×3 vdims                 vertex-grid dims
+//! u32 ×3 origin                block origin (vertex coords, full grid)
+//! u32  n_mins, u64 ×n          descending representatives (sorted)
+//! u32  n_maxs, u64 ×n          ascending representatives (sorted)
+//! u32 ×n_verts  min_label
+//! u32 ×n_voxels max_label      (u32::MAX = drain)
+//! ```
+
+use crate::BlockSegmentation;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"SEG1";
+
+/// Encode one block segmentation.
+pub fn serialize(seg: &BlockSegmentation) -> Bytes {
+    let mut b = BytesMut::with_capacity(
+        40 + 8 * (seg.mins.len() + seg.maxs.len())
+            + 4 * (seg.min_label.len() + seg.max_label.len()),
+    );
+    b.put_slice(MAGIC);
+    b.put_u32_le(seg.block_id);
+    for d in seg.vdims {
+        b.put_u32_le(d);
+    }
+    for o in seg.origin {
+        b.put_u32_le(o);
+    }
+    b.put_u32_le(seg.mins.len() as u32);
+    for &a in &seg.mins {
+        b.put_u64_le(a);
+    }
+    b.put_u32_le(seg.maxs.len() as u32);
+    for &a in &seg.maxs {
+        b.put_u64_le(a);
+    }
+    for &l in &seg.min_label {
+        b.put_u32_le(l);
+    }
+    for &l in &seg.max_label {
+        b.put_u32_le(l);
+    }
+    b.freeze()
+}
+
+/// Decode a `SEG1` payload.
+pub fn deserialize(mut b: &[u8]) -> Result<BlockSegmentation, String> {
+    let need = |b: &[u8], n: usize, what: &str| {
+        if b.len() < n {
+            Err(format!("truncated SEG1 payload reading {what}"))
+        } else {
+            Ok(())
+        }
+    };
+    need(b, 4, "magic")?;
+    if &b[..4] != MAGIC {
+        return Err("bad SEG1 magic".into());
+    }
+    b.advance(4);
+    need(b, 28, "header")?;
+    let block_id = b.get_u32_le();
+    let vdims = [b.get_u32_le(), b.get_u32_le(), b.get_u32_le()];
+    let origin = [b.get_u32_le(), b.get_u32_le(), b.get_u32_le()];
+    let n_verts = vdims.iter().map(|&d| d as usize).product::<usize>();
+    let n_voxels = vdims
+        .iter()
+        .map(|&d| d.saturating_sub(1) as usize)
+        .product::<usize>();
+    let read_table = |b: &mut &[u8]| -> Result<Vec<u64>, String> {
+        need(b, 4, "table length")?;
+        let n = b.get_u32_le() as usize;
+        need(b, 8 * n, "table")?;
+        Ok((0..n).map(|_| b.get_u64_le()).collect())
+    };
+    let mins = read_table(&mut b)?;
+    let maxs = read_table(&mut b)?;
+    let read_labels = |b: &mut &[u8], n: usize| -> Result<Vec<u32>, String> {
+        need(b, 4 * n, "labels")?;
+        Ok((0..n).map(|_| b.get_u32_le()).collect())
+    };
+    let min_label = read_labels(&mut b, n_verts)?;
+    let max_label = read_labels(&mut b, n_voxels)?;
+    if !b.is_empty() {
+        return Err(format!("{} trailing byte(s) in SEG1 payload", b.len()));
+    }
+    Ok(BlockSegmentation {
+        block_id,
+        vdims,
+        origin,
+        mins,
+        maxs,
+        min_label,
+        max_label,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BlockSegmentation {
+        BlockSegmentation {
+            block_id: 3,
+            vdims: [2, 2, 2],
+            origin: [4, 0, 2],
+            mins: vec![0, 9],
+            maxs: vec![13],
+            min_label: vec![0, 0, 1, 1, 0, 0, 1, 1],
+            max_label: vec![u32::MAX],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let s = sample();
+        let enc = serialize(&s);
+        assert_eq!(deserialize(&enc).unwrap(), s);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(deserialize(b"nope").is_err());
+        assert!(deserialize(b"").is_err());
+        let enc = serialize(&sample());
+        assert!(deserialize(&enc[..enc.len() - 1]).is_err());
+        let mut extra = enc.to_vec();
+        extra.push(0);
+        assert!(deserialize(&extra).is_err());
+    }
+}

@@ -61,10 +61,24 @@ pub enum Counter {
     /// Invalid-V-path violations (arc geometry not a gradient path)
     /// found by the checker.
     CheckVpath,
+    /// Segmentation invariant violations (malformed label tables, labels
+    /// that change along a V-path, representatives that are not live
+    /// critical cells) found by the checker.
+    CheckSegment,
+    /// Forward entries recorded for cancelled extrema (`--segment`).
+    SegForwards,
+    /// Pointer-jump rounds run to reach the segmentation fixed point.
+    SegRounds,
+    /// Bytes exchanged by the segmentation resolution protocol (pair
+    /// routing, jump queries/replies, table resolution).
+    SegBoundaryBytes,
+    /// Representative rewrites: pointer advances during jumping plus
+    /// extremum-table entries that changed in the final resolution.
+    SegRelabels,
 }
 
 /// All counters, in report order.
-pub const ALL_COUNTERS: [Counter; 22] = [
+pub const ALL_COUNTERS: [Counter; 27] = [
     Counter::CellsPaired,
     Counter::CriticalCells,
     Counter::ArcsTraced,
@@ -87,6 +101,11 @@ pub const ALL_COUNTERS: [Counter; 22] = [
     Counter::CheckEuler,
     Counter::CheckBoundary,
     Counter::CheckVpath,
+    Counter::CheckSegment,
+    Counter::SegForwards,
+    Counter::SegRounds,
+    Counter::SegBoundaryBytes,
+    Counter::SegRelabels,
 ];
 
 impl Counter {
@@ -117,6 +136,11 @@ impl Counter {
             Counter::CheckEuler => "check_euler",
             Counter::CheckBoundary => "check_boundary",
             Counter::CheckVpath => "check_vpath",
+            Counter::CheckSegment => "check_segment",
+            Counter::SegForwards => "seg_forwards",
+            Counter::SegRounds => "seg_rounds",
+            Counter::SegBoundaryBytes => "seg_boundary_bytes",
+            Counter::SegRelabels => "seg_relabels",
         }
     }
 

@@ -18,6 +18,9 @@ pub enum Phase {
     Gradient,
     /// V-path tracing and complex construction (§IV-D).
     Trace,
+    /// Per-block segmentation labeling (`--segment`): extremum label
+    /// propagation along the local gradient.
+    Segment,
     /// Initial local persistence simplification (§IV-E).
     Simplify,
     /// One radix-k merge round (§IV-F); zero-based round index.
@@ -28,6 +31,9 @@ pub enum Phase {
     /// Re-simplification of newly interior nodes after a glue; nested
     /// inside a merge round.
     Resimplify,
+    /// Distributed segmentation resolution (`--segment`): pointer-jump
+    /// rounds over the forward map plus the final table rewrite.
+    SegResolve,
     /// Collective write of output blocks (§IV-G).
     Write,
     /// Invariant checking of the output complexes (`--check` /
@@ -45,9 +51,11 @@ impl Phase {
             Phase::Gradient => "gradient".to_string(),
             Phase::Trace => "trace".to_string(),
             Phase::Simplify => "simplify".to_string(),
+            Phase::Segment => "segment".to_string(),
             Phase::MergeRound(k) => format!("merge_round[{k}]"),
             Phase::Glue => "glue".to_string(),
             Phase::Resimplify => "resimplify".to_string(),
+            Phase::SegResolve => "seg_resolve".to_string(),
             Phase::Write => "write".to_string(),
             Phase::Check => "check".to_string(),
             Phase::Total => "total".to_string(),
@@ -62,8 +70,10 @@ impl Phase {
             "gradient" => Some(Phase::Gradient),
             "trace" => Some(Phase::Trace),
             "simplify" => Some(Phase::Simplify),
+            "segment" => Some(Phase::Segment),
             "glue" => Some(Phase::Glue),
             "resimplify" => Some(Phase::Resimplify),
+            "seg_resolve" => Some(Phase::SegResolve),
             "write" => Some(Phase::Write),
             "check" => Some(Phase::Check),
             "total" => Some(Phase::Total),
@@ -96,11 +106,13 @@ mod tests {
             Phase::Read,
             Phase::Gradient,
             Phase::Trace,
+            Phase::Segment,
             Phase::Simplify,
             Phase::MergeRound(0),
             Phase::MergeRound(13),
             Phase::Glue,
             Phase::Resimplify,
+            Phase::SegResolve,
             Phase::Write,
             Phase::Check,
             Phase::Total,

@@ -62,6 +62,13 @@ pub enum CommError {
     },
     /// The peer's endpoint is gone (its thread returned or panicked).
     Disconnected { peer: usize, tag: u32 },
+    /// A typed message failed to decode — a protocol bug on the sender,
+    /// surfaced as an error so the pipeline's failure path stays uniform.
+    Protocol {
+        from: usize,
+        tag: u32,
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for CommError {
@@ -74,6 +81,12 @@ impl std::fmt::Display for CommError {
             ),
             CommError::Disconnected { peer, tag } => {
                 write!(f, "rank {peer} disconnected (tag {tag:#x})")
+            }
+            CommError::Protocol { from, tag, detail } => {
+                write!(
+                    f,
+                    "malformed message from rank {from} (tag {tag:#x}): {detail}"
+                )
             }
         }
     }

@@ -52,15 +52,47 @@ pub fn read_runs(path: &Path, runs: &[(u64, u64)]) -> io::Result<Vec<u8>> {
 
 /// Collectively write this rank's payload blocks (possibly none) and the
 /// footer. Every rank must call this; returns the footer on every rank.
+/// Payloads land in rank order (rank 0's blocks first); the footer's
+/// third field records the writing rank.
 pub fn collective_write_blocks(
     rank: &Rank,
     path: &Path,
     payloads: &[Bytes],
 ) -> io::Result<Vec<FooterEntry>> {
-    // 1. announce sizes
-    let mut size_msg = BytesMut::with_capacity(4 + payloads.len() * 8);
+    collective_write_impl(rank, path, payloads, None)
+}
+
+/// Like [`collective_write_blocks`], but payloads are placed in the file
+/// in ascending **key** order across all ranks (keys must be globally
+/// unique — e.g. block ids), and the footer's third field records the
+/// key instead of the writing rank. Because neither placement nor
+/// footer depends on which rank contributed which payload, the same
+/// payload/key sets produce a **byte-identical file for every rank
+/// count** — the determinism contract of the `.seg` labeled volume.
+pub fn collective_write_blocks_keyed(
+    rank: &Rank,
+    path: &Path,
+    payloads: &[Bytes],
+    keys: &[u64],
+) -> io::Result<Vec<FooterEntry>> {
+    debug_assert_eq!(payloads.len(), keys.len());
+    collective_write_impl(rank, path, payloads, Some(keys))
+}
+
+fn collective_write_impl(
+    rank: &Rank,
+    path: &Path,
+    payloads: &[Bytes],
+    keys: Option<&[u64]>,
+) -> io::Result<Vec<FooterEntry>> {
+    // 1. announce sizes (and keys, for keyed writes)
+    let per = if keys.is_some() { 16 } else { 8 };
+    let mut size_msg = BytesMut::with_capacity(4 + payloads.len() * per);
     size_msg.put_u32_le(payloads.len() as u32);
-    for p in payloads {
+    for (i, p) in payloads.iter().enumerate() {
+        if let Some(ks) = keys {
+            size_msg.put_u64_le(ks[i]);
+        }
         size_msg.put_u64_le(p.len() as u64);
     }
     let gathered = rank
@@ -71,25 +103,40 @@ pub fn collective_write_blocks(
     let footer: Vec<FooterEntry>;
     let my_offsets: Vec<u64>;
     if let Some(all) = gathered {
-        let mut entries = Vec::new();
-        let mut per_rank_offsets: Vec<Vec<u64>> = Vec::with_capacity(rank.size());
-        let mut cursor = 0u64;
+        // (sort key, writer rank, writer-local index, len)
+        let mut blocks: Vec<(u64, usize, usize, u64)> = Vec::new();
         for (r, msg) in all.iter().enumerate() {
             let mut b = &msg[..];
             let n = b.get_u32_le() as usize;
-            let mut offs = Vec::with_capacity(n);
-            for _ in 0..n {
+            for i in 0..n {
+                let key = if keys.is_some() { b.get_u64_le() } else { 0 };
                 let len = b.get_u64_le();
-                offs.push(cursor);
-                entries.push(FooterEntry {
-                    offset: cursor,
-                    len,
-                    writer: r as u32,
-                });
-                cursor += len;
+                blocks.push((key, r, i, len));
             }
-            per_rank_offsets.push(offs);
         }
+        // Plain writes keep gather order (key 0 everywhere, rank/index
+        // tie-break); keyed writes interleave ranks into global key order.
+        blocks.sort();
+        let mut entries = Vec::with_capacity(blocks.len());
+        let mut per_rank_offsets: Vec<Vec<(usize, u64)>> = vec![Vec::new(); rank.size()];
+        let mut cursor = 0u64;
+        for &(key, r, i, len) in &blocks {
+            per_rank_offsets[r].push((i, cursor));
+            entries.push(FooterEntry {
+                offset: cursor,
+                len,
+                writer: if keys.is_some() { key as u32 } else { r as u32 },
+            });
+            cursor += len;
+        }
+        // offsets travel in each rank's local payload order
+        let mut per_rank_offsets: Vec<Vec<u64>> = per_rank_offsets
+            .into_iter()
+            .map(|mut v| {
+                v.sort();
+                v.into_iter().map(|(_, o)| o).collect()
+            })
+            .collect();
         // create/truncate the file before anyone writes
         File::create(path)?;
         // broadcast the full footer, then send each rank its offsets
@@ -241,6 +288,48 @@ mod tests {
             cursor += e.len;
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn keyed_write_is_rank_count_invariant() {
+        // 6 payloads with block-cyclic keys: the 3-rank collective write
+        // must produce the same bytes as a 1-rank write of the full set.
+        let payloads: Vec<Bytes> = (0u8..6)
+            .map(|k| Bytes::from(vec![k; 5 + k as usize]))
+            .collect();
+        let keys: Vec<u64> = (0..6).collect();
+
+        let p1 = tmp("keyed1.bin");
+        let (sp, sk, q1) = (payloads.clone(), keys.clone(), p1.clone());
+        Universe::run(1, move |r| {
+            collective_write_blocks_keyed(r, &q1, &sp, &sk).unwrap();
+        });
+
+        let p3 = tmp("keyed3.bin");
+        let (sp, sk, q3) = (payloads.clone(), keys.clone(), p3.clone());
+        let footers = Universe::run(3, move |r| {
+            // rank r contributes keys r, r+3 (ascending local order)
+            let mine: Vec<usize> = vec![r.rank(), r.rank() + 3];
+            let pl: Vec<Bytes> = mine.iter().map(|&i| sp[i].clone()).collect();
+            let ks: Vec<u64> = mine.iter().map(|&i| sk[i]).collect();
+            collective_write_blocks_keyed(r, &q3, &pl, &ks).unwrap()
+        });
+
+        let a = std::fs::read(&p1).unwrap();
+        let b = std::fs::read(&p3).unwrap();
+        assert_eq!(a, b, "keyed collective write must not depend on ranks");
+
+        // footer is in key order and records keys, and payloads land at
+        // their key-sorted offsets
+        let footer = read_footer(&p3).unwrap();
+        assert_eq!(footer, footers[0]);
+        for (i, e) in footer.iter().enumerate() {
+            assert_eq!(e.writer, i as u32);
+            let data = read_block_payload(&p3, e).unwrap();
+            assert_eq!(data, payloads[i].as_ref());
+        }
+        std::fs::remove_file(&p1).ok();
+        std::fs::remove_file(&p3).ok();
     }
 
     #[test]

@@ -28,6 +28,7 @@
 pub mod comm;
 pub mod fileio;
 pub mod netmodel;
+pub mod pairmsg;
 
 pub use comm::{CommError, CommStats, Inject, Rank, SendFate, Universe};
 pub use netmodel::{IoParams, NetParams, Torus};

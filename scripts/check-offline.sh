@@ -64,6 +64,7 @@ lib msp_telemetry "$root/crates/telemetry/src/lib.rs"
 lib msp_grid      "$root/crates/grid/src/lib.rs"
 lib msp_synth     "$root/crates/synth/src/lib.rs"
 lib msp_morse     "$root/crates/morse/src/lib.rs"
+lib msp_segment   "$root/crates/segment/src/lib.rs"
 lib msp_complex   "$root/crates/complex/src/lib.rs"
 lib msp_oracle    "$root/crates/oracle/src/lib.rs"
 lib msp_vmpi      "$root/crates/vmpi/src/lib.rs"
@@ -104,6 +105,7 @@ if command -v clippy-driver >/dev/null 2>&1; then
   lint_lib msp_grid      "$root/crates/grid/src/lib.rs"
   lint_lib msp_synth     "$root/crates/synth/src/lib.rs"
   lint_lib msp_morse     "$root/crates/morse/src/lib.rs"
+  lint_lib msp_segment   "$root/crates/segment/src/lib.rs"
   lint_lib msp_complex   "$root/crates/complex/src/lib.rs"
   lint_lib msp_oracle    "$root/crates/oracle/src/lib.rs"
   lint_lib msp_vmpi      "$root/crates/vmpi/src/lib.rs"
@@ -140,6 +142,7 @@ unit msp_telemetry "$root/crates/telemetry/src/lib.rs"
 unit msp_grid      "$root/crates/grid/src/lib.rs"
 unit msp_synth     "$root/crates/synth/src/lib.rs"
 unit msp_morse     "$root/crates/morse/src/lib.rs"
+unit msp_segment   "$root/crates/segment/src/lib.rs"
 unit msp_complex   "$root/crates/complex/src/lib.rs"
 unit msp_oracle    "$root/crates/oracle/src/lib.rs"
 unit msp_vmpi      "$root/crates/vmpi/src/lib.rs"
@@ -176,9 +179,31 @@ say "local-stage scaling smoke"
 MSP_CHECK=1 MSP_SCALE=small MSP_THREADS=1,2,4 MSP_RESULTS_DIR="$out/results" \
   "$out/bench_local_scaling"
 
+# ---- segmentation scaling smoke: rank sweep with --segment on, gating
+# ---- on byte-identical labeled volumes, partition-independent round
+# ---- counts and the pointer-jumping round bound
+say "segmentation scaling smoke"
+MSP_CHECK=1 MSP_SCALE=small MSP_RANKS=1,2,4 MSP_RESULTS_DIR="$out/results" \
+  "$out/bench_segment_scaling"
+
+# ---- segmentation end-to-end smoke: a 4-rank --segment --check run
+# ---- must write a labeled volume byte-identical to the 1-rank run,
+# ---- and the labeled-volume export must read it back
+say "segmentation end-to-end smoke"
+"$out/msc" synth --kind noise --size 17 --seed 9 --output "$out/seg.raw"
+"$out/msc" compute --input "$out/seg.raw" --dims 17,17,17 --ranks 1 --blocks 8 \
+  --merge full --segment --check --output "$out/seg1.msc"
+"$out/msc" compute --input "$out/seg.raw" --dims 17,17,17 --ranks 4 --blocks 8 \
+  --merge full --segment --check --output "$out/seg4.msc"
+cmp "$out/seg1.msc.seg" "$out/seg4.msc.seg"
+"$out/msc" export "$out/seg4.msc" --labels combined \
+  --labels-vtk "$out/labels.vtk" --labels-csv "$out/labels.csv"
+
 # ---- differential-fuzz smoke: seeded oracle fuzz iterations plus a
 # ---- replay of the shrunk reproducer corpus; any diff against the
 # ---- reference oracle or any invariant violation exits non-zero
+# ---- (segmentation is fuzzed four ways: raw labeler diff, wire
+# ---- byte-compare, per-block invariants, table liveness)
 say "oracle fuzz smoke"
 "$out/oracle_fuzz" --iters 25 --seed 5
 say "oracle corpus replay"

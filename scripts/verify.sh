@@ -31,9 +31,33 @@ MSP_RESULTS_DIR="$tracedir" cargo run -q --release -p msp-bench --bin trace_chec
 MSP_CHECK=1 MSP_SCALE=small MSP_THREADS=1,2,4 MSP_RESULTS_DIR="$tracedir" \
   cargo run -q --release -p msp-bench --bin local_scaling
 
+# segmentation scaling smoke: rank sweep with --segment on, gating on
+# byte-identical labeled volumes, partition-independent round counts,
+# the pointer-jumping round bound, and the bench-schema round-trip
+MSP_CHECK=1 MSP_SCALE=small MSP_RANKS=1,2,4 MSP_RESULTS_DIR="$tracedir" \
+  cargo run -q --release -p msp-bench --bin segment_scaling
+
+# segmentation end-to-end smoke: a 4-rank --segment --check run must
+# write a labeled volume byte-identical to the 1-rank run, and the
+# labeled-volume export must read it back
+cargo run -q --release --bin msc -- synth --kind noise --size 17 --seed 9 \
+  --output "$tracedir/seg.raw"
+cargo run -q --release --bin msc -- compute --input "$tracedir/seg.raw" \
+  --dims 17,17,17 --ranks 1 --blocks 8 --merge full --segment --check \
+  --output "$tracedir/seg1.msc"
+cargo run -q --release --bin msc -- compute --input "$tracedir/seg.raw" \
+  --dims 17,17,17 --ranks 4 --blocks 8 --merge full --segment --check \
+  --output "$tracedir/seg4.msc"
+cmp "$tracedir/seg1.msc.seg" "$tracedir/seg4.msc.seg"
+cargo run -q --release --bin msc -- export "$tracedir/seg4.msc" \
+  --labels combined --labels-vtk "$tracedir/labels.vtk" \
+  --labels-csv "$tracedir/labels.csv"
+
 # differential-fuzz smoke: seeded oracle fuzz iterations plus a replay
 # of the shrunk reproducer corpus; any diff against the reference
-# oracle or any invariant violation exits non-zero
+# oracle or any invariant violation exits non-zero (segmentation is
+# fuzzed four ways: raw labeler diff, wire byte-compare, per-block
+# invariants, table liveness)
 cargo run -q --release --bin oracle_fuzz -- --iters 25 --seed 5
 cargo run -q --release --bin oracle_fuzz -- --replay tests/cases
 

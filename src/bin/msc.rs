@@ -11,11 +11,15 @@
 //! msc export   f.msc --block 0 --vtk skel.vtk --csv nodes.csv
 //! ```
 
-use morse_smale_parallel::complex::{export, query, wire, MsComplex};
-use morse_smale_parallel::core::{run_parallel, FaultConfig, Input, MergePlan, PipelineParams};
+use morse_smale_parallel::complex::export::{self, LabeledVolume, SegKind};
+use morse_smale_parallel::complex::{query, wire, MsComplex};
+use morse_smale_parallel::core::{
+    run_parallel, seg_output_path, FaultConfig, Input, MergePlan, PipelineParams,
+};
 use morse_smale_parallel::fault::FaultPlan;
 use morse_smale_parallel::grid::rawio::{write_raw, VolumeDType};
 use morse_smale_parallel::grid::Dims;
+use morse_smale_parallel::segment::{wire as segwire, BlockSegmentation};
 use morse_smale_parallel::synth;
 use morse_smale_parallel::vmpi::fileio::{read_block_payload, read_footer};
 use std::collections::HashMap;
@@ -65,11 +69,18 @@ fn usage() {
          \u{20}           default FILE: results/<output stem>.trace.json)\n\
          \u{20}           [--check]  (oracle invariant checker over every\n\
          \u{20}           output; violations fail the run; MSP_CHECK=1 too)\n\
+         \u{20}           [--segment]  (full MS segmentation: labeled\n\
+         \u{20}           volumes resolved by distributed path compression;\n\
+         \u{20}           writes <output>.seg next to the complex)\n\
          \u{20}           SPEC: crash:R@K;drop:F->T#N;delay:F->T#N+MS;slow:R*F\n\
          \u{20} info      FILE\n\
          \u{20} stats     FILE [--block I] [--top K]\n\
          \u{20} filaments FILE [--block I] --threshold T\n\
-         \u{20} export    FILE [--block I] [--vtk FILE] [--csv FILE]"
+         \u{20} export    FILE [--block I] [--vtk FILE] [--csv FILE]\n\
+         \u{20}           [--labels descending|ascending|combined]\n\
+         \u{20}           [--labels-vtk FILE] [--labels-csv FILE]\n\
+         \u{20}           [--seg FILE]  (labeled volume source; default:\n\
+         \u{20}           <FILE>.seg from a --segment compute run)"
     );
 }
 
@@ -238,6 +249,7 @@ fn cmd_compute(o: &Opts) -> Result<(), String> {
         trace: o.has("trace"),
         threads,
         check: o.has("check"),
+        segment: o.has("segment"),
         ..Default::default()
     };
     let t0 = std::time::Instant::now();
@@ -272,6 +284,30 @@ fn cmd_compute(o: &Opts) -> Result<(), String> {
         );
     }
     println!("wrote {} ({} bytes)", out.display(), r.output_bytes);
+    if params.segment {
+        for s in &r.segmentation {
+            let (n_desc, n_asc, drained) = s.census();
+            println!(
+                "  seg block {}: {} descending / {} ascending region(s), {} drained voxel(s)",
+                s.block_id, n_desc, n_asc, drained
+            );
+        }
+        let rounds = r
+            .telemetry
+            .ranks
+            .first()
+            .map(|rk| rk.counter("seg_rounds"))
+            .unwrap_or(0);
+        println!(
+            "segmentation: wrote {} ({} block(s), {} forward(s) resolved in {} \
+             pointer-jump round(s), {} boundary byte(s))",
+            seg_output_path(&out).display(),
+            r.segmentation.len(),
+            r.telemetry.counter_total("seg_forwards"),
+            rounds,
+            r.telemetry.counter_total("seg_boundary_bytes"),
+        );
+    }
     if r.telemetry.counter_total("checks_run") > 0 {
         let tel = &r.telemetry;
         let violations: u64 = [
@@ -279,24 +315,52 @@ fn cmd_compute(o: &Opts) -> Result<(), String> {
             "check_euler",
             "check_boundary",
             "check_vpath",
+            "check_segment",
         ]
         .iter()
         .map(|k| tel.counter_total(k))
         .sum();
         println!(
             "oracle check: {} complex(es) checked, {} violation(s) \
-             [structural {}, euler {}, boundary {}, vpath {}]",
+             [structural {}, euler {}, boundary {}, vpath {}, segment {}]",
             tel.counter_total("checks_run"),
             violations,
             tel.counter_total("check_structural"),
             tel.counter_total("check_euler"),
             tel.counter_total("check_boundary"),
             tel.counter_total("check_vpath"),
+            tel.counter_total("check_segment"),
         );
         if violations > 0 {
             return Err(format!(
                 "oracle check found {violations} invariant violation(s) — see stderr notes"
             ));
+        }
+        if params.segment {
+            // driver-side cross-structure invariant: representatives
+            // must be live critical cells of the covering complex
+            let tables: Vec<(u32, Vec<u64>, Vec<u64>)> = r
+                .segmentation
+                .iter()
+                .map(|s| (s.block_id, s.mins.clone(), s.maxs.clone()))
+                .collect();
+            let opts = morse_smale_parallel::oracle::CheckOptions::default();
+            let mut report = morse_smale_parallel::oracle::InvariantReport::default();
+            morse_smale_parallel::oracle::check_segmentation_tables(
+                &r.outputs,
+                &tables,
+                &opts,
+                &mut report,
+            );
+            if report.segment > 0 {
+                for note in &report.notes {
+                    eprintln!("[msp-check] {note}");
+                }
+                return Err(format!(
+                    "oracle check found {} segmentation-table violation(s)",
+                    report.segment
+                ));
+            }
         }
     }
     if fault_active {
@@ -456,23 +520,81 @@ fn cmd_filaments(o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+fn load_seg_block(path: &Path, block: usize) -> Result<BlockSegmentation, String> {
+    let footer = read_footer(path)
+        .map_err(|e| format!("{}: {e} (run compute with --segment?)", path.display()))?;
+    let entry = footer
+        .get(block)
+        .ok_or_else(|| format!("block {block} out of range ({} seg blocks)", footer.len()))?;
+    let payload = read_block_payload(path, entry).map_err(|e| e.to_string())?;
+    segwire::deserialize(&payload)
+}
+
 fn cmd_export(o: &Opts) -> Result<(), String> {
     let path = o.file()?;
     let block: usize = o.num("block", 0usize)?;
-    let ms = load_block(&path, block)?;
     let mut did = false;
     if let Some(vtk) = o.opt("vtk") {
+        let ms = load_block(&path, block)?;
         export::write_vtk(&ms, Path::new(vtk)).map_err(|e| e.to_string())?;
         println!("wrote {vtk}");
         did = true;
     }
     if let Some(csv) = o.opt("csv") {
+        let ms = load_block(&path, block)?;
         export::write_nodes_csv(&ms, Path::new(csv)).map_err(|e| e.to_string())?;
         println!("wrote {csv}");
         did = true;
     }
+    if o.opt("labels-vtk").is_some() || o.opt("labels-csv").is_some() {
+        let kind = match o.opt("labels").unwrap_or("combined") {
+            "descending" => SegKind::Descending,
+            "ascending" => SegKind::Ascending,
+            "combined" => SegKind::Combined,
+            other => {
+                return Err(format!(
+                    "unknown --labels kind '{other}' (descending|ascending|combined)"
+                ))
+            }
+        };
+        let seg_path = match o.opt("seg") {
+            Some(p) => PathBuf::from(p),
+            None => seg_output_path(&path),
+        };
+        let seg = load_seg_block(&seg_path, block)?;
+        let volume = match kind {
+            SegKind::Descending => LabeledVolume::descending(seg.vdims, seg.origin, &seg.min_label),
+            SegKind::Ascending => LabeledVolume::ascending(seg.vdims, seg.origin, &seg.max_label),
+            SegKind::Combined => LabeledVolume::combined(
+                seg.vdims,
+                seg.origin,
+                &seg.min_label,
+                &seg.max_label,
+                seg.mins.len() as u32,
+            ),
+        };
+        let mut regions: Vec<i64> = volume.labels.clone();
+        regions.sort_unstable();
+        regions.dedup();
+        println!(
+            "block {block} {} labels: {} grid points, {} distinct region(s)",
+            kind.key(),
+            volume.labels.len(),
+            regions.len()
+        );
+        if let Some(vtk) = o.opt("labels-vtk") {
+            export::write_labels_vtk(&volume, Path::new(vtk)).map_err(|e| e.to_string())?;
+            println!("wrote {vtk}");
+            did = true;
+        }
+        if let Some(csv) = o.opt("labels-csv") {
+            export::write_labels_csv(&volume, Path::new(csv)).map_err(|e| e.to_string())?;
+            println!("wrote {csv}");
+            did = true;
+        }
+    }
     if !did {
-        return Err("nothing to do: pass --vtk and/or --csv".into());
+        return Err("nothing to do: pass --vtk, --csv, --labels-vtk and/or --labels-csv".into());
     }
     Ok(())
 }

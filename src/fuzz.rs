@@ -9,16 +9,20 @@
 //! One case runs four comparisons:
 //!
 //! 1. **Per-block differential** — the production gradient
-//!    (`assign_gradient`, serial and 2-thread slab-parallel) and traced
-//!    arcs against the reference implementations, byte for byte.
+//!    (`assign_gradient`, serial and 2-thread slab-parallel), traced
+//!    arcs, and raw segmentation labels (`label_block`) against the
+//!    reference implementations, byte for byte / address by address.
 //! 2. **Pipeline run at the case's configuration** (ranks, threads,
-//!    merge schedule, injected fault) with the invariant checker on:
-//!    every `check_*` telemetry counter must come back zero.
+//!    merge schedule, injected fault) with the invariant checker and
+//!    segmentation on: every `check_*` telemetry counter must come back
+//!    zero.
 //! 3. **Canonical replay** — the same field and schedule at 1 rank /
-//!    1 thread, no faults: outputs must be bit-identical to run 2's.
-//! 4. **Post-hoc invariants** — `check_complex` + glue idempotency over
-//!    the outputs on the driver side (belt and braces: this also covers
-//!    the checker's own wiring into the pipeline).
+//!    1 thread, no faults: outputs *and* resolved segmentations must be
+//!    bit-identical to run 2's.
+//! 4. **Post-hoc invariants** — `check_complex` + glue idempotency +
+//!    segmentation-table liveness over the outputs on the driver side
+//!    (belt and braces: this also covers the checker's own wiring into
+//!    the pipeline).
 //!
 //! Failures shrink greedily through [`Case::shrink_candidates`] until no
 //! smaller case still fails, then dump as a replayable `.case` file.
@@ -30,6 +34,7 @@ use msp_morse::{assign_gradient, assign_gradient_par, trace_all_arcs};
 use msp_oracle::reference::{
     arcs_of_store, diff_arcs, diff_gradient, reference_arcs, reference_gradient,
 };
+use msp_oracle::segcheck::{diff_segmentation, reference_segmentation};
 use msp_oracle::{
     case::parse_fault, check_complex, check_glue_idempotent, Case, CheckOptions, FieldKind,
     Schedule,
@@ -73,6 +78,7 @@ fn pipeline_params(case: &Case, canonical: bool) -> PipelineParams {
         fault,
         threads: Some(if canonical { 1 } else { case.threads as usize }),
         check: !canonical,
+        segment: true,
         ..Default::default()
     }
 }
@@ -141,6 +147,18 @@ fn run_case_inner(case: &Case) -> Result<(), String> {
         if let Some(d) = diff_arcs(&got_arcs, &want_arcs) {
             return Err(format!("block {}: arcs differ from reference: {d}", b.id));
         }
+        // raw (pre-resolution) segmentation labels against the naive
+        // step-at-a-time reference walk, as global addresses
+        let seg = msp_segment::label_block(b, &refined, &got, 1);
+        let got_min: Vec<u64> = seg.min_label.iter().map(|&l| seg.min_addr(l)).collect();
+        let got_max: Vec<u64> = seg.max_label.iter().map(|&l| seg.max_addr(l)).collect();
+        let want_seg = reference_segmentation(b, &refined, &want);
+        if let Some(d) = diff_segmentation(&got_min, &got_max, &want_seg) {
+            return Err(format!(
+                "block {}: segmentation differs from reference: {d}",
+                b.id
+            ));
+        }
     }
 
     // 2. the case's configuration, invariant checker on
@@ -150,6 +168,7 @@ fn run_case_inner(case: &Case) -> Result<(), String> {
         "check_euler",
         "check_boundary",
         "check_vpath",
+        "check_segment",
     ] {
         let n = run.telemetry.counter_total(key);
         if n != 0 {
@@ -187,6 +206,28 @@ fn run_case_inner(case: &Case) -> Result<(), String> {
             ));
         }
     }
+    if run.segmentation.len() != canon.segmentation.len() {
+        return Err(format!(
+            "seg block count {} != canonical {}",
+            run.segmentation.len(),
+            canon.segmentation.len()
+        ));
+    }
+    for (a, b) in run.segmentation.iter().zip(&canon.segmentation) {
+        let (wa, wb) = (
+            msp_segment::wire::serialize(a),
+            msp_segment::wire::serialize(b),
+        );
+        if wa != wb {
+            return Err(format!(
+                "seg block {} differs from the canonical 1-rank/1-thread run \
+                 ({} vs {} bytes)",
+                a.block_id,
+                wa.len(),
+                wb.len()
+            ));
+        }
+    }
 
     // 4. post-hoc invariants on the driver side
     let opts = CheckOptions::default();
@@ -201,6 +242,21 @@ fn run_case_inner(case: &Case) -> Result<(), String> {
         }
         check_glue_idempotent(ms, &decomp)
             .map_err(|e| format!("output {i}: glue idempotency: {e}"))?;
+    }
+    // every resolved representative must be a live critical node of
+    // matching Morse index in the covering output complex
+    let tables: Vec<(u32, Vec<u64>, Vec<u64>)> = run
+        .segmentation
+        .iter()
+        .map(|s| (s.block_id, s.mins.clone(), s.maxs.clone()))
+        .collect();
+    let mut report = msp_oracle::InvariantReport::default();
+    msp_oracle::check_segmentation_tables(&run.outputs, &tables, &opts, &mut report);
+    if report.segment != 0 {
+        return Err(format!(
+            "{} segmentation-table violation(s): {:?}",
+            report.segment, report.notes
+        ));
     }
     Ok(())
 }

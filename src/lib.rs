@@ -25,7 +25,10 @@
 //! * [`telemetry`] — per-rank phase/counter recording, cross-rank
 //!   aggregation, and the versioned `.telemetry.json` run reports;
 //! * [`oracle`] — the independent reference implementation + invariant
-//!   checker behind `--check` and the [`fuzz`] differential harness.
+//!   checker behind `--check` and the [`fuzz`] differential harness;
+//! * [`segment`] — the full Morse-Smale segmentation: per-block labeled
+//!   volumes along the discrete gradient, resolved across ranks by
+//!   distributed path compression (`--segment`).
 //!
 //! ## Quickstart
 //!
@@ -49,6 +52,7 @@ pub use msp_fault as fault;
 pub use msp_grid as grid;
 pub use msp_morse as morse;
 pub use msp_oracle as oracle;
+pub use msp_segment as segment;
 pub use msp_synth as synth;
 pub use msp_telemetry as telemetry;
 pub use msp_vmpi as vmpi;
