@@ -95,7 +95,13 @@ fn main() {
     };
 
     let table = Table::new(&[
-        "ranks", "label_s", "resolve_s", "rounds", "forwards", "boundary_B", "total_s",
+        "ranks",
+        "label_s",
+        "resolve_s",
+        "rounds",
+        "forwards",
+        "boundary_B",
+        "total_s",
     ]);
     let mut baseline: Option<Vec<bytes::Bytes>> = None;
     let mut baseline_rounds = 0u64;

@@ -1,0 +1,238 @@
+//! Serve-layer latency: query-mix × cache-size sweep over [`ServerCore`]
+//! with the schema-self-checked `results/BENCH_serve.json` output.
+//!
+//! One `--hierarchy` pipeline run builds the dataset in memory; each
+//! sweep cell then replays a deterministic query stream against a fresh
+//! server and reads p50/p99 per query class, QPS and the cache hit rate
+//! out of the serve statistics. Two mixes bracket the cache behavior:
+//!
+//! * `repeat` — thresholds drawn from a pool of 4, so a warm cache
+//!   answers almost everything (hit rate must be high);
+//! * `scan` — a long stride of distinct thresholds, defeating a small
+//!   cache (every materialization is paid).
+//!
+//! Knobs:
+//!
+//! * `MSP_SCALE=small|default|large` — volume size and query count;
+//! * `MSP_PERSISTENCE=F` — ingest-run threshold (default 0, the full
+//!   hierarchy), validated by the shared `parse_persistence` helper;
+//! * `MSP_CHECK=1` — also assert every response is ok, the repeat mix
+//!   hits the cache, and p50 ≤ p99 per class.
+//!
+//! ```text
+//! cargo run --release -p msp-bench --bin serve_latency
+//! ```
+
+use msp_bench::{results_dir, Scale, Table};
+use msp_core::{
+    parse_persistence, run_parallel, Dataset, Input, MergePlan, PipelineParams, RunResult,
+    ServeConfig, ServerCore,
+};
+use msp_telemetry::Json;
+use std::sync::Arc;
+
+const BLOCKS: u32 = 8;
+
+fn field_of(j: &Json, key: &str) -> Json {
+    let Json::Obj(pairs) = j else {
+        panic!("expected object around {key}")
+    };
+    pairs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.clone())
+        .unwrap_or_else(|| panic!("missing field {key}"))
+}
+
+fn as_u64(j: &Json, key: &str) -> u64 {
+    match field_of(j, key) {
+        Json::U64(n) => n,
+        other => panic!("{key} is not a u64: {other:?}"),
+    }
+}
+
+fn as_f64(j: &Json, key: &str) -> f64 {
+    match field_of(j, key) {
+        Json::F64(v) => v,
+        Json::U64(n) => n as f64,
+        other => panic!("{key} is not a number: {other:?}"),
+    }
+}
+
+/// Deterministic splitmix64 stream so the workload replays identically.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+fn dataset_of(r: &RunResult) -> Dataset {
+    Dataset {
+        name: "bench".to_string(),
+        bases: r.outputs.clone(),
+        hierarchies: r.hierarchies.clone(),
+        segs: r.segmentation.clone(),
+    }
+}
+
+fn main() {
+    let check = std::env::var("MSP_CHECK").is_ok_and(|v| v == "1");
+    let scale = Scale::from_env();
+    let size = scale.pick(17, 33, 65);
+    let queries = scale.pick(300usize, 2_000, 10_000);
+
+    // pipeline threshold for the ingest run; lower leaves more records
+    // in the hierarchy (validated by the same helper as `msc compute`)
+    let persistence = match std::env::var("MSP_PERSISTENCE") {
+        Ok(s) => parse_persistence(&s).expect("MSP_PERSISTENCE"),
+        Err(_) => 0.0,
+    };
+
+    let input = Input::Memory(Arc::new(msp_synth::sinusoid(size, 3)));
+    let params = PipelineParams {
+        persistence_frac: persistence,
+        plan: MergePlan::full_merge(BLOCKS),
+        segment: true,
+        hierarchy: true,
+        ..Default::default()
+    };
+    let r = run_parallel(&input, 2, BLOCKS, &params, None).expect("pipeline run");
+    // threshold pools come from the recorded keys, so every query lands
+    // inside the hierarchy's actual persistence range
+    let keys: Vec<f32> = r.hierarchies[0]
+        .difference
+        .iter()
+        .map(|rec| rec.key)
+        .collect();
+    assert!(!keys.is_empty(), "hierarchy recorded no cancellations");
+    let key_at = |frac: f64| keys[((keys.len() - 1) as f64 * frac) as usize];
+    println!(
+        "serve latency: sinusoid {size}^3, {BLOCKS} blocks, {} record(s), {queries} queries\n",
+        keys.len()
+    );
+
+    let table = Table::new(&[
+        "mix",
+        "cache",
+        "queries",
+        "hit_rate",
+        "qps",
+        "thr_p50_us",
+        "thr_p99_us",
+    ]);
+    let mut rows: Vec<Json> = Vec::new();
+    for mix in ["repeat", "scan"] {
+        for cache in [2usize, 32] {
+            let core = ServerCore::new(
+                vec![dataset_of(&r)],
+                ServeConfig {
+                    cache_capacity: cache,
+                    threads: 1,
+                },
+            );
+            let mut rng = Rng(0xC0FFEE ^ cache as u64);
+            for i in 0..queries {
+                let t = match mix {
+                    // 4 hot thresholds: the cache should absorb these
+                    "repeat" => key_at([0.2, 0.5, 0.8, 1.0][rng.next() as usize % 4]),
+                    // a long stride of distinct thresholds: mostly misses
+                    _ => key_at(i as f64 / queries as f64),
+                };
+                let line = match rng.next() % 10 {
+                    0..=6 => format!("{{\"op\":\"threshold\",\"t\":{t}}}"),
+                    7 => format!("{{\"op\":\"extrema\",\"t\":{t},\"top\":5}}"),
+                    8 => format!("{{\"op\":\"segment-stats\",\"t\":{t}}}"),
+                    _ => "{\"op\":\"ping\"}".to_string(),
+                };
+                let (resp, _) = core.handle_line(&line);
+                if check {
+                    assert!(
+                        !resp.contains("\"ok\":false"),
+                        "{mix}/{cache}: error response to {line}: {resp}"
+                    );
+                }
+            }
+            let stats = core.stats_json();
+            let hit_rate = as_f64(&stats, "hit_rate");
+            let qps = as_f64(&stats, "qps");
+            let classes = field_of(&stats, "classes");
+            let thr = field_of(&classes, "threshold");
+            let (p50, p99) = (as_u64(&thr, "p50_us"), as_u64(&thr, "p99_us"));
+            if check {
+                assert_eq!(as_u64(&stats, "errors"), 0, "{mix}/{cache}: errors");
+                assert!(p50 <= p99, "{mix}/{cache}: p50 {p50} > p99 {p99}");
+                let Json::Obj(cls) = &classes else {
+                    panic!("classes is not an object")
+                };
+                for (name, c) in cls {
+                    assert!(
+                        as_u64(c, "p50_us") <= as_u64(c, "p99_us"),
+                        "{mix}/{cache}: class {name} quantiles out of order"
+                    );
+                }
+                if mix == "repeat" {
+                    assert!(
+                        hit_rate > 0.5,
+                        "{mix}/{cache}: hit rate {hit_rate:.2} too low for a 4-key workload"
+                    );
+                }
+            }
+            table.row(&[
+                mix.to_string(),
+                format!("{cache}"),
+                format!("{queries}"),
+                format!("{hit_rate:.3}"),
+                format!("{qps:.0}"),
+                format!("{p50}"),
+                format!("{p99}"),
+            ]);
+            rows.push(Json::obj(vec![
+                ("mix", Json::str(mix)),
+                ("cache", Json::U64(cache as u64)),
+                ("queries", Json::U64(queries as u64)),
+                ("hits", Json::U64(as_u64(&stats, "hits"))),
+                ("misses", Json::U64(as_u64(&stats, "misses"))),
+                ("hit_rate", Json::F64(hit_rate)),
+                ("qps", Json::F64(qps)),
+                ("classes", classes),
+            ]));
+        }
+    }
+
+    let doc = Json::obj(vec![
+        ("kind", Json::str("serve_latency")),
+        ("volume", Json::str(format!("sinusoid_{size}_3"))),
+        ("blocks", Json::U64(BLOCKS as u64)),
+        ("records", Json::U64(keys.len() as u64)),
+        ("runs", Json::Arr(rows)),
+    ]);
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("BENCH_serve.json");
+    std::fs::write(&path, doc.pretty()).expect("write BENCH_serve.json");
+    println!("\nbench written to {}", path.display());
+
+    // schema self-check: the emitted document must round-trip
+    let text = std::fs::read_to_string(&path).expect("read back BENCH_serve.json");
+    let parsed =
+        Json::parse(&text).unwrap_or_else(|e| panic!("{} does not re-parse: {e}", path.display()));
+    let Json::Arr(runs) = field_of(&parsed, "runs") else {
+        panic!("runs is not an array");
+    };
+    assert_eq!(runs.len(), 4, "round-trip preserves the sweep");
+    for run in &runs {
+        let (h, m) = (as_u64(run, "hits"), as_u64(run, "misses"));
+        let rate = as_f64(run, "hit_rate");
+        assert!(
+            (rate - h as f64 / (h + m).max(1) as f64).abs() < 1e-9,
+            "hit_rate inconsistent with hits/misses after round-trip"
+        );
+    }
+    println!("schema self-check OK ({} runs)", runs.len());
+}

@@ -34,6 +34,7 @@ pub mod wire;
 pub use build::{build_block_complex, complex_from_gradient, BuildStats};
 pub use glue::{GlueError, GlueStats};
 pub use simplify::{
-    simplify, simplify_forwarding, SimplifyError, SimplifyParams, SimplifyStats, FORWARD_DRAIN,
+    replay_cancellation, simplify, simplify_forwarding, simplify_with, CancelOrder, CancelRecord,
+    ReplayError, SimplifyError, SimplifyParams, SimplifyStats, FORWARD_DRAIN,
 };
 pub use skeleton::{ArcId, GeomId, MsComplex, NodeId};

@@ -12,11 +12,19 @@
 //! A cancellation is legal only when the two nodes are connected by
 //! exactly one arc — a doubled arc would turn into a closed V-path upon
 //! reversal.
+//!
+//! The cancellation *ordering* is pluggable ([`CancelOrder`]): the
+//! classic persistence `|f(u) − f(l)|` difference, or manifold size
+//! (`count`, in the style of topopy's orderings). [`simplify_with`] can
+//! log every cancellation as a [`CancelRecord`]; a logged sequence can
+//! then be re-executed positionally by [`replay_cancellation`] — both
+//! paths share [`execute_cancellation`] verbatim, which is what makes
+//! hierarchy replay bit-identical to a direct simplification run.
 
 use crate::skeleton::{ArcId, Cancellation, MsComplex, NodeId};
 use msp_grid::field::OrderedF32;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 
 /// Simplification configuration.
@@ -92,6 +100,64 @@ impl std::error::Error for SimplifyError {}
 /// sibling extremum (matches `msp_segment::DRAIN_ADDR`).
 pub const FORWARD_DRAIN: u64 = u64::MAX;
 
+/// The key that decides which legal pair is cancelled next.
+pub enum CancelOrder {
+    /// Classic persistence `|f(u) − f(l)|`.
+    Difference,
+    /// Manifold size: the region size (vertex/voxel count from the
+    /// segmentation label tables) of the extremum the cancellation would
+    /// remove; saddle–saddle pairs key 0. The map is updated in place as
+    /// cancellations merge regions — the forward target absorbs the dead
+    /// extremum's size — so a key can only ever grow, which keeps the
+    /// lazily-reinserted heap order sound.
+    Count(HashMap<u64, u64>),
+}
+
+/// One cancellation as logged by [`simplify_with`] — everything a
+/// positional replay needs to repeat it on the same base complex.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CancelRecord {
+    /// Global address of the upper (index d) node.
+    pub upper_addr: u64,
+    /// Global address of the lower (index d−1) node.
+    pub lower_addr: u64,
+    /// `|f(u) − f(l)|`, regardless of ordering.
+    pub persistence: f32,
+    /// The ordering key the pair was cancelled at (equals `persistence`
+    /// under [`CancelOrder::Difference`]).
+    pub key: f32,
+    /// Segmentation forward entry `(dead extremum, survivor)` when the
+    /// cancellation killed an extremum.
+    pub forward: Option<(u64, u64)>,
+}
+
+/// Why a recorded cancellation cannot be re-executed on this complex —
+/// the record does not describe a legal cancellation of the current
+/// state, i.e. the replay base or prefix does not match the recording.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayError {
+    /// No live node at this address.
+    UnknownNode { addr: u64 },
+    /// The pair is not connected by exactly one live arc.
+    BadMultiplicity { upper: u64, lower: u64, n: usize },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::UnknownNode { addr } => {
+                write!(f, "replay: no live node at address {addr:#x}")
+            }
+            ReplayError::BadMultiplicity { upper, lower, n } => write!(
+                f,
+                "replay: pair {upper:#x}/{lower:#x} has multiplicity {n}, want 1"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
 /// Run persistence simplification up to `params.threshold`.
 pub fn simplify(
     ms: &mut MsComplex,
@@ -112,6 +178,22 @@ pub fn simplify(
 pub fn simplify_forwarding(
     ms: &mut MsComplex,
     params: SimplifyParams,
+    forwards: Option<&mut Vec<(u64, u64)>>,
+) -> Result<SimplifyStats, SimplifyError> {
+    simplify_with(ms, params, &mut CancelOrder::Difference, None, forwards)
+}
+
+/// Keyed simplification: cancel legal pairs in increasing `order`-key
+/// order while the key is at most `params.threshold` (so for
+/// [`CancelOrder::Count`] the threshold is a region size, not a
+/// persistence). Optionally logs every executed cancellation to `log`
+/// and forward entries to `forwards`. With [`CancelOrder::Difference`],
+/// no logging, and no forwarding this is exactly [`simplify`].
+pub fn simplify_with(
+    ms: &mut MsComplex,
+    params: SimplifyParams,
+    order: &mut CancelOrder,
+    mut log: Option<&mut Vec<CancelRecord>>,
     mut forwards: Option<&mut Vec<(u64, u64)>>,
 ) -> Result<SimplifyStats, SimplifyError> {
     if params.threshold.is_nan() {
@@ -127,19 +209,28 @@ pub fn simplify_forwarding(
     let mut since_prune = 0u32;
     let mut heap: BinaryHeap<Reverse<(OrderedF32, ArcId)>> = BinaryHeap::new();
     for (i, _) in ms.arcs.iter().enumerate().filter(|(_, a)| a.alive) {
-        push_candidate(ms, i as ArcId, &mut heap);
+        push_candidate(ms, i as ArcId, order, &mut heap);
     }
-    while let Some(Reverse((p, a))) = heap.pop() {
+    while let Some(Reverse((k, a))) = heap.pop() {
         if !ms.arcs[a as usize].alive {
             continue;
         }
         let arc = ms.arcs[a as usize];
         let (u, l) = (arc.upper, arc.lower);
-        let current = persistence(ms, u, l);
-        if current > params.threshold {
-            break; // heap is persistence-ordered; nothing lower remains
+        let now = order_key(ms, order, u, l);
+        if OrderedF32::new(now) != k {
+            // Stale key: a Count size grew since the push. Reinsert at
+            // the current key; everything still in the heap sits at or
+            // above `k` and true keys never shrink, so the ordering and
+            // the break below stay sound. (Difference keys never change,
+            // so this branch is unreachable there.)
+            debug_assert!(now > k.value());
+            heap.push(Reverse((OrderedF32::new(now), a)));
+            continue;
         }
-        debug_assert_eq!(p.value(), current);
+        if now > params.threshold {
+            break; // heap is key-ordered; nothing lower remains
+        }
         if ms.nodes[u as usize].boundary || ms.nodes[l as usize].boundary {
             continue; // boundary nodes are anchors for gluing
         }
@@ -160,74 +251,175 @@ pub fn simplify_forwarding(
                 continue;
             }
         }
-        if let Some(fw) = forwards.as_deref_mut() {
-            record_forward(ms, u, l, &above, &below, fw);
-        }
-        // create replacement arcs x -> y
-        let mut n_created = 0u32;
-        for &a1 in &above {
-            for &a2 in &below {
-                let x = ms.arcs[a1 as usize].upper;
-                let y = ms.arcs[a2 as usize].lower;
-                debug_assert_ne!(x, u);
-                debug_assert_ne!(y, l);
-                if let Some(cap) = params.max_parallel_arcs {
-                    if ms.multiplicity(x, y) >= cap as usize {
-                        stats.capped_parallel += 1;
-                        continue;
-                    }
+        let current = persistence(ms, u, l);
+        let (upper_addr, lower_addr) = (ms.nodes[u as usize].addr, ms.nodes[l as usize].addr);
+        let ord: &CancelOrder = order;
+        let fwd = execute_cancellation(
+            ms,
+            a,
+            &above,
+            &below,
+            current,
+            params.max_parallel_arcs,
+            &mut stats,
+            |m, id| push_candidate(m, id, ord, &mut heap),
+        );
+        if let CancelOrder::Count(sizes) = &mut *order {
+            if let Some((dead, target)) = fwd {
+                let amount = sizes.remove(&dead).unwrap_or(0);
+                if target != FORWARD_DRAIN && amount > 0 {
+                    *sizes.entry(target).or_insert(0) += amount;
                 }
-                let g = ms.add_cancel_geom(
-                    ms.arcs[a1 as usize].geom,
-                    ms.arcs[a as usize].geom,
-                    ms.arcs[a2 as usize].geom,
-                );
-                let id = ms.add_arc(x, y, g);
-                push_candidate(ms, id, &mut heap);
-                stats.arcs_created += 1;
-                n_created += 1;
             }
         }
-        // delete all arcs incident to u or l, then the nodes
-        let doomed: Vec<ArcId> = ms.arcs_of(u).chain(ms.arcs_of(l)).collect();
-        let mut n_deleted = 0u32;
-        for d in doomed {
-            if ms.arcs[d as usize].alive {
-                ms.kill_arc(d);
-                n_deleted += 1;
+        if let Some(log) = log.as_deref_mut() {
+            log.push(CancelRecord {
+                upper_addr,
+                lower_addr,
+                persistence: current,
+                key: now,
+                forward: fwd,
+            });
+        }
+        if let Some(fw) = forwards.as_deref_mut() {
+            if let Some(e) = fwd {
+                fw.push(e);
             }
         }
-        ms.kill_node(u, current);
-        ms.kill_node(l, current);
-        stats.arcs_removed += n_deleted as u64;
-        stats.cancellations += 1;
         since_prune += 1;
         if since_prune == 512 {
             ms.prune_dead_adjacency();
             since_prune = 0;
         }
-        ms.hierarchy.push(Cancellation {
-            persistence: current,
-            upper: u,
-            lower: l,
-            n_deleted_arcs: n_deleted,
-            n_created_arcs: n_created,
-        });
     }
     Ok(stats)
 }
 
-/// Record the segmentation forward entry for one cancellation, if it
-/// kills an extremum. `above`/`below` are the saddle's surviving
-/// neighbour arcs (the cancelled arc already excluded).
-fn record_forward(
+/// Re-execute one recorded cancellation, identified by the pair's global
+/// addresses (node/arc ids are not stable across compaction or the
+/// wire). The connecting arc is recovered through the legality invariant
+/// — a cancelled pair has multiplicity exactly 1 at execution time — and
+/// the cancellation body is [`execute_cancellation`], shared with the
+/// live loop, so a positional replay of a [`CancelRecord`] log rebuilds
+/// the complex bit-identically. Returns the forward entry.
+pub fn replay_cancellation(
+    ms: &mut MsComplex,
+    upper_addr: u64,
+    lower_addr: u64,
+    max_parallel_arcs: Option<u32>,
+    stats: &mut SimplifyStats,
+) -> Result<Option<(u64, u64)>, ReplayError> {
+    let u = ms
+        .node_at(upper_addr)
+        .ok_or(ReplayError::UnknownNode { addr: upper_addr })?;
+    let l = ms
+        .node_at(lower_addr)
+        .ok_or(ReplayError::UnknownNode { addr: lower_addr })?;
+    let connecting: Vec<ArcId> = ms
+        .arcs_below(u)
+        .filter(|&x| ms.arcs[x as usize].lower == l)
+        .collect();
+    if connecting.len() != 1 {
+        return Err(ReplayError::BadMultiplicity {
+            upper: upper_addr,
+            lower: lower_addr,
+            n: connecting.len(),
+        });
+    }
+    let a = connecting[0];
+    let above: Vec<ArcId> = ms.arcs_above(l).filter(|&x| x != a).collect();
+    let below: Vec<ArcId> = ms.arcs_below(u).filter(|&x| x != a).collect();
+    let current = persistence(ms, u, l);
+    Ok(execute_cancellation(
+        ms,
+        a,
+        &above,
+        &below,
+        current,
+        max_parallel_arcs,
+        stats,
+        |_, _| {},
+    ))
+}
+
+/// Execute one legal cancellation of arc `a = (u, l)`: create the splice
+/// arcs over `above × below` (respecting the parallel-arc cap), delete
+/// every arc incident to the pair, kill both nodes, and append the
+/// hierarchy record. `on_new_arc` sees each created arc (the live loop
+/// pushes heap candidates; replay ignores it). Returns the segmentation
+/// forward entry, if the cancellation killed an extremum.
+#[allow(clippy::too_many_arguments)]
+fn execute_cancellation(
+    ms: &mut MsComplex,
+    a: ArcId,
+    above: &[ArcId],
+    below: &[ArcId],
+    persistence: f32,
+    max_parallel_arcs: Option<u32>,
+    stats: &mut SimplifyStats,
+    mut on_new_arc: impl FnMut(&MsComplex, ArcId),
+) -> Option<(u64, u64)> {
+    let arc = ms.arcs[a as usize];
+    let (u, l) = (arc.upper, arc.lower);
+    let fwd = forward_entry(ms, u, l, above, below);
+    // create replacement arcs x -> y
+    let mut n_created = 0u32;
+    for &a1 in above {
+        for &a2 in below {
+            let x = ms.arcs[a1 as usize].upper;
+            let y = ms.arcs[a2 as usize].lower;
+            debug_assert_ne!(x, u);
+            debug_assert_ne!(y, l);
+            if let Some(cap) = max_parallel_arcs {
+                if ms.multiplicity(x, y) >= cap as usize {
+                    stats.capped_parallel += 1;
+                    continue;
+                }
+            }
+            let g = ms.add_cancel_geom(
+                ms.arcs[a1 as usize].geom,
+                ms.arcs[a as usize].geom,
+                ms.arcs[a2 as usize].geom,
+            );
+            let id = ms.add_arc(x, y, g);
+            on_new_arc(ms, id);
+            stats.arcs_created += 1;
+            n_created += 1;
+        }
+    }
+    // delete all arcs incident to u or l, then the nodes
+    let doomed: Vec<ArcId> = ms.arcs_of(u).chain(ms.arcs_of(l)).collect();
+    let mut n_deleted = 0u32;
+    for d in doomed {
+        if ms.arcs[d as usize].alive {
+            ms.kill_arc(d);
+            n_deleted += 1;
+        }
+    }
+    ms.kill_node(u, persistence);
+    ms.kill_node(l, persistence);
+    stats.arcs_removed += n_deleted as u64;
+    stats.cancellations += 1;
+    ms.hierarchy.push(Cancellation {
+        persistence,
+        upper: u,
+        lower: l,
+        n_deleted_arcs: n_deleted,
+        n_created_arcs: n_created,
+    });
+    fwd
+}
+
+/// The segmentation forward entry for one cancellation, if it kills an
+/// extremum. `above`/`below` are the saddle's surviving neighbour arcs
+/// (the cancelled arc already excluded).
+fn forward_entry(
     ms: &MsComplex,
     u: NodeId,
     l: NodeId,
     above: &[ArcId],
     below: &[ArcId],
-    fw: &mut Vec<(u64, u64)>,
-) {
+) -> Option<(u64, u64)> {
     let key = |n: NodeId| {
         (
             OrderedF32::new(ms.nodes[n as usize].value),
@@ -243,7 +435,7 @@ fn record_forward(
             .min()
             .map(|(_, addr)| addr)
             .unwrap_or(FORWARD_DRAIN);
-        fw.push((ms.nodes[l as usize].addr, target));
+        Some((ms.nodes[l as usize].addr, target))
     } else if ms.nodes[u as usize].index == 3 {
         // (max u, 2-saddle l): the dead maximum's mountain is absorbed
         // by the highest other maximum adjacent to l.
@@ -253,7 +445,9 @@ fn record_forward(
             .max()
             .map(|(_, addr)| addr)
             .unwrap_or(FORWARD_DRAIN);
-        fw.push((ms.nodes[u as usize].addr, target));
+        Some((ms.nodes[u as usize].addr, target))
+    } else {
+        None
     }
 }
 
@@ -261,16 +455,39 @@ fn persistence(ms: &MsComplex, u: NodeId, l: NodeId) -> f32 {
     (ms.nodes[u as usize].value - ms.nodes[l as usize].value).abs()
 }
 
-fn push_candidate(ms: &MsComplex, a: ArcId, heap: &mut BinaryHeap<Reverse<(OrderedF32, ArcId)>>) {
+/// The ordering key of the pair `(u, l)` under `order`.
+fn order_key(ms: &MsComplex, order: &CancelOrder, u: NodeId, l: NodeId) -> f32 {
+    match order {
+        CancelOrder::Difference => persistence(ms, u, l),
+        CancelOrder::Count(sizes) => {
+            let (un, ln) = (&ms.nodes[u as usize], &ms.nodes[l as usize]);
+            if ln.index == 0 {
+                *sizes.get(&ln.addr).unwrap_or(&0) as f32
+            } else if un.index == 3 {
+                *sizes.get(&un.addr).unwrap_or(&0) as f32
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+fn push_candidate(
+    ms: &MsComplex,
+    a: ArcId,
+    order: &CancelOrder,
+    heap: &mut BinaryHeap<Reverse<(OrderedF32, ArcId)>>,
+) {
     let arc = &ms.arcs[a as usize];
-    let p = persistence(ms, arc.upper, arc.lower);
-    heap.push(Reverse((OrderedF32::new(p), a)));
+    let k = order_key(ms, order, arc.upper, arc.lower);
+    heap.push(Reverse((OrderedF32::new(k), a)));
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::build::build_block_complex;
+    use crate::wire;
     use msp_grid::decomp::Decomposition;
     use msp_grid::{Dims, ScalarField};
     use msp_morse::TraceLimits;
@@ -480,5 +697,157 @@ mod tests {
         assert_eq!(stats.cancellations as usize, ms.hierarchy.len());
         let created: u64 = ms.hierarchy.iter().map(|c| c.n_created_arcs as u64).sum();
         assert_eq!(created, stats.arcs_created);
+    }
+
+    #[test]
+    fn logged_run_matches_plain_run_and_stats() {
+        let f = msp_synth::white_noise(Dims::new(9, 9, 9), 13);
+        let mut a = serial(&f);
+        let mut b = serial(&f);
+        let mut log = Vec::new();
+        let sa = simplify(&mut a, SimplifyParams::up_to(f32::INFINITY)).unwrap();
+        let sb = simplify_with(
+            &mut b,
+            SimplifyParams::up_to(f32::INFINITY),
+            &mut CancelOrder::Difference,
+            Some(&mut log),
+            None,
+        )
+        .unwrap();
+        assert_eq!(sa, sb);
+        assert_eq!(log.len() as u64, sb.cancellations);
+        // the log's pairs are exactly the hierarchy's pairs, in order,
+        // and difference keys equal persistences
+        for (r, c) in log.iter().zip(&b.hierarchy) {
+            assert_eq!(r.persistence, c.persistence);
+            assert_eq!(r.key, c.persistence);
+        }
+        a.compact();
+        b.compact();
+        assert_eq!(wire::serialize(&a), wire::serialize(&b));
+    }
+
+    /// Positional prefix replay of a logged run is bit-identical to a
+    /// direct run stopped at the same threshold.
+    #[test]
+    fn replayed_prefix_matches_direct_simplify() {
+        let f = msp_synth::white_noise(Dims::new(9, 9, 9), 71);
+        let base = serial(&f);
+        let mut log = Vec::new();
+        let mut full = base.clone();
+        simplify_with(
+            &mut full,
+            SimplifyParams::up_to(f32::INFINITY),
+            &mut CancelOrder::Difference,
+            Some(&mut log),
+            None,
+        )
+        .unwrap();
+        assert!(log.len() > 4);
+        for t in [0.0f32, log[log.len() / 2].key, f32::INFINITY] {
+            let mut direct = base.clone();
+            let mut dfw = Vec::new();
+            simplify_forwarding(&mut direct, SimplifyParams::up_to(t), Some(&mut dfw)).unwrap();
+            direct.compact();
+            let k = log.iter().position(|r| r.key > t).unwrap_or(log.len());
+            let mut replayed = base.clone();
+            let mut stats = SimplifyStats::default();
+            let mut rfw = Vec::new();
+            for r in &log[..k] {
+                let fwd = replay_cancellation(
+                    &mut replayed,
+                    r.upper_addr,
+                    r.lower_addr,
+                    Some(2),
+                    &mut stats,
+                )
+                .unwrap();
+                assert_eq!(fwd, r.forward);
+                if let Some(e) = fwd {
+                    rfw.push(e);
+                }
+            }
+            replayed.compact();
+            assert_eq!(
+                wire::serialize(&direct),
+                wire::serialize(&replayed),
+                "threshold {t}"
+            );
+            assert_eq!(dfw, rfw, "forward entries at threshold {t}");
+        }
+    }
+
+    /// Count ordering: keys come from (and update) the size map, the
+    /// sequence differs from the difference ordering, and a logged count
+    /// run replays bit-identically too.
+    #[test]
+    fn count_order_uses_and_updates_sizes() {
+        let f = msp_synth::white_noise(Dims::new(9, 9, 9), 23);
+        let base = serial(&f);
+        // synthetic region sizes: pseudo-random positive size per extremum
+        let sizes: HashMap<u64, u64> = base
+            .nodes
+            .iter()
+            .filter(|n| n.alive && (n.index == 0 || n.index == 3))
+            .map(|n| (n.addr, 1 + (n.addr % 97)))
+            .collect();
+        let mut log = Vec::new();
+        let mut full = base.clone();
+        simplify_with(
+            &mut full,
+            SimplifyParams::up_to(f32::INFINITY),
+            &mut CancelOrder::Count(sizes.clone()),
+            Some(&mut log),
+            None,
+        )
+        .unwrap();
+        assert!(!log.is_empty());
+        // extremum cancellations carry their region size as the key
+        assert!(log
+            .iter()
+            .any(|r| r.forward.is_some() && r.key > 0.0 && r.key != r.persistence));
+        // replay the full sequence: bit-identical complex
+        let mut replayed = base.clone();
+        let mut stats = SimplifyStats::default();
+        for r in &log {
+            replay_cancellation(
+                &mut replayed,
+                r.upper_addr,
+                r.lower_addr,
+                Some(2),
+                &mut stats,
+            )
+            .unwrap();
+        }
+        full.compact();
+        replayed.compact();
+        assert_eq!(wire::serialize(&full), wire::serialize(&replayed));
+        // and the sequence genuinely differs from the difference ordering
+        let mut dlog = Vec::new();
+        let mut d = base.clone();
+        simplify_with(
+            &mut d,
+            SimplifyParams::up_to(f32::INFINITY),
+            &mut CancelOrder::Difference,
+            Some(&mut dlog),
+            None,
+        )
+        .unwrap();
+        let pairs = |l: &[CancelRecord]| {
+            l.iter()
+                .map(|r| (r.upper_addr, r.lower_addr))
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(pairs(&log), pairs(&dlog), "orderings should differ");
+    }
+
+    #[test]
+    fn replay_on_wrong_base_is_a_typed_error() {
+        let f = msp_synth::white_noise(Dims::new(8, 8, 8), 2);
+        let mut ms = serial(&f);
+        let mut stats = SimplifyStats::default();
+        // an address that is not a node
+        let err = replay_cancellation(&mut ms, u64::MAX - 1, 0, Some(2), &mut stats);
+        assert!(matches!(err, Err(ReplayError::UnknownNode { .. })));
     }
 }

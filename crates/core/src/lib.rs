@@ -23,11 +23,16 @@
 pub mod pipeline;
 pub mod plan;
 pub mod redistribute;
+pub mod serve;
 pub mod simdriver;
 
 pub use pipeline::{
-    run_parallel, seg_output_path, FaultConfig, Input, PipelineError, PipelineParams, RunResult,
+    check_persistence, msh_output_path, parse_persistence, run_parallel, seg_output_path,
+    FaultConfig, Input, PipelineError, PipelineParams, RunResult,
 };
 pub use plan::MergePlan;
 pub use redistribute::{global_simplify_and_partition, partition_complex};
+pub use serve::{
+    load_dataset, serve_lines, serve_tcp, Dataset, ServeConfig, ServeError, ServerCore,
+};
 pub use simdriver::{simulate, RoundReport, SimParams, SimReport};

@@ -35,12 +35,16 @@
 use crate::plan::MergePlan;
 use bytes::Bytes;
 use msp_complex::glue::glue_all;
-use msp_complex::{complex_from_gradient, simplify_forwarding, wire, MsComplex, SimplifyParams};
+use msp_complex::{
+    complex_from_gradient, simplify_forwarding, simplify_with, wire, CancelOrder, MsComplex,
+    SimplifyParams,
+};
 use msp_fault::checkpoint::CheckpointError;
 use msp_fault::{Checkpoint, CheckpointStore, FaultPlan};
 use msp_grid::par::{available_threads, par_map, par_map_mut};
 use msp_grid::rawio::{read_block, VolumeDType};
 use msp_grid::{Decomposition, Dims, ScalarField};
+use msp_hierarchy::{wire as hwire, ReplayParams, SlotHierarchy};
 use msp_morse::{assign_gradient, assign_gradient_par, TraceLimits};
 use msp_segment::{label_block, wire as segwire, BlockSegmentation, ForwardMap, DRAIN_ADDR};
 use msp_telemetry::{
@@ -74,6 +78,10 @@ const TAG_SEG_REPLY: u32 = 0x4200_0000; // | jump round
 const TAG_SEG_FIXED: u32 = 0x4300_0000; // | jump round << 1 (allreduce pair)
 const TAG_SEG_TABLE_Q: u32 = 0x4400_0000;
 const TAG_SEG_TABLE_R: u32 = 0x4500_0000;
+
+/// Tag of the hierarchy region-size broadcast (`--hierarchy`): one
+/// all-to-all after segmentation resolution, in the same high namespace.
+const TAG_HIER_SIZES: u32 = 0x4600_0000;
 
 /// Fault-tolerance configuration of a run.
 #[derive(Debug, Clone)]
@@ -239,6 +247,14 @@ pub struct PipelineParams {
     /// §11). Adds `<out>.seg` next to the output file when one is
     /// written.
     pub segment: bool,
+    /// Record the persistence hierarchy of every output complex: the
+    /// full ordered cancellation sequence to persistence ∞, replayable
+    /// to any threshold by `msp-hierarchy` (DESIGN.md §12). Adds
+    /// `<out>.msh` next to the output file when one is written. The
+    /// count (manifold-size) ordering is recorded only when
+    /// [`PipelineParams::segment`] is also on (region sizes come from
+    /// the label tables).
+    pub hierarchy: bool,
 }
 
 impl Default for PipelineParams {
@@ -255,6 +271,7 @@ impl Default for PipelineParams {
             threads: None,
             check: false,
             segment: false,
+            hierarchy: false,
         }
     }
 }
@@ -303,6 +320,12 @@ pub struct RunResult {
     pub segmentation: Vec<BlockSegmentation>,
     /// Footer of the `<out>.seg` file, when one was written.
     pub seg_footer: Option<Vec<FooterEntry>>,
+    /// Recorded cancellation hierarchies, one per output slot in
+    /// ascending slot order (empty unless [`PipelineParams::hierarchy`]
+    /// was on).
+    pub hierarchies: Vec<SlotHierarchy>,
+    /// Footer of the `<out>.msh` file, when one was written.
+    pub msh_footer: Option<Vec<FooterEntry>>,
 }
 
 /// Path of the labeled-volume file written next to the complex output.
@@ -310,6 +333,42 @@ pub fn seg_output_path(output: &Path) -> PathBuf {
     let mut s = output.as_os_str().to_os_string();
     s.push(".seg");
     PathBuf::from(s)
+}
+
+/// Path of the hierarchy artifact written next to the complex output.
+pub fn msh_output_path(output: &Path) -> PathBuf {
+    let mut s = output.as_os_str().to_os_string();
+    s.push(".msh");
+    PathBuf::from(s)
+}
+
+/// Parse a persistence value from the command line: a finite,
+/// non-negative fraction of the global value range. One shared helper
+/// so every entry point (`msc compute`, `msc serve`, bench binaries)
+/// rejects NaN and negative inputs identically instead of silently
+/// simplifying with them.
+pub fn parse_persistence(s: &str) -> Result<f32, String> {
+    let v: f32 = s
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad persistence {s:?}: not a number"))?;
+    check_persistence(v).map_err(|e| format!("bad persistence {s:?}: {e}"))
+}
+
+/// Validate an already-numeric persistence/threshold value; the
+/// non-string half of [`parse_persistence`], shared with inputs that
+/// arrive as numbers (serve-protocol thresholds, env overrides).
+pub fn check_persistence(v: f32) -> Result<f32, String> {
+    if v.is_nan() {
+        return Err("NaN".to_string());
+    }
+    if !v.is_finite() {
+        return Err("not finite".to_string());
+    }
+    if v < 0.0 {
+        return Err("negative".to_string());
+    }
+    Ok(v)
 }
 
 /// Execute the full pipeline on `n_ranks` threads over `n_blocks` blocks.
@@ -366,8 +425,10 @@ pub fn run_parallel(
     let mut trace = None;
     let mut segmentation: Vec<BlockSegmentation> = Vec::new();
     let mut seg_footer = None;
+    let mut slot_hierarchies: Vec<(u32, SlotHierarchy)> = Vec::new();
+    let mut msh_footer = None;
     for res in results {
-        let (tel, outs, f, th, tr, segs, sf) = res?;
+        let (tel, outs, f, th, tr, segs, sf, hiers, hf) = res?;
         if tel.is_some() {
             telemetry = tel; // only rank 0 holds the gathered report
         }
@@ -382,10 +443,16 @@ pub fn run_parallel(
         if sf.is_some() {
             seg_footer = sf;
         }
+        slot_hierarchies.extend(hiers);
+        if hf.is_some() {
+            msh_footer = hf;
+        }
         threshold = th; // identical on every rank (all-reduced)
     }
     segmentation.sort_by_key(|s| s.block_id);
     slot_outputs.sort_by_key(|(slot, _)| *slot);
+    slot_hierarchies.sort_by_key(|(slot, _)| *slot);
+    let hierarchies: Vec<SlotHierarchy> = slot_hierarchies.into_iter().map(|(_, h)| h).collect();
     let outputs: Vec<MsComplex> = slot_outputs.into_iter().map(|(_, c)| c).collect();
     let output_bytes = outputs
         .iter()
@@ -430,6 +497,8 @@ pub fn run_parallel(
         trace,
         segmentation,
         seg_footer,
+        hierarchies,
+        msh_footer,
     })
 }
 
@@ -440,6 +509,8 @@ type RankOut = (
     f32,
     Option<RunTrace>,
     Vec<BlockSegmentation>,
+    Option<Vec<FooterEntry>>,
+    Vec<(u32, SlotHierarchy)>,
     Option<Vec<FooterEntry>>,
 );
 
@@ -983,6 +1054,65 @@ fn run_rank(
         rec.end(Phase::SegResolve);
     }
 
+    // ---- hierarchy recording (DESIGN.md §12) ----
+    // Simplify each output slot once to persistence ∞ with full logging;
+    // the recorded cancellation sequences replay to any threshold later
+    // (compute once, query many — `msc serve`). Runs after segmentation
+    // resolution so the count ordering can key on globally-summed region
+    // sizes of the resolved extremum tables.
+    let mut my_hier: Vec<(u32, SlotHierarchy)> = Vec::new();
+    let mut global_sizes: Option<HashMap<u64, u64>> = None;
+    if params.hierarchy {
+        rec.begin(Phase::Hierarchy);
+        if params.segment {
+            // Every rank broadcasts its sorted local (extremum, count)
+            // tallies and sums what it receives; addition commutes and
+            // buckets arrive in rank order, so the global map is
+            // identical on every rank for every schedule.
+            let local = msp_hierarchy::region_sizes(segs.values());
+            let mut pairs: Vec<(u64, u64)> = local.into_iter().collect();
+            pairs.sort_unstable();
+            let buckets: Vec<Vec<(u64, u64)>> = vec![pairs; n_ranks as usize];
+            let (incoming, sent) = exchange_pairs(rank, TAG_HIER_SIZES, &buckets)
+                .map_err(comm_err("broadcasting hierarchy region sizes"))?;
+            rec.add(Counter::SegBoundaryBytes, sent);
+            let mut sizes: HashMap<u64, u64> = HashMap::new();
+            for bucket in incoming {
+                for (addr, n) in bucket {
+                    *sizes.entry(addr).or_insert(0) += n;
+                }
+            }
+            global_sizes = Some(sizes);
+        }
+        let rp = ReplayParams {
+            max_new_arcs: params.max_new_arcs,
+            max_parallel_arcs: Some(2),
+        };
+        for &s in params
+            .plan
+            .output_slots(n_blocks)
+            .iter()
+            .filter(|s| *s % n_ranks == p)
+        {
+            // Degraded mode: a slot lost to an unrecoverable crash has
+            // no hierarchy; the write stage accounts the loss.
+            let Some(ms) = complexes.get(&s) else {
+                continue;
+            };
+            let h = msp_hierarchy::record(ms, rp, global_sizes.clone()).map_err(|source| {
+                PipelineError::Simplify {
+                    context: format!("recording hierarchy for slot {s}"),
+                    source,
+                }
+            })?;
+            let n_records = h.difference.len() + h.count.as_ref().map_or(0, |c| c.len());
+            rec.add(Counter::HierarchyRecords, n_records as u64);
+            my_hier.push((s, h));
+        }
+        my_hier.sort_by_key(|(s, _)| *s);
+        rec.end(Phase::Hierarchy);
+    }
+
     // ---- pre-write cut ----
     // One more consistent cut after the last merge round protects the
     // fully-merged state against a crash before the collective write.
@@ -1051,6 +1181,25 @@ fn run_rank(
             collective_write_blocks_keyed(rank, &seg_path, &payloads, &keys).map_err(|source| {
                 PipelineError::Io {
                     context: format!("collective segmentation write to {}", seg_path.display()),
+                    source,
+                }
+            })?;
+        (p == 0).then_some(f)
+    } else {
+        None
+    };
+    // The hierarchy artifact is a third keyed collective write: one
+    // `MSH1` payload per output slot, landing in ascending slot order,
+    // so `<out>.msh` is byte-identical across ranks/threads/schedules.
+    let msh_footer = if let (true, Some(path)) = (params.hierarchy, output_path) {
+        let msh_path = msh_output_path(path);
+        let payloads: Vec<bytes::Bytes> =
+            my_hier.iter().map(|(_, h)| hwire::serialize(h)).collect();
+        let keys: Vec<u64> = my_hier.iter().map(|(s, _)| *s as u64).collect();
+        let f =
+            collective_write_blocks_keyed(rank, &msh_path, &payloads, &keys).map_err(|source| {
+                PipelineError::Io {
+                    context: format!("collective hierarchy write to {}", msh_path.display()),
                     source,
                 }
             })?;
@@ -1151,6 +1300,70 @@ fn run_rank(
                 }
             }
         }
+        // Hierarchy replay conformance: materializing a sampled
+        // threshold from the recorded sequence must reproduce a direct
+        // simplification of the same base bit-for-bit — wire bytes and
+        // forward entries both.
+        if params.hierarchy {
+            for (slot, h) in &my_hier {
+                let Some((_, base)) = my_outputs.iter().find(|(s, _)| s == slot) else {
+                    continue;
+                };
+                for ordering in h.orderings() {
+                    let recs = h.records(ordering).expect("listed ordering");
+                    let mut thresholds = vec![f32::INFINITY];
+                    if !recs.is_empty() {
+                        thresholds.push(recs[recs.len() / 2].key);
+                    }
+                    for t in thresholds {
+                        let mut fail = |note: String| {
+                            rec.add(Counter::CheckHierarchy, 1);
+                            eprintln!("[msp-check] rank {p} slot {slot}: {note}");
+                        };
+                        let got = match h.materialize(base, ordering, t) {
+                            Ok(m) => m,
+                            Err(e) => {
+                                fail(format!("hierarchy {ordering} materialize({t}): {e}"));
+                                continue;
+                            }
+                        };
+                        let mut want = base.clone();
+                        let mut order = match ordering {
+                            msp_hierarchy::Ordering::Difference => CancelOrder::Difference,
+                            msp_hierarchy::Ordering::Count => {
+                                CancelOrder::Count(global_sizes.clone().unwrap_or_default())
+                            }
+                        };
+                        let mut wfw = Vec::new();
+                        let direct = simplify_with(
+                            &mut want,
+                            SimplifyParams {
+                                threshold: t,
+                                max_new_arcs: params.max_new_arcs,
+                                max_parallel_arcs: Some(2),
+                            },
+                            &mut order,
+                            None,
+                            Some(&mut wfw),
+                        );
+                        if let Err(e) = direct {
+                            fail(format!("hierarchy {ordering} direct simplify({t}): {e}"));
+                            continue;
+                        }
+                        want.compact();
+                        if wire::serialize(&got.complex) != wire::serialize(&want)
+                            || got.forwards != wfw
+                        {
+                            fail(format!(
+                                "hierarchy {ordering} materialize({t}) diverges from a \
+                                 direct simplify run ({} record(s) replayed)",
+                                got.applied
+                            ));
+                        }
+                    }
+                }
+            }
+        }
         rec.end(Phase::Check);
     }
     rec.end(Phase::Total);
@@ -1217,7 +1430,8 @@ fn run_rank(
         None => None,
     };
     Ok((
-        telemetry, my_outputs, footer, threshold, run_trace, my_segs, seg_footer,
+        telemetry, my_outputs, footer, threshold, run_trace, my_segs, seg_footer, my_hier,
+        msh_footer,
     ))
 }
 
@@ -1491,6 +1705,95 @@ mod tests {
             "seg_relabels",
         ] {
             assert_eq!(r.telemetry.counter_total(key), 0, "{key}");
+        }
+    }
+
+    #[test]
+    fn persistence_parsing_rejects_junk() {
+        assert_eq!(parse_persistence("0.25"), Ok(0.25));
+        assert_eq!(parse_persistence(" 0 "), Ok(0.0));
+        for bad in ["-0.1", "NaN", "inf", "-inf", "pct", ""] {
+            assert!(parse_persistence(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn hierarchy_off_costs_nothing() {
+        let input = noise_input(8, 3);
+        let r = run_parallel(&input, 2, 2, &PipelineParams::default(), None).unwrap();
+        assert!(r.hierarchies.is_empty());
+        assert!(r.msh_footer.is_none());
+        assert_eq!(r.telemetry.counter_total("hierarchy_records"), 0);
+    }
+
+    #[test]
+    fn hierarchy_is_recorded_replayable_and_schedule_independent() {
+        let tmp = std::env::temp_dir();
+        let mk = |tag: &str| {
+            let mut p = tmp.clone();
+            p.push(format!("msp_core_hier_{}_{tag}.msc", std::process::id()));
+            p
+        };
+        let input = noise_input(9, 21);
+        let params = PipelineParams {
+            persistence_frac: 0.0,
+            plan: MergePlan::full_merge(8),
+            segment: true,
+            hierarchy: true,
+            check: true,
+            ..Default::default()
+        };
+        let pa = mk("a");
+        let pb = mk("b");
+        let a = run_parallel(&input, 4, 8, &params, Some(&pa)).unwrap();
+        let b = run_parallel(&input, 1, 8, &params, Some(&pb)).unwrap();
+        // one hierarchy per output slot, with both orderings recorded
+        assert_eq!(a.hierarchies.len(), a.outputs.len());
+        assert_eq!(a.hierarchies, b.hierarchies);
+        let h = &a.hierarchies[0];
+        assert!(!h.difference.is_empty());
+        assert!(h.count.as_ref().is_some_and(|c| !c.is_empty()));
+        assert!(a.telemetry.counter_total("hierarchy_records") > 0);
+        // the conformance check ran clean under --check
+        assert_eq!(a.telemetry.counter_total("check_hierarchy"), 0);
+        // the artifact is byte-identical across rank counts and round-trips
+        let bytes_a = std::fs::read(msh_output_path(&pa)).unwrap();
+        let bytes_b = std::fs::read(msh_output_path(&pb)).unwrap();
+        assert_eq!(bytes_a, bytes_b, ".msh must not depend on the schedule");
+        let footer = a.msh_footer.as_ref().expect("msh footer on rank 0");
+        assert_eq!(footer.len(), a.outputs.len());
+        let payload =
+            msp_vmpi::fileio::read_block_payload(&msh_output_path(&pa), &footer[0]).unwrap();
+        let loaded = hwire::deserialize(&payload).unwrap();
+        assert_eq!(&loaded, h);
+        // a mid-threshold materialization from the artifact matches a
+        // direct simplify run on the wire-loaded base
+        let base = {
+            let f = a.footer.as_ref().expect("complex footer");
+            let pl = msp_vmpi::fileio::read_block_payload(&pa, &f[0]).unwrap();
+            wire::deserialize(&pl).unwrap()
+        };
+        let t = loaded.difference[loaded.difference.len() / 2].key;
+        let got = loaded
+            .materialize(&base, msp_hierarchy::Ordering::Difference, t)
+            .unwrap();
+        let mut want = base.clone();
+        simplify_forwarding(
+            &mut want,
+            SimplifyParams {
+                threshold: t,
+                max_new_arcs: params.max_new_arcs,
+                max_parallel_arcs: Some(2),
+            },
+            None,
+        )
+        .unwrap();
+        want.compact();
+        assert_eq!(wire::serialize(&got.complex), wire::serialize(&want));
+        for p in [&pa, &pb] {
+            std::fs::remove_file(p).ok();
+            std::fs::remove_file(seg_output_path(p)).ok();
+            std::fs::remove_file(msh_output_path(p)).ok();
         }
     }
 

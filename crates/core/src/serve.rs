@@ -1,0 +1,1176 @@
+//! `msc serve` — the query-serving layer over precomputed artifacts
+//! (DESIGN.md §12).
+//!
+//! A compute run with `--hierarchy` is the expensive half of the
+//! compute-once / query-many split; this module is the cheap half: load
+//! the `.msc` complexes, the `.msh` cancellation hierarchies, and (when
+//! present) the `.seg` label tables, then answer threshold queries by
+//! prefix replay — never by re-running the pipeline.
+//!
+//! ## Protocol
+//!
+//! Line-delimited JSON over stdin/stdout ([`serve_lines`]) or TCP
+//! ([`serve_tcp`]); one request object per line, one response object per
+//! line, in request order. Requests name an `op`:
+//!
+//! ```text
+//! {"op":"ping"}
+//! {"op":"datasets"}
+//! {"op":"threshold","dataset":"d","block":0,"ordering":"difference","t":0.5}
+//! {"op":"extrema","t":0.5,"kind":"max","top":5}
+//! {"op":"arc-geometry","t":0.5,"arc":3}
+//! {"op":"segment-stats","t":0.5}
+//! {"op":"stats"}
+//! {"op":"quit"}        closes the connection
+//! {"op":"shutdown"}    closes the connection and stops a TCP server
+//! ```
+//!
+//! `dataset` defaults to the first loaded dataset, `block` to 0 and
+//! `ordering` to `difference`. Errors come back as
+//! `{"ok":false,"error":...}` and never tear the connection down.
+//!
+//! ## Cache
+//!
+//! Materializations are memoized in an LRU cache keyed by `(dataset,
+//! block, ordering, threshold)`. Concurrent requests for the same key
+//! coalesce: the first computes, the rest block on a condition variable
+//! and reuse the cached result (counted as `serve_coalesced`). Latency
+//! is tracked per query class; [`ServerCore::report`] folds everything
+//! into an `msp-telemetry` run report (counters `serve_*`, meta `qps`,
+//! `hit_rate`, per-class p50/p99).
+
+use crate::pipeline::{check_persistence, msh_output_path, seg_output_path};
+use msp_complex::{wire as cwire, MsComplex};
+use msp_hierarchy::{
+    compress_forwards, remap_tables, wire as hwire, Materialized, Ordering, SlotHierarchy,
+};
+use msp_segment::{wire as segwire, BlockSegmentation, DRAIN_ADDR, DRAIN_LABEL};
+use msp_telemetry::{Counter, Json, Recorder, RunReport};
+use msp_vmpi::fileio::{read_block_payload, read_footer};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrd};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A loading failure with enough context to name the artifact at fault.
+#[derive(Debug)]
+pub enum ServeError {
+    Io {
+        context: String,
+        source: std::io::Error,
+    },
+    /// An artifact decoded but its content is unusable (bad wire bytes,
+    /// mismatched block counts).
+    Artifact { context: String, detail: String },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io { context, source } => write!(f, "{context}: {source}"),
+            ServeError::Artifact { context, detail } => write!(f, "{context}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One loaded dataset: the base complexes of a compute run plus its
+/// replay hierarchies and (optionally) its resolved label tables.
+pub struct Dataset {
+    pub name: String,
+    /// Output-slot complexes in footer order.
+    pub bases: Vec<MsComplex>,
+    /// One hierarchy per output slot, same order.
+    pub hierarchies: Vec<SlotHierarchy>,
+    /// Resolved block segmentations in ascending block id; empty when
+    /// the compute run had no `--segment`.
+    pub segs: Vec<BlockSegmentation>,
+}
+
+/// Load a dataset from `<msc_path>` + `<msc_path>.msh` (required) +
+/// `<msc_path>.seg` (optional).
+pub fn load_dataset(name: &str, msc_path: &Path) -> Result<Dataset, ServeError> {
+    let io = |context: String| move |source: std::io::Error| ServeError::Io { context, source };
+    let footer = read_footer(msc_path).map_err(io(format!("reading {}", msc_path.display())))?;
+    let mut bases = Vec::with_capacity(footer.len());
+    for e in &footer {
+        let payload = read_block_payload(msc_path, e)
+            .map_err(io(format!("reading {}", msc_path.display())))?;
+        bases.push(
+            cwire::deserialize(&payload).map_err(|e| ServeError::Artifact {
+                context: format!("decoding {}", msc_path.display()),
+                detail: e.to_string(),
+            })?,
+        );
+    }
+    let msh_path = msh_output_path(msc_path);
+    let hfooter = read_footer(&msh_path).map_err(io(format!(
+        "reading {} (was compute run with --hierarchy?)",
+        msh_path.display()
+    )))?;
+    let mut hierarchies = Vec::with_capacity(hfooter.len());
+    for e in &hfooter {
+        let payload = read_block_payload(&msh_path, e)
+            .map_err(io(format!("reading {}", msh_path.display())))?;
+        hierarchies.push(
+            hwire::deserialize(&payload).map_err(|e| ServeError::Artifact {
+                context: format!("decoding {}", msh_path.display()),
+                detail: e.to_string(),
+            })?,
+        );
+    }
+    if hierarchies.len() != bases.len() {
+        return Err(ServeError::Artifact {
+            context: format!("loading dataset {name:?}"),
+            detail: format!(
+                "{} complexes but {} hierarchies",
+                bases.len(),
+                hierarchies.len()
+            ),
+        });
+    }
+    let seg_path = seg_output_path(msc_path);
+    let mut segs = Vec::new();
+    if seg_path.exists() {
+        let sfooter =
+            read_footer(&seg_path).map_err(io(format!("reading {}", seg_path.display())))?;
+        for e in &sfooter {
+            let payload = read_block_payload(&seg_path, e)
+                .map_err(io(format!("reading {}", seg_path.display())))?;
+            segs.push(
+                segwire::deserialize(&payload).map_err(|e| ServeError::Artifact {
+                    context: format!("decoding {}", seg_path.display()),
+                    detail: e,
+                })?,
+            );
+        }
+        segs.sort_by_key(|s| s.block_id);
+    }
+    Ok(Dataset {
+        name: name.to_string(),
+        bases,
+        hierarchies,
+        segs,
+    })
+}
+
+/// Server tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Maximum cached materializations (LRU eviction beyond this).
+    pub cache_capacity: usize,
+    /// Worker threads of the stdio pipeline ([`serve_lines`] default).
+    pub threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            cache_capacity: 32,
+            threads: 4,
+        }
+    }
+}
+
+/// The cache key: everything a materialization depends on. Thresholds
+/// key by bit pattern (NaN is rejected before a key is ever built).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    dataset: usize,
+    slot: usize,
+    ordering: Ordering,
+    threshold_bits: u32,
+}
+
+/// Hand-rolled LRU over a `HashMap` with monotonic access stamps;
+/// eviction scans for the stalest entry (capacities are tens, not
+/// millions — O(n) eviction is noise next to a replay).
+struct Lru {
+    capacity: usize,
+    stamp: u64,
+    map: HashMap<CacheKey, (Arc<Materialized>, u64)>,
+}
+
+impl Lru {
+    fn new(capacity: usize) -> Lru {
+        Lru {
+            capacity: capacity.max(1),
+            stamp: 0,
+            map: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, key: &CacheKey) -> Option<Arc<Materialized>> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        self.map.get_mut(key).map(|(v, s)| {
+            *s = stamp;
+            v.clone()
+        })
+    }
+
+    fn put(&mut self, key: CacheKey, value: Arc<Materialized>) {
+        self.stamp += 1;
+        self.map.insert(key, (value, self.stamp));
+        while self.map.len() > self.capacity {
+            let stalest = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, s))| *s)
+                .map(|(k, _)| *k)
+                .expect("nonempty over capacity");
+            self.map.remove(&stalest);
+        }
+    }
+}
+
+/// Mutable serving statistics, behind one mutex.
+#[derive(Default)]
+struct Stats {
+    queries: u64,
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+    errors: u64,
+    /// Latency samples per query class, microseconds.
+    classes: HashMap<&'static str, Vec<u64>>,
+}
+
+/// The transport-independent server: datasets, cache, coalescing map,
+/// statistics. Shared across worker/connection threads by reference.
+pub struct ServerCore {
+    datasets: Vec<Dataset>,
+    by_name: HashMap<String, usize>,
+    cache: Mutex<Lru>,
+    inflight: Mutex<HashSet<CacheKey>>,
+    inflight_cv: Condvar,
+    stats: Mutex<Stats>,
+    started: Instant,
+    shutdown: AtomicBool,
+}
+
+impl ServerCore {
+    pub fn new(datasets: Vec<Dataset>, config: ServeConfig) -> ServerCore {
+        let by_name = datasets
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.name.clone(), i))
+            .collect();
+        ServerCore {
+            datasets,
+            by_name,
+            cache: Mutex::new(Lru::new(config.cache_capacity)),
+            inflight: Mutex::new(HashSet::new()),
+            inflight_cv: Condvar::new(),
+            stats: Mutex::new(Stats::default()),
+            started: Instant::now(),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Has some connection asked the whole server to stop?
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(AtomicOrd::SeqCst)
+    }
+
+    /// Handle one request line. Returns the compact single-line JSON
+    /// response and whether the connection should close afterwards.
+    pub fn handle_line(&self, line: &str) -> (String, bool) {
+        let t0 = Instant::now();
+        let (class, result, close) = self.dispatch(line);
+        let us = t0.elapsed().as_micros() as u64;
+        let mut st = self.stats.lock().unwrap();
+        st.queries += 1;
+        st.classes.entry(class).or_default().push(us);
+        let json = match result {
+            Ok(j) => j,
+            Err(msg) => {
+                st.errors += 1;
+                Json::obj(vec![("ok", Json::Bool(false)), ("error", Json::str(msg))])
+            }
+        };
+        drop(st);
+        (compact(&json), close)
+    }
+
+    fn dispatch(&self, line: &str) -> (&'static str, Result<Json, String>, bool) {
+        let req = match Json::parse(line.trim()) {
+            Ok(Json::Obj(pairs)) => pairs,
+            Ok(_) => {
+                return (
+                    "invalid",
+                    Err("request must be a JSON object".to_string()),
+                    false,
+                )
+            }
+            Err(e) => return ("invalid", Err(format!("bad request: {e}")), false),
+        };
+        let Some(op) = get_str(&req, "op") else {
+            return ("invalid", Err("missing \"op\"".to_string()), false);
+        };
+        match op {
+            "ping" => ("ping", Ok(ok_obj("ping", vec![])), false),
+            "datasets" => ("datasets", Ok(self.q_datasets()), false),
+            "threshold" => ("threshold", self.q_threshold(&req), false),
+            "extrema" => ("extrema", self.q_extrema(&req), false),
+            "arc-geometry" => ("arc-geometry", self.q_arc_geometry(&req), false),
+            "segment-stats" => ("segment-stats", self.q_segment_stats(&req), false),
+            "stats" => ("stats", Ok(self.stats_json()), false),
+            "quit" => ("quit", Ok(ok_obj("quit", vec![])), true),
+            "shutdown" => {
+                self.shutdown.store(true, AtomicOrd::SeqCst);
+                ("shutdown", Ok(ok_obj("shutdown", vec![])), true)
+            }
+            other => ("invalid", Err(format!("unknown op {other:?}")), false),
+        }
+    }
+
+    /// Resolve the `(dataset, block)` a request targets.
+    fn target(&self, req: &[(String, Json)]) -> Result<(usize, usize), String> {
+        let di = match get_str(req, "dataset") {
+            Some(name) => *self
+                .by_name
+                .get(name)
+                .ok_or_else(|| format!("unknown dataset {name:?}"))?,
+            None => 0,
+        };
+        let ds = self
+            .datasets
+            .get(di)
+            .ok_or_else(|| "no datasets loaded".to_string())?;
+        let slot = get_u64(req, "block").unwrap_or(0) as usize;
+        if slot >= ds.bases.len() {
+            return Err(format!(
+                "block {slot} out of range ({} block(s))",
+                ds.bases.len()
+            ));
+        }
+        Ok((di, slot))
+    }
+
+    fn ordering_and_t(&self, req: &[(String, Json)]) -> Result<(Ordering, f32), String> {
+        let ordering: Ordering = get_str(req, "ordering").unwrap_or("difference").parse()?;
+        let t = get_f64(req, "t").ok_or_else(|| "missing threshold \"t\"".to_string())? as f32;
+        let t = check_persistence(t).map_err(|e| format!("bad threshold \"t\": {e}"))?;
+        Ok((ordering, t))
+    }
+
+    /// The cached, coalescing materialization path.
+    fn materialized(
+        &self,
+        di: usize,
+        slot: usize,
+        ordering: Ordering,
+        t: f32,
+    ) -> Result<Arc<Materialized>, String> {
+        let key = CacheKey {
+            dataset: di,
+            slot,
+            ordering,
+            threshold_bits: t.to_bits(),
+        };
+        let mut waited = false;
+        loop {
+            if let Some(v) = self.cache.lock().unwrap().get(&key) {
+                let mut st = self.stats.lock().unwrap();
+                st.hits += 1;
+                if waited {
+                    st.coalesced += 1;
+                }
+                return Ok(v);
+            }
+            let busy = self.inflight.lock().unwrap();
+            let mut busy = busy;
+            if busy.insert(key) {
+                break; // this request owns the computation
+            }
+            // An identical materialization is in flight: piggyback on it
+            // instead of recomputing or spinning on the cache.
+            waited = true;
+            let _unused = self.inflight_cv.wait(busy).unwrap();
+        }
+        let ds = &self.datasets[di];
+        let result = ds.hierarchies[slot]
+            .materialize(&ds.bases[slot], ordering, t)
+            .map_err(|e| e.to_string());
+        let out = match result {
+            Ok(m) => {
+                let m = Arc::new(m);
+                self.cache.lock().unwrap().put(key, m.clone());
+                let mut st = self.stats.lock().unwrap();
+                st.misses += 1;
+                if waited {
+                    st.coalesced += 1;
+                }
+                Ok(m)
+            }
+            Err(e) => Err(format!("materialize failed: {e}")),
+        };
+        let mut busy = self.inflight.lock().unwrap();
+        busy.remove(&key);
+        drop(busy);
+        self.inflight_cv.notify_all();
+        out
+    }
+
+    fn q_datasets(&self) -> Json {
+        let items = self
+            .datasets
+            .iter()
+            .map(|d| {
+                let records: usize = d
+                    .hierarchies
+                    .iter()
+                    .map(|h| h.difference.len() + h.count.as_ref().map_or(0, |c| c.len()))
+                    .sum();
+                let orderings = d
+                    .hierarchies
+                    .first()
+                    .map(|h| h.orderings())
+                    .unwrap_or_default();
+                Json::obj(vec![
+                    ("name", Json::str(d.name.clone())),
+                    ("blocks", Json::U64(d.bases.len() as u64)),
+                    (
+                        "orderings",
+                        Json::Arr(orderings.iter().map(|o| Json::str(o.key())).collect()),
+                    ),
+                    ("records", Json::U64(records as u64)),
+                    ("segmented", Json::Bool(!d.segs.is_empty())),
+                ])
+            })
+            .collect();
+        ok_obj("datasets", vec![("datasets", Json::Arr(items))])
+    }
+
+    fn q_threshold(&self, req: &[(String, Json)]) -> Result<Json, String> {
+        let (di, slot) = self.target(req)?;
+        let (ordering, t) = self.ordering_and_t(req)?;
+        let m = self.materialized(di, slot, ordering, t)?;
+        let c = m.complex.node_census();
+        Ok(ok_obj(
+            "threshold",
+            vec![
+                ("block", Json::U64(slot as u64)),
+                ("ordering", Json::str(ordering.key())),
+                ("t", Json::F64(t as f64)),
+                ("applied", Json::U64(m.applied as u64)),
+                ("nodes", Json::U64(m.complex.n_live_nodes())),
+                ("arcs", Json::U64(m.complex.n_live_arcs())),
+                (
+                    "census",
+                    Json::Arr(c.iter().map(|&n| Json::U64(n)).collect()),
+                ),
+            ],
+        ))
+    }
+
+    fn q_extrema(&self, req: &[(String, Json)]) -> Result<Json, String> {
+        let (di, slot) = self.target(req)?;
+        let (ordering, t) = self.ordering_and_t(req)?;
+        let kind = get_str(req, "kind").unwrap_or("max");
+        let index = match kind {
+            "max" => 3u8,
+            "min" => 0u8,
+            other => return Err(format!("unknown kind {other:?} (want min|max)")),
+        };
+        let top = get_u64(req, "top").unwrap_or(10) as usize;
+        let m = self.materialized(di, slot, ordering, t)?;
+        let mut extrema: Vec<(u64, f32)> = m
+            .complex
+            .nodes
+            .iter()
+            .filter(|n| n.alive && n.index == index)
+            .map(|n| (n.addr, n.value))
+            .collect();
+        // maxima strongest-first, minima deepest-first; addr breaks ties
+        extrema.sort_by(|a, b| {
+            let ord = a.1.partial_cmp(&b.1).expect("finite node values");
+            if index == 3 {
+                ord.reverse().then(a.0.cmp(&b.0))
+            } else {
+                ord.then(a.0.cmp(&b.0))
+            }
+        });
+        extrema.truncate(top);
+        Ok(ok_obj(
+            "extrema",
+            vec![
+                ("block", Json::U64(slot as u64)),
+                ("kind", Json::str(kind)),
+                (
+                    "extrema",
+                    Json::Arr(
+                        extrema
+                            .iter()
+                            .map(|&(addr, value)| {
+                                Json::obj(vec![
+                                    ("addr", Json::U64(addr)),
+                                    ("value", Json::F64(value as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ],
+        ))
+    }
+
+    fn q_arc_geometry(&self, req: &[(String, Json)]) -> Result<Json, String> {
+        let (di, slot) = self.target(req)?;
+        let (ordering, t) = self.ordering_and_t(req)?;
+        let arc = get_u64(req, "arc").ok_or_else(|| "missing arc index \"arc\"".to_string())?;
+        let m = self.materialized(di, slot, ordering, t)?;
+        let a = m
+            .complex
+            .arcs
+            .get(arc as usize)
+            .filter(|a| a.alive)
+            .ok_or_else(|| format!("no live arc {arc}"))?;
+        let node = |id: u32| {
+            let n = &m.complex.nodes[id as usize];
+            Json::obj(vec![
+                ("addr", Json::U64(n.addr)),
+                ("index", Json::U64(n.index as u64)),
+                ("value", Json::F64(n.value as f64)),
+            ])
+        };
+        let cells = m.complex.flatten_geom(a.geom);
+        Ok(ok_obj(
+            "arc-geometry",
+            vec![
+                ("block", Json::U64(slot as u64)),
+                ("arc", Json::U64(arc)),
+                ("upper", node(a.upper)),
+                ("lower", node(a.lower)),
+                (
+                    "cells",
+                    Json::Arr(cells.iter().map(|&c| Json::U64(c)).collect()),
+                ),
+            ],
+        ))
+    }
+
+    fn q_segment_stats(&self, req: &[(String, Json)]) -> Result<Json, String> {
+        let (di, slot) = self.target(req)?;
+        let (ordering, t) = self.ordering_and_t(req)?;
+        let ds = &self.datasets[di];
+        if ds.segs.is_empty() {
+            return Err("dataset has no segmentation (compute run without --segment)".to_string());
+        }
+        let m = self.materialized(di, slot, ordering, t)?;
+        // Follow the replayed cancellations through the label tables:
+        // compress the prefix's forward chains, rewrite the member
+        // blocks' tables, then census the surviving regions.
+        let resolved = compress_forwards(&m.forwards);
+        let members = &ds.bases[slot].member_blocks;
+        let mut descending: HashMap<u64, u64> = HashMap::new();
+        let mut ascending: HashMap<u64, u64> = HashMap::new();
+        let (mut vertices, mut voxels, mut drained) = (0u64, 0u64, 0u64);
+        for seg in ds.segs.iter().filter(|s| members.contains(&s.block_id)) {
+            let mut seg = seg.clone();
+            remap_tables(&mut seg, &resolved);
+            vertices += seg.min_label.len() as u64;
+            voxels += seg.max_label.len() as u64;
+            for &l in &seg.min_label {
+                match seg.mins.get(l as usize) {
+                    Some(&a) if l != DRAIN_LABEL && a != DRAIN_ADDR => {
+                        *descending.entry(a).or_insert(0) += 1;
+                    }
+                    _ => drained += 1,
+                }
+            }
+            for &l in &seg.max_label {
+                match seg.maxs.get(l as usize) {
+                    Some(&a) if l != DRAIN_LABEL && a != DRAIN_ADDR => {
+                        *ascending.entry(a).or_insert(0) += 1;
+                    }
+                    _ => drained += 1,
+                }
+            }
+        }
+        let largest = |m: &HashMap<u64, u64>| m.values().max().copied().unwrap_or(0);
+        Ok(ok_obj(
+            "segment-stats",
+            vec![
+                ("block", Json::U64(slot as u64)),
+                ("ordering", Json::str(ordering.key())),
+                ("t", Json::F64(t as f64)),
+                ("descending_regions", Json::U64(descending.len() as u64)),
+                ("ascending_regions", Json::U64(ascending.len() as u64)),
+                ("largest_descending", Json::U64(largest(&descending))),
+                ("largest_ascending", Json::U64(largest(&ascending))),
+                ("vertices", Json::U64(vertices)),
+                ("voxels", Json::U64(voxels)),
+                ("drained", Json::U64(drained)),
+            ],
+        ))
+    }
+
+    /// Point-in-time statistics as a response object.
+    pub fn stats_json(&self) -> Json {
+        let st = self.stats.lock().unwrap();
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let qps = if elapsed > 0.0 {
+            st.queries as f64 / elapsed
+        } else {
+            0.0
+        };
+        let lookups = st.hits + st.misses;
+        let hit_rate = if lookups > 0 {
+            st.hits as f64 / lookups as f64
+        } else {
+            0.0
+        };
+        ok_obj(
+            "stats",
+            vec![
+                ("queries", Json::U64(st.queries)),
+                ("hits", Json::U64(st.hits)),
+                ("misses", Json::U64(st.misses)),
+                ("coalesced", Json::U64(st.coalesced)),
+                ("errors", Json::U64(st.errors)),
+                ("qps", Json::F64(qps)),
+                ("hit_rate", Json::F64(hit_rate)),
+                ("classes", classes_json(&st.classes)),
+            ],
+        )
+    }
+
+    /// Fold the serving statistics into an `msp-telemetry` run report:
+    /// `serve_*` counters on rank 0, plus `qps` / `hit_rate` /
+    /// per-class latency quantiles in the meta. The quantile invariant
+    /// (p50 ≤ p99 per class) is asserted here — a violation is a bug in
+    /// the latency accounting, not a data property.
+    pub fn report(&self, name: &str) -> RunReport {
+        let st = self.stats.lock().unwrap();
+        let mut rec = Recorder::new(0);
+        rec.add(Counter::ServeQueries, st.queries);
+        rec.add(Counter::ServeHits, st.hits);
+        rec.add(Counter::ServeMisses, st.misses);
+        rec.add(Counter::ServeCoalesced, st.coalesced);
+        rec.add(Counter::ServeErrors, st.errors);
+        let rank = rec.finish();
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let qps = if elapsed > 0.0 {
+            st.queries as f64 / elapsed
+        } else {
+            0.0
+        };
+        let lookups = st.hits + st.misses;
+        let hit_rate = if lookups > 0 {
+            st.hits as f64 / lookups as f64
+        } else {
+            0.0
+        };
+        for lat in st.classes.values() {
+            let mut sorted = lat.clone();
+            sorted.sort_unstable();
+            assert!(
+                quantile(&sorted, 50) <= quantile(&sorted, 99),
+                "latency quantiles out of order"
+            );
+        }
+        RunReport::from_ranks(name, vec![rank])
+            .with_meta("qps", Json::F64(qps))
+            .with_meta("hit_rate", Json::F64(hit_rate))
+            .with_meta("classes", classes_json(&st.classes))
+    }
+}
+
+/// Per-class latency summaries, class names sorted for deterministic
+/// rendering.
+fn classes_json(classes: &HashMap<&'static str, Vec<u64>>) -> Json {
+    let mut names: Vec<&&str> = classes.keys().collect();
+    names.sort();
+    Json::Obj(
+        names
+            .into_iter()
+            .map(|&name| {
+                let mut sorted = classes[name].clone();
+                sorted.sort_unstable();
+                (
+                    name.to_string(),
+                    Json::obj(vec![
+                        ("count", Json::U64(sorted.len() as u64)),
+                        ("p50_us", Json::U64(quantile(&sorted, 50))),
+                        ("p99_us", Json::U64(quantile(&sorted, 99))),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Nearest-rank quantile over a sorted sample; 0 for an empty one.
+/// Monotone in `pct`, so p50 ≤ p99 holds structurally.
+fn quantile(sorted: &[u64], pct: usize) -> u64 {
+    match sorted.len() {
+        0 => 0,
+        n => sorted[(n - 1) * pct / 100],
+    }
+}
+
+fn ok_obj(op: &str, rest: Vec<(&str, Json)>) -> Json {
+    let mut pairs = vec![("ok", Json::Bool(true)), ("op", Json::str(op))];
+    pairs.extend(rest);
+    Json::obj(pairs)
+}
+
+fn get<'a>(req: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    req.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_str<'a>(req: &'a [(String, Json)], key: &str) -> Option<&'a str> {
+    match get(req, key) {
+        Some(Json::Str(s)) => Some(s),
+        _ => None,
+    }
+}
+
+fn get_u64(req: &[(String, Json)], key: &str) -> Option<u64> {
+    match get(req, key) {
+        Some(Json::U64(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+fn get_f64(req: &[(String, Json)], key: &str) -> Option<f64> {
+    match get(req, key) {
+        Some(Json::F64(v)) => Some(*v),
+        Some(Json::U64(n)) => Some(*n as f64),
+        Some(Json::I64(n)) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+/// Render a [`Json`] value on one line (the pretty renderer inserts
+/// newlines, which would break line-delimited framing).
+fn compact(j: &Json) -> String {
+    let mut out = String::new();
+    compact_into(j, &mut out);
+    out
+}
+
+fn compact_into(j: &Json, out: &mut String) {
+    match j {
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                compact_into(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(pairs) => {
+            out.push('{');
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&Json::str(k.clone()).to_string());
+                out.push(':');
+                compact_into(v, out);
+            }
+            out.push('}');
+        }
+        // scalars never render with newlines
+        other => out.push_str(&other.to_string()),
+    }
+}
+
+/// Does this request line ask to stop reading (quit/shutdown)? Used by
+/// the stdio reader so a batch ending in `{"op":"quit"}` terminates
+/// without waiting for EOF.
+fn wants_close(line: &str) -> bool {
+    if let Ok(Json::Obj(pairs)) = Json::parse(line.trim()) {
+        if let Some(op) = get_str(&pairs, "op") {
+            return op == "quit" || op == "shutdown";
+        }
+    }
+    false
+}
+
+/// State of the in-order response writer: workers finish in any order
+/// but write strictly by sequence number.
+struct OutState<W> {
+    next: u64,
+    writer: W,
+    error: Option<std::io::Error>,
+}
+
+/// Serve a line-delimited session from any reader/writer pair with a
+/// worker pool: the calling thread reads and sequences requests,
+/// `threads` workers process them (cache coalescing happens here), and
+/// responses are written in request order via a ticket on the shared
+/// writer. Stops at EOF or after a `quit`/`shutdown` request.
+pub fn serve_lines<R, W>(
+    core: &ServerCore,
+    reader: R,
+    writer: W,
+    threads: usize,
+) -> std::io::Result<()>
+where
+    R: BufRead,
+    W: Write + Send,
+{
+    let threads = threads.max(1);
+    type Jobs = Mutex<(VecDeque<(u64, String)>, bool)>;
+    let jobs: Jobs = Mutex::new((VecDeque::new(), false));
+    let jobs_cv = Condvar::new();
+    let out = Mutex::new(OutState {
+        next: 0,
+        writer,
+        error: None,
+    });
+    let out_cv = Condvar::new();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let job = {
+                    let mut g = jobs.lock().unwrap();
+                    loop {
+                        if let Some(j) = g.0.pop_front() {
+                            break Some(j);
+                        }
+                        if g.1 {
+                            break None;
+                        }
+                        g = jobs_cv.wait(g).unwrap();
+                    }
+                };
+                let Some((seq, line)) = job else { return };
+                let (resp, _close) = core.handle_line(&line);
+                let mut g = out.lock().unwrap();
+                while g.next != seq {
+                    g = out_cv.wait(g).unwrap();
+                }
+                if g.error.is_none() {
+                    let r = writeln!(g.writer, "{resp}").and_then(|()| g.writer.flush());
+                    if let Err(e) = r {
+                        g.error = Some(e);
+                    }
+                }
+                g.next += 1;
+                out_cv.notify_all();
+            });
+        }
+        let mut seq = 0u64;
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let stop = wants_close(&line);
+            jobs.lock().unwrap().0.push_back((seq, line));
+            jobs_cv.notify_one();
+            seq += 1;
+            if stop {
+                break;
+            }
+        }
+        jobs.lock().unwrap().1 = true;
+        jobs_cv.notify_all();
+    });
+    let out = out.into_inner().unwrap();
+    match out.error {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// Serve TCP connections until some client sends `{"op":"shutdown"}`.
+/// One thread per connection; each connection is its own line-delimited
+/// session (concurrent connections still share the cache and coalesce).
+pub fn serve_tcp(core: &ServerCore, listener: TcpListener) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    std::thread::scope(|s| loop {
+        if core.is_shutdown() {
+            return Ok(());
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                s.spawn(move || {
+                    let _ = serve_connection(core, stream);
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => return Err(e),
+        }
+    })
+}
+
+fn serve_connection(core: &ServerCore, stream: TcpStream) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (resp, close) = core.handle_line(&line);
+        writeln!(writer, "{resp}")?;
+        writer.flush()?;
+        if close {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{run_parallel, Input, PipelineParams};
+    use crate::plan::MergePlan;
+    use msp_grid::Dims;
+    use std::io::Cursor;
+    use std::sync::Barrier;
+
+    /// Build a real dataset by running the pipeline with artifacts on
+    /// disk, loading them back, and cleaning up.
+    fn dataset(tag: &str) -> Dataset {
+        let mut path = std::env::temp_dir();
+        path.push(format!("msp_serve_{}_{tag}.msc", std::process::id()));
+        let input = Input::Memory(std::sync::Arc::new(msp_synth::white_noise(
+            Dims::cube(9),
+            17,
+        )));
+        let params = PipelineParams {
+            persistence_frac: 0.0,
+            plan: MergePlan::full_merge(8),
+            segment: true,
+            hierarchy: true,
+            ..Default::default()
+        };
+        run_parallel(&input, 2, 8, &params, Some(&path)).unwrap();
+        let ds = load_dataset("noise", &path).unwrap();
+        for p in [path.clone(), seg_output_path(&path), msh_output_path(&path)] {
+            std::fs::remove_file(p).ok();
+        }
+        ds
+    }
+
+    fn parsed(line: &str) -> Vec<(String, Json)> {
+        match Json::parse(line).unwrap() {
+            Json::Obj(pairs) => pairs,
+            other => panic!("response must be an object, got {other:?}"),
+        }
+    }
+
+    fn field<'a>(pairs: &'a [(String, Json)], key: &str) -> &'a Json {
+        get(pairs, key).unwrap_or_else(|| panic!("missing {key}"))
+    }
+
+    #[test]
+    fn queries_answer_and_cache() {
+        let core = ServerCore::new(vec![dataset("basic")], ServeConfig::default());
+        let t = {
+            let h = &core.datasets[0].hierarchies[0];
+            h.difference[h.difference.len() / 2].key as f64
+        };
+        let q = format!("{{\"op\":\"threshold\",\"t\":{t}}}");
+        let (r1, close) = core.handle_line(&q);
+        assert!(!close);
+        let p1 = parsed(&r1);
+        assert_eq!(field(&p1, "ok"), &Json::Bool(true));
+        assert!(matches!(field(&p1, "applied"), Json::U64(n) if *n > 0));
+        // identical request: served from cache, byte-identical response
+        let (r2, _) = core.handle_line(&q);
+        assert_eq!(r1, r2);
+        // distinct query classes against the same materialization
+        let (re, _) = core.handle_line(&format!("{{\"op\":\"extrema\",\"t\":{t},\"top\":3}}"));
+        let pe = parsed(&re);
+        assert_eq!(field(&pe, "ok"), &Json::Bool(true));
+        let Json::Arr(ext) = field(&pe, "extrema") else {
+            panic!("extrema array")
+        };
+        assert!(!ext.is_empty() && ext.len() <= 3);
+        let (rs, _) = core.handle_line(&format!("{{\"op\":\"segment-stats\",\"t\":{t}}}"));
+        let ps = parsed(&rs);
+        assert_eq!(field(&ps, "ok"), &Json::Bool(true), "{rs}");
+        assert!(matches!(field(&ps, "descending_regions"), Json::U64(n) if *n > 0));
+        // find a live arc index from the materialized complex, then ask
+        // for its geometry
+        let (_, slot) = core.target(&[]).unwrap();
+        let m = core
+            .materialized(0, slot, Ordering::Difference, t as f32)
+            .unwrap();
+        let arc = m.complex.arcs.iter().position(|a| a.alive).unwrap();
+        let (ra, _) = core.handle_line(&format!(
+            "{{\"op\":\"arc-geometry\",\"t\":{t},\"arc\":{arc}}}"
+        ));
+        let pa = parsed(&ra);
+        assert_eq!(field(&pa, "ok"), &Json::Bool(true), "{ra}");
+        assert!(matches!(field(&pa, "cells"), Json::Arr(c) if !c.is_empty()));
+        // stats reflect the cache behavior: repeats hit
+        let (rst, _) = core.handle_line("{\"op\":\"stats\"}");
+        let pst = parsed(&rst);
+        assert!(matches!(field(&pst, "hits"), Json::U64(n) if *n > 0));
+        assert!(matches!(field(&pst, "misses"), Json::U64(n) if *n > 0));
+        assert!(matches!(field(&pst, "hit_rate"), Json::F64(r) if *r > 0.0));
+        // and the telemetry report carries the same counters
+        let report = core.report("serve_test");
+        assert!(report.counter_total("serve_queries") > 0);
+        assert!(report.counter_total("serve_hits") > 0);
+        assert_eq!(report.counter_total("serve_errors"), 0);
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let core = ServerCore::new(vec![dataset("errs")], ServeConfig::default());
+        for bad in [
+            "not json at all",
+            "[1,2,3]",
+            "{\"no\":\"op\"}",
+            "{\"op\":\"teleport\"}",
+            "{\"op\":\"threshold\"}",                        // missing t
+            "{\"op\":\"threshold\",\"t\":0.1,\"block\":99}", // out of range
+            "{\"op\":\"threshold\",\"t\":0.1,\"ordering\":\"bogus\"}",
+            "{\"op\":\"arc-geometry\",\"t\":0.1,\"arc\":123456}",
+            "{\"op\":\"extrema\",\"t\":0.1,\"kind\":\"saddle\"}",
+            "{\"op\":\"threshold\",\"t\":0.1,\"dataset\":\"nope\"}",
+        ] {
+            let (resp, close) = core.handle_line(bad);
+            let p = parsed(&resp);
+            assert_eq!(field(&p, "ok"), &Json::Bool(false), "{bad} -> {resp}");
+            assert!(!close);
+        }
+        let (resp, _) = core.handle_line("{\"op\":\"stats\"}");
+        let p = parsed(&resp);
+        assert!(
+            matches!(field(&p, "errors"), Json::U64(n) if *n == 10),
+            "{resp}"
+        );
+        // the session survives: a good query still answers
+        let (ok, _) = core.handle_line("{\"op\":\"ping\"}");
+        assert_eq!(field(&parsed(&ok), "ok"), &Json::Bool(true));
+    }
+
+    #[test]
+    fn concurrent_identical_requests_coalesce() {
+        let core = ServerCore::new(vec![dataset("coalesce")], ServeConfig::default());
+        let n = 8;
+        let barrier = Barrier::new(n);
+        std::thread::scope(|s| {
+            for _ in 0..n {
+                s.spawn(|| {
+                    barrier.wait();
+                    let m = core.materialized(0, 0, Ordering::Difference, 0.25).unwrap();
+                    assert!(m.complex.n_live_nodes() > 0);
+                });
+            }
+        });
+        let st = core.stats.lock().unwrap();
+        assert_eq!(st.hits + st.misses, n as u64);
+        assert_eq!(st.misses, 1, "one computation for {n} identical requests");
+        assert_eq!(st.hits, n as u64 - 1);
+    }
+
+    #[test]
+    fn lru_evicts_stalest_key() {
+        let mut lru = Lru::new(2);
+        let key = |i: u32| CacheKey {
+            dataset: 0,
+            slot: 0,
+            ordering: Ordering::Difference,
+            threshold_bits: i,
+        };
+        let dummy = |applied: usize| {
+            Arc::new(Materialized {
+                complex: MsComplex::new(msp_grid::Dims::cube(2).refined(), vec![0]),
+                forwards: Vec::new(),
+                stats: Default::default(),
+                applied,
+            })
+        };
+        lru.put(key(1), dummy(1));
+        lru.put(key(2), dummy(2));
+        assert!(lru.get(&key(1)).is_some()); // 1 freshened; 2 now stalest
+        lru.put(key(3), dummy(3));
+        assert!(lru.get(&key(2)).is_none(), "stalest key evicted");
+        assert!(lru.get(&key(1)).is_some());
+        assert!(lru.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn serve_lines_keeps_request_order_and_stops_at_quit() {
+        let core = ServerCore::new(vec![dataset("lines")], ServeConfig::default());
+        let batch = "\
+            {\"op\":\"ping\"}\n\
+            {\"op\":\"threshold\",\"t\":0.2}\n\
+            {\"op\":\"threshold\",\"t\":0.2}\n\
+            {\"op\":\"datasets\"}\n\
+            {\"op\":\"stats\"}\n\
+            {\"op\":\"quit\"}\n\
+            {\"op\":\"ping\"}\n";
+        let mut out = Vec::new();
+        serve_lines(&core, Cursor::new(batch.as_bytes()), &mut out, 3).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // the post-quit ping is never read
+        assert_eq!(lines.len(), 6, "{text}");
+        let ops: Vec<String> = lines
+            .iter()
+            .map(|l| match field(&parsed(l), "op") {
+                Json::Str(s) => s.clone(),
+                other => panic!("op must be a string, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(
+            ops,
+            [
+                "ping",
+                "threshold",
+                "threshold",
+                "datasets",
+                "stats",
+                "quit"
+            ]
+        );
+        // the two identical thresholds must answer identically
+        assert_eq!(lines[1], lines[2]);
+        // every response is a single line of valid JSON
+        for l in &lines {
+            assert!(Json::parse(l).is_ok());
+        }
+    }
+
+    #[test]
+    fn tcp_round_trip_and_shutdown() {
+        let core = Arc::new(ServerCore::new(
+            vec![dataset("tcp")],
+            ServeConfig::default(),
+        ));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::scope(|s| {
+            let server = {
+                let core = core.clone();
+                s.spawn(move || serve_tcp(&core, listener))
+            };
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut ask = |req: &str| {
+                writeln!(stream, "{req}").unwrap();
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                line
+            };
+            let resp = ask("{\"op\":\"threshold\",\"t\":0.3}");
+            assert_eq!(field(&parsed(resp.trim()), "ok"), &Json::Bool(true));
+            let resp = ask("{\"op\":\"shutdown\"}");
+            assert_eq!(field(&parsed(resp.trim()), "ok"), &Json::Bool(true));
+            server.join().unwrap().unwrap();
+        });
+        assert!(core.is_shutdown());
+    }
+}

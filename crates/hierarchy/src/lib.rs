@@ -1,0 +1,508 @@
+//! # msp-hierarchy
+//!
+//! The compute-once / query-many layer: run simplification **once** at
+//! persistence 0 with full logging, keep the ordered cancellation
+//! sequence as a [`SlotHierarchy`], and materialize *any* threshold later
+//! by replaying a prefix — no recompute of the parallel pipeline.
+//!
+//! Two orderings are recorded (in the style of topopy's simplification
+//! hierarchies):
+//!
+//! * [`Ordering::Difference`] — classic persistence `|f(u) − f(l)|`;
+//! * [`Ordering::Count`] — manifold size: the cancelled extremum's
+//!   region size (vertex/voxel counts from the `msp-segment` label
+//!   tables), merged sizes accumulating onto the surviving extremum.
+//!
+//! **Replay is positional, not filtered.** A threshold-`t` simplification
+//! executes identically to the threshold-∞ recording run up to the first
+//! processed heap pop whose key exceeds `t` (same heap, same state, same
+//! code), so [`SlotHierarchy::materialize`] replays records `0..k` where
+//! `k` is the position of the *first* record with `key > t` — later
+//! records may carry smaller keys (arcs created by a cancellation can
+//! form lower-key pairs) and must **not** be replayed. Both the recorder
+//! and the replayer run `msp_complex`'s shared cancellation body, which
+//! is what makes the materialized complex (and its segmentation forward
+//! entries) bit-identical to a direct `simplify` run at `t`.
+//!
+//! The on-disk artifact is the versioned `MSH1` format ([`wire`]); the
+//! pipeline writes one payload per output slot via the collective write,
+//! so `<out>.msh` is byte-identical across ranks/threads/schedules.
+
+pub mod wire;
+
+use msp_complex::{
+    replay_cancellation, simplify_with, CancelOrder, CancelRecord, MsComplex, ReplayError,
+    SimplifyError, SimplifyParams, SimplifyStats,
+};
+use msp_segment::{BlockSegmentation, DRAIN_ADDR, DRAIN_LABEL};
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// Which recorded cancellation sequence to replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ordering {
+    /// Persistence `|f(u) − f(l)|`; thresholds are function-value deltas.
+    Difference,
+    /// Manifold size; thresholds are region vertex/voxel counts.
+    Count,
+}
+
+impl Ordering {
+    pub const ALL: [Ordering; 2] = [Ordering::Difference, Ordering::Count];
+
+    pub fn key(self) -> &'static str {
+        match self {
+            Ordering::Difference => "difference",
+            Ordering::Count => "count",
+        }
+    }
+}
+
+impl fmt::Display for Ordering {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+impl FromStr for Ordering {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "difference" => Ok(Ordering::Difference),
+            "count" => Ok(Ordering::Count),
+            other => Err(format!(
+                "unknown ordering {other:?} (want difference|count)"
+            )),
+        }
+    }
+}
+
+/// The simplification knobs a replay must repeat exactly — recorded into
+/// the artifact so materialization cannot silently diverge from the run
+/// that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayParams {
+    /// Valence guard used while recording (`SimplifyParams::max_new_arcs`).
+    pub max_new_arcs: Option<u64>,
+    /// Parallel-arc cap (`SimplifyParams::max_parallel_arcs`).
+    pub max_parallel_arcs: Option<u32>,
+}
+
+impl Default for ReplayParams {
+    fn default() -> Self {
+        ReplayParams {
+            max_new_arcs: None,
+            max_parallel_arcs: Some(2),
+        }
+    }
+}
+
+/// The recorded cancellation sequences for one output complex ("slot").
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotHierarchy {
+    pub params: ReplayParams,
+    /// Difference-ordered sequence (always present).
+    pub difference: Vec<CancelRecord>,
+    /// Count-ordered sequence, present when the recording run had
+    /// segmentation region sizes available.
+    pub count: Option<Vec<CancelRecord>>,
+}
+
+/// A materialized threshold: the simplified complex plus everything the
+/// segmentation needs to follow it.
+#[derive(Debug, Clone)]
+pub struct Materialized {
+    /// The compacted complex, bit-identical to a direct `simplify` run.
+    pub complex: MsComplex,
+    /// Forward entries `(dead extremum, survivor)` of the replayed
+    /// prefix, in cancellation order.
+    pub forwards: Vec<(u64, u64)>,
+    pub stats: SimplifyStats,
+    /// Number of records replayed.
+    pub applied: usize,
+}
+
+/// Errors from materialization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HierarchyError {
+    /// The artifact has no sequence for this ordering (count was not
+    /// recorded because the run had no segmentation).
+    MissingOrdering(Ordering),
+    /// `materialize_k` beyond the recorded sequence.
+    PrefixOutOfRange { k: usize, len: usize },
+    /// NaN threshold — no prefix is defined.
+    NanThreshold,
+    /// A record failed to re-execute: the base complex does not match
+    /// the one the hierarchy was recorded from.
+    Replay { index: usize, source: ReplayError },
+}
+
+impl fmt::Display for HierarchyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HierarchyError::MissingOrdering(o) => {
+                write!(f, "hierarchy has no {o} sequence")
+            }
+            HierarchyError::PrefixOutOfRange { k, len } => {
+                write!(f, "prefix length {k} out of range (sequence has {len})")
+            }
+            HierarchyError::NanThreshold => write!(f, "materialization threshold is NaN"),
+            HierarchyError::Replay { index, source } => {
+                write!(f, "record {index} does not apply to this base: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HierarchyError {}
+
+/// Record the full hierarchy of `base`: simplify a clone to persistence
+/// ∞ under each ordering, logging every cancellation. `sizes` (extremum
+/// address → global region size) enables the count ordering. The base
+/// complex itself is untouched.
+pub fn record(
+    base: &MsComplex,
+    params: ReplayParams,
+    sizes: Option<HashMap<u64, u64>>,
+) -> Result<SlotHierarchy, SimplifyError> {
+    let sp = SimplifyParams {
+        threshold: f32::INFINITY,
+        max_new_arcs: params.max_new_arcs,
+        max_parallel_arcs: params.max_parallel_arcs,
+    };
+    let mut difference = Vec::new();
+    let mut work = base.clone();
+    simplify_with(
+        &mut work,
+        sp,
+        &mut CancelOrder::Difference,
+        Some(&mut difference),
+        None,
+    )?;
+    let count = match sizes {
+        Some(s) => {
+            let mut log = Vec::new();
+            let mut work = base.clone();
+            simplify_with(&mut work, sp, &mut CancelOrder::Count(s), Some(&mut log), None)?;
+            Some(log)
+        }
+        None => None,
+    };
+    Ok(SlotHierarchy {
+        params,
+        difference,
+        count,
+    })
+}
+
+impl SlotHierarchy {
+    /// The recorded sequence for an ordering, if present.
+    pub fn records(&self, ordering: Ordering) -> Option<&[CancelRecord]> {
+        match ordering {
+            Ordering::Difference => Some(&self.difference),
+            Ordering::Count => self.count.as_deref(),
+        }
+    }
+
+    /// Orderings this hierarchy can materialize.
+    pub fn orderings(&self) -> Vec<Ordering> {
+        Ordering::ALL
+            .into_iter()
+            .filter(|&o| self.records(o).is_some())
+            .collect()
+    }
+
+    /// Length of the replay prefix for `threshold`: the position of the
+    /// first record with `key > threshold` (positional stop — see the
+    /// crate docs for why filtering by key would be wrong).
+    pub fn prefix_len(&self, ordering: Ordering, threshold: f32) -> Result<usize, HierarchyError> {
+        if threshold.is_nan() {
+            return Err(HierarchyError::NanThreshold);
+        }
+        let recs = self
+            .records(ordering)
+            .ok_or(HierarchyError::MissingOrdering(ordering))?;
+        Ok(recs
+            .iter()
+            .position(|r| r.key > threshold)
+            .unwrap_or(recs.len()))
+    }
+
+    /// Materialize the simplification at `threshold` by prefix replay on
+    /// `base` (which must be the complex the hierarchy was recorded
+    /// from, or its wire round-trip).
+    pub fn materialize(
+        &self,
+        base: &MsComplex,
+        ordering: Ordering,
+        threshold: f32,
+    ) -> Result<Materialized, HierarchyError> {
+        let k = self.prefix_len(ordering, threshold)?;
+        self.materialize_k(base, ordering, k)
+    }
+
+    /// Materialize by replaying exactly the first `k` records.
+    pub fn materialize_k(
+        &self,
+        base: &MsComplex,
+        ordering: Ordering,
+        k: usize,
+    ) -> Result<Materialized, HierarchyError> {
+        let recs = self
+            .records(ordering)
+            .ok_or(HierarchyError::MissingOrdering(ordering))?;
+        if k > recs.len() {
+            return Err(HierarchyError::PrefixOutOfRange { k, len: recs.len() });
+        }
+        let mut ms = base.clone();
+        let mut stats = SimplifyStats::default();
+        let mut forwards = Vec::new();
+        for (i, r) in recs[..k].iter().enumerate() {
+            let fwd = replay_cancellation(
+                &mut ms,
+                r.upper_addr,
+                r.lower_addr,
+                self.params.max_parallel_arcs,
+                &mut stats,
+            )
+            .map_err(|source| HierarchyError::Replay { index: i, source })?;
+            debug_assert_eq!(fwd, r.forward, "record {i} diverged on replay");
+            if let Some(e) = fwd {
+                forwards.push(e);
+            }
+            // same cadence as the live loop; no observable effect, just
+            // keeps incidence scans at live degree on long prefixes
+            if (i + 1) % 512 == 0 {
+                ms.prune_dead_adjacency();
+            }
+        }
+        ms.compact();
+        Ok(Materialized {
+            complex: ms,
+            forwards,
+            stats,
+            applied: k,
+        })
+    }
+}
+
+/// Path-compress a forward-entry sequence: every dead extremum maps to
+/// its live root (or [`DRAIN_ADDR`]). The serial equivalent of the
+/// pipeline's distributed pointer jumping, for single-process replay.
+pub fn compress_forwards(forwards: &[(u64, u64)]) -> HashMap<u64, u64> {
+    let map: HashMap<u64, u64> = forwards.iter().copied().collect();
+    let mut resolved: HashMap<u64, u64> = HashMap::with_capacity(map.len());
+    for &dead in map.keys() {
+        let mut cur = dead;
+        let mut hops = 0usize;
+        while let Some(&next) = map.get(&cur) {
+            cur = next;
+            hops += 1;
+            assert!(hops <= map.len(), "forward cycle at {dead:#x}");
+            if cur == DRAIN_ADDR {
+                break;
+            }
+        }
+        resolved.insert(dead, cur);
+    }
+    resolved
+}
+
+/// Rewrite a block's extremum tables through a compressed forward map —
+/// the serial equivalent of the pipeline's table rewrite after
+/// resolution. Label arrays are untouched: labels index the tables.
+pub fn remap_tables(seg: &mut BlockSegmentation, resolved: &HashMap<u64, u64>) {
+    for addr in seg.mins.iter_mut().chain(seg.maxs.iter_mut()) {
+        if let Some(&t) = resolved.get(addr) {
+            *addr = t;
+        }
+    }
+}
+
+/// Per-extremum region sizes from label arrays: how many vertices drain
+/// to each minimum and how many voxels climb to each maximum. These are
+/// *local* counts — the pipeline sums them across ranks before recording
+/// the count ordering.
+pub fn region_sizes<'a>(
+    segs: impl IntoIterator<Item = &'a BlockSegmentation>,
+) -> HashMap<u64, u64> {
+    let mut sizes: HashMap<u64, u64> = HashMap::new();
+    for seg in segs {
+        for &l in &seg.min_label {
+            if l != DRAIN_LABEL {
+                *sizes.entry(seg.mins[l as usize]).or_insert(0) += 1;
+            }
+        }
+        for &l in &seg.max_label {
+            if l != DRAIN_LABEL {
+                *sizes.entry(seg.maxs[l as usize]).or_insert(0) += 1;
+            }
+        }
+    }
+    sizes.remove(&DRAIN_ADDR);
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msp_complex::build::build_block_complex;
+    use msp_complex::{simplify_forwarding, wire as cwire};
+    use msp_grid::{Decomposition, Dims, ScalarField};
+    use msp_morse::TraceLimits;
+
+    fn base_complex(seed: u64) -> MsComplex {
+        let f = msp_synth::white_noise(Dims::new(9, 9, 9), seed);
+        serial(&f)
+    }
+
+    fn serial(f: &ScalarField) -> MsComplex {
+        let d = Decomposition::bisect(f.dims(), 1);
+        let (mut ms, _) =
+            build_block_complex(&f.extract_block(d.block(0)), &d, TraceLimits::default());
+        ms.compact();
+        ms
+    }
+
+    fn synthetic_sizes(base: &MsComplex) -> HashMap<u64, u64> {
+        base.nodes
+            .iter()
+            .filter(|n| n.alive && (n.index == 0 || n.index == 3))
+            .map(|n| (n.addr, 1 + (n.addr % 53)))
+            .collect()
+    }
+
+    #[test]
+    fn materialize_matches_direct_simplify_bitwise() {
+        let base = base_complex(11);
+        let h = record(&base, ReplayParams::default(), None).unwrap();
+        assert!(h.difference.len() > 4);
+        let mid = h.difference[h.difference.len() / 2].key;
+        for t in [0.0f32, mid, f32::INFINITY] {
+            let got = h.materialize(&base, Ordering::Difference, t).unwrap();
+            let mut want = base.clone();
+            let mut wfw = Vec::new();
+            simplify_forwarding(&mut want, SimplifyParams::up_to(t), Some(&mut wfw)).unwrap();
+            want.compact();
+            assert_eq!(
+                cwire::serialize(&got.complex),
+                cwire::serialize(&want),
+                "threshold {t}"
+            );
+            assert_eq!(got.forwards, wfw, "threshold {t}");
+        }
+    }
+
+    #[test]
+    fn materialize_from_wire_round_tripped_base_is_identical() {
+        // serving loads the base from the .msc artifact, not from the
+        // in-memory pipeline output — the replay must not care
+        let base = base_complex(29);
+        let loaded = cwire::deserialize(&cwire::serialize(&base)).unwrap();
+        let h = record(&base, ReplayParams::default(), None).unwrap();
+        let t = h.difference[h.difference.len() / 3].key;
+        let a = h.materialize(&base, Ordering::Difference, t).unwrap();
+        let b = h.materialize(&loaded, Ordering::Difference, t).unwrap();
+        assert_eq!(
+            cwire::serialize(&a.complex),
+            cwire::serialize(&b.complex)
+        );
+        assert_eq!(a.forwards, b.forwards);
+    }
+
+    #[test]
+    fn count_ordering_records_and_replays() {
+        let base = base_complex(37);
+        let sizes = synthetic_sizes(&base);
+        let h = record(&base, ReplayParams::default(), Some(sizes.clone())).unwrap();
+        let recs = h.records(Ordering::Count).unwrap();
+        assert!(!recs.is_empty());
+        // count keys are region sizes, not persistences
+        assert!(recs
+            .iter()
+            .any(|r| r.forward.is_some() && r.key != r.persistence));
+        // materializing at a mid count threshold == direct keyed run
+        let mid = recs[recs.len() / 2].key;
+        let got = h.materialize(&base, Ordering::Count, mid).unwrap();
+        let mut want = base.clone();
+        simplify_with(
+            &mut want,
+            SimplifyParams {
+                threshold: mid,
+                max_new_arcs: None,
+                max_parallel_arcs: Some(2),
+            },
+            &mut CancelOrder::Count(sizes),
+            None,
+            None,
+        )
+        .unwrap();
+        want.compact();
+        assert_eq!(cwire::serialize(&got.complex), cwire::serialize(&want));
+    }
+
+    #[test]
+    fn prefix_len_is_positional_not_filtered() {
+        let h = SlotHierarchy {
+            params: ReplayParams::default(),
+            // non-monotone keys: a later record with a smaller key must
+            // not extend the prefix
+            difference: [0.1f32, 0.3, 0.2, 0.5]
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| CancelRecord {
+                    upper_addr: 10 + i as u64,
+                    lower_addr: 20 + i as u64,
+                    persistence: k,
+                    key: k,
+                    forward: None,
+                })
+                .collect(),
+            count: None,
+        };
+        assert_eq!(h.prefix_len(Ordering::Difference, 0.25).unwrap(), 1);
+        assert_eq!(h.prefix_len(Ordering::Difference, 0.05).unwrap(), 0);
+        assert_eq!(
+            h.prefix_len(Ordering::Difference, f32::INFINITY).unwrap(),
+            4
+        );
+        assert_eq!(
+            h.prefix_len(Ordering::Difference, f32::NAN),
+            Err(HierarchyError::NanThreshold)
+        );
+        assert_eq!(
+            h.prefix_len(Ordering::Count, 1.0),
+            Err(HierarchyError::MissingOrdering(Ordering::Count))
+        );
+    }
+
+    #[test]
+    fn replay_on_mismatched_base_is_typed_error() {
+        let base = base_complex(11);
+        let other = base_complex(5150);
+        let h = record(&base, ReplayParams::default(), None).unwrap();
+        let err = h
+            .materialize(&other, Ordering::Difference, f32::INFINITY)
+            .unwrap_err();
+        assert!(matches!(err, HierarchyError::Replay { .. }), "{err}");
+    }
+
+    #[test]
+    fn compress_and_remap_follow_chains() {
+        let forwards = vec![(1u64, 2u64), (2, 3), (7, DRAIN_ADDR)];
+        let resolved = compress_forwards(&forwards);
+        assert_eq!(resolved[&1], 3);
+        assert_eq!(resolved[&2], 3);
+        assert_eq!(resolved[&7], DRAIN_ADDR);
+    }
+
+    #[test]
+    fn ordering_round_trips_through_strings() {
+        for o in Ordering::ALL {
+            assert_eq!(o.key().parse::<Ordering>().unwrap(), o);
+        }
+        assert!("probability".parse::<Ordering>().is_err());
+    }
+}

@@ -188,6 +188,9 @@ pub struct Case {
     pub threads: u32,
     pub schedule: Schedule,
     pub persistence: f32,
+    /// Record the cancellation hierarchy and check prefix-replay
+    /// conformance (`--hierarchy`; implies segmentation).
+    pub hierarchy: bool,
     /// Injected fault, e.g. `crash:1@1` = rank 1 crashes before merge
     /// round 1 (checkpointing is always enabled when a fault is set).
     pub fault: Option<String>,
@@ -289,6 +292,7 @@ impl Case {
             }
         };
         let persistence = *rng.pick(&[0.0f32, 0.01, 0.05, 0.2]);
+        let hierarchy = rng.below(3) == 0;
         let rounds = schedule.n_rounds(blocks);
         let fault = if ranks >= 2 && rounds >= 1 && rng.below(4) == 0 {
             let r = 1 + rng.below((ranks - 1) as u64) as u32;
@@ -306,6 +310,7 @@ impl Case {
             threads,
             schedule,
             persistence,
+            hierarchy,
             fault,
         };
         debug_assert!(case.validate().is_ok(), "{:?}", case.validate());
@@ -325,6 +330,11 @@ impl Case {
         if self.fault.is_some() {
             let mut c = self.clone();
             c.fault = None;
+            push(c);
+        }
+        if self.hierarchy {
+            let mut c = self.clone();
+            c.hierarchy = false;
             push(c);
         }
         if self.threads > 1 {
@@ -452,6 +462,9 @@ impl fmt::Display for Case {
         writeln!(f, "threads = {}", self.threads)?;
         writeln!(f, "schedule = {}", self.schedule)?;
         writeln!(f, "persistence = {}", self.persistence)?;
+        if self.hierarchy {
+            writeln!(f, "hierarchy = true")?;
+        }
         if let Some(fault) = &self.fault {
             writeln!(f, "fault = {fault}")?;
         }
@@ -471,6 +484,7 @@ impl FromStr for Case {
         let mut threads = None;
         let mut schedule = None;
         let mut persistence = None;
+        let mut hierarchy = false;
         let mut fault = None;
         for (ln, line) in s.lines().enumerate() {
             let line = line.trim();
@@ -503,6 +517,7 @@ impl FromStr for Case {
                 "persistence" => {
                     persistence = Some(v.parse::<f32>().map_err(|e| bad(e.to_string()))?)
                 }
+                "hierarchy" => hierarchy = v.parse::<bool>().map_err(|e| bad(e.to_string()))?,
                 "fault" => {
                     parse_fault(v).map_err(bad)?;
                     fault = Some(v.to_string());
@@ -520,6 +535,7 @@ impl FromStr for Case {
             threads: threads.ok_or_else(|| need("threads"))?,
             schedule: schedule.ok_or_else(|| need("schedule"))?,
             persistence: persistence.ok_or_else(|| need("persistence"))?,
+            hierarchy,
             fault,
         };
         case.validate()?;
@@ -580,6 +596,7 @@ mod tests {
             threads: 1,
             schedule: Schedule::Full,
             persistence: 0.0,
+            hierarchy: false,
             fault: None,
         };
         valid.validate().unwrap();
@@ -602,6 +619,7 @@ mod tests {
             threads: 2,
             schedule: Schedule::Rounds(vec![2]),
             persistence: 0.05,
+            hierarchy: true,
             fault: Some("crash:1@1".into()),
         };
         c.validate().unwrap();

@@ -75,10 +75,28 @@ pub enum Counter {
     /// Representative rewrites: pointer advances during jumping plus
     /// extremum-table entries that changed in the final resolution.
     SegRelabels,
+    /// Cancellation records written into the `.msh` hierarchy artifact
+    /// (`--hierarchy`), summed over orderings.
+    HierarchyRecords,
+    /// Hierarchy replay-conformance violations found by the checker:
+    /// `materialize(t)` differing from a direct `simplify(t)` run.
+    CheckHierarchy,
+    /// Queries answered by `msc serve` (all classes).
+    ServeQueries,
+    /// Serve-cache hits (answer reused from the LRU materialization
+    /// cache).
+    ServeHits,
+    /// Serve-cache misses (a materialization had to run).
+    ServeMisses,
+    /// Requests that piggybacked on an identical in-flight
+    /// materialization instead of recomputing or waiting on the cache.
+    ServeCoalesced,
+    /// Malformed or unanswerable serve requests.
+    ServeErrors,
 }
 
 /// All counters, in report order.
-pub const ALL_COUNTERS: [Counter; 27] = [
+pub const ALL_COUNTERS: [Counter; 34] = [
     Counter::CellsPaired,
     Counter::CriticalCells,
     Counter::ArcsTraced,
@@ -106,6 +124,13 @@ pub const ALL_COUNTERS: [Counter; 27] = [
     Counter::SegRounds,
     Counter::SegBoundaryBytes,
     Counter::SegRelabels,
+    Counter::HierarchyRecords,
+    Counter::CheckHierarchy,
+    Counter::ServeQueries,
+    Counter::ServeHits,
+    Counter::ServeMisses,
+    Counter::ServeCoalesced,
+    Counter::ServeErrors,
 ];
 
 impl Counter {
@@ -141,6 +166,13 @@ impl Counter {
             Counter::SegRounds => "seg_rounds",
             Counter::SegBoundaryBytes => "seg_boundary_bytes",
             Counter::SegRelabels => "seg_relabels",
+            Counter::HierarchyRecords => "hierarchy_records",
+            Counter::CheckHierarchy => "check_hierarchy",
+            Counter::ServeQueries => "serve_queries",
+            Counter::ServeHits => "serve_hits",
+            Counter::ServeMisses => "serve_misses",
+            Counter::ServeCoalesced => "serve_coalesced",
+            Counter::ServeErrors => "serve_errors",
         }
     }
 

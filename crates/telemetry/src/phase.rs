@@ -34,6 +34,10 @@ pub enum Phase {
     /// Distributed segmentation resolution (`--segment`): pointer-jump
     /// rounds over the forward map plus the final table rewrite.
     SegResolve,
+    /// Cancellation-hierarchy recording (`--hierarchy`): global
+    /// region-size aggregation plus logged full-simplification runs per
+    /// output slot.
+    Hierarchy,
     /// Collective write of output blocks (§IV-G).
     Write,
     /// Invariant checking of the output complexes (`--check` /
@@ -56,6 +60,7 @@ impl Phase {
             Phase::Glue => "glue".to_string(),
             Phase::Resimplify => "resimplify".to_string(),
             Phase::SegResolve => "seg_resolve".to_string(),
+            Phase::Hierarchy => "hierarchy".to_string(),
             Phase::Write => "write".to_string(),
             Phase::Check => "check".to_string(),
             Phase::Total => "total".to_string(),
@@ -74,6 +79,7 @@ impl Phase {
             "glue" => Some(Phase::Glue),
             "resimplify" => Some(Phase::Resimplify),
             "seg_resolve" => Some(Phase::SegResolve),
+            "hierarchy" => Some(Phase::Hierarchy),
             "write" => Some(Phase::Write),
             "check" => Some(Phase::Check),
             "total" => Some(Phase::Total),
@@ -113,6 +119,7 @@ mod tests {
             Phase::Glue,
             Phase::Resimplify,
             Phase::SegResolve,
+            Phase::Hierarchy,
             Phase::Write,
             Phase::Check,
             Phase::Total,

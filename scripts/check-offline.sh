@@ -66,6 +66,7 @@ lib msp_synth     "$root/crates/synth/src/lib.rs"
 lib msp_morse     "$root/crates/morse/src/lib.rs"
 lib msp_segment   "$root/crates/segment/src/lib.rs"
 lib msp_complex   "$root/crates/complex/src/lib.rs"
+lib msp_hierarchy "$root/crates/hierarchy/src/lib.rs"
 lib msp_oracle    "$root/crates/oracle/src/lib.rs"
 lib msp_vmpi      "$root/crates/vmpi/src/lib.rs"
 lib msp_fault     "$root/crates/fault/src/lib.rs"
@@ -107,6 +108,7 @@ if command -v clippy-driver >/dev/null 2>&1; then
   lint_lib msp_morse     "$root/crates/morse/src/lib.rs"
   lint_lib msp_segment   "$root/crates/segment/src/lib.rs"
   lint_lib msp_complex   "$root/crates/complex/src/lib.rs"
+  lint_lib msp_hierarchy "$root/crates/hierarchy/src/lib.rs"
   lint_lib msp_oracle    "$root/crates/oracle/src/lib.rs"
   lint_lib msp_vmpi      "$root/crates/vmpi/src/lib.rs"
   lint_lib msp_fault     "$root/crates/fault/src/lib.rs"
@@ -144,6 +146,7 @@ unit msp_synth     "$root/crates/synth/src/lib.rs"
 unit msp_morse     "$root/crates/morse/src/lib.rs"
 unit msp_segment   "$root/crates/segment/src/lib.rs"
 unit msp_complex   "$root/crates/complex/src/lib.rs"
+unit msp_hierarchy "$root/crates/hierarchy/src/lib.rs"
 unit msp_oracle    "$root/crates/oracle/src/lib.rs"
 unit msp_vmpi      "$root/crates/vmpi/src/lib.rs"
 unit msp_fault     "$root/crates/fault/src/lib.rs"
@@ -198,6 +201,39 @@ say "segmentation end-to-end smoke"
 cmp "$out/seg1.msc.seg" "$out/seg4.msc.seg"
 "$out/msc" export "$out/seg4.msc" --labels combined \
   --labels-vtk "$out/labels.vtk" --labels-csv "$out/labels.csv"
+
+# ---- serve smoke: precompute an artifact with --hierarchy, drive the
+# ---- query layer over stdio with repeated keys, and gate on all-ok
+# ---- responses, a nonzero cache hit rate and the p50<=p99 latency
+# ---- self-check in the serve summary
+say "serve smoke"
+"$out/msc" compute --input "$out/seg.raw" --dims 17,17,17 --ranks 2 --blocks 8 \
+  --merge full --hierarchy --check --output "$out/serve.msc"
+printf '%s\n' \
+  '{"op":"datasets"}' \
+  '{"op":"threshold","t":0.2}' \
+  '{"op":"threshold","t":0.2}' \
+  '{"op":"threshold","t":40,"ordering":"count"}' \
+  '{"op":"extrema","t":0.2,"top":3}' \
+  '{"op":"segment-stats","t":0.2}' \
+  '{"op":"stats"}' \
+  '{"op":"quit"}' \
+  | "$out/msc" serve "$out/serve.msc" --threads 2 \
+      > "$out/serve_out.jsonl" 2> "$out/serve_err.txt"
+! grep -q '"ok":false' "$out/serve_out.jsonl" \
+  || { echo "serve smoke: error response"; cat "$out/serve_out.jsonl"; exit 1; }
+[ "$(wc -l < "$out/serve_out.jsonl")" -eq 8 ] \
+  || { echo "serve smoke: expected 8 responses"; cat "$out/serve_out.jsonl"; exit 1; }
+hits="$(grep -o '"hits":[0-9]*' "$out/serve_out.jsonl" | tail -1 | cut -d: -f2)"
+[ "${hits:-0}" -gt 0 ] \
+  || { echo "serve smoke: cache hit rate is zero"; cat "$out/serve_out.jsonl"; exit 1; }
+grep -q 'latency self-check ok' "$out/serve_err.txt" \
+  || { echo "serve smoke: missing latency self-check"; cat "$out/serve_err.txt"; exit 1; }
+
+# ---- serve latency bench smoke: query-mix x cache-size sweep emitting
+# ---- the schema-self-checked BENCH_serve.json
+say "serve latency smoke"
+MSP_CHECK=1 MSP_SCALE=small MSP_RESULTS_DIR="$out/results" "$out/bench_serve_latency"
 
 # ---- differential-fuzz smoke: seeded oracle fuzz iterations plus a
 # ---- replay of the shrunk reproducer corpus; any diff against the

@@ -53,6 +53,38 @@ cargo run -q --release --bin msc -- export "$tracedir/seg4.msc" \
   --labels combined --labels-vtk "$tracedir/labels.vtk" \
   --labels-csv "$tracedir/labels.csv"
 
+# serve smoke: precompute an artifact with --hierarchy, drive the query
+# layer over stdio with repeated keys, and gate on all-ok responses, a
+# nonzero cache hit rate and the p50<=p99 latency self-check
+cargo run -q --release --bin msc -- compute --input "$tracedir/seg.raw" \
+  --dims 17,17,17 --ranks 2 --blocks 8 --merge full --hierarchy --check \
+  --output "$tracedir/serve.msc"
+printf '%s\n' \
+  '{"op":"datasets"}' \
+  '{"op":"threshold","t":0.2}' \
+  '{"op":"threshold","t":0.2}' \
+  '{"op":"threshold","t":40,"ordering":"count"}' \
+  '{"op":"extrema","t":0.2,"top":3}' \
+  '{"op":"segment-stats","t":0.2}' \
+  '{"op":"stats"}' \
+  '{"op":"quit"}' \
+  | cargo run -q --release --bin msc -- serve "$tracedir/serve.msc" --threads 2 \
+      > "$tracedir/serve_out.jsonl" 2> "$tracedir/serve_err.txt"
+! grep -q '"ok":false' "$tracedir/serve_out.jsonl" \
+  || { echo "serve smoke: error response"; cat "$tracedir/serve_out.jsonl"; exit 1; }
+[ "$(wc -l < "$tracedir/serve_out.jsonl")" -eq 8 ] \
+  || { echo "serve smoke: expected 8 responses"; cat "$tracedir/serve_out.jsonl"; exit 1; }
+hits="$(grep -o '"hits":[0-9]*' "$tracedir/serve_out.jsonl" | tail -1 | cut -d: -f2)"
+[ "${hits:-0}" -gt 0 ] \
+  || { echo "serve smoke: cache hit rate is zero"; cat "$tracedir/serve_out.jsonl"; exit 1; }
+grep -q 'latency self-check ok' "$tracedir/serve_err.txt" \
+  || { echo "serve smoke: missing latency self-check"; cat "$tracedir/serve_err.txt"; exit 1; }
+
+# serve latency bench smoke: query-mix x cache-size sweep emitting the
+# schema-self-checked BENCH_serve.json
+MSP_CHECK=1 MSP_SCALE=small MSP_RESULTS_DIR="$tracedir" \
+  cargo run -q --release -p msp-bench --bin serve_latency
+
 # differential-fuzz smoke: seeded oracle fuzz iterations plus a replay
 # of the shrunk reproducer corpus; any diff against the reference
 # oracle or any invariant violation exits non-zero (segmentation is

@@ -14,7 +14,8 @@
 use morse_smale_parallel::complex::export::{self, LabeledVolume, SegKind};
 use morse_smale_parallel::complex::{query, wire, MsComplex};
 use morse_smale_parallel::core::{
-    run_parallel, seg_output_path, FaultConfig, Input, MergePlan, PipelineParams,
+    load_dataset, msh_output_path, parse_persistence, run_parallel, seg_output_path, serve_lines,
+    serve_tcp, FaultConfig, Input, MergePlan, PipelineParams, ServeConfig, ServerCore,
 };
 use morse_smale_parallel::fault::FaultPlan;
 use morse_smale_parallel::grid::rawio::{write_raw, VolumeDType};
@@ -40,6 +41,7 @@ fn main() {
         "stats" => cmd_stats(&opts),
         "filaments" => cmd_filaments(&opts),
         "export" => cmd_export(&opts),
+        "serve" => cmd_serve(&opts),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
@@ -72,7 +74,16 @@ fn usage() {
          \u{20}           [--segment]  (full MS segmentation: labeled\n\
          \u{20}           volumes resolved by distributed path compression;\n\
          \u{20}           writes <output>.seg next to the complex)\n\
+         \u{20}           [--hierarchy]  (record the full cancellation\n\
+         \u{20}           sequence for threshold-free querying; implies\n\
+         \u{20}           --segment; writes <output>.msh next to the complex)\n\
          \u{20}           SPEC: crash:R@K;drop:F->T#N;delay:F->T#N+MS;slow:R*F\n\
+         \u{20} serve     FILE... (from compute --hierarchy)\n\
+         \u{20}           [--listen ADDR]  (TCP; default: stdin/stdout)\n\
+         \u{20}           [--cache N] [--threads N] [--report NAME]\n\
+         \u{20}           line-delimited JSON queries: ping, datasets,\n\
+         \u{20}           threshold, extrema, arc-geometry, segment-stats,\n\
+         \u{20}           stats, quit, shutdown\n\
          \u{20} info      FILE\n\
          \u{20} stats     FILE [--block I] [--top K]\n\
          \u{20} filaments FILE [--block I] --threshold T\n\
@@ -211,7 +222,7 @@ fn cmd_compute(o: &Opts) -> Result<(), String> {
     let dtype = parse_dtype(o.opt("dtype"))?;
     let ranks: u32 = o.num("ranks", 8)?;
     let blocks: u32 = o.num("blocks", ranks)?;
-    let persistence: f32 = o.num("persistence", 0.01)?;
+    let persistence = parse_persistence(o.opt("persistence").unwrap_or("0.01"))?;
     let out = PathBuf::from(o.req("output")?);
     let plan = match o.opt("merge").unwrap_or("full") {
         "full" => MergePlan::full_merge(blocks),
@@ -249,7 +260,10 @@ fn cmd_compute(o: &Opts) -> Result<(), String> {
         trace: o.has("trace"),
         threads,
         check: o.has("check"),
-        segment: o.has("segment"),
+        // the count ordering needs region sizes, so --hierarchy turns
+        // the segmentation stage on too
+        segment: o.has("segment") || o.has("hierarchy"),
+        hierarchy: o.has("hierarchy"),
         ..Default::default()
     };
     let t0 = std::time::Instant::now();
@@ -308,6 +322,20 @@ fn cmd_compute(o: &Opts) -> Result<(), String> {
             r.telemetry.counter_total("seg_boundary_bytes"),
         );
     }
+    if params.hierarchy {
+        let orderings: Vec<&str> = r
+            .hierarchies
+            .first()
+            .map(|h| h.orderings().iter().map(|o| o.key()).collect())
+            .unwrap_or_default();
+        println!(
+            "hierarchy: wrote {} ({} slot(s), {} cancellation record(s), orderings {})",
+            msh_output_path(&out).display(),
+            r.hierarchies.len(),
+            r.telemetry.counter_total("hierarchy_records"),
+            orderings.join("+"),
+        );
+    }
     if r.telemetry.counter_total("checks_run") > 0 {
         let tel = &r.telemetry;
         let violations: u64 = [
@@ -316,13 +344,14 @@ fn cmd_compute(o: &Opts) -> Result<(), String> {
             "check_boundary",
             "check_vpath",
             "check_segment",
+            "check_hierarchy",
         ]
         .iter()
         .map(|k| tel.counter_total(k))
         .sum();
         println!(
             "oracle check: {} complex(es) checked, {} violation(s) \
-             [structural {}, euler {}, boundary {}, vpath {}, segment {}]",
+             [structural {}, euler {}, boundary {}, vpath {}, segment {}, hierarchy {}]",
             tel.counter_total("checks_run"),
             violations,
             tel.counter_total("check_structural"),
@@ -330,6 +359,7 @@ fn cmd_compute(o: &Opts) -> Result<(), String> {
             tel.counter_total("check_boundary"),
             tel.counter_total("check_vpath"),
             tel.counter_total("check_segment"),
+            tel.counter_total("check_hierarchy"),
         );
         if violations > 0 {
             return Err(format!(
@@ -595,6 +625,83 @@ fn cmd_export(o: &Opts) -> Result<(), String> {
     }
     if !did {
         return Err("nothing to do: pass --vtk, --csv, --labels-vtk and/or --labels-csv".into());
+    }
+    Ok(())
+}
+
+fn cmd_serve(o: &Opts) -> Result<(), String> {
+    if o.positional.is_empty() {
+        return Err(
+            "serve needs at least one .msc artifact (from a compute run with --hierarchy)".into(),
+        );
+    }
+    let mut datasets = Vec::new();
+    for p in &o.positional {
+        let path = PathBuf::from(p);
+        let name = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .ok_or_else(|| format!("bad dataset path '{p}'"))?;
+        let ds = load_dataset(&name, &path).map_err(|e| e.to_string())?;
+        let records: usize = ds
+            .hierarchies
+            .iter()
+            .map(|h| h.difference.len() + h.count.as_ref().map_or(0, |c| c.len()))
+            .sum();
+        eprintln!(
+            "loaded {name}: {} block(s), {} cancellation record(s), segmentation {}",
+            ds.bases.len(),
+            records,
+            if ds.segs.is_empty() { "no" } else { "yes" }
+        );
+        datasets.push(ds);
+    }
+    let config = ServeConfig {
+        cache_capacity: o.num("cache", 32usize)?.max(1),
+        threads: o.num("threads", 4usize)?.max(1),
+    };
+    let report_name = match o.opt("report") {
+        Some(n) => n.to_string(),
+        None => format!("{}_serve", datasets[0].name),
+    };
+    let core = ServerCore::new(datasets, config);
+    match o.opt("listen") {
+        Some(addr) => {
+            let listener =
+                std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+            eprintln!("serving on {addr} (send {{\"op\":\"shutdown\"}} to stop)");
+            serve_tcp(&core, listener).map_err(|e| e.to_string())?;
+        }
+        None => {
+            let stdin = std::io::stdin();
+            serve_lines(&core, stdin.lock(), std::io::stdout(), config.threads)
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    // the report build asserts the per-class quantile invariant
+    let report = core.report(&report_name);
+    let (hits, misses) = (
+        report.counter_total("serve_hits"),
+        report.counter_total("serve_misses"),
+    );
+    let hit_rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+    eprintln!(
+        "serve: {} query(ies), {} hit(s) / {} miss(es) (hit rate {:.2}), {} coalesced, \
+         {} error(s); latency self-check ok",
+        report.counter_total("serve_queries"),
+        hits,
+        misses,
+        hit_rate,
+        report.counter_total("serve_coalesced"),
+        report.counter_total("serve_errors"),
+    );
+    match report.write(Path::new("results")) {
+        Ok(p) => eprintln!("serve telemetry: {}", p.display()),
+        Err(e) => eprintln!("warning: telemetry write failed: {e}"),
     }
     Ok(())
 }

@@ -79,6 +79,7 @@ fn pipeline_params(case: &Case, canonical: bool) -> PipelineParams {
         threads: Some(if canonical { 1 } else { case.threads as usize }),
         check: !canonical,
         segment: true,
+        hierarchy: case.hierarchy,
         ..Default::default()
     }
 }
@@ -169,6 +170,7 @@ fn run_case_inner(case: &Case) -> Result<(), String> {
         "check_boundary",
         "check_vpath",
         "check_segment",
+        "check_hierarchy",
     ] {
         let n = run.telemetry.counter_total(key);
         if n != 0 {
@@ -226,6 +228,29 @@ fn run_case_inner(case: &Case) -> Result<(), String> {
                 wa.len(),
                 wb.len()
             ));
+        }
+    }
+    if case.hierarchy {
+        if run.hierarchies.len() != canon.hierarchies.len() {
+            return Err(format!(
+                "hierarchy count {} != canonical {}",
+                run.hierarchies.len(),
+                canon.hierarchies.len()
+            ));
+        }
+        for (i, (a, b)) in run.hierarchies.iter().zip(&canon.hierarchies).enumerate() {
+            let (wa, wb) = (
+                msp_hierarchy::wire::serialize(a),
+                msp_hierarchy::wire::serialize(b),
+            );
+            if wa != wb {
+                return Err(format!(
+                    "hierarchy {i} differs from the canonical 1-rank/1-thread \
+                     run ({} vs {} bytes)",
+                    wa.len(),
+                    wb.len()
+                ));
+            }
         }
     }
 
@@ -365,6 +390,7 @@ mod tests {
             threads: 2,
             schedule,
             persistence: 0.05,
+            hierarchy: false,
             fault: None,
         }
     }
@@ -394,6 +420,13 @@ mod tests {
     fn faulted_case_is_clean() {
         let mut c = quick_case(FieldKind::Noise, 4, 2, Schedule::Full);
         c.fault = Some("crash:1@1".into());
+        run_case(&c).unwrap();
+    }
+
+    #[test]
+    fn hierarchy_case_is_clean() {
+        let mut c = quick_case(FieldKind::Noise, 4, 2, Schedule::Full);
+        c.hierarchy = true;
         run_case(&c).unwrap();
     }
 

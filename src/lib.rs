@@ -28,7 +28,11 @@
 //!   checker behind `--check` and the [`fuzz`] differential harness;
 //! * [`segment`] — the full Morse-Smale segmentation: per-block labeled
 //!   volumes along the discrete gradient, resolved across ranks by
-//!   distributed path compression (`--segment`).
+//!   distributed path compression (`--segment`);
+//! * [`hierarchy`] — the recorded cancellation hierarchy
+//!   (`--hierarchy`): the complete simplification sequence as a
+//!   versioned artifact, replayable to any persistence threshold
+//!   bit-identically, and the substrate of the `msc serve` query layer.
 //!
 //! ## Quickstart
 //!
@@ -50,6 +54,7 @@ pub use msp_complex as complex;
 pub use msp_core as core;
 pub use msp_fault as fault;
 pub use msp_grid as grid;
+pub use msp_hierarchy as hierarchy;
 pub use msp_morse as morse;
 pub use msp_oracle as oracle;
 pub use msp_segment as segment;

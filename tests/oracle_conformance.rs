@@ -36,6 +36,7 @@ fn sweep(kind: FieldKind, dims: [u32; 3], seed: u64, persistence: f32) {
                     threads,
                     schedule,
                     persistence,
+                    hierarchy: false,
                     fault: None,
                 };
                 case.validate().unwrap();
@@ -88,6 +89,10 @@ fn corpus_reproducers_replay_clean() {
         (
             "sinusoid-fault.case",
             include_str!("cases/sinusoid-fault.case"),
+        ),
+        (
+            "noise-hierarchy.case",
+            include_str!("cases/noise-hierarchy.case"),
         ),
     ] {
         let case: Case = text.parse().unwrap_or_else(|e| panic!("{name}: {e}"));
