@@ -1,0 +1,149 @@
+//! Benchmark trend check: compare the current `results/BENCH_*.json`
+//! documents against committed baselines and *warn* on large moves.
+//!
+//! The growth container has no stable performance envelope (shared
+//! hardware, debug assertions, sanitizers come and go), so this is a
+//! drift detector, not a gate: regressions over the 25% threshold are
+//! printed prominently but the exit status is always 0. The value is
+//! the diff in the log — a reviewer sees "qps fell 3x" next to the
+//! change that did it.
+//!
+//! * `MSP_RESULTS_DIR`  — where the fresh documents live (default
+//!   `results`);
+//! * `MSP_BASELINE_DIR` — the committed reference copies (default
+//!   `results/baselines`);
+//! * `MSP_TREND_THRESHOLD` — relative change that triggers a warning
+//!   (default `0.25`).
+//!
+//! Comparison walks both JSON trees in lockstep and compares numeric
+//! leaves that exist on both sides under the same path. Small absolute
+//! values (|v| < 10 on both sides) are skipped: percentages, tiny
+//! µs-scale quantiles and count-like fields near zero jitter far more
+//! than they inform.
+//!
+//! ```text
+//! cargo run --release -p msp-bench --bin bench_trend
+//! ```
+
+use msp_bench::results_dir;
+use msp_telemetry::Json;
+use std::path::{Path, PathBuf};
+
+fn numeric(j: &Json) -> Option<f64> {
+    match j {
+        Json::F64(v) => Some(*v),
+        Json::U64(n) => Some(*n as f64),
+        Json::I64(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+/// Walk `base` and `cur` in lockstep, invoking `report` on every
+/// numeric leaf present in both under the same path.
+fn walk(path: &str, base: &Json, cur: &Json, report: &mut impl FnMut(&str, f64, f64)) {
+    match (base, cur) {
+        (Json::Obj(b), Json::Obj(c)) => {
+            for (key, bv) in b {
+                if let Some((_, cv)) = c.iter().find(|(k, _)| k == key) {
+                    walk(&format!("{path}.{key}"), bv, cv, report);
+                }
+            }
+        }
+        (Json::Arr(b), Json::Arr(c)) => {
+            for (i, (bv, cv)) in b.iter().zip(c.iter()).enumerate() {
+                walk(&format!("{path}[{i}]"), bv, cv, report);
+            }
+        }
+        _ => {
+            if let (Some(bv), Some(cv)) = (numeric(base), numeric(cur)) {
+                report(path, bv, cv);
+            }
+        }
+    }
+}
+
+fn load(path: &Path) -> Option<Json> {
+    let text = std::fs::read_to_string(path).ok()?;
+    match Json::parse(&text) {
+        Ok(j) => Some(j),
+        Err(e) => {
+            println!("trend: {} does not parse ({e}) — skipped", path.display());
+            None
+        }
+    }
+}
+
+fn main() {
+    let results = results_dir();
+    let baselines: PathBuf = std::env::var("MSP_BASELINE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| results.join("baselines"));
+    let threshold: f64 = std::env::var("MSP_TREND_THRESHOLD")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|t: &f64| *t > 0.0 && t.is_finite())
+        .unwrap_or(0.25);
+
+    let mut docs: Vec<PathBuf> = match std::fs::read_dir(&results) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            })
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    docs.sort();
+    if docs.is_empty() {
+        println!(
+            "trend: no BENCH_*.json under {} — nothing to compare",
+            results.display()
+        );
+        return;
+    }
+
+    let mut compared = 0usize;
+    let mut leaves = 0usize;
+    let mut warnings = 0usize;
+    for doc in &docs {
+        let name = doc.file_name().and_then(|n| n.to_str()).unwrap_or_default();
+        let base_path = baselines.join(name);
+        let Some(base) = load(&base_path) else {
+            if !base_path.exists() {
+                println!("trend: {name}: no baseline at {} — skipped", base_path.display());
+            }
+            continue;
+        };
+        let Some(cur) = load(doc) else { continue };
+        compared += 1;
+        walk(name, &base, &cur, &mut |path, bv, cv| {
+            leaves += 1;
+            // noise floor: both sides tiny means the relative change is
+            // dominated by jitter, not by the code under test
+            if bv.abs() < 10.0 && cv.abs() < 10.0 {
+                return;
+            }
+            let rel = (cv - bv).abs() / bv.abs().max(1e-12);
+            if rel > threshold {
+                warnings += 1;
+                println!(
+                    "trend WARNING: {path}: baseline {bv} -> current {cv} ({:+.0}%)",
+                    (cv - bv) / bv.abs().max(1e-12) * 100.0
+                );
+            }
+        });
+    }
+    println!(
+        "trend: {compared} document(s) compared, {leaves} shared numeric leaf(ves), \
+         {warnings} over the {:.0}% threshold{}",
+        threshold * 100.0,
+        if warnings > 0 {
+            " (warnings only — timing on shared hardware is advisory)"
+        } else {
+            ""
+        }
+    );
+}

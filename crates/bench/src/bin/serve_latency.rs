@@ -28,8 +28,9 @@ use msp_core::{
     parse_persistence, run_parallel, Dataset, Input, MergePlan, PipelineParams, RunResult,
     ServeConfig, ServerCore,
 };
-use msp_telemetry::Json;
+use msp_telemetry::{bucket_width, Json};
 use std::sync::Arc;
+use std::time::Instant;
 
 const BLOCKS: u32 = 8;
 
@@ -125,6 +126,8 @@ fn main() {
         "qps",
         "thr_p50_us",
         "thr_p99_us",
+        "d_p50_us",
+        "d_p99_us",
     ]);
     let mut rows: Vec<Json> = Vec::new();
     for mix in ["repeat", "scan"] {
@@ -134,9 +137,13 @@ fn main() {
                 ServeConfig {
                     cache_capacity: cache,
                     threads: 1,
+                    ..Default::default()
                 },
             );
             let mut rng = Rng(0xC0FFEE ^ cache as u64);
+            // client-side exact latencies of the threshold class, for
+            // the histogram-vs-exact quantile comparison below
+            let mut exact_thr: Vec<u64> = Vec::new();
             for i in 0..queries {
                 let t = match mix {
                     // 4 hot thresholds: the cache should absorb these
@@ -144,13 +151,17 @@ fn main() {
                     // a long stride of distinct thresholds: mostly misses
                     _ => key_at(i as f64 / queries as f64),
                 };
-                let line = match rng.next() % 10 {
-                    0..=6 => format!("{{\"op\":\"threshold\",\"t\":{t}}}"),
-                    7 => format!("{{\"op\":\"extrema\",\"t\":{t},\"top\":5}}"),
-                    8 => format!("{{\"op\":\"segment-stats\",\"t\":{t}}}"),
-                    _ => "{\"op\":\"ping\"}".to_string(),
+                let (line, is_thr) = match rng.next() % 10 {
+                    0..=6 => (format!("{{\"op\":\"threshold\",\"t\":{t}}}"), true),
+                    7 => (format!("{{\"op\":\"extrema\",\"t\":{t},\"top\":5}}"), false),
+                    8 => (format!("{{\"op\":\"segment-stats\",\"t\":{t}}}"), false),
+                    _ => ("{\"op\":\"ping\"}".to_string(), false),
                 };
+                let t0 = Instant::now();
                 let (resp, _) = core.handle_line(&line);
+                if is_thr {
+                    exact_thr.push(t0.elapsed().as_micros() as u64);
+                }
                 if check {
                     assert!(
                         !resp.contains("\"ok\":false"),
@@ -158,12 +169,44 @@ fn main() {
                     );
                 }
             }
+            // exact quantiles use the histogram's nearest-rank
+            // convention so the delta isolates the bucketing error
+            exact_thr.sort_unstable();
+            let exact_at = |pct: usize| exact_thr[(exact_thr.len() - 1) * pct / 100];
+            let (exact_p50, exact_p99) = (exact_at(50), exact_at(99));
             let stats = core.stats_json();
             let hit_rate = as_f64(&stats, "hit_rate");
             let qps = as_f64(&stats, "qps");
             let classes = field_of(&stats, "classes");
             let thr = field_of(&classes, "threshold");
             let (p50, p99) = (as_u64(&thr, "p50_us"), as_u64(&thr, "p99_us"));
+            // The server histogram times the dispatch only, and its
+            // quantile rounds down to a bucket floor — so it must sit
+            // at or below the client-side exact quantile, and the gap
+            // is the bucketing error plus the client's call overhead.
+            let (d_p50, d_p99) = (exact_p50.saturating_sub(p50), exact_p99.saturating_sub(p99));
+            if check {
+                assert!(
+                    p50 <= exact_p50 && p99 <= exact_p99,
+                    "{mix}/{cache}: histogram quantiles above client-exact \
+                     (p50 {p50} vs {exact_p50}, p99 {p99} vs {exact_p99})"
+                );
+                // one log-bucket width of rounding + a small allowance
+                // for the timing the client sees but the server doesn't
+                const OVERHEAD_US: u64 = 25;
+                assert!(
+                    d_p50 <= bucket_width(exact_p50).max(1) + OVERHEAD_US,
+                    "{mix}/{cache}: p50 delta {d_p50} exceeds bucket width \
+                     {} + {OVERHEAD_US}",
+                    bucket_width(exact_p50)
+                );
+                assert!(
+                    d_p99 <= bucket_width(exact_p99).max(1) + OVERHEAD_US,
+                    "{mix}/{cache}: p99 delta {d_p99} exceeds bucket width \
+                     {} + {OVERHEAD_US}",
+                    bucket_width(exact_p99)
+                );
+            }
             if check {
                 assert_eq!(as_u64(&stats, "errors"), 0, "{mix}/{cache}: errors");
                 assert!(p50 <= p99, "{mix}/{cache}: p50 {p50} > p99 {p99}");
@@ -191,6 +234,8 @@ fn main() {
                 format!("{qps:.0}"),
                 format!("{p50}"),
                 format!("{p99}"),
+                format!("{d_p50}"),
+                format!("{d_p99}"),
             ]);
             rows.push(Json::obj(vec![
                 ("mix", Json::str(mix)),
@@ -200,6 +245,10 @@ fn main() {
                 ("misses", Json::U64(as_u64(&stats, "misses"))),
                 ("hit_rate", Json::F64(hit_rate)),
                 ("qps", Json::F64(qps)),
+                ("thr_exact_p50_us", Json::U64(exact_p50)),
+                ("thr_exact_p99_us", Json::U64(exact_p99)),
+                ("thr_hist_delta_p50_us", Json::U64(d_p50)),
+                ("thr_hist_delta_p99_us", Json::U64(d_p99)),
                 ("classes", classes),
             ]));
         }

@@ -292,6 +292,30 @@ impl MsComplex {
         self.arcs.iter().filter(|a| a.alive).count() as u64
     }
 
+    /// Estimated resident heap footprint in bytes, from the container
+    /// capacities (the serve layer's byte gauges and the future
+    /// evict-by-bytes budget read this; exactness to the allocator is
+    /// not required, stability across calls is).
+    pub fn mem_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let vecs = self.nodes.capacity() * size_of::<Node>()
+            + self.arcs.capacity() * size_of::<Arc>()
+            + self.geoms.capacity() * size_of::<GeomRec>()
+            + self.addr_buf.capacity() * size_of::<u64>()
+            + self.member_blocks.capacity() * size_of::<u32>()
+            + self.hierarchy.capacity() * size_of::<Cancellation>();
+        let adj: usize = self.adj.capacity() * size_of::<Vec<ArcId>>()
+            + self
+                .adj
+                .iter()
+                .map(|v| v.capacity() * size_of::<ArcId>())
+                .sum::<usize>();
+        // HashMap overhead ≈ 1/0.875 load factor plus one control byte
+        // per slot; close enough for a gauge
+        let index = self.addr_index.capacity() * (size_of::<(u64, NodeId)>() + 1);
+        (size_of::<MsComplex>() + vecs + adj + index) as u64
+    }
+
     /// Total number of path cells across all living arcs (geometry cost).
     pub fn live_geometry_cells(&self) -> u64 {
         self.arcs

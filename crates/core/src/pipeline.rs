@@ -48,8 +48,8 @@ use msp_hierarchy::{wire as hwire, ReplayParams, SlotHierarchy};
 use msp_morse::{assign_gradient, assign_gradient_par, TraceLimits};
 use msp_segment::{label_block, wire as segwire, BlockSegmentation, ForwardMap, DRAIN_ADDR};
 use msp_telemetry::{
-    Counter, Json, Phase, RankReport, RankTrace, Recorder, RunReport, RunTrace, SubRecorder,
-    TraceSink,
+    progress_interval_from_env, Counter, Heartbeat, Json, Phase, ProgressPhase, ProgressState,
+    RankReport, RankTrace, Recorder, RunReport, RunTrace, SubRecorder, TraceSink,
 };
 use msp_vmpi::comm::{CommError, Inject};
 use msp_vmpi::fileio::{collective_write_blocks, collective_write_blocks_keyed, FooterEntry};
@@ -255,6 +255,11 @@ pub struct PipelineParams {
     /// [`PipelineParams::segment`] is also on (region sizes come from
     /// the label tables).
     pub hierarchy: bool,
+    /// Emit a progress heartbeat (phase, ranks done, bytes moved) as a
+    /// JSON line on stderr every this-many seconds — the live surface
+    /// for long paper-scale runs. `None` falls back to the
+    /// `MSP_PROGRESS` environment variable (seconds; unset = off).
+    pub progress: Option<f64>,
 }
 
 impl Default for PipelineParams {
@@ -272,6 +277,7 @@ impl Default for PipelineParams {
             check: false,
             segment: false,
             hierarchy: false,
+            progress: None,
         }
     }
 }
@@ -405,6 +411,22 @@ pub fn run_parallel(
     // One time base for every rank's trace sink, taken before any rank
     // starts, so cross-rank timestamps are causally comparable.
     let epoch = Instant::now();
+    // Progress heartbeat for long runs: a background thread prints a
+    // JSON line (phase, ranks done, bytes moved) on an interval; ranks
+    // update the shared state with relaxed stores, so the hot path pays
+    // one atomic per phase transition.
+    let heartbeat = params
+        .progress
+        .or_else(progress_interval_from_env)
+        .filter(|&s| s > 0.0 && s.is_finite())
+        .map(|secs| {
+            Heartbeat::spawn(
+                "pipeline",
+                n_ranks as usize,
+                std::time::Duration::from_secs_f64(secs),
+            )
+        });
+    let progress = heartbeat.as_ref().map(|h| h.state());
     let results = Universe::run_with_inject(n_ranks as usize, inject, |rank| {
         run_rank(
             rank,
@@ -415,8 +437,10 @@ pub fn run_parallel(
             output_path,
             &store,
             epoch,
+            progress.as_deref(),
         )
     });
+    drop(heartbeat);
 
     let mut telemetry = None;
     let mut slot_outputs: Vec<(u32, MsComplex)> = Vec::new();
@@ -614,11 +638,19 @@ fn run_rank(
     output_path: Option<&Path>,
     store: &CheckpointStore,
     epoch: Instant,
+    progress: Option<&ProgressState>,
 ) -> Result<RankOut, PipelineError> {
     let p = rank.rank() as u32;
     let n_ranks = rank.size() as u32;
     let fault = &params.fault;
     let my_blocks: Vec<u32> = (0..n_blocks).filter(|b| b % n_ranks == p).collect();
+    // One relaxed store per coarse stage keeps the heartbeat honest
+    // without touching the hot paths.
+    let phase = |ph: ProgressPhase| {
+        if let Some(st) = progress {
+            st.set_phase(p as usize, ph);
+        }
+    };
     let mut rec = Recorder::new(p);
     // Causal tracing: one sink shared by the recorder (span events) and
     // the comm endpoint (message stamps), all against the shared epoch.
@@ -639,6 +671,7 @@ fn run_rank(
     // the data instead of a second full sweep); per-block f32 extrema
     // are reduced in block order, which equals the old per-value f64
     // fold exactly because f32→f64 is exact and monotone.
+    phase(ProgressPhase::Read);
     rec.begin(Phase::Read);
     let loaded = par_map(threads, &my_blocks, |_, &b| match input {
         Input::Memory(f) => Ok(f.extract_block_minmax(decomp.block(b))),
@@ -673,6 +706,7 @@ fn run_rank(
     // Blocks get the outer threads; leftover budget goes to z-slab
     // parallelism inside each block's gradient (one block per rank is
     // the paper's usual configuration, so the inner level matters).
+    phase(ProgressPhase::Local);
     let mut complexes: HashMap<u32, MsComplex> = HashMap::new();
     // Block segmentations stay put on the rank that computed them (only
     // complexes travel during merges); resolved at SegResolve below.
@@ -729,6 +763,7 @@ fn run_rank(
     drop(fields);
 
     // ---- local simplification ----
+    phase(ProgressPhase::Simplify);
     rec.begin(Phase::Simplify);
     let sp = SimplifyParams {
         threshold,
@@ -782,6 +817,7 @@ fn run_rank(
     rec.end(Phase::Simplify);
 
     // ---- merge rounds ----
+    phase(ProgressPhase::Merge);
     for r in 0..params.plan.radices.len() {
         rank.barrier()
             .map_err(comm_err(format!("barrier entering merge round {r}")))?;
@@ -822,6 +858,9 @@ fn run_rank(
                 rec.add(Counter::ArcsShipped, ms.n_live_arcs());
                 let payload = wire::serialize(&ms);
                 rec.add(Counter::ShipBytes, payload.len() as u64);
+                if let Some(st) = progress {
+                    st.add_bytes(payload.len() as u64);
+                }
                 rank.send((root % n_ranks) as usize, tag_base | m, payload)
                     .map_err(comm_err(format!("shipping slot {m} in round {r}")))?;
             }
@@ -961,6 +1000,7 @@ fn run_rank(
     // labels are bit-identical for any rank count, thread count or merge
     // schedule.
     if params.segment {
+        phase(ProgressPhase::SegResolve);
         rec.begin(Phase::SegResolve);
         // Flush whatever was not piggybacked on a merge round (all local
         // forwards when the plan has no rounds).
@@ -1063,6 +1103,7 @@ fn run_rank(
     let mut my_hier: Vec<(u32, SlotHierarchy)> = Vec::new();
     let mut global_sizes: Option<HashMap<u64, u64>> = None;
     if params.hierarchy {
+        phase(ProgressPhase::Hierarchy);
         rec.begin(Phase::Hierarchy);
         if params.segment {
             // Every rank broadcasts its sorted local (extremum, count)
@@ -1136,6 +1177,7 @@ fn run_rank(
     }
 
     // ---- write ----
+    phase(ProgressPhase::Write);
     rec.begin(Phase::Write);
     let out_slots = params.plan.output_slots(n_blocks);
     let mut my_outputs: Vec<(u32, MsComplex)> = Vec::new();
@@ -1217,6 +1259,7 @@ fn run_rank(
     let check =
         params.check || std::env::var("MSP_CHECK").map(|v| v == "1" || v == "true") == Ok(true);
     if check {
+        phase(ProgressPhase::Check);
         rec.begin(Phase::Check);
         let opts = msp_oracle::CheckOptions::default();
         for (slot, ms) in &my_outputs {
@@ -1367,6 +1410,7 @@ fn run_rank(
         rec.end(Phase::Check);
     }
     rec.end(Phase::Total);
+    phase(ProgressPhase::Done);
 
     // Stop tracing before the telemetry/trace exchange below: the
     // gathers are bookkeeping, not pipeline work, and must not observe

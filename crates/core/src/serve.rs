@@ -21,6 +21,8 @@
 //! {"op":"arc-geometry","t":0.5,"arc":3}
 //! {"op":"segment-stats","t":0.5}
 //! {"op":"stats"}
+//! {"op":"metrics"}     live-registry snapshot (counters/gauges/histograms)
+//! {"op":"health"}      readiness/liveness summary
 //! {"op":"quit"}        closes the connection
 //! {"op":"shutdown"}    closes the connection and stops a TCP server
 //! ```
@@ -29,15 +31,34 @@
 //! `ordering` to `difference`. Errors come back as
 //! `{"ok":false,"error":...}` and never tear the connection down.
 //!
+//! A TCP connection whose first bytes spell `GET ` or `HEAD` is served
+//! as HTTP instead (sniffed without consuming them): `GET /metrics`
+//! answers Prometheus text exposition format from the same live
+//! registry, `GET /healthz` the health object — so one listener serves
+//! both line-JSON clients and an ordinary scraper. HTTP scrapes are
+//! counted in `serve_http_scrapes`, not as queries.
+//!
 //! ## Cache
 //!
 //! Materializations are memoized in an LRU cache keyed by `(dataset,
 //! block, ordering, threshold)`. Concurrent requests for the same key
 //! coalesce: the first computes, the rest block on a condition variable
-//! and reuse the cached result (counted as `serve_coalesced`). Latency
-//! is tracked per query class; [`ServerCore::report`] folds everything
-//! into an `msp-telemetry` run report (counters `serve_*`, meta `qps`,
-//! `hit_rate`, per-class p50/p99).
+//! and reuse the cached result (counted as `serve_coalesced`). The
+//! cache tracks resident *bytes* per entry (capacity-based estimates) —
+//! the substrate for evict-by-bytes budgeting — exported via the
+//! `serve_cache_bytes` / `serve_dataset_bytes` gauges.
+//!
+//! ## Live metrics
+//!
+//! All serving state lives in an `msp_telemetry::live::Registry`:
+//! atomic counters (`serve_queries` …), byte gauges, windowed QPS and
+//! one log-bucketed latency histogram per query class — recording is
+//! lock-free and memory is O(histogram buckets), never O(requests).
+//! Requests slower than [`ServeConfig::slow_us`] emit a structured
+//! `{"event":"slow_request",...}` JSON line on stderr (sampled by
+//! [`ServeConfig::slow_sample`]). [`ServerCore::report`] folds the
+//! counters plus a live snapshot into an `msp-telemetry` run report
+//! (meta `qps`, `hit_rate`, per-class p50/p99, `live`).
 
 use crate::pipeline::{check_persistence, msh_output_path, seg_output_path};
 use msp_complex::{wire as cwire, MsComplex};
@@ -45,13 +66,15 @@ use msp_hierarchy::{
     compress_forwards, remap_tables, wire as hwire, Materialized, Ordering, SlotHierarchy,
 };
 use msp_segment::{wire as segwire, BlockSegmentation, DRAIN_ADDR, DRAIN_LABEL};
-use msp_telemetry::{Counter, Json, Recorder, RunReport};
+use msp_telemetry::{
+    Counter, Json, LiveCounter, LiveGauge, LiveHistogram, RateWindow, Recorder, Registry, RunReport,
+};
 use msp_vmpi::fileio::{read_block_payload, read_footer};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering as AtomicOrd};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as AtomicOrd};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -89,6 +112,16 @@ pub struct Dataset {
     /// Resolved block segmentations in ascending block id; empty when
     /// the compute run had no `--segment`.
     pub segs: Vec<BlockSegmentation>,
+}
+
+impl Dataset {
+    /// Estimated resident bytes of the loaded artifacts (bases +
+    /// hierarchies + label tables), exported as `serve_dataset_bytes`.
+    pub fn mem_bytes(&self) -> u64 {
+        self.bases.iter().map(|b| b.mem_bytes()).sum::<u64>()
+            + self.hierarchies.iter().map(|h| h.mem_bytes()).sum::<u64>()
+            + self.segs.iter().map(|s| s.mem_bytes()).sum::<u64>()
+    }
 }
 
 /// Load a dataset from `<msc_path>` + `<msc_path>.msh` (required) +
@@ -165,6 +198,12 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Worker threads of the stdio pipeline ([`serve_lines`] default).
     pub threads: usize,
+    /// Requests at or above this latency (microseconds) log a
+    /// `slow_request` event line on stderr; `None` disables the log.
+    pub slow_us: Option<u64>,
+    /// Log every Nth slow request (1 = all); sampling keeps a
+    /// systematically slow deployment from flooding stderr.
+    pub slow_sample: u64,
 }
 
 impl Default for ServeConfig {
@@ -172,6 +211,8 @@ impl Default for ServeConfig {
         ServeConfig {
             cache_capacity: 32,
             threads: 4,
+            slow_us: None,
+            slow_sample: 1,
         }
     }
 }
@@ -188,11 +229,15 @@ struct CacheKey {
 
 /// Hand-rolled LRU over a `HashMap` with monotonic access stamps;
 /// eviction scans for the stalest entry (capacities are tens, not
-/// millions — O(n) eviction is noise next to a replay).
+/// millions — O(n) eviction is noise next to a replay). Each entry
+/// carries its estimated byte footprint so the resident total is
+/// maintained incrementally — the substrate for evict-by-bytes.
 struct Lru {
     capacity: usize,
     stamp: u64,
-    map: HashMap<CacheKey, (Arc<Materialized>, u64)>,
+    /// Estimated resident bytes across all entries.
+    bytes: u64,
+    map: HashMap<CacheKey, (Arc<Materialized>, u64, u64)>,
 }
 
 impl Lru {
@@ -200,6 +245,7 @@ impl Lru {
         Lru {
             capacity: capacity.max(1),
             stamp: 0,
+            bytes: 0,
             map: HashMap::new(),
         }
     }
@@ -207,7 +253,7 @@ impl Lru {
     fn get(&mut self, key: &CacheKey) -> Option<Arc<Materialized>> {
         self.stamp += 1;
         let stamp = self.stamp;
-        self.map.get_mut(key).map(|(v, s)| {
+        self.map.get_mut(key).map(|(v, s, _)| {
             *s = stamp;
             v.clone()
         })
@@ -215,40 +261,174 @@ impl Lru {
 
     fn put(&mut self, key: CacheKey, value: Arc<Materialized>) {
         self.stamp += 1;
-        self.map.insert(key, (value, self.stamp));
+        let bytes = value.mem_bytes();
+        if let Some((_, _, old)) = self.map.insert(key, (value, self.stamp, bytes)) {
+            self.bytes -= old;
+        }
+        self.bytes += bytes;
         while self.map.len() > self.capacity {
             let stalest = self
                 .map
                 .iter()
-                .min_by_key(|(_, (_, s))| *s)
+                .min_by_key(|(_, (_, s, _))| *s)
                 .map(|(k, _)| *k)
                 .expect("nonempty over capacity");
-            self.map.remove(&stalest);
+            if let Some((_, _, b)) = self.map.remove(&stalest) {
+                self.bytes -= b;
+            }
         }
     }
 }
 
-/// Mutable serving statistics, behind one mutex.
-#[derive(Default)]
-struct Stats {
-    queries: u64,
-    hits: u64,
-    misses: u64,
-    coalesced: u64,
-    errors: u64,
-    /// Latency samples per query class, microseconds.
-    classes: HashMap<&'static str, Vec<u64>>,
+/// The fixed query-class taxonomy: one latency histogram per class is
+/// registered up front, so recording never takes the registry lock.
+const QUERY_CLASSES: [&str; 12] = [
+    "arc-geometry",
+    "datasets",
+    "extrema",
+    "health",
+    "invalid",
+    "metrics",
+    "ping",
+    "quit",
+    "segment-stats",
+    "shutdown",
+    "stats",
+    "threshold",
+];
+
+/// QPS windows exported as `serve_qps_window{window=...}` gauges.
+const QPS_WINDOWS: [(u64, &str); 3] = [(1, "1s"), (10, "10s"), (60, "60s")];
+
+/// The live serving metrics: a registry plus typed handles to every
+/// series the hot path records into. All recording is lock-free
+/// (atomics behind `Arc`s); the registry mutex is touched only when
+/// rendering a scrape. Memory is a fixed set of counters/gauges plus
+/// one bounded histogram per query class — O(buckets), not O(requests).
+struct ServeMetrics {
+    registry: Registry,
+    queries: Arc<LiveCounter>,
+    hits: Arc<LiveCounter>,
+    misses: Arc<LiveCounter>,
+    coalesced: Arc<LiveCounter>,
+    errors: Arc<LiveCounter>,
+    slow: Arc<LiveCounter>,
+    scrapes: Arc<LiveCounter>,
+    uptime: Arc<LiveGauge>,
+    qps: Vec<(u64, Arc<LiveGauge>)>,
+    cache_resident: Arc<LiveGauge>,
+    cache_bytes: Arc<LiveGauge>,
+    classes: Vec<(&'static str, Arc<LiveHistogram>)>,
+    rate: RateWindow,
+    slow_seen: AtomicU64,
+}
+
+impl ServeMetrics {
+    fn new() -> ServeMetrics {
+        let registry = Registry::new();
+        let c = |name, help| registry.counter(name, help, &[]);
+        let queries = c("serve_queries", "Requests handled (all classes)");
+        let hits = c("serve_hits", "Materialization cache hits");
+        let misses = c("serve_misses", "Materialization cache misses (replays)");
+        let coalesced = c(
+            "serve_coalesced",
+            "Requests that piggybacked on an in-flight replay",
+        );
+        let errors = c("serve_errors", "Requests answered with ok:false");
+        let slow = c(
+            "serve_slow_requests",
+            "Requests at or above the slow threshold",
+        );
+        let scrapes = c(
+            "serve_http_scrapes",
+            "HTTP requests served (metrics/health)",
+        );
+        let uptime = registry.gauge(
+            "serve_uptime_seconds",
+            "Seconds since the server started",
+            &[],
+        );
+        let qps = QPS_WINDOWS
+            .iter()
+            .map(|&(secs, label)| {
+                (
+                    secs,
+                    registry.gauge(
+                        "serve_qps_window",
+                        "Queries per second over a trailing window",
+                        &[("window", label)],
+                    ),
+                )
+            })
+            .collect();
+        let cache_resident = registry.gauge(
+            "serve_cache_resident",
+            "Materializations resident in the LRU cache",
+            &[],
+        );
+        let cache_bytes = registry.gauge(
+            "serve_cache_bytes",
+            "Estimated resident bytes of cached materializations",
+            &[],
+        );
+        let classes = QUERY_CLASSES
+            .iter()
+            .map(|&class| {
+                (
+                    class,
+                    registry.histogram(
+                        "serve_latency_us",
+                        "Request latency in microseconds (log-bucketed)",
+                        &[("class", class)],
+                    ),
+                )
+            })
+            .collect();
+        ServeMetrics {
+            registry,
+            queries,
+            hits,
+            misses,
+            coalesced,
+            errors,
+            slow,
+            scrapes,
+            uptime,
+            qps,
+            cache_resident,
+            cache_bytes,
+            classes,
+            rate: RateWindow::new(),
+            slow_seen: AtomicU64::new(0),
+        }
+    }
+
+    fn class_hist(&self, class: &str) -> &LiveHistogram {
+        self.classes
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|(_, h)| h.as_ref())
+            .unwrap_or(&self.classes[0].1)
+    }
+
+    /// Resident footprint of the metrics layer itself — a constant,
+    /// asserted by the bounded-memory test.
+    fn mem_bytes(&self) -> u64 {
+        std::mem::size_of::<ServeMetrics>() as u64
+            + self.classes.iter().map(|(_, h)| h.mem_bytes()).sum::<u64>()
+    }
 }
 
 /// The transport-independent server: datasets, cache, coalescing map,
-/// statistics. Shared across worker/connection threads by reference.
+/// live metrics. Shared across worker/connection threads by reference.
 pub struct ServerCore {
     datasets: Vec<Dataset>,
     by_name: HashMap<String, usize>,
+    config: ServeConfig,
     cache: Mutex<Lru>,
     inflight: Mutex<HashSet<CacheKey>>,
     inflight_cv: Condvar,
-    stats: Mutex<Stats>,
+    metrics: ServeMetrics,
     started: Instant,
     shutdown: AtomicBool,
 }
@@ -260,13 +440,25 @@ impl ServerCore {
             .enumerate()
             .map(|(i, d)| (d.name.clone(), i))
             .collect();
+        let metrics = ServeMetrics::new();
+        for d in &datasets {
+            metrics
+                .registry
+                .gauge(
+                    "serve_dataset_bytes",
+                    "Estimated resident bytes of a loaded dataset's artifacts",
+                    &[("dataset", &d.name)],
+                )
+                .set_u64(d.mem_bytes());
+        }
         ServerCore {
             datasets,
             by_name,
+            config,
             cache: Mutex::new(Lru::new(config.cache_capacity)),
             inflight: Mutex::new(HashSet::new()),
             inflight_cv: Condvar::new(),
-            stats: Mutex::new(Stats::default()),
+            metrics,
             started: Instant::now(),
             shutdown: AtomicBool::new(false),
         }
@@ -277,23 +469,55 @@ impl ServerCore {
         self.shutdown.load(AtomicOrd::SeqCst)
     }
 
+    /// Ask the server to stop, exactly as a `shutdown` op would: the
+    /// TCP accept loop notices within its poll interval. Lets a signal
+    /// handler (Ctrl-C in `msc serve`) drain through the same path.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, AtomicOrd::SeqCst);
+    }
+
     /// Handle one request line. Returns the compact single-line JSON
     /// response and whether the connection should close afterwards.
     pub fn handle_line(&self, line: &str) -> (String, bool) {
         let t0 = Instant::now();
         let (class, result, close) = self.dispatch(line);
         let us = t0.elapsed().as_micros() as u64;
-        let mut st = self.stats.lock().unwrap();
-        st.queries += 1;
-        st.classes.entry(class).or_default().push(us);
+        let m = &self.metrics;
+        m.queries.inc();
+        m.rate.record();
+        m.class_hist(class).record(us);
         let json = match result {
             Ok(j) => j,
             Err(msg) => {
-                st.errors += 1;
+                m.errors.inc();
                 Json::obj(vec![("ok", Json::Bool(false)), ("error", Json::str(msg))])
             }
         };
-        drop(st);
+        if let Some(threshold) = self.config.slow_us {
+            if us >= threshold {
+                m.slow.inc();
+                let seen = m.slow_seen.fetch_add(1, AtomicOrd::Relaxed);
+                if seen.is_multiple_of(self.config.slow_sample.max(1)) {
+                    let mut req = line.trim().to_string();
+                    if req.len() > 256 {
+                        let mut cut = 256;
+                        while !req.is_char_boundary(cut) {
+                            cut -= 1;
+                        }
+                        req.truncate(cut);
+                    }
+                    eprintln!(
+                        "{}",
+                        compact(&Json::obj(vec![
+                            ("event", Json::str("slow_request")),
+                            ("class", Json::str(class)),
+                            ("us", Json::U64(us)),
+                            ("request", Json::str(req)),
+                        ]))
+                    );
+                }
+            }
+        }
         (compact(&json), close)
     }
 
@@ -320,9 +544,11 @@ impl ServerCore {
             "arc-geometry" => ("arc-geometry", self.q_arc_geometry(&req), false),
             "segment-stats" => ("segment-stats", self.q_segment_stats(&req), false),
             "stats" => ("stats", Ok(self.stats_json()), false),
+            "metrics" => ("metrics", Ok(self.metrics_json()), false),
+            "health" => ("health", Ok(self.health_json()), false),
             "quit" => ("quit", Ok(ok_obj("quit", vec![])), true),
             "shutdown" => {
-                self.shutdown.store(true, AtomicOrd::SeqCst);
+                self.request_shutdown();
                 ("shutdown", Ok(ok_obj("shutdown", vec![])), true)
             }
             other => ("invalid", Err(format!("unknown op {other:?}")), false),
@@ -376,10 +602,9 @@ impl ServerCore {
         let mut waited = false;
         loop {
             if let Some(v) = self.cache.lock().unwrap().get(&key) {
-                let mut st = self.stats.lock().unwrap();
-                st.hits += 1;
+                self.metrics.hits.inc();
                 if waited {
-                    st.coalesced += 1;
+                    self.metrics.coalesced.inc();
                 }
                 return Ok(v);
             }
@@ -401,10 +626,9 @@ impl ServerCore {
             Ok(m) => {
                 let m = Arc::new(m);
                 self.cache.lock().unwrap().put(key, m.clone());
-                let mut st = self.stats.lock().unwrap();
-                st.misses += 1;
+                self.metrics.misses.inc();
                 if waited {
-                    st.coalesced += 1;
+                    self.metrics.coalesced.inc();
                 }
                 Ok(m)
             }
@@ -611,108 +835,168 @@ impl ServerCore {
         ))
     }
 
-    /// Point-in-time statistics as a response object.
+    /// Bring the derived gauges (uptime, windowed QPS, cache bytes) up
+    /// to date; called before every scrape/snapshot so recording paths
+    /// never have to maintain them.
+    fn refresh_gauges(&self) {
+        let m = &self.metrics;
+        m.uptime.set(self.started.elapsed().as_secs_f64());
+        for (secs, gauge) in &m.qps {
+            gauge.set(m.rate.rate(*secs));
+        }
+        let cache = self.cache.lock().unwrap();
+        m.cache_resident.set_u64(cache.map.len() as u64);
+        m.cache_bytes.set_u64(cache.bytes);
+    }
+
+    fn counts(&self) -> (u64, u64, u64) {
+        let m = &self.metrics;
+        (m.queries.get(), m.hits.get(), m.misses.get())
+    }
+
+    /// Point-in-time statistics as a response object (the pre-live
+    /// `stats` op shape, now derived from the registry).
     pub fn stats_json(&self) -> Json {
-        let st = self.stats.lock().unwrap();
+        let (queries, hits, misses) = self.counts();
         let elapsed = self.started.elapsed().as_secs_f64();
         let qps = if elapsed > 0.0 {
-            st.queries as f64 / elapsed
+            queries as f64 / elapsed
         } else {
             0.0
         };
-        let lookups = st.hits + st.misses;
+        let lookups = hits + misses;
         let hit_rate = if lookups > 0 {
-            st.hits as f64 / lookups as f64
+            hits as f64 / lookups as f64
         } else {
             0.0
         };
         ok_obj(
             "stats",
             vec![
-                ("queries", Json::U64(st.queries)),
-                ("hits", Json::U64(st.hits)),
-                ("misses", Json::U64(st.misses)),
-                ("coalesced", Json::U64(st.coalesced)),
-                ("errors", Json::U64(st.errors)),
+                ("queries", Json::U64(queries)),
+                ("hits", Json::U64(hits)),
+                ("misses", Json::U64(misses)),
+                ("coalesced", Json::U64(self.metrics.coalesced.get())),
+                ("errors", Json::U64(self.metrics.errors.get())),
                 ("qps", Json::F64(qps)),
                 ("hit_rate", Json::F64(hit_rate)),
-                ("classes", classes_json(&st.classes)),
+                ("classes", classes_json(&self.metrics.classes)),
             ],
         )
     }
 
+    /// The `metrics` op: the full live-registry snapshot. Counter keys
+    /// are exactly the Prometheus family names, so a scrape of
+    /// `/metrics` and this reply cross-check one-to-one.
+    pub fn metrics_json(&self) -> Json {
+        self.refresh_gauges();
+        let Json::Obj(snapshot) = self.metrics.registry.snapshot_json() else {
+            unreachable!("snapshot_json returns an object")
+        };
+        let mut pairs = vec![
+            ("ok".to_string(), Json::Bool(true)),
+            ("op".to_string(), Json::str("metrics")),
+        ];
+        pairs.extend(snapshot);
+        Json::Obj(pairs)
+    }
+
+    /// The `health` op / `GET /healthz` body: liveness plus enough
+    /// context for a load balancer to act on.
+    pub fn health_json(&self) -> Json {
+        let stopping = self.is_shutdown();
+        ok_obj(
+            "health",
+            vec![
+                (
+                    "status",
+                    Json::str(if stopping { "stopping" } else { "ok" }),
+                ),
+                ("uptime_s", Json::F64(self.started.elapsed().as_secs_f64())),
+                ("datasets", Json::U64(self.datasets.len() as u64)),
+                (
+                    "cache_resident",
+                    Json::U64(self.cache.lock().unwrap().map.len() as u64),
+                ),
+            ],
+        )
+    }
+
+    /// `GET /metrics` body: Prometheus text exposition format.
+    pub fn prometheus_text(&self) -> String {
+        self.refresh_gauges();
+        self.metrics.registry.render_prometheus()
+    }
+
+    /// Resident footprint of the serving statistics — constant no
+    /// matter how many requests have been handled.
+    pub fn metrics_mem_bytes(&self) -> u64 {
+        self.metrics.mem_bytes()
+    }
+
     /// Fold the serving statistics into an `msp-telemetry` run report:
     /// `serve_*` counters on rank 0, plus `qps` / `hit_rate` /
-    /// per-class latency quantiles in the meta. The quantile invariant
-    /// (p50 ≤ p99 per class) is asserted here — a violation is a bug in
-    /// the latency accounting, not a data property.
+    /// per-class latency quantiles and the full live snapshot in the
+    /// meta. The quantile invariant (p50 ≤ p99 per class) is asserted
+    /// here — a violation is a bug in the latency accounting, not a
+    /// data property.
     pub fn report(&self, name: &str) -> RunReport {
-        let st = self.stats.lock().unwrap();
+        let (queries, hits, misses) = self.counts();
         let mut rec = Recorder::new(0);
-        rec.add(Counter::ServeQueries, st.queries);
-        rec.add(Counter::ServeHits, st.hits);
-        rec.add(Counter::ServeMisses, st.misses);
-        rec.add(Counter::ServeCoalesced, st.coalesced);
-        rec.add(Counter::ServeErrors, st.errors);
+        rec.add(Counter::ServeQueries, queries);
+        rec.add(Counter::ServeHits, hits);
+        rec.add(Counter::ServeMisses, misses);
+        rec.add(Counter::ServeCoalesced, self.metrics.coalesced.get());
+        rec.add(Counter::ServeErrors, self.metrics.errors.get());
         let rank = rec.finish();
         let elapsed = self.started.elapsed().as_secs_f64();
         let qps = if elapsed > 0.0 {
-            st.queries as f64 / elapsed
+            queries as f64 / elapsed
         } else {
             0.0
         };
-        let lookups = st.hits + st.misses;
+        let lookups = hits + misses;
         let hit_rate = if lookups > 0 {
-            st.hits as f64 / lookups as f64
+            hits as f64 / lookups as f64
         } else {
             0.0
         };
-        for lat in st.classes.values() {
-            let mut sorted = lat.clone();
-            sorted.sort_unstable();
+        for (class, hist) in &self.metrics.classes {
             assert!(
-                quantile(&sorted, 50) <= quantile(&sorted, 99),
-                "latency quantiles out of order"
+                hist.quantile(50) <= hist.quantile(99),
+                "latency quantiles out of order for {class}"
             );
         }
+        self.refresh_gauges();
         RunReport::from_ranks(name, vec![rank])
             .with_meta("qps", Json::F64(qps))
             .with_meta("hit_rate", Json::F64(hit_rate))
-            .with_meta("classes", classes_json(&st.classes))
+            .with_meta("classes", classes_json(&self.metrics.classes))
+            .with_meta("live", self.metrics.registry.snapshot_json())
     }
 }
 
-/// Per-class latency summaries, class names sorted for deterministic
-/// rendering.
-fn classes_json(classes: &HashMap<&'static str, Vec<u64>>) -> Json {
-    let mut names: Vec<&&str> = classes.keys().collect();
-    names.sort();
+/// Per-class latency summaries from the live histograms; classes the
+/// server never saw are omitted (matching the pre-live shape). The
+/// fixed class array is alphabetical, so rendering is deterministic.
+fn classes_json(classes: &[(&'static str, Arc<LiveHistogram>)]) -> Json {
     Json::Obj(
-        names
-            .into_iter()
-            .map(|&name| {
-                let mut sorted = classes[name].clone();
-                sorted.sort_unstable();
+        classes
+            .iter()
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(name, h)| {
+                let snap = h.snapshot();
                 (
                     name.to_string(),
                     Json::obj(vec![
-                        ("count", Json::U64(sorted.len() as u64)),
-                        ("p50_us", Json::U64(quantile(&sorted, 50))),
-                        ("p99_us", Json::U64(quantile(&sorted, 99))),
+                        ("count", Json::U64(snap.count)),
+                        ("p50_us", Json::U64(snap.quantile(50))),
+                        ("p99_us", Json::U64(snap.quantile(99))),
                     ]),
                 )
             })
             .collect(),
     )
-}
-
-/// Nearest-rank quantile over a sorted sample; 0 for an empty one.
-/// Monotone in `pct`, so p50 ≤ p99 holds structurally.
-fn quantile(sorted: &[u64], pct: usize) -> u64 {
-    match sorted.len() {
-        0 => 0,
-        n => sorted[(n - 1) * pct / 100],
-    }
 }
 
 fn ok_obj(op: &str, rest: Vec<(&str, Json)>) -> Json {
@@ -909,6 +1193,10 @@ pub fn serve_tcp(core: &ServerCore, listener: TcpListener) -> std::io::Result<()
 }
 
 fn serve_connection(core: &ServerCore, stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    if sniff_http(&stream)? {
+        return serve_http(core, stream);
+    }
     let mut writer = stream.try_clone()?;
     let reader = BufReader::new(stream);
     for line in reader.lines() {
@@ -926,13 +1214,76 @@ fn serve_connection(core: &ServerCore, stream: TcpStream) -> std::io::Result<()>
     Ok(())
 }
 
+/// Peek (without consuming) the connection's first bytes: `GET ` or
+/// `HEAD` means an HTTP scraper, anything else stays line-JSON. Peeking
+/// blocks until the client sends its first bytes — exactly as the
+/// line reader would.
+fn sniff_http(stream: &TcpStream) -> std::io::Result<bool> {
+    let mut first = [0u8; 4];
+    let got = loop {
+        let n = stream.peek(&mut first)?;
+        if n >= first.len() || n == 0 || first[..n].contains(&b'\n') {
+            break n;
+        }
+        // a short first packet ("G", "{"): wait for the rest
+        std::thread::sleep(Duration::from_millis(1));
+    };
+    Ok(got >= 4 && (&first == b"GET " || &first == b"HEAD"))
+}
+
+/// One-shot HTTP answer on a sniffed connection: `GET /metrics` is the
+/// Prometheus exposition, `GET /healthz` the health object; everything
+/// else is 404. Headers are read to the blank line and ignored; the
+/// response always closes the connection.
+fn serve_http(core: &ServerCore, mut stream: TcpStream) -> std::io::Result<()> {
+    core.metrics.scrapes.inc();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header.trim().is_empty() {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("/");
+    let (status, ctype, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            core.prometheus_text(),
+        ),
+        "/healthz" => (
+            "200 OK",
+            "application/json",
+            compact(&core.health_json()) + "\n",
+        ),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n".to_string(),
+        ),
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    if method != "HEAD" {
+        stream.write_all(body.as_bytes())?;
+    }
+    stream.flush()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::pipeline::{run_parallel, Input, PipelineParams};
     use crate::plan::MergePlan;
     use msp_grid::Dims;
-    use std::io::Cursor;
+    use std::io::{Cursor, Read};
     use std::sync::Barrier;
 
     /// Build a real dataset by running the pipeline with artifacts on
@@ -1069,10 +1420,241 @@ mod tests {
                 });
             }
         });
-        let st = core.stats.lock().unwrap();
-        assert_eq!(st.hits + st.misses, n as u64);
-        assert_eq!(st.misses, 1, "one computation for {n} identical requests");
-        assert_eq!(st.hits, n as u64 - 1);
+        let (hits, misses) = (core.metrics.hits.get(), core.metrics.misses.get());
+        assert_eq!(hits + misses, n as u64);
+        assert_eq!(misses, 1, "one computation for {n} identical requests");
+        assert_eq!(hits, n as u64 - 1);
+    }
+
+    #[test]
+    fn metrics_and_health_ops_report_live_state() {
+        let core = ServerCore::new(vec![dataset("metrics")], ServeConfig::default());
+        let t = core.datasets[0].hierarchies[0].difference[0].key as f64;
+        for _ in 0..3 {
+            core.handle_line(&format!("{{\"op\":\"threshold\",\"t\":{t}}}"));
+        }
+        core.handle_line("{\"op\":\"bogus\"}");
+        let (resp, close) = core.handle_line("{\"op\":\"metrics\"}");
+        assert!(!close);
+        let p = parsed(&resp);
+        assert_eq!(field(&p, "ok"), &Json::Bool(true));
+        let counters = field(&p, "counters");
+        let Json::Obj(c) = counters else {
+            panic!("counters object")
+        };
+        // 3 thresholds + 1 invalid; the in-flight metrics op is not yet
+        // counted when its own snapshot is taken
+        assert_eq!(get(c, "serve_queries"), Some(&Json::U64(4)));
+        assert_eq!(get(c, "serve_errors"), Some(&Json::U64(1)));
+        assert_eq!(get(c, "serve_hits"), Some(&Json::U64(2)));
+        assert_eq!(get(c, "serve_misses"), Some(&Json::U64(1)));
+        let Json::Obj(gauges) = field(&p, "gauges") else {
+            panic!("gauges object")
+        };
+        // byte gauges are live and nonzero once something is cached
+        assert!(
+            matches!(get(gauges, "serve_cache_bytes"), Some(Json::U64(b)) if *b > 0),
+            "{resp}"
+        );
+        assert!(
+            matches!(get(gauges, "serve_dataset_bytes{dataset=\"noise\"}"),
+                     Some(Json::U64(b)) if *b > 0),
+            "{resp}"
+        );
+        let Json::Obj(hists) = field(&p, "histograms") else {
+            panic!("histograms object")
+        };
+        let thr = get(hists, "serve_latency_us{class=\"threshold\"}").expect("threshold series");
+        let Json::Obj(thr) = thr else {
+            panic!("histogram entry object")
+        };
+        assert_eq!(get(thr, "count"), Some(&Json::U64(3)));
+        // health reflects the not-yet-stopped server
+        let (resp, _) = core.handle_line("{\"op\":\"health\"}");
+        let p = parsed(&resp);
+        assert_eq!(field(&p, "ok"), &Json::Bool(true));
+        assert_eq!(field(&p, "status"), &Json::str("ok"));
+        core.request_shutdown();
+        let (resp, _) = core.handle_line("{\"op\":\"health\"}");
+        assert_eq!(field(&parsed(&resp), "status"), &Json::str("stopping"));
+        // the telemetry report agrees with the live counters and carries
+        // the snapshot under meta "live"
+        let report = core.report("serve_metrics_test");
+        assert_eq!(report.counter_total("serve_queries"), 7);
+        let json = report.to_json();
+        assert!(json.pretty().contains("\"live\""));
+    }
+
+    #[test]
+    fn prometheus_text_renders_and_matches_counters() {
+        let core = ServerCore::new(vec![dataset("prom")], ServeConfig::default());
+        let t = core.datasets[0].hierarchies[0].difference[0].key as f64;
+        for _ in 0..4 {
+            core.handle_line(&format!("{{\"op\":\"threshold\",\"t\":{t}}}"));
+        }
+        let text = core.prometheus_text();
+        assert!(text.contains("# TYPE serve_queries counter"));
+        assert!(text.contains("serve_queries 4"));
+        assert!(text.contains("serve_hits 3"));
+        assert!(text.contains("# TYPE serve_latency_us histogram"));
+        assert!(text.contains("serve_latency_us_bucket{class=\"threshold\",le=\"+Inf\"} 4"));
+        assert!(text.contains("serve_latency_us_count{class=\"threshold\"} 4"));
+        assert!(text.contains("# TYPE serve_cache_bytes gauge"));
+        // HTTP scrapes are not queries; the JSON metrics op is
+        assert!(text.contains("serve_http_scrapes 0"));
+    }
+
+    #[test]
+    fn serve_memory_is_bounded_in_requests() {
+        // no datasets needed: ping exercises the whole accounting path
+        let core = ServerCore::new(Vec::new(), ServeConfig::default());
+        core.handle_line("{\"op\":\"ping\"}");
+        let before = core.metrics_mem_bytes();
+        for _ in 0..50_000 {
+            core.handle_line("{\"op\":\"ping\"}");
+        }
+        assert_eq!(
+            core.metrics_mem_bytes(),
+            before,
+            "per-request state must not grow with request count"
+        );
+        // and the footprint is histogram-bucket sized, not sample sized:
+        // 12 classes × ~8KiB of buckets, nowhere near 50k samples × 8B
+        assert!(before < 256 * 1024, "metrics footprint {before} too large");
+        let (resp, _) = core.handle_line("{\"op\":\"stats\"}");
+        assert!(
+            matches!(field(&parsed(&resp), "queries"), Json::U64(n) if *n > 50_000),
+            "{resp}"
+        );
+    }
+
+    #[test]
+    fn scrapes_interleave_with_recording_without_deadlock() {
+        let core = ServerCore::new(vec![dataset("scrape")], ServeConfig::default());
+        let keys: Vec<f32> = core.datasets[0].hierarchies[0]
+            .difference
+            .iter()
+            .map(|r| r.key)
+            .collect();
+        let n = 4;
+        let barrier = Barrier::new(n + 2);
+        std::thread::scope(|s| {
+            for i in 0..n {
+                let keys = &keys;
+                let core = &core;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    for k in 0..20 {
+                        let t = keys[(i * 20 + k) % keys.len()] as f64;
+                        let (resp, _) =
+                            core.handle_line(&format!("{{\"op\":\"threshold\",\"t\":{t}}}"));
+                        assert!(resp.contains("\"ok\":true"), "{resp}");
+                    }
+                });
+            }
+            // two scrapers hammer every read surface while the workers
+            // materialize through the coalescing condvar path
+            for _ in 0..2 {
+                let core = &core;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    for _ in 0..30 {
+                        let _ = core.prometheus_text();
+                        let _ = core.metrics_json();
+                        let _ = core.stats_json();
+                        let _ = core.health_json();
+                    }
+                });
+            }
+        });
+        assert_eq!(core.metrics.queries.get(), n as u64 * 20);
+        assert_eq!(
+            core.metrics.hits.get() + core.metrics.misses.get(),
+            n as u64 * 20
+        );
+    }
+
+    #[test]
+    fn http_scrape_and_json_share_one_listener() {
+        let core = Arc::new(ServerCore::new(
+            vec![dataset("http")],
+            ServeConfig::default(),
+        ));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::scope(|s| {
+            let server = {
+                let core = core.clone();
+                s.spawn(move || serve_tcp(&core, listener))
+            };
+            // JSON connection first: generate some traffic
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            writeln!(stream, "{{\"op\":\"threshold\",\"t\":0.3}}").unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(field(&parsed(line.trim()), "ok"), &Json::Bool(true));
+            drop(reader);
+            drop(stream);
+            // HTTP scrape on the same listener
+            let mut http = TcpStream::connect(addr).unwrap();
+            write!(http, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            let mut response = String::new();
+            BufReader::new(http).read_to_string(&mut response).unwrap();
+            assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+            assert!(response.contains("# TYPE serve_queries counter"));
+            assert!(response.contains("serve_queries 1"), "{response}");
+            // health endpoint
+            let mut http = TcpStream::connect(addr).unwrap();
+            write!(http, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            let mut response = String::new();
+            BufReader::new(http).read_to_string(&mut response).unwrap();
+            assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+            assert!(response.contains("\"status\":\"ok\""), "{response}");
+            // unknown path: 404, connection still answered cleanly
+            let mut http = TcpStream::connect(addr).unwrap();
+            write!(http, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            let mut response = String::new();
+            BufReader::new(http).read_to_string(&mut response).unwrap();
+            assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+            // scrapes counted separately from queries
+            assert_eq!(core.metrics.scrapes.get(), 3);
+            assert_eq!(core.metrics.queries.get(), 1);
+            // shut down via JSON
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            writeln!(stream, "{{\"op\":\"shutdown\"}}").unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            server.join().unwrap().unwrap();
+        });
+    }
+
+    #[test]
+    fn slow_request_accounting_counts_threshold_crossers() {
+        let core = ServerCore::new(
+            Vec::new(),
+            ServeConfig {
+                slow_us: Some(0),       // everything is "slow"
+                slow_sample: 1_000_000, // but almost nothing is logged
+                ..Default::default()
+            },
+        );
+        for _ in 0..10 {
+            core.handle_line("{\"op\":\"ping\"}");
+        }
+        assert_eq!(core.metrics.slow.get(), 10);
+        let none = ServerCore::new(Vec::new(), ServeConfig::default());
+        for _ in 0..10 {
+            none.handle_line("{\"op\":\"ping\"}");
+        }
+        assert_eq!(
+            none.metrics.slow.get(),
+            0,
+            "disabled threshold never counts"
+        );
     }
 
     #[test]

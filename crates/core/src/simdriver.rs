@@ -34,7 +34,9 @@ use msp_grid::rawio::{block_bytes, VolumeDType};
 use msp_grid::{Decomposition, ScalarField};
 use msp_morse::{assign_gradient, TraceLimits};
 use msp_segment::{label_block, wire as segwire, BlockSegmentation, ForwardMap, DRAIN_ADDR};
-use msp_telemetry::{Json, RankTrace, RunTrace, TimeoutStamp};
+use msp_telemetry::{
+    progress_interval_from_env, Heartbeat, Json, ProgressPhase, RankTrace, RunTrace, TimeoutStamp,
+};
 use msp_vmpi::comm::{Inject, SendFate};
 use msp_vmpi::{IoParams, NetParams, Torus};
 use rayon::prelude::*;
@@ -90,6 +92,10 @@ pub struct SimParams {
     /// `seg_rounds` / `seg_forwards` / `seg_bytes` match the threaded
     /// pipeline's counters bit for bit.
     pub segment: bool,
+    /// Emit a progress heartbeat (phase, virtual ranks done, bytes
+    /// moved) to stderr every this-many seconds; `None` falls back to
+    /// the `MSP_PROGRESS` environment variable, off when unset.
+    pub progress: Option<f64>,
 }
 
 impl Default for SimParams {
@@ -107,6 +113,7 @@ impl Default for SimParams {
             fault: SimFault::default(),
             trace: false,
             segment: false,
+            progress: None,
         }
     }
 }
@@ -348,6 +355,27 @@ pub fn simulate(
             "plan reduction {red} must divide the rank count {n_ranks}"
         )));
     }
+    // Heartbeat: virtual ranks advance in lockstep phases here (the
+    // driver is bulk-synchronous), so every transition is a
+    // `set_phase_all`; "done" ranks only diverge from the phase label
+    // at the very end.
+    let heartbeat = params
+        .progress
+        .or_else(progress_interval_from_env)
+        .filter(|&s| s > 0.0 && s.is_finite())
+        .map(|secs| {
+            Heartbeat::spawn(
+                "sim",
+                n_ranks as usize,
+                std::time::Duration::from_secs_f64(secs),
+            )
+        });
+    let progress = heartbeat.as_ref().map(|h| h.state());
+    let phase = |ph: ProgressPhase| {
+        if let Some(st) = &progress {
+            st.set_phase_all(ph);
+        }
+    };
     let decomp = Decomposition::bisect(field.dims(), n_ranks);
     let (gmin, gmax) = field.min_max();
     let threshold = params.persistence_frac * (gmax - gmin);
@@ -366,6 +394,7 @@ pub fn simulate(
         .then(|| (0..n_ranks).map(RankTrace::new).collect());
 
     // ---- read (modeled) ----
+    phase(ProgressPhase::Read);
     let total_in: u64 = decomp
         .blocks()
         .iter()
@@ -380,6 +409,7 @@ pub fn simulate(
     let read_s = params.io.collective_time(total_in, max_in, n_ranks);
 
     // ---- compute + local simplify (measured, per virtual rank) ----
+    phase(ProgressPhase::Local);
     struct BlockOut {
         ms: MsComplex,
         seg: Option<BlockSegmentation>,
@@ -471,6 +501,7 @@ pub fn simulate(
     let mut seg_resolve_s = 0.0f64;
 
     // ---- merge rounds ----
+    phase(ProgressPhase::Merge);
     let torus = Torus::for_ranks(n_ranks);
     let clock_after_local = clocks.iter().copied().fold(0.0, f64::max);
     let mut rounds = Vec::with_capacity(params.plan.radices.len());
@@ -542,6 +573,9 @@ pub fn simulate(
                     stage: "merge member",
                 })?;
                 let bytes = wire::estimate_size(&ms) as u64;
+                if let Some(st) = &progress {
+                    st.add_bytes(bytes);
+                }
                 let hops = torus.hops(m, *root);
                 let seq = link_seq.entry((m as usize, *root as usize)).or_insert(0);
                 *seq += 1;
@@ -688,6 +722,7 @@ pub fn simulate(
     let mut seg_output_bytes = 0u64;
     let mut seg_write_s = 0.0f64;
     if params.segment {
+        phase(ProgressPhase::SegResolve);
         let n = n_ranks as usize;
         let nl = n_ranks as u64;
         // log-tree all-reduce closes every jump round
@@ -834,6 +869,7 @@ pub fn simulate(
     }
 
     // ---- write (modeled) ----
+    phase(ProgressPhase::Write);
     let out_slots = params.plan.output_slots(n_blocks);
     // one final checkpoint protects the fully-merged state
     if params.fault.checkpoint {
@@ -912,6 +948,9 @@ pub fn simulate(
             t.span("total", 0, ns(end));
         }
     }
+
+    phase(ProgressPhase::Done);
+    drop(heartbeat);
 
     Ok(SimReport {
         n_ranks,

@@ -124,6 +124,16 @@ pub struct Materialized {
     pub applied: usize,
 }
 
+impl Materialized {
+    /// Estimated resident heap footprint in bytes — the unit the serve
+    /// cache's byte gauges (and the future evict-by-bytes budget) count.
+    pub fn mem_bytes(&self) -> u64 {
+        (std::mem::size_of::<Materialized>()
+            + self.forwards.capacity() * std::mem::size_of::<(u64, u64)>()) as u64
+            + self.complex.mem_bytes()
+    }
+}
+
 /// Errors from materialization.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum HierarchyError {
@@ -185,7 +195,13 @@ pub fn record(
         Some(s) => {
             let mut log = Vec::new();
             let mut work = base.clone();
-            simplify_with(&mut work, sp, &mut CancelOrder::Count(s), Some(&mut log), None)?;
+            simplify_with(
+                &mut work,
+                sp,
+                &mut CancelOrder::Count(s),
+                Some(&mut log),
+                None,
+            )?;
             Some(log)
         }
         None => None,
@@ -212,6 +228,16 @@ impl SlotHierarchy {
             .into_iter()
             .filter(|&o| self.records(o).is_some())
             .collect()
+    }
+
+    /// Estimated resident heap footprint in bytes (capacity-based, for
+    /// the serve layer's byte gauges).
+    pub fn mem_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let rec = size_of::<CancelRecord>();
+        (size_of::<SlotHierarchy>()
+            + self.difference.capacity() * rec
+            + self.count.as_ref().map_or(0, |c| c.capacity() * rec)) as u64
     }
 
     /// Length of the replay prefix for `threshold`: the position of the
@@ -405,10 +431,7 @@ mod tests {
         let t = h.difference[h.difference.len() / 3].key;
         let a = h.materialize(&base, Ordering::Difference, t).unwrap();
         let b = h.materialize(&loaded, Ordering::Difference, t).unwrap();
-        assert_eq!(
-            cwire::serialize(&a.complex),
-            cwire::serialize(&b.complex)
-        );
+        assert_eq!(cwire::serialize(&a.complex), cwire::serialize(&b.complex));
         assert_eq!(a.forwards, b.forwards);
     }
 

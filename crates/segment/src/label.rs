@@ -54,6 +54,16 @@ pub struct BlockSegmentation {
 }
 
 impl BlockSegmentation {
+    /// Estimated resident heap footprint in bytes (capacity-based, for
+    /// the serve layer's per-dataset byte gauges).
+    pub fn mem_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        (size_of::<BlockSegmentation>()
+            + (self.mins.capacity() + self.maxs.capacity()) * size_of::<u64>()
+            + (self.min_label.capacity() + self.max_label.capacity()) * size_of::<u32>())
+            as u64
+    }
+
     /// Voxel-grid dimensions (`vdims - 1` per axis, saturating).
     pub fn cdims(&self) -> [u32; 3] {
         [

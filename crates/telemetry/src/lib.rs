@@ -19,13 +19,18 @@
 //!   trace-event export for Perfetto, and critical-path analysis
 //!   ([`CriticalPath`]);
 //! * [`Json`] — the dependency-free JSON document builder/parser the
-//!   writers use (the build is offline; no serde_json).
+//!   writers use (the build is offline; no serde_json);
+//! * [`live`] — the *live* (scrapeable, lock-light) metric surface:
+//!   atomic counters/gauges, log-bucketed histograms with bounded
+//!   memory, windowed rates, a Prometheus/JSON [`Registry`], and the
+//!   pipeline progress [`Heartbeat`] (DESIGN.md §13).
 //!
 //! The crate is intentionally std-only so it can never constrain where
 //! instrumentation is threaded.
 
 pub mod counter;
 pub mod json;
+pub mod live;
 pub mod phase;
 pub mod recorder;
 pub mod report;
@@ -34,6 +39,10 @@ pub(crate) mod wirefmt;
 
 pub use counter::{Counter, ALL_COUNTERS};
 pub use json::Json;
+pub use live::{
+    bucket_width, progress_interval_from_env, Heartbeat, HistSnapshot, LiveCounter, LiveGauge,
+    LiveHistogram, ProgressPhase, ProgressState, RateWindow, Registry, HIST_BUCKETS,
+};
 pub use phase::Phase;
 pub use recorder::{Recorder, SpanError, SubRecorder};
 pub use report::{

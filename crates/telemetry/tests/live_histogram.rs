@@ -1,0 +1,111 @@
+//! Property tests for the live log-bucketed histogram: the quantile
+//! error bound (≤ one bucket width below the exact order statistic),
+//! merge associativity, and the counters' agreement with an exact
+//! re-computation from the raw samples.
+
+use msp_telemetry::{bucket_width, LiveHistogram};
+use proptest::prelude::*;
+
+/// Exact nearest-rank quantile, same rank formula the histogram uses.
+fn exact_quantile(sorted: &[u64], pct: usize) -> u64 {
+    sorted[(sorted.len() - 1) * pct / 100]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any sample set and any percentile, the histogram's answer is
+    /// at most the exact order statistic and within one bucket width of
+    /// it — the advertised error bound.
+    #[test]
+    fn quantile_error_bounded_by_bucket_width(
+        mut samples in prop::collection::vec(0u64..2_000_000, 1..400),
+        pct in 0usize..101,
+    ) {
+        let h = LiveHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        let exact = exact_quantile(&samples, pct);
+        let approx = h.quantile(pct);
+        prop_assert!(approx <= exact, "approx {approx} above exact {exact}");
+        prop_assert!(
+            exact - approx < bucket_width(exact).max(1),
+            "p{pct}: error {} >= bucket width {}",
+            exact - approx,
+            bucket_width(exact)
+        );
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.sum(), samples.iter().sum::<u64>());
+    }
+
+    /// Bucket-wise merging is associative and commutative: any grouping
+    /// of three sample streams produces the identical snapshot.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        xs in prop::collection::vec(0u64..1_000_000, 0..200),
+        ys in prop::collection::vec(0u64..1_000_000, 0..200),
+        zs in prop::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let fill = |vals: &[u64]| {
+            let h = LiveHistogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+
+        // (x + y) + z
+        let left = fill(&xs);
+        left.merge_from(&fill(&ys));
+        left.merge_from(&fill(&zs));
+
+        // x + (y + z)
+        let inner = fill(&ys);
+        inner.merge_from(&fill(&zs));
+        let right = fill(&xs);
+        right.merge_from(&inner);
+
+        // z + y + x (commutativity)
+        let rev = fill(&zs);
+        rev.merge_from(&fill(&ys));
+        rev.merge_from(&fill(&xs));
+
+        // one histogram fed everything directly
+        let all = fill(&xs);
+        for &v in ys.iter().chain(zs.iter()) {
+            all.record(v);
+        }
+
+        let want = all.snapshot();
+        prop_assert_eq!(left.snapshot(), want.clone());
+        prop_assert_eq!(right.snapshot(), want.clone());
+        prop_assert_eq!(rev.snapshot(), want);
+    }
+
+    /// The cumulative (Prometheus `_bucket`) view is monotone and ends
+    /// at the total count, for any sample set.
+    #[test]
+    fn cumulative_view_is_monotone(
+        samples in prop::collection::vec(0u64..10_000_000, 0..300),
+    ) {
+        let h = LiveHistogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let snap = h.snapshot();
+        let cum = snap.cumulative();
+        let mut prev_le = None;
+        let mut prev_cum = 0u64;
+        for &(le, c) in &cum {
+            if let Some(p) = prev_le {
+                prop_assert!(le > p, "le values must increase");
+            }
+            prop_assert!(c >= prev_cum, "cumulative counts must not decrease");
+            prev_le = Some(le);
+            prev_cum = c;
+        }
+        prop_assert_eq!(prev_cum, snap.count);
+    }
+}

@@ -217,13 +217,15 @@ printf '%s\n' \
   '{"op":"extrema","t":0.2,"top":3}' \
   '{"op":"segment-stats","t":0.2}' \
   '{"op":"stats"}' \
+  '{"op":"metrics"}' \
+  '{"op":"health"}' \
   '{"op":"quit"}' \
   | "$out/msc" serve "$out/serve.msc" --threads 2 \
       > "$out/serve_out.jsonl" 2> "$out/serve_err.txt"
 ! grep -q '"ok":false' "$out/serve_out.jsonl" \
   || { echo "serve smoke: error response"; cat "$out/serve_out.jsonl"; exit 1; }
-[ "$(wc -l < "$out/serve_out.jsonl")" -eq 8 ] \
-  || { echo "serve smoke: expected 8 responses"; cat "$out/serve_out.jsonl"; exit 1; }
+[ "$(wc -l < "$out/serve_out.jsonl")" -eq 10 ] \
+  || { echo "serve smoke: expected 10 responses"; cat "$out/serve_out.jsonl"; exit 1; }
 hits="$(grep -o '"hits":[0-9]*' "$out/serve_out.jsonl" | tail -1 | cut -d: -f2)"
 [ "${hits:-0}" -gt 0 ] \
   || { echo "serve smoke: cache hit rate is zero"; cat "$out/serve_out.jsonl"; exit 1; }
@@ -231,9 +233,21 @@ grep -q 'latency self-check ok' "$out/serve_err.txt" \
   || { echo "serve smoke: missing latency self-check"; cat "$out/serve_err.txt"; exit 1; }
 
 # ---- serve latency bench smoke: query-mix x cache-size sweep emitting
-# ---- the schema-self-checked BENCH_serve.json
+# ---- the schema-self-checked BENCH_serve.json (with histogram-vs-exact
+# ---- quantile deltas gated by MSP_CHECK)
 say "serve latency smoke"
 MSP_CHECK=1 MSP_SCALE=small MSP_RESULTS_DIR="$out/results" "$out/bench_serve_latency"
+
+# ---- metrics agreement check: live registry served over real TCP —
+# ---- Prometheus text vs JSON snapshot vs shutdown report within 1%
+say "metrics check"
+"$out/bench_metrics_check"
+
+# ---- benchmark drift report (warn-only, exit 0): committed
+# ---- BENCH_*.json vs the baselines under results/baselines
+say "bench trend"
+MSP_RESULTS_DIR="$root/results" MSP_BASELINE_DIR="$root/results/baselines" \
+  "$out/bench_bench_trend"
 
 # ---- differential-fuzz smoke: seeded oracle fuzz iterations plus a
 # ---- replay of the shrunk reproducer corpus; any diff against the

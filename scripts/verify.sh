@@ -67,13 +67,15 @@ printf '%s\n' \
   '{"op":"extrema","t":0.2,"top":3}' \
   '{"op":"segment-stats","t":0.2}' \
   '{"op":"stats"}' \
+  '{"op":"metrics"}' \
+  '{"op":"health"}' \
   '{"op":"quit"}' \
   | cargo run -q --release --bin msc -- serve "$tracedir/serve.msc" --threads 2 \
       > "$tracedir/serve_out.jsonl" 2> "$tracedir/serve_err.txt"
 ! grep -q '"ok":false' "$tracedir/serve_out.jsonl" \
   || { echo "serve smoke: error response"; cat "$tracedir/serve_out.jsonl"; exit 1; }
-[ "$(wc -l < "$tracedir/serve_out.jsonl")" -eq 8 ] \
-  || { echo "serve smoke: expected 8 responses"; cat "$tracedir/serve_out.jsonl"; exit 1; }
+[ "$(wc -l < "$tracedir/serve_out.jsonl")" -eq 10 ] \
+  || { echo "serve smoke: expected 10 responses"; cat "$tracedir/serve_out.jsonl"; exit 1; }
 hits="$(grep -o '"hits":[0-9]*' "$tracedir/serve_out.jsonl" | tail -1 | cut -d: -f2)"
 [ "${hits:-0}" -gt 0 ] \
   || { echo "serve smoke: cache hit rate is zero"; cat "$tracedir/serve_out.jsonl"; exit 1; }
@@ -81,9 +83,19 @@ grep -q 'latency self-check ok' "$tracedir/serve_err.txt" \
   || { echo "serve smoke: missing latency self-check"; cat "$tracedir/serve_err.txt"; exit 1; }
 
 # serve latency bench smoke: query-mix x cache-size sweep emitting the
-# schema-self-checked BENCH_serve.json
+# schema-self-checked BENCH_serve.json (now with histogram-vs-exact
+# quantile deltas gated by MSP_CHECK)
 MSP_CHECK=1 MSP_SCALE=small MSP_RESULTS_DIR="$tracedir" \
   cargo run -q --release -p msp-bench --bin serve_latency
+
+# metrics agreement check: live registry served over real TCP — the
+# Prometheus text exposition, the {"op":"metrics"} JSON snapshot and
+# the shutdown report must agree within 1%
+cargo run -q --release -p msp-bench --bin metrics_check
+
+# benchmark drift report (warn-only): committed BENCH_*.json vs the
+# baselines under results/baselines
+cargo run -q --release -p msp-bench --bin bench_trend
 
 # differential-fuzz smoke: seeded oracle fuzz iterations plus a replay
 # of the shrunk reproducer corpus; any diff against the reference

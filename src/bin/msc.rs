@@ -26,6 +26,48 @@ use morse_smale_parallel::vmpi::fileio::{read_block_payload, read_footer};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::exit;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Minimal SIGINT hook with no external crates: `signal(2)` is in every
+/// libc the binary already links, and the handler only stores to an
+/// atomic (async-signal-safe). Non-unix builds compile the same API to
+/// a no-op that never reports an interrupt.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigint(_signum: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+        }
+    }
+
+    pub fn interrupted() -> bool {
+        INTERRUPTED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+
+    pub fn interrupted() -> bool {
+        false
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -77,13 +119,19 @@ fn usage() {
          \u{20}           [--hierarchy]  (record the full cancellation\n\
          \u{20}           sequence for threshold-free querying; implies\n\
          \u{20}           --segment; writes <output>.msh next to the complex)\n\
+         \u{20}           [--progress SECS]  (heartbeat lines on stderr:\n\
+         \u{20}           phase, ranks done, bytes moved; MSP_PROGRESS too)\n\
          \u{20}           SPEC: crash:R@K;drop:F->T#N;delay:F->T#N+MS;slow:R*F\n\
          \u{20} serve     FILE... (from compute --hierarchy)\n\
          \u{20}           [--listen ADDR]  (TCP; default: stdin/stdout)\n\
          \u{20}           [--cache N] [--threads N] [--report NAME]\n\
+         \u{20}           [--slow-ms MS]  (log slow requests as JSON events\n\
+         \u{20}           on stderr) [--slow-sample N]  (log every Nth)\n\
          \u{20}           line-delimited JSON queries: ping, datasets,\n\
          \u{20}           threshold, extrema, arc-geometry, segment-stats,\n\
-         \u{20}           stats, quit, shutdown\n\
+         \u{20}           stats, metrics, health, quit, shutdown\n\
+         \u{20}           HTTP on the same --listen port: GET /metrics\n\
+         \u{20}           (Prometheus text format) and GET /healthz\n\
          \u{20} info      FILE\n\
          \u{20} stats     FILE [--block I] [--top K]\n\
          \u{20} filaments FILE [--block I] --threshold T\n\
@@ -253,6 +301,15 @@ fn cmd_compute(o: &Opts) -> Result<(), String> {
         ),
         None => None,
     };
+    let progress: Option<f64> = match o.opt("progress") {
+        Some(v) => Some(
+            v.parse::<f64>()
+                .ok()
+                .filter(|s| *s > 0.0 && s.is_finite())
+                .ok_or_else(|| format!("bad value for --progress: {v}"))?,
+        ),
+        None => None,
+    };
     let params = PipelineParams {
         persistence_frac: persistence,
         plan,
@@ -264,6 +321,7 @@ fn cmd_compute(o: &Opts) -> Result<(), String> {
         // the segmentation stage on too
         segment: o.has("segment") || o.has("hierarchy"),
         hierarchy: o.has("hierarchy"),
+        progress,
         ..Default::default()
     };
     let t0 = std::time::Instant::now();
@@ -404,6 +462,17 @@ fn cmd_compute(o: &Opts) -> Result<(), String> {
             tel.counter_total("blocks_absorbed"),
             tel.counter_total("checkpoint_bytes"),
             tel.counter_total("recovery_ms"),
+        );
+    }
+
+    // Span bookkeeping bugs are recorded, not panicked on — but a
+    // non-zero incident count means some phase durations are
+    // best-effort, which the user reading the telemetry should know.
+    let unbalanced = r.telemetry.unbalanced_total();
+    if unbalanced > 0 {
+        eprintln!(
+            "warning: {unbalanced} unbalanced telemetry span(s) — phase timings in the \
+             report are best-effort for the affected rank(s)"
         );
     }
 
@@ -656,30 +725,100 @@ fn cmd_serve(o: &Opts) -> Result<(), String> {
         );
         datasets.push(ds);
     }
+    let slow_us: Option<u64> = match o.opt("slow-ms") {
+        Some(v) => Some(
+            v.parse::<f64>()
+                .ok()
+                .filter(|ms| *ms >= 0.0 && ms.is_finite())
+                .map(|ms| (ms * 1000.0) as u64)
+                .ok_or_else(|| format!("bad value for --slow-ms: {v}"))?,
+        ),
+        None => None,
+    };
     let config = ServeConfig {
         cache_capacity: o.num("cache", 32usize)?.max(1),
         threads: o.num("threads", 4usize)?.max(1),
+        slow_us,
+        slow_sample: o.num("slow-sample", 1u64)?.max(1),
     };
     let report_name = match o.opt("report") {
         Some(n) => n.to_string(),
         None => format!("{}_serve", datasets[0].name),
     };
-    let core = ServerCore::new(datasets, config);
+    let core = Arc::new(ServerCore::new(datasets, config));
+    // The final report must flush exactly once whether the server stops
+    // via a shutdown op, stdin EOF, or Ctrl-C — whoever wins the CAS
+    // writes it.
+    let reported = Arc::new(AtomicBool::new(false));
+    sig::install();
     match o.opt("listen") {
         Some(addr) => {
             let listener =
                 std::net::TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
-            eprintln!("serving on {addr} (send {{\"op\":\"shutdown\"}} to stop)");
-            serve_tcp(&core, listener).map_err(|e| e.to_string())?;
+            eprintln!(
+                "serving on {addr} (send {{\"op\":\"shutdown\"}} or Ctrl-C to stop; \
+                 GET /metrics for Prometheus text)"
+            );
+            // The accept loop polls `is_shutdown`, so turning Ctrl-C
+            // into `request_shutdown` drains it through the same exit
+            // path as the shutdown op; the report flush below runs on
+            // the normal return.
+            let watcher = {
+                let core = Arc::clone(&core);
+                std::thread::spawn(move || loop {
+                    if sig::interrupted() {
+                        core.request_shutdown();
+                    }
+                    if core.is_shutdown() {
+                        return;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                })
+            };
+            let res = serve_tcp(&core, listener);
+            core.request_shutdown(); // unblock the watcher on error exits too
+            let _ = watcher.join();
+            res.map_err(|e| e.to_string())?;
         }
         None => {
+            // stdin cannot be unblocked from another thread: on Ctrl-C
+            // the watcher flushes the report itself and exits with the
+            // conventional 128+SIGINT status.
+            let watcher = {
+                let core = Arc::clone(&core);
+                let reported = Arc::clone(&reported);
+                let name = report_name.clone();
+                std::thread::spawn(move || loop {
+                    if sig::interrupted() {
+                        flush_serve_report(&core, &name, &reported);
+                        exit(130);
+                    }
+                    if core.is_shutdown() {
+                        return;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                })
+            };
             let stdin = std::io::stdin();
-            serve_lines(&core, stdin.lock(), std::io::stdout(), config.threads)
-                .map_err(|e| e.to_string())?;
+            let res = serve_lines(&core, stdin.lock(), std::io::stdout(), config.threads);
+            core.request_shutdown();
+            let _ = watcher.join();
+            res.map_err(|e| e.to_string())?;
         }
     }
+    flush_serve_report(&core, &report_name, &reported);
+    Ok(())
+}
+
+/// Build, summarize and persist the serve telemetry report (at most
+/// once — the `reported` flag arbitrates between the normal exit path
+/// and the Ctrl-C watcher).
+fn flush_serve_report(core: &ServerCore, report_name: &str, reported: &AtomicBool) {
+    if reported.swap(true, Ordering::SeqCst) {
+        return;
+    }
     // the report build asserts the per-class quantile invariant
-    let report = core.report(&report_name);
+    let report = core.report(report_name);
     let (hits, misses) = (
         report.counter_total("serve_hits"),
         report.counter_total("serve_misses"),
@@ -703,5 +842,4 @@ fn cmd_serve(o: &Opts) -> Result<(), String> {
         Ok(p) => eprintln!("serve telemetry: {}", p.display()),
         Err(e) => eprintln!("warning: telemetry write failed: {e}"),
     }
-    Ok(())
 }
