@@ -113,7 +113,10 @@ fn main() {
         let base_path = baselines.join(name);
         let Some(base) = load(&base_path) else {
             if !base_path.exists() {
-                println!("trend: {name}: no baseline at {} — skipped", base_path.display());
+                println!(
+                    "trend: {name}: no baseline at {} — skipped",
+                    base_path.display()
+                );
             }
             continue;
         };

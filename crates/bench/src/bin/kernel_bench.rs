@@ -1,0 +1,197 @@
+//! Local-stage kernel microbenchmark: lower-star gradient throughput
+//! (refined cells/s) and V-path trace throughput (arc path-steps/s),
+//! old two-heap kernel vs the flat SoA kernel side by side, on the same
+//! single-block workloads.
+//!
+//! Unlike `local_scaling` (which times whole pipeline phases through the
+//! telemetry report) this calls the two kernel entry points directly, so
+//! the numbers are pure kernel time — no read, no complex construction,
+//! no merge. Every workload first **gates bit-exactness**: the flat
+//! gradient bytes and flat arc store must equal the heap kernel's before
+//! any timing is believed.
+//!
+//! Emits `results/BENCH_kernel.json` (re-parsed as a schema self-check).
+//! Knobs:
+//!
+//! * `MSP_SCALE=small|default|large` — volume size and repetitions;
+//! * `MSP_THREADS=n` — thread count for the kernel calls (default 1:
+//!   the serial side-by-side is the kernel-vs-kernel comparison).
+//!
+//! ```text
+//! cargo run --release -p msp-bench --bin kernel_bench
+//! ```
+
+use msp_bench::{results_dir, Scale, Table};
+use msp_grid::decomp::Decomposition;
+use msp_grid::field::BlockField;
+use msp_grid::par::available_threads;
+use msp_morse::gradient::GradientField;
+use msp_morse::{assign_gradient_kernel, trace_all_arcs_kernel, Kernel, TraceLimits};
+use msp_telemetry::Json;
+use std::time::Instant;
+
+/// Best-of-reps kernel timings for one (workload, kernel) pair.
+struct KernelRow {
+    kernel: Kernel,
+    grad_s: f64,
+    cells: u64,
+    trace_s: f64,
+    arc_steps: u64,
+    arcs: u64,
+    grad: GradientField,
+    arcs_store: msp_morse::ArcStore,
+}
+
+fn time_kernel(
+    bf: &BlockField,
+    decomp: &Decomposition,
+    kernel: Kernel,
+    threads: usize,
+    reps: usize,
+) -> KernelRow {
+    let mut grad_s = f64::INFINITY;
+    let mut trace_s = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let (grad, kstats) = assign_gradient_kernel(bf, decomp, threads, kernel);
+        grad_s = grad_s.min(t0.elapsed().as_secs_f64());
+
+        let t1 = Instant::now();
+        let (arcs, tstats) = trace_all_arcs_kernel(&grad, TraceLimits::default(), threads, kernel);
+        trace_s = trace_s.min(t1.elapsed().as_secs_f64());
+
+        out = Some(KernelRow {
+            kernel,
+            grad_s,
+            cells: kstats.cells,
+            trace_s,
+            arc_steps: tstats.path_cells_total,
+            arcs: tstats.arcs,
+            grad,
+            arcs_store: arcs,
+        });
+    }
+    out.expect("at least one repetition")
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let size = scale.pick(13, 41, 73);
+    let reps = scale.pick(1, 3, 5);
+    let threads: usize = std::env::var("MSP_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1);
+    let host = available_threads();
+    let dims = msp_grid::Dims::new(size, size, size);
+    println!(
+        "kernel microbench: {size}^3 workloads, {reps} rep(s), \
+         {threads} thread(s), host parallelism {host}\n"
+    );
+
+    let workloads: Vec<(String, msp_grid::ScalarField)> = vec![
+        (format!("sinusoid_{size}_4"), msp_synth::sinusoid(size, 4)),
+        (format!("noise_{size}_29"), msp_synth::white_noise(dims, 29)),
+    ];
+
+    let table = Table::new(&[
+        "workload",
+        "kernel",
+        "grad_s",
+        "Mcells/s",
+        "trace_s",
+        "Msteps/s",
+        "arcs",
+    ]);
+    let mut docs: Vec<Json> = Vec::new();
+    for (name, field) in &workloads {
+        let decomp = Decomposition::bisect(field.dims(), 1);
+        let bf = field.extract_block(decomp.block(0));
+
+        let heap = time_kernel(&bf, &decomp, Kernel::Heap, threads, reps);
+        let flat = time_kernel(&bf, &decomp, Kernel::Flat, threads, reps);
+
+        // bit-exactness gate: timings of a wrong kernel are worthless
+        assert_eq!(
+            flat.grad.bytes(),
+            heap.grad.bytes(),
+            "{name}: flat gradient diverged from the two-heap kernel"
+        );
+        assert_eq!(
+            flat.arcs_store, heap.arcs_store,
+            "{name}: flat arc store diverged from the recursive tracer"
+        );
+
+        let mut rows = Vec::new();
+        for r in [&heap, &flat] {
+            let cps = r.cells as f64 / r.grad_s.max(1e-12);
+            let sps = r.arc_steps as f64 / r.trace_s.max(1e-12);
+            table.row(&[
+                name.clone(),
+                r.kernel.name().to_string(),
+                format!("{:.4}", r.grad_s),
+                format!("{:.2}", cps / 1e6),
+                format!("{:.4}", r.trace_s),
+                format!("{:.2}", sps / 1e6),
+                format!("{}", r.arcs),
+            ]);
+            rows.push(Json::obj(vec![
+                ("kernel", Json::str(r.kernel.name())),
+                ("grad_s", Json::F64(r.grad_s)),
+                ("grad_cells_per_s", Json::F64(cps)),
+                ("trace_s", Json::F64(r.trace_s)),
+                ("trace_arc_steps_per_s", Json::F64(sps)),
+                ("arcs", Json::U64(r.arcs)),
+            ]));
+        }
+        docs.push(Json::obj(vec![
+            ("volume", Json::str(name.clone())),
+            ("cells", Json::U64(flat.cells)),
+            ("arc_steps", Json::U64(flat.arc_steps)),
+            ("bit_exact", Json::Bool(true)),
+            ("kernels", Json::Arr(rows)),
+            (
+                "grad_speedup_flat_vs_heap",
+                Json::F64(heap.grad_s / flat.grad_s.max(1e-12)),
+            ),
+            (
+                "trace_speedup_flat_vs_heap",
+                Json::F64(heap.trace_s / flat.trace_s.max(1e-12)),
+            ),
+        ]));
+    }
+    println!("\nall workloads bit-exact: flat == heap (gradient bytes and arc stores)");
+
+    let doc = Json::obj(vec![
+        ("kind", Json::str("kernel_bench")),
+        ("reps", Json::U64(reps as u64)),
+        ("threads", Json::U64(threads as u64)),
+        ("host_parallelism", Json::U64(host as u64)),
+        ("workloads", Json::Arr(docs)),
+    ]);
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join("BENCH_kernel.json");
+    std::fs::write(&path, doc.pretty()).expect("write BENCH_kernel.json");
+    println!("bench written to {}", path.display());
+
+    // schema self-check: the emitted document must round-trip
+    let text = std::fs::read_to_string(&path).expect("read back BENCH_kernel.json");
+    let parsed =
+        Json::parse(&text).unwrap_or_else(|e| panic!("{} does not re-parse: {e}", path.display()));
+    let Json::Obj(top) = &parsed else {
+        panic!("BENCH_kernel.json top level is not an object");
+    };
+    let n = top
+        .iter()
+        .find(|(k, _)| k == "workloads")
+        .map(|(_, v)| match v {
+            Json::Arr(a) => a.len(),
+            _ => panic!("workloads is not an array"),
+        })
+        .expect("workloads present");
+    assert_eq!(n, workloads.len(), "round-trip preserves every workload");
+    println!("schema self-check OK ({n} workloads)");
+}

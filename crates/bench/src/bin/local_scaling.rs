@@ -15,11 +15,17 @@
 //! * `MSP_SCALE=small|default|large` — volume size;
 //! * `MSP_THREADS=1,2,4` — comma list of thread counts (default
 //!   `1,2,4,8`);
-//! * `MSP_ASSERT_SPEEDUP=1` — additionally require ≥2.5× gradient+trace
-//!   speedup at 4 threads (off by default: CI smoke runs use volumes
-//!   too small for stable timings; skipped, with a note, on hosts
-//!   exposing fewer than 4 CPUs, where wall-clock speedup is physically
-//!   impossible — the emitted `host_parallelism` field records this).
+//! * `MSP_KERNEL=heap` — escape hatch running the whole sweep on the
+//!   pre-rework two-heap/recursive kernels instead of the flat SoA
+//!   path; the active side is recorded in the `kernel` column so a
+//!   differential run is self-describing;
+//! * `MSP_ASSERT_SPEEDUP=1` — additionally require that threads=2 does
+//!   not regress below serial (≥1.0× gradient+trace on hosts with ≥2
+//!   CPUs; on a 1-CPU host the sweep is pure oversubscription, so the
+//!   2-thread point is reported but not gated) and ≥2.5× speedup at 4
+//!   threads (skipped, with a note, on hosts exposing fewer than 4
+//!   CPUs, where wall-clock speedup is physically impossible — the
+//!   emitted `host_parallelism` field records this).
 //!
 //! ```text
 //! cargo run --release -p msp-bench --bin local_scaling
@@ -63,9 +69,11 @@ fn main() {
     let field = Arc::new(msp_synth::sinusoid(size, complexity));
     let input = Input::Memory(field);
     let host = available_threads();
+    let kernel = msp_morse::active_kernel().name();
     println!(
         "local-stage scaling: sinusoid {size}^3 complexity {complexity}, \
-         1 rank x {BLOCKS} blocks, threads {threads:?}, host parallelism {host}\n"
+         1 rank x {BLOCKS} blocks, threads {threads:?}, kernel {kernel}, \
+         host parallelism {host}\n"
     );
     let max_t = threads.iter().copied().max().unwrap_or(1);
     if host < max_t {
@@ -102,7 +110,7 @@ fn main() {
     };
 
     let table = Table::new(&[
-        "threads", "read_s", "grad_s", "trace_s", "simpl_s", "total_s", "speedup",
+        "threads", "kernel", "read_s", "grad_s", "trace_s", "simpl_s", "total_s", "speedup",
     ]);
     let mut baseline_wire: Option<bytes::Bytes> = None;
     let mut baseline_gt: f64 = 0.0;
@@ -140,6 +148,7 @@ fn main() {
         speedup_at.push((t, speedup));
         table.row(&[
             format!("{t}"),
+            kernel.to_string(),
             format!("{read:.4}"),
             format!("{grad:.4}"),
             format!("{trc:.4}"),
@@ -149,6 +158,7 @@ fn main() {
         ]);
         rows.push(Json::obj(vec![
             ("threads", Json::U64(t as u64)),
+            ("kernel", Json::str(kernel)),
             ("read_s", Json::F64(read)),
             ("gradient_s", Json::F64(grad)),
             ("trace_s", Json::F64(trc)),
@@ -165,6 +175,7 @@ fn main() {
 
     let doc = Json::obj(vec![
         ("kind", Json::str("local_scaling")),
+        ("kernel", Json::str(kernel)),
         ("volume", Json::str(format!("sinusoid_{size}_{complexity}"))),
         ("blocks", Json::U64(BLOCKS as u64)),
         ("host_parallelism", Json::U64(host as u64)),
@@ -195,6 +206,21 @@ fn main() {
     println!("schema self-check OK ({n_runs} runs)");
 
     if std::env::var("MSP_ASSERT_SPEEDUP").as_deref() == Ok("1") {
+        match speedup_at.iter().find(|(t, _)| *t == 2) {
+            Some((_, s2)) if host >= 2 => {
+                assert!(
+                    *s2 >= 1.0,
+                    "gradient+trace at 2 threads regressed to {s2:.2}x of serial \
+                     — pooled slab buffers must keep the parallel path free"
+                );
+                println!("no-regression gate OK ({s2:.2}x at 2 threads)");
+            }
+            Some((_, s2)) => println!(
+                "no-regression gate SKIPPED: host exposes {host} CPU(s), \
+                 2 threads is pure oversubscription (measured {s2:.2}x)"
+            ),
+            None => {}
+        }
         if host < 4 {
             println!(
                 "speedup gate SKIPPED: host exposes {host} CPU(s), \

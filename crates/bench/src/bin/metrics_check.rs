@@ -156,9 +156,15 @@ fn main() {
     for i in 0..60usize {
         let line = match i % 6 {
             // 4-key hot pool so the cache demonstrably hits
-            0 | 1 => format!("{{\"op\":\"threshold\",\"t\":{}}}", keys[(i % 4) * 7 % n_keys]),
+            0 | 1 => format!(
+                "{{\"op\":\"threshold\",\"t\":{}}}",
+                keys[(i % 4) * 7 % n_keys]
+            ),
             2 => "{\"op\":\"ping\"}".to_string(),
-            3 => format!("{{\"op\":\"extrema\",\"t\":{},\"top\":3}}", keys[i % n_keys]),
+            3 => format!(
+                "{{\"op\":\"extrema\",\"t\":{},\"top\":3}}",
+                keys[i % n_keys]
+            ),
             4 => "{\"op\":\"health\"}".to_string(),
             _ => {
                 errors_sent += 1;

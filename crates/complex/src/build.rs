@@ -6,7 +6,7 @@ use crate::skeleton::MsComplex;
 use msp_grid::decomp::Decomposition;
 use msp_grid::field::BlockField;
 use msp_morse::gradient::GradientField;
-use msp_morse::{assign_gradient, trace_all_arcs, TraceLimits, TraceStats};
+use msp_morse::{active_kernel, assign_gradient, trace_all_arcs_kernel, TraceLimits, TraceStats};
 
 /// Counters from one block build.
 #[derive(Debug, Clone, Copy, Default)]
@@ -31,12 +31,27 @@ pub fn build_block_complex(
 }
 
 /// Build the complex from an already-computed gradient (shared by the
-/// production path and the greedy-ablation benches).
+/// production path and the greedy-ablation benches). Serial tracing;
+/// see [`complex_from_gradient_mt`] for the threaded variant.
 pub fn complex_from_gradient(
     field: &BlockField,
     decomp: &Decomposition,
     grad: &GradientField,
     limits: TraceLimits,
+) -> (MsComplex, BuildStats) {
+    complex_from_gradient_mt(field, decomp, grad, limits, 1)
+}
+
+/// [`complex_from_gradient`] with V-path tracing fanned out over
+/// `threads` (deterministic: the flat tracer chunks the critical list
+/// contiguously and merges per-chunk arc stores in order, so the built
+/// complex is identical for every thread count).
+pub fn complex_from_gradient_mt(
+    field: &BlockField,
+    decomp: &Decomposition,
+    grad: &GradientField,
+    limits: TraceLimits,
+    threads: usize,
 ) -> (MsComplex, BuildStats) {
     let refined = field.domain().refined();
     let mut ms = MsComplex::new(refined, vec![field.block().id]);
@@ -59,7 +74,8 @@ pub fn complex_from_gradient(
         }
     }
 
-    let (arcs, tstats): (_, TraceStats) = trace_all_arcs(grad, limits);
+    let (arcs, tstats): (_, TraceStats) =
+        trace_all_arcs_kernel(grad, limits, threads, active_kernel());
     stats.truncated_nodes = tstats.truncated_nodes;
     let mut path_addrs = Vec::new();
     for arc in arcs.iter() {
@@ -114,6 +130,26 @@ mod tests {
             if n.index == 1 {
                 let down = ms.arcs_below(i as u32).count();
                 assert_eq!(down, 2, "1-saddle must have 2 descending arcs");
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_trace_builds_identical_complex() {
+        let dims = Dims::new(9, 8, 7);
+        let f = msp_synth::white_noise(dims, 77);
+        let d = Decomposition::bisect(dims, 2);
+        for b in d.blocks() {
+            let bf = f.extract_block(b);
+            let g = assign_gradient(&bf, &d);
+            let (serial, s1) = complex_from_gradient(&bf, &d, &g, TraceLimits::default());
+            for threads in [2, 4, 8] {
+                let (mt, s2) =
+                    complex_from_gradient_mt(&bf, &d, &g, TraceLimits::default(), threads);
+                assert_eq!(mt.nodes, serial.nodes, "threads {threads}");
+                assert_eq!(mt.arcs, serial.arcs, "threads {threads}");
+                assert_eq!(s2.arcs, s1.arcs);
+                assert_eq!(s2.geometry_cells, s1.geometry_cells);
             }
         }
     }

@@ -31,7 +31,7 @@ pub mod simplify;
 pub mod skeleton;
 pub mod wire;
 
-pub use build::{build_block_complex, complex_from_gradient, BuildStats};
+pub use build::{build_block_complex, complex_from_gradient, complex_from_gradient_mt, BuildStats};
 pub use glue::{GlueError, GlueStats};
 pub use simplify::{
     replay_cancellation, simplify, simplify_forwarding, simplify_with, CancelOrder, CancelRecord,

@@ -19,7 +19,7 @@ pub type ArcId = u32;
 pub type GeomId = u32;
 
 /// A node of the complex: a critical cell.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Node {
     /// Global cell address on the refined grid of the full dataset.
     pub addr: u64,
@@ -38,7 +38,7 @@ pub struct Node {
 }
 
 /// An arc between critical cells of adjacent index.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Arc {
     /// Node of index `d`.
     pub upper: NodeId,

@@ -36,7 +36,7 @@ use crate::plan::MergePlan;
 use bytes::Bytes;
 use msp_complex::glue::glue_all;
 use msp_complex::{
-    complex_from_gradient, simplify_forwarding, simplify_with, wire, CancelOrder, MsComplex,
+    complex_from_gradient_mt, simplify_forwarding, simplify_with, wire, CancelOrder, MsComplex,
     SimplifyParams,
 };
 use msp_fault::checkpoint::CheckpointError;
@@ -45,11 +45,11 @@ use msp_grid::par::{available_threads, par_map, par_map_mut};
 use msp_grid::rawio::{read_block, VolumeDType};
 use msp_grid::{Decomposition, Dims, ScalarField};
 use msp_hierarchy::{wire as hwire, ReplayParams, SlotHierarchy};
-use msp_morse::{assign_gradient, assign_gradient_par, TraceLimits};
+use msp_morse::{active_kernel, assign_gradient_kernel, TraceLimits};
 use msp_segment::{label_block, wire as segwire, BlockSegmentation, ForwardMap, DRAIN_ADDR};
 use msp_telemetry::{
     progress_interval_from_env, Counter, Heartbeat, Json, Phase, ProgressPhase, ProgressState,
-    RankReport, RankTrace, Recorder, RunReport, RunTrace, SubRecorder, TraceSink,
+    RankReport, RankTrace, Recorder, RunReport, RunTrace, TraceSink,
 };
 use msp_vmpi::comm::{CommError, Inject};
 use msp_vmpi::fileio::{collective_write_blocks, collective_write_blocks_keyed, FooterEntry};
@@ -662,9 +662,16 @@ fn run_rank(
     rec.begin(Phase::Total);
 
     // Intra-rank thread budget for the local stage. `threads == 1` is
-    // the exact serial code path; larger counts produce bit-identical
-    // output (deterministic block/slab merge order, see msp-morse).
-    let threads = params.threads.unwrap_or_else(available_threads).max(1);
+    // the single-threaded code path; larger counts produce bit-identical
+    // output (deterministic block/slab merge order, see msp-morse), so
+    // the budget is a scheduling hint and gets capped at host
+    // parallelism — oversubscribing CPUs buys nothing and pays spawn
+    // and slab-merge overhead for it.
+    let threads = params
+        .threads
+        .unwrap_or_else(available_threads)
+        .min(available_threads())
+        .max(1);
 
     // ---- read ----
     // The min/max scan is folded into block extraction (one pass over
@@ -703,62 +710,40 @@ fn run_rank(
     rec.end(Phase::Read);
 
     // ---- compute: gradient assignment, then V-path tracing ----
-    // Blocks get the outer threads; leftover budget goes to z-slab
-    // parallelism inside each block's gradient (one block per rank is
-    // the paper's usual configuration, so the inner level matters).
+    // Blocks run sequentially with the whole thread budget spent
+    // *inside* each block: z-slab-parallel gradient, chunk-parallel
+    // tracing. A block always has enough rows/critical cells to feed
+    // every thread (one block per rank is the paper's usual
+    // configuration), and keeping phases sequential per block means the
+    // Gradient/Trace buckets measure pure phase wall clock — no
+    // cross-phase overlap between concurrent block workers to inflate
+    // the per-phase attribution on oversubscribed hosts.
     phase(ProgressPhase::Local);
     let mut complexes: HashMap<u32, MsComplex> = HashMap::new();
     // Block segmentations stay put on the rank that computed them (only
     // complexes travel during merges); resolved at SegResolve below.
     let mut segs: HashMap<u32, BlockSegmentation> = HashMap::new();
     let rdims = input.dims().refined();
-    if threads == 1 {
-        for &b in &my_blocks {
-            let grad = rec.time(Phase::Gradient, |_| assign_gradient(&fields[&b], decomp));
-            let (ms, bstats) = rec.time(Phase::Trace, |_| {
-                complex_from_gradient(&fields[&b], decomp, &grad, params.trace_limits)
-            });
-            rec.add(Counter::CellsPaired, bstats.cells_paired);
-            rec.add(Counter::CriticalCells, bstats.critical_cells);
-            rec.add(Counter::ArcsTraced, bstats.arcs);
-            if params.segment {
-                let seg = rec.time(Phase::Segment, |_| {
-                    label_block(decomp.block(b), &rdims, &grad, 1)
-                });
-                segs.insert(b, seg);
-            }
-            complexes.insert(b, ms);
-        }
-    } else {
-        let block_workers = threads.min(my_blocks.len().max(1));
-        let slab_threads = (threads / block_workers).max(1);
-        let built = par_map(block_workers, &my_blocks, |_, &b| {
-            let mut sub = SubRecorder::new();
-            let grad = sub.time(Phase::Gradient, epoch, |_| {
-                assign_gradient_par(&fields[&b], decomp, slab_threads)
-            });
-            let (ms, bstats) = sub.time(Phase::Trace, epoch, |_| {
-                complex_from_gradient(&fields[&b], decomp, &grad, params.trace_limits)
-            });
-            sub.add(Counter::CellsPaired, bstats.cells_paired);
-            sub.add(Counter::CriticalCells, bstats.critical_cells);
-            sub.add(Counter::ArcsTraced, bstats.arcs);
-            let seg = params.segment.then(|| {
-                sub.time(Phase::Segment, epoch, |_| {
-                    label_block(decomp.block(b), &rdims, &grad, slab_threads)
-                })
-            });
-            (ms, seg, sub)
+    for &b in &my_blocks {
+        let (grad, kstats) = rec.time(Phase::Gradient, |_| {
+            assign_gradient_kernel(&fields[&b], decomp, threads, active_kernel())
         });
-        let mut subs = Vec::with_capacity(built.len());
-        for (i, (ms, seg, sub)) in built.into_iter().enumerate() {
-            complexes.insert(my_blocks[i], ms);
-            if let Some(s) = seg {
-                segs.insert(my_blocks[i], s);
-            }
-            subs.push(sub);
+        let (ms, bstats) = rec.time(Phase::Trace, |_| {
+            complex_from_gradient_mt(&fields[&b], decomp, &grad, params.trace_limits, threads)
+        });
+        rec.add(Counter::CellsPaired, bstats.cells_paired);
+        rec.add(Counter::CriticalCells, bstats.critical_cells);
+        rec.add(Counter::ArcsTraced, bstats.arcs);
+        rec.add(Counter::KernelCells, kstats.cells);
+        rec.add(Counter::ScratchReuse, kstats.scratch_reuse);
+        rec.add(Counter::KernelAllocs, kstats.kernel_allocs);
+        if params.segment {
+            let seg = rec.time(Phase::Segment, |_| {
+                label_block(decomp.block(b), &rdims, &grad, threads)
+            });
+            segs.insert(b, seg);
         }
-        rec.absorb_subs(&subs);
+        complexes.insert(b, ms);
     }
     drop(fields);
 

@@ -25,6 +25,7 @@ pub mod coord;
 pub mod decomp;
 pub mod dims;
 pub mod field;
+pub mod offsets;
 pub mod par;
 pub mod rawio;
 pub mod topology;

@@ -12,7 +12,11 @@
 //!
 //! Threads are spawned per call. A call amortizes spawn cost over a
 //! whole pipeline stage (milliseconds to seconds of work), so a pool is
-//! not worth its synchronization complexity here.
+//! not worth its synchronization complexity here. The calling thread
+//! participates as a worker itself, so `threads = n` costs `n − 1`
+//! spawns — on a host with few CPUs this halves the spawn/context-switch
+//! overhead of two-level (block × slab) fan-out, and `threads = 2`
+//! degrades gracefully to "one spawn plus the caller".
 
 /// Number of hardware threads available to this process (at least 1).
 pub fn available_threads() -> usize {
@@ -43,22 +47,24 @@ where
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
+    let drain = || {
+        let mut done: Vec<(usize, R)> = Vec::new();
+        loop {
+            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            done.push((i, f(i, &items[i])));
+        }
+        done
+    };
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut done: Vec<(usize, R)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        done.push((i, f(i, &items[i])));
-                    }
-                    done
-                })
-            })
-            .collect();
+        // the caller is worker 0: spawn only workers − 1 threads and
+        // drain the shared counter on this thread too
+        let handles: Vec<_> = (1..workers).map(|_| scope.spawn(drain)).collect();
+        for (i, r) in drain() {
+            slots[i] = Some(r);
+        }
         for h in handles {
             match h.join() {
                 Ok(done) => {
@@ -93,20 +99,23 @@ where
     }
     let chunk = n.div_ceil(workers);
     let f = &f;
+    let run = move |ci: usize, ch: &mut [T]| {
+        ch.iter_mut()
+            .enumerate()
+            .map(|(j, t)| f(ci * chunk + j, t))
+            .collect::<Vec<R>>()
+    };
     let mut out: Vec<R> = Vec::with_capacity(n);
     std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks_mut(chunk)
-            .enumerate()
-            .map(|(ci, ch)| {
-                scope.spawn(move || {
-                    ch.iter_mut()
-                        .enumerate()
-                        .map(|(j, t)| f(ci * chunk + j, t))
-                        .collect::<Vec<R>>()
-                })
-            })
+        // the caller works the first chunk; the rest are spawned
+        let mut chunks = items.chunks_mut(chunk).enumerate();
+        let first = chunks.next();
+        let handles: Vec<_> = chunks
+            .map(|(ci, ch)| scope.spawn(move || run(ci, ch)))
             .collect();
+        if let Some((ci, ch)) = first {
+            out.extend(run(ci, ch));
+        }
         for h in handles {
             match h.join() {
                 Ok(rs) => out.extend(rs),

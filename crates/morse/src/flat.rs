@@ -1,0 +1,405 @@
+//! Flat structure-of-arrays lower-star kernel.
+//!
+//! Computes byte-identical output to the two-heap homotopy expansion in
+//! `lower_star.rs` (the Robins-Wood-Sheppard rule) without heaps,
+//! `CellKey` materialization, or any per-vertex allocation. The rework
+//! rests on three observations:
+//!
+//! 1. **The lower star is a 27-bit set.** Every candidate cell lives in
+//!    the 3×3×3 refined cube around the vertex, so membership, facet
+//!    relations and box clipping become constant bitmask lookups from
+//!    [`msp_grid::offsets`]. A cell belongs to the lower star iff all of
+//!    its non-center corner vertices are SoS-below the center — one mask
+//!    comparison against a 26-bit "below" mask built from a linear scan
+//!    of precomputed `OrderedF32` key words.
+//!
+//! 2. **In-star cell keys pack into one `u64`.** All member cells share
+//!    the center as their SoS-maximal vertex, so `CellKey` order
+//!    restricted to one star is the lexicographic order of the
+//!    *descending sequences of the remaining corners*. Ranking the ≤ 26
+//!    distinct corner vertices once (codes 1..=26, 5 bits each) and
+//!    packing each cell's descending codes left-aligned into a `u64`
+//!    (zero-filled — a facet's shorter sequence compares exactly like
+//!    `CellKey`'s shorter-prefix-is-less rule) turns every key
+//!    comparison the expansion makes into one integer compare.
+//!
+//! 3. **The two-queue rule has a scan form.** The heap algorithm always
+//!    pairs the minimum-key cell that has exactly one unassigned
+//!    same-group facet, and when no such cell exists it marks the
+//!    minimum-key unassigned cell critical (which then necessarily has
+//!    zero unassigned facets, since a facet's key is strictly smaller
+//!    than its coface's). Over a ≤ 27-element bitmask that selection is
+//!    a handful of `trailing_zeros` loops — no queues, no re-push
+//!    bookkeeping, and per-group independence means owner-set groups can
+//!    run one after another.
+//!
+//! The sweep reads one precomputed array: the block's vertex values
+//! mapped through [`OrderedF32`] (a pooled `Vec<u32>`, see
+//! `crate::pool`), walked x-fastest with incrementally advanced indices.
+//! Everything else is stack scratch, so the kernel performs zero heap
+//! allocations after the per-block key array is built.
+
+use crate::gradient::{GradientField, ASSIGNED, CRITICAL, PAIRED, TAIL};
+use msp_grid::decomp::{Decomposition, OwnerSet};
+use msp_grid::field::{BlockField, OrderedF32};
+use msp_grid::offsets::{
+    clip_mask, offset_of, ALL_OFFSETS, CENTER, NEG_GID, STAR_CORNERS, STAR_FACETS,
+};
+use msp_grid::{Dims, RCoord};
+
+const CENTER_BIT: u32 = 1 << CENTER;
+
+/// Fill `out` with the block's vertex values mapped through the monotone
+/// [`OrderedF32`] transform, in the block's own x-fastest layout. All
+/// SoS value comparisons in the sweep become raw `u32` compares on this
+/// array.
+pub(crate) fn ordered_keys_into(field: &BlockField, out: &mut Vec<u32>) {
+    out.clear();
+    out.extend(field.data().iter().map(|&v| OrderedF32::new(v).0));
+}
+
+/// Immutable per-block state of the flat sweep, shared by every slab
+/// thread. Holds the three precomputed 27-entry delta tables that turn
+/// neighborhood addressing into add-and-index.
+pub(crate) struct FlatSweep<'a> {
+    decomp: &'a Decomposition,
+    /// `OrderedF32` words of the block's vertices (block-local layout).
+    ord: &'a [u32],
+    block_id: u32,
+    /// Block bounds in **vertex** coordinates (inclusive).
+    blo: [u32; 3],
+    bhi: [u32; 3],
+    /// Block-local vertex dims (for row starts into `ord`).
+    bd: Dims,
+    /// Block-local vertex index delta per offset.
+    ld: [isize; 27],
+    /// Global vertex id delta per offset (SoS gid tiebreak within the
+    /// star: `gid_a < gid_b ⇔ gd[a] < gd[b]`, same center).
+    gd: [i64; 27],
+}
+
+impl<'a> FlatSweep<'a> {
+    pub(crate) fn new(field: &'a BlockField, decomp: &'a Decomposition, ord: &'a [u32]) -> Self {
+        let block = field.block();
+        let bd = block.dims();
+        let dom = field.domain();
+        debug_assert_eq!(ord.len() as u64, bd.n_verts());
+        let mut ld = [0isize; 27];
+        let mut gd = [0i64; 27];
+        for oi in 0..27 {
+            let (dx, dy, dz) = offset_of(oi);
+            ld[oi] = dx as isize + bd.nx as isize * (dy as isize + bd.ny as isize * dz as isize);
+            gd[oi] = dx as i64 + dom.nx as i64 * (dy as i64 + dom.ny as i64 * dz as i64);
+        }
+        FlatSweep {
+            decomp,
+            ord,
+            block_id: block.id,
+            blo: block.lo,
+            bhi: block.hi,
+            bd,
+            ld,
+            gd,
+        }
+    }
+
+    /// Run the flat sweep for every vertex with z ∈ `[z0, z1]` (global
+    /// vertex coordinates), writing into `grad` — which may cover just a
+    /// slab's refined sub-box. The drop-in replacement for the heap
+    /// kernel's `sweep_z_range`.
+    pub(crate) fn sweep_z_range(&self, z0: u32, z1: u32, grad: &mut GradientField) {
+        let (sx, sxy) = grad.strides();
+        let mut rd = [0isize; 27];
+        for (oi, r) in rd.iter_mut().enumerate() {
+            let (dx, dy, dz) = offset_of(oi);
+            *r = dx as isize + sx as isize * dy as isize + sxy as isize * dz as isize;
+        }
+        for z in z0..=z1 {
+            let mz = clip_mask(2, z > self.blo[2], z < self.bhi[2]);
+            for y in self.blo[1]..=self.bhi[1] {
+                let my = mz & clip_mask(1, y > self.blo[1], y < self.bhi[1]);
+                let li0 = self.bd.vertex_index(0, y - self.blo[1], z - self.blo[2]) as usize;
+                let mut gi = grad.linear_index(RCoord::of_vertex(self.blo[0], y, z));
+                for (k, x) in (self.blo[0]..=self.bhi[0]).enumerate() {
+                    let valid = my & clip_mask(0, x > self.blo[0], x < self.bhi[0]);
+                    self.process_vertex(li0 + k, gi, (x, y, z), valid, &rd, grad);
+                    gi += 2;
+                }
+            }
+        }
+    }
+
+    /// Assign the entire lower star of one vertex. `li` indexes `ord`,
+    /// `gi` is the vertex cell's linear index in `grad`, `valid` is the
+    /// box-clipped offset mask.
+    fn process_vertex(
+        &self,
+        li: usize,
+        gi: usize,
+        v: (u32, u32, u32),
+        valid: u32,
+        rd: &[isize; 27],
+        grad: &mut GradientField,
+    ) {
+        let k0 = self.ord[li];
+
+        // 26-bit mask of neighbor vertices SoS-below the center: value
+        // compare on the OrderedF32 words, gid tiebreak from NEG_GID.
+        let mut below = 0u32;
+        let mut m = valid & !CENTER_BIT;
+        while m != 0 {
+            let oi = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let kn = self.ord[(li as isize + self.ld[oi]) as usize];
+            let b = ((kn < k0) as u32) | (((kn == k0) as u32) & (NEG_GID >> oi & 1));
+            below |= b << oi;
+        }
+
+        // Membership: a cell is in the lower star iff all of its
+        // non-center corners are below the center.
+        let mut member = CENTER_BIT;
+        let mut m = valid & !CENTER_BIT;
+        while m != 0 {
+            let oi = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let sc = STAR_CORNERS[oi];
+            member |= (((below & sc) == sc) as u32) << oi;
+        }
+
+        // Local SoS minimum: the star is just the vertex, critical.
+        if member == CENTER_BIT {
+            grad.write_byte(gi, ASSIGNED | CRITICAL);
+            return;
+        }
+
+        // Rank the corner vertices the member cells actually use,
+        // ascending by (value word, gid); codes 1..=n, 5 bits each.
+        let mut needed = 0u32;
+        let mut m = member & !CENTER_BIT;
+        while m != 0 {
+            let oi = m.trailing_zeros() as usize;
+            m &= m - 1;
+            needed |= STAR_CORNERS[oi];
+        }
+        let mut order = [(0u32, 0i64, 0u8); 26];
+        let mut n = 0usize;
+        let mut m = needed;
+        while m != 0 {
+            let oi = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let item = (
+                self.ord[(li as isize + self.ld[oi]) as usize],
+                self.gd[oi],
+                oi as u8,
+            );
+            let mut j = n;
+            while j > 0 && (order[j - 1].0, order[j - 1].1) > (item.0, item.1) {
+                order[j] = order[j - 1];
+                j -= 1;
+            }
+            order[j] = item;
+            n += 1;
+        }
+        let mut code = [0u8; 27];
+        for (r, &(_, _, oi)) in order[..n].iter().enumerate() {
+            code[oi as usize] = r as u8 + 1;
+        }
+
+        // Pack each member cell's descending corner codes into a u64.
+        // Left-aligned with zero fill: within one star this compares
+        // exactly like CellKey (all members share the center as their
+        // maximal vertex, and a facet's corner set is a strict subset of
+        // its coface's, so the 0-fill reproduces shorter-prefix-is-less).
+        let mut keys = [0u64; 27];
+        let mut m = member & !CENTER_BIT;
+        while m != 0 {
+            let oi = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let cm = STAR_CORNERS[oi];
+            let mut codemask = 0u32;
+            let mut cc = cm;
+            while cc != 0 {
+                let ci = cc.trailing_zeros() as usize;
+                cc &= cc - 1;
+                codemask |= 1 << code[ci];
+            }
+            let mut key = 0u64;
+            while codemask != 0 {
+                let b = 31 - codemask.leading_zeros();
+                codemask &= !(1 << b);
+                key = (key << 5) | b as u64;
+            }
+            keys[oi] = key << (5 * (7 - cm.count_ones()));
+        }
+        // keys[CENTER] stays 0: the vertex's sequence is empty, the
+        // smallest — matching CellKey order.
+
+        if valid == ALL_OFFSETS {
+            // Interior fast path: the whole star has the singleton owner
+            // set {block}, one group.
+            expand_group(member, &keys, gi, rd, grad);
+            return;
+        }
+
+        // Boundary: stratify members into owner-set groups (paper
+        // §IV-C's pairing restriction) and expand each independently.
+        // Cross-group operations commute — bytes only depend on the
+        // within-group sequence — so sequential groups reproduce the
+        // heap's interleaved order bit for bit.
+        let rv = RCoord::of_vertex(v.0, v.1, v.2);
+        let mut gsets = [OwnerSet::empty(); 27];
+        let mut gmask = [0u32; 27];
+        let mut ngroups = 0usize;
+        let mut m = member;
+        while m != 0 {
+            let oi = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let (dx, dy, dz) = offset_of(oi);
+            let c = RCoord::new(
+                (rv.x as i32 + dx) as u32,
+                (rv.y as i32 + dy) as u32,
+                (rv.z as i32 + dz) as u32,
+            );
+            let owners = if self.decomp.interior_to(self.block_id, c) {
+                let mut o = OwnerSet::empty();
+                o.push(self.block_id);
+                o
+            } else {
+                self.decomp.owners(c)
+            };
+            match gsets[..ngroups].iter().position(|g| *g == owners) {
+                Some(g) => gmask[g] |= 1 << oi,
+                None => {
+                    gsets[ngroups] = owners;
+                    gmask[ngroups] = 1 << oi;
+                    ngroups += 1;
+                }
+            }
+        }
+        for &gm in gmask.iter().take(ngroups) {
+            expand_group(gm, &keys, gi, rd, grad);
+        }
+    }
+}
+
+/// Homotopy-expand one owner-set group of a lower star, given as a
+/// bitmask of unassigned member cells. The scan form of the two-queue
+/// rule: pair the min-key cell with exactly one unassigned same-group
+/// facet; when none exists, the min-key unassigned cell (then
+/// necessarily facet-free, as facet keys are strictly smaller) becomes
+/// critical.
+fn expand_group(
+    mut un: u32,
+    keys: &[u64; 27],
+    gi: usize,
+    rd: &[isize; 27],
+    grad: &mut GradientField,
+) {
+    while un != 0 {
+        let mut best_e = 27usize;
+        let mut best_e_key = u64::MAX;
+        let mut best_a = 27usize;
+        let mut best_a_key = u64::MAX;
+        let mut m = un;
+        while m != 0 {
+            let oi = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let k = keys[oi];
+            if k < best_a_key {
+                best_a_key = k;
+                best_a = oi;
+            }
+            if (STAR_FACETS[oi] & un).count_ones() == 1 && k < best_e_key {
+                best_e_key = k;
+                best_e = oi;
+            }
+        }
+        if best_e < 27 {
+            let fj = (STAR_FACETS[best_e] & un).trailing_zeros() as usize;
+            write_pair(gi, rd, fj, best_e, grad);
+            un &= !((1u32 << best_e) | (1u32 << fj));
+        } else {
+            grad.write_byte(at(gi, rd[best_a]), ASSIGNED | CRITICAL);
+            un &= !(1u32 << best_a);
+        }
+    }
+}
+
+#[inline]
+fn at(gi: usize, d: isize) -> usize {
+    (gi as isize + d) as usize
+}
+
+/// Write the two bytes of a gradient pair directly: `tail_oi` (the
+/// facet, flow leaves through it) and `head_oi` (its coface) differ on
+/// exactly one axis by one refined step. Mirrors `GradientField::pair`'s
+/// byte encoding without re-deriving coordinates.
+fn write_pair(
+    gi: usize,
+    rd: &[isize; 27],
+    tail_oi: usize,
+    head_oi: usize,
+    grad: &mut GradientField,
+) {
+    let t = offset_of(tail_oi);
+    let h = offset_of(head_oi);
+    let (axis, positive) = if t.0 != h.0 {
+        (0u8, h.0 > t.0)
+    } else if t.1 != h.1 {
+        (1, h.1 > t.1)
+    } else {
+        (2, h.2 > t.2)
+    };
+    let fwd = axis * 2 + positive as u8;
+    let bwd = axis * 2 + (!positive) as u8;
+    grad.write_byte(at(gi, rd[tail_oi]), ASSIGNED | PAIRED | TAIL | fwd);
+    grad.write_byte(at(gi, rd[head_oi]), ASSIGNED | PAIRED | bwd);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msp_grid::decomp::Decomposition;
+    use msp_grid::ScalarField;
+
+    #[test]
+    fn ordered_keys_preserve_order() {
+        let dims = Dims::new(4, 3, 2);
+        let f = ScalarField::from_fn(dims, |x, y, z| (x as f32) - (y as f32) * 0.5 + z as f32);
+        let d = Decomposition::bisect(dims, 1);
+        let bf = f.extract_block(d.block(0));
+        let mut ord = Vec::new();
+        ordered_keys_into(&bf, &mut ord);
+        assert_eq!(ord.len(), bf.data().len());
+        for (i, &v) in bf.data().iter().enumerate() {
+            assert_eq!(ord[i], OrderedF32::new(v).0);
+        }
+        for i in 1..ord.len() {
+            assert_eq!(
+                bf.data()[i - 1] < bf.data()[i],
+                ord[i - 1] < ord[i],
+                "monotone transform"
+            );
+        }
+    }
+
+    #[test]
+    fn write_pair_matches_gradient_pair() {
+        use msp_grid::offsets::index_of;
+        use msp_grid::topology::RBox;
+        let bbox = RBox::new(RCoord::new(0, 0, 0), RCoord::new(4, 4, 4));
+        // pair the vertex cell (2,2,2) with the edge toward -y, both ways
+        let mut a = GradientField::new(bbox);
+        a.pair(RCoord::new(2, 2, 2), RCoord::new(2, 1, 2));
+        let mut b = GradientField::new(bbox);
+        let (sx, sxy) = b.strides();
+        let mut rd = [0isize; 27];
+        for (oi, r) in rd.iter_mut().enumerate() {
+            let (dx, dy, dz) = offset_of(oi);
+            *r = dx as isize + sx as isize * dy as isize + sxy as isize * dz as isize;
+        }
+        let gi = b.linear_index(RCoord::new(2, 2, 2));
+        write_pair(gi, &rd, CENTER, index_of(0, -1, 0), &mut b);
+        assert_eq!(a.bytes(), b.bytes());
+    }
+}

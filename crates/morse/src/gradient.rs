@@ -16,11 +16,11 @@
 use msp_grid::topology::{FaceDir, RBox};
 use msp_grid::RCoord;
 
-const DIR_MASK: u8 = 0b0000_0111;
-const TAIL: u8 = 0b0000_1000;
-const PAIRED: u8 = 0b0001_0000;
-const CRITICAL: u8 = 0b0010_0000;
-const ASSIGNED: u8 = 0b0100_0000;
+pub(crate) const DIR_MASK: u8 = 0b0000_0111;
+pub(crate) const TAIL: u8 = 0b0000_1000;
+pub(crate) const PAIRED: u8 = 0b0001_0000;
+pub(crate) const CRITICAL: u8 = 0b0010_0000;
+pub(crate) const ASSIGNED: u8 = 0b0100_0000;
 
 /// The discrete gradient of one block, stored on the block's refined box
 /// in **global** refined coordinates. The byte array is addressed through
@@ -47,6 +47,52 @@ impl GradientField {
             sxy: sx * bbox.extent(1),
             bytes: vec![0; bbox.len() as usize],
         }
+    }
+
+    /// A fully unassigned gradient over `bbox` backed by a caller-owned
+    /// (typically pooled) zeroed buffer of exactly `bbox.len()` bytes.
+    pub(crate) fn with_buffer(bbox: RBox, bytes: Vec<u8>) -> Self {
+        assert_eq!(bytes.len() as u64, bbox.len(), "buffer size mismatch");
+        debug_assert!(bytes.iter().all(|&b| b == 0), "buffer must be zeroed");
+        let sx = bbox.extent(0);
+        GradientField {
+            bbox,
+            sx,
+            sxy: sx * bbox.extent(1),
+            bytes,
+        }
+    }
+
+    /// Take the byte buffer back (for returning slab scratch to a pool).
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Row and plane strides for flat-kernel index arithmetic.
+    pub(crate) fn strides(&self) -> (u64, u64) {
+        (self.sx, self.sxy)
+    }
+
+    /// Linear index of a cell (the flat kernels hoist this out of their
+    /// inner loops and advance it incrementally).
+    #[inline]
+    pub(crate) fn linear_index(&self, c: RCoord) -> usize {
+        self.index(c)
+    }
+
+    /// Write the full byte of an unassigned cell by linear index. The
+    /// flat kernel's only store; keeps the one-write-per-cell contract
+    /// checkable in debug builds.
+    #[inline]
+    pub(crate) fn write_byte(&mut self, i: usize, b: u8) {
+        debug_assert_eq!(self.bytes[i], 0, "cell already assigned");
+        self.bytes[i] = b;
+    }
+
+    /// Read a cell's byte by linear index (flat tracer fast path).
+    #[inline]
+    pub(crate) fn byte_at(&self, i: usize) -> u8 {
+        self.bytes[i]
     }
 
     /// The block's refined box (global coordinates).
@@ -102,6 +148,63 @@ impl GradientField {
                         *d = s;
                     }
                 }
+            }
+        }
+    }
+
+    /// Slab-specialized [`absorb_assigned`](GradientField::absorb_assigned):
+    /// a z-slab that swept vertices `z ∈ [z0, z1]` fully owns every
+    /// refined plane in `[2z0, 2z1]` (a cell on an even plane `2z` has
+    /// all vertices at `z`; an odd plane `2z+1` has them at `z`/`z+1` —
+    /// either way the owning SoS-max vertex is inside the slab), so that
+    /// span is one contiguous `copy_from_slice`. Only the up-to-one
+    /// overlap plane on each side (`2z0 − 1`, `2z1 + 1`), whose cells
+    /// are split between adjacent slabs, needs the conditional per-byte
+    /// merge. Falls back to the general path when `sub` is not a full
+    /// xy-cross-section slab of this box.
+    pub fn absorb_slab(&mut self, sub: &GradientField, full_lo_z: u32, full_hi_z: u32) {
+        let sb = sub.bbox;
+        let is_slab = sub.sx == self.sx
+            && sub.sxy == self.sxy
+            && sb.lo.x == self.bbox.lo.x
+            && sb.lo.y == self.bbox.lo.y
+            && sb.lo.z >= self.bbox.lo.z
+            && sb.hi.z <= self.bbox.hi.z
+            && sb.lo.z <= full_lo_z
+            && full_hi_z <= sb.hi.z;
+        if !is_slab {
+            self.absorb_assigned(sub);
+            return;
+        }
+        for z in sb.lo.z..full_lo_z {
+            self.merge_plane(sub, z);
+        }
+        let row = RCoord::new(sb.lo.x, sb.lo.y, full_lo_z);
+        let s0 = sub.index(row);
+        let d0 = self.index(row);
+        let n = (self.sxy * (full_hi_z - full_lo_z + 1) as u64) as usize;
+        let src = &sub.bytes[s0..s0 + n];
+        debug_assert!(
+            src.iter().all(|&b| b != 0),
+            "fully-owned slab planes must be completely assigned"
+        );
+        self.bytes[d0..d0 + n].copy_from_slice(src);
+        for z in (full_hi_z + 1)..=sb.hi.z {
+            self.merge_plane(sub, z);
+        }
+    }
+
+    /// Conditional byte merge of one shared refined plane of `sub`.
+    fn merge_plane(&mut self, sub: &GradientField, z: u32) {
+        let sb = sub.bbox;
+        let row = RCoord::new(sb.lo.x, sb.lo.y, z);
+        let s0 = sub.index(row);
+        let d0 = self.index(row);
+        let n = self.sxy as usize;
+        let (src, dst) = (&sub.bytes[s0..s0 + n], &mut self.bytes[d0..d0 + n]);
+        for (d, &s) in dst.iter_mut().zip(src) {
+            if s != 0 {
+                *d = s;
             }
         }
     }
@@ -183,9 +286,23 @@ impl GradientField {
         *self.byte_mut(c) = ASSIGNED | CRITICAL;
     }
 
-    /// All critical cells, in address order.
+    /// All critical cells, in address order. Scans the byte array
+    /// linearly (x-fastest, matching `bbox.iter()` order) instead of
+    /// recomputing a strided index per cell.
     pub fn critical_cells(&self) -> Vec<RCoord> {
-        self.bbox.iter().filter(|&c| self.is_critical(c)).collect()
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        for z in self.bbox.lo.z..=self.bbox.hi.z {
+            for y in self.bbox.lo.y..=self.bbox.hi.y {
+                for x in self.bbox.lo.x..=self.bbox.hi.x {
+                    if self.bytes[i] & CRITICAL != 0 {
+                        out.push(RCoord::new(x, y, z));
+                    }
+                    i += 1;
+                }
+            }
+        }
+        out
     }
 
     /// Count of critical cells per index (0..=3).
@@ -284,6 +401,33 @@ mod tests {
         assert!(g.is_critical(RCoord::new(1, 0, 3)));
         assert_eq!(g.n_unassigned(), 125 - 4);
         assert_eq!(g.bytes().len(), 125);
+    }
+
+    #[test]
+    fn absorb_slab_matches_absorb_assigned() {
+        // a slab over vertices z ∈ [0, 1] of a 0..=4 refined box: fully
+        // owned planes [0, 2], shared plane 3 partially assigned
+        let sub_box = RBox::new(RCoord::new(0, 0, 0), RCoord::new(4, 4, 3));
+        let mut sub = GradientField::new(sub_box);
+        for c in sub_box.iter() {
+            if c.z <= 2 {
+                sub.mark_critical(c); // "fully assigned" stand-in bytes
+            } else if (c.x + c.y) % 2 == 0 {
+                sub.mark_critical(c); // split plane: half the cells
+            }
+        }
+        let mut via_slab = GradientField::new(small_box());
+        via_slab.absorb_slab(&sub, 0, 2);
+        let mut via_general = GradientField::new(small_box());
+        via_general.absorb_assigned(&sub);
+        assert_eq!(via_slab.bytes(), via_general.bytes());
+        // a sub-box that is not a full cross-section slab must fall back
+        let part_box = RBox::new(RCoord::new(1, 1, 0), RCoord::new(3, 3, 1));
+        let mut part = GradientField::new(part_box);
+        part.mark_critical(RCoord::new(2, 2, 1));
+        let mut d = GradientField::new(small_box());
+        d.absorb_slab(&part, 0, 1);
+        assert!(d.is_critical(RCoord::new(2, 2, 1)));
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! Gradient/trace kernel selection and per-call statistics.
+//!
+//! Two implementations of the local stage coexist: the original
+//! two-priority-queue lower-star expansion plus recursive tracing
+//! (`heap`), kept as a differential reference, and the flat
+//! structure-of-arrays kernels (`flat`, the default) that compute the
+//! same bytes without heaps, `CellKey` materialization or per-vertex
+//! allocation. `MSP_KERNEL=heap` switches every dispatching entry point
+//! back to the old path for one release; the proptest suite pins the two
+//! bit-identical.
+
+use std::sync::OnceLock;
+
+/// Which implementation of the hot local-stage kernels to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Kernel {
+    /// Flat SoA kernels: branch-light lower-star membership over
+    /// precomputed offset tables, packed-u64 in-star keys, batched
+    /// iterative V-path tracing. The production default.
+    #[default]
+    Flat,
+    /// The original two-heap lower-star expansion and one-path-at-a-time
+    /// recursive tracing, kept runnable as a differential reference.
+    Heap,
+}
+
+impl Kernel {
+    /// Stable name used in bench tables and JSON documents.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Flat => "flat",
+            Kernel::Heap => "heap",
+        }
+    }
+}
+
+static ACTIVE: OnceLock<Kernel> = OnceLock::new();
+
+/// The process-wide kernel selection: `MSP_KERNEL=heap` re-enables the
+/// old path, anything else (including unset) means [`Kernel::Flat`].
+/// Read once and cached — benches that want both sides in one process
+/// pass an explicit [`Kernel`] to the `*_kernel` entry points instead.
+pub fn active_kernel() -> Kernel {
+    *ACTIVE.get_or_init(|| match std::env::var("MSP_KERNEL") {
+        Ok(v) if v == "heap" => Kernel::Heap,
+        Ok(v) if v == "flat" || v.is_empty() => Kernel::Flat,
+        Ok(v) => {
+            eprintln!("MSP_KERNEL={v:?} not recognized (expected flat|heap); using flat");
+            Kernel::Flat
+        }
+        Err(_) => Kernel::Flat,
+    })
+}
+
+/// Allocation/throughput accounting for one gradient-kernel call, fed
+/// into the telemetry counters (`kernel_cells`, `scratch_reuse`,
+/// `kernel_allocs`) by the pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Refined cells assigned (the throughput denominator for
+    /// `grad_cells_per_s`).
+    pub cells: u64,
+    /// Pooled scratch buffers reused without a fresh allocation.
+    pub scratch_reuse: u64,
+    /// Pooled scratch buffers that had to be allocated (pool misses —
+    /// zero in steady state).
+    pub kernel_allocs: u64,
+}
+
+impl KernelStats {
+    /// Record one pool take: `reused` says whether an existing buffer's
+    /// capacity sufficed.
+    pub(crate) fn tally(&mut self, reused: bool) {
+        if reused {
+            self.scratch_reuse += 1;
+        } else {
+            self.kernel_allocs += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Kernel::Flat.name(), "flat");
+        assert_eq!(Kernel::Heap.name(), "heap");
+        assert_eq!(Kernel::default(), Kernel::Flat);
+    }
+
+    #[test]
+    fn stats_tally() {
+        let mut s = KernelStats::default();
+        s.tally(true);
+        s.tally(true);
+        s.tally(false);
+        assert_eq!(s.scratch_reuse, 2);
+        assert_eq!(s.kernel_allocs, 1);
+    }
+}

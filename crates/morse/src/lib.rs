@@ -15,6 +15,12 @@
 //! * [`lower_star::assign_gradient`] — the production algorithm:
 //!   per-vertex lower-star homotopy expansion, stratified by the owner
 //!   sets of the decomposition (the boundary restriction);
+//! * [`flat`] (internal) — the flat structure-of-arrays kernel behind
+//!   the default [`Kernel::Flat`] path: branch-light lower-star
+//!   membership over precomputed offset tables, packed-`u64` in-star
+//!   keys, zero allocations per vertex;
+//! * [`kernel`] — kernel selection (`MSP_KERNEL=flat|heap`) and the
+//!   [`KernelStats`] fed into telemetry;
 //! * [`greedy::assign_gradient_greedy`] — the dimension-sorted greedy
 //!   assignment of [10], kept as an ablation baseline;
 //! * [`trace`] — V-path tracing from critical cells, producing the arcs
@@ -23,12 +29,18 @@
 //!   acyclicity, Euler characteristic, cross-block boundary equality)
 //!   used heavily by the test suites.
 
+mod flat;
 pub mod gradient;
 pub mod greedy;
+pub mod kernel;
 pub mod lower_star;
+mod pool;
 pub mod trace;
 pub mod validate;
 
 pub use gradient::GradientField;
-pub use lower_star::{assign_gradient, assign_gradient_par};
-pub use trace::{trace_all_arcs, ArcStore, TraceLimits, TraceStats, TracedArc};
+pub use kernel::{active_kernel, Kernel, KernelStats};
+pub use lower_star::{assign_gradient, assign_gradient_kernel, assign_gradient_par};
+pub use trace::{
+    trace_all_arcs, trace_all_arcs_kernel, ArcStore, TraceLimits, TraceStats, TracedArc,
+};

@@ -1,0 +1,102 @@
+//! Process-wide free lists for the local stage's large scratch buffers.
+//!
+//! The slab-parallel gradient allocates one byte buffer per slab per
+//! block per run (plus one `u32` key array per block for the flat
+//! kernel). `par_map` spawns fresh scoped threads each call, so
+//! thread-locals die with them — a small mutex-guarded global free list
+//! is what actually survives across calls. The mutex is touched twice
+//! per *slab* (take/put around a multi-millisecond sweep), so contention
+//! is unmeasurable; in exchange the threads≥2 path stops paying a fresh
+//! `vec![0; plane·rows]` (page faults included) per slab per run, which
+//! was the single largest cause of the threads=2 regression recorded in
+//! `results/BENCH_local.json` before this rework.
+//!
+//! Buffers are handed out zeroed (`u8`) or cleared (`u32`), and the pool
+//! is capped so pathological fan-outs cannot hoard memory.
+
+use std::sync::Mutex;
+
+const POOL_CAP: usize = 64;
+
+static U8_POOL: Mutex<Vec<Vec<u8>>> = Mutex::new(Vec::new());
+static U32_POOL: Mutex<Vec<Vec<u32>>> = Mutex::new(Vec::new());
+
+/// A zeroed byte buffer of exactly `len`. The flag reports whether a
+/// pooled buffer's capacity sufficed (no allocation happened).
+pub(crate) fn take_u8(len: usize) -> (Vec<u8>, bool) {
+    let pooled = U8_POOL.lock().expect("u8 pool poisoned").pop();
+    match pooled {
+        Some(mut v) => {
+            let fit = v.capacity() >= len;
+            v.clear();
+            v.resize(len, 0);
+            (v, fit)
+        }
+        None => (vec![0; len], false),
+    }
+}
+
+/// Return a byte buffer to the pool (dropped if the pool is full).
+pub(crate) fn put_u8(v: Vec<u8>) {
+    let mut p = U8_POOL.lock().expect("u8 pool poisoned");
+    if p.len() < POOL_CAP {
+        p.push(v);
+    }
+}
+
+/// A cleared (length-0) `u32` buffer; the caller fills it. The flag
+/// reports whether a pooled buffer's capacity covered `len`.
+pub(crate) fn take_u32(len: usize) -> (Vec<u32>, bool) {
+    let pooled = U32_POOL.lock().expect("u32 pool poisoned").pop();
+    match pooled {
+        Some(mut v) => {
+            let fit = v.capacity() >= len;
+            v.clear();
+            v.reserve(len);
+            (v, fit)
+        }
+        None => (Vec::with_capacity(len), false),
+    }
+}
+
+/// Return a `u32` buffer to the pool (dropped if the pool is full).
+pub(crate) fn put_u32(v: Vec<u32>) {
+    let mut p = U32_POOL.lock().expect("u32 pool poisoned");
+    if p.len() < POOL_CAP {
+        p.push(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u8_round_trip_reuses_and_zeroes() {
+        let (mut a, _) = take_u8(64);
+        a.iter_mut().for_each(|b| *b = 0xff);
+        let cap = a.capacity();
+        put_u8(a);
+        // immediately taking a same-or-smaller buffer must reuse and be
+        // zeroed; other tests share the pool, so accept any reused buffer
+        let (b, _reused) = take_u8(32);
+        assert_eq!(b.len(), 32);
+        assert!(
+            b.iter().all(|&x| x == 0),
+            "pooled buffer must come back zeroed"
+        );
+        assert!(cap >= 32);
+        put_u8(b);
+    }
+
+    #[test]
+    fn u32_round_trip_clears() {
+        let (mut a, _) = take_u32(16);
+        a.extend_from_slice(&[1, 2, 3]);
+        put_u32(a);
+        let (b, _) = take_u32(8);
+        assert!(b.is_empty(), "u32 buffers are handed out cleared");
+        assert!(b.capacity() >= 8);
+        put_u32(b);
+    }
+}

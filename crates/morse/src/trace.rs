@@ -13,8 +13,21 @@
 //! head cell), so one critical cell can produce many arcs, including
 //! multiple arcs to the *same* destination — the multiplicity matters for
 //! cancellation legality and is preserved.
+//!
+//! Two tracers exist behind the [`Kernel`](crate::Kernel) switch. The
+//! original coordinate-at-a-time DFS (`trace_from`) recomputes a strided
+//! byte index and re-derives facet coordinates for every step; the flat
+//! tracer ([`trace_all_arcs_kernel`] with `Kernel::Flat`, the default)
+//! walks the same DFS over **linear byte indices** — facet neighbors are
+//! `± stride` hops, cell state is one pooled byte read — and batches the
+//! address-ordered critical list into contiguous chunks traced on
+//! separate threads into per-chunk [`ArcStore`] arenas that are
+//! concatenated in chunk order, making the emitted arc sequence (and
+//! therefore the stores' bytes) identical to the serial trace for every
+//! thread count.
 
-use crate::gradient::GradientField;
+use crate::gradient::{GradientField, CRITICAL, DIR_MASK, PAIRED, TAIL};
+use crate::kernel::{active_kernel, Kernel};
 use msp_grid::RCoord;
 
 /// One traced arc: from a critical `upper` cell of index `d` down to a
@@ -85,6 +98,22 @@ impl ArcStore {
             len: path.len() as u32,
         });
     }
+
+    /// Concatenate another store onto this one, preserving both emission
+    /// orders: `other`'s arcs follow this store's, with their arena
+    /// windows shifted past this arena. Appending per-chunk stores in
+    /// chunk order therefore reproduces exactly the store a single
+    /// serial trace over the concatenated input would have built.
+    pub fn append(&mut self, mut other: ArcStore) {
+        let shift = u32::try_from(self.geom.len() + other.geom.len())
+            .map(|_| self.geom.len() as u32)
+            .expect("arc arena exceeds u32 addressing");
+        self.geom.append(&mut other.geom);
+        self.recs.extend(other.recs.into_iter().map(|mut r| {
+            r.start += shift;
+            r
+        }));
+    }
 }
 
 /// Safety limits for tracing (pathological fields can have very many
@@ -113,16 +142,178 @@ pub struct TraceStats {
 
 /// Trace every descending V-path from every critical cell of positive
 /// index, returning all arcs of the block's MS complex 1-skeleton.
+/// Serial, dispatching to the process-wide kernel selection.
 pub fn trace_all_arcs(grad: &GradientField, limits: TraceLimits) -> (ArcStore, TraceStats) {
+    trace_all_arcs_kernel(grad, limits, 1, active_kernel())
+}
+
+/// [`trace_all_arcs`] with explicit thread count and kernel choice. The
+/// flat kernel chunks the address-ordered critical list contiguously
+/// across threads and concatenates the per-chunk stores in chunk order,
+/// so the result is identical for every thread count; the heap kernel is
+/// the original serial coordinate-at-a-time reference.
+pub fn trace_all_arcs_kernel(
+    grad: &GradientField,
+    limits: TraceLimits,
+    threads: usize,
+    kernel: Kernel,
+) -> (ArcStore, TraceStats) {
     let mut arcs = ArcStore::new();
     let mut stats = TraceStats::default();
-    for c in grad.critical_cells() {
-        if c.cell_dim() == 0 {
-            continue;
+    let crits: Vec<RCoord> = grad
+        .critical_cells()
+        .into_iter()
+        .filter(|c| c.cell_dim() >= 1)
+        .collect();
+    match kernel {
+        Kernel::Heap => {
+            for &c in &crits {
+                trace_from(grad, c, limits, &mut arcs, &mut stats);
+            }
         }
-        trace_from(grad, c, limits, &mut arcs, &mut stats);
+        Kernel::Flat => {
+            let workers = threads.min(crits.len()).max(1);
+            if workers <= 1 {
+                let mut tracer = FlatTracer::new(grad);
+                for &c in &crits {
+                    tracer.trace_from(grad, c, limits, &mut arcs, &mut stats);
+                }
+            } else {
+                let chunk = crits.len().div_ceil(workers);
+                let chunks: Vec<&[RCoord]> = crits.chunks(chunk).collect();
+                let parts = msp_grid::par::par_map(workers, &chunks, |_, ch| {
+                    let mut a = ArcStore::new();
+                    let mut s = TraceStats::default();
+                    let mut tracer = FlatTracer::new(grad);
+                    for &c in ch.iter() {
+                        tracer.trace_from(grad, c, limits, &mut a, &mut s);
+                    }
+                    (a, s)
+                });
+                for (a, s) in parts {
+                    arcs.append(a);
+                    stats.arcs += s.arcs;
+                    stats.truncated_nodes += s.truncated_nodes;
+                    stats.path_cells_total += s.path_cells_total;
+                }
+            }
+        }
     }
     (arcs, stats)
+}
+
+/// Reusable scratch of the flat tracer: the DFS stack and path prefix
+/// are cleared — capacity kept — between critical cells, so a whole
+/// chunk traces with zero allocations after warm-up. Frames carry each
+/// cell's linear byte index alongside its coordinate: facet neighbors
+/// are `± stride` hops, and the per-step state test is a single byte
+/// read instead of three strided index computations.
+struct FlatTracer {
+    lo: [u32; 3],
+    hi: [u32; 3],
+    strides: [isize; 3],
+    path: Vec<RCoord>,
+    /// (cell, linear index, depth to truncate the path to).
+    stack: Vec<(RCoord, usize, usize)>,
+}
+
+impl FlatTracer {
+    fn new(grad: &GradientField) -> Self {
+        let bbox = grad.bbox();
+        let (sx, sxy) = grad.strides();
+        FlatTracer {
+            lo: [bbox.lo.x, bbox.lo.y, bbox.lo.z],
+            hi: [bbox.hi.x, bbox.hi.y, bbox.hi.z],
+            strides: [1, sx as isize, sxy as isize],
+            path: Vec::new(),
+            stack: Vec::new(),
+        }
+    }
+
+    /// Push the facets of `c` in `FaceDir::ALL` order (axis-major,
+    /// negative before positive) — the exact order
+    /// `msp_grid::topology::facets` yields, so the LIFO pops and hence
+    /// the arc emission order match the reference tracer bit for bit.
+    /// `skip` is the linear index of the facet the path arrived from.
+    #[inline]
+    fn push_facets(&mut self, c: RCoord, ci: usize, depth: usize, skip: usize) {
+        for axis in 0..3 {
+            let v = c.get(axis);
+            if v.is_multiple_of(2) {
+                continue; // no facet along an even axis
+            }
+            let s = self.strides[axis];
+            if v > self.lo[axis] {
+                let fi = (ci as isize - s) as usize;
+                if fi != skip {
+                    self.stack.push((c.with(axis, v - 1), fi, depth));
+                }
+            }
+            if v < self.hi[axis] {
+                let fi = (ci as isize + s) as usize;
+                if fi != skip {
+                    self.stack.push((c.with(axis, v + 1), fi, depth));
+                }
+            }
+        }
+    }
+
+    /// Trace all descending paths from one critical cell — the iterative
+    /// DFS of [`trace_from`] over linear indices.
+    fn trace_from(
+        &mut self,
+        grad: &GradientField,
+        from: RCoord,
+        limits: TraceLimits,
+        arcs: &mut ArcStore,
+        stats: &mut TraceStats,
+    ) {
+        debug_assert!(from.cell_dim() >= 1);
+        let from_idx = grad.linear_index(from);
+        let mut emitted = 0usize;
+        self.path.clear();
+        self.path.push(from);
+        self.stack.clear();
+        self.push_facets(from, from_idx, 1, usize::MAX);
+        while let Some((alpha, ai, depth)) = self.stack.pop() {
+            self.path.truncate(depth);
+            self.path.push(alpha);
+            let b = grad.byte_at(ai);
+            if b & CRITICAL != 0 {
+                if emitted >= limits.max_paths_per_node {
+                    stats.truncated_nodes += 1;
+                    break;
+                }
+                emitted += 1;
+                stats.arcs += 1;
+                stats.path_cells_total += self.path.len() as u64;
+                arcs.push(from, alpha, &self.path);
+                continue;
+            }
+            if b & PAIRED == 0 || b & TAIL == 0 {
+                continue; // head cell: flow does not continue through it
+            }
+            // partner is a cofacet (TAIL), one step along the stored axis
+            let code = b & DIR_MASK;
+            let axis = (code >> 1) as usize;
+            let (bv, bi) = if code & 1 == 1 {
+                (
+                    alpha.get(axis) + 1,
+                    (ai as isize + self.strides[axis]) as usize,
+                )
+            } else {
+                (
+                    alpha.get(axis) - 1,
+                    (ai as isize - self.strides[axis]) as usize,
+                )
+            };
+            let beta = alpha.with(axis, bv);
+            debug_assert_eq!(beta.cell_dim(), from.cell_dim());
+            self.path.push(beta);
+            let next_depth = self.path.len();
+            self.push_facets(beta, bi, next_depth, ai);
+        }
+    }
 }
 
 /// Trace all descending paths from one critical cell.
@@ -266,6 +457,68 @@ mod tests {
             reach.values().any(|s| s.len() == 2),
             "a 2-saddle should connect the two maxima"
         );
+    }
+
+    #[test]
+    fn flat_tracer_equals_recursive_reference() {
+        // stores are PartialEq: record order, endpoints and the full
+        // geometry arena must all match, for every thread count
+        for (dims, seed) in [
+            (Dims::new(9, 8, 7), 7u64),
+            (Dims::new(10, 10, 10), 5),
+            (Dims::new(6, 5, 1), 13),
+        ] {
+            let f = msp_synth::white_noise(dims, seed);
+            let g = grad_of(&f);
+            let (heap, hs) = trace_all_arcs_kernel(&g, TraceLimits::default(), 1, Kernel::Heap);
+            for threads in [1, 2, 3, 8] {
+                let (flat, fs) =
+                    trace_all_arcs_kernel(&g, TraceLimits::default(), threads, Kernel::Flat);
+                assert_eq!(flat, heap, "dims {dims:?} threads {threads}");
+                assert_eq!(fs.arcs, hs.arcs);
+                assert_eq!(fs.path_cells_total, hs.path_cells_total);
+            }
+        }
+    }
+
+    #[test]
+    fn flat_tracer_respects_truncation_identically() {
+        let f = msp_synth::white_noise(Dims::new(10, 10, 10), 5);
+        let g = grad_of(&f);
+        let limits = TraceLimits {
+            max_paths_per_node: 3,
+        };
+        let (heap, hs) = trace_all_arcs_kernel(&g, limits, 1, Kernel::Heap);
+        for threads in [1, 4] {
+            let (flat, fs) = trace_all_arcs_kernel(&g, limits, threads, Kernel::Flat);
+            assert_eq!(flat, heap, "threads {threads}");
+            assert_eq!(fs.truncated_nodes, hs.truncated_nodes);
+        }
+    }
+
+    #[test]
+    fn arc_store_append_matches_single_store() {
+        let f = msp_synth::white_noise(Dims::new(8, 8, 8), 4);
+        let g = grad_of(&f);
+        let (whole, _) = trace_all_arcs(&g, TraceLimits::default());
+        // re-trace in two halves and append
+        let crits: Vec<RCoord> = g
+            .critical_cells()
+            .into_iter()
+            .filter(|c| c.cell_dim() >= 1)
+            .collect();
+        let mid = crits.len() / 2;
+        let mut parts = ArcStore::new();
+        let mut stats = TraceStats::default();
+        for half in [&crits[..mid], &crits[mid..]] {
+            let mut a = ArcStore::new();
+            let mut tracer = FlatTracer::new(&g);
+            for &c in half {
+                tracer.trace_from(&g, c, TraceLimits::default(), &mut a, &mut stats);
+            }
+            parts.append(a);
+        }
+        assert_eq!(parts, whole);
     }
 
     #[test]

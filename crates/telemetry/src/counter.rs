@@ -93,10 +93,18 @@ pub enum Counter {
     ServeCoalesced,
     /// Malformed or unanswerable serve requests.
     ServeErrors,
+    /// Refined cells assigned by the gradient kernel (the denominator of
+    /// the `grad_cells_per_s` throughput in bench reports).
+    KernelCells,
+    /// Pooled kernel scratch buffers reused without a fresh allocation.
+    ScratchReuse,
+    /// Pooled kernel scratch buffers that had to be freshly allocated
+    /// (pool misses — near zero in steady state).
+    KernelAllocs,
 }
 
 /// All counters, in report order.
-pub const ALL_COUNTERS: [Counter; 34] = [
+pub const ALL_COUNTERS: [Counter; 37] = [
     Counter::CellsPaired,
     Counter::CriticalCells,
     Counter::ArcsTraced,
@@ -131,6 +139,9 @@ pub const ALL_COUNTERS: [Counter; 34] = [
     Counter::ServeMisses,
     Counter::ServeCoalesced,
     Counter::ServeErrors,
+    Counter::KernelCells,
+    Counter::ScratchReuse,
+    Counter::KernelAllocs,
 ];
 
 impl Counter {
@@ -173,6 +184,9 @@ impl Counter {
             Counter::ServeMisses => "serve_misses",
             Counter::ServeCoalesced => "serve_coalesced",
             Counter::ServeErrors => "serve_errors",
+            Counter::KernelCells => "kernel_cells",
+            Counter::ScratchReuse => "scratch_reuse",
+            Counter::KernelAllocs => "kernel_allocs",
         }
     }
 

@@ -173,6 +173,12 @@ say "trace self-check"
 mkdir -p "$out/results"
 MSP_RESULTS_DIR="$out/results" "$out/bench_trace_check"
 
+# ---- kernel microbench smoke: flat vs two-heap kernels on tiny
+# ---- workloads, gating on bit-exact gradient bytes + arc stores and
+# ---- the bench-schema round-trip
+say "kernel microbench smoke"
+MSP_SCALE=small MSP_RESULTS_DIR="$out/results" "$out/bench_kernel_bench"
+
 # ---- local-stage scaling smoke: thread sweep on a tiny volume, gating
 # ---- on bit-exact output across thread counts + bench-schema round-trip
 # ---- (no speedup assertion: smoke volumes are too small to time);

@@ -24,6 +24,12 @@ tracedir="$(mktemp -d)"
 trap 'rm -rf "$tracedir"' EXIT
 MSP_RESULTS_DIR="$tracedir" cargo run -q --release -p msp-bench --bin trace_check
 
+# kernel microbench smoke: flat vs two-heap kernels on tiny workloads,
+# gating on bit-exact gradient bytes + arc stores and the bench-schema
+# round-trip (timings at this scale are incidental)
+MSP_SCALE=small MSP_RESULTS_DIR="$tracedir" \
+  cargo run -q --release -p msp-bench --bin kernel_bench
+
 # local-stage scaling smoke: thread sweep on a tiny volume, gating on
 # bit-exact output across thread counts + bench-schema round-trip;
 # MSP_CHECK=1 runs the oracle invariant checker inside every run and
