@@ -97,13 +97,7 @@ fn main() {
     ];
 
     let table = Table::new(&[
-        "workload",
-        "kernel",
-        "grad_s",
-        "Mcells/s",
-        "trace_s",
-        "Msteps/s",
-        "arcs",
+        "workload", "kernel", "grad_s", "Mcells/s", "trace_s", "Msteps/s", "arcs",
     ]);
     let mut docs: Vec<Json> = Vec::new();
     for (name, field) in &workloads {

@@ -6,9 +6,20 @@
 //!
 //! 1. every node of the incoming complex not matched by address in the
 //!    root is added;
-//! 2. every arc of the incoming complex is added **unless both endpoints
-//!    are shared-boundary matches** (such arcs lie entirely in the shared
-//!    face and already exist in the root);
+//! 2. every arc of the incoming complex is added **unless it is a
+//!    guaranteed duplicate**: both endpoints are shared-boundary matches
+//!    *and* the arc's entire V-path lies inside the region the root's
+//!    member blocks already cover. Both sides computed the gradient
+//!    identically everywhere their regions overlap, so such an arc
+//!    already exists in the root; an arc that leaves the overlap
+//!    through the incoming group's interior exists only incoming-side
+//!    and is added even when its endpoints are shared. (Under uniform
+//!    bisection the merged region is convex and every both-endpoints-
+//!    shared arc stays in the shared face, so this degenerates to the
+//!    classic face-restricted rule; the region test is what makes
+//!    gluing sound for irregular block trees, where the already-merged
+//!    region can be L-shaped and neighbours may share only an edge or
+//!    a sub-rectangle of a face.)
 //! 3. boundary flags are recomputed against the merged member-block set,
 //!    turning interior boundary artifacts into cancellation candidates.
 //!
@@ -17,8 +28,8 @@
 //! instead of panicking, so a corrupted peer complex arriving over the
 //! wire cannot take the rank down.
 
-use crate::skeleton::{MsComplex, NodeId};
-use msp_grid::Decomposition;
+use crate::skeleton::{GeomId, MsComplex, NodeId};
+use msp_grid::{Decomposition, RCoord};
 use std::fmt;
 
 /// Statistics from one glue operation.
@@ -47,8 +58,9 @@ pub enum GlueError {
     /// different Morse indices — the gradients disagreed on a shared
     /// face.
     IndexMismatch { addr: u64, root: u8, incoming: u8 },
-    /// An arc lying entirely in the shared face is missing from the
-    /// root, contradicting the boundary-identical-gradient contract.
+    /// An arc whose V-path lies entirely inside the root's covered
+    /// region is missing from the root, contradicting the
+    /// boundary-identical-gradient contract.
     MissingSharedArc { upper: u64, lower: u64 },
 }
 
@@ -93,11 +105,35 @@ pub fn glue(
     glue_with(root, incoming, decomp, true)
 }
 
+/// True when every cell of the V-path geometry `g` (resolved against
+/// `incoming`) lies inside the region covered by the blocks in
+/// `members`. This is the generalized-glue duplicate test: the gradient
+/// is computed identically everywhere two groups' regions overlap, so a
+/// path confined to the overlap was traced by both sides.
+fn path_in_region(
+    incoming: &MsComplex,
+    g: GeomId,
+    decomp: &Decomposition,
+    members: &[u32],
+) -> bool {
+    incoming.flatten_geom(g).iter().all(|&addr| {
+        let c = RCoord::from_address(addr, &incoming.refined);
+        decomp
+            .owners(c)
+            .as_slice()
+            .iter()
+            .any(|id| members.contains(id))
+    })
+}
+
 /// [`glue`] with explicit control over shared-arc deduplication.
 ///
 /// In the standard pipeline (`dedup_shared_arcs = true`) an arc whose
-/// endpoints both match existing root nodes lies entirely in the shared
-/// face and is guaranteed to be a duplicate. Complexes produced by
+/// endpoints both match existing root nodes *and* whose V-path stays
+/// inside the root's covered region is guaranteed to be a duplicate and
+/// is skipped; both-endpoints-shared arcs that leave the overlap (only
+/// possible with irregular decompositions, where the merged region can
+/// be non-convex) are real and are added. Complexes produced by
 /// [partitioning](../../msp_core/redistribute/index.html) store each arc
 /// exactly once, so reassembling them must *not* drop those arcs —
 /// pass `false`.
@@ -107,7 +143,7 @@ pub fn glue(
 pub fn glue_with(
     root: &mut MsComplex,
     incoming: &MsComplex,
-    _decomp: &Decomposition,
+    decomp: &Decomposition,
     dedup_shared_arcs: bool,
 ) -> Result<GlueStats, GlueError> {
     if root.refined != incoming.refined {
@@ -153,8 +189,13 @@ pub fn glue_with(
         }
         let (u, u_shared) = node_map[a.upper as usize];
         let (l, l_shared) = node_map[a.lower as usize];
-        if dedup_shared_arcs && u_shared && l_shared {
-            // the arc lies entirely in the shared face; the root holds it
+        if dedup_shared_arcs
+            && u_shared
+            && l_shared
+            && path_in_region(incoming, a.geom, decomp, &root.member_blocks)
+        {
+            // the arc lies entirely in the region the root already
+            // covers, so the root traced it too; skip the duplicate
             if root.multiplicity(u, l) == 0 {
                 return Err(GlueError::MissingSharedArc {
                     upper: root.nodes[u as usize].addr,
@@ -312,6 +353,78 @@ mod tests {
             glue_with(&mut root, &inc, &da, true),
             Err(GlueError::DomainMismatch)
         );
+    }
+
+    /// Canonical form of a complex for equality-of-content checks:
+    /// sorted live node records and sorted live arc records with fully
+    /// flattened geometry (ids and storage order abstracted away).
+    type CanonNodes = Vec<(u64, u8)>;
+    type CanonArcs = Vec<(u64, u64, Vec<u64>)>;
+    fn canon(ms: &MsComplex) -> (CanonNodes, CanonArcs) {
+        let mut nodes: Vec<(u64, u8)> = ms
+            .nodes
+            .iter()
+            .filter(|n| n.alive)
+            .map(|n| (n.addr, n.index))
+            .collect();
+        nodes.sort_unstable();
+        let mut arcs: Vec<(u64, u64, Vec<u64>)> = ms
+            .arcs
+            .iter()
+            .filter(|a| a.alive)
+            .map(|a| {
+                (
+                    ms.nodes[a.upper as usize].addr,
+                    ms.nodes[a.lower as usize].addr,
+                    ms.flatten_geom(a.geom),
+                )
+            })
+            .collect();
+        arcs.sort_unstable();
+        (nodes, arcs)
+    }
+
+    #[test]
+    fn irregular_tree_glue_is_order_independent() {
+        // irregular random block trees produce non-convex partially
+        // merged regions and neighbours sharing only edges or
+        // sub-rectangles; gluing the same set in any order must yield
+        // the same complex, and it must pass integrity
+        let dims = Dims::new(13, 11, 9);
+        for seed in [3u64, 17, 29] {
+            let f = msp_synth::white_noise(dims, seed);
+            let d = Decomposition::random_tree(dims, 5, seed);
+            let cs: Vec<MsComplex> = d
+                .blocks()
+                .iter()
+                .map(|b| {
+                    let (mut ms, _) =
+                        build_block_complex(&f.extract_block(b), &d, TraceLimits::default());
+                    ms.compact();
+                    ms
+                })
+                .collect();
+            let mut reference = None;
+            for order in [
+                vec![0usize, 1, 2, 3, 4],
+                vec![4, 2, 0, 3, 1],
+                vec![2, 4, 1, 0, 3],
+            ] {
+                let mut root = cs[order[0]].clone();
+                let rest: Vec<MsComplex> = order[1..].iter().map(|&i| cs[i].clone()).collect();
+                glue_all(&mut root, &rest, &d).unwrap();
+                root.check_integrity().unwrap();
+                assert!(
+                    root.nodes.iter().filter(|n| n.alive).all(|n| !n.boundary),
+                    "full irregular merge leaves no boundary nodes"
+                );
+                let c = canon(&root);
+                match &reference {
+                    None => reference = Some(c),
+                    Some(r) => assert_eq!(r, &c, "seed {seed}, order {order:?}"),
+                }
+            }
+        }
     }
 
     #[test]

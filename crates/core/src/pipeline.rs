@@ -33,6 +33,7 @@
 //! recorded in telemetry (`blocks_absorbed`).
 
 use crate::plan::MergePlan;
+use crate::sched::{feature_weights, Assignment, DecompMode, MergeSchedule};
 use bytes::Bytes;
 use msp_complex::glue::glue_all;
 use msp_complex::{
@@ -42,17 +43,19 @@ use msp_complex::{
 use msp_fault::checkpoint::CheckpointError;
 use msp_fault::{Checkpoint, CheckpointStore, FaultPlan};
 use msp_grid::par::{available_threads, par_map, par_map_mut};
-use msp_grid::rawio::{read_block, VolumeDType};
+use msp_grid::rawio::{read_block, read_raw, VolumeDType};
 use msp_grid::{Decomposition, Dims, ScalarField};
 use msp_hierarchy::{wire as hwire, ReplayParams, SlotHierarchy};
 use msp_morse::{active_kernel, assign_gradient_kernel, TraceLimits};
-use msp_segment::{label_block, wire as segwire, BlockSegmentation, ForwardMap, DRAIN_ADDR};
+use msp_segment::{
+    label_block, owner_rank, wire as segwire, BlockSegmentation, ForwardMap, DRAIN_ADDR,
+};
 use msp_telemetry::{
     progress_interval_from_env, Counter, Heartbeat, Json, Phase, ProgressPhase, ProgressState,
     RankReport, RankTrace, Recorder, RunReport, RunTrace, TraceSink,
 };
 use msp_vmpi::comm::{CommError, Inject};
-use msp_vmpi::fileio::{collective_write_blocks, collective_write_blocks_keyed, FooterEntry};
+use msp_vmpi::fileio::{collective_write_blocks_keyed, FooterEntry};
 use msp_vmpi::pairmsg::{exchange_pairs, exchange_u64s};
 use msp_vmpi::{Rank, Universe};
 use std::collections::HashMap;
@@ -219,6 +222,13 @@ pub struct PipelineParams {
     /// Persistence threshold as a fraction of the global value range.
     pub persistence_frac: f32,
     pub plan: MergePlan,
+    /// How the domain is decomposed into blocks (DESIGN.md §14). Uniform
+    /// bisection keeps the historical block-cyclic assignment and fixed
+    /// radix-tree schedule; irregular modes (adaptive, random trees)
+    /// switch to LPT cost-balanced assignment and a greedy contraction
+    /// of the block neighbor graph. Outputs are a pure function of
+    /// `(decomposition, plan, threshold)` in every mode.
+    pub decomp: DecompMode,
     pub trace_limits: TraceLimits,
     /// Valence guard forwarded to [`SimplifyParams`].
     pub max_new_arcs: Option<u64>,
@@ -267,6 +277,7 @@ impl Default for PipelineParams {
         PipelineParams {
             persistence_frac: 0.01,
             plan: MergePlan::none(),
+            decomp: DecompMode::Uniform,
             trace_limits: TraceLimits::default(),
             // valence guard: skip cancellations that would fan out into
             // more than this many replacement arcs (degenerate lattices)
@@ -391,13 +402,47 @@ pub fn run_parallel(
         )));
     }
     let red = params.plan.reduction();
-    if !n_blocks.is_multiple_of(red) {
+    if params.decomp.is_uniform() && !n_blocks.is_multiple_of(red) {
         return Err(PipelineError::Config(format!(
             "plan reduction {red} must divide the block count {n_blocks}"
         )));
     }
     let dims = input.dims();
-    let decomp = Decomposition::bisect(dims, n_blocks);
+    // Build the decomposition and, for irregular modes, the per-block
+    // cost estimates that drive the LPT assignment. The adaptive
+    // splitter needs the whole field once, up front — for file inputs
+    // that is one extra full read by the driver before any rank starts.
+    let (decomp, costs): (Decomposition, Option<Vec<u64>>) = match params.decomp {
+        DecompMode::Uniform => (Decomposition::bisect(dims, n_blocks), None),
+        DecompMode::Adaptive => {
+            let weights = match input {
+                Input::Memory(f) => feature_weights(f),
+                Input::File { path, dims, dtype } => {
+                    let f = read_raw(path, *dims, *dtype).map_err(|source| PipelineError::Io {
+                        context: format!("reading {} for adaptive splitting", path.display()),
+                        source,
+                    })?;
+                    feature_weights(&f)
+                }
+            };
+            let d = Decomposition::adaptive(dims, n_blocks, &weights);
+            let c = d.block_costs(&weights);
+            (d, Some(c))
+        }
+        DecompMode::RandomTree { seed } => {
+            let d = Decomposition::random_tree(dims, n_blocks, seed);
+            let c = d.blocks().iter().map(|b| b.n_verts()).collect();
+            (d, Some(c))
+        }
+    };
+    let sched = match params.decomp {
+        DecompMode::Uniform => MergeSchedule::uniform(&params.plan, n_blocks),
+        _ => MergeSchedule::contract(&decomp, &params.plan),
+    };
+    let assign = match &costs {
+        None => Assignment::round_robin(n_blocks, n_ranks),
+        Some(c) => Assignment::lpt(c, n_ranks),
+    };
 
     // Stable storage stand-in shared by all ranks; populated only when
     // checkpointing is on.
@@ -432,7 +477,9 @@ pub fn run_parallel(
             rank,
             input,
             &decomp,
-            n_blocks,
+            &sched,
+            &assign,
+            costs.as_deref(),
             params,
             output_path,
             &store,
@@ -489,6 +536,7 @@ pub fn run_parallel(
             Json::str(format!("{}x{}x{}", dims.nx, dims.ny, dims.nz)),
         )
         .with_meta("n_blocks", Json::U64(n_blocks as u64))
+        .with_meta("decomp", Json::str(params.decomp.to_string()))
         .with_meta(
             "merge_radices",
             Json::Arr(
@@ -538,8 +586,9 @@ type RankOut = (
     Option<Vec<FooterEntry>>,
 );
 
-/// Route pending forward pairs to their owner ranks (`owner(addr) =
-/// addr % n_ranks`) and absorb the pairs this rank owns. Bucket contents
+/// Route pending forward pairs to their owner ranks (the hashed
+/// [`owner_rank`] map — see msp-segment for why plain `addr % n_ranks`
+/// is biased) and absorb the pairs this rank owns. Bucket contents
 /// are sorted before they touch the wire, so message bytes are a pure
 /// function of the pairs' content. Collective: every rank must call this
 /// at the same point, pending entries or not.
@@ -553,7 +602,7 @@ fn flush_forwards(
     let size = rank.size() as u64;
     let mut buckets: Vec<Vec<(u64, u64)>> = vec![Vec::new(); rank.size()];
     for &(dead, target) in pending.iter() {
-        buckets[(dead % size) as usize].push((dead, target));
+        buckets[owner_rank(dead, size) as usize].push((dead, target));
     }
     for b in &mut buckets {
         b.sort_unstable();
@@ -633,7 +682,9 @@ fn run_rank(
     rank: &mut Rank,
     input: &Input,
     decomp: &Decomposition,
-    n_blocks: u32,
+    sched: &MergeSchedule,
+    assign: &Assignment,
+    costs: Option<&[u64]>,
     params: &PipelineParams,
     output_path: Option<&Path>,
     store: &CheckpointStore,
@@ -643,7 +694,15 @@ fn run_rank(
     let p = rank.rank() as u32;
     let n_ranks = rank.size() as u32;
     let fault = &params.fault;
-    let my_blocks: Vec<u32> = (0..n_blocks).filter(|b| b % n_ranks == p).collect();
+    let my_blocks: Vec<u32> = assign.blocks_of(p);
+    // Estimated local-stage cost of this rank's blocks. The cross-rank
+    // imbalance of this counter is the load-balance figure of merit the
+    // `balance_sweep` bench gates on; uniform runs count 1 per block so
+    // the same report stays meaningful for block-cyclic layouts.
+    let my_cost: u64 = match costs {
+        Some(c) => my_blocks.iter().map(|&b| c[b as usize].max(1)).sum(),
+        None => my_blocks.len() as u64,
+    };
     // One relaxed store per coarse stage keeps the heartbeat honest
     // without touching the hot paths.
     let phase = |ph: ProgressPhase| {
@@ -652,6 +711,7 @@ fn run_rank(
         }
     };
     let mut rec = Recorder::new(p);
+    rec.add(Counter::AssignCost, my_cost);
     // Causal tracing: one sink shared by the recorder (span events) and
     // the comm endpoint (message stamps), all against the shared epoch.
     let sink = params.trace.then(|| TraceSink::new(p, epoch));
@@ -803,11 +863,11 @@ fn run_rank(
 
     // ---- merge rounds ----
     phase(ProgressPhase::Merge);
-    for r in 0..params.plan.radices.len() {
+    for (r, round) in sched.rounds.iter().enumerate() {
         rank.barrier()
             .map_err(comm_err(format!("barrier entering merge round {r}")))?;
         rec.begin(Phase::MergeRound(r as u16));
-        let groups = params.plan.groups(r, n_blocks);
+        let groups = &round.groups;
         let tag_base = (r as u32) << 20;
 
         // The barrier above closed round r-1: a consistent cut. Persist
@@ -826,9 +886,9 @@ fn run_rank(
 
         // send phase: every non-root slot this rank owns
         let mut shipped: Vec<u32> = Vec::new();
-        for (root, members) in &groups {
+        for (root, members) in groups {
             for &m in &members[1..] {
-                if m % n_ranks != p {
+                if assign.rank_of(m) != p {
                     continue;
                 }
                 shipped.push(m);
@@ -846,7 +906,7 @@ fn run_rank(
                 if let Some(st) = progress {
                     st.add_bytes(payload.len() as u64);
                 }
-                rank.send((root % n_ranks) as usize, tag_base | m, payload)
+                rank.send(assign.rank_of(*root) as usize, tag_base | m, payload)
                     .map_err(comm_err(format!("shipping slot {m} in round {r}")))?;
             }
         }
@@ -863,8 +923,8 @@ fn run_rank(
         }
 
         // receive + glue phase: every root slot this rank owns
-        for (root, members) in &groups {
-            if root % n_ranks != p {
+        for (root, members) in groups {
+            if assign.rank_of(*root) != p {
                 continue;
             }
             if !complexes.contains_key(root) {
@@ -876,7 +936,7 @@ fn run_rank(
             }
             let mut incoming = Vec::with_capacity(members.len() - 1);
             for &m in &members[1..] {
-                let owner = m % n_ranks;
+                let owner = assign.rank_of(m);
                 let deadline = fault.active().then_some(fault.deadline);
                 match rank.recv_deadline(owner as usize, tag_base | m, deadline) {
                     Ok(payload) => {
@@ -1005,7 +1065,7 @@ fn run_rank(
             let mut qbuckets: Vec<Vec<u64>> = vec![Vec::new(); n_ranks as usize];
             for (_, target) in owned.sorted_entries() {
                 if target != DRAIN_ADDR {
-                    qbuckets[(target % n_ranks_u64) as usize].push(target);
+                    qbuckets[owner_rank(target, n_ranks_u64) as usize].push(target);
                 }
             }
             for qb in &mut qbuckets {
@@ -1054,7 +1114,7 @@ fn run_rank(
         addrs.dedup();
         let mut tbuckets: Vec<Vec<u64>> = vec![Vec::new(); n_ranks as usize];
         for a in addrs {
-            tbuckets[(a % n_ranks_u64) as usize].push(a);
+            tbuckets[owner_rank(a, n_ranks_u64) as usize].push(a);
         }
         let (tqueries, tqsent) = exchange_u64s(rank, TAG_SEG_TABLE_Q, &tbuckets)
             .map_err(comm_err("exchanging table-resolution queries"))?;
@@ -1114,12 +1174,7 @@ fn run_rank(
             max_new_arcs: params.max_new_arcs,
             max_parallel_arcs: Some(2),
         };
-        for &s in params
-            .plan
-            .output_slots(n_blocks)
-            .iter()
-            .filter(|s| *s % n_ranks == p)
-        {
+        for &s in sched.outputs.iter().filter(|s| assign.rank_of(**s) == p) {
             // Degraded mode: a slot lost to an unrecoverable crash has
             // no hierarchy; the write stage accounts the loss.
             let Some(ms) = complexes.get(&s) else {
@@ -1143,7 +1198,7 @@ fn run_rank(
     // One more consistent cut after the last merge round protects the
     // fully-merged state against a crash before the collective write.
     if fault.active() {
-        let cursor = params.plan.radices.len() as u32;
+        let cursor = sched.rounds.len() as u32;
         rank.barrier()
             .map_err(comm_err("barrier at the pre-write cut"))?;
         if fault.checkpoint {
@@ -1164,9 +1219,8 @@ fn run_rank(
     // ---- write ----
     phase(ProgressPhase::Write);
     rec.begin(Phase::Write);
-    let out_slots = params.plan.output_slots(n_blocks);
     let mut my_outputs: Vec<(u32, MsComplex)> = Vec::new();
-    for &s in out_slots.iter().filter(|s| *s % n_ranks == p) {
+    for &s in sched.outputs.iter().filter(|s| assign.rank_of(**s) == p) {
         match complexes.remove(&s) {
             Some(c) => my_outputs.push((s, c)),
             // Degraded: the slot died with a rank that had no
@@ -1181,14 +1235,22 @@ fn run_rank(
         }
     }
     my_outputs.sort_by_key(|(s, _)| *s);
+    // Keyed by output slot: payloads land in global ascending slot order
+    // and the footer records slots, not writer ranks — the file is a
+    // pure function of `(decomposition, plan, threshold)` even when the
+    // LPT assignment parks an output slot on a rank-count-dependent
+    // rank. (For uniform full merges slot 0 lives on rank 0, so the
+    // historical bytes are unchanged.)
     let footer = if let Some(path) = output_path {
         let payloads: Vec<bytes::Bytes> =
             my_outputs.iter().map(|(_, c)| wire::serialize(c)).collect();
-        let f =
-            collective_write_blocks(rank, path, &payloads).map_err(|source| PipelineError::Io {
+        let keys: Vec<u64> = my_outputs.iter().map(|(s, _)| *s as u64).collect();
+        let f = collective_write_blocks_keyed(rank, path, &payloads, &keys).map_err(|source| {
+            PipelineError::Io {
                 context: format!("collective write to {}", path.display()),
                 source,
-            })?;
+            }
+        })?;
         (p == 0).then_some(f)
     } else {
         None

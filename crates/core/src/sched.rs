@@ -1,0 +1,483 @@
+//! Decomposition modes, block-to-rank assignment, and generalized merge
+//! scheduling over irregular block trees (DESIGN.md §14).
+//!
+//! The paper's merge stage assumes power-of-two uniform bisection, which
+//! lets the schedule be the fixed radix tree of [`MergePlan::groups`] and
+//! the assignment be block-cyclic. Irregular decompositions (the adaptive
+//! feature-density splitter, random block trees from the fuzzer) break
+//! both assumptions, so this module generalizes them:
+//!
+//! * [`DecompMode`] selects how the domain is cut into blocks;
+//! * [`Assignment`] maps blocks to ranks — block-cyclic for uniform runs
+//!   (bit-compatible with the historical layout) or LPT greedy over
+//!   per-block cost estimates for irregular ones;
+//! * [`MergeSchedule`] is the reduction over the block neighbor graph:
+//!   for uniform runs it replays [`MergePlan::groups`] verbatim, for
+//!   irregular ones it is a deterministic greedy contraction of the
+//!   neighbor graph, one radix-k round at a time.
+//!
+//! Everything here is a pure function of `(decomposition, plan)` — never
+//! of the rank or thread count — which is what makes irregular runs
+//! byte-identical to their canonical 1-rank execution.
+
+use crate::plan::MergePlan;
+use msp_grid::{Decomposition, ScalarField};
+
+/// How the domain is decomposed into blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DecompMode {
+    /// Recursive longest-axis bisection (the paper's layout). Requires
+    /// the merge-plan reduction to divide the block count; blocks are
+    /// assigned block-cyclically and merged on the fixed radix tree.
+    #[default]
+    Uniform,
+    /// Feature-density-driven adaptive splitter: split planes balance
+    /// the integral of a per-vertex feature weight (local extrema count
+    /// extra), so feature-dense regions get more, smaller blocks.
+    Adaptive,
+    /// Random irregular block tree (fuzzing): random axes, random
+    /// planes, random child counts, derived from the seed.
+    RandomTree { seed: u64 },
+}
+
+impl DecompMode {
+    pub fn is_uniform(&self) -> bool {
+        matches!(self, DecompMode::Uniform)
+    }
+
+    /// Parse a command-line spelling: `uniform`, `adaptive`, or
+    /// `random:<seed>`.
+    pub fn parse(s: &str) -> Result<DecompMode, String> {
+        let s = s.trim();
+        if s.eq_ignore_ascii_case("uniform") {
+            return Ok(DecompMode::Uniform);
+        }
+        if s.eq_ignore_ascii_case("adaptive") {
+            return Ok(DecompMode::Adaptive);
+        }
+        if let Some(seed) = s.strip_prefix("random:") {
+            return seed
+                .parse::<u64>()
+                .map(|seed| DecompMode::RandomTree { seed })
+                .map_err(|_| format!("bad random-tree seed {seed:?}"));
+        }
+        Err(format!(
+            "bad decomposition mode {s:?}: expected uniform, adaptive, or random:<seed>"
+        ))
+    }
+}
+
+impl std::fmt::Display for DecompMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecompMode::Uniform => write!(f, "uniform"),
+            DecompMode::Adaptive => write!(f, "adaptive"),
+            DecompMode::RandomTree { seed } => write!(f, "random:{seed}"),
+        }
+    }
+}
+
+/// Per-vertex feature weight for the adaptive splitter and the LPT cost
+/// model: every vertex costs 1, strict local extrema of the 6-connected
+/// vertex graph cost 9. Extrema are where critical cells — and the
+/// V-paths that end on them — concentrate, so slab-weight integrals of
+/// this proxy track where the local stage actually spends its time.
+pub fn feature_weights(field: &ScalarField) -> Vec<u64> {
+    let d = field.dims();
+    let (nx, ny, nz) = (d.nx as i64, d.ny as i64, d.nz as i64);
+    let mut w = vec![1u64; (nx * ny * nz) as usize];
+    let mut i = 0usize;
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let v = field.value(x as u32, y as u32, z as u32);
+                let mut is_min = true;
+                let mut is_max = true;
+                for (dx, dy, dz) in [
+                    (-1i64, 0i64, 0i64),
+                    (1, 0, 0),
+                    (0, -1, 0),
+                    (0, 1, 0),
+                    (0, 0, -1),
+                    (0, 0, 1),
+                ] {
+                    let (ux, uy, uz) = (x + dx, y + dy, z + dz);
+                    if ux < 0 || uy < 0 || uz < 0 || ux >= nx || uy >= ny || uz >= nz {
+                        continue;
+                    }
+                    let u = field.value(ux as u32, uy as u32, uz as u32);
+                    if u <= v {
+                        is_min = false;
+                    }
+                    if u >= v {
+                        is_max = false;
+                    }
+                    if !is_min && !is_max {
+                        break;
+                    }
+                }
+                if is_min || is_max {
+                    w[i] = 9;
+                }
+                i += 1;
+            }
+        }
+    }
+    w
+}
+
+/// Block-to-rank assignment. Replaces the hard-wired `block % n_ranks`
+/// throughout the pipeline; the uniform constructor reproduces that map
+/// exactly, so uniform runs keep their historical rank layout (and
+/// therefore their message tags, checkpoint owners, and file bytes).
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    rank_of: Vec<u32>,
+}
+
+impl Assignment {
+    /// The historical block-cyclic map `rank_of(b) = b % n_ranks`.
+    pub fn round_robin(n_blocks: u32, n_ranks: u32) -> Self {
+        assert!(n_ranks >= 1);
+        Assignment {
+            rank_of: (0..n_blocks).map(|b| b % n_ranks).collect(),
+        }
+    }
+
+    /// Longest-processing-time greedy over per-block cost estimates:
+    /// blocks in descending cost order (ids break ties), each to the
+    /// currently least-loaded rank (lowest rank breaks ties). Zero-cost
+    /// blocks still count 1, so empty ranks are never starved of blocks
+    /// they could absorb for free.
+    pub fn lpt(costs: &[u64], n_ranks: u32) -> Self {
+        assert!(n_ranks >= 1);
+        let mut order: Vec<u32> = (0..costs.len() as u32).collect();
+        order.sort_by_key(|&b| (std::cmp::Reverse(costs[b as usize]), b));
+        let mut load = vec![0u64; n_ranks as usize];
+        let mut rank_of = vec![0u32; costs.len()];
+        for b in order {
+            let r = (0..n_ranks).min_by_key(|&r| (load[r as usize], r)).unwrap();
+            rank_of[b as usize] = r;
+            load[r as usize] += costs[b as usize].max(1);
+        }
+        Assignment { rank_of }
+    }
+
+    pub fn rank_of(&self, block: u32) -> u32 {
+        self.rank_of[block as usize]
+    }
+
+    pub fn blocks_of(&self, rank: u32) -> Vec<u32> {
+        (0..self.rank_of.len() as u32)
+            .filter(|&b| self.rank_of[b as usize] == rank)
+            .collect()
+    }
+
+    pub fn n_blocks(&self) -> u32 {
+        self.rank_of.len() as u32
+    }
+
+    /// Per-rank summed cost under this assignment (for balance reports).
+    pub fn loads(&self, costs: &[u64], n_ranks: u32) -> Vec<u64> {
+        let mut load = vec![0u64; n_ranks as usize];
+        for (b, &r) in self.rank_of.iter().enumerate() {
+            load[r as usize] += costs[b];
+        }
+        load
+    }
+}
+
+/// One merge round: the radix it was planned at and its gather groups,
+/// each `(root, members)` with the root leading its member list — the
+/// same shape [`MergePlan::groups`] produces.
+#[derive(Debug, Clone)]
+pub struct Round {
+    pub radix: u32,
+    pub groups: Vec<(u32, Vec<u32>)>,
+}
+
+/// The full merge schedule: rounds plus the surviving output slots. A
+/// pure function of `(decomposition, plan)`, identical on every rank.
+#[derive(Debug, Clone)]
+pub struct MergeSchedule {
+    pub rounds: Vec<Round>,
+    /// Slots still holding a complex after the last round, ascending.
+    pub outputs: Vec<u32>,
+}
+
+impl MergeSchedule {
+    /// The uniform radix-tree schedule: [`MergePlan::groups`] and
+    /// [`MergePlan::output_slots`] verbatim, round for round.
+    pub fn uniform(plan: &MergePlan, n_blocks: u32) -> Self {
+        let rounds = (0..plan.radices.len())
+            .map(|r| Round {
+                radix: plan.radices[r],
+                groups: plan.groups(r, n_blocks),
+            })
+            .collect();
+        MergeSchedule {
+            rounds,
+            outputs: plan.output_slots(n_blocks),
+        }
+    }
+
+    /// Greedy deterministic contraction of the block neighbor graph, one
+    /// radix-k round per plan entry: alive slots are visited in
+    /// ascending order; an unclaimed slot roots a group and repeatedly
+    /// absorbs its smallest unclaimed alive neighbor until the group
+    /// reaches the radix (groups that stall below 2 members dissolve and
+    /// their root stays alive). Two slots are neighbors when any of
+    /// their member blocks share a face, edge, or corner.
+    ///
+    /// When the plan asks for a full merge (`reduction() >= n_blocks`)
+    /// extra radix-8 rounds are appended until one slot survives — the
+    /// slot regions tile the domain box, so the contracted graph stays
+    /// connected and every extra round makes progress.
+    pub fn contract(decomp: &Decomposition, plan: &MergePlan) -> Self {
+        let n = decomp.blocks().len();
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (a, b) in decomp.neighbor_edges() {
+            adj[a as usize].push(b);
+            adj[b as usize].push(a);
+        }
+        let full = plan.reduction() as usize >= n;
+        let mut slot_of: Vec<u32> = (0..n as u32).collect();
+        let mut members: Vec<Vec<u32>> = (0..n as u32).map(|b| vec![b]).collect();
+        let mut alive: Vec<u32> = (0..n as u32).collect();
+        let mut rounds = Vec::new();
+        let mut ri = 0usize;
+        loop {
+            if alive.len() <= 1 {
+                break;
+            }
+            let radix = if ri < plan.radices.len() {
+                plan.radices[ri]
+            } else if full {
+                8
+            } else {
+                break;
+            };
+            ri += 1;
+            let mut claimed = vec![false; n];
+            let mut groups: Vec<(u32, Vec<u32>)> = Vec::new();
+            for &s in &alive {
+                if claimed[s as usize] {
+                    continue;
+                }
+                claimed[s as usize] = true;
+                let mut group = vec![s];
+                while group.len() < radix as usize {
+                    // smallest unclaimed alive neighbor of the group
+                    let mut best: Option<u32> = None;
+                    for &g in &group {
+                        for &blk in &members[g as usize] {
+                            for &nb in &adj[blk as usize] {
+                                let t = slot_of[nb as usize];
+                                if !claimed[t as usize] && best.is_none_or(|b| t < b) {
+                                    best = Some(t);
+                                }
+                            }
+                        }
+                    }
+                    match best {
+                        Some(t) => {
+                            claimed[t as usize] = true;
+                            group.push(t);
+                        }
+                        None => break,
+                    }
+                }
+                if group.len() >= 2 {
+                    groups.push((s, group));
+                }
+            }
+            if groups.is_empty() {
+                // No slot could pair up under this plan — nothing more
+                // will ever merge (partial plans on sparse graphs).
+                break;
+            }
+            for (root, group) in &groups {
+                for &m in &group[1..] {
+                    let mb = std::mem::take(&mut members[m as usize]);
+                    for &blk in &mb {
+                        slot_of[blk as usize] = *root;
+                    }
+                    members[*root as usize].extend(mb);
+                }
+            }
+            let merged: Vec<u32> = groups
+                .iter()
+                .flat_map(|(_, g)| g[1..].iter().copied())
+                .collect();
+            alive.retain(|s| !merged.contains(s));
+            rounds.push(Round { radix, groups });
+        }
+        MergeSchedule {
+            rounds,
+            outputs: alive,
+        }
+    }
+
+    pub fn n_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+}
+
+/// A full-merge plan valid for any block count: the power-of-two
+/// [`MergePlan::full_merge`] heuristic applied to the next power of two.
+/// Under [`MergeSchedule::contract`] only the round count and radices
+/// matter (the groups come from the neighbor graph), and
+/// `reduction() >= n_blocks` signals the full-merge intent.
+pub fn full_merge_plan(n_blocks: u32) -> MergePlan {
+    MergePlan::full_merge(n_blocks.max(1).next_power_of_two())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msp_grid::Dims;
+
+    #[test]
+    fn parse_round_trips() {
+        for m in [
+            DecompMode::Uniform,
+            DecompMode::Adaptive,
+            DecompMode::RandomTree { seed: 42 },
+        ] {
+            assert_eq!(DecompMode::parse(&m.to_string()).unwrap(), m);
+        }
+        assert!(DecompMode::parse("random:x").is_err());
+        assert!(DecompMode::parse("voronoi").is_err());
+    }
+
+    #[test]
+    fn round_robin_matches_modulo() {
+        let a = Assignment::round_robin(11, 3);
+        for b in 0..11u32 {
+            assert_eq!(a.rank_of(b), b % 3);
+        }
+        assert_eq!(a.blocks_of(2), vec![2, 5, 8]);
+        assert_eq!(a.n_blocks(), 11);
+    }
+
+    #[test]
+    fn lpt_balances_skewed_costs() {
+        // one huge block + many small ones: LPT must not stack smalls on
+        // the rank holding the huge block
+        let costs = [1000u64, 10, 10, 10, 10, 10, 10];
+        let a = Assignment::lpt(&costs, 2);
+        let loads = a.loads(&costs, 2);
+        assert_eq!(a.rank_of(0), 0, "heaviest block goes first to rank 0");
+        assert_eq!(loads[1], 60, "all small blocks land opposite the huge one");
+        // deterministic
+        let b = Assignment::lpt(&costs, 2);
+        for blk in 0..costs.len() as u32 {
+            assert_eq!(a.rank_of(blk), b.rank_of(blk));
+        }
+    }
+
+    #[test]
+    fn lpt_spreads_zero_costs() {
+        let a = Assignment::lpt(&[0, 0, 0, 0], 4);
+        let mut ranks: Vec<u32> = (0..4).map(|b| a.rank_of(b)).collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn uniform_schedule_replays_the_plan() {
+        let plan = MergePlan::full_merge(8);
+        let s = MergeSchedule::uniform(&plan, 8);
+        assert_eq!(s.rounds.len(), plan.radices.len());
+        for (r, round) in s.rounds.iter().enumerate() {
+            assert_eq!(round.radix, plan.radices[r]);
+            assert_eq!(round.groups, plan.groups(r, 8));
+        }
+        assert_eq!(s.outputs, plan.output_slots(8));
+    }
+
+    #[test]
+    fn contract_full_merge_reaches_one_slot() {
+        for n in [2u32, 3, 5, 6, 7, 11] {
+            let d = Decomposition::random_tree(Dims::new(21, 17, 13), n, 7 + n as u64);
+            let s = MergeSchedule::contract(&d, &full_merge_plan(n));
+            assert_eq!(s.outputs, vec![0], "{n} blocks must contract to slot 0");
+            // every block merged exactly once
+            let mut seen = vec![0u32; n as usize];
+            seen[0] += 1; // the root never ships
+            for round in &s.rounds {
+                for (root, group) in &round.groups {
+                    assert_eq!(*root, group[0]);
+                    assert!(group.len() >= 2 && group.len() <= round.radix as usize);
+                    for &m in &group[1..] {
+                        seen[m as usize] += 1;
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "{n}: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn contract_groups_are_neighbor_connected() {
+        let d = Decomposition::random_tree(Dims::new(19, 19, 11), 9, 123);
+        let edges = d.neighbor_edges();
+        let s = MergeSchedule::contract(&d, &full_merge_plan(9));
+        // replay the contraction, checking every absorbed slot touches
+        // the group it joins
+        let mut members: Vec<Vec<u32>> = (0..9u32).map(|b| vec![b]).collect();
+        for round in &s.rounds {
+            for (root, group) in &round.groups {
+                for &m in &group[1..] {
+                    let touches = members[*root as usize].iter().any(|&a| {
+                        members[m as usize]
+                            .iter()
+                            .any(|&b| edges.contains(&(a.min(b), a.max(b))))
+                    });
+                    assert!(touches, "slot {m} absorbed into non-neighbor {root}");
+                    let mb = std::mem::take(&mut members[m as usize]);
+                    members[*root as usize].extend(mb);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contract_partial_plan_stops_early() {
+        let d = Decomposition::random_tree(Dims::new(21, 17, 13), 6, 99);
+        let plan = MergePlan::rounds(vec![2]);
+        let s = MergeSchedule::contract(&d, &plan);
+        assert_eq!(s.rounds.len(), 1);
+        assert_eq!(s.rounds[0].radix, 2);
+        let merged: usize = s.rounds[0].groups.iter().map(|(_, g)| g.len() - 1).sum();
+        assert_eq!(s.outputs.len(), 6 - merged);
+        assert!(s.outputs.len() > 1, "radix-2 round cannot fully merge 6");
+    }
+
+    #[test]
+    fn feature_weights_mark_extrema() {
+        // a single interior peak on an otherwise increasing ramp
+        let f = ScalarField::from_fn(Dims::new(7, 5, 5), |x, y, z| {
+            if (x, y, z) == (3, 2, 2) {
+                100.0
+            } else {
+                x as f32 + 0.1 * y as f32 + 0.01 * z as f32
+            }
+        });
+        let w = feature_weights(&f);
+        let d = f.dims();
+        let idx = |x: u64, y: u64, z: u64| ((z * d.ny as u64 + y) * d.nx as u64 + x) as usize;
+        assert_eq!(w[idx(3, 2, 2)], 9, "the peak is a local max");
+        assert_eq!(w[idx(0, 0, 0)], 9, "the ramp corner is the global min");
+        assert_eq!(w[idx(2, 2, 2)], 1, "ramp interior is regular");
+        assert_eq!(w.len() as u64, d.n_verts());
+    }
+
+    #[test]
+    fn full_merge_plan_covers_any_count() {
+        for n in 1..20u32 {
+            let p = full_merge_plan(n);
+            assert!(p.reduction() >= n, "{n}");
+        }
+    }
+}

@@ -25,6 +25,7 @@
 //! only on the threaded backend.
 
 use crate::plan::MergePlan;
+use crate::sched::{feature_weights, Assignment, DecompMode, MergeSchedule};
 use msp_complex::glue::glue_all;
 use msp_complex::{
     complex_from_gradient, simplify, simplify_forwarding, wire, MsComplex, SimplifyParams,
@@ -33,7 +34,9 @@ use msp_fault::FaultPlan;
 use msp_grid::rawio::{block_bytes, VolumeDType};
 use msp_grid::{Decomposition, ScalarField};
 use msp_morse::{assign_gradient, TraceLimits};
-use msp_segment::{label_block, wire as segwire, BlockSegmentation, ForwardMap, DRAIN_ADDR};
+use msp_segment::{
+    label_block, owner_rank, wire as segwire, BlockSegmentation, ForwardMap, DRAIN_ADDR,
+};
 use msp_telemetry::{
     progress_interval_from_env, Heartbeat, Json, ProgressPhase, RankTrace, RunTrace, TimeoutStamp,
 };
@@ -72,6 +75,12 @@ pub struct SimParams {
     /// Persistence threshold as a fraction of the global value range.
     pub persistence_frac: f32,
     pub plan: MergePlan,
+    /// Decomposition mode (DESIGN.md §14). The sim replays exactly the
+    /// schedule the threaded pipeline would run: uniform bisection keeps
+    /// the fixed radix tree and block-cyclic (here: identity) rank map,
+    /// irregular modes contract the block neighbor graph and assign
+    /// blocks by LPT over the same per-block cost estimates.
+    pub decomp: DecompMode,
     pub trace_limits: TraceLimits,
     pub max_new_arcs: Option<u64>,
     pub net: NetParams,
@@ -103,6 +112,7 @@ impl Default for SimParams {
         SimParams {
             persistence_frac: 0.01,
             plan: MergePlan::none(),
+            decomp: DecompMode::Uniform,
             trace_limits: TraceLimits::default(),
             // valence guard: skip cancellations that would fan out into
             // more than this many replacement arcs (degenerate lattices)
@@ -308,21 +318,26 @@ struct FaultLedger {
 /// the pipeline's `flush_forwards` all-to-all: each rank sends a
 /// length-prefixed pair payload to every *other* rank (empty buckets
 /// still cost their 4-byte count header; the self bucket is delivered
-/// locally, unserialized). Returns `(total_bytes, max_rank_bytes)` of
-/// the modeled exchange and bumps the forward counter.
+/// locally, unserialized). Pending buckets are indexed by block slot;
+/// `assign` maps each slot to the virtual rank that holds it, and owners
+/// are the pipeline's hashed `owner_rank` map. Returns
+/// `(total_bytes, max_rank_bytes)` of the modeled exchange and bumps the
+/// forward counter.
 fn flush_pending(
     pending: &mut [Vec<(u64, u64)>],
     owned: &mut [ForwardMap],
+    assign: &Assignment,
     forwards: &mut u64,
 ) -> (u64, u64) {
-    let n = pending.len();
+    let n = owned.len();
     let nl = n as u64;
     let (mut total, mut maxb) = (0u64, 0u64);
     for (src, bucket) in pending.iter_mut().enumerate() {
+        let src_rank = assign.rank_of(src as u32) as usize;
         *forwards += bucket.len() as u64;
         let mut lens = vec![0u64; n];
         for &(dead, target) in bucket.iter() {
-            let owner = (dead % nl) as usize;
+            let owner = owner_rank(dead, nl) as usize;
             lens[owner] += 1;
             owned[owner].insert(dead, target);
         }
@@ -330,7 +345,7 @@ fn flush_pending(
         let rank_bytes: u64 = lens
             .iter()
             .enumerate()
-            .filter(|(dst, _)| *dst != src)
+            .filter(|(dst, _)| *dst != src_rank)
             .map(|(_, &l)| 4 + 16 * l)
             .sum();
         total += rank_bytes;
@@ -350,7 +365,7 @@ pub fn simulate(
     }
     let n_blocks = n_ranks;
     let red = params.plan.reduction();
-    if !n_blocks.is_multiple_of(red) {
+    if params.decomp.is_uniform() && !n_blocks.is_multiple_of(red) {
         return Err(SimError::Config(format!(
             "plan reduction {red} must divide the rank count {n_ranks}"
         )));
@@ -376,7 +391,35 @@ pub fn simulate(
             st.set_phase_all(ph);
         }
     };
-    let decomp = Decomposition::bisect(field.dims(), n_ranks);
+    // Same (decomposition, schedule, assignment) the threaded pipeline
+    // derives — all pure functions of `(decomp, plan)`, so the sim
+    // replays the identical merge tree and rank layout. With one block
+    // per virtual rank the LPT assignment is a permutation; clocks,
+    // traces, and fault charges index by `rank_of(slot)` while the
+    // complexes stay slot-indexed like the pipeline's slot maps.
+    let (decomp, costs): (Decomposition, Option<Vec<u64>>) = match params.decomp {
+        DecompMode::Uniform => (Decomposition::bisect(field.dims(), n_blocks), None),
+        DecompMode::Adaptive => {
+            let weights = feature_weights(field);
+            let d = Decomposition::adaptive(field.dims(), n_blocks, &weights);
+            let c = d.block_costs(&weights);
+            (d, Some(c))
+        }
+        DecompMode::RandomTree { seed } => {
+            let d = Decomposition::random_tree(field.dims(), n_blocks, seed);
+            let c = d.blocks().iter().map(|b| b.n_verts()).collect();
+            (d, Some(c))
+        }
+    };
+    let sched = match params.decomp {
+        DecompMode::Uniform => MergeSchedule::uniform(&params.plan, n_blocks),
+        _ => MergeSchedule::contract(&decomp, &params.plan),
+    };
+    let assign = match &costs {
+        None => Assignment::round_robin(n_blocks, n_ranks),
+        Some(c) => Assignment::lpt(c, n_ranks),
+    };
+    let rk = |b: u32| assign.rank_of(b) as usize;
     let (gmin, gmax) = field.min_max();
     let threshold = params.persistence_frac * (gmax - gmin);
     let sp = SimplifyParams {
@@ -462,31 +505,30 @@ pub fn simulate(
 
     // virtual clocks: collective read ends together, then local work
     // (multiplied by the rank's injected slowdown factor, if any)
-    let mut clocks: Vec<f64> = blocks
-        .iter()
-        .enumerate()
-        .map(|(i, b)| {
-            let slow = fplan.map_or(1.0, |p| p.slow_factor(i));
-            read_s + (b.t_build + b.t_label + b.t_simplify) * slow
-        })
-        .collect();
+    let mut clocks: Vec<f64> = vec![0.0; n_ranks as usize];
+    for (i, b) in blocks.iter().enumerate() {
+        let r = rk(i as u32);
+        let slow = fplan.map_or(1.0, |p| p.slow_factor(r));
+        clocks[r] = read_s + (b.t_build + b.t_label + b.t_simplify) * slow;
+    }
     if let Some(tr) = &mut traces {
         for (i, b) in blocks.iter().enumerate() {
-            let slow = fplan.map_or(1.0, |p| p.slow_factor(i));
+            let r = rk(i as u32);
+            let slow = fplan.map_or(1.0, |p| p.slow_factor(r));
             let t_read_end = read_s;
             let t_compute_end = t_read_end + b.t_build * slow;
             let t_label_end = t_compute_end + b.t_label * slow;
-            tr[i].span("read", 0, ns(t_read_end));
-            tr[i].span("compute", ns(t_read_end), ns(t_compute_end));
+            tr[r].span("read", 0, ns(t_read_end));
+            tr[r].span("compute", ns(t_read_end), ns(t_compute_end));
             if params.segment {
-                tr[i].span("segment", ns(t_compute_end), ns(t_label_end));
+                tr[r].span("segment", ns(t_compute_end), ns(t_label_end));
             }
-            tr[i].span("local_simplify", ns(t_label_end), ns(clocks[i]));
+            tr[r].span("local_simplify", ns(t_label_end), ns(clocks[r]));
         }
     }
-    // Segmentation resolution state: per-virtual-rank pending forwards
-    // and owner maps (`owner(addr) = addr % n_ranks`, like the
-    // pipeline), plus the counters the modeled exchanges accumulate.
+    // Segmentation resolution state: per-slot pending forwards and
+    // per-rank owner maps (the pipeline's hashed `owner_rank`), plus
+    // the counters the modeled exchanges accumulate.
     let mut pending_fw: Vec<Vec<(u64, u64)>> = Vec::with_capacity(blocks.len());
     let mut segs: Vec<Option<BlockSegmentation>> = Vec::with_capacity(blocks.len());
     let mut complexes: Vec<Option<MsComplex>> = Vec::with_capacity(blocks.len());
@@ -504,11 +546,11 @@ pub fn simulate(
     phase(ProgressPhase::Merge);
     let torus = Torus::for_ranks(n_ranks);
     let clock_after_local = clocks.iter().copied().fold(0.0, f64::max);
-    let mut rounds = Vec::with_capacity(params.plan.radices.len());
+    let mut rounds = Vec::with_capacity(sched.rounds.len());
     // per-directed-link message counter, 1-based like the comm layer's
     let mut link_seq: HashMap<(usize, usize), u64> = HashMap::new();
-    for r in 0..params.plan.radices.len() {
-        let groups = params.plan.groups(r, n_blocks);
+    for (r, round) in sched.rounds.iter().enumerate() {
+        let groups = &round.groups;
         let round_no = r as u32 + 1;
         let before = clocks.iter().copied().fold(0.0, f64::max);
 
@@ -531,10 +573,10 @@ pub fn simulate(
             );
             for &s in &alive {
                 if let Some(tr) = &mut traces {
-                    let t0 = clocks[s as usize];
-                    tr[s as usize].span("checkpoint", ns(t0), ns(t0 + ck));
+                    let t0 = clocks[rk(s)];
+                    tr[rk(s)].span("checkpoint", ns(t0), ns(t0 + ck));
                 }
-                clocks[s as usize] += ck;
+                clocks[rk(s)] += ck;
             }
             ledger.checkpoint_s += ck;
         }
@@ -543,14 +585,14 @@ pub fn simulate(
         // sequencing + fault charges), process groups in parallel
         let mut work: Vec<(u32, MsComplex, f64, Vec<MemberIn>)> = Vec::with_capacity(groups.len());
         let mut round_entry: HashMap<u32, f64> = HashMap::new();
-        for (root, members) in &groups {
+        for (root, members) in groups {
             let root_ms = complexes[*root as usize].take().ok_or(SimError::DeadSlot {
                 slot: *root,
                 stage: "merge root",
             })?;
-            let mut root_clock = clocks[*root as usize];
+            let mut root_clock = clocks[rk(*root)];
             round_entry.insert(*root, root_clock);
-            if fplan.is_some_and(|p| p.should_crash(*root as usize, round_no)) {
+            if fplan.is_some_and(|p| p.should_crash(rk(*root), round_no)) {
                 // A crashed root reboots from its own checkpoint: the
                 // round replays after a reload of its full state.
                 let bytes = wire::estimate_size(&root_ms) as u64;
@@ -560,7 +602,7 @@ pub fn simulate(
                 ledger.retry_bytes += bytes;
                 ledger.recovery_s += reload;
                 if let Some(tr) = &mut traces {
-                    tr[*root as usize].span("recover", ns(root_clock), ns(root_clock + reload));
+                    tr[rk(*root)].span("recover", ns(root_clock), ns(root_clock + reload));
                 }
                 root_clock += reload;
                 // keep root_ms: the sim models the recovered (bit-exact)
@@ -576,13 +618,13 @@ pub fn simulate(
                 if let Some(st) = &progress {
                     st.add_bytes(bytes);
                 }
-                let hops = torus.hops(m, *root);
-                let seq = link_seq.entry((m as usize, *root as usize)).or_insert(0);
+                let hops = torus.hops(rk(m) as u32, rk(*root) as u32);
+                let seq = link_seq.entry((rk(m), rk(*root))).or_insert(0);
                 *seq += 1;
                 let tag = (round_no << 20) | m;
                 let mut arrive =
-                    clocks[m as usize] + params.net.latency_s + params.net.hop_time_s * hops as f64;
-                if fplan.is_some_and(|p| p.should_crash(m as usize, round_no)) {
+                    clocks[rk(m)] + params.net.latency_s + params.net.hop_time_s * hops as f64;
+                if fplan.is_some_and(|p| p.should_crash(rk(m), round_no)) {
                     // Dead member: the root burns its detection deadline,
                     // then re-ships the member's checkpoint over the
                     // torus instead of receiving its message.
@@ -597,13 +639,13 @@ pub fn simulate(
                         // trace shows the expired deadline and the
                         // checkpoint re-ship as a recover span.
                         let expire = root_clock + params.fault.deadline_s;
-                        tr[*root as usize].timeouts.push(TimeoutStamp {
-                            src: m,
+                        tr[rk(*root)].timeouts.push(TimeoutStamp {
+                            src: rk(m) as u32,
                             tag,
                             t_ns: ns(expire),
                             waited_ns: ns(params.fault.deadline_s),
                         });
-                        tr[*root as usize].span("recover", ns(expire), ns(arrive));
+                        tr[rk(*root)].span("recover", ns(expire), ns(arrive));
                     }
                 } else if let Some(p) = fplan {
                     match p.fate(m as usize, *root as usize, *seq) {
@@ -620,11 +662,11 @@ pub fn simulate(
                     }
                 }
                 if let Some(tr) = &mut traces {
-                    if !fplan.is_some_and(|p| p.should_crash(m as usize, round_no)) {
+                    if !fplan.is_some_and(|p| p.should_crash(rk(m), round_no)) {
                         // One causal pair per surviving transfer: drops and
                         // delays move the arrival, they don't fork the edge.
-                        tr[m as usize].send(*root, tag, *seq, bytes, ns(clocks[m as usize]));
-                        tr[*root as usize].recv(m, tag, *seq, bytes, ns(arrive));
+                        tr[rk(m)].send(rk(*root) as u32, tag, *seq, bytes, ns(clocks[rk(m)]));
+                        tr[rk(*root)].recv(rk(m) as u32, tag, *seq, bytes, ns(arrive));
                     }
                 }
                 inputs.push(MemberIn {
@@ -682,10 +724,10 @@ pub fn simulate(
             bytes_moved += bytes;
             if let Some(tr) = &mut traces {
                 let entry = round_entry.get(&root).copied().unwrap_or(clock);
-                tr[root as usize].span(&format!("merge_round[{r}]"), ns(entry), ns(clock));
-                tr[root as usize].span("glue", ns(clock - glue), ns(clock));
+                tr[rk(root)].span(&format!("merge_round[{r}]"), ns(entry), ns(clock));
+                tr[rk(root)].span("glue", ns(clock - glue), ns(clock));
             }
-            clocks[root as usize] = clock;
+            clocks[rk(root)] = clock;
             complexes[root as usize] = Some(ms);
             pending_fw[root as usize].extend(fw);
         }
@@ -693,7 +735,8 @@ pub fn simulate(
         // pipeline: the round's cancellations route to their owner maps,
         // the exchange's wire bytes and one latency are charged.
         if params.segment {
-            let (fb, fb_max) = flush_pending(&mut pending_fw, &mut owned_fw, &mut seg_forwards);
+            let (fb, fb_max) =
+                flush_pending(&mut pending_fw, &mut owned_fw, &assign, &mut seg_forwards);
             seg_bytes += fb;
             if n_ranks > 1 {
                 seg_resolve_s += params.net.latency_s + fb_max as f64 * params.net.byte_time_s;
@@ -701,10 +744,10 @@ pub fn simulate(
         }
         let after = groups
             .iter()
-            .map(|(root, _)| clocks[*root as usize])
+            .map(|(root, _)| clocks[rk(*root)])
             .fold(0.0, f64::max);
         rounds.push(RoundReport {
-            radix: params.plan.radices[r],
+            radix: round.radix,
             comm_s: comm_max,
             glue_s: glue_max,
             round_s: after - before,
@@ -733,7 +776,8 @@ pub fn simulate(
         };
         // flush whatever was not piggybacked on a merge round (all
         // local forwards when the plan has no rounds)
-        let (fb, fb_max) = flush_pending(&mut pending_fw, &mut owned_fw, &mut seg_forwards);
+        let (fb, fb_max) =
+            flush_pending(&mut pending_fw, &mut owned_fw, &assign, &mut seg_forwards);
         seg_bytes += fb;
         if n_ranks > 1 {
             seg_resolve_s += params.net.latency_s + fb_max as f64 * params.net.byte_time_s;
@@ -745,7 +789,7 @@ pub fn simulate(
             for (src, map) in owned_fw.iter().enumerate() {
                 for (_, target) in map.sorted_entries() {
                     if target != DRAIN_ADDR {
-                        qbuckets[src][(target % nl) as usize].push(target);
+                        qbuckets[src][owner_rank(target, nl) as usize].push(target);
                     }
                 }
                 for qb in &mut qbuckets[src] {
@@ -806,23 +850,24 @@ pub fn simulate(
         // table rewrite: every extremum address in each rank's tables
         // is resolved by its owner against the compressed map
         let mut tlens = vec![vec![0u64; n]; n];
-        for (src, seg) in segs.iter_mut().enumerate() {
+        for (slot, seg) in segs.iter_mut().enumerate() {
             let Some(seg) = seg.as_mut() else { continue };
+            let src = rk(slot as u32);
             let mut addrs: Vec<u64> = seg.mins.iter().chain(seg.maxs.iter()).copied().collect();
             addrs.sort_unstable();
             addrs.dedup();
             for &a in &addrs {
-                tlens[src][(a % nl) as usize] += 1;
+                tlens[src][owner_rank(a, nl) as usize] += 1;
             }
             let rm: Vec<u64> = seg
                 .mins
                 .iter()
-                .map(|&a| owned_fw[(a % nl) as usize].resolve(a))
+                .map(|&a| owned_fw[owner_rank(a, nl) as usize].resolve(a))
                 .collect();
             let rx: Vec<u64> = seg
                 .maxs
                 .iter()
-                .map(|&a| owned_fw[(a % nl) as usize].resolve(a))
+                .map(|&a| owned_fw[owner_rank(a, nl) as usize].resolve(a))
                 .collect();
             seg.apply_resolution(&rm, &rx);
         }
@@ -870,7 +915,7 @@ pub fn simulate(
 
     // ---- write (modeled) ----
     phase(ProgressPhase::Write);
-    let out_slots = params.plan.output_slots(n_blocks);
+    let out_slots = sched.outputs.clone();
     // one final checkpoint protects the fully-merged state
     if params.fault.checkpoint {
         let sizes: Vec<u64> = out_slots
@@ -888,10 +933,10 @@ pub fn simulate(
         );
         for &s in &out_slots {
             if let Some(tr) = &mut traces {
-                let t0 = clocks[s as usize];
-                tr[s as usize].span("checkpoint", ns(t0), ns(t0 + ck));
+                let t0 = clocks[rk(s)];
+                tr[rk(s)].span("checkpoint", ns(t0), ns(t0 + ck));
             }
-            clocks[s as usize] += ck;
+            clocks[rk(s)] += ck;
         }
         ledger.checkpoint_s += ck;
     }
@@ -911,10 +956,7 @@ pub fn simulate(
         0.0
     };
 
-    let clock_final = out_slots
-        .iter()
-        .map(|&s| clocks[s as usize])
-        .fold(0.0, f64::max);
+    let clock_final = out_slots.iter().map(|&s| clocks[rk(s)]).fold(0.0, f64::max);
     let mut live_nodes = 0u64;
     let mut live_arcs = 0u64;
     for &s in &out_slots {
@@ -927,14 +969,15 @@ pub fn simulate(
     }
 
     if let Some(tr) = &mut traces {
-        // The collective write ends the run for the output slots; every
-        // other rank's story ends at its last local clock.
+        // The collective write ends the run for the ranks holding output
+        // slots; every other rank's story ends at its last local clock.
+        let out_ranks: Vec<usize> = out_slots.iter().map(|&s| rk(s)).collect();
         for &s in &out_slots {
-            let t0 = clocks[s as usize];
-            tr[s as usize].span("write", ns(t0), ns(t0 + write_s));
+            let t0 = clocks[rk(s)];
+            tr[rk(s)].span("write", ns(t0), ns(t0 + write_s));
         }
         for (i, t) in tr.iter_mut().enumerate() {
-            let mut end = if out_slots.contains(&(i as u32)) {
+            let mut end = if out_ranks.contains(&i) {
                 clocks[i] + write_s
             } else {
                 clocks[i]
@@ -1103,6 +1146,59 @@ mod tests {
         assert!(sim.seg_label_s > 0.0);
         assert!(sim.seg_output_bytes > 0);
         assert!(sim.total_s >= sim.seg_write_s);
+    }
+
+    #[test]
+    fn sim_replays_irregular_schedules_exactly() {
+        use crate::pipeline::{run_parallel, Input, PipelineParams};
+        use crate::sched::full_merge_plan;
+        use std::sync::Arc;
+        // A non-power-of-two adaptive run: the sim must derive the same
+        // contracted merge schedule and LPT rank permutation as the
+        // threaded pipeline, reproducing its outputs and segmentation
+        // counters bit for bit.
+        let field = Arc::new(msp_synth::white_noise(Dims::cube(9), 10));
+        let plan = full_merge_plan(6);
+        let sim = simulate(
+            &field,
+            6,
+            &SimParams {
+                plan: plan.clone(),
+                decomp: DecompMode::Adaptive,
+                segment: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let thr = run_parallel(
+            &Input::Memory(field.clone()),
+            6,
+            6,
+            &PipelineParams {
+                plan,
+                decomp: DecompMode::Adaptive,
+                segment: true,
+                ..Default::default()
+            },
+            None,
+        )
+        .unwrap();
+        assert_eq!(sim.output_blocks as usize, thr.outputs.len());
+        let thr_nodes: u64 = thr.outputs.iter().map(|ms| ms.n_live_nodes()).sum();
+        let thr_arcs: u64 = thr.outputs.iter().map(|ms| ms.n_live_arcs()).sum();
+        assert_eq!(sim.live_nodes, thr_nodes);
+        assert_eq!(sim.live_arcs, thr_arcs);
+        assert_eq!(sim.output_bytes, thr.output_bytes);
+        let rk0 = &thr.telemetry.ranks[0];
+        assert_eq!(sim.seg_rounds, rk0.counter("seg_rounds"));
+        assert_eq!(
+            sim.seg_forwards,
+            thr.telemetry.counter_total("seg_forwards")
+        );
+        assert_eq!(
+            sim.seg_bytes,
+            thr.telemetry.counter_total("seg_boundary_bytes")
+        );
     }
 
     #[test]

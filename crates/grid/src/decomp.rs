@@ -194,6 +194,250 @@ impl Decomposition {
         node
     }
 
+    /// Decompose `domain` into exactly `n_blocks` blocks, steering every
+    /// split plane by a per-vertex weight field (feature density).
+    ///
+    /// The recursion shape matches [`Decomposition::bisect`] — longest
+    /// axis, ties toward x, block counts halved — but the plane is
+    /// placed where the cumulative slab weight reaches the left side's
+    /// share of the total, so weight-dense regions get geometrically
+    /// small (and therefore many) blocks. `weight` holds one value per
+    /// domain vertex in `vertex_index` order; an all-equal field
+    /// reproduces plain proportional bisection. Block ids stay dense
+    /// (`0..n_blocks`), and non-power-of-two counts are supported.
+    pub fn adaptive(domain: Dims, n_blocks: u32, weight: &[u64]) -> Self {
+        assert!(n_blocks >= 1, "need at least one block");
+        assert_eq!(
+            weight.len() as u64,
+            domain.n_verts(),
+            "weight field must have one entry per domain vertex"
+        );
+        let mut d = Decomposition {
+            domain,
+            blocks: Vec::with_capacity(n_blocks as usize),
+            tree: Vec::new(),
+            root: 0,
+        };
+        let full = BlockBox {
+            id: u32::MAX,
+            lo: [0, 0, 0],
+            hi: [domain.nx - 1, domain.ny - 1, domain.nz - 1],
+        };
+        d.root = d.split_weighted(full, n_blocks, weight);
+        debug_assert_eq!(d.blocks.len(), n_blocks as usize);
+        d
+    }
+
+    /// Sum of `weight` over the slab `axis == x` within `bx`.
+    fn slab_weight(&self, bx: &BlockBox, axis: usize, x: u32, weight: &[u64]) -> u64 {
+        let mut lo = bx.lo;
+        let mut hi = bx.hi;
+        lo[axis] = x;
+        hi[axis] = x;
+        let mut sum = 0u64;
+        for z in lo[2]..=hi[2] {
+            for y in lo[1]..=hi[1] {
+                for x in lo[0]..=hi[0] {
+                    sum += weight[self.domain.vertex_index(x, y, z) as usize];
+                }
+            }
+        }
+        sum
+    }
+
+    fn split_weighted(&mut self, bx: BlockBox, count: u32, weight: &[u64]) -> u32 {
+        if count == 1 {
+            let id = self.blocks.len() as u32;
+            self.blocks.push(BlockBox { id, ..bx });
+            let node = self.tree.len() as u32;
+            self.tree.push(Node::Leaf { block: id });
+            return node;
+        }
+        let extents = [
+            bx.hi[0] - bx.lo[0],
+            bx.hi[1] - bx.lo[1],
+            bx.hi[2] - bx.lo[2],
+        ];
+        let axis = (0..3).max_by_key(|&a| extents[a]).unwrap();
+        let e = extents[axis];
+        assert!(
+            e >= 2,
+            "cannot split block {:?} into {count} parts: axis {axis} has only {e} cell layer(s)",
+            bx
+        );
+        let left_count = count / 2;
+        let right_count = count - left_count;
+        // cumulative slab weights along the split axis; the plane goes
+        // where the left prefix first reaches the left side's share
+        let total: u64 = (0..=e)
+            .map(|x| self.slab_weight(&bx, axis, bx.lo[axis] + x, weight))
+            .sum();
+        let target = total as u128 * left_count as u128 / count as u128;
+        let mut s = 1u32;
+        let mut prefix = self.slab_weight(&bx, axis, bx.lo[axis], weight)
+            + self.slab_weight(&bx, axis, bx.lo[axis] + 1, weight);
+        while s < e - 1 && (prefix as u128) < target {
+            s += 1;
+            prefix += self.slab_weight(&bx, axis, bx.lo[axis] + s, weight);
+        }
+        let plane = bx.lo[axis] + s;
+        let mut lhs = bx;
+        lhs.hi[axis] = plane;
+        let mut rhs = bx;
+        rhs.lo[axis] = plane;
+        let left = self.split_weighted(lhs, left_count, weight);
+        let right = self.split_weighted(rhs, right_count, weight);
+        let node = self.tree.len() as u32;
+        self.tree.push(Node::Split {
+            axis: axis as u8,
+            plane,
+            left,
+            right,
+        });
+        node
+    }
+
+    /// Decompose `domain` into a seeded *random* axis-aligned block tree:
+    /// random axis among the splittable ones, random plane, random
+    /// left/right block-count split. Deterministic in `seed`; block ids
+    /// stay dense. This is the adversarial generator behind the
+    /// irregular-decomposition fuzz dimension — it produces skewed,
+    /// non-uniform trees no density heuristic would pick.
+    pub fn random_tree(domain: Dims, n_blocks: u32, seed: u64) -> Self {
+        assert!(n_blocks >= 1, "need at least one block");
+        assert!(
+            n_blocks <= 48,
+            "random_tree depth bound requires <= 48 blocks"
+        );
+        let mut d = Decomposition {
+            domain,
+            blocks: Vec::with_capacity(n_blocks as usize),
+            tree: Vec::new(),
+            root: 0,
+        };
+        let full = BlockBox {
+            id: u32::MAX,
+            lo: [0, 0, 0],
+            hi: [domain.nx - 1, domain.ny - 1, domain.nz - 1],
+        };
+        let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+        d.root = d.split_random(full, n_blocks, &mut state);
+        debug_assert_eq!(d.blocks.len(), n_blocks as usize);
+        d
+    }
+
+    fn split_random(&mut self, bx: BlockBox, count: u32, state: &mut u64) -> u32 {
+        // splitmix64 step — no external RNG dependency in this crate
+        fn next(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        if count == 1 {
+            let id = self.blocks.len() as u32;
+            self.blocks.push(BlockBox { id, ..bx });
+            let node = self.tree.len() as u32;
+            self.tree.push(Node::Leaf { block: id });
+            return node;
+        }
+        let extents = [
+            bx.hi[0] - bx.lo[0],
+            bx.hi[1] - bx.lo[1],
+            bx.hi[2] - bx.lo[2],
+        ];
+        // a side that still needs k blocks must have at least k cell
+        // layers available *somewhere*; keep the recursion feasible by
+        // bounding each side's count by its cell capacity
+        let splittable: Vec<usize> = (0..3).filter(|&a| extents[a] >= 2).collect();
+        assert!(
+            !splittable.is_empty(),
+            "cannot split block {:?} into {count} parts: all axes have < 2 cell layers",
+            bx
+        );
+        let axis = splittable[(next(state) % splittable.len() as u64) as usize];
+        let e = extents[axis];
+        let s = 1 + (next(state) % (e - 1) as u64) as u32;
+        // capacity = product of cell extents, capped to avoid overflow
+        let cap = |b: &BlockBox| -> u64 {
+            (0..3)
+                .map(|a| (b.hi[a] - b.lo[a]) as u64)
+                .product::<u64>()
+                .min(u32::MAX as u64)
+        };
+        let plane = bx.lo[axis] + s;
+        let mut lhs = bx;
+        lhs.hi[axis] = plane;
+        let mut rhs = bx;
+        rhs.lo[axis] = plane;
+        let (lcap, rcap) = (cap(&lhs) as u32, cap(&rhs) as u32);
+        if lcap + rcap < count {
+            // this plane cannot host `count` blocks; fall back to the
+            // proportional deterministic split which is always feasible
+            return self.split(bx, count);
+        }
+        let lo = count.saturating_sub(rcap).max(1);
+        let hi = (count - 1).min(lcap);
+        if lo > hi {
+            return self.split(bx, count);
+        }
+        let left_count = lo + (next(state) % (hi - lo + 1) as u64) as u32;
+        let right_count = count - left_count;
+        let left = self.split_random(lhs, left_count, state);
+        let right = self.split_random(rhs, right_count, state);
+        let node = self.tree.len() as u32;
+        self.tree.push(Node::Split {
+            axis: axis as u8,
+            plane,
+            left,
+            right,
+        });
+        node
+    }
+
+    /// Per-block cost estimates: the sum of `weight` over each block's
+    /// vertices (shared layers counted toward every block that loads
+    /// them, mirroring actual work). One entry per block id.
+    pub fn block_costs(&self, weight: &[u64]) -> Vec<u64> {
+        assert_eq!(
+            weight.len() as u64,
+            self.domain.n_verts(),
+            "weight field must have one entry per domain vertex"
+        );
+        self.blocks
+            .iter()
+            .map(|b| {
+                let mut sum = 0u64;
+                for z in b.lo[2]..=b.hi[2] {
+                    for y in b.lo[1]..=b.hi[1] {
+                        for x in b.lo[0]..=b.hi[0] {
+                            sum += weight[self.domain.vertex_index(x, y, z) as usize];
+                        }
+                    }
+                }
+                sum
+            })
+            .collect()
+    }
+
+    /// Undirected neighbour edges: every pair of blocks whose refined
+    /// boxes intersect (shared face, edge, or corner), as sorted
+    /// `(lo_id, hi_id)` pairs in lexicographic order. This is the graph
+    /// the generalized merge schedule contracts.
+    pub fn neighbor_edges(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for (i, a) in self.blocks.iter().enumerate() {
+            for b in &self.blocks[i + 1..] {
+                let touch = (0..3).all(|ax| a.lo[ax] <= b.hi[ax] && b.lo[ax] <= a.hi[ax]);
+                if touch {
+                    out.push((a.id, b.id));
+                }
+            }
+        }
+        out
+    }
+
     pub fn domain(&self) -> Dims {
         self.domain
     }
@@ -389,6 +633,122 @@ mod tests {
         assert_eq!(a[0], vec![0, 3, 6]);
         assert_eq!(a[1], vec![1, 4, 7]);
         assert_eq!(a[2], vec![2, 5]);
+    }
+
+    #[test]
+    fn adaptive_with_flat_weights_covers_and_counts() {
+        let dom = Dims::new(33, 29, 17);
+        let w = vec![1u64; dom.n_verts() as usize];
+        for n in [1u32, 2, 3, 5, 6, 7, 8, 12] {
+            let d = Decomposition::adaptive(dom, n, &w);
+            assert_eq!(d.n_blocks(), n);
+            check_cover(&d);
+        }
+    }
+
+    #[test]
+    fn adaptive_splits_toward_weight_mass() {
+        // all weight in the x < 8 slab: the first split plane must land
+        // left of centre so the dense half gets the small block
+        let dom = Dims::new(33, 9, 9);
+        let mut w = vec![0u64; dom.n_verts() as usize];
+        for z in 0..9 {
+            for y in 0..9 {
+                for x in 0..8 {
+                    w[dom.vertex_index(x, y, z) as usize] = 100;
+                }
+            }
+        }
+        let d = Decomposition::adaptive(dom, 2, &w);
+        check_cover(&d);
+        let b0 = d.block(0);
+        assert!(
+            b0.hi[0] < 16,
+            "dense region should get the smaller block, split at {}",
+            b0.hi[0]
+        );
+        // per-block costs follow the weight field
+        let costs = d.block_costs(&w);
+        assert_eq!(costs.len(), 2);
+        assert!(costs[0] > 0);
+    }
+
+    #[test]
+    fn adaptive_flat_weights_stay_balanced() {
+        // an all-equal weight field must keep block volumes close to the
+        // plain bisection's (rounding may shift a plane by one layer)
+        let dom = Dims::new(33, 33, 17);
+        let w = vec![1u64; dom.n_verts() as usize];
+        for n in [2u32, 4, 6, 8] {
+            let a = Decomposition::adaptive(dom, n, &w);
+            check_cover(&a);
+            let cells: Vec<u64> = a
+                .blocks()
+                .iter()
+                .map(|b| {
+                    let d = b.dims();
+                    (d.nx as u64 - 1) * (d.ny as u64 - 1) * (d.nz as u64 - 1)
+                })
+                .collect();
+            let (lo, hi) = (*cells.iter().min().unwrap(), *cells.iter().max().unwrap());
+            assert!(hi <= 2 * lo, "n={n}: flat weights gave skew {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn random_tree_covers_deterministically() {
+        let dom = Dims::new(17, 13, 11);
+        for n in [1u32, 2, 3, 5, 7, 9] {
+            for seed in 0..4u64 {
+                let d = Decomposition::random_tree(dom, n, seed);
+                assert_eq!(d.n_blocks(), n);
+                check_cover(&d);
+                let d2 = Decomposition::random_tree(dom, n, seed);
+                let a: Vec<_> = d.blocks().iter().map(|b| (b.lo, b.hi)).collect();
+                let b: Vec<_> = d2.blocks().iter().map(|b| (b.lo, b.hi)).collect();
+                assert_eq!(a, b, "same seed must give the same tree");
+            }
+        }
+    }
+
+    #[test]
+    fn random_tree_owner_sets_match_brute_force() {
+        let d = Decomposition::random_tree(Dims::new(17, 13, 11), 7, 42);
+        let r = d.domain().refined();
+        for k in (0..r.rz as u32).step_by(3) {
+            for j in (0..r.ry as u32).step_by(3) {
+                for i in (0..r.rx as u32).step_by(3) {
+                    let c = RCoord::new(i, j, k);
+                    let fast = d.owners(c);
+                    let mut brute: Vec<u32> = d
+                        .blocks()
+                        .iter()
+                        .filter(|b| b.refined_box().contains(c))
+                        .map(|b| b.id)
+                        .collect();
+                    brute.sort_unstable();
+                    assert_eq!(fast.as_slice(), brute.as_slice(), "at {:?}", c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_edges_match_box_intersection() {
+        let d = Decomposition::bisect(Dims::new(17, 17, 17), 8);
+        let edges = d.neighbor_edges();
+        // 2x2x2: every pair of blocks touches at least at the centre
+        assert_eq!(edges.len(), 28, "all 8C2 pairs meet at the centre layer");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "sorted lexicographic"
+        );
+        let d = Decomposition::random_tree(Dims::new(17, 13, 11), 6, 3);
+        for (a, b) in d.neighbor_edges() {
+            assert!(a < b);
+            let (ba, bb) = (d.block(a), d.block(b));
+            assert!((0..3).all(|ax| ba.lo[ax] <= bb.hi[ax] && bb.lo[ax] <= ba.hi[ax]));
+        }
     }
 
     #[test]

@@ -99,6 +99,63 @@ impl FromStr for FieldKind {
     }
 }
 
+/// Cap on irregular block counts in generated and validated cases:
+/// large enough to exercise every non-power-of-two neighbor shape the
+/// contraction has to handle, small enough that fuzz iterations stay
+/// cheap.
+pub const MAX_IRREGULAR_BLOCKS: u32 = 12;
+
+/// How the domain decomposes into blocks, spelled like the CLI's
+/// `--decomp` flag. `msp-core` (which this crate must not depend on)
+/// converts it to a `DecompMode`. Irregular modes lift the
+/// power-of-two block-count and schedule-divisibility requirements:
+/// the driver contracts the block neighbor graph instead of replaying
+/// the fixed radix tree, so any block count is fair game.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DecompKind {
+    /// Recursive longest-axis bisection (the historical layout).
+    #[default]
+    Uniform,
+    /// Feature-density adaptive splitting.
+    Adaptive,
+    /// Seeded random irregular block tree.
+    Random(u64),
+}
+
+impl DecompKind {
+    pub fn is_uniform(&self) -> bool {
+        matches!(self, DecompKind::Uniform)
+    }
+}
+
+impl fmt::Display for DecompKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecompKind::Uniform => write!(f, "uniform"),
+            DecompKind::Adaptive => write!(f, "adaptive"),
+            DecompKind::Random(seed) => write!(f, "random:{seed}"),
+        }
+    }
+}
+
+impl FromStr for DecompKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "uniform" => return Ok(DecompKind::Uniform),
+            "adaptive" => return Ok(DecompKind::Adaptive),
+            _ => {}
+        }
+        let seed = s
+            .strip_prefix("random:")
+            .ok_or_else(|| format!("unknown decomposition '{s}'"))?;
+        seed.parse::<u64>()
+            .map(DecompKind::Random)
+            .map_err(|e| format!("bad random-tree seed in '{s}': {e}"))
+    }
+}
+
 /// Merge schedule, as radices only. `msp-core` (which this crate must
 /// not depend on) converts it to a `MergePlan`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -185,6 +242,9 @@ pub struct Case {
     pub seed: u64,
     pub ranks: u32,
     pub blocks: u32,
+    /// Block layout. Irregular kinds allow any block count in
+    /// `1..=MAX_IRREGULAR_BLOCKS` and any schedule radices.
+    pub decomp: DecompKind,
     pub threads: u32,
     pub schedule: Schedule,
     pub persistence: f32,
@@ -202,8 +262,15 @@ impl Case {
         if self.dims.iter().any(|&a| a < 2) {
             return Err(format!("dims {:?} too small", self.dims));
         }
-        if !self.blocks.is_power_of_two() {
-            return Err(format!("blocks {} not a power of two", self.blocks));
+        if self.decomp.is_uniform() {
+            if !self.blocks.is_power_of_two() {
+                return Err(format!("blocks {} not a power of two", self.blocks));
+            }
+        } else if self.blocks == 0 || self.blocks > MAX_IRREGULAR_BLOCKS {
+            return Err(format!(
+                "blocks {} must be in 1..={MAX_IRREGULAR_BLOCKS} for a {} decomposition",
+                self.blocks, self.decomp
+            ));
         }
         if self.ranks == 0 || self.ranks > self.blocks {
             return Err(format!(
@@ -214,17 +281,28 @@ impl Case {
         if self.threads == 0 {
             return Err("threads must be >= 1".into());
         }
-        let red = self.schedule.reduction(self.blocks);
-        if red == 0 || !self.blocks.is_multiple_of(red) {
-            return Err(format!(
-                "schedule reduction {red} does not divide {} blocks",
-                self.blocks
-            ));
+        if self.decomp.is_uniform() {
+            // Irregular schedules contract the neighbor graph with the
+            // radices as group-size caps, so only the uniform radix tree
+            // needs the reduction to divide the block count.
+            let red = self.schedule.reduction(self.blocks);
+            if red == 0 || !self.blocks.is_multiple_of(red) {
+                return Err(format!(
+                    "schedule reduction {red} does not divide {} blocks",
+                    self.blocks
+                ));
+            }
         }
         if !self.persistence.is_finite() || self.persistence < 0.0 {
             return Err(format!("persistence {} invalid", self.persistence));
         }
         if let Some(f) = &self.fault {
+            if !self.decomp.is_uniform() {
+                // The contracted round count is a property of the
+                // neighbor graph, not of the schedule text, so a
+                // fault's round bound cannot be validated here.
+                return Err("fault injection requires a uniform decomposition".into());
+            }
             let (r, k) = parse_fault(f)?;
             if self.ranks < 2 {
                 return Err("fault injection needs >= 2 ranks".into());
@@ -261,40 +339,66 @@ impl Case {
         } else {
             [axis(rng), axis(rng), axis(rng)]
         };
-        let blocks = *rng.pick(&[1u32, 2, 4, 8]);
-        let ranks = {
+        let decomp = match rng.below(4) {
+            0 | 1 => DecompKind::Uniform,
+            2 => DecompKind::Adaptive,
+            _ => DecompKind::Random(rng.below(1 << 16)),
+        };
+        let blocks = if decomp.is_uniform() {
+            *rng.pick(&[1u32, 2, 4, 8])
+        } else {
+            // any count, deliberately including non-powers-of-two
+            1 + rng.below(8) as u32
+        };
+        let ranks = if decomp.is_uniform() {
             let opts: Vec<u32> = [1u32, 2, 4].into_iter().filter(|&r| r <= blocks).collect();
             *rng.pick(&opts)
+        } else {
+            // irregular runs allow any rank count up to the block count
+            1 + rng.below(blocks as u64) as u32
         };
         let threads = 1 + rng.below(4) as u32;
-        let schedule = match rng.below(3) {
-            0 => Schedule::None,
-            1 if blocks > 1 => Schedule::Full,
-            _ => {
-                // random radix factorization of a divisor of `blocks`
-                let mut left = blocks;
-                let mut v = Vec::new();
-                while left > 1 && rng.below(3) > 0 {
-                    let r = *rng.pick(
-                        &[2u32, 4, 8]
-                            .into_iter()
-                            .filter(|&r| left.is_multiple_of(r))
-                            .collect::<Vec<_>>(),
-                    );
-                    v.push(r);
-                    left /= r;
+        let schedule = if decomp.is_uniform() {
+            match rng.below(3) {
+                0 => Schedule::None,
+                1 if blocks > 1 => Schedule::Full,
+                _ => {
+                    // random radix factorization of a divisor of `blocks`
+                    let mut left = blocks;
+                    let mut v = Vec::new();
+                    while left > 1 && rng.below(3) > 0 {
+                        let r = *rng.pick(
+                            &[2u32, 4, 8]
+                                .into_iter()
+                                .filter(|&r| left.is_multiple_of(r))
+                                .collect::<Vec<_>>(),
+                        );
+                        v.push(r);
+                        left /= r;
+                    }
+                    if v.is_empty() {
+                        Schedule::None
+                    } else {
+                        Schedule::Rounds(v)
+                    }
                 }
-                if v.is_empty() {
-                    Schedule::None
-                } else {
-                    Schedule::Rounds(v)
+            }
+        } else {
+            // no divisibility constraint: radices only cap group sizes
+            match rng.below(3) {
+                0 => Schedule::None,
+                1 if blocks > 1 => Schedule::Full,
+                1 => Schedule::None,
+                _ => {
+                    let n = 1 + rng.below(2) as usize;
+                    Schedule::Rounds((0..n).map(|_| *rng.pick(&[2u32, 4, 8])).collect())
                 }
             }
         };
         let persistence = *rng.pick(&[0.0f32, 0.01, 0.05, 0.2]);
         let hierarchy = rng.below(3) == 0;
         let rounds = schedule.n_rounds(blocks);
-        let fault = if ranks >= 2 && rounds >= 1 && rng.below(4) == 0 {
+        let fault = if decomp.is_uniform() && ranks >= 2 && rounds >= 1 && rng.below(4) == 0 {
             let r = 1 + rng.below((ranks - 1) as u64) as u32;
             let k = 1 + rng.below(rounds as u64) as u32;
             Some(format!("crash:{r}@{k}"))
@@ -307,6 +411,7 @@ impl Case {
             seed: rng.next_u64(),
             ranks,
             blocks,
+            decomp,
             threads,
             schedule,
             persistence,
@@ -341,6 +446,31 @@ impl Case {
             let mut c = self.clone();
             c.threads = 1;
             push(c);
+        }
+        if !self.decomp.is_uniform() {
+            // most aggressive first: back to the uniform layout (fixing
+            // blocks and schedule for its stricter rules), then random
+            // trees down to the tamer adaptive splitter
+            let mut c = self.clone();
+            c.decomp = DecompKind::Uniform;
+            if !c.blocks.is_power_of_two() {
+                c.blocks = 1 << (31 - c.blocks.leading_zeros());
+                c.ranks = c.ranks.min(c.blocks);
+            }
+            let red = c.schedule.reduction(c.blocks);
+            if red == 0 || !c.blocks.is_multiple_of(red) {
+                c.schedule = if c.blocks > 1 {
+                    Schedule::Full
+                } else {
+                    Schedule::None
+                };
+            }
+            push(c);
+            if matches!(self.decomp, DecompKind::Random(_)) {
+                let mut c = self.clone();
+                c.decomp = DecompKind::Adaptive;
+                push(c);
+            }
         }
         if self.ranks > 1 {
             let mut c = self.clone();
@@ -385,6 +515,13 @@ impl Case {
                 };
             }
             c.fault = clamp_fault(&c);
+            push(c);
+        }
+        if !self.decomp.is_uniform() && self.blocks > 1 {
+            // irregular counts can also step down by one
+            let mut c = self.clone();
+            c.blocks -= 1;
+            c.ranks = c.ranks.min(c.blocks);
             push(c);
         }
         for a in 0..3 {
@@ -459,6 +596,11 @@ impl fmt::Display for Case {
         writeln!(f, "seed = {}", self.seed)?;
         writeln!(f, "ranks = {}", self.ranks)?;
         writeln!(f, "blocks = {}", self.blocks)?;
+        if !self.decomp.is_uniform() {
+            // only written when irregular, so historical uniform case
+            // files round-trip byte-identically
+            writeln!(f, "decomp = {}", self.decomp)?;
+        }
         writeln!(f, "threads = {}", self.threads)?;
         writeln!(f, "schedule = {}", self.schedule)?;
         writeln!(f, "persistence = {}", self.persistence)?;
@@ -481,6 +623,7 @@ impl FromStr for Case {
         let mut seed = None;
         let mut ranks = None;
         let mut blocks = None;
+        let mut decomp = DecompKind::Uniform;
         let mut threads = None;
         let mut schedule = None;
         let mut persistence = None;
@@ -512,6 +655,7 @@ impl FromStr for Case {
                 "seed" => seed = Some(v.parse::<u64>().map_err(|e| bad(e.to_string()))?),
                 "ranks" => ranks = Some(v.parse::<u32>().map_err(|e| bad(e.to_string()))?),
                 "blocks" => blocks = Some(v.parse::<u32>().map_err(|e| bad(e.to_string()))?),
+                "decomp" => decomp = v.parse::<DecompKind>().map_err(bad)?,
                 "threads" => threads = Some(v.parse::<u32>().map_err(|e| bad(e.to_string()))?),
                 "schedule" => schedule = Some(v.parse::<Schedule>().map_err(bad)?),
                 "persistence" => {
@@ -532,6 +676,7 @@ impl FromStr for Case {
             seed: seed.ok_or_else(|| need("seed"))?,
             ranks: ranks.ok_or_else(|| need("ranks"))?,
             blocks: blocks.ok_or_else(|| need("blocks"))?,
+            decomp,
             threads: threads.ok_or_else(|| need("threads"))?,
             schedule: schedule.ok_or_else(|| need("schedule"))?,
             persistence: persistence.ok_or_else(|| need("persistence"))?,
@@ -593,6 +738,7 @@ mod tests {
             seed: 1,
             ranks: 1,
             blocks: 2,
+            decomp: DecompKind::Uniform,
             threads: 1,
             schedule: Schedule::Full,
             persistence: 0.0,
@@ -609,6 +755,88 @@ mod tests {
     }
 
     #[test]
+    fn irregular_cases_relax_uniform_requirements() {
+        let c = Case {
+            kind: FieldKind::Noise,
+            dims: [6, 6, 6],
+            seed: 1,
+            ranks: 3,
+            blocks: 6,
+            decomp: DecompKind::Adaptive,
+            threads: 1,
+            schedule: Schedule::Full,
+            persistence: 0.0,
+            hierarchy: false,
+            fault: None,
+        };
+        c.validate().unwrap();
+        let text = c.to_string();
+        assert!(text.contains("decomp = adaptive"), "{text}");
+        let back: Case = text.parse().unwrap();
+        assert_eq!(back, c);
+
+        let mut uni = c.clone();
+        uni.decomp = DecompKind::Uniform;
+        assert!(
+            uni.validate().is_err(),
+            "6 blocks needs an irregular decomp"
+        );
+
+        let mut faulted = c.clone();
+        faulted.fault = Some("crash:1@1".into());
+        assert!(faulted.validate().is_err(), "faults are uniform-only");
+
+        let mut huge = c.clone();
+        huge.blocks = MAX_IRREGULAR_BLOCKS + 1;
+        assert!(huge.validate().is_err(), "irregular block cap enforced");
+
+        let rt = Case {
+            decomp: DecompKind::Random(77),
+            blocks: 5,
+            ranks: 5,
+            schedule: Schedule::Rounds(vec![8]),
+            ..c
+        };
+        rt.validate().unwrap();
+        let back: Case = rt.to_string().parse().unwrap();
+        assert_eq!(back, rt);
+    }
+
+    #[test]
+    fn irregular_cases_shrink_toward_uniform() {
+        let c = Case {
+            kind: FieldKind::Noise,
+            dims: [6, 6, 6],
+            seed: 3,
+            ranks: 3,
+            blocks: 6,
+            decomp: DecompKind::Random(9),
+            threads: 1,
+            schedule: Schedule::Full,
+            persistence: 0.0,
+            hierarchy: false,
+            fault: None,
+        };
+        c.validate().unwrap();
+        let shr = c.shrink_candidates();
+        let uni = shr
+            .iter()
+            .find(|s| s.decomp.is_uniform())
+            .expect("a uniform shrink candidate");
+        assert!(uni.blocks.is_power_of_two());
+        assert!(
+            shr.iter().any(|s| s.decomp == DecompKind::Adaptive),
+            "random trees step down to adaptive"
+        );
+        assert!(
+            shr.iter()
+                .any(|s| s.decomp == c.decomp && s.blocks == c.blocks - 1),
+            "irregular block counts step down by one"
+        );
+        assert!(shr.iter().all(|s| s.validate().is_ok()));
+    }
+
+    #[test]
     fn fault_cases_shrink_away_their_fault_first() {
         let c = Case {
             kind: FieldKind::Plateau(2),
@@ -616,6 +844,7 @@ mod tests {
             seed: 9,
             ranks: 2,
             blocks: 4,
+            decomp: DecompKind::Uniform,
             threads: 2,
             schedule: Schedule::Rounds(vec![2]),
             persistence: 0.05,

@@ -37,7 +37,7 @@ pub mod mutate;
 pub mod reference;
 pub mod segcheck;
 
-pub use case::{Case, FieldKind, Schedule};
+pub use case::{Case, DecompKind, FieldKind, Schedule};
 pub use invariant::{
     check_complex, check_glue_idempotent, check_semantic, check_structural, fingerprint,
     CheckOptions, Fingerprint, InvariantReport,

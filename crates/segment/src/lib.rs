@@ -108,6 +108,31 @@ impl ForwardMap {
     }
 }
 
+/// The rank that owns (resolves forwards and serves table lookups for)
+/// an extremum address.
+///
+/// The naive map `addr % n_ranks` is structurally biased: descending
+/// labels are **vertex** addresses (always even on the refined grid) and
+/// ascending labels are **voxel** addresses (always odd), so with an
+/// even rank count the naive map routes every minimum to an even rank
+/// and every maximum to an odd one. It also bakes in the assumption
+/// that addresses — and the block ids folded into them — are dense and
+/// contiguous, which irregular block trees break. Mixing the address
+/// through a splitmix64 finalizer first spreads any structured address
+/// set (parity-skewed, strided, or sparse) evenly over the ranks.
+///
+/// Every participant in the resolution protocol must use this one
+/// function: the fixed point itself is partition-independent, but rounds
+/// are synchronized, so routing must agree across ranks and drivers.
+pub fn owner_rank(addr: u64, n_ranks: u64) -> u64 {
+    debug_assert!(n_ranks >= 1);
+    let mut z = addr.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    z % n_ranks
+}
+
 /// Upper bound on the number of pointer-jump rounds needed to reach the
 /// fixed point, plus the one extra round that observes it: chains can be
 /// no longer than the global forward-entry count, and synchronized
@@ -150,6 +175,51 @@ mod tests {
         let lookup: HashMap<u64, u64> = m.sorted_entries().into_iter().collect();
         assert_eq!(m.jump_pass(&lookup), 0);
         assert_eq!(m.resolve(7), DRAIN_ADDR);
+    }
+
+    #[test]
+    fn owner_rank_spreads_structured_address_sets() {
+        // regression: the naive `addr % n_ranks` map sends all-even
+        // (vertex/minima) addresses to even ranks only when n_ranks is
+        // even, and collapses strided id patterns onto few ranks. The
+        // hashed map must hit every rank with a reasonable share for
+        // each structured set.
+        let sets: Vec<Vec<u64>> = vec![
+            (0..4096u64).map(|i| i * 2).collect(),     // all even (minima)
+            (0..4096u64).map(|i| i * 2 + 1).collect(), // all odd (maxima)
+            (0..4096u64).map(|i| i * 6).collect(),     // strided
+            (0..4096u64).map(|i| (i << 40) | 0x5).collect(), // sparse block-id-style
+        ];
+        for n_ranks in [2u64, 3, 4, 6, 8] {
+            for (si, set) in sets.iter().enumerate() {
+                let mut hist = vec![0u64; n_ranks as usize];
+                for &a in set {
+                    hist[owner_rank(a, n_ranks) as usize] += 1;
+                }
+                let expect = set.len() as u64 / n_ranks;
+                for (r, &h) in hist.iter().enumerate() {
+                    assert!(
+                        h > expect / 2 && h < expect * 2,
+                        "set {si}, {n_ranks} ranks: rank {r} got {h} of ~{expect}"
+                    );
+                }
+            }
+        }
+        // demonstrate the bias being fixed: naive mod-2 on even addrs
+        let evens: Vec<u64> = (0..128u64).map(|i| i * 2).collect();
+        assert!(evens.iter().all(|a| a % 2 == 0), "naive map: one rank idle");
+        assert!(evens.iter().any(|&a| owner_rank(a, 2) == 1));
+    }
+
+    #[test]
+    fn owner_rank_is_deterministic_and_in_range() {
+        for n in 1..9u64 {
+            for a in [0u64, 1, 7, u64::MAX, DRAIN_ADDR, 1 << 63] {
+                let r = owner_rank(a, n);
+                assert!(r < n);
+                assert_eq!(r, owner_rank(a, n));
+            }
+        }
     }
 
     #[test]

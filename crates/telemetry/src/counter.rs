@@ -101,10 +101,16 @@ pub enum Counter {
     /// Pooled kernel scratch buffers that had to be freshly allocated
     /// (pool misses — near zero in steady state).
     KernelAllocs,
+    /// Estimated cost of the blocks assigned to this rank (feature-
+    /// weight integral for adaptive runs, vertex count for other
+    /// irregular modes, block count for uniform block-cyclic runs). The
+    /// cross-rank min/mean/max/imbalance aggregation of this counter is
+    /// the load-balance report the `balance_sweep` bench reads.
+    AssignCost,
 }
 
 /// All counters, in report order.
-pub const ALL_COUNTERS: [Counter; 37] = [
+pub const ALL_COUNTERS: [Counter; 38] = [
     Counter::CellsPaired,
     Counter::CriticalCells,
     Counter::ArcsTraced,
@@ -142,6 +148,7 @@ pub const ALL_COUNTERS: [Counter; 37] = [
     Counter::KernelCells,
     Counter::ScratchReuse,
     Counter::KernelAllocs,
+    Counter::AssignCost,
 ];
 
 impl Counter {
@@ -187,6 +194,7 @@ impl Counter {
             Counter::KernelCells => "kernel_cells",
             Counter::ScratchReuse => "scratch_reuse",
             Counter::KernelAllocs => "kernel_allocs",
+            Counter::AssignCost => "assign_cost",
         }
     }
 

@@ -208,6 +208,18 @@ cmp "$out/seg1.msc.seg" "$out/seg4.msc.seg"
 "$out/msc" export "$out/seg4.msc" --labels combined \
   --labels-vtk "$out/labels.vtk" --labels-csv "$out/labels.csv"
 
+# ---- irregular-decomposition smoke: adaptive (feature-density) splits
+# ---- on non-power-of-two rank counts must write all three artifacts
+# ---- byte-identical to the canonical 1-rank uniform-free run
+say "irregular decomposition smoke"
+"$out/msc" compute --input "$out/seg.raw" --dims 17,17,17 --ranks 1 --blocks 6 \
+  --decomp adaptive --merge full --hierarchy --check --output "$out/irr1.msc"
+"$out/msc" compute --input "$out/seg.raw" --dims 17,17,17 --ranks 4 --blocks 6 \
+  --decomp adaptive --merge full --hierarchy --check --output "$out/irr4.msc"
+cmp "$out/irr1.msc" "$out/irr4.msc"
+cmp "$out/irr1.msc.seg" "$out/irr4.msc.seg"
+cmp "$out/irr1.msc.msh" "$out/irr4.msc.msh"
+
 # ---- serve smoke: precompute an artifact with --hierarchy, drive the
 # ---- query layer over stdio with repeated keys, and gate on all-ok
 # ---- responses, a nonzero cache hit rate and the p50<=p99 latency
@@ -248,6 +260,13 @@ MSP_CHECK=1 MSP_SCALE=small MSP_RESULTS_DIR="$out/results" "$out/bench_serve_lat
 # ---- Prometheus text vs JSON snapshot vs shutdown report within 1%
 say "metrics check"
 "$out/bench_metrics_check"
+
+# ---- balance sweep smoke: uniform bisection vs the adaptive splitter
+# ---- under the shared feature-weight cost model; gates on adaptive
+# ---- imbalance strictly below uniform at every swept rank count and
+# ---- cross-checks the pipeline's assign_cost telemetry
+say "balance sweep smoke"
+MSP_SCALE=small MSP_RESULTS_DIR="$out/results" "$out/bench_balance_sweep"
 
 # ---- benchmark drift report (warn-only, exit 0): committed
 # ---- BENCH_*.json vs the baselines under results/baselines

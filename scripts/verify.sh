@@ -59,6 +59,19 @@ cargo run -q --release --bin msc -- export "$tracedir/seg4.msc" \
   --labels combined --labels-vtk "$tracedir/labels.vtk" \
   --labels-csv "$tracedir/labels.csv"
 
+# irregular-decomposition smoke: adaptive (feature-density) splits on
+# non-power-of-two rank counts must write all three artifacts
+# byte-identical to the canonical 1-rank run
+cargo run -q --release --bin msc -- compute --input "$tracedir/seg.raw" \
+  --dims 17,17,17 --ranks 1 --blocks 6 --decomp adaptive --merge full \
+  --hierarchy --check --output "$tracedir/irr1.msc"
+cargo run -q --release --bin msc -- compute --input "$tracedir/seg.raw" \
+  --dims 17,17,17 --ranks 4 --blocks 6 --decomp adaptive --merge full \
+  --hierarchy --check --output "$tracedir/irr4.msc"
+cmp "$tracedir/irr1.msc" "$tracedir/irr4.msc"
+cmp "$tracedir/irr1.msc.seg" "$tracedir/irr4.msc.seg"
+cmp "$tracedir/irr1.msc.msh" "$tracedir/irr4.msc.msh"
+
 # serve smoke: precompute an artifact with --hierarchy, drive the query
 # layer over stdio with repeated keys, and gate on all-ok responses, a
 # nonzero cache hit rate and the p50<=p99 latency self-check
@@ -98,6 +111,14 @@ MSP_CHECK=1 MSP_SCALE=small MSP_RESULTS_DIR="$tracedir" \
 # Prometheus text exposition, the {"op":"metrics"} JSON snapshot and
 # the shutdown report must agree within 1%
 cargo run -q --release -p msp-bench --bin metrics_check
+
+# balance sweep smoke: uniform bisection vs the adaptive splitter under
+# the shared feature-weight cost model; gates on adaptive imbalance
+# strictly below uniform at every swept rank count, cross-checks the
+# pipeline's assign_cost telemetry, and runs the deferred multicore
+# speedup gate when the host exposes >= 4 CPUs
+MSP_SCALE=small MSP_RESULTS_DIR="$tracedir" \
+  cargo run -q --release -p msp-bench --bin balance_sweep
 
 # benchmark drift report (warn-only): committed BENCH_*.json vs the
 # baselines under results/baselines

@@ -14,8 +14,9 @@
 use morse_smale_parallel::complex::export::{self, LabeledVolume, SegKind};
 use morse_smale_parallel::complex::{query, wire, MsComplex};
 use morse_smale_parallel::core::{
-    load_dataset, msh_output_path, parse_persistence, run_parallel, seg_output_path, serve_lines,
-    serve_tcp, FaultConfig, Input, MergePlan, PipelineParams, ServeConfig, ServerCore,
+    full_merge_plan, load_dataset, msh_output_path, parse_persistence, run_parallel,
+    seg_output_path, serve_lines, serve_tcp, DecompMode, FaultConfig, Input, MergePlan,
+    PipelineParams, ServeConfig, ServerCore,
 };
 use morse_smale_parallel::fault::FaultPlan;
 use morse_smale_parallel::grid::rawio::{write_raw, VolumeDType};
@@ -108,6 +109,11 @@ fn usage() {
          \u{20}           stage; default: all cores, 1 = serial; output is\n\
          \u{20}           bit-identical for every N)\n\
          \u{20}           [--merge full|none|R1,R2,...] --output FILE\n\
+         \u{20}           [--decomp uniform|adaptive|random:SEED]  (block\n\
+         \u{20}           layout: uniform bisection, feature-density\n\
+         \u{20}           adaptive splitting, or a seeded random block\n\
+         \u{20}           tree; irregular modes take any --blocks count\n\
+         \u{20}           and keep outputs byte-identical across ranks)\n\
          \u{20}           [--faults SPEC] [--checkpoint] [--deadline-ms MS]\n\
          \u{20}           [--trace [FILE]]  (Chrome trace + critical path;\n\
          \u{20}           default FILE: results/<output stem>.trace.json)\n\
@@ -272,8 +278,15 @@ fn cmd_compute(o: &Opts) -> Result<(), String> {
     let blocks: u32 = o.num("blocks", ranks)?;
     let persistence = parse_persistence(o.opt("persistence").unwrap_or("0.01"))?;
     let out = PathBuf::from(o.req("output")?);
+    let decomp = match o.opt("decomp") {
+        Some(s) => DecompMode::parse(s).map_err(|e| format!("bad --decomp: {e}"))?,
+        None => DecompMode::Uniform,
+    };
     let plan = match o.opt("merge").unwrap_or("full") {
-        "full" => MergePlan::full_merge(blocks),
+        // uniform keeps the historical power-of-two heuristic (and its
+        // exact schedule bytes); irregular modes accept any block count
+        "full" if decomp.is_uniform() => MergePlan::full_merge(blocks),
+        "full" => full_merge_plan(blocks),
         "none" => MergePlan::none(),
         spec => MergePlan::rounds(
             spec.split(',')
@@ -313,6 +326,7 @@ fn cmd_compute(o: &Opts) -> Result<(), String> {
     let params = PipelineParams {
         persistence_frac: persistence,
         plan,
+        decomp,
         fault,
         trace: o.has("trace"),
         threads,
@@ -545,7 +559,7 @@ fn cmd_info(o: &Opts) -> Result<(), String> {
     for (i, e) in footer.iter().enumerate() {
         let ms = load_block(&path, i)?;
         println!(
-            "  block {i}: {} bytes at offset {}, written by rank {}, members {:?}, {} nodes / {} arcs",
+            "  block {i}: {} bytes at offset {}, output slot {}, members {:?}, {} nodes / {} arcs",
             e.len,
             e.offset,
             e.writer,

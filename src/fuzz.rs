@@ -27,7 +27,10 @@
 //! Failures shrink greedily through [`Case::shrink_candidates`] until no
 //! smaller case still fails, then dump as a replayable `.case` file.
 
-use msp_core::{run_parallel, FaultConfig, Input, MergePlan, PipelineParams, RunResult};
+use msp_core::{
+    feature_weights, full_merge_plan, run_parallel, DecompMode, FaultConfig, Input, MergePlan,
+    PipelineParams, RunResult,
+};
 use msp_fault::FaultPlan;
 use msp_grid::{Decomposition, Dims, ScalarField};
 use msp_morse::{assign_gradient, assign_gradient_par, trace_all_arcs};
@@ -36,8 +39,8 @@ use msp_oracle::reference::{
 };
 use msp_oracle::segcheck::{diff_segmentation, reference_segmentation};
 use msp_oracle::{
-    case::parse_fault, check_complex, check_glue_idempotent, Case, CheckOptions, FieldKind,
-    Schedule,
+    case::parse_fault, check_complex, check_glue_idempotent, Case, CheckOptions, DecompKind,
+    FieldKind, Schedule,
 };
 use std::path::Path;
 use std::sync::Arc;
@@ -55,12 +58,37 @@ pub fn build_field(case: &Case) -> ScalarField {
 }
 
 /// The case's merge schedule as a concrete [`MergePlan`].
-pub fn merge_plan(schedule: &Schedule, blocks: u32) -> MergePlan {
-    match schedule {
+pub fn merge_plan(case: &Case) -> MergePlan {
+    match &case.schedule {
         Schedule::None => MergePlan::none(),
-        Schedule::Full if blocks > 1 => MergePlan::full_merge(blocks),
-        Schedule::Full => MergePlan::none(),
+        Schedule::Full if case.blocks <= 1 => MergePlan::none(),
+        Schedule::Full if case.decomp.is_uniform() => MergePlan::full_merge(case.blocks),
+        // irregular full merges need a plan valid for any block count
+        Schedule::Full => full_merge_plan(case.blocks),
         Schedule::Rounds(v) => MergePlan::rounds(v.clone()),
+    }
+}
+
+/// The case's decomposition mode as the pipeline's [`DecompMode`].
+pub fn decomp_mode(case: &Case) -> DecompMode {
+    match case.decomp {
+        DecompKind::Uniform => DecompMode::Uniform,
+        DecompKind::Adaptive => DecompMode::Adaptive,
+        DecompKind::Random(seed) => DecompMode::RandomTree { seed },
+    }
+}
+
+/// The decomposition the pipeline will build for this case, constructed
+/// the same way `run_parallel` does, so the per-block differentials and
+/// post-hoc checks see the exact blocks the run used.
+pub fn build_decomp(case: &Case, field: &ScalarField) -> Decomposition {
+    match case.decomp {
+        DecompKind::Uniform => Decomposition::bisect(field.dims(), case.blocks),
+        DecompKind::Adaptive => {
+            let w = feature_weights(field);
+            Decomposition::adaptive(field.dims(), case.blocks, &w)
+        }
+        DecompKind::Random(seed) => Decomposition::random_tree(field.dims(), case.blocks, seed),
     }
 }
 
@@ -74,7 +102,8 @@ fn pipeline_params(case: &Case, canonical: bool) -> PipelineParams {
     };
     PipelineParams {
         persistence_frac: case.persistence,
-        plan: merge_plan(&case.schedule, case.blocks),
+        plan: merge_plan(case),
+        decomp: decomp_mode(case),
         fault,
         threads: Some(if canonical { 1 } else { case.threads as usize }),
         check: !canonical,
@@ -121,7 +150,7 @@ pub fn run_case(case: &Case) -> Result<(), String> {
 
 fn run_case_inner(case: &Case) -> Result<(), String> {
     let field = build_field(case);
-    let decomp = Decomposition::bisect(field.dims(), case.blocks);
+    let decomp = build_decomp(case, &field);
 
     // 1. per-block differential against the reference oracle
     for b in decomp.blocks() {
@@ -387,6 +416,7 @@ mod tests {
             seed: 5,
             ranks,
             blocks,
+            decomp: DecompKind::Uniform,
             threads: 2,
             schedule,
             persistence: 0.05,
@@ -427,6 +457,21 @@ mod tests {
     fn hierarchy_case_is_clean() {
         let mut c = quick_case(FieldKind::Noise, 4, 2, Schedule::Full);
         c.hierarchy = true;
+        run_case(&c).unwrap();
+    }
+
+    #[test]
+    fn adaptive_irregular_case_is_clean() {
+        // 6 blocks / 3 ranks: non-power-of-two everything
+        let mut c = quick_case(FieldKind::Noise, 6, 3, Schedule::Full);
+        c.decomp = DecompKind::Adaptive;
+        run_case(&c).unwrap();
+    }
+
+    #[test]
+    fn random_tree_case_is_clean() {
+        let mut c = quick_case(FieldKind::Plateau(3), 5, 2, Schedule::Rounds(vec![4]));
+        c.decomp = DecompKind::Random(42);
         run_case(&c).unwrap();
     }
 

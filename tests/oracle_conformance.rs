@@ -14,7 +14,7 @@
 //! both merge schedules per field.
 
 use morse_smale_parallel::fuzz::run_case;
-use morse_smale_parallel::oracle::{Case, FieldKind, Schedule};
+use morse_smale_parallel::oracle::{Case, DecompKind, FieldKind, Schedule};
 
 const RANKS: [u32; 3] = [1, 2, 4];
 const THREADS: [u32; 3] = [1, 2, 4];
@@ -33,6 +33,7 @@ fn sweep(kind: FieldKind, dims: [u32; 3], seed: u64, persistence: f32) {
                     seed,
                     ranks,
                     blocks: 4,
+                    decomp: DecompKind::Uniform,
                     threads,
                     schedule,
                     persistence,
@@ -93,6 +94,14 @@ fn corpus_reproducers_replay_clean() {
         (
             "noise-hierarchy.case",
             include_str!("cases/noise-hierarchy.case"),
+        ),
+        (
+            "adaptive-sixblock.case",
+            include_str!("cases/adaptive-sixblock.case"),
+        ),
+        (
+            "randomtree-plateau.case",
+            include_str!("cases/randomtree-plateau.case"),
         ),
     ] {
         let case: Case = text.parse().unwrap_or_else(|e| panic!("{name}: {e}"));

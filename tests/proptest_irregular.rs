@@ -1,0 +1,206 @@
+//! Irregular-decomposition conformance suite (DESIGN.md §14).
+//!
+//! The contract under test: every artifact the pipeline writes —
+//! `.msc`, `.seg` and `.msh` — is a pure function of (decomposition,
+//! merge plan, persistence), never of the rank count, the thread count,
+//! or the block-to-rank assignment. Uniform runs must keep their
+//! historical bytes; adaptive and random-tree runs must be
+//! byte-identical to their canonical 1-rank/1-thread execution across
+//! non-power-of-two rank counts; and glue over an irregular 3-block
+//! L-shaped split must not care which block roots the merge or in what
+//! order the neighbor graph is contracted.
+
+use morse_smale_parallel::complex::build::build_block_complex;
+use morse_smale_parallel::complex::glue::glue_all;
+use morse_smale_parallel::complex::MsComplex;
+use morse_smale_parallel::core::{
+    full_merge_plan, msh_output_path, run_parallel, seg_output_path, DecompMode, Input, MergePlan,
+    PipelineParams,
+};
+use morse_smale_parallel::grid::{Decomposition, Dims, ScalarField};
+use morse_smale_parallel::morse::TraceLimits;
+use morse_smale_parallel::oracle::fingerprint;
+use morse_smale_parallel::synth;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Non-power-of-two rank counts are the interesting ones: they exercise
+/// LPT assignments that are not permutations of the block-cyclic map.
+const RANKS: [u32; 5] = [1, 2, 3, 4, 6];
+const THREADS: [u32; 3] = [1, 2, 4];
+
+/// Run the pipeline at one configuration, writing real files, and
+/// return the raw bytes of the three artifacts. The invariant checker
+/// is on and must come back clean.
+fn artifacts(
+    field: &Arc<ScalarField>,
+    decomp: DecompMode,
+    blocks: u32,
+    ranks: u32,
+    threads: u32,
+    tag: &str,
+) -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+    let plan = if decomp.is_uniform() {
+        MergePlan::full_merge(blocks)
+    } else {
+        full_merge_plan(blocks)
+    };
+    let params = PipelineParams {
+        persistence_frac: 0.05,
+        plan,
+        decomp,
+        threads: Some(threads as usize),
+        check: true,
+        segment: true,
+        hierarchy: true,
+        ..Default::default()
+    };
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "msp_irr_{}_{tag}_{ranks}r{threads}t.msc",
+        std::process::id()
+    ));
+    let r = run_parallel(
+        &Input::Memory(field.clone()),
+        ranks,
+        blocks,
+        &params,
+        Some(&path),
+    )
+    .unwrap();
+    for key in [
+        "check_structural",
+        "check_euler",
+        "check_boundary",
+        "check_vpath",
+        "check_segment",
+        "check_hierarchy",
+    ] {
+        assert_eq!(
+            r.telemetry.counter_total(key),
+            0,
+            "{tag} {ranks}r/{threads}t: {key} violations"
+        );
+    }
+    let seg_path = seg_output_path(&path);
+    let msh_path = msh_output_path(&path);
+    let msc = std::fs::read(&path).unwrap();
+    let seg = std::fs::read(&seg_path).unwrap();
+    let msh = std::fs::read(&msh_path).unwrap();
+    for p in [&path, &seg_path, &msh_path] {
+        std::fs::remove_file(p).ok();
+    }
+    (msc, seg, msh)
+}
+
+/// Sweep the full rank x thread matrix and require every run's three
+/// artifacts to equal the canonical 1-rank/1-thread bytes.
+fn assert_byte_identical(field: &Arc<ScalarField>, decomp: DecompMode, blocks: u32, tag: &str) {
+    let canon = artifacts(field, decomp, blocks, 1, 1, tag);
+    for ranks in RANKS {
+        for threads in THREADS {
+            if (ranks, threads) == (1, 1) {
+                continue;
+            }
+            let got = artifacts(field, decomp, blocks, ranks, threads, tag);
+            assert_eq!(
+                got.0, canon.0,
+                "{tag}: .msc differs at {ranks} ranks / {threads} threads"
+            );
+            assert_eq!(
+                got.1, canon.1,
+                "{tag}: .seg differs at {ranks} ranks / {threads} threads"
+            );
+            assert_eq!(
+                got.2, canon.2,
+                "{tag}: .msh differs at {ranks} ranks / {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn uniform_artifacts_are_byte_identical_across_ranks_and_threads() {
+    let field = Arc::new(synth::white_noise(Dims::new(9, 8, 7), 41));
+    assert_byte_identical(&field, DecompMode::Uniform, 8, "uniform");
+}
+
+#[test]
+fn adaptive_artifacts_are_byte_identical_across_ranks_and_threads() {
+    // 6 blocks: a non-power-of-two count, so the merge is the
+    // neighbor-graph contraction and the assignment is LPT over
+    // feature-weight costs
+    let field = Arc::new(synth::white_noise(Dims::new(9, 8, 7), 41));
+    assert_byte_identical(&field, DecompMode::Adaptive, 6, "adaptive");
+}
+
+/// Per-block compacted complexes over an arbitrary decomposition.
+fn block_complexes(field: &ScalarField, d: &Decomposition) -> Vec<MsComplex> {
+    d.blocks()
+        .iter()
+        .map(|b| {
+            let (mut ms, _) =
+                build_block_complex(&field.extract_block(b), d, TraceLimits::default());
+            ms.compact();
+            ms
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random irregular trees: the two artifact-defining rank counts
+    /// (canonical 1 and a non-power-of-two 5-of-5) agree bit for bit.
+    #[test]
+    fn random_tree_artifacts_are_byte_identical(seed in 0u64..10_000) {
+        let field = Arc::new(synth::plateau(Dims::new(8, 7, 9), seed, 3));
+        let decomp = DecompMode::RandomTree { seed };
+        let canon = artifacts(&field, decomp, 5, 1, 1, "rt");
+        for (ranks, threads) in [(3u32, 2u32), (5, 1)] {
+            let got = artifacts(&field, decomp, 5, ranks, threads, "rt");
+            prop_assert_eq!(&got.0, &canon.0, ".msc differs at {} ranks", ranks);
+            prop_assert_eq!(&got.1, &canon.1, ".seg differs at {} ranks", ranks);
+            prop_assert_eq!(&got.2, &canon.2, ".msh differs at {} ranks", ranks);
+        }
+    }
+
+    /// Glue over a 3-block irregular (L-shaped) split is root- and
+    /// order-independent: all 6 (root, order) contractions of the
+    /// neighbor graph produce the same living content.
+    #[test]
+    fn glue_is_order_independent_on_irregular_3_block_splits(
+        seed in 0u64..10_000,
+        fseed in 0u64..1_000_000,
+    ) {
+        let dims = Dims::new(7, 6, 8);
+        let d = Decomposition::random_tree(dims, 3, seed);
+        // keep only genuinely L-shaped splits: the second cut ran along
+        // a different axis, so all three blocks touch pairwise
+        prop_assume!(d.neighbor_edges().len() == 3);
+        let field = synth::white_noise(dims, fseed);
+        let cs = block_complexes(&field, &d);
+        prop_assert_eq!(cs.len(), 3);
+        let mut reference = None;
+        for root in 0..3usize {
+            let others = [(root + 1) % 3, (root + 2) % 3];
+            for order in [[others[0], others[1]], [others[1], others[0]]] {
+                let mut ms = cs[root].clone();
+                let incoming: Vec<MsComplex> =
+                    order.iter().map(|&i| cs[i].clone()).collect();
+                glue_all(&mut ms, &incoming, &d).unwrap();
+                let fp = fingerprint(&ms);
+                match &reference {
+                    None => reference = Some(fp),
+                    Some(r) => prop_assert_eq!(
+                        r,
+                        &fp,
+                        "glue root {} order {:?} diverged",
+                        root,
+                        order
+                    ),
+                }
+            }
+        }
+    }
+}
